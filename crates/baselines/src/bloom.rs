@@ -1,0 +1,203 @@
+//! GPU Bloom filter baseline (§6): a 1-bit-encoded bit array driven by
+//! CUDA atomic bitwise OR — the paper's port of Partow's C++ Bloom filter.
+//!
+//! Each insert sets `k` bits at `k` independent hash positions; each bit
+//! lands in a different cache line with high probability, which is
+//! exactly the low memory coherence §3.2 attributes to Bloom filters.
+//! Negative queries terminate at the first zero bit, giving random
+//! lookups their relatively higher throughput (§6.1).
+
+use filter_core::{
+    ApiMode, Features, Filter, FilterError, FilterMeta, Operation,
+};
+use gpu_sim::metrics::{bump, Counter};
+use gpu_sim::GpuBuffer;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The paper's configuration: 7 hash functions at ~10.1 bits per item
+/// targets the 0.1%-class false-positive rate of Table 2.
+pub const DEFAULT_K: u32 = 7;
+/// Default bits per item.
+pub const DEFAULT_BITS_PER_ITEM: f64 = 10.1;
+
+/// A GPU-model Bloom filter.
+///
+/// ```
+/// use baselines::BloomFilter;
+/// use filter_core::Filter;
+///
+/// let f = BloomFilter::new(10_000).unwrap();
+/// f.insert(42).unwrap();
+/// assert!(f.contains(42));
+/// ```
+pub struct BloomFilter {
+    bits: GpuBuffer,
+    n_bits: u64,
+    k: u32,
+    items: AtomicUsize,
+}
+
+impl BloomFilter {
+    /// Filter for `capacity` items at `bits_per_item` with `k` hashes.
+    pub fn with_params(capacity: usize, bits_per_item: f64, k: u32) -> Result<Self, FilterError> {
+        if k == 0 || k > 32 {
+            return Err(FilterError::BadConfig(format!("k must be 1..=32, got {k}")));
+        }
+        if bits_per_item <= 0.0 {
+            return Err(FilterError::BadConfig("bits_per_item must be positive".into()));
+        }
+        let n_bits = ((capacity as f64 * bits_per_item).ceil() as u64).max(64);
+        Ok(BloomFilter {
+            bits: GpuBuffer::new(n_bits as usize, 1),
+            n_bits,
+            k,
+            items: AtomicUsize::new(0),
+        })
+    }
+
+    /// The paper's default configuration.
+    pub fn new(capacity: usize) -> Result<Self, FilterError> {
+        Self::with_params(capacity, DEFAULT_BITS_PER_ITEM, DEFAULT_K)
+    }
+
+    #[inline]
+    fn bit_of(&self, key: u64, i: u32) -> usize {
+        filter_core::hash::fast_reduce(filter_core::hash64_seeded(key, i as u64), self.n_bits)
+            as usize
+    }
+}
+
+impl FilterMeta for BloomFilter {
+    fn name(&self) -> &'static str {
+        "BF"
+    }
+
+    fn features(&self) -> Features {
+        // Table 1: point insert + query only.
+        Features::new("BF")
+            .with(Operation::Insert, ApiMode::Point)
+            .with(Operation::Query, ApiMode::Point)
+    }
+
+    fn table_bytes(&self) -> usize {
+        self.bits.bytes()
+    }
+
+    fn capacity_slots(&self) -> u64 {
+        self.n_bits
+    }
+
+    fn max_load_factor(&self) -> f64 {
+        1.0
+    }
+}
+
+impl Filter for BloomFilter {
+    fn insert(&self, key: u64) -> Result<(), FilterError> {
+        for i in 0..self.k {
+            // Each probe lands on an independent line: one transaction of
+            // traffic plus the atomic OR (the log(1/ε) cache misses §2
+            // charges Bloom filters with).
+            bump(Counter::LinesLoaded, 1);
+            self.bits.atomic_or(self.bit_of(key, i), 1);
+        }
+        self.items.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn contains(&self, key: u64) -> bool {
+        for i in 0..self.k {
+            if self.bits.read(self.bit_of(key, i)) == 0 {
+                return false; // early exit: the §6.1 random-query win
+            }
+        }
+        true
+    }
+
+    fn len(&self) -> usize {
+        self.items.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use filter_core::hashed_keys;
+    use gpu_sim::metrics;
+
+    #[test]
+    fn no_false_negatives() {
+        let f = BloomFilter::new(10_000).unwrap();
+        let keys = hashed_keys(61, 10_000);
+        for &k in &keys {
+            f.insert(k).unwrap();
+        }
+        for &k in &keys {
+            assert!(f.contains(k));
+        }
+    }
+
+    #[test]
+    fn fp_rate_near_theory() {
+        let f = BloomFilter::new(20_000).unwrap();
+        for &k in &hashed_keys(62, 20_000) {
+            f.insert(k).unwrap();
+        }
+        let probes = hashed_keys(620, 100_000);
+        let fp = probes.iter().filter(|&&k| f.contains(k)).count() as f64 / 1e5;
+        // k=7 @ 10.1 bpi theory ≈ 0.9%… with double-hashing-free
+        // independent hashes it lands near 1%; Table 2 reports 0.15% for
+        // a fresh filter at lower load. Accept the configured band.
+        assert!(fp < 0.03, "fp {fp}");
+        assert!(fp > 0.0001, "fp suspiciously low: {fp}");
+    }
+
+    #[test]
+    fn insert_charges_k_lines_and_atomics() {
+        let f = BloomFilter::new(1 << 20).unwrap();
+        let before = metrics::snapshot_current_thread();
+        f.insert(12345).unwrap();
+        let diff = metrics::snapshot_current_thread().since(&before);
+        assert_eq!(diff.get(Counter::AtomicOps), DEFAULT_K as u64);
+        assert_eq!(diff.get(Counter::LinesLoaded), DEFAULT_K as u64);
+    }
+
+    #[test]
+    fn negative_query_exits_early_on_empty_filter() {
+        let f = BloomFilter::new(1 << 16).unwrap();
+        let before = metrics::snapshot_current_thread();
+        assert!(!f.contains(999));
+        let diff = metrics::snapshot_current_thread().since(&before);
+        assert_eq!(diff.get(Counter::LinesLoaded), 1, "first zero bit ends the probe");
+    }
+
+    #[test]
+    fn concurrent_inserts_sound() {
+        use std::sync::Arc;
+        let f = Arc::new(BloomFilter::new(50_000).unwrap());
+        let keys = Arc::new(hashed_keys(63, 8000));
+        let handles: Vec<_> = (0..8usize)
+            .map(|t| {
+                let f = Arc::clone(&f);
+                let keys = Arc::clone(&keys);
+                std::thread::spawn(move || {
+                    for &k in &keys[t * 1000..(t + 1) * 1000] {
+                        f.insert(k).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        for &k in keys.iter() {
+            assert!(f.contains(k));
+        }
+    }
+
+    #[test]
+    fn bad_configs_rejected() {
+        assert!(BloomFilter::with_params(100, 10.0, 0).is_err());
+        assert!(BloomFilter::with_params(100, -1.0, 7).is_err());
+    }
+}

@@ -1,0 +1,309 @@
+//! Counting Bloom filter baseline — the variant §3.2's footnote 2
+//! dismisses: "supports counting but it comes at a high space-overhead
+//! which makes it highly inefficient in practice".
+//!
+//! Each of the `k` hash positions addresses a 4-bit saturating counter
+//! (the classic Fan et al. construction the paper cites as reference 22).
+//! Deletion decrements, membership tests all counters for non-zero, and
+//! the count estimate is the minimum counter — never below the true count
+//! until a counter saturates. The space cost the footnote objects to is
+//! structural: the same ε needs the same number of *cells* as a Bloom
+//! filter needs bits, but every cell is now 4 bits, and Ablation 7
+//! quantifies the resulting bits-per-item against the GQF's.
+
+use filter_core::{ApiMode, Counting, Deletable, Features, Filter, FilterError, FilterMeta, Operation};
+use gpu_sim::metrics::{bump, Counter};
+use gpu_sim::GpuBuffer;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Counter width. 4 bits keeps overflow probability negligible for
+/// Poisson(ln 2) cell loads while quadrupling the Bloom filter's space.
+pub const COUNTER_BITS: u32 = 4;
+
+/// Saturation ceiling: a counter that reaches 15 is pinned there forever
+/// (decrementing it could undercount other keys sharing the cell).
+pub const COUNTER_MAX: u64 = (1 << COUNTER_BITS) - 1;
+
+/// A GPU-model counting Bloom filter.
+///
+/// ```
+/// use baselines::CountingBloomFilter;
+/// use filter_core::{Filter, Counting, Deletable};
+///
+/// let f = CountingBloomFilter::new(10_000).unwrap();
+/// f.insert(42).unwrap();
+/// f.insert(42).unwrap();
+/// assert_eq!(f.count(42), 2);
+/// assert!(f.remove(42).unwrap());
+/// assert_eq!(f.count(42), 1);
+/// ```
+pub struct CountingBloomFilter {
+    cells: GpuBuffer,
+    n_cells: u64,
+    k: u32,
+    items: AtomicUsize,
+}
+
+impl CountingBloomFilter {
+    /// Filter for `capacity` items with `cells_per_item` 4-bit counters
+    /// per item and `k` hashes.
+    pub fn with_params(
+        capacity: usize,
+        cells_per_item: f64,
+        k: u32,
+    ) -> Result<Self, FilterError> {
+        if k == 0 || k > 32 {
+            return Err(FilterError::BadConfig(format!("k must be 1..=32, got {k}")));
+        }
+        if cells_per_item <= 0.0 {
+            return Err(FilterError::BadConfig("cells_per_item must be positive".into()));
+        }
+        let n_cells = ((capacity as f64 * cells_per_item).ceil() as u64).max(64);
+        Ok(CountingBloomFilter {
+            cells: GpuBuffer::new(n_cells as usize, COUNTER_BITS),
+            n_cells,
+            k,
+            items: AtomicUsize::new(0),
+        })
+    }
+
+    /// Paper-comparable default: the Bloom filter's k=7 / 10.1
+    /// positions-per-item geometry, each position widened to a counter.
+    pub fn new(capacity: usize) -> Result<Self, FilterError> {
+        Self::with_params(capacity, super::bloom::DEFAULT_BITS_PER_ITEM, super::bloom::DEFAULT_K)
+    }
+
+    #[inline]
+    fn cell_of(&self, key: u64, i: u32) -> usize {
+        filter_core::hash::fast_reduce(filter_core::hash64_seeded(key, i as u64), self.n_cells)
+            as usize
+    }
+
+    /// Saturating increment via CAS (a 4-bit `atomicAdd` would wrap and
+    /// corrupt neighbors' counts on overflow).
+    fn saturating_inc(&self, cell: usize) {
+        loop {
+            let cur = self.cells.read(cell);
+            if cur >= COUNTER_MAX {
+                return;
+            }
+            if self.cells.cas(cell, cur, cur + 1).is_ok() {
+                return;
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Decrement unless zero or saturated; saturated counters are pinned.
+    fn saturating_dec(&self, cell: usize) {
+        loop {
+            let cur = self.cells.read(cell);
+            if cur == 0 || cur >= COUNTER_MAX {
+                return;
+            }
+            if self.cells.cas(cell, cur, cur - 1).is_ok() {
+                return;
+            }
+            std::hint::spin_loop();
+        }
+    }
+}
+
+impl FilterMeta for CountingBloomFilter {
+    fn name(&self) -> &'static str {
+        "CBF"
+    }
+
+    fn features(&self) -> Features {
+        Features::new("CBF")
+            .with(Operation::Insert, ApiMode::Point)
+            .with(Operation::Query, ApiMode::Point)
+            .with(Operation::Delete, ApiMode::Point)
+            .with(Operation::Count, ApiMode::Point)
+    }
+
+    fn table_bytes(&self) -> usize {
+        self.cells.bytes()
+    }
+
+    fn capacity_slots(&self) -> u64 {
+        self.n_cells
+    }
+
+    fn max_load_factor(&self) -> f64 {
+        1.0
+    }
+}
+
+impl Filter for CountingBloomFilter {
+    fn insert(&self, key: u64) -> Result<(), FilterError> {
+        for i in 0..self.k {
+            bump(Counter::LinesLoaded, 1);
+            self.saturating_inc(self.cell_of(key, i));
+        }
+        self.items.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn contains(&self, key: u64) -> bool {
+        for i in 0..self.k {
+            if self.cells.read(self.cell_of(key, i)) == 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn len(&self) -> usize {
+        self.items.load(Ordering::Relaxed)
+    }
+}
+
+impl Deletable for CountingBloomFilter {
+    /// Remove one instance. Callers must only delete keys they inserted
+    /// (deleting an absent key silently corrupts shared cells — the
+    /// classic CBF hazard).
+    fn remove(&self, key: u64) -> Result<bool, FilterError> {
+        if !self.contains(key) {
+            return Ok(false);
+        }
+        for i in 0..self.k {
+            bump(Counter::LinesLoaded, 1);
+            self.saturating_dec(self.cell_of(key, i));
+        }
+        self.items.fetch_sub(1, Ordering::Relaxed);
+        Ok(true)
+    }
+}
+
+impl Counting for CountingBloomFilter {
+    fn insert_count(&self, key: u64, count: u64) -> Result<(), FilterError> {
+        for _ in 0..count {
+            self.insert(key)?;
+        }
+        Ok(())
+    }
+
+    /// Minimum counter over the `k` cells: an overestimate of the true
+    /// count (other keys can inflate every cell) that never undercounts —
+    /// up to the 4-bit saturation ceiling, past which counts report
+    /// [`COUNTER_MAX`]. This capped range is part of the footnote's
+    /// impracticality argument.
+    fn count(&self, key: u64) -> u64 {
+        (0..self.k).map(|i| self.cells.read(self.cell_of(key, i))).min().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use filter_core::hashed_keys;
+
+    #[test]
+    fn no_false_negatives() {
+        let f = CountingBloomFilter::new(5000).unwrap();
+        let keys = hashed_keys(91, 5000);
+        for &k in &keys {
+            f.insert(k).unwrap();
+        }
+        for &k in &keys {
+            assert!(f.contains(k));
+            assert!(f.count(k) >= 1);
+        }
+    }
+
+    #[test]
+    fn counts_accumulate_and_never_undercount() {
+        let f = CountingBloomFilter::new(2000).unwrap();
+        let keys = hashed_keys(92, 200);
+        for (i, &k) in keys.iter().enumerate() {
+            f.insert_count(k, (i % 5 + 1) as u64).unwrap();
+        }
+        for (i, &k) in keys.iter().enumerate() {
+            assert!(f.count(k) >= (i % 5 + 1) as u64, "key {i}");
+        }
+    }
+
+    #[test]
+    fn delete_restores_absence() {
+        let f = CountingBloomFilter::new(5000).unwrap();
+        let keys = hashed_keys(93, 1000);
+        for &k in &keys {
+            f.insert(k).unwrap();
+        }
+        for &k in &keys[..500] {
+            assert!(f.remove(k).unwrap());
+        }
+        // Deleted keys should mostly read absent (collisions allowed at ε).
+        let still = keys[..500].iter().filter(|&&k| f.contains(k)).count();
+        assert!(still < 25, "deleted keys still present: {still}");
+        for &k in &keys[500..] {
+            assert!(f.contains(k), "survivor lost — deletes corrupted a neighbor");
+        }
+    }
+
+    #[test]
+    fn remove_absent_returns_false() {
+        let f = CountingBloomFilter::new(1000).unwrap();
+        assert!(!f.remove(12345).unwrap());
+    }
+
+    #[test]
+    fn saturated_counters_pin() {
+        let f = CountingBloomFilter::new(100).unwrap();
+        let k = hashed_keys(94, 1)[0];
+        f.insert_count(k, 40).unwrap();
+        assert_eq!(f.count(k), COUNTER_MAX, "count is capped at saturation");
+        // Deletes no longer change pinned counters.
+        for _ in 0..40 {
+            let _ = f.remove(k);
+        }
+        assert!(f.contains(k), "saturated cells never decrement");
+    }
+
+    #[test]
+    fn space_overhead_vs_plain_bloom_is_4x() {
+        let bf = crate::BloomFilter::new(10_000).unwrap();
+        let cbf = CountingBloomFilter::new(10_000).unwrap();
+        let ratio = cbf.table_bytes() as f64 / bf.table_bytes() as f64;
+        assert!((3.5..=4.5).contains(&ratio), "CBF/BF space ratio {ratio}");
+    }
+
+    #[test]
+    fn fp_rate_comparable_to_bloom() {
+        let f = CountingBloomFilter::new(20_000).unwrap();
+        for &k in &hashed_keys(95, 20_000) {
+            f.insert(k).unwrap();
+        }
+        let probes = hashed_keys(950, 100_000);
+        let fp = probes.iter().filter(|&&k| f.contains(k)).count() as f64 / 1e5;
+        assert!(fp < 0.03, "fp {fp}");
+    }
+
+    #[test]
+    fn concurrent_counting_no_lost_updates_until_saturation() {
+        use std::sync::Arc;
+        let f = Arc::new(CountingBloomFilter::new(10_000).unwrap());
+        let k = hashed_keys(96, 1)[0];
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let f = Arc::clone(&f);
+                std::thread::spawn(move || {
+                    for _ in 0..3 {
+                        f.insert(k).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(f.count(k), 12, "12 < saturation, so the count is exact-or-over");
+    }
+
+    #[test]
+    fn bad_configs_rejected() {
+        assert!(CountingBloomFilter::with_params(100, 10.0, 0).is_err());
+        assert!(CountingBloomFilter::with_params(100, 0.0, 7).is_err());
+    }
+}

@@ -1,0 +1,285 @@
+//! GPU cuckoo filter — the design §3.2 analyzes and rejects for GPUs.
+//!
+//! Fingerprints live in 4-slot buckets with two candidate buckets per
+//! item (partial-key cuckoo hashing: the alternate bucket is
+//! `b ⊕ hash(fp)`). When both buckets are full the filter *kicks* a
+//! resident fingerprint to its alternate bucket, cascading until an empty
+//! slot is found or `MAX_KICKS` is exceeded — the random-walk chain of
+//! reads and writes that destroys memory coherence at high load factors,
+//! which is why the paper's filters avoid kicking entirely. Included as
+//! the design-space ablation baseline.
+
+use filter_core::{ApiMode, Deletable, Features, Filter, FilterError, FilterMeta, Operation};
+use gpu_sim::metrics::{bump, Counter};
+use gpu_sim::GpuBuffer;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Slots per bucket (the reference cuckoo-filter geometry).
+pub const BUCKET_SLOTS: usize = 4;
+/// Kick limit before an insert fails (the authors' 500, §2).
+pub const MAX_KICKS: u32 = 500;
+
+/// Victim-stash capacity: a failed kick chain parks its in-hand
+/// fingerprint here instead of dropping it (no false negatives), the same
+/// escape hatch the reference implementation's `victim_` slot provides.
+pub const STASH_SLOTS: usize = 64;
+
+/// A GPU-model cuckoo filter with 16-bit fingerprints.
+///
+/// ```
+/// use baselines::CuckooFilter;
+/// use filter_core::{Filter, Deletable};
+///
+/// let f = CuckooFilter::new(1 << 10).unwrap();
+/// f.insert(7).unwrap();
+/// assert!(f.contains(7));
+/// assert!(f.remove(7).unwrap());
+/// ```
+pub struct CuckooFilter {
+    slots: GpuBuffer,
+    /// Victim stash for fingerprints orphaned by failed kick chains.
+    stash: GpuBuffer,
+    n_buckets: u64,
+    items: AtomicUsize,
+}
+
+impl CuckooFilter {
+    /// Build a filter with at least `capacity` slots.
+    pub fn new(capacity: usize) -> Result<Self, FilterError> {
+        let n_buckets = (capacity.div_ceil(BUCKET_SLOTS)).next_power_of_two().max(2) as u64;
+        Ok(CuckooFilter {
+            slots: GpuBuffer::new(n_buckets as usize * BUCKET_SLOTS, 16),
+            stash: GpuBuffer::new(STASH_SLOTS, 16),
+            n_buckets,
+            items: AtomicUsize::new(0),
+        })
+    }
+
+    #[inline]
+    fn fp_of(key: u64) -> u64 {
+        filter_core::Fingerprint::from_hash(filter_core::hash64_seeded(key, 0xcc), 16).value()
+    }
+
+    #[inline]
+    fn bucket1(&self, key: u64) -> u64 {
+        filter_core::hash::fast_reduce(filter_core::hash64_seeded(key, 0xb1), self.n_buckets)
+    }
+
+    /// Partial-key alternate bucket: depends only on (bucket, fp), so a
+    /// kicked fingerprint can compute its other home without the key.
+    #[inline]
+    fn alt_bucket(&self, bucket: u64, fp: u64) -> u64 {
+        (bucket ^ filter_core::hash64_seeded(fp, 0xa17)) & (self.n_buckets - 1)
+    }
+
+    /// Try to CAS `fp` into any empty slot of `bucket`.
+    fn try_place(&self, bucket: u64, fp: u64) -> bool {
+        let base = bucket as usize * BUCKET_SLOTS;
+        let view = self.slots.load_span(base, BUCKET_SLOTS);
+        for i in 0..BUCKET_SLOTS {
+            if view.get(base + i) == 0 && self.slots.cas(base + i, 0, fp).is_ok() {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Current load factor.
+    pub fn load_factor(&self) -> f64 {
+        self.items.load(Ordering::Relaxed) as f64 / self.slots.len() as f64
+    }
+}
+
+impl FilterMeta for CuckooFilter {
+    fn name(&self) -> &'static str {
+        "Cuckoo"
+    }
+
+    fn features(&self) -> Features {
+        Features::new("Cuckoo")
+            .with(Operation::Insert, ApiMode::Point)
+            .with(Operation::Query, ApiMode::Point)
+            .with(Operation::Delete, ApiMode::Point)
+    }
+
+    fn table_bytes(&self) -> usize {
+        self.slots.bytes()
+    }
+
+    fn capacity_slots(&self) -> u64 {
+        self.slots.len() as u64
+    }
+
+    fn max_load_factor(&self) -> f64 {
+        0.95
+    }
+}
+
+impl Filter for CuckooFilter {
+    fn insert(&self, key: u64) -> Result<(), FilterError> {
+        let fp = Self::fp_of(key);
+        let b1 = self.bucket1(key);
+        let b2 = self.alt_bucket(b1, fp);
+        if self.try_place(b1, fp) || self.try_place(b2, fp) {
+            self.items.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        }
+        // Kick loop: evict a pseudo-random resident and chase it.
+        let mut bucket = if key & 1 == 0 { b1 } else { b2 };
+        let mut fp = fp;
+        let mut entropy = filter_core::hash64_seeded(key, 0x1c1c);
+        for _ in 0..MAX_KICKS {
+            let victim_slot = bucket as usize * BUCKET_SLOTS + (entropy as usize % BUCKET_SLOTS);
+            entropy = filter_core::hash64(entropy);
+            bump(Counter::LinesLoaded, 1); // victim bucket line
+            let evicted = self.slots.atomic_exch(victim_slot, fp);
+            if evicted == 0 {
+                // Raced onto an empty slot: done.
+                self.items.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
+            fp = evicted;
+            bucket = self.alt_bucket(bucket, fp);
+            if self.try_place(bucket, fp) {
+                self.items.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
+        }
+        // Kick limit reached with a victim fingerprint in hand: park it in
+        // the stash so no previously inserted key turns falsely negative.
+        for i in 0..STASH_SLOTS {
+            if self.stash.cas(i, 0, fp).is_ok() {
+                self.items.fetch_add(1, Ordering::Relaxed);
+                return Err(FilterError::Full);
+            }
+        }
+        panic!("cuckoo victim stash exhausted; filter badly oversubscribed");
+    }
+
+    fn contains(&self, key: u64) -> bool {
+        let fp = Self::fp_of(key);
+        let b1 = self.bucket1(key);
+        let b2 = self.alt_bucket(b1, fp);
+        for b in [b1, b2] {
+            let base = b as usize * BUCKET_SLOTS;
+            let view = self.slots.load_span(base, BUCKET_SLOTS);
+            for i in 0..BUCKET_SLOTS {
+                if view.get(base + i) == fp {
+                    return true;
+                }
+            }
+        }
+        // Rarely-populated victim stash (one extra line when non-empty).
+        let stash = self.stash.load_span(0, STASH_SLOTS);
+        (0..STASH_SLOTS).any(|i| stash.get(i) == fp)
+    }
+
+    fn len(&self) -> usize {
+        self.items.load(Ordering::Relaxed)
+    }
+}
+
+impl Deletable for CuckooFilter {
+    fn remove(&self, key: u64) -> Result<bool, FilterError> {
+        let fp = Self::fp_of(key);
+        let b1 = self.bucket1(key);
+        let b2 = self.alt_bucket(b1, fp);
+        for b in [b1, b2] {
+            let base = b as usize * BUCKET_SLOTS;
+            let view = self.slots.load_span(base, BUCKET_SLOTS);
+            for i in 0..BUCKET_SLOTS {
+                if view.get(base + i) == fp && self.slots.cas(base + i, fp, 0).is_ok() {
+                    self.items.fetch_sub(1, Ordering::Relaxed);
+                    return Ok(true);
+                }
+            }
+        }
+        Ok(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use filter_core::hashed_keys;
+
+    #[test]
+    fn insert_query_roundtrip() {
+        let f = CuckooFilter::new(1 << 12).unwrap();
+        let keys = hashed_keys(101, 2000);
+        for &k in &keys {
+            f.insert(k).unwrap();
+        }
+        for &k in &keys {
+            assert!(f.contains(k));
+        }
+    }
+
+    #[test]
+    fn kicking_sustains_high_load() {
+        let f = CuckooFilter::new(1 << 10).unwrap();
+        let keys = hashed_keys(102, (f.capacity_slots() as f64 * 0.93) as usize);
+        for (i, &k) in keys.iter().enumerate() {
+            f.insert(k).unwrap_or_else(|e| panic!("insert {i} failed: {e}"));
+        }
+        for &k in &keys {
+            assert!(f.contains(k));
+        }
+        assert!(f.load_factor() > 0.9);
+    }
+
+    #[test]
+    fn overfull_filter_fails_with_kick_limit() {
+        let f = CuckooFilter::new(256).unwrap();
+        let keys = hashed_keys(103, 400);
+        let mut failed = false;
+        for &k in &keys {
+            if f.insert(k).is_err() {
+                failed = true;
+                break;
+            }
+        }
+        assert!(failed, "an overfull cuckoo filter must eventually fail");
+    }
+
+    #[test]
+    fn delete_then_absent() {
+        let f = CuckooFilter::new(1 << 10).unwrap();
+        let keys = hashed_keys(104, 300);
+        for &k in &keys {
+            f.insert(k).unwrap();
+        }
+        for &k in &keys[..150] {
+            assert!(f.remove(k).unwrap());
+        }
+        let gone = keys[..150].iter().filter(|&&k| !f.contains(k)).count();
+        assert!(gone > 140, "most deleted keys gone (fp collisions allowed), got {gone}");
+        for &k in &keys[150..] {
+            assert!(f.contains(k));
+        }
+    }
+
+    #[test]
+    fn concurrent_inserts_sound() {
+        use std::sync::Arc;
+        let f = Arc::new(CuckooFilter::new(1 << 14).unwrap());
+        let keys = Arc::new(hashed_keys(105, 8000));
+        let handles: Vec<_> = (0..8usize)
+            .map(|t| {
+                let f = Arc::clone(&f);
+                let keys = Arc::clone(&keys);
+                std::thread::spawn(move || {
+                    for &k in &keys[t * 1000..(t + 1) * 1000] {
+                        f.insert(k).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        for &k in keys.iter() {
+            assert!(f.contains(k), "key lost during concurrent kicking");
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! # baselines — every comparator filter in the paper's evaluation
+//!
+//! * [`BloomFilter`] (BF) — k-hash bit array with atomic OR (§6);
+//! * [`BlockedBloomFilter`] (BBF) — WarpCore-style single-word blocks;
+//! * [`Sqf`] — Geil et al.'s standard quotient filter, with its published
+//!   configuration and size limits;
+//! * [`Rsqf`] — Geil et al.'s rank-select quotient filter (fast queries,
+//!   unoptimized serial inserts, no deletes);
+//! * [`CuckooFilter`] — the kicking-based design §3.2 analyzes;
+//! * [`CountingBloomFilter`] (CBF) — the counting variant footnote 2
+//!   rules out on space grounds (Ablation 7 quantifies the overhead);
+//! * [`cpu`] — host-thread CQF and VQF for the CPU rows of Table 4.
+
+pub mod blocked_bloom;
+pub mod bloom;
+pub mod counting_bloom;
+pub mod cpu;
+pub mod cuckoo;
+pub mod rsqf;
+pub mod sqf;
+
+pub use blocked_bloom::BlockedBloomFilter;
+pub use bloom::BloomFilter;
+pub use counting_bloom::CountingBloomFilter;
+pub use cpu::{CpuCqf, CpuVqf};
+pub use cuckoo::CuckooFilter;
+pub use rsqf::Rsqf;
+pub use sqf::Sqf;

@@ -1,0 +1,81 @@
+//! Criterion companion to Ablation 6: the even-odd scheme generalized to
+//! a linear-probing hash table (§1) — phased lock-free bulk insertion vs
+//! per-insert region locking, plus dynamic-graph batch ingestion.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use eo_ht::{DynamicGraph, EoHashTable};
+use filter_core::hashed_keys;
+
+const N: usize = 1 << 15;
+const SLOTS: usize = 1 << 16;
+
+fn pairs(seed: u64) -> Vec<(u64, u64)> {
+    hashed_keys(seed, N).into_iter().enumerate().map(|(i, k)| (k, i as u64)).collect()
+}
+
+fn bench_bulk_insert(c: &mut Criterion) {
+    let mut g = c.benchmark_group("eoht/bulk-insert");
+    g.throughput(Throughput::Elements(N as u64));
+
+    g.bench_function("even-odd", |b| {
+        b.iter_batched(
+            || (EoHashTable::new(SLOTS).unwrap(), pairs(21)),
+            |(t, p)| assert_eq!(t.bulk_upsert(&p), 0),
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("locked", |b| {
+        b.iter_batched(
+            || (EoHashTable::new(SLOTS).unwrap(), pairs(22)),
+            |(t, p)| assert_eq!(t.bulk_upsert_locked(&p), 0),
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("point-concurrent", |b| {
+        b.iter_batched(
+            || (EoHashTable::new(SLOTS).unwrap(), pairs(23)),
+            |(t, p)| {
+                for &(k, v) in &p {
+                    t.upsert(k, v).unwrap();
+                }
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_graph_ingest(c: &mut Criterion) {
+    let mut g = c.benchmark_group("eoht/graph-ingest");
+    let edges = workloads::powerlaw_edges(24, N, 4096).edges;
+    g.throughput(Throughput::Elements(edges.len() as u64));
+
+    g.bench_function("bulk", |b| {
+        b.iter_batched(
+            || DynamicGraph::new(N).unwrap(),
+            |gr| {
+                gr.bulk_add_edges(&edges).unwrap();
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("streaming", |b| {
+        b.iter_batched(
+            || DynamicGraph::new(N).unwrap(),
+            |gr| {
+                for &(u, v) in &edges {
+                    gr.add_edge(u, v).unwrap();
+                }
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_bulk_insert, bench_graph_ingest
+}
+criterion_main!(benches);

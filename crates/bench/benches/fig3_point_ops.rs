@@ -1,0 +1,108 @@
+//! Criterion companion to Fig. 3: wall-clock point-op latency per filter.
+//! (The fig3_point binary produces the modeled-GPU figure series; this
+//! bench tracks the substrate's real execution speed per operation.)
+
+use baselines::{BlockedBloomFilter, BloomFilter};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use filter_core::{hashed_keys, Filter};
+use gqf::PointGqf;
+use tcf::PointTcf;
+
+const N: usize = 1 << 14;
+
+fn bench_inserts(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3/inserts");
+    g.throughput(Throughput::Elements(N as u64));
+
+    g.bench_function("TCF", |b| {
+        b.iter_batched(
+            || (PointTcf::new(N * 2).unwrap(), hashed_keys(1, N)),
+            |(f, keys)| {
+                for &k in &keys {
+                    f.insert(k).unwrap();
+                }
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("GQF", |b| {
+        b.iter_batched(
+            || (PointGqf::new(15, 8).unwrap(), hashed_keys(2, N)),
+            |(f, keys)| {
+                for &k in &keys {
+                    f.insert(k).unwrap();
+                }
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("BF", |b| {
+        b.iter_batched(
+            || (BloomFilter::new(N).unwrap(), hashed_keys(3, N)),
+            |(f, keys)| {
+                for &k in &keys {
+                    f.insert(k).unwrap();
+                }
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("BBF", |b| {
+        b.iter_batched(
+            || (BlockedBloomFilter::new(N).unwrap(), hashed_keys(4, N)),
+            |(f, keys)| {
+                for &k in &keys {
+                    f.insert(k).unwrap();
+                }
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3/queries");
+    g.throughput(Throughput::Elements(N as u64));
+
+    let keys = hashed_keys(5, N);
+    let fresh = hashed_keys(6, N);
+
+    let tcf = PointTcf::new(N * 2).unwrap();
+    let gqf = PointGqf::new(15, 8).unwrap();
+    let bf = BloomFilter::new(N).unwrap();
+    let bbf = BlockedBloomFilter::new(N).unwrap();
+    for &k in &keys {
+        tcf.insert(k).unwrap();
+        gqf.insert(k).unwrap();
+        bf.insert(k).unwrap();
+        bbf.insert(k).unwrap();
+    }
+
+    g.bench_function("TCF/positive", |b| {
+        b.iter(|| keys.iter().filter(|&&k| tcf.contains(k)).count())
+    });
+    g.bench_function("TCF/random", |b| {
+        b.iter(|| fresh.iter().filter(|&&k| tcf.contains(k)).count())
+    });
+    g.bench_function("GQF/positive", |b| {
+        b.iter(|| keys.iter().filter(|&&k| gqf.count_unlocked(k) > 0).count())
+    });
+    g.bench_function("GQF/random", |b| {
+        b.iter(|| fresh.iter().filter(|&&k| gqf.count_unlocked(k) > 0).count())
+    });
+    g.bench_function("BF/positive", |b| {
+        b.iter(|| keys.iter().filter(|&&k| bf.contains(k)).count())
+    });
+    g.bench_function("BBF/positive", |b| {
+        b.iter(|| keys.iter().filter(|&&k| bbf.contains(k)).count())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_inserts, bench_queries
+}
+criterion_main!(benches);

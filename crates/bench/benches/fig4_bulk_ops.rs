@@ -1,0 +1,66 @@
+//! Criterion companion to Fig. 4: bulk-API wall throughput per batch.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use filter_core::hashed_keys;
+use gpu_sim::Device;
+
+const N: usize = 1 << 15;
+const SLOTS_LOG2: u32 = 16;
+
+fn bench_bulk_insert(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4/bulk-insert");
+    g.throughput(Throughput::Elements(N as u64));
+
+    g.bench_function("BulkTCF", |b| {
+        b.iter_batched(
+            || (tcf::BulkTcf::new(1 << SLOTS_LOG2).unwrap(), hashed_keys(11, N)),
+            |(f, keys)| assert_eq!(f.insert_batch(&keys), 0),
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("BulkGQF", |b| {
+        b.iter_batched(
+            || (gqf::BulkGqf::new_cori(SLOTS_LOG2, 8).unwrap(), hashed_keys(12, N)),
+            |(f, keys)| assert_eq!(f.insert_batch(&keys), 0),
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("SQF", |b| {
+        b.iter_batched(
+            || (baselines::Sqf::new(SLOTS_LOG2, 5, Device::cori()).unwrap(), hashed_keys(13, N)),
+            |(f, keys)| assert_eq!(f.insert_batch(&keys), 0),
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("RSQF", |b| {
+        b.iter_batched(
+            || (baselines::Rsqf::new(SLOTS_LOG2, 5, Device::cori()).unwrap(), hashed_keys(14, N)),
+            |(f, keys)| assert_eq!(f.insert_batch(&keys), 0),
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_bulk_query(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4/bulk-query");
+    g.throughput(Throughput::Elements(N as u64));
+    let keys = hashed_keys(15, N);
+
+    let tcf = tcf::BulkTcf::new(1 << SLOTS_LOG2).unwrap();
+    tcf.insert_batch(&keys);
+    let gqf = gqf::BulkGqf::new_cori(SLOTS_LOG2, 8).unwrap();
+    gqf.insert_batch(&keys);
+
+    let mut out = vec![false; N];
+    g.bench_function("BulkTCF", |b| b.iter(|| tcf.query_batch(&keys, &mut out)));
+    g.bench_function("BulkGQF", |b| b.iter(|| gqf.query_batch(&keys, &mut out)));
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_bulk_insert, bench_bulk_query
+}
+criterion_main!(benches);

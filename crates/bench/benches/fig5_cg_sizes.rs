@@ -1,0 +1,37 @@
+//! Criterion companion to Fig. 5: block-operation cost across cooperative
+//! group sizes (the SIMT-pipeline term the figure sweeps).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use filter_core::hashed_keys;
+use tcf::{PointTcf, TcfConfig};
+
+fn bench_cg_sizes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5/insert-by-cg");
+    const N: usize = 1 << 13;
+    g.throughput(Throughput::Elements(N as u64));
+    for cg in [1u32, 2, 4, 8, 16, 32] {
+        g.bench_with_input(BenchmarkId::from_parameter(cg), &cg, |b, &cg| {
+            b.iter_batched(
+                || {
+                    let cfg = TcfConfig::default().with_cg(cg);
+                    (PointTcf::with_config(N * 2, cfg).unwrap(), hashed_keys(cg as u64, N))
+                },
+                |(f, keys)| {
+                    for &k in &keys {
+                        use filter_core::Filter;
+                        f.insert(k).unwrap();
+                    }
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_cg_sizes
+}
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion companion to Fig. 6: deletion cost per filter.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use filter_core::{hashed_keys, Deletable, Filter};
+use gpu_sim::Device;
+
+const N: usize = 1 << 13;
+
+fn bench_deletes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6/deletes");
+    g.throughput(Throughput::Elements(N as u64));
+
+    g.bench_function("TCF-point", |b| {
+        b.iter_batched(
+            || {
+                let f = tcf::PointTcf::new(N * 2).unwrap();
+                let keys = hashed_keys(21, N);
+                for &k in &keys {
+                    f.insert(k).unwrap();
+                }
+                (f, keys)
+            },
+            |(f, keys)| {
+                for &k in &keys {
+                    assert!(f.remove(k).unwrap());
+                }
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    g.bench_function("GQF-bulk", |b| {
+        b.iter_batched(
+            || {
+                let f = gqf::BulkGqf::new_cori(14, 8).unwrap();
+                let keys = hashed_keys(22, N);
+                assert_eq!(f.insert_batch(&keys), 0);
+                (f, keys)
+            },
+            |(f, keys)| assert_eq!(f.delete_batch(&keys), 0),
+            BatchSize::LargeInput,
+        )
+    });
+
+    g.bench_function("SQF", |b| {
+        b.iter_batched(
+            || {
+                let f = baselines::Sqf::new(14, 5, Device::cori()).unwrap();
+                let keys = hashed_keys(23, N);
+                assert_eq!(f.insert_batch(&keys), 0);
+                (f, keys)
+            },
+            |(f, keys)| assert_eq!(f.delete_batch(&keys), 0),
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_deletes
+}
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Substrate microbenchmarks: the GPU-model primitives every filter pays
+//! for — sub-word CAS, span staging, the Thrust-substitute radix sort.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use gpu_sim::sort::{radix_sort_u64, reduce_by_key};
+use gpu_sim::{Cg, GpuBuffer};
+
+fn bench_atomics(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate/atomics");
+    const N: usize = 1 << 14;
+    g.throughput(Throughput::Elements(N as u64));
+    for bits in [8u32, 12, 16, 32, 64] {
+        g.bench_function(format!("cas-{bits}bit"), |b| {
+            let buf = GpuBuffer::new(N, bits);
+            let mut next = 1u64;
+            b.iter(|| {
+                for i in 0..N {
+                    let _ = buf.cas(i, 0, next & ((1 << bits.min(63)) - 1) | 1);
+                }
+                buf.clear();
+                next = next.wrapping_mul(6364136223846793005).wrapping_add(1);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_block_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate/block-ops");
+    const BLOCKS: usize = 1 << 10;
+    g.throughput(Throughput::Elements(BLOCKS as u64));
+    g.bench_function("span-load-16slot", |b| {
+        let buf = GpuBuffer::new(BLOCKS * 16, 16);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for blk in 0..BLOCKS {
+                let v = buf.load_span(blk * 16, 16);
+                acc ^= v.get(blk * 16);
+            }
+            acc
+        })
+    });
+    g.bench_function("ballot-scan-cg4", |b| {
+        let buf = GpuBuffer::new(BLOCKS * 16, 16);
+        let cg = Cg::new(4);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for blk in 0..BLOCKS {
+                let v = buf.load_span(blk * 16, 16);
+                acc ^= cg.ballot_scan(16, |i| v.get(blk * 16 + i) == 0);
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_sort(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate/thrust-substitute");
+    const N: usize = 1 << 17;
+    g.throughput(Throughput::Elements(N as u64));
+    g.bench_function("radix-sort-u64", |b| {
+        b.iter_batched(
+            || filter_core::hashed_keys(41, N),
+            |mut data| radix_sort_u64(&mut data),
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("reduce-by-key", |b| {
+        let mut data: Vec<u64> = filter_core::hashed_keys(42, N).iter().map(|k| k % 4096).collect();
+        data.sort_unstable();
+        b.iter(|| reduce_by_key(&data))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_atomics, bench_block_ops, bench_sort
+}
+criterion_main!(benches);

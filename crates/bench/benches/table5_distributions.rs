@@ -1,0 +1,45 @@
+//! Criterion companion to Table 5: GQF counting across distributions.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use workloads::{kmer_dataset, ur_count_dataset, ur_dataset, zipfian_count_dataset};
+
+const N: usize = 1 << 14;
+const Q: u32 = 16;
+
+fn bench_distributions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table5/count-insert");
+    g.throughput(Throughput::Elements(N as u64));
+
+    let datasets: Vec<(&str, Vec<u64>, bool)> = vec![
+        ("UR", ur_dataset(N, 31).items, false),
+        ("UR-count", ur_count_dataset(N, 32).items, false),
+        ("Zipfian", zipfian_count_dataset(N, 1.5, 33).items, false),
+        ("Zipfian-MR", zipfian_count_dataset(N, 1.5, 33).items, true),
+        ("kmer-MR", kmer_dataset(N, 21, 34), true),
+    ];
+
+    for (label, items, mapreduce) in datasets {
+        g.bench_function(label, |b| {
+            b.iter_batched(
+                || (gqf::BulkGqf::new_cori(Q, 8).unwrap(), items.clone()),
+                |(f, items)| {
+                    let fails = if mapreduce {
+                        f.insert_batch_mapreduce(&items)
+                    } else {
+                        f.insert_batch(&items)
+                    };
+                    assert_eq!(fails, 0);
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_distributions
+}
+criterion_main!(benches);

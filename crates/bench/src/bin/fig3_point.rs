@@ -1,0 +1,126 @@
+//! Figure 3: point-API aggregate throughput — inserts, positive queries,
+//! random (negative) queries — for TCF, GQF, BF, and BBF, priced for both
+//! Cori (V100) and Perlmutter (A100).
+//!
+//! ```sh
+//! cargo run --release -p bench --bin fig3_point -- --sizes 18,20,22
+//! ```
+
+use bench::{parse_args, write_report, Series};
+use filter_core::{hashed_keys, Filter, FilterMeta};
+use gpu_sim::Device;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn main() {
+    let args = parse_args(&[18, 20, 22]);
+    let cori = Device::cori();
+    let perl = Device::perlmutter();
+    let devices = [&cori, &perl];
+    let mut series = Series::default();
+
+    for &s in &args.sizes_log2 {
+        let slots = 1usize << s;
+        let n = (slots as f64 * 0.89) as usize;
+        let keys = hashed_keys(1000 + s as u64, n);
+        let fresh = hashed_keys(2000 + s as u64, n);
+
+        // ---- TCF ----
+        let tcf = tcf::PointTcf::new(slots).expect("tcf");
+        let fp = tcf.table_bytes() as u64;
+        let fails = AtomicU64::new(0);
+        for r in bench::harness::measure_point_multi(&devices, "TCF", "insert", s, 4, fp, n, |i| {
+            if tcf.insert(keys[i]).is_err() {
+                fails.fetch_add(1, Ordering::Relaxed);
+            }
+        }) {
+            series.push(r);
+        }
+        assert_eq!(fails.load(Ordering::Relaxed), 0, "TCF insert failures at 2^{s}");
+        for r in
+            bench::harness::measure_point_multi(&devices, "TCF", "pos-query", s, 4, fp, n, |i| {
+                assert!(tcf.contains(keys[i]));
+            })
+        {
+            series.push(r);
+        }
+        for r in
+            bench::harness::measure_point_multi(&devices, "TCF", "rand-query", s, 4, fp, n, |i| {
+                std::hint::black_box(tcf.contains(fresh[i]));
+            })
+        {
+            series.push(r);
+        }
+        drop(tcf);
+
+        // ---- GQF (point, region locks) ----
+        let gqf = gqf::PointGqf::new(s, 8).expect("gqf");
+        let fp = gqf.table_bytes() as u64;
+        for r in bench::harness::measure_point_multi(&devices, "GQF", "insert", s, 1, fp, n, |i| {
+            let _ = gqf.insert(keys[i]);
+        }) {
+            series.push(r);
+        }
+        for r in
+            bench::harness::measure_point_multi(&devices, "GQF", "pos-query", s, 1, fp, n, |i| {
+                assert!(gqf.count_unlocked(keys[i]) > 0);
+            })
+        {
+            series.push(r);
+        }
+        for r in
+            bench::harness::measure_point_multi(&devices, "GQF", "rand-query", s, 1, fp, n, |i| {
+                std::hint::black_box(gqf.count_unlocked(fresh[i]));
+            })
+        {
+            series.push(r);
+        }
+        drop(gqf);
+
+        // ---- Bloom ----
+        let bf = baselines::BloomFilter::new(n).expect("bf");
+        let fp = bf.table_bytes() as u64;
+        for r in bench::harness::measure_point_multi(&devices, "BF", "insert", s, 1, fp, n, |i| {
+            let _ = bf.insert(keys[i]);
+        }) {
+            series.push(r);
+        }
+        for r in bench::harness::measure_point_multi(&devices, "BF", "pos-query", s, 1, fp, n, |i| {
+            assert!(bf.contains(keys[i]));
+        }) {
+            series.push(r);
+        }
+        for r in
+            bench::harness::measure_point_multi(&devices, "BF", "rand-query", s, 1, fp, n, |i| {
+                std::hint::black_box(bf.contains(fresh[i]));
+            })
+        {
+            series.push(r);
+        }
+        drop(bf);
+
+        // ---- Blocked Bloom ----
+        let bbf = baselines::BlockedBloomFilter::new(n).expect("bbf");
+        let fp = bbf.table_bytes() as u64;
+        for r in bench::harness::measure_point_multi(&devices, "BBF", "insert", s, 1, fp, n, |i| {
+            let _ = bbf.insert(keys[i]);
+        }) {
+            series.push(r);
+        }
+        for r in
+            bench::harness::measure_point_multi(&devices, "BBF", "pos-query", s, 1, fp, n, |i| {
+                assert!(bbf.contains(keys[i]));
+            })
+        {
+            series.push(r);
+        }
+        for r in
+            bench::harness::measure_point_multi(&devices, "BBF", "rand-query", s, 1, fp, n, |i| {
+                std::hint::black_box(bbf.contains(fresh[i]));
+            })
+        {
+            series.push(r);
+        }
+    }
+
+    write_report(&args, "fig3_point.txt", &series.render("Figure 3: point API throughput"));
+}

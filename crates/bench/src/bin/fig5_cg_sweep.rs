@@ -1,0 +1,72 @@
+//! Figure 5: cooperative-group size sweep over the seven TCF variants
+//! (8-8, 12-8, 12-12, 12-16, 12-32, 16-16, 16-32; fingerprint-block).
+//!
+//! The paper runs this at 2^28 slots; the default here is 2^20 with the
+//! same shape (an interior optimum around CG = 4, shifting to 8 for the
+//! large-block variants; 8/16-bit variants beat 12-bit).
+//!
+//! ```sh
+//! cargo run --release -p bench --bin fig5_cg_sweep -- --sizes 20
+//! ```
+
+use bench::harness::measure_point_multi;
+use bench::{parse_args, write_report, Series};
+use filter_core::{hashed_keys, Filter, FilterMeta};
+use gpu_sim::Device;
+use tcf::{PointTcf, TcfConfig};
+
+fn main() {
+    let args = parse_args(&[20]);
+    let s = args.sizes_log2[0];
+    let cori = Device::cori();
+    let devices = [&cori];
+    let mut series = Series::default();
+
+    for (label, base_cfg) in TcfConfig::fig5_variants() {
+        for cg in [1u32, 2, 4, 8, 16, 32] {
+            let cfg = base_cfg.with_cg(cg);
+            let f = PointTcf::with_config(1 << s, cfg).expect(label);
+            let n = (f.slots() as f64 * 0.85) as usize;
+            let keys = hashed_keys(5000 + cg as u64, n);
+            let fresh = hashed_keys(6000 + cg as u64, n);
+            let fp = f.table_bytes() as u64;
+            let tag = format!("{label}/cg{cg}");
+
+            for r in measure_point_multi(&devices, &tag, "insert", s, cg, fp, n, |i| {
+                let _ = f.insert(keys[i]);
+            }) {
+                series.push(r);
+            }
+            for r in measure_point_multi(&devices, &tag, "pos-query", s, cg, fp, n, |i| {
+                std::hint::black_box(f.contains(keys[i]));
+            }) {
+                series.push(r);
+            }
+            for r in measure_point_multi(&devices, &tag, "rand-query", s, cg, fp, n, |i| {
+                std::hint::black_box(f.contains(fresh[i]));
+            }) {
+                series.push(r);
+            }
+        }
+    }
+
+    // Report the per-variant optimum, the paper's headline observation.
+    let mut summary = String::from("\nOptimal CG size per variant (inserts):\n");
+    for (label, _) in TcfConfig::fig5_variants() {
+        let mut best = (0u32, 0.0f64);
+        for cg in [1u32, 2, 4, 8, 16, 32] {
+            let tag = format!("{label}/cg{cg}@Cori-V100");
+            if let Some(row) = series.get(&tag, "insert").first() {
+                if row.modeled > best.1 {
+                    best = (cg, row.modeled);
+                }
+            }
+        }
+        summary.push_str(&format!("  {label:<6} → CG {} ({:.2} B/s)\n", best.0, best.1 / 1e9));
+    }
+    println!("{summary}");
+
+    let mut report = series.render("Figure 5: cooperative group size sweep");
+    report.push_str(&summary);
+    write_report(&args, "fig5_cg_sweep.txt", &report);
+}

@@ -1,0 +1,62 @@
+//! Figure 6: deletion throughput — point TCF (tombstone CAS), bulk GQF
+//! (even-odd phased, sorted, descending), and SQF (serialized cluster
+//! rewrites) on the Cori model. Log-scale separations of roughly an
+//! order of magnitude each are the paper's result.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin fig6_deletes -- --sizes 18,20,22
+//! ```
+
+use bench::harness::{measure_bulk, measure_point_multi};
+use bench::{parse_args, write_report, Series};
+use filter_core::{hashed_keys, Deletable, Filter, FilterMeta};
+use gpu_sim::Device;
+use gqf::REGION_SLOTS;
+
+fn main() {
+    let args = parse_args(&[18, 20, 22]);
+    let cori = Device::cori();
+    let devices = [&cori];
+    let mut series = Series::default();
+
+    for &s in &args.sizes_log2 {
+        let slots = 1usize << s;
+        let n = (slots as f64 * 0.85) as usize;
+        let keys = hashed_keys(7000 + s as u64, n);
+        let regions = (slots / REGION_SLOTS).max(1) as u64;
+
+        // ---- TCF: point deletes (one atomicCAS per delete) ----
+        let tcf = tcf::PointTcf::new(slots).expect("tcf");
+        for &k in &keys {
+            tcf.insert(k).unwrap();
+        }
+        let fp = tcf.table_bytes() as u64;
+        for r in measure_point_multi(&devices, "TCF", "delete", s, 4, fp, n, |i| {
+            let _ = tcf.remove(keys[i]);
+        }) {
+            series.push(r);
+        }
+        drop(tcf);
+
+        // ---- GQF: bulk even-odd deletes ----
+        let gqf = gqf::BulkGqf::new(s, 8, cori.clone()).expect("gqf");
+        assert_eq!(gqf.insert_batch(&keys), 0);
+        let fp = gqf.table_bytes() as u64;
+        series.push(measure_bulk(&cori, "GQF-Bulk", "delete", s, fp, n as u64, regions / 2, || {
+            assert_eq!(gqf.delete_batch(&keys), 0);
+        }));
+        drop(gqf);
+
+        // ---- SQF: serialized deletes (≤ 2^26) ----
+        if s <= 26 {
+            let sqf = baselines::Sqf::new(s, 5, cori.clone()).expect("sqf");
+            assert_eq!(sqf.insert_batch(&keys), 0);
+            let fp = sqf.table_bytes() as u64;
+            series.push(measure_bulk(&cori, "SQF", "delete", s, fp, n as u64, 1, || {
+                assert_eq!(sqf.delete_batch(&keys), 0);
+            }));
+        }
+    }
+
+    write_report(&args, "fig6_deletes.txt", &series.render("Figure 6: deletion throughput (Cori)"));
+}

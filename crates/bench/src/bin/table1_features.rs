@@ -1,0 +1,10 @@
+//! Table 1: the API feature matrix, generated from the live trait impls.
+
+use bench::{parse_args, write_report};
+
+fn main() {
+    let args = parse_args(&[0]);
+    let table = gpu_filters::feature_matrix();
+    println!("{table}");
+    write_report(&args, "table1_features.txt", &table);
+}

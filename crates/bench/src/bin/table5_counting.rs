@@ -1,0 +1,65 @@
+//! Table 5: bulk GQF counting throughput across count distributions —
+//! UR, UR-count, Zipfian (naive), Zipfian (map-reduce), and k-mers.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin table5_counting -- --sizes 16,18,20
+//! ```
+
+use bench::harness::measure_bulk;
+use bench::{parse_args, write_report, Series};
+use filter_core::FilterMeta;
+use gpu_sim::Device;
+use gqf::{BulkGqf, REGION_SLOTS};
+use workloads::{kmer_dataset, ur_count_dataset, ur_dataset, zipfian_count_dataset};
+
+fn main() {
+    let args = parse_args(&[16, 18, 20]);
+    let cori = Device::cori();
+    let mut series = Series::default();
+
+    for &s in &args.sizes_log2 {
+        // Dataset sized so distinct items fill ~60% of 2^s slots even in
+        // counted encodings.
+        let n = (1usize << s) / 2;
+        let regions = ((1usize << s) / REGION_SLOTS).max(1) as u64;
+
+        let datasets: Vec<(&str, Vec<u64>, bool)> = vec![
+            ("UR", ur_dataset(n, 100 + s as u64).items, false),
+            ("UR count", ur_count_dataset(n, 200 + s as u64).items, false),
+            ("Zipfian", zipfian_count_dataset(n, 1.5, 300 + s as u64).items, false),
+            ("Zipfian (MR)", zipfian_count_dataset(n, 1.5, 300 + s as u64).items, true),
+            ("k-mer count", kmer_dataset(n, 21, 400 + s as u64), true),
+        ];
+
+        for (label, items, mapreduce) in datasets {
+            let gqf = BulkGqf::new(s, 8, cori.clone()).expect("gqf");
+            let fp = gqf.table_bytes() as u64;
+            let items_len = items.len() as u64;
+            // Phase parallelism is bounded by the hottest region; the
+            // map-reduce path is assessed on the *reduced* batch (§5.4).
+            let parallelism = if mapreduce {
+                let mut distinct = items.clone();
+                distinct.sort_unstable();
+                distinct.dedup();
+                gqf.effective_parallelism(&distinct)
+            } else {
+                gqf.effective_parallelism(&items)
+            }
+            .min(regions / 2);
+            series.push(measure_bulk(&cori, label, "count-insert", s, fp, items_len, parallelism, || {
+                let failures = if mapreduce {
+                    gqf.insert_batch_mapreduce(&items)
+                } else {
+                    gqf.insert_batch(&items)
+                };
+                assert_eq!(failures, 0, "{label} 2^{s}");
+            }));
+        }
+    }
+
+    write_report(
+        &args,
+        "table5_counting.txt",
+        &series.render("Table 5: GQF counting insertion throughput (M items/s, Cori)"),
+    );
+}

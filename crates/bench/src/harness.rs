@@ -1,0 +1,264 @@
+//! Shared measurement machinery for the per-figure binaries.
+
+use gpu_sim::cost::{estimate, Modeled};
+use gpu_sim::metrics::{self, Counters};
+use gpu_sim::{Device, KernelStats};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Command-line arguments shared by the bench binaries.
+#[derive(Debug, Clone)]
+pub struct BenchArgs {
+    /// log2 filter sizes to sweep.
+    pub sizes_log2: Vec<u32>,
+    /// Output directory for report files.
+    pub out_dir: String,
+}
+
+/// Parse `--sizes 20,22,24`, `--quick`, `--full`, `--out DIR`.
+///
+/// Defaults are laptop-scale (the paper sweeps 2^22–2^30 on 16–40 GB
+/// devices; the substrate defaults to 2^18–2^22 and `--full` raises it).
+pub fn parse_args(default_sizes: &[u32]) -> BenchArgs {
+    let mut sizes: Vec<u32> = default_sizes.to_vec();
+    let mut out_dir = "experiments".to_string();
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--sizes" => {
+                i += 1;
+                sizes = args[i]
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("bad --sizes entry"))
+                    .collect();
+            }
+            "--quick" => sizes = vec![*default_sizes.first().unwrap_or(&18)],
+            "--full" => sizes = (22..=26).collect(),
+            "--out" => {
+                i += 1;
+                out_dir = args[i].clone();
+            }
+            other => panic!("unknown argument {other}"),
+        }
+        i += 1;
+    }
+    BenchArgs { sizes_log2: sizes, out_dir }
+}
+
+/// One measured operation batch.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Filter / configuration label.
+    pub label: String,
+    /// Operation ("insert", "pos-query", "rand-query", "delete", …).
+    pub op: String,
+    /// log2 of the filter size.
+    pub size_log2: u32,
+    /// Items processed.
+    pub items: u64,
+    /// Wall-clock throughput, items/s.
+    pub wall: f64,
+    /// Modeled device throughput, items/s.
+    pub modeled: f64,
+    /// Which pipeline bound the modeled time.
+    pub bound: &'static str,
+}
+
+impl Row {
+    /// Render as a report line.
+    pub fn line(&self) -> String {
+        format!(
+            "{:<14} {:<12} 2^{:<3} {:>12} items  wall {:>9.1} M/s  modeled {:>9.3} B/s  [{}]",
+            self.label,
+            self.op,
+            self.size_log2,
+            self.items,
+            self.wall / 1e6,
+            self.modeled / 1e9,
+            self.bound
+        )
+    }
+}
+
+/// A labelled series of rows (one figure line).
+#[derive(Debug, Clone, Default)]
+pub struct Series {
+    /// All measured rows.
+    pub rows: Vec<Row>,
+}
+
+impl Series {
+    /// Append a row (also prints it live).
+    pub fn push(&mut self, row: Row) {
+        println!("{}", row.line());
+        self.rows.push(row);
+    }
+
+    /// Render the whole series as a report.
+    pub fn render(&self, title: &str) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "# {title}");
+        for r in &self.rows {
+            let _ = writeln!(s, "{}", r.line());
+        }
+        s
+    }
+
+    /// Rows matching a (label, op) pair.
+    pub fn get(&self, label: &str, op: &str) -> Vec<&Row> {
+        self.rows.iter().filter(|r| r.label == label && r.op == op).collect()
+    }
+}
+
+/// Measure a batch of point-style operations: the harness launches one
+/// kernel over `keys`, so wall and modeled throughput cover exactly the
+/// paper's aggregate-throughput definition.
+pub fn measure_point(
+    device: &Device,
+    label: &str,
+    op: &str,
+    size_log2: u32,
+    cg_size: u32,
+    footprint: u64,
+    n: usize,
+    kernel: impl Fn(usize) + Sync,
+) -> Row {
+    let stats = device.launch_point(n, cg_size, kernel);
+    let modeled = estimate(&stats, device.profile(), footprint);
+    row_from(label, op, size_log2, &stats, &modeled)
+}
+
+/// Measure a host-side bulk call: metrics are diffed around `f`, which is
+/// responsible for all kernel launches (sorting included).
+pub fn measure_bulk(
+    device: &Device,
+    label: &str,
+    op: &str,
+    size_log2: u32,
+    footprint: u64,
+    items: u64,
+    active_threads: u64,
+    f: impl FnOnce(),
+) -> Row {
+    let before = metrics::snapshot();
+    let start = Instant::now();
+    f();
+    let wall = start.elapsed();
+    let counters = metrics::snapshot().since(&before);
+    let stats = KernelStats {
+        counters,
+        wall,
+        items,
+        cg_size: 1,
+        active_threads: active_threads.min(device.profile().max_threads),
+    };
+    let modeled = estimate(&stats, device.profile(), footprint);
+    row_from(label, op, size_log2, &stats, &modeled)
+}
+
+/// Measure once, price for several devices: the substrate's transaction
+/// counts are device-independent, so a single execution yields a modeled
+/// row per hardware profile (Cori *and* Perlmutter columns from one run).
+pub fn measure_point_multi(
+    devices: &[&Device],
+    label: &str,
+    op: &str,
+    size_log2: u32,
+    cg_size: u32,
+    footprint: u64,
+    n: usize,
+    kernel: impl Fn(usize) + Sync,
+) -> Vec<Row> {
+    let stats = devices[0].launch_point(n, cg_size, kernel);
+    devices
+        .iter()
+        .map(|dev| {
+            let modeled = estimate(&stats, dev.profile(), footprint);
+            let mut r = row_from(label, op, size_log2, &stats, &modeled);
+            r.label = format!("{label}@{}", dev.profile().name);
+            r
+        })
+        .collect()
+}
+
+fn row_from(label: &str, op: &str, size_log2: u32, stats: &KernelStats, modeled: &Modeled) -> Row {
+    Row {
+        label: label.to_string(),
+        op: op.to_string(),
+        size_log2,
+        items: stats.items,
+        wall: stats.wall_throughput(),
+        modeled: modeled.throughput,
+        bound: modeled.breakdown.bound(),
+    }
+}
+
+/// Pretty duration for logs.
+pub fn fmt_dur(d: Duration) -> String {
+    format!("{:.2?}", d)
+}
+
+/// Counter delta helper for ablation reporting.
+pub fn counters_around(f: impl FnOnce()) -> Counters {
+    let before = metrics::snapshot();
+    f();
+    metrics::snapshot().since(&before)
+}
+
+/// Write a report file under the output directory.
+pub fn write_report(args: &BenchArgs, name: &str, content: &str) {
+    let dir = std::path::Path::new(&args.out_dir);
+    std::fs::create_dir_all(dir).expect("create experiments dir");
+    let path = dir.join(name);
+    std::fs::write(&path, content).expect("write report");
+    println!("→ wrote {}", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_line_renders() {
+        let r = Row {
+            label: "TCF".into(),
+            op: "insert".into(),
+            size_log2: 22,
+            items: 1000,
+            wall: 1e6,
+            modeled: 2e9,
+            bound: "atomics",
+        };
+        let l = r.line();
+        assert!(l.contains("TCF"));
+        assert!(l.contains("2.000 B/s") || l.contains("2.0"));
+    }
+
+    #[test]
+    fn measure_point_produces_positive_throughputs() {
+        let dev = Device::cori();
+        let buf = gpu_sim::GpuBuffer::new(1 << 12, 16);
+        let row = measure_point(&dev, "x", "insert", 12, 4, 1 << 16, 1 << 12, |i| {
+            let _ = buf.cas(i, 0, 5);
+        });
+        assert!(row.wall > 0.0);
+        assert!(row.modeled > 0.0);
+    }
+
+    #[test]
+    fn series_collects_and_filters() {
+        let mut s = Series::default();
+        s.push(Row {
+            label: "A".into(),
+            op: "insert".into(),
+            size_log2: 20,
+            items: 1,
+            wall: 1.0,
+            modeled: 1.0,
+            bound: "bandwidth",
+        });
+        assert_eq!(s.get("A", "insert").len(), 1);
+        assert!(s.render("t").contains("# t"));
+    }
+}

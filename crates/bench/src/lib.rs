@@ -1,0 +1,26 @@
+//! # bench — the paper's evaluation harness
+//!
+//! One binary per table/figure regenerates the corresponding result (see
+//! DESIGN.md §4 for the experiment index):
+//!
+//! | target | reproduces |
+//! |---|---|
+//! | `fig3_point`     | Fig. 3 point-API throughput (Cori + Perlmutter) |
+//! | `fig4_bulk`      | Fig. 4 bulk-API throughput |
+//! | `fig5_cg_sweep`  | Fig. 5 cooperative-group sweep |
+//! | `fig6_deletes`   | Fig. 6 deletion throughput |
+//! | `table1_features`| Table 1 API matrix |
+//! | `table2_fp_bpi`  | Table 2 FP rate / bits per item |
+//! | `table3_mhm`     | Table 3 MetaHipMer memory |
+//! | `table4_cpu_gpu` | Table 4 CPU vs GPU |
+//! | `table5_counting`| Table 5 GQF counting throughput |
+//! | `ablations`      | §4.1/§6.8 design-choice ablations |
+//!
+//! Each reports **wall** (measured CPU) and **modeled** (device cost
+//! model) throughput; the modeled numbers are the ones comparable to the
+//! paper's figures. Binaries accept `--sizes a,b,c` (log2 slot counts)
+//! and write their tables under `experiments/`.
+
+pub mod harness;
+
+pub use harness::{parse_args, write_report, BenchArgs, Row, Series};

@@ -1,0 +1,326 @@
+//! A dynamic-graph edge store on the even-odd hash table.
+//!
+//! The paper's §1 points at "storing dynamic graphs on GPUs" as a second
+//! application of its even-odd scheme. This module is that application:
+//! an undirected multigraph whose edge set lives in one [`EoHashTable`]
+//! (key = canonical packed endpoint pair, value = multiplicity) and whose
+//! per-vertex degrees live in a second one. Streaming edges arrive through
+//! the concurrent point API; batched edge lists go through the lock-free
+//! even-odd bulk path, including the degree updates.
+
+use crate::table::EoHashTable;
+use filter_core::FilterError;
+use gpu_sim::Device;
+
+/// An undirected multigraph over `u32` vertex ids.
+///
+/// ```
+/// use eo_ht::DynamicGraph;
+///
+/// let g = DynamicGraph::new(1 << 12).unwrap();
+/// assert!(g.add_edge(1, 2).unwrap());
+/// assert!(!g.add_edge(2, 1).unwrap()); // parallel edge, not a new one
+/// assert_eq!(g.degree(1), 1);
+/// assert_eq!(g.edge_multiplicity(1, 2), 2);
+/// ```
+pub struct DynamicGraph {
+    edges: EoHashTable,
+    degrees: EoHashTable,
+}
+
+/// Canonical packed key of an undirected edge. Offsetting both endpoints
+/// by one keeps the key clear of the table's reserved sentinels.
+#[inline]
+fn edge_key(u: u32, v: u32) -> u64 {
+    let (lo, hi) = if u <= v { (u, v) } else { (v, u) };
+    ((lo as u64 + 1) << 32) | (hi as u64 + 1)
+}
+
+/// Packed vertex key (offset past the reserved zero key).
+#[inline]
+fn vertex_key(v: u32) -> u64 {
+    v as u64 + 1
+}
+
+impl DynamicGraph {
+    /// Build a graph sized for roughly `max_edges` distinct edges on the
+    /// Cori device model.
+    pub fn new(max_edges: usize) -> Result<Self, FilterError> {
+        Self::with_device(max_edges, Device::cori())
+    }
+
+    /// Build on a specific device model. Tables are sized at 2× so the
+    /// linear-probe load factor stays in its stable range.
+    pub fn with_device(max_edges: usize, device: Device) -> Result<Self, FilterError> {
+        Ok(DynamicGraph {
+            edges: EoHashTable::with_device(max_edges * 2, device.clone())?,
+            degrees: EoHashTable::with_device(max_edges * 2, device)?,
+        })
+    }
+
+    /// Number of distinct edges stored.
+    pub fn n_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of vertices with at least one incident edge ever added.
+    pub fn n_vertices(&self) -> usize {
+        self.degrees.len()
+    }
+
+    /// Bytes owned by both tables.
+    pub fn bytes(&self) -> usize {
+        self.edges.bytes() + self.degrees.bytes()
+    }
+
+    /// Add one edge (streaming point API). Returns `true` when `{u, v}`
+    /// was not present before; parallel edges bump the multiplicity only.
+    /// Self-loops are rejected.
+    pub fn add_edge(&self, u: u32, v: u32) -> Result<bool, FilterError> {
+        if u == v {
+            return Err(FilterError::BadConfig("self-loops are not supported".into()));
+        }
+        let is_new = self.edges.fetch_add(edge_key(u, v), 1)? == 1;
+        if is_new {
+            // Degree counts distinct neighbors, so only first insertions
+            // of an edge touch it.
+            self.degrees.fetch_add(vertex_key(u), 1)?;
+            self.degrees.fetch_add(vertex_key(v), 1)?;
+        }
+        Ok(is_new)
+    }
+
+    /// True when edge `{u, v}` is present.
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        u != v && self.edges.get(edge_key(u, v)).is_some()
+    }
+
+    /// Number of times `{u, v}` has been added (0 when absent).
+    pub fn edge_multiplicity(&self, u: u32, v: u32) -> u64 {
+        if u == v {
+            return 0;
+        }
+        self.edges.get(edge_key(u, v)).unwrap_or(0)
+    }
+
+    /// Degree of `v`: the number of distinct neighbors.
+    pub fn degree(&self, v: u32) -> u64 {
+        self.degrees.get(vertex_key(v)).unwrap_or(0)
+    }
+
+    /// Ingest a batch of edges through the even-odd bulk path: one phased
+    /// pass accumulates edge multiplicities, a second phased pass applies
+    /// the degree deltas of the edges that turned out to be new. Returns
+    /// the number of *new* distinct edges; self-loops are skipped.
+    ///
+    /// On `Err(Full)` the batch was partially applied (edge multiplicities
+    /// may precede their degree updates) — like the filters' bulk APIs,
+    /// callers should size the store so overflow cannot happen, or rebuild
+    /// after a failure.
+    pub fn bulk_add_edges(&self, edge_list: &[(u32, u32)]) -> Result<usize, FilterError> {
+        let pairs: Vec<(u64, u64)> =
+            edge_list.iter().filter(|&&(u, v)| u != v).map(|&(u, v)| (edge_key(u, v), 1)).collect();
+        if pairs.is_empty() {
+            return Ok(0);
+        }
+        let mut totals = vec![0u64; pairs.len()];
+        if self.edges.bulk_fetch_add(&pairs, &mut totals) > 0 {
+            return Err(FilterError::Full);
+        }
+
+        // An edge is new when its post-add total equals the number of
+        // copies of it seen so far *within this batch* — i.e. the first
+        // copy in the batch observes total == its own running index. A
+        // cheaper equivalent: the batch created the edge iff the smallest
+        // total reported for that key equals 1 ... which is exactly
+        // "some copy saw total 1".
+        let mut degree_deltas: Vec<(u64, u64)> = Vec::new();
+        let kept: Vec<(u32, u32)> =
+            edge_list.iter().filter(|&&(u, v)| u != v).copied().collect();
+        let mut new_edges = 0usize;
+        for (i, &(u, v)) in kept.iter().enumerate() {
+            if totals[i] == 1 {
+                new_edges += 1;
+                degree_deltas.push((vertex_key(u), 1));
+                degree_deltas.push((vertex_key(v), 1));
+            }
+        }
+        if !degree_deltas.is_empty() {
+            let mut sink = vec![0u64; degree_deltas.len()];
+            if self.degrees.bulk_fetch_add(&degree_deltas, &mut sink) > 0 {
+                return Err(FilterError::Full);
+            }
+        }
+        Ok(new_edges)
+    }
+
+    /// Enumerate all stored edges as `(u, v, multiplicity)` with `u < v`
+    /// (host-side scan; requires no concurrent writers).
+    pub fn edges(&self) -> Vec<(u32, u32, u64)> {
+        self.edges
+            .entries()
+            .into_iter()
+            .map(|(key, mult)| {
+                let lo = ((key >> 32) - 1) as u32;
+                let hi = ((key & 0xffff_ffff) - 1) as u32;
+                (lo, hi, mult)
+            })
+            .collect()
+    }
+
+    /// Batched membership queries.
+    pub fn bulk_has_edges(&self, queries: &[(u32, u32)]) -> Vec<bool> {
+        let keys: Vec<u64> = queries.iter().map(|&(u, v)| edge_key(u, v)).collect();
+        let mut out = vec![None; keys.len()];
+        self.edges.bulk_get(&keys, &mut out);
+        queries
+            .iter()
+            .zip(out)
+            .map(|(&(u, v), val)| u != v && val.is_some())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{HashMap, HashSet};
+
+    /// Deterministic pseudo-random edge stream.
+    fn edge_stream(seed: u64, n: usize, n_vertices: u32) -> Vec<(u32, u32)> {
+        let keys = filter_core::hashed_keys(seed, n);
+        keys.iter()
+            .map(|&k| (((k >> 32) as u32) % n_vertices, (k as u32) % n_vertices))
+            .filter(|&(u, v)| u != v)
+            .collect()
+    }
+
+    #[test]
+    fn edge_key_is_canonical() {
+        assert_eq!(edge_key(3, 9), edge_key(9, 3));
+        assert_ne!(edge_key(3, 9), edge_key(3, 10));
+        // Vertex 0 maps clear of the reserved empty key.
+        assert_ne!(edge_key(0, 1), 0);
+    }
+
+    #[test]
+    fn add_and_query_edges() {
+        let g = DynamicGraph::new(1000).unwrap();
+        assert!(g.add_edge(1, 2).unwrap());
+        assert!(g.add_edge(2, 3).unwrap());
+        assert!(!g.add_edge(2, 1).unwrap());
+        assert!(g.has_edge(1, 2));
+        assert!(g.has_edge(3, 2));
+        assert!(!g.has_edge(1, 3));
+        assert_eq!(g.n_edges(), 2);
+        assert_eq!(g.n_vertices(), 3);
+    }
+
+    #[test]
+    fn self_loops_rejected() {
+        let g = DynamicGraph::new(100).unwrap();
+        assert!(g.add_edge(5, 5).is_err());
+        assert!(!g.has_edge(5, 5));
+        assert_eq!(g.edge_multiplicity(5, 5), 0);
+    }
+
+    #[test]
+    fn degrees_match_reference() {
+        let g = DynamicGraph::new(4000).unwrap();
+        let stream = edge_stream(81, 3000, 64);
+        let mut ref_adj: HashMap<u32, HashSet<u32>> = HashMap::new();
+        for &(u, v) in &stream {
+            g.add_edge(u, v).unwrap();
+            ref_adj.entry(u).or_default().insert(v);
+            ref_adj.entry(v).or_default().insert(u);
+        }
+        for (&v, neigh) in &ref_adj {
+            assert_eq!(g.degree(v), neigh.len() as u64, "vertex {v}");
+        }
+        let distinct: HashSet<u64> = stream.iter().map(|&(u, v)| edge_key(u, v)).collect();
+        assert_eq!(g.n_edges(), distinct.len());
+    }
+
+    #[test]
+    fn multiplicity_counts_parallel_edges() {
+        let g = DynamicGraph::new(100).unwrap();
+        for _ in 0..5 {
+            g.add_edge(7, 8).unwrap();
+        }
+        g.add_edge(8, 7).unwrap();
+        assert_eq!(g.edge_multiplicity(7, 8), 6);
+        assert_eq!(g.degree(7), 1, "parallel edges add one neighbor");
+    }
+
+    #[test]
+    fn bulk_matches_point_ingestion() {
+        let stream = edge_stream(82, 5000, 128);
+        let point = DynamicGraph::new(8000).unwrap();
+        for &(u, v) in &stream {
+            point.add_edge(u, v).unwrap();
+        }
+        let bulk = DynamicGraph::new(8000).unwrap();
+        let new_edges = bulk.bulk_add_edges(&stream).unwrap();
+        assert_eq!(new_edges, point.n_edges());
+        assert_eq!(bulk.n_edges(), point.n_edges());
+        assert_eq!(bulk.n_vertices(), point.n_vertices());
+        for v in 0..128u32 {
+            assert_eq!(bulk.degree(v), point.degree(v), "vertex {v}");
+        }
+        for &(u, v) in &stream {
+            assert_eq!(
+                bulk.edge_multiplicity(u, v),
+                point.edge_multiplicity(u, v),
+                "edge {u}-{v}"
+            );
+        }
+    }
+
+    #[test]
+    fn bulk_then_stream_compose() {
+        let g = DynamicGraph::new(4000).unwrap();
+        let batch = edge_stream(83, 2000, 64);
+        g.bulk_add_edges(&batch).unwrap();
+        let before = g.n_edges();
+        // A fresh vertex pair streams in on top of the bulk load.
+        assert!(g.add_edge(1000, 1001).unwrap());
+        assert_eq!(g.n_edges(), before + 1);
+        assert!(g.has_edge(1000, 1001));
+    }
+
+    #[test]
+    fn bulk_has_edges_batches_queries() {
+        let g = DynamicGraph::new(1000).unwrap();
+        g.add_edge(1, 2).unwrap();
+        g.add_edge(3, 4).unwrap();
+        let res = g.bulk_has_edges(&[(1, 2), (2, 1), (3, 4), (1, 3), (5, 5)]);
+        assert_eq!(res, vec![true, true, true, false, false]);
+    }
+
+    #[test]
+    fn edges_enumeration_roundtrips() {
+        let g = DynamicGraph::new(1000).unwrap();
+        g.add_edge(9, 3).unwrap();
+        g.add_edge(3, 9).unwrap();
+        g.add_edge(1, 2).unwrap();
+        let mut edges = g.edges();
+        edges.sort_unstable();
+        assert_eq!(edges, vec![(1, 2, 1), (3, 9, 2)]);
+    }
+
+    #[test]
+    fn bulk_skips_self_loops() {
+        let g = DynamicGraph::new(100).unwrap();
+        let n = g.bulk_add_edges(&[(1, 1), (1, 2), (2, 2)]).unwrap();
+        assert_eq!(n, 1);
+        assert!(g.has_edge(1, 2));
+        assert!(!g.has_edge(1, 1));
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let g = DynamicGraph::new(100).unwrap();
+        assert_eq!(g.bulk_add_edges(&[]).unwrap(), 0);
+        assert_eq!(g.n_edges(), 0);
+    }
+}

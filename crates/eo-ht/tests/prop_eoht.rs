@@ -1,0 +1,180 @@
+//! Property tests for the even-odd hash table and the dynamic-graph
+//! store: every sequence of operations must agree with an exact in-memory
+//! reference model, and the bulk paths must agree with the point path.
+
+use eo_ht::{DynamicGraph, EoHashTable};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+/// Keys clear of the reserved sentinels (0 and u64::MAX).
+fn key_strategy() -> impl Strategy<Value = u64> {
+    1u64..500
+}
+
+/// Values clear of the reserved unset marker.
+fn value_strategy() -> impl Strategy<Value = u64> {
+    0u64..1_000_000
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Upsert(u64, u64),
+    Remove(u64),
+    FetchAdd(u64, u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (key_strategy(), value_strategy()).prop_map(|(k, v)| Op::Upsert(k, v)),
+        key_strategy().prop_map(Op::Remove),
+        (key_strategy(), 1u64..100).prop_map(|(k, d)| Op::FetchAdd(k, d)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary single-threaded op sequences match a HashMap model.
+    #[test]
+    fn table_matches_reference_model(ops in vec(op_strategy(), 1..300)) {
+        let t = EoHashTable::new(1 << 13).unwrap();
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for op in &ops {
+            match *op {
+                Op::Upsert(k, v) => {
+                    let prev = t.upsert(k, v).unwrap();
+                    prop_assert_eq!(prev, model.insert(k, v));
+                }
+                Op::Remove(k) => {
+                    let prev = t.remove(k);
+                    prop_assert_eq!(prev, model.remove(&k));
+                }
+                Op::FetchAdd(k, d) => {
+                    let total = t.fetch_add(k, d).unwrap();
+                    let e = model.entry(k).or_insert(0);
+                    *e = e.wrapping_add(d);
+                    prop_assert_eq!(total, *e);
+                }
+            }
+        }
+        prop_assert_eq!(t.len(), model.len());
+        for (&k, &v) in &model {
+            prop_assert_eq!(t.get(k), Some(v), "key {}", k);
+        }
+    }
+
+    /// Bulk upsert equals a sequential last-wins application.
+    #[test]
+    fn bulk_upsert_matches_sequential(
+        pairs in vec((key_strategy(), value_strategy()), 1..400),
+    ) {
+        let bulk = EoHashTable::new(1 << 13).unwrap();
+        prop_assert_eq!(bulk.bulk_upsert(&pairs), 0);
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for &(k, v) in &pairs {
+            model.insert(k, v);
+        }
+        prop_assert_eq!(bulk.len(), model.len());
+        for (&k, &v) in &model {
+            prop_assert_eq!(bulk.get(k), Some(v), "key {}", k);
+        }
+    }
+
+    /// Bulk fetch-add accumulates duplicate keys exactly.
+    #[test]
+    fn bulk_fetch_add_accumulates(
+        pairs in vec((key_strategy(), 1u64..50), 1..300),
+    ) {
+        let t = EoHashTable::new(1 << 13).unwrap();
+        let mut out = vec![0u64; pairs.len()];
+        prop_assert_eq!(t.bulk_fetch_add(&pairs, &mut out), 0);
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for &(k, d) in &pairs {
+            *model.entry(k).or_insert(0) += d;
+        }
+        for (&k, &v) in &model {
+            prop_assert_eq!(t.get(k), Some(v), "key {}", k);
+        }
+        // Each key's largest reported running total is its final total.
+        let mut max_total: HashMap<u64, u64> = HashMap::new();
+        for (&(k, _), &total) in pairs.iter().zip(&out) {
+            let e = max_total.entry(k).or_insert(0);
+            *e = (*e).max(total);
+        }
+        for (&k, &v) in &model {
+            prop_assert_eq!(max_total[&k], v);
+        }
+    }
+
+    /// Interleaving removals with a bulk reload never corrupts lookups.
+    #[test]
+    fn remove_then_bulk_reload(
+        keys in vec(key_strategy(), 1..200),
+        reload in vec((key_strategy(), value_strategy()), 1..200),
+    ) {
+        let t = EoHashTable::new(1 << 13).unwrap();
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for &k in &keys {
+            t.upsert(k, k).unwrap();
+            model.insert(k, k);
+        }
+        for &k in keys.iter().step_by(2) {
+            t.remove(k);
+            model.remove(&k);
+        }
+        prop_assert_eq!(t.bulk_upsert(&reload), 0);
+        for &(k, v) in &reload {
+            model.insert(k, v);
+        }
+        // Last-wins within the reload batch.
+        let mut last: HashMap<u64, u64> = HashMap::new();
+        for &(k, v) in &reload {
+            last.insert(k, v);
+        }
+        for (k, v) in last {
+            model.insert(k, v);
+        }
+        prop_assert_eq!(t.len(), model.len());
+        for (&k, &v) in &model {
+            prop_assert_eq!(t.get(k), Some(v), "key {}", k);
+        }
+    }
+
+    /// Graph: any edge stream yields reference-exact degrees and
+    /// membership, through either ingestion path.
+    #[test]
+    fn graph_matches_reference(
+        edges in vec((0u32..60, 0u32..60), 1..250),
+        bulk in any::<bool>(),
+    ) {
+        let g = DynamicGraph::new(4000).unwrap();
+        if bulk {
+            g.bulk_add_edges(&edges).unwrap();
+        } else {
+            for &(u, v) in &edges {
+                if u != v {
+                    g.add_edge(u, v).unwrap();
+                }
+            }
+        }
+        let mut adj: HashMap<u32, HashSet<u32>> = HashMap::new();
+        let mut mult: HashMap<(u32, u32), u64> = HashMap::new();
+        for &(u, v) in &edges {
+            if u == v {
+                continue;
+            }
+            adj.entry(u).or_default().insert(v);
+            adj.entry(v).or_default().insert(u);
+            *mult.entry((u.min(v), u.max(v))).or_insert(0) += 1;
+        }
+        prop_assert_eq!(g.n_edges(), mult.len());
+        for (&v, neigh) in &adj {
+            prop_assert_eq!(g.degree(v), neigh.len() as u64, "vertex {}", v);
+        }
+        for (&(u, v), &m) in &mult {
+            prop_assert_eq!(g.edge_multiplicity(u, v), m, "edge {}-{}", u, v);
+            prop_assert!(g.has_edge(u, v));
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Error types shared by every filter implementation.
+
+use std::fmt;
+
+/// Errors surfaced by filter operations.
+///
+/// Filters in this workspace follow the paper's semantics: an insert into a
+/// structurally full filter is an error the caller must observe (the paper's
+/// TCF "declares the data structure full" when both candidate blocks and the
+/// backing table reject an item; the GQF refuses inserts past its maximum
+/// recommended load factor).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FilterError {
+    /// Both candidate locations (and any backing store) were full.
+    Full,
+    /// The filter cannot hold the requested number of items at construction.
+    CapacityExceeded {
+        /// Number of slots requested.
+        requested: u64,
+        /// Implementation-specific maximum (e.g. the SQF's 2^26 cap).
+        maximum: u64,
+    },
+    /// The operation is not supported by this filter (see Table 1).
+    Unsupported(&'static str),
+    /// Invalid construction parameters.
+    BadConfig(String),
+    /// A bulk batch exceeded what the filter can ingest in one call.
+    BatchTooLarge {
+        /// Items in the rejected batch.
+        batch: usize,
+        /// Maximum the filter accepts per call.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for FilterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FilterError::Full => write!(f, "filter is full"),
+            FilterError::CapacityExceeded { requested, maximum } => write!(
+                f,
+                "requested capacity {requested} exceeds implementation maximum {maximum}"
+            ),
+            FilterError::Unsupported(op) => write!(f, "operation not supported: {op}"),
+            FilterError::BadConfig(msg) => write!(f, "bad filter configuration: {msg}"),
+            FilterError::BatchTooLarge { batch, capacity } => {
+                write!(f, "batch of {batch} items exceeds remaining capacity {capacity}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FilterError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_full() {
+        assert_eq!(FilterError::Full.to_string(), "filter is full");
+    }
+
+    #[test]
+    fn display_capacity() {
+        let e = FilterError::CapacityExceeded { requested: 1 << 30, maximum: 1 << 26 };
+        let s = e.to_string();
+        assert!(s.contains("1073741824"));
+        assert!(s.contains("67108864"));
+    }
+
+    #[test]
+    fn display_unsupported_and_bad_config() {
+        assert!(FilterError::Unsupported("count").to_string().contains("count"));
+        assert!(FilterError::BadConfig("q too big".into()).to_string().contains("q too big"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&FilterError::Full);
+    }
+
+    #[test]
+    fn clone_and_eq() {
+        let e = FilterError::BatchTooLarge { batch: 10, capacity: 5 };
+        assert_eq!(e.clone(), e);
+    }
+}

@@ -1,0 +1,209 @@
+//! Feature matrix describing which operations a filter supports in which
+//! API mode — the machine-readable form of the paper's Table 1.
+
+use std::fmt;
+
+/// Filter operations evaluated by the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operation {
+    /// Add an item (or one instance of it).
+    Insert,
+    /// Membership test.
+    Query,
+    /// Remove one instance of an item.
+    Delete,
+    /// Multiset count estimate.
+    Count,
+}
+
+impl Operation {
+    /// All operations, in Table 1's column order.
+    pub const ALL: [Operation; 4] =
+        [Operation::Insert, Operation::Query, Operation::Delete, Operation::Count];
+}
+
+impl fmt::Display for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Operation::Insert => "Insert",
+            Operation::Query => "Query",
+            Operation::Delete => "Delete",
+            Operation::Count => "Count",
+        };
+        f.write_str(s)
+    }
+}
+
+/// API style: device-side per-item calls vs host-side batched kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ApiMode {
+    /// Device-side API callable per item from concurrent threads.
+    Point,
+    /// Host-side API ingesting a whole batch.
+    Bulk,
+}
+
+impl ApiMode {
+    /// Both API modes, in Table 1's order.
+    pub const ALL: [ApiMode; 2] = [ApiMode::Point, ApiMode::Bulk];
+}
+
+impl fmt::Display for ApiMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ApiMode::Point => "Point",
+            ApiMode::Bulk => "Bulk",
+        })
+    }
+}
+
+/// Supported (operation × mode) matrix for one filter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Features {
+    name: &'static str,
+    // Bit i*2 + m: operation i supported in mode m.
+    bits: u16,
+}
+
+impl Features {
+    /// Empty matrix for a filter called `name`.
+    pub const fn new(name: &'static str) -> Self {
+        Features { name, bits: 0 }
+    }
+
+    const fn idx(op: Operation, mode: ApiMode) -> u16 {
+        let o = match op {
+            Operation::Insert => 0,
+            Operation::Query => 1,
+            Operation::Delete => 2,
+            Operation::Count => 3,
+        };
+        let m = match mode {
+            ApiMode::Point => 0,
+            ApiMode::Bulk => 1,
+        };
+        1 << (o * 2 + m)
+    }
+
+    /// Mark (op, mode) supported. `const`-friendly builder.
+    pub const fn with(mut self, op: Operation, mode: ApiMode) -> Self {
+        self.bits |= Self::idx(op, mode);
+        self
+    }
+
+    /// Mark op supported in both point and bulk modes.
+    pub const fn with_both(self, op: Operation) -> Self {
+        self.with(op, ApiMode::Point).with(op, ApiMode::Bulk)
+    }
+
+    /// Does this filter support (op, mode)?
+    pub const fn supports(&self, op: Operation, mode: ApiMode) -> bool {
+        self.bits & Self::idx(op, mode) != 0
+    }
+
+    /// Filter display name.
+    pub const fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Render one row of Table 1 ("✓" per supported cell).
+    pub fn table_row(&self) -> String {
+        let mut row = format!("{:<14}", self.name);
+        for op in Operation::ALL {
+            for mode in ApiMode::ALL {
+                row.push_str(if self.supports(op, mode) { "  ✓  " } else { "     " });
+            }
+        }
+        row
+    }
+}
+
+/// Render the full Table 1 given each filter's feature matrix.
+pub fn render_table1(rows: &[Features]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:<14}", "Filter"));
+    for op in Operation::ALL {
+        out.push_str(&format!("{:^10}", op.to_string()));
+    }
+    out.push('\n');
+    out.push_str(&format!("{:<14}", ""));
+    for _ in Operation::ALL {
+        out.push_str(&format!("{:^5}{:^5}", "Pt", "Blk"));
+    }
+    out.push('\n');
+    for f in rows {
+        out.push_str(&f.table_row());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_supports_nothing() {
+        let f = Features::new("X");
+        for op in Operation::ALL {
+            for mode in ApiMode::ALL {
+                assert!(!f.supports(op, mode));
+            }
+        }
+    }
+
+    #[test]
+    fn with_sets_exactly_one_cell() {
+        let f = Features::new("X").with(Operation::Delete, ApiMode::Bulk);
+        assert!(f.supports(Operation::Delete, ApiMode::Bulk));
+        assert!(!f.supports(Operation::Delete, ApiMode::Point));
+        assert!(!f.supports(Operation::Insert, ApiMode::Bulk));
+    }
+
+    #[test]
+    fn with_both_sets_two_cells() {
+        let f = Features::new("X").with_both(Operation::Insert);
+        assert!(f.supports(Operation::Insert, ApiMode::Point));
+        assert!(f.supports(Operation::Insert, ApiMode::Bulk));
+    }
+
+    #[test]
+    fn gqf_matrix_matches_paper_table1() {
+        // GQF: everything in both modes.
+        let gqf = Features::new("GQF")
+            .with_both(Operation::Insert)
+            .with_both(Operation::Query)
+            .with_both(Operation::Delete)
+            .with_both(Operation::Count);
+        for op in Operation::ALL {
+            for mode in ApiMode::ALL {
+                assert!(gqf.supports(op, mode), "GQF should support {op} {mode}");
+            }
+        }
+        // TCF: everything except counting.
+        let tcf = Features::new("TCF")
+            .with_both(Operation::Insert)
+            .with_both(Operation::Query)
+            .with_both(Operation::Delete);
+        assert!(!tcf.supports(Operation::Count, ApiMode::Point));
+        assert!(!tcf.supports(Operation::Count, ApiMode::Bulk));
+    }
+
+    #[test]
+    fn render_contains_all_names() {
+        let rows = [
+            Features::new("GQF").with_both(Operation::Insert),
+            Features::new("BF").with(Operation::Insert, ApiMode::Point),
+        ];
+        let t = render_table1(&rows);
+        assert!(t.contains("GQF"));
+        assert!(t.contains("BF"));
+        assert!(t.contains("Insert"));
+    }
+
+    #[test]
+    fn const_builder_usable_in_const_context() {
+        const F: Features = Features::new("C").with_both(Operation::Query);
+        assert!(F.supports(Operation::Query, ApiMode::Bulk));
+    }
+}

@@ -1,0 +1,100 @@
+//! Fingerprint arithmetic shared by the fingerprint-storing filters.
+//!
+//! A filter with false-positive rate ε stores `f ≈ log2(1/ε) + log2(B)`-bit
+//! fingerprints (TCF) or splits a `p = log2(n/ε)`-bit hash into a quotient
+//! (slot address) and remainder (stored bits) (GQF/SQF/RSQF). Fingerprints
+//! must avoid the sentinel values a slot uses for EMPTY and TOMBSTONE.
+
+/// A fingerprint of `bits` significant bits, never equal to the reserved
+/// EMPTY (0) or TOMBSTONE (1) encodings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fingerprint(pub u64);
+
+/// Slot encoding reserved for "empty".
+pub const EMPTY: u64 = 0;
+/// Slot encoding reserved for "deleted" (TCF tombstones).
+pub const TOMBSTONE: u64 = 1;
+
+impl Fingerprint {
+    /// Extract a `bits`-bit fingerprint from a 64-bit hash, remapping the
+    /// two reserved encodings onto valid fingerprints.
+    ///
+    /// The remap (0 → 2, 1 → 3) folds the reserved codes onto neighbours,
+    /// costing a negligible (2 / 2^bits) bump in collision probability —
+    /// the same trick the TCF reference implementation uses.
+    #[inline(always)]
+    pub fn from_hash(hash: u64, bits: u32) -> Self {
+        debug_assert!((2..=64).contains(&bits));
+        let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        let raw = hash & mask;
+        let fp = if raw <= TOMBSTONE { raw + 2 } else { raw };
+        Fingerprint(fp)
+    }
+
+    /// The stored slot value.
+    #[inline(always)]
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+/// Split a `p`-bit hash into (quotient, remainder) for quotient filters:
+/// the high `q` bits address a canonical slot, the low `r` bits are stored.
+///
+/// Returns `(quotient, remainder)`.
+#[inline(always)]
+pub fn split_quotient_remainder(hash: u64, q_bits: u32, r_bits: u32) -> (u64, u64) {
+    debug_assert!(q_bits + r_bits <= 64);
+    let r_mask = if r_bits == 64 { u64::MAX } else { (1u64 << r_bits) - 1 };
+    let q_mask = if q_bits == 64 { u64::MAX } else { (1u64 << q_bits) - 1 };
+    let shifted = if r_bits == 64 { 0 } else { hash >> r_bits };
+    (shifted & q_mask, hash & r_mask)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserved_codes_are_remapped() {
+        assert_eq!(Fingerprint::from_hash(0, 16).value(), 2);
+        assert_eq!(Fingerprint::from_hash(1, 16).value(), 3);
+        assert_eq!(Fingerprint::from_hash(2, 16).value(), 2);
+        assert_eq!(Fingerprint::from_hash(5, 16).value(), 5);
+    }
+
+    #[test]
+    fn fingerprint_fits_in_bits() {
+        for bits in [8u32, 12, 16, 32] {
+            for h in [0u64, 1, 0xffff_ffff_ffff_ffff, 0x1234_5678_9abc_def0] {
+                let fp = Fingerprint::from_hash(h, bits).value();
+                assert!(fp < (1u64 << bits), "fp {fp} bits {bits}");
+                assert!(fp != EMPTY && fp != TOMBSTONE);
+            }
+        }
+    }
+
+    #[test]
+    fn quotient_remainder_roundtrip() {
+        let (q_bits, r_bits) = (20u32, 8u32);
+        let hash = 0xabcd_ef12_3456_789f & ((1u64 << (q_bits + r_bits)) - 1);
+        let (q, r) = split_quotient_remainder(hash, q_bits, r_bits);
+        assert_eq!((q << r_bits) | r, hash);
+    }
+
+    #[test]
+    fn quotient_bounded() {
+        for h in 0..10_000u64 {
+            let (q, r) = split_quotient_remainder(crate::hash::fmix64(h), 10, 8);
+            assert!(q < 1 << 10);
+            assert!(r < 1 << 8);
+        }
+    }
+
+    #[test]
+    fn full_64bit_remainder() {
+        let (q, r) = split_quotient_remainder(u64::MAX, 0, 64);
+        assert_eq!(q, 0);
+        assert_eq!(r, u64::MAX);
+    }
+}

@@ -1,0 +1,168 @@
+//! Hash families used by every filter in the workspace.
+//!
+//! The paper's filters hash 64-bit items down to fingerprints. We use the
+//! MurmurHash3 64-bit finalizer (`fmix64`) as the core mixer — the same
+//! construction used in the authors' reference implementations — plus
+//! seeded variants and a power-of-two-choice pair derivation.
+
+/// MurmurHash3's 64-bit finalizer: a fast, invertible mixer with full
+/// avalanche. Used as the canonical item → fingerprint hash.
+#[inline(always)]
+pub fn fmix64(mut k: u64) -> u64 {
+    k ^= k >> 33;
+    k = k.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    k ^= k >> 33;
+    k = k.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    k ^= k >> 33;
+    k
+}
+
+/// Inverse of [`fmix64`]; exists so tests can verify invertibility (an
+/// invertible hash means the GQF stores a *lossless* representation of
+/// `h(S)`, which underpins its counting guarantee).
+#[inline]
+pub fn fmix64_inverse(mut k: u64) -> u64 {
+    // Inverse multiplicative constants, from the MurmurHash3 reference.
+    k ^= k >> 33;
+    k = k.wrapping_mul(0x9cb4_b2f8_1293_37db);
+    k ^= k >> 33;
+    k = k.wrapping_mul(0x4f74_430c_22a5_4005);
+    k ^= k >> 33;
+    k
+}
+
+/// Canonical 64-bit hash of an item.
+#[inline(always)]
+pub fn hash64(key: u64) -> u64 {
+    fmix64(key)
+}
+
+/// Seeded 64-bit hash; different seeds give independent hash functions
+/// (used for the Bloom filter's k probes and the backing table's probe
+/// sequence).
+#[inline(always)]
+pub fn hash64_seeded(key: u64, seed: u64) -> u64 {
+    fmix64(key ^ seed.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// A pair of independent hashes for power-of-two-choice placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HashPair {
+    /// Primary hash (selects the primary block; also carries the fingerprint).
+    pub h1: u64,
+    /// Secondary hash (selects the alternate block).
+    pub h2: u64,
+}
+
+impl HashPair {
+    /// Derive the POTC hash pair for `key`. The two hashes are computed with
+    /// unrelated seeds so block choices are independent, as required for the
+    /// O(log log n) max-load bound of Azar et al.
+    #[inline(always)]
+    pub fn new(key: u64) -> Self {
+        HashPair { h1: hash64_seeded(key, 0x5151_5151), h2: hash64_seeded(key, 0xdead_beef) }
+    }
+
+    /// Block indices for a table of `n_blocks` blocks.
+    #[inline(always)]
+    pub fn blocks(&self, n_blocks: u64) -> (u64, u64) {
+        (fast_reduce(self.h1, n_blocks), fast_reduce(self.h2, n_blocks))
+    }
+}
+
+/// Lemire's multiply-shift "fast range reduction": maps a 64-bit hash to
+/// `[0, n)` without the modulo bias or the divide instruction. GPUs pay
+/// heavily for integer division; the paper's kernels use this reduction.
+#[inline(always)]
+pub fn fast_reduce(hash: u64, n: u64) -> u64 {
+    ((hash as u128 * n as u128) >> 64) as u64
+}
+
+/// Probe sequence for the TCF's double-hashing backing table:
+/// `slot_i = h1 + i * (h2 | 1) (mod n)`. Forcing the stride odd keeps the
+/// sequence a full cycle when `n` is a power of two.
+#[inline(always)]
+pub fn double_hash_probe(h1: u64, h2: u64, i: u64, n: u64) -> u64 {
+    debug_assert!(n.is_power_of_two());
+    (h1.wrapping_add(i.wrapping_mul(h2 | 1))) & (n - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmix64_avalanche_single_bit() {
+        // Flipping one input bit should flip ~half the output bits.
+        let base = fmix64(0x0123_4567_89ab_cdef);
+        for bit in 0..64 {
+            let flipped = fmix64(0x0123_4567_89ab_cdef ^ (1u64 << bit));
+            let dist = (base ^ flipped).count_ones();
+            assert!((16..=48).contains(&dist), "bit {bit} avalanche {dist}");
+        }
+    }
+
+    #[test]
+    fn fmix64_is_invertible() {
+        for k in [0u64, 1, 42, u64::MAX, 0xdead_beef_cafe_f00d] {
+            assert_eq!(fmix64_inverse(fmix64(k)), k);
+        }
+    }
+
+    #[test]
+    fn fmix64_zero_maps_to_zero() {
+        // Known property of the finalizer; filters must handle hash == 0.
+        assert_eq!(fmix64(0), 0);
+    }
+
+    #[test]
+    fn seeded_hashes_differ() {
+        let k = 123_456_789;
+        assert_ne!(hash64_seeded(k, 1), hash64_seeded(k, 2));
+        assert_ne!(hash64_seeded(k, 1), hash64(k));
+    }
+
+    #[test]
+    fn hash_pair_block_choices_independent() {
+        // Over many keys, h1-block == h2-block should happen ~1/n of the time.
+        let n = 1024u64;
+        let mut collisions = 0;
+        let total = 100_000;
+        for k in 0..total {
+            let (b1, b2) = HashPair::new(k).blocks(n);
+            assert!(b1 < n && b2 < n);
+            if b1 == b2 {
+                collisions += 1;
+            }
+        }
+        let expected = total as f64 / n as f64;
+        assert!((collisions as f64) < expected * 2.0, "collisions {collisions}");
+    }
+
+    #[test]
+    fn fast_reduce_is_in_range_and_roughly_uniform() {
+        let n = 1000u64;
+        let mut buckets = vec![0u32; n as usize];
+        for k in 0..1_000_000u64 {
+            let b = fast_reduce(fmix64(k), n);
+            assert!(b < n);
+            buckets[b as usize] += 1;
+        }
+        let (min, max) = buckets.iter().fold((u32::MAX, 0), |(lo, hi), &c| (lo.min(c), hi.max(c)));
+        // 1000 balls-per-bucket on average; loose 3-sigma-ish bounds.
+        assert!(min > 800 && max < 1200, "min {min} max {max}");
+    }
+
+    #[test]
+    fn double_hash_probe_full_cycle() {
+        // With odd stride and power-of-two table, n probes visit n slots.
+        let n = 64;
+        let mut seen = vec![false; n as usize];
+        for i in 0..n {
+            let s = double_hash_probe(7, 12, i, n);
+            assert!(!seen[s as usize], "revisited slot {s} at probe {i}");
+            seen[s as usize] = true;
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+}

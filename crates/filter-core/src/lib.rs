@@ -1,0 +1,26 @@
+//! # filter-core
+//!
+//! Shared foundation for the GPU-model filter family reproduced from
+//! *High-Performance Filters for GPUs* (PPoPP '23): common traits, error
+//! types, hash families, the cuRAND-compatible XORWOW generator used by the
+//! paper's microbenchmarks, and fingerprint arithmetic helpers.
+//!
+//! Every concrete filter (TCF, GQF, Bloom, blocked Bloom, SQF, RSQF, cuckoo,
+//! and the CPU comparison filters) implements the traits defined here so the
+//! benchmark harness and applications can treat them uniformly.
+
+pub mod error;
+pub mod features;
+pub mod fingerprint;
+pub mod hash;
+pub mod traits;
+pub mod xorwow;
+
+pub use error::FilterError;
+pub use features::{ApiMode, Features, Operation};
+pub use fingerprint::{split_quotient_remainder, Fingerprint};
+pub use hash::{double_hash_probe, fmix64, hash64, hash64_seeded, HashPair};
+pub use traits::{
+    BulkDeletable, BulkFilter, Counting, Deletable, Filter, FilterMeta, Valued,
+};
+pub use xorwow::{hashed_keys, Xorwow};

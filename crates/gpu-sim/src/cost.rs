@@ -1,0 +1,321 @@
+//! Analytic GPU cost model: converts counted memory transactions into
+//! modeled device time for a V100/A100 profile.
+//!
+//! The model prices the four pipelines the paper's analysis (§3.1, §6)
+//! identifies as the bottlenecks of GPU filter kernels, takes the max
+//! (pipelines overlap), then adds the strictly serializing effects:
+//!
+//! ```text
+//! t_bw       = bytes_moved            / effective_bw(footprint)   (HBM/L2)
+//! t_atomic   = atomics                / atomic_rate  · contention
+//! t_pipeline = SIMT issue slots       / cg_step_rate              (Fig. 5)
+//! t_shared   = shared ops             / shared_rate
+//! t_core     = max(all of the above)  / occupancy
+//! t_total    = t_core + lock_spins/lock_rate + launches·overhead
+//! ```
+//!
+//! The SIMT pipeline term charges, per item, the cooperative strides the
+//! kernel actually performed (counted), a per-lane group-synchronization
+//! cost (ballots/broadcasts grow with group size), and a fixed atomic
+//! issue cost — this is the trade-off that produces the cooperative-group
+//! optimum of Fig. 5: small groups pay more strides per item, large groups
+//! pay more synchronization and expose less memory-level parallelism.
+
+use crate::exec::KernelStats;
+use crate::metrics::Counter;
+use crate::profile::DeviceProfile;
+
+/// Tunable constants of the SIMT pipeline term. The defaults were
+/// calibrated once against the paper's reported curves (Fig. 3/4/5) and
+/// are *not* per-filter — every filter is priced by the same model.
+#[derive(Debug, Clone)]
+pub struct ModelParams {
+    /// Issue slots charged per item per lane of group synchronization
+    /// (ballot + broadcast chain grows with the group).
+    pub sync_steps_per_lane: f64,
+    /// Fixed issue slots per item (hashing, setup).
+    pub fixed_steps_per_item: f64,
+    /// Issue slots charged per global atomic (RMW occupies the LSU).
+    pub steps_per_atomic: f64,
+    /// Extra latency-bound term weight: lines loaded per unit of
+    /// memory-level parallelism (groups per warp).
+    pub latency_weight: f64,
+}
+
+impl Default for ModelParams {
+    fn default() -> Self {
+        ModelParams {
+            sync_steps_per_lane: 1.0,
+            fixed_steps_per_item: 2.0,
+            steps_per_atomic: 6.0,
+            latency_weight: 1.0,
+        }
+    }
+}
+
+/// Cost breakdown of a modeled kernel, in seconds per pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct CostBreakdown {
+    /// Global-memory bandwidth time (unique lines x 128 B / effective BW).
+    pub t_bw: f64,
+    /// Atomic-unit time, inflated by the CAS-failure contention ratio.
+    pub t_atomic: f64,
+    /// Arithmetic-pipeline time of the kernel's own instructions.
+    pub t_pipeline: f64,
+    /// Serialized memory-latency time not hidden by occupancy.
+    pub t_latency: f64,
+    /// Shared-memory staging time.
+    pub t_shared: f64,
+    /// Serialized lock-spin time (the point-GQF thrashing term).
+    pub t_lock: f64,
+    /// Kernel-launch overhead.
+    pub t_launch: f64,
+    /// Fraction of the device's thread capacity this launch kept busy.
+    pub occupancy: f64,
+}
+
+impl CostBreakdown {
+    /// Which pipeline bound the kernel.
+    pub fn bound(&self) -> &'static str {
+        let core = [
+            (self.t_bw, "bandwidth"),
+            (self.t_atomic, "atomics"),
+            (self.t_pipeline, "simt-pipeline"),
+            (self.t_latency, "memory-latency"),
+            (self.t_shared, "shared-memory"),
+        ];
+        core.iter().fold(("none", f64::MIN), |acc, &(t, n)| if t > acc.1 { (n, t) } else { acc }).0
+    }
+}
+
+impl std::fmt::Display for CostBreakdown {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "bw {:.3}ms atomics {:.3}ms pipeline {:.3}ms latency {:.3}ms shared {:.3}ms \
+             lock {:.3}ms launch {:.3}ms occ {:.2} bound={}",
+            self.t_bw * 1e3,
+            self.t_atomic * 1e3,
+            self.t_pipeline * 1e3,
+            self.t_latency * 1e3,
+            self.t_shared * 1e3,
+            self.t_lock * 1e3,
+            self.t_launch * 1e3,
+            self.occupancy,
+            self.bound()
+        )
+    }
+}
+
+/// Result of pricing one kernel launch.
+#[derive(Debug, Clone, Copy)]
+pub struct Modeled {
+    /// Modeled device seconds for the launch.
+    pub seconds: f64,
+    /// Modeled throughput in items/second.
+    pub throughput: f64,
+    /// Per-pipeline breakdown.
+    pub breakdown: CostBreakdown,
+}
+
+/// Price a kernel launch on `profile`, for a structure whose resident
+/// working set is `footprint_bytes` (decides L2 residency).
+pub fn estimate(stats: &KernelStats, profile: &DeviceProfile, footprint_bytes: u64) -> Modeled {
+    estimate_with(stats, profile, footprint_bytes, &ModelParams::default())
+}
+
+/// [`estimate`] with explicit model constants.
+pub fn estimate_with(
+    stats: &KernelStats,
+    profile: &DeviceProfile,
+    footprint_bytes: u64,
+    params: &ModelParams,
+) -> Modeled {
+    let c = &stats.counters;
+    let items = c.get(Counter::Items).max(stats.items).max(1) as f64;
+    let lines = (c.get(Counter::LinesLoaded) + c.get(Counter::LinesStored)) as f64;
+    let atomics = c.get(Counter::AtomicOps) as f64;
+    let fails = c.get(Counter::CasFailures) as f64;
+    let g = stats.cg_size.max(1) as f64;
+
+    // --- bandwidth ---
+    let bytes = lines * profile.cache_line as f64;
+    let t_bw = bytes / profile.effective_bw(footprint_bytes);
+
+    // --- atomic pipeline, with contention amplification ---
+    let fail_ratio = if atomics > 0.0 { (fails / atomics).min(1.0) } else { 0.0 };
+    let t_atomic =
+        atomics / profile.atomic_rate * (1.0 + profile.cas_retry_penalty * fail_ratio);
+
+    // --- SIMT issue pipeline (group-size trade-off of Fig. 5) ---
+    let issue_slots = c.get(Counter::CgSteps) as f64
+        + items * (params.sync_steps_per_lane * g + params.fixed_steps_per_item)
+        + atomics * params.steps_per_atomic;
+    let t_pipeline = issue_slots / profile.cg_step_rate;
+
+    // --- memory latency bound: line loads divided by in-flight capacity.
+    // Each active thread keeps ~one line outstanding (a serial region
+    // walk); fully occupied devices are further capped by the warp pool's
+    // memory-level parallelism (32/g independent groups per warp). This
+    // single term is what makes bulk (region-mapped) kernels speed up
+    // with filter size (§6.2: "all of the bulk filters show increasing
+    // throughput with dataset size") and what buries the RSQF's serial
+    // insert and the SQF's serialized deletes.
+    let warps = (profile.max_threads / 32).max(1) as f64;
+    let in_flight = (stats.active_threads.max(1) as f64)
+        .min(warps * (32.0 / g))
+        * params.latency_weight;
+    let t_latency = c.get(Counter::LinesLoaded) as f64 * profile.mem_latency / in_flight;
+
+    // --- shared memory ---
+    let t_shared = c.get(Counter::SharedOps) as f64 / profile.shared_rate;
+
+    // Diagnostic occupancy (not a divisor: under-occupied kernels are
+    // already latency-bound through `in_flight`).
+    let occupancy = profile.occupancy(stats.active_threads.max(1));
+
+    // --- strictly serializing effects ---
+    let t_lock = c.get(Counter::LockSpins) as f64 / profile.lock_spin_rate;
+    let t_launch = c.get(Counter::KernelLaunches).max(1) as f64 * profile.launch_overhead;
+
+    let t_core = t_bw.max(t_atomic).max(t_pipeline).max(t_latency).max(t_shared);
+    let seconds = t_core + t_lock + t_launch;
+    let throughput = stats.items as f64 / seconds;
+
+    Modeled {
+        seconds,
+        throughput,
+        breakdown: CostBreakdown {
+            t_bw,
+            t_atomic,
+            t_pipeline,
+            t_latency,
+            t_shared,
+            t_lock,
+            t_launch,
+            occupancy,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::KernelStats;
+    use crate::metrics::Counters;
+    use std::time::Duration;
+
+    fn stats_with(f: impl FnOnce(&mut Counters), items: u64, g: u32, active: u64) -> KernelStats {
+        let mut counters = Counters::default();
+        f(&mut counters);
+        counters.vals[Counter::Items as usize] = items;
+        KernelStats { counters, wall: Duration::from_millis(1), items, cg_size: g, active_threads: active }
+    }
+
+    #[test]
+    fn more_lines_cost_more_time() {
+        let p = DeviceProfile::cori_v100();
+        let few = stats_with(|c| c.vals[Counter::LinesLoaded as usize] = 1_000_000, 1_000_000, 4, 1 << 20);
+        let many = stats_with(|c| c.vals[Counter::LinesLoaded as usize] = 7_000_000, 1_000_000, 4, 1 << 20);
+        let t1 = estimate(&few, &p, 1 << 30).seconds;
+        let t7 = estimate(&many, &p, 1 << 30).seconds;
+        assert!(t7 > t1 * 3.0, "7x lines should cost much more: {t1} vs {t7}");
+    }
+
+    #[test]
+    fn l2_resident_filter_is_faster() {
+        let p = DeviceProfile::cori_v100();
+        let s = stats_with(|c| c.vals[Counter::LinesLoaded as usize] = 50_000_000, 10_000_000, 4, 1 << 20);
+        let small = estimate(&s, &p, 4 << 20).throughput; // fits 8MB L2
+        let large = estimate(&s, &p, 4 << 30).throughput;
+        assert!(small > large, "L2-resident should model faster: {small} vs {large}");
+    }
+
+    #[test]
+    fn lock_spins_strictly_add_time() {
+        let p = DeviceProfile::cori_v100();
+        let base = stats_with(|c| c.vals[Counter::LinesLoaded as usize] = 1_000_000, 1_000_000, 1, 1 << 20);
+        let locked = stats_with(
+            |c| {
+                c.vals[Counter::LinesLoaded as usize] = 1_000_000;
+                c.vals[Counter::LockSpins as usize] = 100_000_000;
+            },
+            1_000_000,
+            1,
+            1 << 20,
+        );
+        assert!(estimate(&locked, &p, 1 << 30).seconds > estimate(&base, &p, 1 << 30).seconds * 2.0);
+    }
+
+    #[test]
+    fn cg_sweep_has_interior_optimum() {
+        // A synthetic block-scan kernel: strides = items * ceil(B/g).
+        let p = DeviceProfile::cori_v100();
+        let items = 100_000_000u64;
+        let block = 16u64;
+        let mut best_g = 0;
+        let mut best_tp = 0.0;
+        let mut tp_at = std::collections::HashMap::new();
+        for g in [1u32, 2, 4, 8, 16, 32] {
+            let strides = items * block.div_ceil(g as u64);
+            let s = stats_with(
+                |c| {
+                    c.vals[Counter::CgSteps as usize] = strides;
+                    c.vals[Counter::LinesLoaded as usize] = items * 3 / 2;
+                    c.vals[Counter::AtomicOps as usize] = items;
+                },
+                items,
+                g,
+                1 << 30,
+            );
+            let tp = estimate(&s, &p, 1 << 29).throughput;
+            tp_at.insert(g, tp);
+            if tp > best_tp {
+                best_tp = tp;
+                best_g = g;
+            }
+        }
+        assert!(
+            (2..=8).contains(&best_g),
+            "optimum group size should be interior, got {best_g} ({tp_at:?})"
+        );
+        assert!(tp_at[&best_g] > tp_at[&1]);
+        assert!(tp_at[&best_g] > tp_at[&32]);
+    }
+
+    #[test]
+    fn low_occupancy_slows_kernel() {
+        let p = DeviceProfile::cori_v100();
+        let full = stats_with(|c| c.vals[Counter::LinesLoaded as usize] = 1_000_000, 1_000_000, 1, 1 << 20);
+        let sparse = stats_with(|c| c.vals[Counter::LinesLoaded as usize] = 1_000_000, 1_000_000, 1, 64);
+        assert!(estimate(&sparse, &p, 1 << 30).seconds > estimate(&full, &p, 1 << 30).seconds);
+    }
+
+    #[test]
+    fn contention_amplifies_atomic_cost() {
+        let p = DeviceProfile::cori_v100();
+        let clean = stats_with(|c| c.vals[Counter::AtomicOps as usize] = 1_000_000_000, 1_000_000, 4, 1 << 20);
+        let contended = stats_with(
+            |c| {
+                c.vals[Counter::AtomicOps as usize] = 1_000_000_000;
+                c.vals[Counter::CasFailures as usize] = 900_000_000;
+            },
+            1_000_000,
+            4,
+            1 << 20,
+        );
+        assert!(
+            estimate(&contended, &p, 1 << 30).seconds > estimate(&clean, &p, 1 << 30).seconds * 1.5
+        );
+    }
+
+    #[test]
+    fn breakdown_identifies_bound() {
+        let p = DeviceProfile::cori_v100();
+        let s = stats_with(|c| c.vals[Counter::LinesLoaded as usize] = u32::MAX as u64, 1_000_000, 32, 1 << 20);
+        let m = estimate(&s, &p, 1 << 34);
+        assert!(["bandwidth", "memory-latency"].contains(&m.breakdown.bound()));
+        let disp = format!("{}", m.breakdown);
+        assert!(disp.contains("bound="));
+    }
+}

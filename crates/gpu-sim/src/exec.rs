@@ -1,0 +1,194 @@
+//! Kernel launch machinery: maps simulated GPU grids onto a Rayon pool.
+//!
+//! Two launch styles mirror the paper's two API families:
+//!
+//! * [`Device::launch_point`] — one cooperative group per *item* (the
+//!   device-side point APIs): the item space is striped across CPU workers,
+//!   every worker's groups race through the shared [`crate::memory`]
+//!   buffers with real atomics.
+//! * [`Device::launch_regions`] — one thread per *region* (the bulk APIs:
+//!   GQF even-odd phases, bulk-TCF block kernels).
+//!
+//! A launch returns [`KernelStats`]: wall-clock time plus the metric delta
+//! for the launch window, which [`crate::cost`] converts to modeled GPU
+//! time. Launches are assumed to run one-at-a-time per process (true for
+//! the benchmark harness); concurrent launches would fold their traffic
+//! into each other's windows.
+
+use crate::metrics::{self, bump, Counter, Counters};
+use crate::profile::DeviceProfile;
+use rayon::prelude::*;
+use std::time::{Duration, Instant};
+
+/// A simulated GPU: a hardware profile plus the host thread pool that
+/// executes its kernels.
+#[derive(Debug, Clone)]
+pub struct Device {
+    profile: DeviceProfile,
+}
+
+/// Execution statistics for one kernel launch.
+#[derive(Debug, Clone)]
+pub struct KernelStats {
+    /// Metric delta over the launch window.
+    pub counters: Counters,
+    /// Host wall-clock time of the launch.
+    pub wall: Duration,
+    /// Items processed (grid size for point launches).
+    pub items: u64,
+    /// Cooperative-group size used by the kernel (1 for region kernels).
+    pub cg_size: u32,
+    /// Parallelism exposed to the device (items for point kernels, regions
+    /// for region kernels) — drives the occupancy model.
+    pub active_threads: u64,
+}
+
+impl KernelStats {
+    /// Measured CPU-side throughput (items / wall second).
+    pub fn wall_throughput(&self) -> f64 {
+        if self.wall.is_zero() {
+            return f64::INFINITY;
+        }
+        self.items as f64 / self.wall.as_secs_f64()
+    }
+
+    /// Merge two launches (e.g. the GQF's even phase + odd phase).
+    pub fn merge(&self, other: &KernelStats) -> KernelStats {
+        KernelStats {
+            counters: self.counters.merge(&other.counters),
+            wall: self.wall + other.wall,
+            items: self.items + other.items,
+            cg_size: self.cg_size.max(other.cg_size),
+            active_threads: self.active_threads.max(other.active_threads),
+        }
+    }
+}
+
+impl Device {
+    /// Build a device with the given hardware profile.
+    pub fn new(profile: DeviceProfile) -> Self {
+        Device { profile }
+    }
+
+    /// The paper's Cori testbed (Tesla V100).
+    pub fn cori() -> Self {
+        Device::new(DeviceProfile::cori_v100())
+    }
+
+    /// The paper's Perlmutter testbed (A100).
+    pub fn perlmutter() -> Self {
+        Device::new(DeviceProfile::perlmutter_a100())
+    }
+
+    /// Hardware profile.
+    pub fn profile(&self) -> &DeviceProfile {
+        &self.profile
+    }
+
+    /// Launch a point-style kernel: `kernel(i)` once per item `i`, one
+    /// cooperative group of `cg_size` lanes per item, all items concurrent.
+    pub fn launch_point<F>(&self, n_items: usize, cg_size: u32, kernel: F) -> KernelStats
+    where
+        F: Fn(usize) + Sync,
+    {
+        self.launch_inner(n_items, cg_size, n_items as u64 * cg_size as u64, kernel)
+    }
+
+    /// Launch a region-style kernel: `kernel(r)` once per region `r`, one
+    /// device thread per region (the bulk-API mapping, which the paper
+    /// notes exposes far fewer active threads than point kernels).
+    pub fn launch_regions<F>(&self, n_regions: usize, kernel: F) -> KernelStats
+    where
+        F: Fn(usize) + Sync,
+    {
+        self.launch_inner(n_regions, 1, n_regions as u64, kernel)
+    }
+
+    fn launch_inner<F>(
+        &self,
+        n: usize,
+        cg_size: u32,
+        active_threads: u64,
+        kernel: F,
+    ) -> KernelStats
+    where
+        F: Fn(usize) + Sync,
+    {
+        let before = metrics::snapshot();
+        let start = Instant::now();
+        bump(Counter::KernelLaunches, 1);
+        // Chunked striping keeps per-task overhead negligible while still
+        // interleaving many simulated groups across CPU workers.
+        let chunk = (n / (rayon::current_num_threads() * 8)).max(1);
+        (0..n).into_par_iter().with_min_len(chunk).for_each(|i| kernel(i));
+        let wall = start.elapsed();
+        bump(Counter::Items, n as u64);
+        let counters = metrics::snapshot().since(&before);
+        KernelStats {
+            counters,
+            wall,
+            items: n as u64,
+            cg_size,
+            active_threads: active_threads.min(self.profile.max_threads.max(1)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn point_launch_runs_every_item_once() {
+        let dev = Device::cori();
+        let n = 10_000;
+        let hits = AtomicU64::new(0);
+        let stats = dev.launch_point(n, 4, |_i| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), n as u64);
+        assert_eq!(stats.items, n as u64);
+        assert_eq!(stats.cg_size, 4);
+        assert_eq!(stats.counters.get(Counter::KernelLaunches), 1);
+        assert!(stats.counters.get(Counter::Items) >= n as u64);
+    }
+
+    #[test]
+    fn region_launch_covers_all_regions() {
+        let dev = Device::perlmutter();
+        let n = 513;
+        let seen = (0..n).map(|_| AtomicU64::new(0)).collect::<Vec<_>>();
+        let stats = dev.launch_regions(n, |r| {
+            seen[r].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(seen.iter().all(|s| s.load(Ordering::Relaxed) == 1));
+        assert_eq!(stats.active_threads, n as u64);
+    }
+
+    #[test]
+    fn active_threads_clamped_to_device() {
+        let dev = Device::cori();
+        let stats = dev.launch_point(1_000_000, 32, |_| {});
+        assert!(stats.active_threads <= dev.profile().max_threads);
+    }
+
+    #[test]
+    fn stats_merge_adds_items_and_walls() {
+        let dev = Device::cori();
+        let a = dev.launch_regions(10, |_| {});
+        let b = dev.launch_regions(20, |_| {});
+        let m = a.merge(&b);
+        assert_eq!(m.items, 30);
+        assert!(m.wall >= a.wall);
+    }
+
+    #[test]
+    fn wall_throughput_positive() {
+        let dev = Device::cori();
+        let stats = dev.launch_point(1000, 1, |_| {
+            std::hint::black_box(0u64);
+        });
+        assert!(stats.wall_throughput() > 0.0);
+    }
+}

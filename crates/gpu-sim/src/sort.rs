@@ -1,0 +1,304 @@
+//! Device-side sorting and reduction primitives — the Thrust substitute.
+//!
+//! The paper's bulk APIs lean on Thrust for three things: in-place sorts of
+//! the input batch (§5.3 "Sorting hashes"), `reduce_by_key` for the
+//! map-reduce counting strategy (§5.4), and successor search to locate
+//! region-buffer boundaries in the sorted batch. This module provides all
+//! three, parallelized with Rayon: an LSD radix sort (the algorithm GPU
+//! sorts actually use), a parallel reduce-by-key, and `lower_bound`.
+
+use crate::metrics::{bump, Counter};
+use rayon::prelude::*;
+
+const RADIX_BITS: u32 = 8;
+const BUCKETS: usize = 1 << RADIX_BITS;
+/// Below this size, a sequential comparison sort beats the parallel radix
+/// machinery's constant factors.
+const SMALL_SORT: usize = 1 << 14;
+
+/// Raw shared output buffer for the scatter phase. Chunks write disjoint
+/// (precomputed) index sets, so the aliasing is safe.
+struct ScatterPtr<T>(*mut T);
+unsafe impl<T: Send> Sync for ScatterPtr<T> {}
+
+/// Charge the device traffic of a Thrust-style radix sort over `n` items
+/// of `bytes_per_item`: each of the 8 digit passes streams the data once
+/// for histograms and once more (read + write) for the scatter. Bulk-API
+/// throughput in the paper includes this preprocessing, so the modeled
+/// cost must too.
+fn charge_sort_traffic(n: usize, bytes_per_item: usize) {
+    let lines_per_stream = (n * bytes_per_item).div_ceil(crate::memory::CACHE_LINE_BYTES) as u64;
+    let passes = (64 / RADIX_BITS) as u64;
+    bump(Counter::LinesLoaded, 2 * passes * lines_per_stream);
+    bump(Counter::LinesStored, passes * lines_per_stream);
+}
+
+/// Sort a `u64` slice in place with a parallel LSD radix sort.
+pub fn radix_sort_u64(data: &mut Vec<u64>) {
+    charge_sort_traffic(data.len(), 8);
+    if data.len() < SMALL_SORT {
+        data.sort_unstable();
+        return;
+    }
+    let mut aux = vec![0u64; data.len()];
+    let mut src_is_data = true;
+    for pass in 0..(64 / RADIX_BITS) {
+        let shift = pass * RADIX_BITS;
+        let (src, dst): (&mut Vec<u64>, &mut Vec<u64>) =
+            if src_is_data { (data, &mut aux) } else { (&mut aux, data) };
+        if radix_pass(src, dst, shift, |&v| v) {
+            src_is_data = !src_is_data;
+        }
+    }
+    if !src_is_data {
+        data.copy_from_slice(&aux);
+    }
+}
+
+/// Sort `(key, value)` pairs in place by key (stable within equal keys).
+pub fn radix_sort_pairs(data: &mut Vec<(u64, u64)>) {
+    charge_sort_traffic(data.len(), 16);
+    if data.len() < SMALL_SORT {
+        data.sort_by_key(|&(k, _)| k);
+        return;
+    }
+    let mut aux = vec![(0u64, 0u64); data.len()];
+    let mut src_is_data = true;
+    for pass in 0..(64 / RADIX_BITS) {
+        let shift = pass * RADIX_BITS;
+        let (src, dst): (&mut Vec<(u64, u64)>, &mut Vec<(u64, u64)>) =
+            if src_is_data { (data, &mut aux) } else { (&mut aux, data) };
+        if radix_pass(src, dst, shift, |&(k, _)| k) {
+            src_is_data = !src_is_data;
+        }
+    }
+    if !src_is_data {
+        data.copy_from_slice(&aux);
+    }
+}
+
+/// One stable counting pass over `shift..shift+8` key bits. Returns false
+/// (and leaves `dst` untouched) when the pass would be an identity
+/// permutation (all keys share one bucket), an important fast path for
+/// already-hashed keys whose high bytes are uniform late in the sort.
+fn radix_pass<T: Copy + Send + Sync>(
+    src: &mut Vec<T>,
+    dst: &mut Vec<T>,
+    shift: u32,
+    key: impl Fn(&T) -> u64 + Sync,
+) -> bool {
+    let n = src.len();
+    let n_chunks = rayon::current_num_threads().max(1) * 4;
+    let chunk_len = n.div_ceil(n_chunks);
+
+    // Per-chunk histograms.
+    let histograms: Vec<[u32; BUCKETS]> = src
+        .par_chunks(chunk_len)
+        .map(|chunk| {
+            let mut h = [0u32; BUCKETS];
+            for item in chunk {
+                h[((key(item) >> shift) & 0xff) as usize] += 1;
+            }
+            h
+        })
+        .collect();
+
+    // Bucket totals; skip identity passes.
+    let mut totals = [0u64; BUCKETS];
+    for h in &histograms {
+        for (b, &c) in h.iter().enumerate() {
+            totals[b] += c as u64;
+        }
+    }
+    if totals.iter().any(|&t| t == n as u64) {
+        return false;
+    }
+
+    // Exclusive prefix sum of bucket starts.
+    let mut bucket_start = [0u64; BUCKETS];
+    let mut acc = 0u64;
+    for b in 0..BUCKETS {
+        bucket_start[b] = acc;
+        acc += totals[b];
+    }
+
+    // Per-chunk write cursors: bucket_start + counts of earlier chunks.
+    let mut cursors: Vec<[u64; BUCKETS]> = Vec::with_capacity(histograms.len());
+    let mut running = bucket_start;
+    for h in &histograms {
+        cursors.push(running);
+        for (b, &c) in h.iter().enumerate() {
+            running[b] += c as u64;
+        }
+    }
+
+    // Scatter: each chunk owns disjoint destination indices by construction.
+    let out = ScatterPtr(dst.as_mut_ptr());
+    src.par_chunks(chunk_len).zip(cursors.into_par_iter()).for_each(|(chunk, mut cur)| {
+        let out = &out;
+        for &item in chunk {
+            let b = ((key(&item) >> shift) & 0xff) as usize;
+            // SAFETY: cursor ranges are disjoint across chunks and within
+            // bounds (they partition 0..n).
+            unsafe { out.0.add(cur[b] as usize).write(item) };
+            cur[b] += 1;
+        }
+    });
+    true
+}
+
+/// Reduce a *sorted* key slice into `(key, multiplicity)` pairs — Thrust's
+/// `reduce_by_key` as used by the GQF's map-reduce counting path.
+pub fn reduce_by_key(sorted: &[u64]) -> Vec<(u64, u64)> {
+    if sorted.is_empty() {
+        return Vec::new();
+    }
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input must be sorted");
+    // Segment boundaries: indices where a new key begins.
+    let mut bounds: Vec<usize> = (0..sorted.len())
+        .into_par_iter()
+        .filter(|&i| i == 0 || sorted[i] != sorted[i - 1])
+        .collect();
+    bounds.push(sorted.len());
+    bounds
+        .par_windows(2)
+        .map(|w| (sorted[w[0]], (w[1] - w[0]) as u64))
+        .collect()
+}
+
+/// First index in sorted `data` whose value is `>= x` (successor search;
+/// locates region-buffer boundaries in the sorted batch, §5.3).
+pub fn lower_bound(data: &[u64], x: u64) -> usize {
+    data.partition_point(|&v| v < x)
+}
+
+/// First index in sorted `data` whose value is `> x`.
+pub fn upper_bound(data: &[u64], x: u64) -> usize {
+    data.partition_point(|&v| v <= x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn random_vec(n: usize, seed: u64) -> Vec<u64> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen()).collect()
+    }
+
+    #[test]
+    fn radix_matches_std_sort_small() {
+        let mut a = random_vec(1000, 1);
+        let mut b = a.clone();
+        radix_sort_u64(&mut a);
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn radix_matches_std_sort_large() {
+        let mut a = random_vec(300_000, 2);
+        let mut b = a.clone();
+        radix_sort_u64(&mut a);
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn radix_handles_duplicates_and_extremes() {
+        let mut a = vec![5, 5, 5, 0, u64::MAX, 1, u64::MAX, 0];
+        a.extend(random_vec(100_000, 3).iter().map(|v| v % 16));
+        let mut b = a.clone();
+        radix_sort_u64(&mut a);
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn radix_empty_and_single() {
+        let mut e: Vec<u64> = vec![];
+        radix_sort_u64(&mut e);
+        assert!(e.is_empty());
+        let mut s = vec![42u64];
+        radix_sort_u64(&mut s);
+        assert_eq!(s, vec![42]);
+    }
+
+    #[test]
+    fn pair_sort_is_stable_by_key() {
+        // Equal keys keep their original payload order (LSD radix is stable).
+        let mut pairs: Vec<(u64, u64)> = (0..200_000u64).map(|i| (i % 16, i)).collect();
+        radix_sort_pairs(&mut pairs);
+        for w in pairs.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            if w[0].0 == w[1].0 {
+                assert!(w[0].1 < w[1].1, "stability violated for key {}", w[0].0);
+            }
+        }
+    }
+
+    #[test]
+    fn pair_sort_matches_std() {
+        let mut pairs: Vec<(u64, u64)> =
+            random_vec(150_000, 4).into_iter().enumerate().map(|(i, k)| (k, i as u64)).collect();
+        let mut expect = pairs.clone();
+        radix_sort_pairs(&mut pairs);
+        expect.sort_by_key(|&(k, _)| k);
+        assert_eq!(pairs.len(), expect.len());
+        for (a, b) in pairs.iter().zip(&expect) {
+            assert_eq!(a.0, b.0);
+        }
+    }
+
+    #[test]
+    fn reduce_by_key_matches_hashmap() {
+        let mut data: Vec<u64> = random_vec(100_000, 5).into_iter().map(|v| v % 1000).collect();
+        let mut expect = std::collections::HashMap::<u64, u64>::new();
+        for &k in &data {
+            *expect.entry(k).or_default() += 1;
+        }
+        radix_sort_u64(&mut data);
+        let reduced = reduce_by_key(&data);
+        assert_eq!(reduced.len(), expect.len());
+        for (k, c) in reduced {
+            assert_eq!(expect[&k], c, "key {k}");
+        }
+    }
+
+    #[test]
+    fn reduce_by_key_empty() {
+        assert!(reduce_by_key(&[]).is_empty());
+    }
+
+    #[test]
+    fn reduce_by_key_single_run() {
+        assert_eq!(reduce_by_key(&[7, 7, 7]), vec![(7, 3)]);
+    }
+
+    #[test]
+    fn bounds_basic() {
+        let data = [1u64, 3, 3, 3, 9];
+        assert_eq!(lower_bound(&data, 0), 0);
+        assert_eq!(lower_bound(&data, 3), 1);
+        assert_eq!(upper_bound(&data, 3), 4);
+        assert_eq!(lower_bound(&data, 10), 5);
+        assert_eq!(lower_bound(&data, 9), 4);
+    }
+
+    #[test]
+    fn bounds_partition_sorted_stream() {
+        let mut data = random_vec(50_000, 6);
+        radix_sort_u64(&mut data);
+        // Split into 16 ranges by value; the ranges must partition the data.
+        let mut total = 0;
+        let step = u64::MAX / 16;
+        for i in 0..16u64 {
+            let lo = lower_bound(&data, i.wrapping_mul(step));
+            let hi = if i == 15 { data.len() } else { lower_bound(&data, (i + 1).wrapping_mul(step)) };
+            assert!(hi >= lo);
+            total += hi - lo;
+        }
+        assert_eq!(total, data.len());
+    }
+}

@@ -1,0 +1,183 @@
+//! Traffic-tracked access to the GQF's slot array and metadata bitvectors.
+//!
+//! GQF operations hold exclusive access to their slots (region locks or
+//! even-odd phases), so reads and writes need no per-access atomicity —
+//! but they must still be *priced* like GPU traffic. A [`Tracked`] cursor
+//! charges one line load (or store) whenever an access crosses into a
+//! cache line different from the last one it touched, which models the
+//! sequential cluster walks and the custom `memmove` of §5.2 at
+//! cache-line granularity.
+
+use gpu_sim::metrics::{bump, Counter};
+use gpu_sim::GpuBuffer;
+
+/// A line-granular traffic cursor over one buffer.
+///
+/// Create one per kernel operation; drop it when the operation ends.
+pub struct Tracked<'a> {
+    buf: &'a GpuBuffer,
+    last_read_line: usize,
+    last_write_line: usize,
+}
+
+const NO_LINE: usize = usize::MAX;
+
+impl<'a> Tracked<'a> {
+    /// Wrap a buffer.
+    pub fn new(buf: &'a GpuBuffer) -> Self {
+        Tracked { buf, last_read_line: NO_LINE, last_write_line: NO_LINE }
+    }
+
+    /// Read a slot, charging a line load when leaving the cached line.
+    #[inline]
+    pub fn get(&mut self, slot: usize) -> u64 {
+        let line = self.buf.line_of(slot);
+        if line != self.last_read_line {
+            bump(Counter::LinesLoaded, 1);
+            self.last_read_line = line;
+        }
+        self.buf.read_free(slot)
+    }
+
+    /// Write a slot, charging a line store when leaving the cached line.
+    #[inline]
+    pub fn set(&mut self, slot: usize, value: u64) {
+        let line = self.buf.line_of(slot);
+        if line != self.last_write_line {
+            bump(Counter::LinesStored, 1);
+            self.last_write_line = line;
+        }
+        self.buf.write_free(slot, value);
+    }
+
+    /// Boolean view for 1-bit buffers.
+    #[inline]
+    pub fn get_bit(&mut self, slot: usize) -> bool {
+        self.get(slot) != 0
+    }
+
+    /// Set a 1-bit slot.
+    #[inline]
+    pub fn set_bit(&mut self, slot: usize, value: bool) {
+        self.set(slot, value as u64);
+    }
+}
+
+/// The three metadata bitvectors of the quotient-filter encoding, kept in
+/// separate arrays so remainder slots stay machine-word aligned (§6: the
+/// GQF's word-aligned slots are what let it support 8/16/32/64-bit
+/// remainders, unlike the SQF's in-slot metadata packing).
+pub struct Metadata {
+    /// `occupieds[q]` — some item with quotient `q` is stored.
+    pub occupieds: GpuBuffer,
+    /// `continuations[s]` — slot `s` continues the run started earlier.
+    pub continuations: GpuBuffer,
+    /// `shifteds[s]` — the item in slot `s` is right of its canonical slot.
+    pub shifteds: GpuBuffer,
+}
+
+impl Metadata {
+    /// Allocate zeroed metadata for `physical_slots`.
+    pub fn new(physical_slots: usize) -> Self {
+        Metadata {
+            occupieds: GpuBuffer::new(physical_slots, 1),
+            continuations: GpuBuffer::new(physical_slots, 1),
+            shifteds: GpuBuffer::new(physical_slots, 1),
+        }
+    }
+
+    /// Total metadata bytes.
+    pub fn bytes(&self) -> usize {
+        self.occupieds.bytes() + self.continuations.bytes() + self.shifteds.bytes()
+    }
+
+    /// A slot is empty iff all three bits are clear (classic quotient-
+    /// filter emptiness test).
+    pub fn is_empty_slot(&self, cur: &mut MetaCursor<'_>, slot: usize) -> bool {
+        !cur.occ.get_bit(slot) && !cur.cont.get_bit(slot) && !cur.shift.get_bit(slot)
+    }
+
+    /// Start a tracked cursor set.
+    pub fn cursor(&self) -> MetaCursor<'_> {
+        MetaCursor {
+            occ: Tracked::new(&self.occupieds),
+            cont: Tracked::new(&self.continuations),
+            shift: Tracked::new(&self.shifteds),
+        }
+    }
+}
+
+/// Tracked cursors over the three bitvectors for one operation.
+pub struct MetaCursor<'a> {
+    /// Occupieds bitvector cursor.
+    pub occ: Tracked<'a>,
+    /// Run-continuation bitvector cursor.
+    pub cont: Tracked<'a>,
+    /// Shifted bitvector cursor.
+    pub shift: Tracked<'a>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::metrics;
+
+    #[test]
+    fn tracked_roundtrip() {
+        let buf = GpuBuffer::new(100, 8);
+        let mut t = Tracked::new(&buf);
+        t.set(3, 42);
+        assert_eq!(t.get(3), 42);
+        assert_eq!(t.get(4), 0);
+    }
+
+    #[test]
+    fn sequential_walk_charges_lines_not_slots() {
+        // 8-bit slots: 128 per line. Walking 256 slots = 2 line loads.
+        let buf = GpuBuffer::new(1024, 8);
+        let before = metrics::snapshot_current_thread();
+        let mut t = Tracked::new(&buf);
+        for i in 0..256 {
+            let _ = t.get(i);
+        }
+        let diff = metrics::snapshot_current_thread().since(&before);
+        assert_eq!(diff.get(Counter::LinesLoaded), 2);
+    }
+
+    #[test]
+    fn bit_buffer_walk_is_very_cheap() {
+        // 1-bit slots: 1024 per line. Walking 1000 bits = 1 line load.
+        let buf = GpuBuffer::new(4096, 1);
+        let before = metrics::snapshot_current_thread();
+        let mut t = Tracked::new(&buf);
+        for i in 0..1000 {
+            let _ = t.get_bit(i);
+        }
+        let diff = metrics::snapshot_current_thread().since(&before);
+        assert_eq!(diff.get(Counter::LinesLoaded), 1);
+    }
+
+    #[test]
+    fn writes_charge_separately_from_reads() {
+        let buf = GpuBuffer::new(1024, 8);
+        let before = metrics::snapshot_current_thread();
+        let mut t = Tracked::new(&buf);
+        let _ = t.get(0);
+        t.set(0, 9);
+        let diff = metrics::snapshot_current_thread().since(&before);
+        assert_eq!(diff.get(Counter::LinesLoaded), 1);
+        assert_eq!(diff.get(Counter::LinesStored), 1);
+    }
+
+    #[test]
+    fn metadata_empty_slot_test() {
+        let m = Metadata::new(256);
+        let mut cur = m.cursor();
+        assert!(m.is_empty_slot(&mut cur, 10));
+        cur.shift.set_bit(10, true);
+        assert!(!m.is_empty_slot(&mut cur, 10));
+        cur.shift.set_bit(10, false);
+        cur.occ.set_bit(10, true);
+        assert!(!m.is_empty_slot(&mut cur, 10));
+    }
+}

@@ -1,0 +1,607 @@
+//! The bulk GQF: coordinated lock-free batch operations (§5.3–5.4).
+//!
+//! A batch is hashed, sorted (the Thrust in-place sort of §5.3), and
+//! partitioned into 8192-slot regions by successor search — the region
+//! "buffers" are just index ranges into the sorted batch, exactly the
+//! zero-allocation pointer trick the paper describes. Insertion then runs
+//! in **two phases**: threads own the even regions first, then the odd
+//! ones. A thread shifting past its region's end only ever reaches the
+//! (idle) next region, so no locks are needed — the even-odd scheme the
+//! paper proposes for any linear-probing structure.
+//!
+//! For skewed count distributions, [`BulkGqf::insert_batch_mapreduce`]
+//! first reduces the sorted batch to `(item, count)` pairs (Thrust
+//! `reduce_by_key`), turning millions of contended single inserts into
+//! one counted insert per distinct item (§5.4).
+
+use crate::core::GqfCore;
+use crate::layout::{Layout, REGION_SLOTS};
+use filter_core::{
+    ApiMode, BulkDeletable, BulkFilter, Features, FilterError, FilterMeta, Operation,
+};
+use gpu_sim::sort::{lower_bound, radix_sort_pairs, radix_sort_u64, reduce_by_key};
+use gpu_sim::Device;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A bulk-API GPU counting quotient filter.
+///
+/// ```
+/// use gqf::BulkGqf;
+///
+/// let f = BulkGqf::new_cori(12, 8).unwrap();
+/// let batch = vec![1u64, 2, 2, 3, 3, 3];
+/// assert_eq!(f.insert_batch(&batch), 0);
+/// assert_eq!(f.count_batch(&[1, 2, 3, 4]), vec![1, 2, 3, 0]);
+/// ```
+pub struct BulkGqf {
+    core: GqfCore,
+    device: Device,
+    max_load: f64,
+}
+
+impl BulkGqf {
+    /// Build with `2^q` slots and `r`-bit remainders on `device`.
+    pub fn new(q_bits: u32, r_bits: u32, device: Device) -> Result<Self, FilterError> {
+        let layout = Layout::new(q_bits, r_bits)?;
+        Ok(BulkGqf { core: GqfCore::new(layout), device, max_load: 0.9 })
+    }
+
+    /// Build on the Cori (V100) device model.
+    pub fn new_cori(q_bits: u32, r_bits: u32) -> Result<Self, FilterError> {
+        Self::new(q_bits, r_bits, Device::cori())
+    }
+
+    /// Shared core.
+    pub fn core(&self) -> &GqfCore {
+        &self.core
+    }
+
+    /// Current load factor.
+    pub fn load_factor(&self) -> f64 {
+        self.core.load_factor()
+    }
+
+    /// Hash of a key, masked to the stored p = q + r bits.
+    #[inline]
+    fn stored_hash(&self, key: u64) -> u64 {
+        let l = self.core.layout();
+        let (q, r) = l.split(filter_core::hash64(key));
+        l.join(q, r)
+    }
+
+    /// Partition a sorted hash batch into per-region index ranges via
+    /// successor search. `bounds[g]..bounds[g+1]` is region `g`'s buffer.
+    fn region_bounds(&self, sorted_hashes: &[u64]) -> Vec<usize> {
+        let l = self.core.layout();
+        let n_regions = l.n_regions();
+        let mut bounds = Vec::with_capacity(n_regions + 1);
+        for g in 0..n_regions {
+            let first_hash = ((g * REGION_SLOTS) as u64) << l.r_bits;
+            bounds.push(lower_bound(sorted_hashes, first_hash));
+        }
+        bounds.push(sorted_hashes.len());
+        bounds
+    }
+
+    /// Run `per_region` over every non-empty region in two phases (even
+    /// regions, then odd). Returns the number of failed items.
+    fn phased(
+        &self,
+        bounds: &[usize],
+        per_region: impl Fn(usize, std::ops::Range<usize>) -> usize + Sync,
+    ) -> usize {
+        let n_regions = bounds.len() - 1;
+        let failures = AtomicUsize::new(0);
+        for parity in 0..2usize {
+            let regions: Vec<usize> = (0..n_regions)
+                .filter(|&g| g % 2 == parity && bounds[g] < bounds[g + 1])
+                .collect();
+            if regions.is_empty() {
+                continue;
+            }
+            let regions_ref = &regions;
+            let failures_ref = &failures;
+            self.device.launch_regions(regions.len(), |i| {
+                let g = regions_ref[i];
+                let fails = per_region(g, bounds[g]..bounds[g + 1]);
+                if fails > 0 {
+                    failures_ref.fetch_add(fails, Ordering::Relaxed);
+                }
+            });
+        }
+        failures.load(Ordering::Relaxed)
+    }
+
+    /// Effective parallelism of a phased batch under skew (§5.4): each
+    /// phase is bounded by its most loaded region, so the device sees at
+    /// most `total / max_region_items` concurrently useful lanes. A
+    /// Zipfian batch collapses this to a handful (the hot item's region
+    /// holds most of the batch); the map-reduce pre-pass restores it by
+    /// shrinking the hot buffer to one counted entry.
+    pub fn effective_parallelism(&self, keys: &[u64]) -> u64 {
+        if keys.is_empty() {
+            return 1;
+        }
+        let mut hashes: Vec<u64> = keys.iter().map(|&k| self.stored_hash(k)).collect();
+        hashes.sort_unstable();
+        let bounds = self.region_bounds(&hashes);
+        let mut max_items = 1usize;
+        let mut nonempty = 0usize;
+        for g in 0..bounds.len() - 1 {
+            let n = bounds[g + 1] - bounds[g];
+            if n > 0 {
+                nonempty += 1;
+                max_items = max_items.max(n);
+            }
+        }
+        ((keys.len() / max_items).max(1)).min(nonempty.max(1)) as u64
+    }
+
+    /// Insert a batch of keys. Returns the number of items that could not
+    /// be placed (0 on success).
+    pub fn insert_batch(&self, keys: &[u64]) -> usize {
+        let mut hashes: Vec<u64> = keys.iter().map(|&k| self.stored_hash(k)).collect();
+        radix_sort_u64(&mut hashes);
+        let bounds = self.region_bounds(&hashes);
+        let l = *self.core.layout();
+        self.phased(&bounds, |_, range| {
+            let mut fails = 0usize;
+            for &h in &hashes[range] {
+                let (q, r) = l.split(h);
+                if self.core.upsert(q, r, 1).is_err() {
+                    fails += 1;
+                }
+            }
+            fails
+        })
+    }
+
+    /// Insert a batch with the map-reduce preprocessing of §5.4: sort,
+    /// reduce duplicates to `(hash, count)`, then one counted insert per
+    /// distinct item.
+    pub fn insert_batch_mapreduce(&self, keys: &[u64]) -> usize {
+        let mut hashes: Vec<u64> = keys.iter().map(|&k| self.stored_hash(k)).collect();
+        radix_sort_u64(&mut hashes);
+        let reduced = reduce_by_key(&hashes);
+        let sorted: Vec<u64> = reduced.iter().map(|&(h, _)| h).collect();
+        let bounds = self.region_bounds(&sorted);
+        let l = *self.core.layout();
+        self.phased(&bounds, |_, range| {
+            let mut fails = 0usize;
+            for &(h, c) in &reduced[range] {
+                let (q, r) = l.split(h);
+                if self.core.upsert(q, r, c).is_err() {
+                    fails += c as usize;
+                }
+            }
+            fails
+        })
+    }
+
+    /// Insert pre-counted `(key, count)` pairs.
+    pub fn insert_counted_batch(&self, pairs: &[(u64, u64)]) -> usize {
+        let mut hashed: Vec<(u64, u64)> =
+            pairs.iter().map(|&(k, c)| (self.stored_hash(k), c)).collect();
+        radix_sort_pairs(&mut hashed);
+        let sorted: Vec<u64> = hashed.iter().map(|&(h, _)| h).collect();
+        let bounds = self.region_bounds(&sorted);
+        let l = *self.core.layout();
+        self.phased(&bounds, |_, range| {
+            let mut fails = 0usize;
+            for &(h, c) in &hashed[range] {
+                let (q, r) = l.split(h);
+                if self.core.upsert(q, r, c).is_err() {
+                    fails += c as usize;
+                }
+            }
+            fails
+        })
+    }
+
+    /// Query a batch; `out[i]` answers `keys[i]`.
+    pub fn query_batch(&self, keys: &[u64], out: &mut [bool]) {
+        assert_eq!(keys.len(), out.len());
+        let counts = self.count_batch(keys);
+        for (o, c) in out.iter_mut().zip(counts) {
+            *o = c > 0;
+        }
+    }
+
+    /// Count a batch.
+    pub fn count_batch(&self, keys: &[u64]) -> Vec<u64> {
+        let out: Vec<std::sync::atomic::AtomicU64> =
+            (0..keys.len()).map(|_| std::sync::atomic::AtomicU64::new(0)).collect();
+        let l = *self.core.layout();
+        let out_ref = &out;
+        self.device.launch_point(keys.len(), 1, |i| {
+            let (q, r) = l.split(self.stored_hash(keys[i]));
+            out_ref[i].store(self.core.query(q, r), Ordering::Relaxed);
+        });
+        out.into_iter().map(|a| a.into_inner()).collect()
+    }
+
+    /// Build a filter with twice the slots (q+1, r−1) containing the same
+    /// multiset, re-splitting the stored lossless hashes through the
+    /// phased bulk path — the resizability feature §1 lists.
+    pub fn resized(&self) -> Result<BulkGqf, FilterError> {
+        let old = self.core.layout();
+        let bigger = BulkGqf::new(old.q_bits + 1, old.r_bits - 1, self.device.clone())?;
+        let to = *bigger.core.layout();
+        let mut pairs: Vec<(u64, u64)> = self.core.enumerate();
+        radix_sort_pairs(&mut pairs);
+        let sorted: Vec<u64> = pairs.iter().map(|&(h, _)| h).collect();
+        let bounds = bigger.region_bounds(&sorted);
+        let fails = bigger.phased(&bounds, |_, range| {
+            let mut f = 0usize;
+            for &(h, c) in &pairs[range] {
+                let (q, r) = to.split(h);
+                if bigger.core.upsert(q, r, c).is_err() {
+                    f += c as usize;
+                }
+            }
+            f
+        });
+        if fails > 0 {
+            return Err(FilterError::Full);
+        }
+        Ok(bigger)
+    }
+
+    /// Merge another bulk GQF with the same geometry into a filter one
+    /// size up (q+1, r−1), using the counted bulk path — the merge
+    /// operation database engines need (§1).
+    pub fn merged_with(&self, other: &BulkGqf) -> Result<BulkGqf, FilterError> {
+        if self.core.layout() != other.core.layout() {
+            return Err(FilterError::BadConfig("merge requires identical layouts".into()));
+        }
+        let old = self.core.layout();
+        let merged =
+            BulkGqf::new(old.q_bits + 1, old.r_bits - 1, self.device.clone())?;
+        let to = *merged.core.layout();
+        for src in [self, other] {
+            // Re-split each lossless hash under the new layout and insert
+            // with its exact count.
+            let mut pairs: Vec<(u64, u64)> = src.core.enumerate();
+            radix_sort_pairs(&mut pairs);
+            let sorted: Vec<u64> = pairs.iter().map(|&(h, _)| h).collect();
+            let bounds = merged.region_bounds(&sorted);
+            let fails = merged.phased(&bounds, |_, range| {
+                let mut f = 0usize;
+                for &(h, c) in &pairs[range] {
+                    let (q, r) = to.split(h);
+                    if merged.core.upsert(q, r, c).is_err() {
+                        f += c as usize;
+                    }
+                }
+                f
+            });
+            if fails > 0 {
+                return Err(FilterError::Full);
+            }
+        }
+        Ok(merged)
+    }
+
+    /// Associate small values with keys in bulk. A value `v` rides in the
+    /// variable-sized counters as count `v + 1` (the Mantis re-purposing
+    /// the paper cites in §2), so this must not be mixed with counting
+    /// inserts for the same keys. Values ≥ 2 encode as counter groups of
+    /// up to `4 + ⌈log2(v)/r⌉` slots — size the filter for ~5 slots per
+    /// association when values use the full small-value range. Existing associations are replaced;
+    /// duplicate keys within one batch resolve to the *last* pair in batch
+    /// order (the sort is stable on the hash, and within a region the
+    /// replace-then-insert sequence is exclusive, so the outcome is
+    /// deterministic). Returns the number of pairs that could not be
+    /// placed.
+    pub fn insert_values_batch(&self, pairs: &[(u64, u64)]) -> usize {
+        let mut hashed: Vec<(u64, u64)> =
+            pairs.iter().map(|&(k, v)| (self.stored_hash(k), v)).collect();
+        radix_sort_pairs(&mut hashed);
+        let sorted: Vec<u64> = hashed.iter().map(|&(h, _)| h).collect();
+        let bounds = self.region_bounds(&sorted);
+        let l = *self.core.layout();
+        self.phased(&bounds, |_, range| {
+            let mut fails = 0usize;
+            for &(h, v) in &hashed[range] {
+                let (q, r) = l.split(h);
+                let existing = self.core.query(q, r);
+                if existing > 0 && self.core.delete(q, r, existing).is_err() {
+                    fails += 1;
+                    continue;
+                }
+                if self.core.upsert(q, r, v + 1).is_err() {
+                    fails += 1;
+                }
+            }
+            fails
+        })
+    }
+
+    /// Look up the values associated with a batch of keys; `None` when the
+    /// key is absent. A false positive (rate ε) may surface a colliding
+    /// key's value.
+    pub fn query_values_batch(&self, keys: &[u64]) -> Vec<Option<u64>> {
+        self.count_batch(keys)
+            .into_iter()
+            .map(|c| if c == 0 { None } else { Some(c - 1) })
+            .collect()
+    }
+
+    /// Delete a batch of previously inserted keys in two phases,
+    /// processing each region's items in descending order ("deleting
+    /// larger items first" minimizes left-shifting, §6.4). Returns the
+    /// count not found.
+    pub fn delete_batch(&self, keys: &[u64]) -> usize {
+        let mut hashes: Vec<u64> = keys.iter().map(|&k| self.stored_hash(k)).collect();
+        radix_sort_u64(&mut hashes);
+        let bounds = self.region_bounds(&hashes);
+        let l = *self.core.layout();
+        self.phased(&bounds, |_, range| {
+            let mut missing = 0usize;
+            for &h in hashes[range].iter().rev() {
+                let (q, r) = l.split(h);
+                match self.core.delete(q, r, 1) {
+                    Ok(true) => {}
+                    _ => missing += 1,
+                }
+            }
+            missing
+        })
+    }
+}
+
+impl FilterMeta for BulkGqf {
+    fn name(&self) -> &'static str {
+        "GQF-Bulk"
+    }
+
+    fn features(&self) -> Features {
+        Features::new("GQF-Bulk")
+            .with(Operation::Insert, ApiMode::Bulk)
+            .with(Operation::Query, ApiMode::Bulk)
+            .with(Operation::Delete, ApiMode::Bulk)
+            .with(Operation::Count, ApiMode::Bulk)
+    }
+
+    fn table_bytes(&self) -> usize {
+        self.core.bytes()
+    }
+
+    fn capacity_slots(&self) -> u64 {
+        self.core.layout().canonical_slots() as u64
+    }
+
+    fn max_load_factor(&self) -> f64 {
+        self.max_load
+    }
+}
+
+impl BulkFilter for BulkGqf {
+    fn bulk_insert(&self, keys: &[u64]) -> Result<usize, FilterError> {
+        Ok(self.insert_batch(keys))
+    }
+
+    fn bulk_query(&self, keys: &[u64], out: &mut [bool]) {
+        self.query_batch(keys, out)
+    }
+}
+
+impl BulkDeletable for BulkGqf {
+    fn bulk_delete(&self, keys: &[u64]) -> Result<usize, FilterError> {
+        Ok(self.delete_batch(keys))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use filter_core::hashed_keys;
+
+    fn filter(q: u32) -> BulkGqf {
+        BulkGqf::new_cori(q, 8).unwrap()
+    }
+
+    #[test]
+    fn bulk_insert_query_roundtrip() {
+        let f = filter(14);
+        let keys = hashed_keys(51, 10_000);
+        assert_eq!(f.insert_batch(&keys), 0);
+        let mut out = vec![false; keys.len()];
+        f.query_batch(&keys, &mut out);
+        assert!(out.iter().all(|&x| x));
+        f.core().check_invariants();
+    }
+
+    #[test]
+    fn one_big_batch_to_90_percent() {
+        let f = filter(14);
+        let n = ((1usize << 14) as f64 * 0.9) as usize;
+        let keys = hashed_keys(52, n);
+        assert_eq!(f.insert_batch(&keys), 0);
+        assert!(f.load_factor() >= 0.85, "load {}", f.load_factor());
+        let mut out = vec![false; n];
+        f.query_batch(&keys, &mut out);
+        assert!(out.iter().all(|&x| x));
+        f.core().check_invariants();
+    }
+
+    #[test]
+    fn duplicates_in_batch_are_counted() {
+        let f = filter(12);
+        let k = hashed_keys(53, 1)[0];
+        let batch: Vec<u64> = std::iter::repeat_n(k, 50).collect();
+        assert_eq!(f.insert_batch(&batch), 0);
+        assert_eq!(f.count_batch(&[k]), vec![50]);
+    }
+
+    #[test]
+    fn mapreduce_equals_naive_counting() {
+        let f1 = filter(13);
+        let f2 = filter(13);
+        // Zipf-ish batch: many duplicates.
+        let base = hashed_keys(54, 200);
+        let mut batch = Vec::new();
+        for (i, &k) in base.iter().enumerate() {
+            for _ in 0..=(i % 17) {
+                batch.push(k);
+            }
+        }
+        assert_eq!(f1.insert_batch(&batch), 0);
+        assert_eq!(f2.insert_batch_mapreduce(&batch), 0);
+        for &k in &base {
+            assert_eq!(
+                f1.count_batch(&[k]),
+                f2.count_batch(&[k]),
+                "map-reduce must produce identical counts"
+            );
+        }
+        f1.core().check_invariants();
+        f2.core().check_invariants();
+    }
+
+    #[test]
+    fn counted_batch_inserts() {
+        let f = filter(12);
+        let keys = hashed_keys(55, 100);
+        let pairs: Vec<(u64, u64)> =
+            keys.iter().enumerate().map(|(i, &k)| (k, (i + 1) as u64)).collect();
+        assert_eq!(f.insert_counted_batch(&pairs), 0);
+        let counts = f.count_batch(&keys);
+        for (i, c) in counts.iter().enumerate() {
+            assert_eq!(*c, (i + 1) as u64);
+        }
+    }
+
+    #[test]
+    fn bulk_delete_removes_batch() {
+        let f = filter(13);
+        let keys = hashed_keys(56, 4000);
+        f.insert_batch(&keys);
+        assert_eq!(f.delete_batch(&keys[..2000]), 0);
+        let mut out = vec![false; 2000];
+        f.query_batch(&keys[2000..], &mut out);
+        assert!(out.iter().all(|&x| x), "survivors remain");
+        f.query_batch(&keys[..2000], &mut out);
+        let fp = out.iter().filter(|&&x| x).count();
+        assert!(fp < 40, "deleted keys should be gone (fp {fp})");
+        f.core().check_invariants();
+    }
+
+    #[test]
+    fn multiple_batches_accumulate() {
+        let f = filter(14);
+        for round in 0..4u64 {
+            let keys = hashed_keys(570 + round, 2000);
+            assert_eq!(f.insert_batch(&keys), 0);
+        }
+        assert_eq!(f.core().items(), 8000);
+        f.core().check_invariants();
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let f = filter(12);
+        assert_eq!(f.insert_batch(&[]), 0);
+        assert_eq!(f.delete_batch(&[]), 0);
+        let out = f.count_batch(&[]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn merge_combines_two_filters_exactly() {
+        let a = filter(12);
+        let b = filter(12);
+        let keys = hashed_keys(59, 600);
+        a.insert_batch(&keys[..400]);
+        b.insert_batch(&keys[200..]);
+        let m = a.merged_with(&b).unwrap();
+        let counts = m.count_batch(&keys);
+        for (i, &c) in counts.iter().enumerate() {
+            let want = if (200..400).contains(&i) { 2 } else { 1 };
+            assert_eq!(c, want, "key {i}");
+        }
+        m.core().check_invariants();
+    }
+
+    #[test]
+    fn resize_preserves_multiset_through_bulk_path() {
+        let f = BulkGqf::new_cori(12, 16).unwrap();
+        let keys = hashed_keys(64, 900);
+        let pairs: Vec<(u64, u64)> =
+            keys.iter().enumerate().map(|(i, &k)| (k, (i % 4 + 1) as u64)).collect();
+        assert_eq!(f.insert_counted_batch(&pairs), 0);
+        let big = f.resized().unwrap();
+        assert_eq!(big.capacity_slots(), 2 * f.capacity_slots());
+        let counts = big.count_batch(&keys);
+        for (i, &c) in counts.iter().enumerate() {
+            assert_eq!(c, (i % 4 + 1) as u64, "key {i}");
+        }
+        big.core().check_invariants();
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_layouts() {
+        let a = filter(12);
+        let b = BulkGqf::new_cori(13, 8).unwrap();
+        assert!(a.merged_with(&b).is_err());
+    }
+
+    #[test]
+    fn bulk_values_roundtrip() {
+        // 16-bit remainders: p = 29 bits, so 1500 keys collide with
+        // probability ~2^-10 — any mismatch would be a real bug, not a
+        // fingerprint collision.
+        let f = BulkGqf::new_cori(13, 16).unwrap();
+        let keys = hashed_keys(60, 1500);
+        let pairs: Vec<(u64, u64)> =
+            keys.iter().enumerate().map(|(i, &k)| (k, (i % 250) as u64)).collect();
+        assert_eq!(f.insert_values_batch(&pairs), 0);
+        let got = f.query_values_batch(&keys);
+        for (i, v) in got.iter().enumerate() {
+            assert_eq!(*v, Some((i % 250) as u64), "key {i}");
+        }
+        f.core().check_invariants();
+    }
+
+    #[test]
+    fn bulk_values_zero_is_distinguishable_from_absent() {
+        let f = filter(12);
+        let keys = hashed_keys(61, 50);
+        let pairs: Vec<(u64, u64)> = keys.iter().map(|&k| (k, 0)).collect();
+        assert_eq!(f.insert_values_batch(&pairs), 0);
+        assert!(f.query_values_batch(&keys).iter().all(|&v| v == Some(0)));
+        let fresh = hashed_keys(6100, 50);
+        let miss = f.query_values_batch(&fresh);
+        let hits = miss.iter().filter(|v| v.is_some()).count();
+        assert!(hits <= 2, "absent keys should be None (got {hits} hits)");
+    }
+
+    #[test]
+    fn bulk_values_overwrite_across_batches() {
+        let f = filter(12);
+        let keys = hashed_keys(62, 300);
+        let first: Vec<(u64, u64)> = keys.iter().map(|&k| (k, 7)).collect();
+        let second: Vec<(u64, u64)> = keys.iter().map(|&k| (k, 1000)).collect();
+        assert_eq!(f.insert_values_batch(&first), 0);
+        assert_eq!(f.insert_values_batch(&second), 0);
+        assert!(f.query_values_batch(&keys).iter().all(|&v| v == Some(1000)));
+        f.core().check_invariants();
+    }
+
+    #[test]
+    fn bulk_values_duplicate_keys_resolve_to_last() {
+        let f = filter(12);
+        let k = hashed_keys(63, 1)[0];
+        assert_eq!(f.insert_values_batch(&[(k, 3), (k, 9), (k, 5)]), 0);
+        assert_eq!(f.query_values_batch(&[k]), vec![Some(5)]);
+    }
+
+    #[test]
+    fn bulk_filter_trait_usable() {
+        let f = filter(12);
+        let keys = hashed_keys(58, 500);
+        let dyn_f: &dyn BulkFilter = &f;
+        dyn_f.bulk_insert(&keys).unwrap();
+        assert!(dyn_f.bulk_query_vec(&keys).iter().all(|&x| x));
+    }
+}

@@ -1,0 +1,38 @@
+//! # gqf — the GPU Counting Quotient Filter
+//!
+//! The paper's second contribution (§5): a GPU port of the counting
+//! quotient filter with all the features data-analytics applications
+//! demand — counting, deletion, value association, enumeration, resizing,
+//! and merging — at a performance cost relative to the TCF.
+//!
+//! * [`PointGqf`] — device-side concurrent API guarded by cache-aligned
+//!   8192-slot region locks (§5.2);
+//! * [`BulkGqf`] — the coordinated lock-free batch API: sort the batch,
+//!   partition into regions by successor search, insert even regions then
+//!   odd regions (§5.3), with a map-reduce pre-pass for skewed counts
+//!   (§5.4).
+//!
+//! ```
+//! use gqf::PointGqf;
+//! use filter_core::{Filter, Counting};
+//!
+//! let f = PointGqf::new(10, 8).unwrap();
+//! f.insert(42).unwrap();
+//! f.insert(42).unwrap();
+//! assert!(f.contains(42));
+//! assert_eq!(f.count(42), 2);
+//! ```
+
+pub mod bits;
+pub mod bulk;
+pub mod core;
+pub mod layout;
+pub mod locks;
+pub mod point;
+pub mod runs;
+
+pub use bulk::BulkGqf;
+pub use core::GqfCore;
+pub use layout::{Layout, REGION_SLOTS};
+pub use locks::RegionLocks;
+pub use point::PointGqf;

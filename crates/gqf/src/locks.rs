@@ -1,0 +1,5 @@
+//! Region locks now live in the substrate ([`gpu_sim::locks`]) so the
+//! even-odd hash table's locking baseline can share them; re-exported
+//! here for the point GQF's use.
+
+pub use gpu_sim::locks::RegionLocks;

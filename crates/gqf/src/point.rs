@@ -1,0 +1,460 @@
+//! The point GQF: device-side concurrent operations guarded by region
+//! locks (§5.2).
+//!
+//! Every operation locks the regions its cluster can touch: the canonical
+//! slot's region and the one after it (shifts never travel further than
+//! one region at ≤95% load). Because a cluster can also *begin* in an
+//! earlier region, the lock span is discovered optimistically: probe the
+//! cluster start, lock the covering span in ascending order, re-verify,
+//! and retry if the cluster grew leftward in between — a detail the
+//! paper's description leaves implicit but concurrency correctness
+//! requires.
+
+use crate::core::GqfCore;
+use crate::layout::Layout;
+use crate::locks::RegionLocks;
+use filter_core::{
+    Counting, Deletable, Features, Filter, FilterError, FilterMeta, Operation, Valued,
+};
+
+/// A point-API GPU counting quotient filter.
+///
+/// ```
+/// use gqf::PointGqf;
+/// use filter_core::{Filter, Counting, Deletable, Valued};
+///
+/// let f = PointGqf::new(12, 8).unwrap();
+/// f.insert_count(7, 41).unwrap();
+/// f.insert(7).unwrap();
+/// assert_eq!(f.count(7), 42);
+/// assert!(f.remove(7).unwrap());
+/// assert_eq!(f.count(7), 41);
+///
+/// // Small-value association rides in the counters (Mantis-style).
+/// f.insert_value(99, 5).unwrap();
+/// assert_eq!(f.query_value(99), Some(5));
+/// ```
+pub struct PointGqf {
+    core: GqfCore,
+    locks: RegionLocks,
+    max_load: f64,
+}
+
+impl PointGqf {
+    /// Build a filter with `2^q` slots and `r`-bit remainders.
+    pub fn new(q_bits: u32, r_bits: u32) -> Result<Self, FilterError> {
+        let layout = Layout::new(q_bits, r_bits)?;
+        Ok(PointGqf {
+            locks: RegionLocks::new(layout.n_regions()),
+            core: GqfCore::new(layout),
+            max_load: 0.9,
+        })
+    }
+
+    /// Build for `capacity` items at false-positive rate `eps` (picks the
+    /// word-aligned remainder width).
+    pub fn with_fp_rate(capacity: u64, eps: f64) -> Result<Self, FilterError> {
+        let layout = Layout::for_fp_rate(capacity, eps)?;
+        Ok(PointGqf {
+            locks: RegionLocks::new(layout.n_regions()),
+            core: GqfCore::new(layout),
+            max_load: 0.9,
+        })
+    }
+
+    /// Shared core (used by tests and the bench harness).
+    pub fn core(&self) -> &GqfCore {
+        &self.core
+    }
+
+    /// Current load factor.
+    pub fn load_factor(&self) -> f64 {
+        self.core.load_factor()
+    }
+
+    /// Lock the region span covering `q`'s cluster plus the overflow
+    /// region; run `f`; unlock. Retries when the cluster start moves left
+    /// of the locked span between the probe and the acquisition.
+    fn with_region_locks<T>(&self, q: usize, f: impl Fn() -> T) -> T {
+        let layout = self.core.layout();
+        let hi = (layout.region_of(q) + 1).min(layout.n_regions());
+        loop {
+            let lo = layout.region_of(self.core.probe_cluster_start(q));
+            self.locks.acquire_range(lo, hi);
+            // Re-verify under the locks: another insert may have merged
+            // our cluster leftward before we acquired.
+            let lo_now = layout.region_of(self.core.probe_cluster_start(q));
+            if lo_now >= lo {
+                let out = f();
+                self.locks.release_range(lo, hi);
+                return out;
+            }
+            self.locks.release_range(lo, hi);
+            std::hint::spin_loop();
+        }
+    }
+
+    fn insert_count_impl(&self, key: u64, count: u64) -> Result<(), FilterError> {
+        if self.core.load_factor() >= self.max_load {
+            return Err(FilterError::Full);
+        }
+        let (q, r) = self.core.parts(key);
+        self.with_region_locks(q, || self.core.upsert(q, r, count))
+    }
+
+    /// Enumerate `(hash, count)` pairs (requires no concurrent writers).
+    pub fn enumerate(&self) -> Vec<(u64, u64)> {
+        self.core.enumerate()
+    }
+
+    /// Lock-free count query. Safe whenever no insert/delete is running
+    /// concurrently (e.g. the query phases of the paper's benchmarks); a
+    /// query racing a cluster shift may misread that cluster. The locked
+    /// [`Counting::count`] is the always-safe variant.
+    pub fn count_unlocked(&self, key: u64) -> u64 {
+        let (q, r) = self.core.parts(key);
+        self.core.query(q, r)
+    }
+
+    /// Build a filter with twice the slots (q+1, r−1) containing the same
+    /// multiset — the CQF's resize, which re-splits the stored lossless
+    /// hashes without rehashing any input key.
+    pub fn resized(&self) -> Result<PointGqf, FilterError> {
+        let old = self.core.layout();
+        let layout = Layout::new(old.q_bits + 1, old.r_bits - 1)?;
+        let bigger = PointGqf {
+            locks: RegionLocks::new(layout.n_regions()),
+            core: GqfCore::new(layout),
+            max_load: self.max_load,
+        };
+        for (hash, count) in self.core.enumerate() {
+            let (q, r) = layout.split(hash);
+            bigger.core.upsert(q, r, count)?;
+        }
+        Ok(bigger)
+    }
+
+    /// Merge another GQF with the same (q, r) geometry into a filter one
+    /// size up.
+    pub fn merged_with(&self, other: &PointGqf) -> Result<PointGqf, FilterError> {
+        if self.core.layout() != other.core.layout() {
+            return Err(FilterError::BadConfig("merge requires identical layouts".into()));
+        }
+        let old = self.core.layout();
+        let layout = Layout::new(old.q_bits + 1, old.r_bits - 1)?;
+        let merged = PointGqf {
+            locks: RegionLocks::new(layout.n_regions()),
+            core: GqfCore::new(layout),
+            max_load: self.max_load,
+        };
+        for src in [self, other] {
+            for (hash, count) in src.core.enumerate() {
+                let (q, r) = layout.split(hash);
+                merged.core.upsert(q, r, count)?;
+            }
+        }
+        Ok(merged)
+    }
+}
+
+impl FilterMeta for PointGqf {
+    fn name(&self) -> &'static str {
+        "GQF"
+    }
+
+    fn features(&self) -> Features {
+        Features::new("GQF")
+            .with_both(Operation::Insert)
+            .with_both(Operation::Query)
+            .with_both(Operation::Delete)
+            .with_both(Operation::Count)
+    }
+
+    fn table_bytes(&self) -> usize {
+        self.core.bytes() + self.locks.bytes()
+    }
+
+    fn capacity_slots(&self) -> u64 {
+        self.core.layout().canonical_slots() as u64
+    }
+
+    fn max_load_factor(&self) -> f64 {
+        self.max_load
+    }
+}
+
+impl Filter for PointGqf {
+    fn insert(&self, key: u64) -> Result<(), FilterError> {
+        self.insert_count_impl(key, 1)
+    }
+
+    fn contains(&self, key: u64) -> bool {
+        self.count(key) > 0
+    }
+
+    fn len(&self) -> usize {
+        self.core.items()
+    }
+}
+
+impl Counting for PointGqf {
+    fn insert_count(&self, key: u64, count: u64) -> Result<(), FilterError> {
+        if count == 0 {
+            return Ok(());
+        }
+        self.insert_count_impl(key, count)
+    }
+
+    fn count(&self, key: u64) -> u64 {
+        let (q, r) = self.core.parts(key);
+        self.with_region_locks(q, || self.core.query(q, r))
+    }
+}
+
+impl Deletable for PointGqf {
+    fn remove(&self, key: u64) -> Result<bool, FilterError> {
+        let (q, r) = self.core.parts(key);
+        self.with_region_locks(q, || self.core.delete(q, r, 1))
+    }
+}
+
+impl Valued for PointGqf {
+    fn value_bits(&self) -> u32 {
+        // Values ride in the variable-sized counters (the Mantis trick the
+        // paper cites); any u64 payload fits.
+        64
+    }
+
+    fn insert_value(&self, key: u64, value: u64) -> Result<(), FilterError> {
+        // Encode value v as count v + 1 so a stored zero is distinguishable
+        // from "absent".
+        let (q, r) = self.core.parts(key);
+        self.with_region_locks(q, || {
+            // Replace any existing association.
+            let existing = self.core.query(q, r);
+            if existing > 0 {
+                self.core.delete(q, r, existing)?;
+            }
+            self.core.upsert(q, r, value + 1)
+        })
+    }
+
+    fn query_value(&self, key: u64) -> Option<u64> {
+        let c = self.count(key);
+        if c == 0 {
+            None
+        } else {
+            Some(c - 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use filter_core::{hashed_keys, ApiMode};
+
+    #[test]
+    fn insert_query_roundtrip() {
+        let f = PointGqf::new(12, 8).unwrap();
+        let keys = hashed_keys(31, 2000);
+        for &k in &keys {
+            f.insert(k).unwrap();
+        }
+        for &k in &keys {
+            assert!(f.contains(k));
+        }
+        assert_eq!(f.len(), 2000);
+        f.core().check_invariants();
+    }
+
+    #[test]
+    fn reaches_90_percent_load() {
+        let f = PointGqf::new(12, 8).unwrap();
+        let n = (f.capacity_slots() as f64 * 0.89) as usize;
+        let keys = hashed_keys(32, n);
+        for &k in &keys {
+            f.insert(k).unwrap();
+        }
+        assert!(f.load_factor() >= 0.85, "load {}", f.load_factor());
+        for &k in &keys {
+            assert!(f.contains(k));
+        }
+    }
+
+    #[test]
+    fn counting_accumulates() {
+        let f = PointGqf::new(10, 8).unwrap();
+        let k = hashed_keys(33, 1)[0];
+        f.insert(k).unwrap();
+        f.insert(k).unwrap();
+        f.insert_count(k, 100).unwrap();
+        assert_eq!(f.count(k), 102);
+        assert_eq!(f.count(k ^ 1), 0);
+        f.core().check_invariants();
+    }
+
+    #[test]
+    fn counts_never_undercount_fp_rate_bounded() {
+        let f = PointGqf::new(12, 8).unwrap();
+        let keys = hashed_keys(34, 2500);
+        for &k in &keys {
+            f.insert(k).unwrap();
+        }
+        // No false negatives.
+        for &k in &keys {
+            assert!(f.count(k) >= 1);
+        }
+        // FP rate ≈ n / 2^(q+r) = 2500 / 2^20 ≈ 0.24%.
+        let probes = hashed_keys(3400, 100_000);
+        let fps = probes.iter().filter(|&&k| f.contains(k)).count();
+        assert!((fps as f64 / 1e5) < 0.02, "fp rate {}", fps as f64 / 1e5);
+    }
+
+    #[test]
+    fn delete_then_absent() {
+        let f = PointGqf::new(10, 8).unwrap();
+        let keys = hashed_keys(35, 400);
+        for &k in &keys {
+            f.insert(k).unwrap();
+        }
+        for &k in &keys[..200] {
+            assert!(f.remove(k).unwrap());
+        }
+        for &k in &keys[..200] {
+            assert!(!f.contains(k));
+        }
+        for &k in &keys[200..] {
+            assert!(f.contains(k));
+        }
+        f.core().check_invariants();
+    }
+
+    #[test]
+    fn values_roundtrip_and_overwrite() {
+        let f = PointGqf::new(10, 8).unwrap();
+        let keys = hashed_keys(36, 100);
+        for (i, &k) in keys.iter().enumerate() {
+            f.insert_value(k, i as u64 * 3).unwrap();
+        }
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(f.query_value(k), Some(i as u64 * 3));
+        }
+        f.insert_value(keys[0], 999).unwrap();
+        assert_eq!(f.query_value(keys[0]), Some(999));
+        assert_eq!(f.query_value(hashed_keys(37, 1)[0]), None);
+    }
+
+    #[test]
+    fn concurrent_inserts_are_exact() {
+        use std::sync::Arc;
+        let f = Arc::new(PointGqf::new(14, 8).unwrap());
+        let keys = Arc::new(hashed_keys(38, 8000));
+        let handles: Vec<_> = (0..8usize)
+            .map(|t| {
+                let f = Arc::clone(&f);
+                let keys = Arc::clone(&keys);
+                std::thread::spawn(move || {
+                    for &k in &keys[t * 1000..(t + 1) * 1000] {
+                        f.insert(k).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(f.len(), 8000);
+        for &k in keys.iter() {
+            assert!(f.contains(k));
+        }
+        f.core().check_invariants();
+    }
+
+    #[test]
+    fn concurrent_counting_same_key_no_lost_updates() {
+        use std::sync::Arc;
+        // The Zipfian-contention scenario of §5.4: everyone hammers one key.
+        let f = Arc::new(PointGqf::new(12, 8).unwrap());
+        let k = hashed_keys(39, 1)[0];
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let f = Arc::clone(&f);
+                std::thread::spawn(move || {
+                    for _ in 0..500 {
+                        f.insert(k).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(f.count(k), 4000);
+        f.core().check_invariants();
+    }
+
+    #[test]
+    fn resize_preserves_multiset() {
+        // Counted entries occupy up to 5 slots each; size accordingly.
+        let f = PointGqf::new(12, 16).unwrap();
+        let keys = hashed_keys(40, 500);
+        for (i, &k) in keys.iter().enumerate() {
+            f.insert_count(k, (i % 5 + 1) as u64).unwrap();
+        }
+        let big = f.resized().unwrap();
+        assert_eq!(big.capacity_slots(), 2 * f.capacity_slots());
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(big.count(k), (i % 5 + 1) as u64, "key {i}");
+        }
+        big.core().check_invariants();
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let a = PointGqf::new(10, 16).unwrap();
+        let b = PointGqf::new(10, 16).unwrap();
+        let keys = hashed_keys(41, 200);
+        for &k in &keys[..150] {
+            a.insert(k).unwrap();
+        }
+        for &k in &keys[50..] {
+            b.insert(k).unwrap();
+        }
+        let m = a.merged_with(&b).unwrap();
+        for &k in &keys[..50] {
+            assert_eq!(m.count(k), 1);
+        }
+        for &k in &keys[50..150] {
+            assert_eq!(m.count(k), 2, "overlap keys counted twice");
+        }
+        for &k in &keys[150..] {
+            assert_eq!(m.count(k), 1);
+        }
+    }
+
+    #[test]
+    fn features_match_table1() {
+        let f = PointGqf::new(10, 8).unwrap();
+        for op in Operation::ALL {
+            for mode in ApiMode::ALL {
+                assert!(f.features().supports(op, mode), "GQF should support {op} {mode}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_filter_reports_full() {
+        let f = PointGqf::new(10, 8).unwrap();
+        let keys = hashed_keys(42, 2000);
+        let mut full = false;
+        for &k in &keys {
+            if matches!(f.insert(k), Err(FilterError::Full)) {
+                full = true;
+                break;
+            }
+        }
+        assert!(full, "should hit the 90% cap");
+        assert!(f.load_factor() >= 0.89);
+    }
+}

@@ -1,0 +1,104 @@
+//! Failure injection: the GQF must fail *cleanly* under overload — the
+//! cluster-bound guard returns `Full` instead of letting a shift escape
+//! the owned region span (which would race a concurrent phase).
+
+use filter_core::{Counting, Filter, FilterError};
+use gqf::{BulkGqf, GqfCore, Layout, PointGqf, REGION_SLOTS};
+
+#[test]
+fn overfilled_region_fails_cleanly_and_stays_consistent() {
+    // One quotient hammered with distinct remainders until its cluster
+    // would outgrow the two owned regions.
+    let core = GqfCore::new(Layout::new(16, 16).unwrap());
+    let mut inserted = Vec::new();
+    let mut failed = false;
+    for r in 0..(3 * REGION_SLOTS as u64) {
+        match core.upsert(0, r, 1) {
+            Ok(()) => inserted.push(r),
+            Err(FilterError::Full) => {
+                failed = true;
+                break;
+            }
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+    assert!(failed, "the guard must refuse a >2-region cluster");
+    assert!(inserted.len() >= REGION_SLOTS, "should fill up to the bound");
+    // Structure is still valid and every accepted item is queryable.
+    core.check_invariants();
+    for &r in inserted.iter().step_by(257) {
+        assert_eq!(core.query(0, r), 1);
+    }
+}
+
+#[test]
+fn multislot_gap_failure_leaves_no_partial_state() {
+    let core = GqfCore::new(Layout::new(16, 16).unwrap());
+    // Nearly fill two regions from quotient 0.
+    let limit = 2 * REGION_SLOTS - 3;
+    for r in 0..limit as u64 {
+        core.upsert(0, r, 1).unwrap();
+    }
+    core.check_invariants();
+    let items_before = core.items();
+    // A counted insert needing ~5 slots cannot fit: must fail atomically.
+    let err = core.upsert(0, u64::MAX, 1000).unwrap_err();
+    assert_eq!(err, FilterError::Full);
+    assert_eq!(core.items(), items_before, "failed insert must not change the multiset");
+    core.check_invariants();
+    assert_eq!(core.query(0, u64::MAX), 0);
+}
+
+#[test]
+fn bulk_overfill_reports_failures_without_corruption() {
+    // A batch far beyond capacity: failures are counted, survivors are
+    // all queryable, and invariants hold.
+    // q=14 keeps the spill pad small relative to the table, so a 4×
+    // oversubscription genuinely exhausts the owned region spans.
+    let f = BulkGqf::new_cori(14, 8).unwrap();
+    let keys = filter_core::hashed_keys(901, 4 * (1 << 14));
+    let failures = f.insert_batch(&keys);
+    assert!(failures > 0, "overfull batch must report failures");
+    f.core().check_invariants();
+    let counts = f.count_batch(&keys);
+    let found = counts.iter().filter(|&&c| c > 0).count();
+    assert!(found + failures >= keys.len(), "every key either stored or reported failed");
+}
+
+#[test]
+fn point_full_is_sticky_but_harmless() {
+    let f = PointGqf::new(10, 8).unwrap();
+    let keys = filter_core::hashed_keys(902, 2 << 10);
+    let mut stored = Vec::new();
+    for &k in &keys {
+        match f.insert(k) {
+            Ok(()) => stored.push(k),
+            Err(FilterError::Full) => break,
+            Err(e) => panic!("{e}"),
+        }
+    }
+    // After Full, queries and deletes still work.
+    for &k in stored.iter().step_by(37) {
+        assert!(f.contains(k));
+    }
+    use filter_core::Deletable;
+    assert!(f.remove(stored[0]).unwrap());
+    f.insert(stored[0]).unwrap();
+    f.core().check_invariants();
+}
+
+#[test]
+fn zero_count_insert_is_a_noop() {
+    let f = PointGqf::new(10, 8).unwrap();
+    f.insert_count(42, 0).unwrap();
+    assert_eq!(f.count(42), 0);
+    assert_eq!(f.len(), 0);
+}
+
+#[test]
+fn delete_from_empty_filter_is_safe() {
+    use filter_core::Deletable;
+    let f = PointGqf::new(10, 8).unwrap();
+    assert!(!f.remove(12345).unwrap());
+    f.core().check_invariants();
+}

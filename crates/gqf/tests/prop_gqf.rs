@@ -1,0 +1,124 @@
+//! Property tests for the GQF: counter-encoding round trips, model-based
+//! upsert/delete/query equivalence, and structural invariants.
+
+use gqf::runs::{decode_run, encode_run, encoded_len, Entry};
+use gqf::{GqfCore, Layout};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Strategy: a sorted run of entries with strictly ascending remainders.
+fn entries_strategy(r_bits: u32, max_len: usize) -> impl Strategy<Value = Vec<Entry>> {
+    let max_rem = if r_bits >= 63 { u64::MAX } else { (1u64 << r_bits) - 1 };
+    vec((0..=max_rem, 1u64..1_000_000), 1..max_len).prop_map(|mut raw| {
+        raw.sort_by_key(|&(r, _)| r);
+        raw.dedup_by_key(|&mut (r, _)| r);
+        raw.into_iter().map(|(remainder, count)| Entry { remainder, count }).collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn encode_decode_roundtrip_8bit(entries in entries_strategy(8, 20)) {
+        let encoded = encode_run(&entries, 8);
+        prop_assert_eq!(encoded.len(), encoded_len(&entries, 8));
+        prop_assert_eq!(decode_run(&encoded, 8), entries);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_16bit(entries in entries_strategy(16, 20)) {
+        let encoded = encode_run(&entries, 16);
+        prop_assert_eq!(decode_run(&encoded, 16), entries);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_64bit(entries in entries_strategy(64, 8)) {
+        let encoded = encode_run(&entries, 64);
+        prop_assert_eq!(decode_run(&encoded, 64), entries);
+    }
+
+    #[test]
+    fn singleton_runs_cost_exactly_one_slot_each(
+        rems in proptest::collection::btree_set(0u64..256, 1..30)
+    ) {
+        let entries: Vec<Entry> =
+            rems.iter().map(|&r| Entry { remainder: r, count: 1 }).collect();
+        prop_assert_eq!(encode_run(&entries, 8).len(), entries.len());
+    }
+
+    /// Model-based test: the core agrees with a HashMap on arbitrary
+    /// (quotient, remainder, op) sequences, and its invariants hold.
+    #[test]
+    fn core_matches_model(ops in vec((0usize..512, 0u64..256, 0u8..4, 1u64..40), 1..250)) {
+        let core = GqfCore::new(Layout::new(10, 8).unwrap());
+        let mut model: HashMap<(usize, u64), u64> = HashMap::new();
+        for (q, r, op, c) in ops {
+            match op {
+                0 | 1 => {
+                    if core.upsert(q, r, c).is_ok() {
+                        *model.entry((q, r)).or_default() += c;
+                    }
+                }
+                2 => {
+                    let want = model.get(&(q, r)).copied().unwrap_or(0);
+                    prop_assert_eq!(core.query(q, r), want, "query mismatch q={} r={}", q, r);
+                }
+                _ => {
+                    let present = model.get(&(q, r)).copied().unwrap_or(0);
+                    let removed = core.delete(q, r, c).unwrap();
+                    prop_assert_eq!(removed, present > 0);
+                    if present > 0 {
+                        if present <= c {
+                            model.remove(&(q, r));
+                        } else {
+                            model.insert((q, r), present - c);
+                        }
+                    }
+                }
+            }
+        }
+        core.check_invariants();
+        for (&(q, r), &want) in &model {
+            prop_assert_eq!(core.query(q, r), want);
+        }
+        let total: u64 = model.values().sum();
+        prop_assert_eq!(core.items() as u64, total);
+    }
+
+    /// Enumeration returns exactly the stored multiset.
+    #[test]
+    fn enumerate_is_exact(ops in vec((0usize..200, 0u64..256, 1u64..30), 1..120)) {
+        let core = GqfCore::new(Layout::new(10, 8).unwrap());
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for (q, r, c) in ops {
+            if core.upsert(q, r, c).is_ok() {
+                *model.entry(core.layout().join(q, r)).or_default() += c;
+            }
+        }
+        let mut got = core.enumerate();
+        got.sort_unstable();
+        let mut want: Vec<(u64, u64)> = model.into_iter().collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Resize preserves the exact multiset.
+    #[test]
+    fn resize_preserves_counts(keys in vec((any::<u64>(), 1u64..20), 1..100)) {
+        let f = gqf::PointGqf::new(10, 16).unwrap();
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for &(k, c) in &keys {
+            use filter_core::Counting;
+            if f.insert_count(k, c).is_ok() {
+                *model.entry(k).or_default() += c;
+            }
+        }
+        let big = f.resized().unwrap();
+        for (&k, &c) in &model {
+            use filter_core::Counting;
+            prop_assert!(big.count(k) >= c, "resize lost counts for {}", k);
+        }
+    }
+}

@@ -1,0 +1,934 @@
+//! The bulk TCF (§4.2): host-side batched kernels that sort items by
+//! block, stage each block in shared memory, zip-merge the incoming
+//! fingerprints with the block's sorted contents, and write the result
+//! back as one coalesced 128-byte-wide store.
+//!
+//! Unlike the point TCF, blocks keep their live fingerprints *sorted* in a
+//! prefix (queries binary-search in `O(log B)`), and a batch is placed in
+//! three sorted passes that mirror the paper's three per-block lists:
+//!
+//! 1. **shortcut pass** — items merge into their primary block while its
+//!    fill stays under the shortcut threshold;
+//! 2. **POTC pass** — spilled items go to the less-full of their two
+//!    blocks, to capacity;
+//! 3. **spill pass** — whatever remains tries the other block, then the
+//!    backing table.
+//!
+//! Every pass is a region kernel: one thread owns one block, so all block
+//! mutations are exclusive and writes coalesce.
+
+use crate::backing::BackingTable;
+use crate::config::TcfConfig;
+use filter_core::fingerprint::EMPTY;
+use filter_core::{
+    ApiMode, Features, FilterError, FilterMeta, Fingerprint, HashPair, Operation,
+};
+use gpu_sim::sort::radix_sort_pairs;
+use gpu_sim::{Device, GpuBuffer, SharedScratch};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Seed for the fingerprint hash (matches the point TCF).
+const SEED_FP: u64 = 0xf1f0_feed;
+
+/// A bulk-API two-choice filter.
+///
+/// ```
+/// use tcf::BulkTcf;
+/// use filter_core::BulkFilter;
+///
+/// let f = BulkTcf::new(1 << 12).unwrap();
+/// let keys: Vec<u64> = (0..2000u64).map(|i| i.wrapping_mul(0x9e3779b97f4a7c15)).collect();
+/// assert_eq!(f.bulk_insert(&keys).unwrap(), 0);
+/// assert!(f.bulk_query_vec(&keys).iter().all(|&hit| hit));
+/// ```
+pub struct BulkTcf {
+    cfg: TcfConfig,
+    table: GpuBuffer,
+    /// Optional per-slot value store; values permute with their
+    /// fingerprints through every zip-merge and delete compaction.
+    values: Option<GpuBuffer>,
+    backing: BackingTable,
+    n_blocks: usize,
+    occupied: AtomicUsize,
+    device: Device,
+}
+
+/// One batch item flowing through the passes.
+#[derive(Debug, Clone, Copy)]
+struct Item {
+    key: u64,
+    fp: u64,
+    /// Associated value (0 for plain membership batches).
+    val: u64,
+}
+
+impl BulkTcf {
+    /// Build a bulk filter of at least `capacity` slots on `device`.
+    pub fn with_config(
+        capacity: usize,
+        cfg: TcfConfig,
+        device: Device,
+    ) -> Result<Self, FilterError> {
+        cfg.validate()?;
+        let n_blocks = capacity.div_ceil(cfg.block_slots).next_power_of_two().max(2);
+        let n_slots = n_blocks * cfg.block_slots;
+        Ok(BulkTcf {
+            table: GpuBuffer::new(n_slots, cfg.fp_bits),
+            values: None,
+            backing: BackingTable::for_main_table(n_slots, cfg.fp_bits),
+            n_blocks,
+            occupied: AtomicUsize::new(0),
+            device,
+            cfg,
+        })
+    }
+
+    /// Default bulk configuration (128-slot blocks of 16-bit keys, §4.2)
+    /// on the Cori (V100) device model.
+    pub fn new(capacity: usize) -> Result<Self, FilterError> {
+        Self::with_config(capacity, TcfConfig::bulk_default(), Device::cori())
+    }
+
+    /// Attach a value store of `value_bits` per slot (8, 16, 32 or 64).
+    /// Values move with their fingerprints through the sorted-block
+    /// merges, so they survive any sequence of batches and deletes.
+    pub fn with_values(mut self, value_bits: u32) -> Result<Self, FilterError> {
+        if ![8, 16, 32, 64].contains(&value_bits) {
+            return Err(FilterError::BadConfig(format!(
+                "value_bits must be 8, 16, 32 or 64, got {value_bits}"
+            )));
+        }
+        self.values = Some(GpuBuffer::new(self.table.len(), value_bits));
+        Ok(self)
+    }
+
+    /// Width of the attached value store (0 when none).
+    pub fn value_bits(&self) -> u32 {
+        self.values.as_ref().map_or(0, |v| v.elem_bits())
+    }
+
+    /// Active configuration.
+    pub fn config(&self) -> &TcfConfig {
+        &self.cfg
+    }
+
+    /// Main-table slot count.
+    pub fn slots(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Load factor over main-table slots.
+    pub fn load_factor(&self) -> f64 {
+        self.occupied.load(Ordering::Relaxed) as f64 / self.table.len() as f64
+    }
+
+    #[inline]
+    fn fp_of(&self, key: u64) -> u64 {
+        Fingerprint::from_hash(filter_core::hash64_seeded(key, SEED_FP), self.cfg.fp_bits).value()
+    }
+
+    #[inline]
+    fn blocks_of(&self, key: u64) -> (usize, usize) {
+        let (b1, b2) = HashPair::new(key).blocks(self.n_blocks as u64);
+        (b1 as usize, b2 as usize)
+    }
+
+    /// Length of the sorted live prefix of a staged block.
+    fn prefix_len(view: &gpu_sim::SpanView<'_>, start: usize, slots: usize) -> usize {
+        // Live fingerprints (≥ 2) fill a prefix; empties (0) the suffix.
+        let mut lo = 0;
+        let mut hi = slots;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if view.get(start + mid) != EMPTY {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Run one placement pass: items grouped by `target` block are merged
+    /// into their block up to `fill_cap` live slots. Returns the per-item
+    /// acceptance mask.
+    fn placement_pass(&self, items: &[Item], targets: &[usize], fill_cap: usize) -> Vec<bool> {
+        debug_assert_eq!(items.len(), targets.len());
+        if items.is_empty() {
+            return Vec::new();
+        }
+        // Sort (target, index) so each block's items are contiguous.
+        let mut order: Vec<(u64, u64)> =
+            targets.iter().enumerate().map(|(i, &b)| (b as u64, i as u64)).collect();
+        radix_sort_pairs(&mut order);
+
+        // Segment boundaries per distinct block.
+        let mut bounds = vec![0usize];
+        for i in 1..order.len() {
+            if order[i].0 != order[i - 1].0 {
+                bounds.push(i);
+            }
+        }
+        bounds.push(order.len());
+
+        let accepted: Vec<AtomicBool> =
+            (0..items.len()).map(|_| AtomicBool::new(false)).collect();
+        let b = self.cfg.block_slots;
+        let n_segments = bounds.len() - 1;
+        let order_ref = &order;
+        let bounds_ref = &bounds;
+        let accepted_ref = &accepted;
+
+        self.device.launch_regions(n_segments, |seg| {
+            let lo = bounds_ref[seg];
+            let hi = bounds_ref[seg + 1];
+            let block = order_ref[lo].0 as usize;
+            let start = block * b;
+
+            // Stage the block (shared-memory copy, one-or-two line loads).
+            let view = self.table.load_span(start, b);
+            let live = Self::prefix_len(&view, start, b);
+            if live >= fill_cap {
+                return;
+            }
+            let take = (fill_cap - live).min(hi - lo);
+            let vals = self.values.as_ref().map(|vb| vb.load_span(start, b));
+
+            // Gather + sort the incoming fingerprints in shared memory;
+            // values travel with their fingerprint through the sort.
+            let mut scratch = SharedScratch::new(take);
+            let mut incoming: Vec<(u64, u64)> = order_ref[lo..lo + take]
+                .iter()
+                .map(|&(_, idx)| (items[idx as usize].fp, items[idx as usize].val))
+                .collect();
+            incoming.sort_unstable();
+            for (j, &(fp, _)) in incoming.iter().enumerate() {
+                scratch.write(j, fp);
+            }
+            scratch.charge((take as f64 * (take.max(2) as f64).log2()) as u64);
+
+            // Zip-merge block prefix with incoming list (the three-list
+            // parallel zip of §4.2 collapses to two lists per pass here).
+            let mut merged = Vec::with_capacity(live + take);
+            let mut merged_vals = Vec::with_capacity(if vals.is_some() { live + take } else { 0 });
+            let stored_val = |i: usize| vals.as_ref().map_or(0, |v| v.get(start + i));
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < live && j < take {
+                let a = view.get(start + i);
+                if a <= incoming[j].0 {
+                    merged.push(a);
+                    if vals.is_some() {
+                        merged_vals.push(stored_val(i));
+                    }
+                    i += 1;
+                } else {
+                    merged.push(incoming[j].0);
+                    if vals.is_some() {
+                        merged_vals.push(incoming[j].1);
+                    }
+                    j += 1;
+                }
+            }
+            while i < live {
+                merged.push(view.get(start + i));
+                if vals.is_some() {
+                    merged_vals.push(stored_val(i));
+                }
+                i += 1;
+            }
+            for &(fp, v) in &incoming[j..take] {
+                merged.push(fp);
+                if vals.is_some() {
+                    merged_vals.push(v);
+                }
+            }
+            scratch.charge(merged.len() as u64);
+
+            // Coalesced write-back of the whole block (suffix stays EMPTY).
+            merged.resize(b, EMPTY);
+            self.table.write_span_coalesced(start, &merged);
+            if let Some(vb) = self.values.as_ref() {
+                merged_vals.resize(b, 0);
+                vb.write_span_coalesced(start, &merged_vals);
+            }
+
+            for &(_, idx) in &order_ref[lo..lo + take] {
+                accepted_ref[idx as usize].store(true, Ordering::Relaxed);
+            }
+        });
+
+        let mask: Vec<bool> = accepted.iter().map(|a| a.load(Ordering::Relaxed)).collect();
+        let n_accepted = mask.iter().filter(|&&a| a).count();
+        self.occupied.fetch_add(n_accepted, Ordering::Relaxed);
+        mask
+    }
+
+    /// Binary-search one staged block for `fp`.
+    fn block_search(&self, block: usize, fp: u64) -> bool {
+        self.block_find(block, fp).is_some()
+    }
+
+    /// Binary-search one staged block, returning the in-block position of
+    /// a matching fingerprint (used by the value path).
+    fn block_find(&self, block: usize, fp: u64) -> Option<usize> {
+        let b = self.cfg.block_slots;
+        let start = block * b;
+        let view = self.table.load_span(start, b);
+        let live = Self::prefix_len(&view, start, b);
+        let mut lo = 0usize;
+        let mut hi = live;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            let v = view.get(start + mid);
+            if v == fp {
+                return Some(mid);
+            }
+            if v < fp {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        None
+    }
+
+    /// Bulk delete pass over one target list; flags removed items.
+    fn delete_pass(&self, items: &[Item], targets: &[usize]) -> Vec<bool> {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        let mut order: Vec<(u64, u64)> =
+            targets.iter().enumerate().map(|(i, &b)| (b as u64, i as u64)).collect();
+        radix_sort_pairs(&mut order);
+        let mut bounds = vec![0usize];
+        for i in 1..order.len() {
+            if order[i].0 != order[i - 1].0 {
+                bounds.push(i);
+            }
+        }
+        bounds.push(order.len());
+
+        let removed: Vec<AtomicBool> = (0..items.len()).map(|_| AtomicBool::new(false)).collect();
+        let b = self.cfg.block_slots;
+        let order_ref = &order;
+        let bounds_ref = &bounds;
+        let removed_ref = &removed;
+
+        self.device.launch_regions(bounds.len() - 1, |seg| {
+            let lo = bounds_ref[seg];
+            let hi = bounds_ref[seg + 1];
+            let block = order_ref[lo].0 as usize;
+            let start = block * b;
+            let view = self.table.load_span(start, b);
+            let live = Self::prefix_len(&view, start, b);
+            let vals = self.values.as_ref().map(|vb| vb.load_span(start, b));
+            let mut contents: Vec<u64> = (0..live).map(|i| view.get(start + i)).collect();
+            let mut contents_vals: Vec<u64> = match &vals {
+                Some(v) => (0..live).map(|i| v.get(start + i)).collect(),
+                None => Vec::new(),
+            };
+            let mut changed = false;
+            for &(_, idx) in &order_ref[lo..hi] {
+                let fp = items[idx as usize].fp;
+                if let Ok(pos) = contents.binary_search(&fp) {
+                    contents.remove(pos);
+                    if vals.is_some() {
+                        contents_vals.remove(pos);
+                    }
+                    removed_ref[idx as usize].store(true, Ordering::Relaxed);
+                    changed = true;
+                }
+            }
+            if changed {
+                contents.resize(b, EMPTY);
+                self.table.write_span_coalesced(start, &contents);
+                if let Some(vb) = self.values.as_ref() {
+                    contents_vals.resize(b, 0);
+                    vb.write_span_coalesced(start, &contents_vals);
+                }
+            }
+        });
+
+        removed.iter().map(|r| r.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Enumerate all live fingerprints (host-side; sorted within blocks).
+    pub fn enumerate_fingerprints(&self) -> Vec<u64> {
+        let b = self.cfg.block_slots;
+        (0..self.n_blocks)
+            .flat_map(|blk| {
+                let start = blk * b;
+                (0..b).map(move |i| start + i).collect::<Vec<_>>()
+            })
+            .map(|slot| self.table.read_free(slot))
+            .filter(|&v| v != EMPTY)
+            .collect()
+    }
+
+    /// Items that overflowed into the backing table.
+    pub fn backing_occupancy(&self) -> usize {
+        self.backing.occupied()
+    }
+
+    /// Insert a batch; returns the number of items that could not be
+    /// placed anywhere (0 on success).
+    pub fn insert_batch(&self, keys: &[u64]) -> usize {
+        let items: Vec<Item> =
+            keys.iter().map(|&k| Item { key: k, fp: self.fp_of(k), val: 0 }).collect();
+        self.insert_items(items, true)
+    }
+
+    /// Insert a batch of `(key, value)` associations. Requires a value
+    /// store ([`BulkTcf::with_values`]); items that would spill to the
+    /// backing table are failed instead, because backing slots cannot
+    /// carry values (the point TCF makes the same call). Returns the
+    /// failure count.
+    pub fn insert_values_batch(&self, pairs: &[(u64, u64)]) -> usize {
+        if self.values.is_none() {
+            return pairs.len();
+        }
+        let items: Vec<Item> =
+            pairs.iter().map(|&(k, v)| Item { key: k, fp: self.fp_of(k), val: v }).collect();
+        self.insert_items(items, false)
+    }
+
+    /// Look up the values associated with a batch of keys (`None` when
+    /// absent or when no value store is attached). For multiset contents
+    /// the value of one instance is returned.
+    pub fn query_values_batch(&self, keys: &[u64]) -> Vec<Option<u64>> {
+        let Some(vb) = self.values.as_ref() else {
+            return vec![None; keys.len()];
+        };
+        let out: Vec<std::sync::atomic::AtomicU64> =
+            (0..keys.len()).map(|_| std::sync::atomic::AtomicU64::new(u64::MAX)).collect();
+        let out_ref = &out;
+        self.device.launch_point(keys.len(), self.cfg.cg_size, |i| {
+            let key = keys[i];
+            let fp = self.fp_of(key);
+            let (p, s) = self.blocks_of(key);
+            let slot = self
+                .block_find(p, fp)
+                .map(|pos| p * self.cfg.block_slots + pos)
+                .or_else(|| self.block_find(s, fp).map(|pos| s * self.cfg.block_slots + pos));
+            if let Some(slot) = slot {
+                out_ref[i].store(vb.read(slot), Ordering::Relaxed);
+            }
+        });
+        out.into_iter()
+            .map(|a| {
+                let v = a.into_inner();
+                if v == u64::MAX {
+                    None
+                } else {
+                    Some(v)
+                }
+            })
+            .collect()
+    }
+
+    /// Shared batch-insert flow for plain and valued items.
+    fn insert_items(&self, items: Vec<Item>, spill_to_backing: bool) -> usize {
+        // Pass 1 — shortcut: primary block up to the shortcut threshold.
+        let cap1 = ((self.cfg.block_slots as f64) * self.cfg.shortcut_fill).floor() as usize;
+        let targets: Vec<usize> = items.iter().map(|it| self.blocks_of(it.key).0).collect();
+        let mask = self.placement_pass(&items, &targets, cap1.max(1));
+        let leftover: Vec<Item> =
+            items.iter().zip(&mask).filter(|(_, &a)| !a).map(|(it, _)| *it).collect();
+        if leftover.is_empty() {
+            return 0;
+        }
+
+        // Pass 2 — POTC: the less-full of the two blocks, to capacity.
+        let b = self.cfg.block_slots;
+        let targets: Vec<usize> = leftover
+            .iter()
+            .map(|it| {
+                let (p, s) = self.blocks_of(it.key);
+                let pv = self.table.load_span(p * b, b);
+                let pl = Self::prefix_len(&pv, p * b, b);
+                let sv = self.table.load_span(s * b, b);
+                let sl = Self::prefix_len(&sv, s * b, b);
+                if sl < pl {
+                    s
+                } else {
+                    p
+                }
+            })
+            .collect();
+        let mask = self.placement_pass(&leftover, &targets, b);
+        let leftover: Vec<(Item, usize)> = leftover
+            .iter()
+            .zip(&mask)
+            .zip(&targets)
+            .filter(|((_, &a), _)| !a)
+            .map(|((it, _), &t)| (*it, t))
+            .collect();
+        if leftover.is_empty() {
+            return 0;
+        }
+
+        // Pass 3 — spill: the block pass 2 did not target.
+        let items3: Vec<Item> = leftover.iter().map(|(it, _)| *it).collect();
+        let targets: Vec<usize> = leftover
+            .iter()
+            .map(|(it, tried)| {
+                let (p, s) = self.blocks_of(it.key);
+                if *tried == p {
+                    s
+                } else {
+                    p
+                }
+            })
+            .collect();
+        let mask = self.placement_pass(&items3, &targets, b);
+
+        // Final spill — backing table (valued items fail instead: backing
+        // slots cannot carry values).
+        let mut failures = 0usize;
+        for (it, &a) in items3.iter().zip(&mask) {
+            if !a {
+                if spill_to_backing
+                    && self.cfg.backing_table
+                    && self.backing.insert(it.key, it.fp)
+                {
+                    self.occupied.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    failures += 1;
+                }
+            }
+        }
+        failures
+    }
+
+    /// Query a batch.
+    pub fn query_batch(&self, keys: &[u64], out: &mut [bool]) {
+        assert_eq!(keys.len(), out.len());
+        let out_ptr = SharedOut(out.as_mut_ptr());
+        self.device.launch_point(keys.len(), self.cfg.cg_size, |i| {
+            let key = keys[i];
+            let fp = self.fp_of(key);
+            let (p, s) = self.blocks_of(key);
+            let hit = self.block_search(p, fp)
+                || self.block_search(s, fp)
+                || (self.cfg.backing_table && self.backing.contains(key, fp));
+            out_ptr.write(i, hit);
+        });
+    }
+
+    /// Sorted-batch query (§4.2: blocks "can be queried … in linear time
+    /// for a batch of queries"): queries are sorted by primary block so
+    /// each block is staged once and scanned against its whole query
+    /// group with a two-pointer merge, instead of one binary search per
+    /// query. Misses fall back to the secondary block and backing table.
+    pub fn query_batch_sorted(&self, keys: &[u64], out: &mut [bool]) {
+        assert_eq!(keys.len(), out.len());
+        if keys.is_empty() {
+            return;
+        }
+        let b = self.cfg.block_slots;
+
+        // Group queries by primary block.
+        let mut order: Vec<(u64, u64)> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (self.blocks_of(k).0 as u64, i as u64))
+            .collect();
+        radix_sort_pairs(&mut order);
+        let mut bounds = vec![0usize];
+        for i in 1..order.len() {
+            if order[i].0 != order[i - 1].0 {
+                bounds.push(i);
+            }
+        }
+        bounds.push(order.len());
+
+        let hits: Vec<AtomicBool> = (0..keys.len()).map(|_| AtomicBool::new(false)).collect();
+        let order_ref = &order;
+        let bounds_ref = &bounds;
+        let hits_ref = &hits;
+
+        self.device.launch_regions(bounds.len() - 1, |seg| {
+            let lo = bounds_ref[seg];
+            let hi = bounds_ref[seg + 1];
+            let block = order_ref[lo].0 as usize;
+            let start = block * b;
+            let view = self.table.load_span(start, b);
+            let live = Self::prefix_len(&view, start, b);
+
+            // Sort this block's query fingerprints, then merge-scan the
+            // staged sorted prefix in one linear pass.
+            let mut fps: Vec<(u64, u64)> = order_ref[lo..hi]
+                .iter()
+                .map(|&(_, idx)| (self.fp_of(keys[idx as usize]), idx))
+                .collect();
+            fps.sort_unstable();
+            let mut i = 0usize;
+            for &(fp, idx) in &fps {
+                while i < live && view.get(start + i) < fp {
+                    i += 1;
+                }
+                if i < live && view.get(start + i) == fp {
+                    hits_ref[idx as usize].store(true, Ordering::Relaxed);
+                }
+                // Equal fingerprints in the batch re-test the same slot;
+                // the cursor never moves backwards because fps ascend.
+            }
+        });
+
+        // Fallback pass for misses: secondary block + backing table.
+        let miss: Vec<usize> =
+            (0..keys.len()).filter(|&i| !hits[i].load(Ordering::Relaxed)).collect();
+        let miss_ref = &miss;
+        self.device.launch_point(miss.len(), self.cfg.cg_size, |j| {
+            let i = miss_ref[j];
+            let key = keys[i];
+            let fp = self.fp_of(key);
+            let (_, sb) = self.blocks_of(key);
+            if self.block_search(sb, fp)
+                || (self.cfg.backing_table && self.backing.contains(key, fp))
+            {
+                hits_ref[i].store(true, Ordering::Relaxed);
+            }
+        });
+
+        for (o, h) in out.iter_mut().zip(&hits) {
+            *o = h.load(Ordering::Relaxed);
+        }
+    }
+
+    /// Delete a batch of previously inserted keys; returns the count whose
+    /// fingerprints were not found.
+    pub fn delete_batch(&self, keys: &[u64]) -> usize {
+        let items: Vec<Item> =
+            keys.iter().map(|&k| Item { key: k, fp: self.fp_of(k), val: 0 }).collect();
+
+        let targets: Vec<usize> = items.iter().map(|it| self.blocks_of(it.key).0).collect();
+        let removed = self.delete_pass(&items, &targets);
+        let leftover: Vec<Item> =
+            items.iter().zip(&removed).filter(|(_, &r)| !r).map(|(it, _)| *it).collect();
+        let mut n_removed = items.len() - leftover.len();
+
+        let targets: Vec<usize> = leftover.iter().map(|it| self.blocks_of(it.key).1).collect();
+        let removed = self.delete_pass(&leftover, &targets);
+        let leftover: Vec<Item> =
+            leftover.iter().zip(&removed).filter(|(_, &r)| !r).map(|(it, _)| *it).collect();
+        n_removed += targets.len() - leftover.len();
+
+        let mut not_found = 0usize;
+        for it in &leftover {
+            if self.cfg.backing_table && self.backing.remove(it.key, it.fp) {
+                n_removed += 1;
+            } else {
+                not_found += 1;
+            }
+        }
+        self.occupied.fetch_sub(n_removed, Ordering::Relaxed);
+        not_found
+    }
+}
+
+/// Raw output pointer for the query kernel (disjoint writes per item).
+struct SharedOut(*mut bool);
+unsafe impl Sync for SharedOut {}
+
+impl SharedOut {
+    /// Write slot `i`.
+    ///
+    /// # Safety contract (internal)
+    /// Each kernel instance writes a distinct `i`, so writes never alias.
+    #[inline]
+    fn write(&self, i: usize, v: bool) {
+        unsafe { self.0.add(i).write(v) };
+    }
+}
+
+impl FilterMeta for BulkTcf {
+    fn name(&self) -> &'static str {
+        "BulkTCF"
+    }
+
+    fn features(&self) -> Features {
+        Features::new("BulkTCF")
+            .with(Operation::Insert, ApiMode::Bulk)
+            .with(Operation::Query, ApiMode::Bulk)
+            .with(Operation::Delete, ApiMode::Bulk)
+    }
+
+    fn table_bytes(&self) -> usize {
+        self.table.bytes()
+            + self.values.as_ref().map_or(0, |v| v.bytes())
+            + self.backing.bytes()
+    }
+
+    fn capacity_slots(&self) -> u64 {
+        self.table.len() as u64
+    }
+
+    fn max_load_factor(&self) -> f64 {
+        self.cfg.max_load
+    }
+}
+
+impl filter_core::BulkFilter for BulkTcf {
+    fn bulk_insert(&self, keys: &[u64]) -> Result<usize, FilterError> {
+        Ok(self.insert_batch(keys))
+    }
+
+    fn bulk_query(&self, keys: &[u64], out: &mut [bool]) {
+        self.query_batch(keys, out)
+    }
+}
+
+impl filter_core::BulkDeletable for BulkTcf {
+    fn bulk_delete(&self, keys: &[u64]) -> Result<usize, FilterError> {
+        Ok(self.delete_batch(keys))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use filter_core::{hashed_keys, BulkFilter};
+
+    #[test]
+    fn bulk_insert_then_query_all_present() {
+        let f = BulkTcf::new(1 << 12).unwrap();
+        let keys = hashed_keys(21, 3000);
+        assert_eq!(f.insert_batch(&keys), 0);
+        let mut out = vec![false; keys.len()];
+        f.query_batch(&keys, &mut out);
+        assert!(out.iter().all(|&x| x), "all inserted keys must be found");
+    }
+
+    #[test]
+    fn blocks_stay_sorted_after_inserts() {
+        let f = BulkTcf::new(1 << 12).unwrap();
+        let keys = hashed_keys(22, 3000);
+        f.insert_batch(&keys);
+        let b = f.cfg.block_slots;
+        for blk in 0..f.n_blocks {
+            let mut prev = 0u64;
+            let mut in_suffix = false;
+            for i in 0..b {
+                let v = f.table.read_free(blk * b + i);
+                if v == EMPTY {
+                    in_suffix = true;
+                } else {
+                    assert!(!in_suffix, "live slot after empty in block {blk}");
+                    assert!(v >= prev, "unsorted block {blk}");
+                    prev = v;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reaches_90_percent_load_in_one_batch() {
+        let f = BulkTcf::new(1 << 13).unwrap();
+        let n = (f.slots() as f64 * 0.9) as usize;
+        let keys = hashed_keys(23, n);
+        let failures = f.insert_batch(&keys);
+        assert_eq!(failures, 0, "bulk TCF must reach 90% load");
+        assert!(f.load_factor() >= 0.89);
+        let mut out = vec![false; n];
+        f.query_batch(&keys, &mut out);
+        assert!(out.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn negative_queries_mostly_negative() {
+        let f = BulkTcf::new(1 << 12).unwrap();
+        let keys = hashed_keys(24, (f.slots() as f64 * 0.9) as usize);
+        f.insert_batch(&keys);
+        let probes = hashed_keys(2400, 100_000);
+        let mut out = vec![false; probes.len()];
+        f.query_batch(&probes, &mut out);
+        let fp_rate = out.iter().filter(|&&x| x).count() as f64 / probes.len() as f64;
+        // Bulk config theory: 2·128/2^16 ≈ 0.39%; backing adds a little.
+        assert!(fp_rate < 0.02, "fp rate {fp_rate}");
+    }
+
+    #[test]
+    fn multiple_batches_accumulate() {
+        let f = BulkTcf::new(1 << 12).unwrap();
+        let k1 = hashed_keys(25, 1000);
+        let k2 = hashed_keys(26, 1000);
+        f.insert_batch(&k1);
+        f.insert_batch(&k2);
+        let mut out = vec![false; 1000];
+        f.query_batch(&k1, &mut out);
+        assert!(out.iter().all(|&x| x));
+        f.query_batch(&k2, &mut out);
+        assert!(out.iter().all(|&x| x));
+        assert_eq!(f.len_items(), 2000);
+    }
+
+    #[test]
+    fn delete_batch_removes_exactly_the_batch() {
+        let f = BulkTcf::new(1 << 12).unwrap();
+        let keys = hashed_keys(27, 2000);
+        f.insert_batch(&keys);
+        let not_found = f.delete_batch(&keys[..1000]);
+        assert_eq!(not_found, 0);
+        let mut out = vec![false; 1000];
+        f.query_batch(&keys[1000..], &mut out);
+        assert!(out.iter().all(|&x| x), "survivors must remain");
+        assert_eq!(f.len_items(), 1000);
+    }
+
+    #[test]
+    fn duplicate_keys_stored_as_multiset() {
+        let f = BulkTcf::new(1 << 10).unwrap();
+        let key = hashed_keys(28, 1)[0];
+        f.insert_batch(&[key, key, key]);
+        assert_eq!(f.delete_batch(&[key]), 0);
+        let mut out = vec![false];
+        f.query_batch(&[key], &mut out);
+        assert!(out[0], "two copies should remain");
+        f.delete_batch(&[key, key]);
+        f.query_batch(&[key], &mut out);
+        assert!(!out[0], "all copies deleted");
+    }
+
+    #[test]
+    fn bulk_filter_trait_object() {
+        let f = BulkTcf::new(1 << 10).unwrap();
+        let keys = hashed_keys(29, 100);
+        let dyn_f: &dyn BulkFilter = &f;
+        assert_eq!(dyn_f.bulk_insert(&keys).unwrap(), 0);
+        let out = dyn_f.bulk_query_vec(&keys);
+        assert!(out.iter().all(|&x| x));
+    }
+
+    impl BulkTcf {
+        fn len_items(&self) -> usize {
+            self.occupied.load(Ordering::Relaxed)
+        }
+    }
+}
+
+#[cfg(test)]
+mod sorted_query_tests {
+    use super::*;
+    use filter_core::hashed_keys;
+
+    #[test]
+    fn sorted_query_matches_pointwise_query() {
+        let f = BulkTcf::new(1 << 12).unwrap();
+        let keys = hashed_keys(61, 3000);
+        f.insert_batch(&keys);
+        let probes: Vec<u64> =
+            keys.iter().copied().chain(hashed_keys(62, 3000)).collect();
+        let mut a = vec![false; probes.len()];
+        let mut b = vec![false; probes.len()];
+        f.query_batch(&probes, &mut a);
+        f.query_batch_sorted(&probes, &mut b);
+        assert_eq!(a, b, "sorted and pointwise bulk queries must agree");
+    }
+
+    #[test]
+    fn sorted_query_finds_all_members() {
+        let f = BulkTcf::new(1 << 12).unwrap();
+        let keys = hashed_keys(63, (f.slots() as f64 * 0.85) as usize);
+        f.insert_batch(&keys);
+        let mut out = vec![false; keys.len()];
+        f.query_batch_sorted(&keys, &mut out);
+        assert!(out.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn sorted_query_handles_duplicate_probes() {
+        let f = BulkTcf::new(1 << 10).unwrap();
+        let k = hashed_keys(64, 1)[0];
+        f.insert_batch(&[k]);
+        let probes = vec![k, k, k, k ^ 1, k];
+        let mut out = vec![false; probes.len()];
+        f.query_batch_sorted(&probes, &mut out);
+        assert_eq!(out, vec![true, true, true, false, true]);
+    }
+
+    #[test]
+    fn sorted_query_empty_batch() {
+        let f = BulkTcf::new(1 << 10).unwrap();
+        let mut out = vec![];
+        f.query_batch_sorted(&[], &mut out);
+    }
+
+    #[test]
+    fn bulk_values_roundtrip() {
+        let f = BulkTcf::new(1 << 14).unwrap().with_values(16).unwrap();
+        let keys = hashed_keys(65, 8000);
+        let pairs: Vec<(u64, u64)> =
+            keys.iter().enumerate().map(|(i, &k)| (k, (i % 60_000) as u64)).collect();
+        assert_eq!(f.insert_values_batch(&pairs), 0);
+        let got = f.query_values_batch(&keys);
+        let exact = keys
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| got[i] == Some((i % 60_000) as u64))
+            .count();
+        // Fingerprint collisions may alias a few values; the rest are exact.
+        assert!(exact as f64 / keys.len() as f64 > 0.99, "exact {exact}/{}", keys.len());
+    }
+
+    #[test]
+    fn values_survive_merges_across_batches() {
+        // Multiple batches hit the same blocks, forcing zip-merges that
+        // shift stored fingerprints; their values must shift with them.
+        let f = BulkTcf::new(1 << 12).unwrap().with_values(32).unwrap();
+        let keys = hashed_keys(66, 2400);
+        for chunk in keys.chunks(300) {
+            let pairs: Vec<(u64, u64)> = chunk.iter().map(|&k| (k, k & 0xffff_ffff)).collect();
+            assert_eq!(f.insert_values_batch(&pairs), 0);
+        }
+        let got = f.query_values_batch(&keys);
+        let exact =
+            keys.iter().zip(&got).filter(|&(&k, v)| *v == Some(k & 0xffff_ffff)).count();
+        assert!(exact as f64 / keys.len() as f64 > 0.99, "exact {exact}/{}", keys.len());
+    }
+
+    #[test]
+    fn values_survive_deletes() {
+        let f = BulkTcf::new(1 << 12).unwrap().with_values(32).unwrap();
+        let keys = hashed_keys(67, 2000);
+        let pairs: Vec<(u64, u64)> = keys.iter().map(|&k| (k, k >> 32)).collect();
+        assert_eq!(f.insert_values_batch(&pairs), 0);
+        // Delete the first half; the second half's values must be intact
+        // even where deletions compacted their blocks.
+        assert_eq!(f.delete_batch(&keys[..1000]), 0);
+        let got = f.query_values_batch(&keys[1000..]);
+        let exact =
+            keys[1000..].iter().zip(&got).filter(|&(&k, v)| *v == Some(k >> 32)).count();
+        assert!(exact >= 990, "exact {exact}/1000");
+    }
+
+    #[test]
+    fn values_without_store_fail_clean() {
+        let f = BulkTcf::new(1 << 10).unwrap();
+        assert_eq!(f.value_bits(), 0);
+        assert_eq!(f.insert_values_batch(&[(1, 2)]), 1);
+        assert_eq!(f.query_values_batch(&[1]), vec![None]);
+    }
+
+    #[test]
+    fn plain_and_valued_batches_coexist() {
+        let f = BulkTcf::new(1 << 12).unwrap().with_values(16).unwrap();
+        let keys = hashed_keys(68, 1000);
+        assert_eq!(f.insert_values_batch(&keys[..500].iter().map(|&k| (k, 7)).collect::<Vec<_>>()), 0);
+        assert_eq!(f.insert_batch(&keys[500..]), 0);
+        let mut out = vec![false; keys.len()];
+        f.query_batch(&keys, &mut out);
+        assert!(out.iter().all(|&x| x));
+        let vals = f.query_values_batch(&keys[..500]);
+        let sevens = vals.iter().filter(|&&v| v == Some(7)).count();
+        assert!(sevens >= 495, "sevens {sevens}");
+    }
+
+    #[test]
+    fn value_store_counts_in_table_bytes() {
+        use filter_core::FilterMeta;
+        let plain = BulkTcf::new(1 << 12).unwrap();
+        let valued = BulkTcf::new(1 << 12).unwrap().with_values(16).unwrap();
+        assert!(valued.table_bytes() > plain.table_bytes());
+    }
+}

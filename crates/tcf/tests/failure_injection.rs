@@ -1,0 +1,171 @@
+//! Failure injection for the TCF: every overload and misuse path must
+//! fail cleanly — report `Full`, keep serving queries, and never corrupt
+//! already-stored fingerprints.
+
+use filter_core::{hashed_keys, Deletable, Filter, FilterError, FilterMeta};
+use tcf::{BulkTcf, PointTcf, TcfConfig};
+
+#[test]
+fn overfill_fails_with_full_and_keeps_serving() {
+    let cfg = TcfConfig { max_load: 0.95, ..Default::default() };
+    let f = PointTcf::with_config(1 << 10, cfg).unwrap();
+    let keys = hashed_keys(501, 2 * f.slots());
+    let mut stored = Vec::new();
+    let mut hit_full = false;
+    for &k in &keys {
+        match f.insert(k) {
+            Ok(()) => stored.push(k),
+            Err(FilterError::Full) => {
+                hit_full = true;
+                break;
+            }
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+    assert!(hit_full, "overfilling must eventually report Full");
+    // Everything accepted before the failure still answers positive.
+    for &k in &stored {
+        assert!(f.contains(k), "stored key lost after a Full rejection");
+    }
+}
+
+#[test]
+fn full_is_not_sticky_after_deletes() {
+    let cfg = TcfConfig { max_load: 0.9, ..Default::default() };
+    let f = PointTcf::with_config(1 << 10, cfg).unwrap();
+    let keys = hashed_keys(502, 2 * f.slots());
+    let mut stored = Vec::new();
+    for &k in &keys {
+        if f.insert(k).is_err() {
+            break;
+        }
+        stored.push(k);
+    }
+    // Delete a third, then the filter must accept inserts again.
+    let reclaim = stored.len() / 3;
+    for &k in &stored[..reclaim] {
+        assert!(f.remove(k).unwrap());
+    }
+    let fresh = hashed_keys(503, reclaim / 2);
+    for &k in &fresh {
+        f.insert(k).unwrap_or_else(|e| panic!("post-delete insert failed: {e}"));
+    }
+    for &k in &fresh {
+        assert!(f.contains(k));
+    }
+}
+
+#[test]
+fn no_backing_table_fails_earlier_than_with() {
+    let with = PointTcf::with_config(
+        1 << 12,
+        TcfConfig { max_load: 0.99, ..Default::default() },
+    )
+    .unwrap();
+    let without = PointTcf::with_config(
+        1 << 12,
+        TcfConfig { backing_table: false, max_load: 0.99, ..Default::default() },
+    )
+    .unwrap();
+    let keys = hashed_keys(504, 1 << 13);
+    let fill = |f: &PointTcf| {
+        let mut n = 0usize;
+        for &k in &keys {
+            if f.insert(k).is_err() {
+                break;
+            }
+            n += 1;
+        }
+        n as f64 / f.slots() as f64
+    };
+    let load_with = fill(&with);
+    let load_without = fill(&without);
+    assert!(
+        load_with > load_without + 0.02,
+        "backing table must extend max load ({load_with:.3} vs {load_without:.3})"
+    );
+    assert!(load_with >= 0.9, "paper: ≥90% with backing table, got {load_with:.3}");
+}
+
+#[test]
+fn delete_of_never_inserted_key_usually_misses() {
+    let f = PointTcf::new(1 << 12).unwrap();
+    for &k in &hashed_keys(505, 1000) {
+        f.insert(k).unwrap();
+    }
+    let misses = hashed_keys(506, 1000)
+        .iter()
+        .filter(|&&k| !f.remove(k).unwrap())
+        .count();
+    // A remove of an absent key only "succeeds" on a fingerprint
+    // collision, bounded by ε.
+    assert!(misses > 980, "absent-key deletes removed too much: {misses}");
+}
+
+#[test]
+fn bulk_overfill_reports_exact_failure_count() {
+    let f = BulkTcf::new(1 << 10).unwrap();
+    let n = f.slots() + f.slots() / 2;
+    let keys = hashed_keys(507, n);
+    let fails = f.insert_batch(&keys);
+    assert!(fails > 0, "50% oversubscription must fail some items");
+    // The accepted complement must be queryable.
+    let mut out = vec![false; keys.len()];
+    f.query_batch(&keys, &mut out);
+    let present = out.iter().filter(|&&x| x).count();
+    assert!(
+        present >= keys.len() - fails,
+        "accepted items lost: {present} present vs {} accepted",
+        keys.len() - fails
+    );
+}
+
+#[test]
+fn bulk_delete_of_missing_keys_counts_misses() {
+    let f = BulkTcf::new(1 << 12).unwrap();
+    let keys = hashed_keys(508, 2000);
+    assert_eq!(f.insert_batch(&keys[..1000].to_vec()), 0);
+    let missing = f.delete_batch(&keys[1000..]);
+    assert!(missing > 950, "deleting absent keys must report misses, got {missing}");
+    // The stored half is untouched (minus ε collisions).
+    let mut out = vec![false; 1000];
+    f.query_batch(&keys[..1000], &mut out);
+    let survivors = out.iter().filter(|&&x| x).count();
+    assert!(survivors >= 990, "survivors {survivors}");
+}
+
+#[test]
+fn bad_configs_rejected() {
+    assert!(PointTcf::with_config(1024, TcfConfig { fp_bits: 9, ..Default::default() }).is_err());
+    assert!(BulkTcf::with_config(
+        1024,
+        TcfConfig { cg_size: 5, ..Default::default() },
+        gpu_sim::Device::cori()
+    )
+    .is_err());
+}
+
+#[test]
+fn values_without_store_are_rejected() {
+    use filter_core::Valued;
+    let f = PointTcf::new(1 << 10).unwrap();
+    assert_eq!(f.value_bits(), 0);
+    assert!(f.insert_value(1, 2).is_err(), "no value store attached");
+}
+
+#[test]
+fn tombstone_churn_does_not_leak_slots() {
+    // Insert/delete the same working set repeatedly: occupancy must come
+    // back to the baseline every round (tombstones are reclaimed).
+    let f = PointTcf::new(1 << 10).unwrap();
+    let keys = hashed_keys(509, 512);
+    for round in 0..20 {
+        for &k in &keys {
+            f.insert(k).unwrap_or_else(|e| panic!("round {round}: {e}"));
+        }
+        for &k in &keys {
+            assert!(f.remove(k).unwrap(), "round {round} lost a key");
+        }
+        assert_eq!(f.len(), 0, "round {round} leaked occupancy");
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests for the TCF: membership soundness, multiset deletion,
+//! backing-table behaviour, and bulk/point agreement under arbitrary
+//! configurations.
+
+use filter_core::{Deletable, Filter};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use tcf::{BulkTcf, PointTcf, TcfConfig};
+
+fn arb_config() -> impl Strategy<Value = TcfConfig> {
+    (
+        prop_oneof![Just(8u32), Just(12), Just(16)],
+        prop_oneof![Just(8usize), Just(12), Just(16), Just(32)],
+        prop_oneof![Just(1u32), Just(4), Just(16)],
+        0.0f64..=1.0,
+    )
+        .prop_map(|(fp_bits, block_slots, cg, shortcut_fill)| TcfConfig {
+            fp_bits,
+            block_slots,
+            cg_size: cg,
+            shortcut_fill,
+            ..TcfConfig::default()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every configuration in the Fig. 5 space keeps the no-false-negative
+    /// guarantee.
+    #[test]
+    fn no_false_negatives_any_config(cfg in arb_config(), keys in vec(any::<u64>(), 1..300)) {
+        let f = PointTcf::with_config(2048, cfg).unwrap();
+        for &k in &keys {
+            f.insert(k).unwrap();
+        }
+        for &k in &keys {
+            prop_assert!(f.contains(k), "missing key under {:?}", cfg);
+        }
+    }
+
+    /// Insert/delete interleavings never lose still-present keys.
+    #[test]
+    fn interleaved_ops_keep_survivors(ops in vec((any::<u16>(), any::<bool>()), 1..400)) {
+        let f = PointTcf::new(4096).unwrap();
+        let mut model = std::collections::HashMap::<u64, i64>::new();
+        for (key, is_insert) in ops {
+            let k = key as u64;
+            if is_insert {
+                if f.insert(k).is_ok() {
+                    *model.entry(k).or_default() += 1;
+                }
+            } else if f.remove(k).unwrap() {
+                let e = model.entry(k).or_default();
+                prop_assert!(*e > 0, "removed a key the model says is absent");
+                *e -= 1;
+            }
+        }
+        for (&k, &c) in &model {
+            if c > 0 {
+                prop_assert!(f.contains(k), "survivor {} lost", k);
+            }
+        }
+    }
+
+    /// The filter's len() equals inserts minus removals.
+    #[test]
+    fn len_is_exact(keys in vec(any::<u64>(), 1..200)) {
+        let f = PointTcf::new(2048).unwrap();
+        for &k in &keys {
+            f.insert(k).unwrap();
+        }
+        prop_assert_eq!(f.len(), keys.len());
+        for &k in &keys {
+            prop_assert!(f.remove(k).unwrap());
+        }
+        prop_assert_eq!(f.len(), 0);
+    }
+
+    /// Bulk and point builds answer membership identically for members.
+    #[test]
+    fn bulk_matches_point_on_members(keys in vec(any::<u64>(), 1..250)) {
+        let p = PointTcf::new(4096).unwrap();
+        let b = BulkTcf::new(4096).unwrap();
+        for &k in &keys {
+            p.insert(k).unwrap();
+        }
+        prop_assert_eq!(b.insert_batch(&keys), 0);
+        let mut out = vec![false; keys.len()];
+        b.query_batch(&keys, &mut out);
+        for (i, &k) in keys.iter().enumerate() {
+            prop_assert!(p.contains(k));
+            prop_assert!(out[i]);
+        }
+    }
+
+    /// Bulk blocks remain sorted with empties in a suffix, whatever the
+    /// batch composition (duplicates included).
+    #[test]
+    fn bulk_blocks_stay_sorted(keys in vec(0u64..500, 1..400)) {
+        let b = BulkTcf::new(2048).unwrap();
+        b.insert_batch(&keys);
+        let mut fps = b.enumerate_fingerprints();
+        // Enumerate walks blocks in order; within a block values ascend.
+        // Global check: re-querying all keys succeeds.
+        let mut out = vec![false; keys.len()];
+        b.query_batch(&keys, &mut out);
+        prop_assert!(out.iter().all(|&x| x));
+        fps.sort_unstable();
+        prop_assert!(fps.len() <= keys.len() + b.backing_occupancy());
+    }
+}

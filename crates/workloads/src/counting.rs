@@ -1,0 +1,154 @@
+//! The counting-benchmark datasets of Table 5 (§6.7).
+
+use filter_core::Xorwow;
+
+/// A counting dataset: the item stream (with duplicates materialized) and
+/// the number of distinct items.
+#[derive(Debug, Clone)]
+pub struct CountDataset {
+    /// Items in insertion order, duplicates included.
+    pub items: Vec<u64>,
+    /// Number of distinct items.
+    pub distinct: usize,
+    /// Dataset label as the paper's Table 5 names it.
+    pub label: &'static str,
+}
+
+impl CountDataset {
+    /// Total stream length.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// "UR": items drawn uniformly at random — 64-bit hashed draws, so
+/// duplicates are vanishingly rare ("almost no duplicates").
+pub fn ur_dataset(n: usize, seed: u64) -> CountDataset {
+    let mut g = Xorwow::new(seed);
+    let items: Vec<u64> = (0..n).map(|_| g.next_hashed()).collect();
+    CountDataset { distinct: items.len(), items, label: "UR" }
+}
+
+/// "UR count": distinct items whose multiplicities are uniform in
+/// `1..=100`; the stream is truncated at `n` total instances.
+pub fn ur_count_dataset(n: usize, seed: u64) -> CountDataset {
+    let mut g = Xorwow::new(seed);
+    let mut items = Vec::with_capacity(n);
+    let mut distinct = 0usize;
+    while items.len() < n {
+        let item = g.next_hashed();
+        let count = (g.next_u32() % 100 + 1) as usize;
+        distinct += 1;
+        for _ in 0..count.min(n - items.len()) {
+            items.push(item);
+        }
+    }
+    CountDataset { items, distinct, label: "UR count" }
+}
+
+/// "Zipfian count": item multiplicities follow a Zipfian distribution
+/// with coefficient 1.5, items drawn from a universe the same size as the
+/// dataset (§6.7). Sampling uses the standard inverse-CDF power-law
+/// approximation, then the stream is shuffled so heavy hitters interleave.
+///
+/// ```
+/// let d = workloads::zipfian_count_dataset(10_000, 1.5, 7);
+/// assert_eq!(d.len(), 10_000);
+/// assert!(d.distinct < d.len()); // heavy duplication
+/// ```
+pub fn zipfian_count_dataset(n: usize, coefficient: f64, seed: u64) -> CountDataset {
+    assert!(coefficient > 1.0, "Zipf coefficient must exceed 1 for a finite mean");
+    let mut g = Xorwow::new(seed);
+    // Universe of n candidate items; identity of item i is a hash of i so
+    // quotients spread over the filter.
+    let mut items = Vec::with_capacity(n);
+    let mut seen = std::collections::HashSet::new();
+    let exponent = -1.0 / (coefficient - 1.0);
+    while items.len() < n {
+        // Inverse-CDF sample of a discrete power law over ranks 1..=n:
+        // rank ≈ u^(-1/(s-1)) clamped to the universe.
+        let u = (g.next_u32() as f64 + 1.0) / (u32::MAX as f64 + 2.0);
+        let rank = (u.powf(exponent).ceil() as u64).clamp(1, n as u64);
+        let item = filter_core::hash64_seeded(rank, seed ^ 0x21bf);
+        seen.insert(item);
+        items.push(item);
+    }
+    // Fisher–Yates shuffle with the same generator.
+    for i in (1..items.len()).rev() {
+        let j = (g.next_u64() % (i as u64 + 1)) as usize;
+        items.swap(i, j);
+    }
+    CountDataset { items, distinct: seen.len(), label: "Zipfian count" }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn histogram(items: &[u64]) -> HashMap<u64, u64> {
+        let mut h = HashMap::new();
+        for &i in items {
+            *h.entry(i).or_default() += 1;
+        }
+        h
+    }
+
+    #[test]
+    fn ur_has_no_duplicates() {
+        let d = ur_dataset(100_000, 1);
+        assert_eq!(d.len(), 100_000);
+        assert_eq!(d.distinct, 100_000);
+        assert_eq!(histogram(&d.items).len(), 100_000);
+    }
+
+    #[test]
+    fn ur_count_multiplicities_in_range() {
+        let d = ur_count_dataset(100_000, 2);
+        assert_eq!(d.len(), 100_000);
+        let h = histogram(&d.items);
+        assert_eq!(h.len(), d.distinct);
+        // All counts in 1..=100 (the final item may be truncated).
+        assert!(h.values().all(|&c| (1..=100).contains(&c)));
+        // Mean multiplicity ≈ 50.5.
+        let mean = d.len() as f64 / d.distinct as f64;
+        assert!((40.0..60.0).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn zipfian_is_heavily_skewed() {
+        let d = zipfian_count_dataset(200_000, 1.5, 3);
+        assert_eq!(d.len(), 200_000);
+        let h = histogram(&d.items);
+        let max = *h.values().max().unwrap();
+        // With s = 1.5, the top item takes a large constant fraction.
+        assert!(
+            max as f64 > d.len() as f64 * 0.2,
+            "top item should dominate, got {max} of {}",
+            d.len()
+        );
+        // But the tail is long: many distinct items.
+        assert!(h.len() > 1000, "distinct {}", h.len());
+    }
+
+    #[test]
+    fn datasets_are_deterministic_per_seed() {
+        assert_eq!(ur_dataset(1000, 7).items, ur_dataset(1000, 7).items);
+        assert_eq!(
+            zipfian_count_dataset(1000, 1.5, 7).items,
+            zipfian_count_dataset(1000, 1.5, 7).items
+        );
+        assert_ne!(ur_dataset(1000, 7).items, ur_dataset(1000, 8).items);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zipf_coefficient_must_exceed_one() {
+        let _ = zipfian_count_dataset(100, 1.0, 1);
+    }
+}

@@ -1,0 +1,224 @@
+//! Synthetic genomics workloads.
+//!
+//! The paper's counting benchmark uses raw sequencing reads from
+//! *M. balbisiana* (the Squeakr dataset) and the MetaHipMer evaluation
+//! uses two real metagenomes (WA, Rhizo). Neither is redistributable, so
+//! this module generates FASTQ-like reads with the two properties that
+//! drive the filters' behaviour:
+//!
+//! * a skewed k-mer multiplicity distribution — genomic k-mers appear
+//!   ~coverage times, while sequencing errors mint k-mers that appear
+//!   exactly once (each base error corrupts up to k windows);
+//! * a tunable *singleton fraction* — the share of distinct k-mers that
+//!   are singletons, which is what decides how much memory a TCF
+//!   pre-filter saves MetaHipMer (Table 3; the paper's two metagenomes
+//!   sit at very different points of this knob).
+
+use filter_core::Xorwow;
+
+/// Shape of a synthetic sequencing experiment.
+#[derive(Debug, Clone)]
+pub struct GenomeProfile {
+    /// Underlying genome length in bases.
+    pub genome_size: usize,
+    /// Mean sequencing depth (reads covering each base).
+    pub coverage: f64,
+    /// Read length in bases.
+    pub read_len: usize,
+    /// Per-base error probability (errors mint singleton k-mers).
+    pub error_rate: f64,
+    /// Label for reports.
+    pub label: &'static str,
+}
+
+impl GenomeProfile {
+    /// A single-organism sample like the Squeakr *M. balbisiana* run:
+    /// decent coverage, ~1% error.
+    pub fn single_genome(genome_size: usize) -> Self {
+        GenomeProfile {
+            genome_size,
+            coverage: 20.0,
+            read_len: 150,
+            error_rate: 0.01,
+            label: "single-genome",
+        }
+    }
+
+    /// A WA-like metagenome: moderate-coverage community where roughly
+    /// two thirds of distinct k-mers end up singletons (Table 3's WA
+    /// memory ratios).
+    pub fn metagenome_wa(genome_size: usize) -> Self {
+        GenomeProfile {
+            genome_size,
+            coverage: 8.0,
+            read_len: 150,
+            error_rate: 0.015,
+            label: "WA-like",
+        }
+    }
+
+    /// A Rhizo-like metagenome: low-abundance community dominated by
+    /// singletons (~85% of distinct k-mers).
+    pub fn metagenome_rhizo(genome_size: usize) -> Self {
+        GenomeProfile {
+            genome_size,
+            coverage: 4.0,
+            read_len: 150,
+            error_rate: 0.03,
+            label: "Rhizo-like",
+        }
+    }
+
+    /// Number of reads this profile produces.
+    pub fn n_reads(&self) -> usize {
+        ((self.genome_size as f64 * self.coverage) / self.read_len as f64).ceil() as usize
+    }
+}
+
+/// Generate FASTQ-like reads (2-bit bases, 0..=3 = ACGT) from a random
+/// genome under `profile`.
+pub fn synthetic_reads(profile: &GenomeProfile, seed: u64) -> Vec<Vec<u8>> {
+    let mut g = Xorwow::new(seed);
+    // Random genome.
+    let genome: Vec<u8> = (0..profile.genome_size).map(|_| (g.next_u32() & 3) as u8).collect();
+    let err_threshold = (profile.error_rate * u32::MAX as f64) as u32;
+    let n_reads = profile.n_reads();
+    let mut reads = Vec::with_capacity(n_reads);
+    for _ in 0..n_reads {
+        let max_start = profile.genome_size.saturating_sub(profile.read_len).max(1);
+        let start = (g.next_u64() % max_start as u64) as usize;
+        let mut read = Vec::with_capacity(profile.read_len);
+        for i in 0..profile.read_len.min(profile.genome_size - start) {
+            let mut base = genome[start + i];
+            if g.next_u32() < err_threshold {
+                // Substitution error: any of the three other bases.
+                base = (base + 1 + (g.next_u32() % 3) as u8) & 3;
+            }
+            read.push(base);
+        }
+        reads.push(read);
+    }
+    reads
+}
+
+/// Extract all k-mers from a read set, 2-bit packed into `u64` (k ≤ 32).
+/// K-mers are canonicalized against their reverse complement, as every
+/// k-mer counter (Squeakr, MetaHipMer) does.
+pub fn extract_kmers(reads: &[Vec<u8>], k: usize) -> Vec<u64> {
+    assert!((1..=32).contains(&k), "k must be 1..=32");
+    let mask = if k == 32 { u64::MAX } else { (1u64 << (2 * k)) - 1 };
+    let mut out = Vec::new();
+    for read in reads {
+        if read.len() < k {
+            continue;
+        }
+        let mut fwd = 0u64;
+        let mut rc = 0u64;
+        for (i, &base) in read.iter().enumerate() {
+            fwd = ((fwd << 2) | base as u64) & mask;
+            // Reverse complement built from the other end.
+            rc = (rc >> 2) | ((3 - base as u64) << (2 * (k - 1)));
+            if i + 1 >= k {
+                out.push(fwd.min(rc));
+            }
+        }
+    }
+    out
+}
+
+/// Convenience for the Table 5 k-mer counting row: a read set sized to
+/// produce at least `n_kmers` k-mers of size `k`, extracted and ready to
+/// insert.
+pub fn kmer_dataset(n_kmers: usize, k: usize, seed: u64) -> Vec<u64> {
+    // kmers per read = read_len - k + 1; with coverage 20 the genome size
+    // needed is n_kmers * read_len / (coverage * kmers_per_read).
+    let read_len = 150usize;
+    let per_read = read_len - k + 1;
+    let n_reads_needed = n_kmers.div_ceil(per_read);
+    let genome_size = (n_reads_needed * read_len) / 20 + read_len;
+    let profile = GenomeProfile::single_genome(genome_size.max(1000));
+    let reads = synthetic_reads(&profile, seed);
+    let mut kmers = extract_kmers(&reads, k);
+    kmers.truncate(n_kmers);
+    kmers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn reads_have_requested_shape() {
+        let p = GenomeProfile::single_genome(10_000);
+        let reads = synthetic_reads(&p, 1);
+        assert_eq!(reads.len(), p.n_reads());
+        assert!(reads.iter().all(|r| r.len() == p.read_len));
+        assert!(reads.iter().flatten().all(|&b| b < 4));
+    }
+
+    #[test]
+    fn kmer_extraction_counts_windows() {
+        let reads = vec![vec![0u8, 1, 2, 3, 0, 1]];
+        let kmers = extract_kmers(&reads, 4);
+        assert_eq!(kmers.len(), 3); // 6 - 4 + 1
+    }
+
+    #[test]
+    fn canonical_kmers_match_reverse_complement() {
+        // A read and its reverse complement must give the same k-mer set.
+        let read = vec![0u8, 1, 2, 3, 1, 1, 0, 2];
+        let rc: Vec<u8> = read.iter().rev().map(|&b| 3 - b).collect();
+        let mut a = extract_kmers(&[read], 5);
+        let mut b = extract_kmers(&[rc], 5);
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn errors_create_singletons() {
+        let clean = GenomeProfile { error_rate: 0.0, ..GenomeProfile::single_genome(20_000) };
+        let noisy = GenomeProfile { error_rate: 0.02, ..GenomeProfile::single_genome(20_000) };
+        let count_singletons = |p: &GenomeProfile| {
+            let kmers = extract_kmers(&synthetic_reads(p, 5), 21);
+            let mut h: HashMap<u64, u64> = HashMap::new();
+            for k in kmers {
+                *h.entry(k).or_default() += 1;
+            }
+            let singles = h.values().filter(|&&c| c == 1).count();
+            (singles as f64) / (h.len() as f64)
+        };
+        let clean_frac = count_singletons(&clean);
+        let noisy_frac = count_singletons(&noisy);
+        assert!(
+            noisy_frac > clean_frac + 0.2,
+            "errors should mint singletons: clean {clean_frac:.3} noisy {noisy_frac:.3}"
+        );
+        assert!(noisy_frac > 0.5, "noisy singleton fraction {noisy_frac:.3}");
+    }
+
+    #[test]
+    fn genomic_kmers_appear_about_coverage_times() {
+        let p = GenomeProfile { error_rate: 0.0, ..GenomeProfile::single_genome(50_000) };
+        let kmers = extract_kmers(&synthetic_reads(&p, 9), 21);
+        let mut h: HashMap<u64, u64> = HashMap::new();
+        for k in kmers {
+            *h.entry(k).or_default() += 1;
+        }
+        let mean = h.values().sum::<u64>() as f64 / h.len() as f64;
+        assert!((5.0..40.0).contains(&mean), "mean multiplicity {mean} vs coverage 20");
+    }
+
+    #[test]
+    fn kmer_dataset_hits_target_size() {
+        let kmers = kmer_dataset(50_000, 21, 4);
+        assert_eq!(kmers.len(), 50_000);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = GenomeProfile::metagenome_wa(5_000);
+        assert_eq!(synthetic_reads(&p, 11), synthetic_reads(&p, 11));
+    }
+}

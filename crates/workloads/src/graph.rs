@@ -1,0 +1,106 @@
+//! Graph edge streams for the even-odd dynamic-graph store (§1's second
+//! generalization target). Real dynamic-graph workloads are dominated by
+//! power-law degree distributions, so the generator skews endpoint mass
+//! toward low vertex ids ("hubs") the same way the Zipfian counting
+//! dataset skews item counts.
+
+use filter_core::hashed_keys;
+
+/// A generated edge stream with its ground-truth statistics.
+#[derive(Debug, Clone)]
+pub struct EdgeStream {
+    /// Raw (possibly repeated) undirected edges; self-loops excluded.
+    pub edges: Vec<(u32, u32)>,
+    /// Number of distinct edges (canonicalized endpoint pairs).
+    pub distinct: usize,
+    /// Number of vertices with at least one incident edge.
+    pub vertices: usize,
+}
+
+/// Skew a uniform 32-bit sample toward low ids: squaring the unit sample
+/// produces an (approximately) power-law endpoint popularity.
+#[inline]
+fn powerlaw_endpoint(bits: u32, n_vertices: u32) -> u32 {
+    let u = bits as f64 / u32::MAX as f64;
+    ((u * u) * (n_vertices - 1) as f64) as u32
+}
+
+/// Generate `n` edges over `n_vertices` vertices with power-law endpoint
+/// popularity (hub-heavy, like social / k-mer overlap graphs).
+pub fn powerlaw_edges(seed: u64, n: usize, n_vertices: u32) -> EdgeStream {
+    assert!(n_vertices >= 2, "need at least two vertices");
+    let edges: Vec<(u32, u32)> = hashed_keys(seed, n * 2)
+        .chunks(2)
+        .map(|c| {
+            (powerlaw_endpoint(c[0] as u32, n_vertices), powerlaw_endpoint(c[1] as u32, n_vertices))
+        })
+        .filter(|&(u, v)| u != v)
+        .take(n)
+        .collect();
+    summarize(edges)
+}
+
+/// Generate `n` edges with uniform endpoints (the low-contention case).
+pub fn uniform_edges(seed: u64, n: usize, n_vertices: u32) -> EdgeStream {
+    assert!(n_vertices >= 2, "need at least two vertices");
+    let edges: Vec<(u32, u32)> = hashed_keys(seed, n * 2)
+        .chunks(2)
+        .map(|c| ((c[0] as u32) % n_vertices, (c[1] as u32) % n_vertices))
+        .filter(|&(u, v)| u != v)
+        .take(n)
+        .collect();
+    summarize(edges)
+}
+
+fn summarize(edges: Vec<(u32, u32)>) -> EdgeStream {
+    let mut distinct = std::collections::HashSet::new();
+    let mut vertices = std::collections::HashSet::new();
+    for &(u, v) in &edges {
+        distinct.insert((u.min(v), u.max(v)));
+        vertices.insert(u);
+        vertices.insert(v);
+    }
+    EdgeStream { distinct: distinct.len(), vertices: vertices.len(), edges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn powerlaw_concentrates_on_hubs() {
+        let s = powerlaw_edges(1, 20_000, 1 << 12);
+        let hub_hits = s.edges.iter().filter(|&&(u, v)| u < 64 || v < 64).count();
+        // 64/4096 of the id space should catch far more than its uniform
+        // share (~3%) of endpoints.
+        assert!(
+            hub_hits as f64 / s.edges.len() as f64 > 0.15,
+            "hub share {}",
+            hub_hits as f64 / s.edges.len() as f64
+        );
+    }
+
+    #[test]
+    fn uniform_spreads_evenly() {
+        let s = uniform_edges(2, 20_000, 1 << 12);
+        let hub_hits = s.edges.iter().filter(|&&(u, v)| u < 64 || v < 64).count();
+        let share = hub_hits as f64 / s.edges.len() as f64;
+        assert!(share < 0.1, "hub share {share}");
+    }
+
+    #[test]
+    fn no_self_loops_and_stats_consistent() {
+        for s in [powerlaw_edges(3, 5000, 256), uniform_edges(4, 5000, 256)] {
+            assert!(s.edges.iter().all(|&(u, v)| u != v));
+            assert!(s.distinct <= s.edges.len());
+            assert!(s.vertices as u32 <= 256);
+            assert!(s.distinct > 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(powerlaw_edges(5, 1000, 128).edges, powerlaw_edges(5, 1000, 128).edges);
+        assert_ne!(powerlaw_edges(5, 1000, 128).edges, powerlaw_edges(6, 1000, 128).edges);
+    }
+}

@@ -1,0 +1,41 @@
+//! The MetaHipMer integration (§6.5, Table 3): weed out singleton k-mers
+//! with a TCF before they ever reach the exact counting hash table.
+//!
+//! ```sh
+//! cargo run --release -p gpu-filters --example metagenome_filtering
+//! ```
+
+use gpu_filters::datasets::GenomeProfile;
+use gpu_filters::mhm::{table3_rows, MemoryReport};
+
+fn gb(report: &MemoryReport) -> f64 {
+    report.total_bytes() as f64 / 1e6 // MB at this synthetic scale
+}
+
+fn main() {
+    println!("MetaHipMer k-mer analysis phase, synthetic metagenomes (k=21)\n");
+    println!(
+        "{:<12}{:<9}{:>12}{:>12}{:>12}{:>14}",
+        "Dataset", "Method", "TCF MB", "HT MB", "Total MB", "singletons"
+    );
+
+    for profile in
+        [GenomeProfile::metagenome_wa(400_000), GenomeProfile::metagenome_rhizo(400_000)]
+    {
+        let (with_tcf, without) = table3_rows(&profile, 21, 99);
+        for r in [&with_tcf, &without] {
+            println!(
+                "{:<12}{:<9}{:>12.2}{:>12.2}{:>12.2}{:>13.1}%",
+                r.dataset,
+                r.method,
+                r.tcf_bytes as f64 / 1e6,
+                r.ht_bytes as f64 / 1e6,
+                gb(r),
+                r.singleton_fraction() * 100.0
+            );
+        }
+        let saved = 100.0 * (1.0 - gb(&with_tcf) / gb(&without));
+        println!("  → TCF cuts {}'s memory by {saved:.0}%\n", profile.label);
+    }
+    println!("(Table 3 reports the same pipeline at 64-node scale: WA 1742→607 GB, Rhizo 790→146 GB.)");
+}

@@ -1,0 +1,58 @@
+//! Quickstart: the five-minute tour of both filters.
+//!
+//! ```sh
+//! cargo run --release -p gpu-filters --example quickstart
+//! ```
+
+use gpu_filters::prelude::*;
+
+fn main() -> Result<(), FilterError> {
+    // ---- TCF: the default choice (fast, deletes, values) -------------
+    let tcf = PointTcf::new(1 << 16)?;
+    tcf.insert(42)?;
+    tcf.insert(1337)?;
+    assert!(tcf.contains(42));
+    assert!(tcf.contains(1337));
+
+    tcf.remove(42)?;
+    assert!(!tcf.contains(42));
+    println!("TCF: inserted, queried, deleted ✓ (load {:.1}%)", tcf.load_factor() * 100.0);
+
+    // Value association: map fingerprints to small values (the
+    // MetaHipMer use case).
+    let valued = PointTcf::new(1 << 12)?.with_values(16)?;
+    valued.insert_value(7, 99)?;
+    assert_eq!(valued.query_value(7), Some(99));
+    println!("TCF values: fingerprint → 99 ✓");
+
+    // ---- GQF: when you need counting ---------------------------------
+    let gqf = PointGqf::new(16, 8)?;
+    for _ in 0..5 {
+        gqf.insert(2024)?;
+    }
+    gqf.insert_count(2024, 95)?;
+    assert_eq!(gqf.count(2024), 100);
+    println!("GQF: counted 100 instances ✓");
+
+    // Counting never undercounts; absent keys are (almost always) 0.
+    assert_eq!(gqf.count(777), 0);
+
+    // ---- Bulk APIs: one call per batch --------------------------------
+    let bulk = BulkTcf::new(1 << 16)?;
+    let keys: Vec<u64> = (0..40_000u64).map(|i| i.wrapping_mul(0x9e3779b97f4a7c15)).collect();
+    let failed = bulk.bulk_insert(&keys)?;
+    assert_eq!(failed, 0);
+    let hits = bulk.bulk_query_vec(&keys);
+    assert!(hits.iter().all(|&h| h));
+    println!("Bulk TCF: {} keys in one batch ✓", keys.len());
+
+    // False positives are bounded by the configured rate.
+    let probes: Vec<u64> = (1..20_000u64).map(|i| i.wrapping_mul(0xdeadbeefcafef00d)).collect();
+    let fps = bulk.bulk_query_vec(&probes).iter().filter(|&&h| h).count();
+    println!(
+        "Bulk TCF negative probes: {fps}/{} false positives ({:.3}%)",
+        probes.len(),
+        fps as f64 / probes.len() as f64 * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! Streaming deduplication with bounded memory: a TCF as the seen-set.
+//!
+//! A classic filter deployment (the paper's §1 motivates filters as the
+//! memory-saving approximate set for accelerators): pass a stream of
+//! events, emit each distinct event once, tolerate a bounded false-drop
+//! rate, and *delete* expired entries to keep the window sliding —
+//! deletions being exactly what Bloom-filter-based dedup cannot do.
+//!
+//! ```sh
+//! cargo run --release -p gpu-filters --example stream_dedup
+//! ```
+
+use gpu_filters::datasets::hashed_keys;
+use gpu_filters::prelude::*;
+use std::collections::VecDeque;
+
+const WINDOW: usize = 20_000;
+
+fn main() -> Result<(), FilterError> {
+    let filter = PointTcf::new(1 << 16)?;
+    let mut window: VecDeque<u64> = VecDeque::with_capacity(WINDOW);
+
+    // A stream with ~30% duplicates: fresh keys interleaved with recent
+    // replays.
+    let fresh = hashed_keys(7, 100_000);
+    let mut emitted = 0usize;
+    let mut suppressed = 0usize;
+
+    for (i, &key) in fresh.iter().enumerate() {
+        let event = if i % 10 < 3 && i > 100 {
+            fresh[i - 1 - (i % 97)] // a replayed recent event
+        } else {
+            key
+        };
+
+        if filter.contains(event) {
+            suppressed += 1;
+            continue;
+        }
+        // New event: emit and remember it, expiring the oldest beyond the
+        // window via deletion (the TCF's tombstones make this one CAS).
+        emitted += 1;
+        filter.insert(event)?;
+        window.push_back(event);
+        if window.len() > WINDOW {
+            let old = window.pop_front().unwrap();
+            filter.remove(old)?;
+        }
+    }
+
+    println!("stream: {} events", fresh.len());
+    println!("emitted: {emitted}, suppressed as duplicates: {suppressed}");
+    println!("window load factor: {:.1}%", filter.load_factor() * 100.0);
+    assert!(suppressed > 20_000, "the replay share should be suppressed");
+    assert!(filter.len() <= WINDOW);
+    Ok(())
+}

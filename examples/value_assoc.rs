@@ -1,0 +1,99 @@
+//! Fingerprint→value association: the feature MetaHipMer needed and no
+//! prior GPU filter offered (§1).
+//!
+//! MetaHipMer wants to "map fingerprints to small values to weed out
+//! singletons during raw data processing and use the output in later
+//! stages". This example plays that pipeline in miniature with both
+//! value-capable filters:
+//!
+//! * the **TCF** stores a small value next to each fingerprint
+//!   (`value_bits` wide, §4's design);
+//! * the **GQF** rides the value in its variable-sized counters (the
+//!   Mantis re-purposing cited in §2), point or bulk.
+//!
+//! The "value" here is a k-mer's extension code — the 2-bit bases seen
+//! left and right of it — which the assembler uses to walk contigs.
+//!
+//! ```sh
+//! cargo run --release -p gpu-filters --example value_assoc
+//! ```
+
+use gpu_filters::datasets::hashed_keys;
+use gpu_filters::prelude::*;
+
+fn main() -> Result<(), FilterError> {
+    // 4-bit extension codes: (left_base << 2) | right_base. The TCF's
+    // value store is word-aligned (8/16/32/64 bits, matching the atomic
+    // transaction sizes §4.1 discusses), so the codes ride in 8-bit slots.
+    let kmers = hashed_keys(11, 50_000);
+    let ext_code = |k: u64| (k >> 7) & 0xf;
+
+    // --- TCF: values packed beside fingerprints --------------------------
+    let tcf = PointTcf::new(1 << 17)?.with_values(8)?;
+    for &k in &kmers {
+        tcf.insert_value(k, ext_code(k))?;
+    }
+    let mut tcf_hits = 0usize;
+    for &k in &kmers {
+        match tcf.query_value(k) {
+            Some(v) if v == ext_code(k) => tcf_hits += 1,
+            Some(_) => {} // fingerprint collision: a colliding code
+            None => panic!("value association lost a stored k-mer"),
+        }
+    }
+    println!(
+        "TCF  ({} value bits): {}/{} extension codes recovered exactly",
+        tcf.value_bits(),
+        tcf_hits,
+        kmers.len()
+    );
+    assert!(tcf_hits as f64 / kmers.len() as f64 > 0.99);
+
+    // --- GQF point: values in the counters -------------------------------
+    let gqf = PointGqf::new(17, 8)?;
+    for &k in &kmers[..10_000] {
+        gqf.insert_value(k, ext_code(k))?;
+    }
+    let exact = kmers[..10_000]
+        .iter()
+        .filter(|&&k| gqf.query_value(k) == Some(ext_code(k)))
+        .count();
+    println!("GQF  point: {exact}/10000 codes recovered");
+    assert!(exact as f64 / 10_000.0 > 0.99);
+
+    // --- GQF bulk: one phased batch ---------------------------------------
+    // Counter-riding values are space-hungry: a value v ≥ 2 encodes as a
+    // counter group of up to five slots, so the table is sized at ~5 slots
+    // per association (the trade-off Mantis accepts for zero metadata).
+    let bulk = BulkGqf::new_cori(19, 16)?;
+    let pairs: Vec<(u64, u64)> = kmers.iter().map(|&k| (k, ext_code(k))).collect();
+    assert_eq!(bulk.insert_values_batch(&pairs), 0);
+    let values = bulk.query_values_batch(&kmers);
+    let exact = kmers
+        .iter()
+        .zip(&values)
+        .filter(|&(&k, v)| *v == Some(ext_code(k)))
+        .count();
+    println!("GQF  bulk:  {}/{} codes recovered", exact, kmers.len());
+    assert!(exact as f64 / kmers.len() as f64 > 0.99);
+
+    // --- bulk TCF: values merged alongside sorted fingerprints -----------
+    let btcf = BulkTcf::new(1 << 17)?.with_values(8)?;
+    let pairs: Vec<(u64, u64)> = kmers.iter().map(|&k| (k, ext_code(k))).collect();
+    assert_eq!(btcf.insert_values_batch(&pairs), 0);
+    let values = btcf.query_values_batch(&kmers);
+    let exact = kmers
+        .iter()
+        .zip(&values)
+        .filter(|&(&k, v)| *v == Some(ext_code(k)))
+        .count();
+    println!("TCF  bulk:  {}/{} codes recovered", exact, kmers.len());
+    assert!(exact as f64 / kmers.len() as f64 > 0.99);
+
+    // Updating a value in place (a k-mer's extension turned ambiguous).
+    let victim = kmers[0];
+    gqf.insert_value(victim, 0xf)?;
+    assert_eq!(gqf.query_value(victim), Some(0xf));
+    println!("in-place value update: ok");
+    Ok(())
+}

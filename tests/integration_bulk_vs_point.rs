@@ -1,0 +1,111 @@
+//! The bulk APIs must agree with the point APIs: same keys in, same
+//! answers out — for membership, counting, and deletion.
+
+use gpu_filters::prelude::*;
+use gpu_filters::datasets::hashed_keys;
+use gpu_filters::Device;
+
+#[test]
+fn tcf_bulk_and_point_agree_on_membership() {
+    let point = PointTcf::new(1 << 13).unwrap();
+    let bulk = BulkTcf::new(1 << 13).unwrap();
+    let keys = hashed_keys(301, 6000);
+    for &k in &keys {
+        point.insert(k).unwrap();
+    }
+    bulk.bulk_insert(&keys).unwrap();
+
+    let probes = hashed_keys(302, 20_000);
+    let bulk_ans = bulk.bulk_query_vec(&probes);
+    for (i, &p) in probes.iter().enumerate() {
+        // Negative disagreement is allowed only through differing fp
+        // collisions; positives (true members) must agree exactly.
+        if keys.contains(&p) {
+            assert!(point.contains(p) && bulk_ans[i]);
+        }
+    }
+    // All inserted keys positive through both paths.
+    assert!(keys.iter().all(|&k| point.contains(k)));
+    assert!(bulk.bulk_query_vec(&keys).iter().all(|&x| x));
+}
+
+#[test]
+fn gqf_bulk_and_point_agree_on_counts() {
+    let point = PointGqf::new(13, 8).unwrap();
+    let bulk = BulkGqf::new(13, 8, Device::cori()).unwrap();
+    let base = hashed_keys(303, 500);
+    let mut batch = Vec::new();
+    for (i, &k) in base.iter().enumerate() {
+        for _ in 0..=(i % 9) {
+            batch.push(k);
+        }
+    }
+    for &k in &batch {
+        point.insert(k).unwrap();
+    }
+    assert_eq!(bulk.insert_batch(&batch), 0);
+
+    let bulk_counts = bulk.count_batch(&base);
+    for (i, &k) in base.iter().enumerate() {
+        assert_eq!(point.count(k), bulk_counts[i], "count mismatch for key {i}");
+        assert_eq!(bulk_counts[i], (i % 9 + 1) as u64);
+    }
+}
+
+#[test]
+fn gqf_mapreduce_and_point_agree() {
+    let point = PointGqf::new(13, 8).unwrap();
+    let bulk = BulkGqf::new(13, 8, Device::cori()).unwrap();
+    let base = hashed_keys(304, 300);
+    let mut batch = Vec::new();
+    for (i, &k) in base.iter().enumerate() {
+        for _ in 0..=(i % 31) {
+            batch.push(k);
+        }
+    }
+    for &k in &batch {
+        point.insert(k).unwrap();
+    }
+    assert_eq!(bulk.insert_batch_mapreduce(&batch), 0);
+    let bulk_counts = bulk.count_batch(&base);
+    for (i, &k) in base.iter().enumerate() {
+        assert_eq!(point.count(k), bulk_counts[i], "key {i}");
+    }
+}
+
+#[test]
+fn bulk_deletes_match_point_deletes() {
+    let point = PointTcf::new(1 << 12).unwrap();
+    let bulk = BulkTcf::new(1 << 12).unwrap();
+    let keys = hashed_keys(305, 3000);
+    for &k in &keys {
+        point.insert(k).unwrap();
+    }
+    bulk.bulk_insert(&keys).unwrap();
+
+    for &k in &keys[..1500] {
+        point.remove(k).unwrap();
+    }
+    bulk.bulk_delete(&keys[..1500]).unwrap();
+
+    for &k in &keys[1500..] {
+        assert!(point.contains(k));
+    }
+    assert!(bulk.bulk_query_vec(&keys[1500..]).iter().all(|&x| x));
+    assert_eq!(point.len(), 1500);
+}
+
+#[test]
+fn gqf_enumerate_roundtrips_through_bulk() {
+    let bulk = BulkGqf::new(12, 8, Device::cori()).unwrap();
+    let keys = hashed_keys(306, 1000);
+    assert_eq!(bulk.insert_batch(&keys), 0);
+    let entries = bulk.core().enumerate();
+    let total: u64 = entries.iter().map(|&(_, c)| c).sum();
+    assert_eq!(total, 1000);
+    // Every enumerated hash is queryable with its exact count.
+    for &(hash, count) in entries.iter().take(200) {
+        let (q, r) = bulk.core().layout().split(hash);
+        assert_eq!(bulk.core().query(q, r), count);
+    }
+}

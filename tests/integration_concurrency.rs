@@ -1,0 +1,157 @@
+//! Concurrency hammering: the point APIs are the paper's device-side
+//! concurrent interfaces; they must stay exact under thread storms.
+
+use gpu_filters::prelude::*;
+use gpu_filters::datasets::hashed_keys;
+use std::sync::Arc;
+
+#[test]
+fn tcf_mixed_insert_query_delete_storm() {
+    let f = Arc::new(PointTcf::new(1 << 15).unwrap());
+    let keys = Arc::new(hashed_keys(501, 16_000));
+    // Phase 1: concurrent inserts.
+    let handles: Vec<_> = (0..8usize)
+        .map(|t| {
+            let f = Arc::clone(&f);
+            let keys = Arc::clone(&keys);
+            std::thread::spawn(move || {
+                for &k in &keys[t * 2000..(t + 1) * 2000] {
+                    f.insert(k).unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(f.len(), 16_000);
+
+    // Phase 2: readers and deleters race (deleters own disjoint key
+    // ranges; readers check keys nobody deletes).
+    let handles: Vec<_> = (0..4usize)
+        .map(|t| {
+            let f = Arc::clone(&f);
+            let keys = Arc::clone(&keys);
+            std::thread::spawn(move || {
+                for &k in &keys[t * 2000..(t + 1) * 2000] {
+                    assert!(f.remove(k).unwrap());
+                }
+            })
+        })
+        .chain((0..4usize).map(|t| {
+            let f = Arc::clone(&f);
+            let keys = Arc::clone(&keys);
+            std::thread::spawn(move || {
+                for _ in 0..3 {
+                    for &k in &keys[8000 + t * 2000..8000 + (t + 1) * 2000] {
+                        assert!(f.contains(k), "stable key vanished mid-race");
+                    }
+                }
+            })
+        }))
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(f.len(), 8000);
+}
+
+#[test]
+fn gqf_concurrent_inserts_respect_region_locks() {
+    let f = Arc::new(PointGqf::new(15, 8).unwrap());
+    let keys = Arc::new(hashed_keys(502, 16_000));
+    let handles: Vec<_> = (0..8usize)
+        .map(|t| {
+            let f = Arc::clone(&f);
+            let keys = Arc::clone(&keys);
+            std::thread::spawn(move || {
+                for &k in &keys[t * 2000..(t + 1) * 2000] {
+                    f.insert(k).unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(f.len(), 16_000);
+    f.core().check_invariants();
+    for &k in keys.iter() {
+        assert!(f.contains(k));
+    }
+}
+
+#[test]
+fn gqf_zipfian_contention_is_exact() {
+    // §5.4's pathology: every thread hammers the same few keys. Counts
+    // must still be exact.
+    let f = Arc::new(PointGqf::new(13, 8).unwrap());
+    let hot = Arc::new(hashed_keys(503, 4));
+    let handles: Vec<_> = (0..8usize)
+        .map(|t| {
+            let f = Arc::clone(&f);
+            let hot = Arc::clone(&hot);
+            std::thread::spawn(move || {
+                for i in 0..1000usize {
+                    f.insert(hot[(t + i) % 4]).unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let total: u64 = hot.iter().map(|&k| f.count(k)).sum();
+    assert_eq!(total, 8000);
+    f.core().check_invariants();
+}
+
+#[test]
+fn tcf_concurrent_duplicate_inserts_are_multiset() {
+    let f = Arc::new(PointTcf::new(1 << 12).unwrap());
+    let k = hashed_keys(504, 1)[0];
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let f = Arc::clone(&f);
+            std::thread::spawn(move || {
+                for _ in 0..4 {
+                    f.insert(k).unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    // 32 copies inserted; delete them all.
+    let mut removed = 0;
+    while f.remove(k).unwrap() {
+        removed += 1;
+    }
+    assert_eq!(removed, 32);
+    assert!(!f.contains(k));
+}
+
+#[test]
+fn bloom_concurrent_inserts_never_lose_bits() {
+    use gpu_filters::BloomFilter;
+    let f = Arc::new(BloomFilter::new(40_000).unwrap());
+    let keys = Arc::new(hashed_keys(505, 8000));
+    let handles: Vec<_> = (0..8usize)
+        .map(|t| {
+            let f = Arc::clone(&f);
+            let keys = Arc::clone(&keys);
+            std::thread::spawn(move || {
+                for &k in &keys[t * 1000..(t + 1) * 1000] {
+                    f.insert(k).unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    for &k in keys.iter() {
+        assert!(f.contains(k));
+    }
+}

@@ -1,0 +1,95 @@
+//! Counting semantics across datasets: the GQF against exact ground
+//! truth on every Table 5 distribution.
+
+use gpu_filters::prelude::*;
+use gpu_filters::datasets::{ur_count_dataset, ur_dataset, zipfian_count_dataset, kmer_dataset};
+use gpu_filters::Device;
+use std::collections::HashMap;
+
+fn ground_truth(items: &[u64]) -> HashMap<u64, u64> {
+    let mut h = HashMap::new();
+    for &i in items {
+        *h.entry(i).or_default() += 1;
+    }
+    h
+}
+
+/// Counting filter guarantee: count(x) ≥ true count, and equal except for
+/// fingerprint collisions (≤ ε of items).
+fn check_counts(filter: &BulkGqf, truth: &HashMap<u64, u64>) {
+    let keys: Vec<u64> = truth.keys().copied().collect();
+    let counts = filter.count_batch(&keys);
+    let mut overcounted = 0usize;
+    for (k, c) in keys.iter().zip(&counts) {
+        let want = truth[k];
+        assert!(*c >= want, "undercount: key {k} got {c} want {want}");
+        if *c > want {
+            overcounted += 1;
+        }
+    }
+    let rate = overcounted as f64 / keys.len() as f64;
+    assert!(rate < 0.02, "overcount rate {rate} too high");
+}
+
+#[test]
+fn ur_distribution_counts() {
+    let d = ur_dataset(40_000, 401);
+    let f = BulkGqf::new(16, 8, Device::cori()).unwrap();
+    assert_eq!(f.insert_batch(&d.items), 0);
+    check_counts(&f, &ground_truth(&d.items));
+}
+
+#[test]
+fn ur_count_distribution_counts() {
+    let d = ur_count_dataset(40_000, 402);
+    let f = BulkGqf::new(14, 8, Device::cori()).unwrap();
+    assert_eq!(f.insert_batch(&d.items), 0);
+    check_counts(&f, &ground_truth(&d.items));
+}
+
+#[test]
+fn zipfian_distribution_counts_with_mapreduce() {
+    let d = zipfian_count_dataset(60_000, 1.5, 403);
+    let f = BulkGqf::new(14, 8, Device::cori()).unwrap();
+    assert_eq!(f.insert_batch_mapreduce(&d.items), 0);
+    check_counts(&f, &ground_truth(&d.items));
+}
+
+#[test]
+fn kmer_distribution_counts() {
+    let kmers = kmer_dataset(50_000, 21, 404);
+    let f = BulkGqf::new(14, 16, Device::cori()).unwrap();
+    assert_eq!(f.insert_batch_mapreduce(&kmers), 0);
+    check_counts(&f, &ground_truth(&kmers));
+}
+
+#[test]
+fn point_counting_matches_truth_on_skew() {
+    let d = zipfian_count_dataset(20_000, 1.5, 405);
+    let f = PointGqf::new(13, 8).unwrap();
+    for &item in &d.items {
+        f.insert(item).unwrap();
+    }
+    let truth = ground_truth(&d.items);
+    for (&k, &want) in truth.iter().take(2000) {
+        assert!(f.count(k) >= want);
+    }
+    assert_eq!(f.len(), d.items.len());
+}
+
+#[test]
+fn deleting_counted_items_decrements_exactly() {
+    let f = PointGqf::new(12, 16).unwrap();
+    let d = ur_count_dataset(5000, 406);
+    for &item in &d.items {
+        f.insert(item).unwrap();
+    }
+    let truth = ground_truth(&d.items);
+    // Remove one instance of each distinct item.
+    for &k in truth.keys() {
+        assert!(f.remove(k).unwrap());
+    }
+    for (&k, &want) in truth.iter() {
+        assert_eq!(f.count(k), want - 1, "key {k}");
+    }
+}

@@ -1,0 +1,241 @@
+//! Integration tests across the extension features: value association on
+//! both filters, the even-odd hash table and graph store, the counting
+//! Bloom baseline, and compositions of them — the pipelines §1 motivates
+//! (filter front-ends for exact stores).
+
+use filter_core::hashed_keys;
+use gpu_filters::eoht::{DynamicGraph, EoHashTable};
+use gpu_filters::prelude::*;
+use gpu_filters::CountingBloomFilter;
+use std::sync::Arc;
+
+/// GQF value association must agree between the point and bulk paths.
+#[test]
+fn gqf_point_and_bulk_values_agree() {
+    let keys = hashed_keys(601, 3000);
+    let value_of = |k: u64| k % 97;
+
+    let point = PointGqf::new(14, 16).unwrap();
+    for &k in &keys {
+        point.insert_value(k, value_of(k)).unwrap();
+    }
+    let bulk = BulkGqf::new_cori(14, 16).unwrap();
+    let pairs: Vec<(u64, u64)> = keys.iter().map(|&k| (k, value_of(k))).collect();
+    assert_eq!(bulk.insert_values_batch(&pairs), 0);
+
+    let bulk_values = bulk.query_values_batch(&keys);
+    for (i, &k) in keys.iter().enumerate() {
+        assert_eq!(
+            point.query_value(k),
+            bulk_values[i],
+            "key {i}: point and bulk value paths disagree"
+        );
+    }
+}
+
+/// TCF and GQF value association answer the same workload (different
+/// mechanisms, same contract).
+#[test]
+fn tcf_and_gqf_values_same_contract() {
+    let keys = hashed_keys(602, 2000);
+    let tcf = PointTcf::new(1 << 13).unwrap().with_values(16).unwrap();
+    let gqf = PointGqf::new(13, 16).unwrap();
+    for (i, &k) in keys.iter().enumerate() {
+        tcf.insert_value(k, i as u64 % 1000).unwrap();
+        gqf.insert_value(k, i as u64 % 1000).unwrap();
+    }
+    let mut agree = 0usize;
+    for (i, &k) in keys.iter().enumerate() {
+        let want = Some(i as u64 % 1000);
+        if tcf.query_value(k) == want && gqf.query_value(k) == want {
+            agree += 1;
+        }
+    }
+    // Both sides tolerate ε of fingerprint collisions.
+    assert!(agree as f64 / keys.len() as f64 > 0.99, "agreement {agree}/{}", keys.len());
+}
+
+/// A TCF front-end deduplicates an edge stream before it reaches the
+/// exact graph store — the approximate-filter-plus-exact-store pipeline
+/// the paper's applications build (MetaHipMer's singleton weed-out).
+#[test]
+fn tcf_dedup_frontend_for_graph_store() {
+    let raw = hashed_keys(603, 30_000);
+    let edges: Vec<(u32, u32)> = raw
+        .iter()
+        .map(|&k| (((k >> 32) as u32) % 256, (k as u32) % 256))
+        .filter(|&(u, v)| u != v)
+        .collect();
+
+    // Pass 1: a TCF decides which edges were seen before (approximate).
+    let seen = PointTcf::new(1 << 17).unwrap();
+    let mut repeats: Vec<(u32, u32)> = Vec::new();
+    for &(u, v) in &edges {
+        let (lo, hi) = (u.min(v), u.max(v));
+        let key = ((lo as u64) << 32) | hi as u64;
+        if seen.contains(key) {
+            repeats.push((u, v));
+        } else {
+            seen.insert(key).unwrap();
+        }
+    }
+
+    // Pass 2: only repeated edges enter the exact graph (the multi-
+    // occurrence subgraph, like MetaHipMer's non-singleton k-mer set).
+    let g = DynamicGraph::new(repeats.len().max(1)).unwrap();
+    g.bulk_add_edges(&repeats).unwrap();
+
+    // Reference: edges occurring ≥ 2 times.
+    let mut counts = std::collections::HashMap::new();
+    for &(u, v) in &edges {
+        *counts.entry((u.min(v), u.max(v))).or_insert(0usize) += 1;
+    }
+    let true_repeats = counts.values().filter(|&&c| c >= 2).count();
+    // The filter may misclassify at rate ε (false positives push
+    // singletons into the graph), never the other way.
+    assert!(g.n_edges() >= true_repeats, "missed repeated edges");
+    assert!(
+        g.n_edges() <= true_repeats + edges.len() / 500,
+        "too many singletons leaked: {} vs {true_repeats}",
+        g.n_edges()
+    );
+}
+
+/// The CBF and GQF both answer counting queries; both must over-, never
+/// under-count, and the GQF's answers are at least as tight.
+#[test]
+fn cbf_and_gqf_counting_differential() {
+    let base = hashed_keys(604, 400);
+    let mut stream = Vec::new();
+    for (i, &k) in base.iter().enumerate() {
+        for _ in 0..(i % 7 + 1) {
+            stream.push(k);
+        }
+    }
+    let cbf = CountingBloomFilter::new(stream.len()).unwrap();
+    let gqf = PointGqf::new(14, 16).unwrap();
+    for &k in &stream {
+        cbf.insert(k).unwrap();
+        gqf.insert(k).unwrap();
+    }
+    for (i, &k) in base.iter().enumerate() {
+        let truth = (i % 7 + 1) as u64;
+        assert!(cbf.count(k) >= truth.min(15), "CBF undercounted key {i}");
+        assert!(gqf.count(k) >= truth, "GQF undercounted key {i}");
+    }
+}
+
+/// Concurrency storm on the even-odd hash table: disjoint writer ranges,
+/// shared counters, and readers all at once.
+#[test]
+fn eoht_mixed_concurrency_storm() {
+    let t = Arc::new(EoHashTable::new(1 << 15).unwrap());
+    let keys = Arc::new(hashed_keys(605, 16_000));
+    let mut handles = Vec::new();
+
+    // 8 writers own disjoint slices.
+    for w in 0..8usize {
+        let t = Arc::clone(&t);
+        let keys = Arc::clone(&keys);
+        handles.push(std::thread::spawn(move || {
+            for &k in &keys[w * 2000..(w + 1) * 2000] {
+                t.upsert(k, k ^ 0xff).unwrap();
+            }
+        }));
+    }
+    // 4 counters hammer one shared cell each.
+    for c in 0..4u64 {
+        let t = Arc::clone(&t);
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..2000 {
+                t.fetch_add(u64::MAX - 1000 - c, 1).unwrap();
+            }
+        }));
+    }
+    // 2 readers sweep concurrently (answers may be None mid-insert; they
+    // must never be *wrong*).
+    for _ in 0..2 {
+        let t = Arc::clone(&t);
+        let keys = Arc::clone(&keys);
+        handles.push(std::thread::spawn(move || {
+            for &k in keys.iter() {
+                if let Some(v) = t.get(k) {
+                    assert_eq!(v, k ^ 0xff, "reader saw a corrupt value");
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    // Post-quiescence: everything is exact.
+    for &k in keys.iter() {
+        assert_eq!(t.get(k), Some(k ^ 0xff));
+    }
+    for c in 0..4u64 {
+        assert_eq!(t.get(u64::MAX - 1000 - c), Some(2000));
+    }
+}
+
+/// Graph point/bulk interleaving across threads keeps degrees exact.
+#[test]
+fn graph_concurrent_streaming_exact() {
+    let g = Arc::new(DynamicGraph::new(20_000).unwrap());
+    // Distinct edges per thread: thread t owns vertices [t*100, t*100+99].
+    let handles: Vec<_> = (0..8u32)
+        .map(|t| {
+            let g = Arc::clone(&g);
+            std::thread::spawn(move || {
+                let base = t * 100;
+                for i in 0..99u32 {
+                    g.add_edge(base + i, base + i + 1).unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(g.n_edges(), 8 * 99);
+    for t in 0..8u32 {
+        // Path interior vertices have degree 2, endpoints 1.
+        assert_eq!(g.degree(t * 100), 1);
+        assert_eq!(g.degree(t * 100 + 50), 2);
+        assert_eq!(g.degree(t * 100 + 99), 1);
+    }
+}
+
+/// Full pipeline: count k-mers in the GQF, keep the heavy hitters' exact
+/// counts in the hash table, verify against ground truth.
+#[test]
+fn gqf_screen_then_exact_table_pipeline() {
+    let base = hashed_keys(606, 500);
+    let mut stream = Vec::new();
+    for (i, &k) in base.iter().enumerate() {
+        for _ in 0..(if i % 10 == 0 { 50 } else { 2 }) {
+            stream.push(k);
+        }
+    }
+    // Stage 1: approximate counting.
+    let gqf = BulkGqf::new_cori(16, 16).unwrap();
+    assert_eq!(gqf.insert_batch_mapreduce(&stream), 0);
+
+    // Stage 2: heavy hitters (count ≥ 50) promoted to the exact store.
+    let heavy = EoHashTable::new(1 << 14).unwrap();
+    let counts = gqf.count_batch(&base);
+    let mut promoted = 0usize;
+    for (&k, &c) in base.iter().zip(&counts) {
+        if c >= 50 {
+            heavy.upsert(k, c).unwrap();
+            promoted += 1;
+        }
+    }
+    assert_eq!(promoted, 50, "every 10th key is heavy");
+    for (i, &k) in base.iter().enumerate() {
+        if i % 10 == 0 {
+            assert_eq!(heavy.get(k), Some(50), "heavy key {i} count");
+        } else {
+            assert_eq!(heavy.get(k), None, "light key {i} must not be promoted");
+        }
+    }
+}
