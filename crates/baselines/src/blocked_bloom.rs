@@ -8,7 +8,7 @@
 //! is a ~5.5× higher false-positive rate than a Bloom filter at the same
 //! bits per item (§2, Table 2).
 
-use filter_core::{ApiMode, Features, Filter, FilterError, FilterMeta, Operation};
+use filter_core::{BulkFilter, Features, Filter, FilterError, FilterMeta, Operation};
 use gpu_sim::metrics::{bump, Counter};
 use gpu_sim::GpuBuffer;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -71,9 +71,7 @@ impl FilterMeta for BlockedBloomFilter {
     }
 
     fn features(&self) -> Features {
-        Features::new("BBF")
-            .with(Operation::Insert, ApiMode::Point)
-            .with(Operation::Query, ApiMode::Point)
+        Features::new("BBF").with_both(Operation::Insert).with_both(Operation::Query)
     }
 
     fn table_bytes(&self) -> usize {
@@ -106,6 +104,25 @@ impl Filter for BlockedBloomFilter {
 
     fn len(&self) -> usize {
         self.items.load(Ordering::Relaxed)
+    }
+}
+
+/// Batch adapter over the point operations. The BBF needs no sorting or
+/// phasing to batch safely — every insert is one idempotent `atomicOr` —
+/// so the bulk API is a straight loop; it exists so the filter can slot
+/// into bulk-only consumers such as the `filter-service` serving layer.
+impl BulkFilter for BlockedBloomFilter {
+    fn bulk_insert(&self, keys: &[u64]) -> Result<usize, FilterError> {
+        for &k in keys {
+            self.insert(k)?;
+        }
+        Ok(0)
+    }
+
+    fn bulk_query(&self, keys: &[u64], out: &mut [bool]) {
+        for (o, &k) in out.iter_mut().zip(keys) {
+            *o = self.contains(k);
+        }
     }
 }
 
@@ -150,10 +167,7 @@ mod tests {
         let fp_bbf = probes.iter().filter(|&&k| bbf.contains(k)).count() as f64;
         let fp_bf = probes.iter().filter(|&&k| bf.contains(k)).count() as f64;
         // §2: "up to 5×" higher FP at the same bits per item.
-        assert!(
-            fp_bbf > fp_bf * 1.5,
-            "BBF FP ({fp_bbf}) should clearly exceed BF FP ({fp_bf})"
-        );
+        assert!(fp_bbf > fp_bf * 1.5, "BBF FP ({fp_bbf}) should clearly exceed BF FP ({fp_bf})");
         assert!(fp_bbf / 200_000.0 < 0.05, "BBF FP out of band");
     }
 

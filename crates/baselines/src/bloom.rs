@@ -7,9 +7,7 @@
 //! Negative queries terminate at the first zero bit, giving random
 //! lookups their relatively higher throughput (§6.1).
 
-use filter_core::{
-    ApiMode, Features, Filter, FilterError, FilterMeta, Operation,
-};
+use filter_core::{ApiMode, Features, Filter, FilterError, FilterMeta, Operation};
 use gpu_sim::metrics::{bump, Counter};
 use gpu_sim::GpuBuffer;
 use std::sync::atomic::{AtomicUsize, Ordering};

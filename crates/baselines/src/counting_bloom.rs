@@ -11,7 +11,9 @@
 //! filter needs bits, but every cell is now 4 bits, and Ablation 7
 //! quantifies the resulting bits-per-item against the GQF's.
 
-use filter_core::{ApiMode, Counting, Deletable, Features, Filter, FilterError, FilterMeta, Operation};
+use filter_core::{
+    ApiMode, Counting, Deletable, Features, Filter, FilterError, FilterMeta, Operation,
+};
 use gpu_sim::metrics::{bump, Counter};
 use gpu_sim::GpuBuffer;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -47,11 +49,7 @@ pub struct CountingBloomFilter {
 impl CountingBloomFilter {
     /// Filter for `capacity` items with `cells_per_item` 4-bit counters
     /// per item and `k` hashes.
-    pub fn with_params(
-        capacity: usize,
-        cells_per_item: f64,
-        k: u32,
-    ) -> Result<Self, FilterError> {
+    pub fn with_params(capacity: usize, cells_per_item: f64, k: u32) -> Result<Self, FilterError> {
         if k == 0 || k > 32 {
             return Err(FilterError::BadConfig(format!("k must be 1..=32, got {k}")));
         }

@@ -72,9 +72,7 @@ impl Sqf {
     fn region_bounds(&self, sorted: &[u64]) -> Vec<usize> {
         let l = self.core.layout();
         let mut bounds: Vec<usize> = (0..l.n_regions())
-            .map(|g| {
-                gpu_sim::sort::lower_bound(sorted, ((g * REGION_SLOTS) as u64) << l.r_bits)
-            })
+            .map(|g| gpu_sim::sort::lower_bound(sorted, ((g * REGION_SLOTS) as u64) << l.r_bits))
             .collect();
         bounds.push(sorted.len());
         bounds
@@ -119,11 +117,8 @@ impl Sqf {
     /// blames for the SQF's lower query throughput, §6.2).
     pub fn query_batch(&self, keys: &[u64], out: &mut [bool]) {
         assert_eq!(keys.len(), out.len());
-        let mut order: Vec<(u64, u64)> = keys
-            .iter()
-            .enumerate()
-            .map(|(i, &k)| (self.stored_hash(k), i as u64))
-            .collect();
+        let mut order: Vec<(u64, u64)> =
+            keys.iter().enumerate().map(|(i, &k)| (self.stored_hash(k), i as u64)).collect();
         gpu_sim::sort::radix_sort_pairs(&mut order);
         let l = *self.core.layout();
         let results: Vec<std::sync::atomic::AtomicBool> =

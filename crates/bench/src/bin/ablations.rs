@@ -87,7 +87,12 @@ fn main() {
         let row = measure_bulk(&cori, "GQF-bulk", "insert", s, fpb, n as u64, regions / 2, || {
             assert_eq!(bulk.insert_batch(&keys), 0);
         });
-        let _ = writeln!(out, "  even-odd bulk → modeled {:>7.3} B/s  wall {:>6.1} M/s", row.modeled / 1e9, row.wall / 1e6);
+        let _ = writeln!(
+            out,
+            "  even-odd bulk → modeled {:>7.3} B/s  wall {:>6.1} M/s",
+            row.modeled / 1e9,
+            row.wall / 1e6
+        );
     }
     {
         let point = gqf::PointGqf::new(s, 8).unwrap();
@@ -112,14 +117,23 @@ fn main() {
     for mapreduce in [false, true] {
         let gqf = gqf::BulkGqf::new(s, 8, cori.clone()).unwrap();
         let fp = gqf.table_bytes() as u64;
-        let row = measure_bulk(&cori, "GQF", "count", s, fp, zipf.items.len() as u64, regions / 2, || {
-            let fails = if mapreduce {
-                gqf.insert_batch_mapreduce(&zipf.items)
-            } else {
-                gqf.insert_batch(&zipf.items)
-            };
-            assert_eq!(fails, 0);
-        });
+        let row = measure_bulk(
+            &cori,
+            "GQF",
+            "count",
+            s,
+            fp,
+            zipf.items.len() as u64,
+            regions / 2,
+            || {
+                let fails = if mapreduce {
+                    gqf.insert_batch_mapreduce(&zipf.items)
+                } else {
+                    gqf.insert_batch(&zipf.items)
+                };
+                assert_eq!(fails, 0);
+            },
+        );
         let _ = writeln!(
             out,
             "  map-reduce={mapreduce:<5} → modeled {:>8.1} M/s  wall {:>6.1} M/s",
@@ -204,9 +218,10 @@ fn main() {
         let edges = workloads::powerlaw_edges(16_500, n, 65_536).edges;
         let g = eo_ht::DynamicGraph::with_device(edges.len(), cori.clone()).unwrap();
         let fp = g.bytes() as u64;
-        let row = measure_bulk(&cori, "EoGraph", "edges", s, fp, edges.len() as u64, ht_regions, || {
-            g.bulk_add_edges(&edges).unwrap();
-        });
+        let row =
+            measure_bulk(&cori, "EoGraph", "edges", s, fp, edges.len() as u64, ht_regions, || {
+                g.bulk_add_edges(&edges).unwrap();
+            });
         let _ = writeln!(
             out,
             "  graph ingest  → modeled {:>7.3} B edges/s  wall {:>6.1} M/s  ({} distinct edges)",

@@ -84,9 +84,11 @@ fn main() {
         }) {
             series.push(r);
         }
-        for r in bench::harness::measure_point_multi(&devices, "BF", "pos-query", s, 1, fp, n, |i| {
-            assert!(bf.contains(keys[i]));
-        }) {
+        for r in
+            bench::harness::measure_point_multi(&devices, "BF", "pos-query", s, 1, fp, n, |i| {
+                assert!(bf.contains(keys[i]));
+            })
+        {
             series.push(r);
         }
         for r in

@@ -32,48 +32,129 @@ fn main() {
                 .expect("bulk tcf");
             let fp = tcf.table_bytes() as u64;
             let blocks = (slots / 128) as u64;
-            series.push(measure_bulk(dev, &format!("BulkTCF@{name}"), "insert", s, fp, n as u64, blocks, || {
-                assert_eq!(tcf.insert_batch(&keys), 0, "bulk TCF failures at 2^{s}");
-            }));
+            series.push(measure_bulk(
+                dev,
+                &format!("BulkTCF@{name}"),
+                "insert",
+                s,
+                fp,
+                n as u64,
+                blocks,
+                || {
+                    assert_eq!(tcf.insert_batch(&keys), 0, "bulk TCF failures at 2^{s}");
+                },
+            ));
             let mut out = vec![false; n];
-            series.push(measure_bulk(dev, &format!("BulkTCF@{name}"), "pos-query", s, fp, n as u64, n as u64, || {
-                tcf.query_batch(&keys, &mut out);
-            }));
+            series.push(measure_bulk(
+                dev,
+                &format!("BulkTCF@{name}"),
+                "pos-query",
+                s,
+                fp,
+                n as u64,
+                n as u64,
+                || {
+                    tcf.query_batch(&keys, &mut out);
+                },
+            ));
             assert!(out.iter().all(|&x| x));
-            series.push(measure_bulk(dev, &format!("BulkTCF@{name}"), "rand-query", s, fp, n as u64, n as u64, || {
-                tcf.query_batch(&fresh, &mut out);
-            }));
+            series.push(measure_bulk(
+                dev,
+                &format!("BulkTCF@{name}"),
+                "rand-query",
+                s,
+                fp,
+                n as u64,
+                n as u64,
+                || {
+                    tcf.query_batch(&fresh, &mut out);
+                },
+            ));
             drop(tcf);
 
             // ---- bulk GQF ----
             let gqf = gqf::BulkGqf::new(s, 8, dev.clone()).expect("bulk gqf");
             let fp = gqf.table_bytes() as u64;
-            series.push(measure_bulk(dev, &format!("GQF@{name}"), "insert", s, fp, n as u64, regions / 2, || {
-                assert_eq!(gqf.insert_batch(&keys), 0, "bulk GQF failures at 2^{s}");
-            }));
-            series.push(measure_bulk(dev, &format!("GQF@{name}"), "pos-query", s, fp, n as u64, n as u64, || {
-                gqf.query_batch(&keys, &mut out);
-            }));
+            series.push(measure_bulk(
+                dev,
+                &format!("GQF@{name}"),
+                "insert",
+                s,
+                fp,
+                n as u64,
+                regions / 2,
+                || {
+                    assert_eq!(gqf.insert_batch(&keys), 0, "bulk GQF failures at 2^{s}");
+                },
+            ));
+            series.push(measure_bulk(
+                dev,
+                &format!("GQF@{name}"),
+                "pos-query",
+                s,
+                fp,
+                n as u64,
+                n as u64,
+                || {
+                    gqf.query_batch(&keys, &mut out);
+                },
+            ));
             assert!(out.iter().all(|&x| x));
-            series.push(measure_bulk(dev, &format!("GQF@{name}"), "rand-query", s, fp, n as u64, n as u64, || {
-                gqf.query_batch(&fresh, &mut out);
-            }));
+            series.push(measure_bulk(
+                dev,
+                &format!("GQF@{name}"),
+                "rand-query",
+                s,
+                fp,
+                n as u64,
+                n as u64,
+                || {
+                    gqf.query_batch(&fresh, &mut out);
+                },
+            ));
             drop(gqf);
 
             // ---- SQF (≤ 2^26) ----
             if s <= 26 {
                 let sqf = baselines::Sqf::new(s, 5, dev.clone()).expect("sqf");
                 let fp = sqf.table_bytes() as u64;
-                series.push(measure_bulk(dev, &format!("SQF@{name}"), "insert", s, fp, n as u64, regions / 2, || {
-                    assert_eq!(sqf.insert_batch(&keys), 0);
-                }));
-                series.push(measure_bulk(dev, &format!("SQF@{name}"), "pos-query", s, fp, n as u64, n as u64, || {
-                    sqf.query_batch(&keys, &mut out);
-                }));
+                series.push(measure_bulk(
+                    dev,
+                    &format!("SQF@{name}"),
+                    "insert",
+                    s,
+                    fp,
+                    n as u64,
+                    regions / 2,
+                    || {
+                        assert_eq!(sqf.insert_batch(&keys), 0);
+                    },
+                ));
+                series.push(measure_bulk(
+                    dev,
+                    &format!("SQF@{name}"),
+                    "pos-query",
+                    s,
+                    fp,
+                    n as u64,
+                    n as u64,
+                    || {
+                        sqf.query_batch(&keys, &mut out);
+                    },
+                ));
                 assert!(out.iter().all(|&x| x));
-                series.push(measure_bulk(dev, &format!("SQF@{name}"), "rand-query", s, fp, n as u64, n as u64, || {
-                    sqf.query_batch(&fresh, &mut out);
-                }));
+                series.push(measure_bulk(
+                    dev,
+                    &format!("SQF@{name}"),
+                    "rand-query",
+                    s,
+                    fp,
+                    n as u64,
+                    n as u64,
+                    || {
+                        sqf.query_batch(&fresh, &mut out);
+                    },
+                ));
                 drop(sqf);
             }
 
@@ -81,19 +162,50 @@ fn main() {
             if s <= 26 {
                 let rsqf = baselines::Rsqf::new(s, 5, dev.clone()).expect("rsqf");
                 let fp = rsqf.table_bytes() as u64;
-                series.push(measure_bulk(dev, &format!("RSQF@{name}"), "insert", s, fp, n as u64, 1, || {
-                    assert_eq!(rsqf.insert_batch(&keys), 0);
-                }));
-                series.push(measure_bulk(dev, &format!("RSQF@{name}"), "pos-query", s, fp, n as u64, n as u64, || {
-                    rsqf.query_batch(&keys, &mut out);
-                }));
+                series.push(measure_bulk(
+                    dev,
+                    &format!("RSQF@{name}"),
+                    "insert",
+                    s,
+                    fp,
+                    n as u64,
+                    1,
+                    || {
+                        assert_eq!(rsqf.insert_batch(&keys), 0);
+                    },
+                ));
+                series.push(measure_bulk(
+                    dev,
+                    &format!("RSQF@{name}"),
+                    "pos-query",
+                    s,
+                    fp,
+                    n as u64,
+                    n as u64,
+                    || {
+                        rsqf.query_batch(&keys, &mut out);
+                    },
+                ));
                 assert!(out.iter().all(|&x| x));
-                series.push(measure_bulk(dev, &format!("RSQF@{name}"), "rand-query", s, fp, n as u64, n as u64, || {
-                    rsqf.query_batch(&fresh, &mut out);
-                }));
+                series.push(measure_bulk(
+                    dev,
+                    &format!("RSQF@{name}"),
+                    "rand-query",
+                    s,
+                    fp,
+                    n as u64,
+                    n as u64,
+                    || {
+                        rsqf.query_batch(&fresh, &mut out);
+                    },
+                ));
             }
         }
     }
 
-    write_report(&args, "fig4_bulk.txt", &series.render("Figure 4: bulk API throughput, one batch"));
+    write_report(
+        &args,
+        "fig4_bulk.txt",
+        &series.render("Figure 4: bulk API throughput, one batch"),
+    );
 }

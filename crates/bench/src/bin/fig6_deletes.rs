@@ -42,9 +42,18 @@ fn main() {
         let gqf = gqf::BulkGqf::new(s, 8, cori.clone()).expect("gqf");
         assert_eq!(gqf.insert_batch(&keys), 0);
         let fp = gqf.table_bytes() as u64;
-        series.push(measure_bulk(&cori, "GQF-Bulk", "delete", s, fp, n as u64, regions / 2, || {
-            assert_eq!(gqf.delete_batch(&keys), 0);
-        }));
+        series.push(measure_bulk(
+            &cori,
+            "GQF-Bulk",
+            "delete",
+            s,
+            fp,
+            n as u64,
+            regions / 2,
+            || {
+                assert_eq!(gqf.delete_batch(&keys), 0);
+            },
+        ));
         drop(gqf);
 
         // ---- SQF: serialized deletes (≤ 2^26) ----

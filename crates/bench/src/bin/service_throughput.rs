@@ -1,0 +1,297 @@
+//! Serving-layer throughput: naive point-op serving vs batched vs the
+//! sharded batch-aggregating service, on a mixed insert/query workload
+//! (each key inserted once and queried once).
+//!
+//! This is the serving-system rendition of the paper's point-vs-bulk
+//! comparison (Fig. 3 vs Fig. 4): a serving layer that forwards each
+//! request as its own backend call pays the full per-call cost per item,
+//! while aggregation amortizes it across a batch and sharding spreads the
+//! amortized batches over independent workers. Four configurations:
+//!
+//! * `point-direct`  — reference: an in-process `PointTcf` loop with no
+//!   serving path at all (the device-side point API, whose per-call cost
+//!   is a few CAS instructions — a floor, not a serving system).
+//! * `batched-direct`— reference: in-process bulk calls, no serving path.
+//! * `point-service` — the *naive serving baseline*: the same queue/worker
+//!   path as the real service, but unsharded and with batch capacity 1,
+//!   so every request becomes one backend call.
+//! * `sharded-batched` — the tentpole: shards 1/4/16 aggregating client
+//!   chunks into large flushes.
+//!
+//! The headline figure (and the `meets_2x_acceptance` field) compares
+//! sharded-batched (≥ 4 shards) against naive point-op serving, which
+//! isolates what aggregation + sharding contribute on the serving path;
+//! on a multi-core host the sharded rows additionally scale with worker
+//! parallelism (this container is single-core, so any parallel speedup
+//! shown here is a lower bound). Results land in
+//! `experiments/BENCH_service.json` so future PRs have a throughput
+//! trajectory for the serving layer.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin service_throughput              # 1M keys
+//! cargo run --release -p bench --bin service_throughput -- --quick  # 100k keys
+//! ```
+
+use filter_core::{hashed_keys, Filter};
+use filter_service::ShardedFilterBuilder;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+use tcf::{BulkTcf, PointTcf};
+
+/// Keys per client-issued batch in the batched/sharded modes.
+const CHUNK: usize = 8192;
+/// Client threads driving the service modes.
+const CLIENTS: usize = 8;
+/// The naive serving baseline pays microseconds per op; measuring it on
+/// the full key set would dominate the run, so it uses a subsample.
+const NAIVE_SAMPLE_CAP: usize = 50_000;
+
+struct Row {
+    mode: &'static str,
+    backend: &'static str,
+    shards: usize,
+    clients: usize,
+    ops: u64,
+    secs: f64,
+}
+
+impl Row {
+    fn mops(&self) -> f64 {
+        self.ops as f64 / self.secs / 1e6
+    }
+
+    fn line(&self) -> String {
+        format!(
+            "{:<16} {:<5} shards {:>2}  clients {:>2}  {:>9} ops  {:>8.3}s  {:>9.3} Mops/s",
+            self.mode,
+            self.backend,
+            self.shards,
+            self.clients,
+            self.ops,
+            self.secs,
+            self.mops()
+        )
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"mode\": \"{}\", \"backend\": \"{}\", \"shards\": {}, \"clients\": {}, \"ops\": {}, \"secs\": {:.6}, \"mops\": {:.4}}}",
+            self.mode,
+            self.backend,
+            self.shards,
+            self.clients,
+            self.ops,
+            self.secs,
+            self.mops()
+        )
+    }
+}
+
+/// Slots so the keys sit under 50% aggregate load.
+fn total_slots(n_keys: usize) -> usize {
+    (n_keys * 2).next_power_of_two()
+}
+
+/// Reference: in-process point API, no serving path.
+fn run_point_direct(keys: &[u64]) -> Row {
+    let filter = PointTcf::new(total_slots(keys.len())).expect("point tcf");
+    let t0 = Instant::now();
+    for &k in keys {
+        filter.insert(k).expect("insert");
+    }
+    let mut hits = 0usize;
+    for &k in keys {
+        hits += filter.contains(k) as usize;
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    assert_eq!(hits, keys.len(), "point filter lost keys");
+    Row {
+        mode: "point-direct",
+        backend: "TCF",
+        shards: 1,
+        clients: 1,
+        ops: 2 * keys.len() as u64,
+        secs,
+    }
+}
+
+/// Reference: in-process bulk calls, no serving path.
+fn run_batched_direct(keys: &[u64]) -> Row {
+    let filter = BulkTcf::new(total_slots(keys.len())).expect("bulk tcf");
+    let t0 = Instant::now();
+    let mut out = vec![false; CHUNK];
+    for chunk in keys.chunks(CHUNK) {
+        assert_eq!(filter.insert_batch(chunk), 0, "bulk insert failures");
+        filter.query_batch(chunk, &mut out[..chunk.len()]);
+        assert!(out[..chunk.len()].iter().all(|&x| x), "bulk filter lost keys");
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    Row {
+        mode: "batched-direct",
+        backend: "TCF",
+        shards: 1,
+        clients: 1,
+        ops: 2 * keys.len() as u64,
+        secs,
+    }
+}
+
+/// The naive serving baseline: every request crosses the same queue/worker
+/// boundary as the real service, but nothing aggregates — one point op,
+/// one backend call.
+fn run_point_service(keys: &[u64]) -> Row {
+    let sample = &keys[..keys.len().min(NAIVE_SAMPLE_CAP)];
+    let service = ShardedFilterBuilder::new()
+        .shards(1)
+        .batch_capacity(1)
+        .linger(Duration::ZERO)
+        .build(|_| BulkTcf::new(total_slots(sample.len())))
+        .expect("service");
+    let h = service.handle();
+    let per_client = sample.len().div_ceil(CLIENTS);
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for part in sample.chunks(per_client) {
+            let h = h.clone();
+            s.spawn(move || {
+                for &k in part {
+                    h.insert(k).expect("service insert");
+                }
+                for &k in part {
+                    assert!(h.contains(k), "service lost key");
+                }
+            });
+        }
+    });
+    let secs = t0.elapsed().as_secs_f64();
+    Row {
+        mode: "point-service",
+        backend: "TCF",
+        shards: 1,
+        clients: CLIENTS,
+        ops: 2 * sample.len() as u64,
+        secs,
+    }
+}
+
+/// The tentpole: `shards` workers aggregating chunked submissions from
+/// concurrent client threads.
+fn run_sharded(keys: &[u64], shards: usize, clients: usize) -> Row {
+    let per_shard = (total_slots(keys.len()) / shards).max(1 << 10);
+    let service = ShardedFilterBuilder::new()
+        .shards(shards)
+        .batch_capacity(CHUNK)
+        .linger(Duration::from_micros(200))
+        .build(|_| BulkTcf::new(per_shard))
+        .expect("service");
+    let h = service.handle();
+    let per_client = keys.len().div_ceil(clients);
+
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for part in keys.chunks(per_client) {
+            let h = h.clone();
+            s.spawn(move || {
+                for chunk in part.chunks(CHUNK) {
+                    assert_eq!(h.insert_batch(chunk).expect("service insert"), 0);
+                    let hits = h.query_batch(chunk).expect("service query");
+                    assert!(hits.iter().all(|&x| x), "service lost keys");
+                }
+            });
+        }
+    });
+    let secs = t0.elapsed().as_secs_f64();
+
+    let stats = service.stats();
+    println!("    └─ {}", stats.render().replace('\n', "\n       "));
+    Row {
+        mode: "sharded-batched",
+        backend: "TCF",
+        shards,
+        clients,
+        ops: 2 * keys.len() as u64,
+        secs,
+    }
+}
+
+fn main() {
+    let mut n_keys = 1_000_000usize;
+    let mut out_dir = "experiments".to_string();
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--keys" => {
+                i += 1;
+                n_keys = args[i].parse().expect("bad --keys");
+            }
+            "--quick" => n_keys = 100_000,
+            "--out" => {
+                i += 1;
+                out_dir = args[i].clone();
+            }
+            other => panic!("unknown argument {other}"),
+        }
+        i += 1;
+    }
+
+    println!("service throughput: {n_keys} keys, chunk {CHUNK}, mixed insert+query\n");
+    let keys = hashed_keys(0x5eef, n_keys);
+
+    let mut rows = Vec::new();
+    rows.push(run_point_direct(&keys));
+    println!("{}", rows.last().unwrap().line());
+    rows.push(run_batched_direct(&keys));
+    println!("{}", rows.last().unwrap().line());
+    rows.push(run_point_service(&keys));
+    println!("{}", rows.last().unwrap().line());
+    for shards in [1usize, 4, 16] {
+        let row = run_sharded(&keys, shards, CLIENTS);
+        println!("{}", row.line());
+        rows.push(row);
+    }
+
+    let mops_of =
+        |mode: &str| rows.iter().filter(|r| r.mode == mode).map(Row::mops).fold(0.0, f64::max);
+    let naive_serving = mops_of("point-service");
+    let point_direct = mops_of("point-direct");
+    let best_sharded = rows
+        .iter()
+        .filter(|r| r.mode == "sharded-batched" && r.shards >= 4)
+        .map(Row::mops)
+        .fold(0.0, f64::max);
+    let speedup_vs_naive = best_sharded / naive_serving;
+    let speedup_vs_direct = best_sharded / point_direct;
+    println!("\nsharded-batched (≥4 shards) vs naive point-op serving: {speedup_vs_naive:.2}x");
+    println!("sharded-batched (≥4 shards) vs in-process point loop:  {speedup_vs_direct:.2}x");
+
+    // Machine-readable trajectory for future PRs.
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"service_throughput\",");
+    let _ = writeln!(json, "  \"keys\": {n_keys},");
+    let _ = writeln!(json, "  \"chunk\": {CHUNK},");
+    let _ = writeln!(json, "  \"host_cores\": {},", rayon_core_count());
+    let _ = writeln!(json, "  \"workload\": \"insert each key once, query each key once\",");
+    let _ = writeln!(json, "  \"naive_sample_cap\": {NAIVE_SAMPLE_CAP},");
+    let _ = writeln!(json, "  \"rows\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(json, "    {}{comma}", r.json());
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"speedup_sharded_ge4_vs_point_service\": {speedup_vs_naive:.4},");
+    let _ = writeln!(json, "  \"speedup_sharded_ge4_vs_point_direct\": {speedup_vs_direct:.4},");
+    let _ = writeln!(json, "  \"meets_2x_acceptance\": {}", speedup_vs_naive >= 2.0);
+    let _ = writeln!(json, "}}");
+
+    let dir = std::path::Path::new(&out_dir);
+    std::fs::create_dir_all(dir).expect("create out dir");
+    let path = dir.join("BENCH_service.json");
+    std::fs::write(&path, &json).expect("write BENCH_service.json");
+    println!("→ wrote {}", path.display());
+}
+
+fn rayon_core_count() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}

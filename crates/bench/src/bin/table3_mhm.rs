@@ -16,7 +16,11 @@ fn main() {
     // Interpret size as log2 of the synthetic genome length.
     let genome = 1usize << args.sizes_log2[0];
     let mut out = String::new();
-    let _ = writeln!(out, "Table 3: MetaHipMer k-mer analysis memory (synthetic, genome 2^{})", args.sizes_log2[0]);
+    let _ = writeln!(
+        out,
+        "Table 3: MetaHipMer k-mer analysis memory (synthetic, genome 2^{})",
+        args.sizes_log2[0]
+    );
     let _ = writeln!(
         out,
         "{:<12}{:<9}{:>10}{:>10}{:>10}{:>12}{:>14}",
@@ -51,9 +55,7 @@ fn main() {
     // Same pipeline with a *real* exact table (eo-ht) instead of byte
     // accounting: HT MB is now the measured footprint of the structure.
     let _ = writeln!(out, "With the even-odd hash table as the exact store (measured bytes):");
-    for profile in
-        [GenomeProfile::metagenome_wa(genome), GenomeProfile::metagenome_rhizo(genome)]
-    {
+    for profile in [GenomeProfile::metagenome_wa(genome), GenomeProfile::metagenome_rhizo(genome)] {
         let (with, without) = table3_rows_with(&profile, 21, 1234, ExactStore::EoHashTable);
         for r in [&with, &without] {
             let _ = writeln!(

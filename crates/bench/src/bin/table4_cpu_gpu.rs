@@ -6,9 +6,9 @@
 //! cargo run --release -p bench --bin table4_cpu_gpu -- --sizes 20
 //! ```
 
+use baselines::{CpuCqf, CpuVqf};
 use bench::harness::measure_point_multi;
 use bench::{parse_args, write_report};
-use baselines::{CpuCqf, CpuVqf};
 use filter_core::{hashed_keys, Filter, FilterMeta};
 use gpu_sim::Device;
 use std::fmt::Write as _;
@@ -24,7 +24,8 @@ fn main() {
     let devices = [&cori];
     let mut out = String::new();
     let _ = writeln!(out, "Table 4: CPU vs GPU filter throughput (2^{s} slots, M ops/s)");
-    let _ = writeln!(out, "{:<12}{:>12}{:>14}{:>14}", "Filter", "Inserts", "PosQueries", "RandQueries");
+    let _ =
+        writeln!(out, "{:<12}{:>12}{:>14}{:>14}", "Filter", "Inserts", "PosQueries", "RandQueries");
 
     // ---- CPU CQF ----
     let cqf = CpuCqf::new(s, 8).unwrap();
@@ -32,7 +33,14 @@ fn main() {
     let (hits, posq) = cqf.query_all_threads(&keys);
     assert_eq!(hits, n);
     let (_, randq) = cqf.query_all_threads(&fresh);
-    let _ = writeln!(out, "{:<12}{:>12.1}{:>14.1}{:>14.1}   (paper: 2.2 / 320.9 / 368.0)", "CQF", ins, posq / 1e6, randq / 1e6);
+    let _ = writeln!(
+        out,
+        "{:<12}{:>12.1}{:>14.1}{:>14.1}   (paper: 2.2 / 320.9 / 368.0)",
+        "CQF",
+        ins,
+        posq / 1e6,
+        randq / 1e6
+    );
     drop(cqf);
 
     // ---- GPU point GQF (modeled) ----
@@ -40,14 +48,24 @@ fn main() {
     let fp = gqf.table_bytes() as u64;
     let ins = measure_point_multi(&devices, "GQF", "insert", s, 1, fp, n, |i| {
         let _ = gqf.insert(keys[i]);
-    })[0].modeled / 1e6;
+    })[0]
+        .modeled
+        / 1e6;
     let posq = measure_point_multi(&devices, "GQF", "pos", s, 1, fp, n, |i| {
         assert!(gqf.count_unlocked(keys[i]) > 0);
-    })[0].modeled / 1e6;
+    })[0]
+        .modeled
+        / 1e6;
     let randq = measure_point_multi(&devices, "GQF", "rand", s, 1, fp, n, |i| {
         std::hint::black_box(gqf.count_unlocked(fresh[i]));
-    })[0].modeled / 1e6;
-    let _ = writeln!(out, "{:<12}{:>12.1}{:>14.1}{:>14.1}   (paper: 129.7 / 2118.4 / 3369.0)", "Point GQF", ins, posq, randq);
+    })[0]
+        .modeled
+        / 1e6;
+    let _ = writeln!(
+        out,
+        "{:<12}{:>12.1}{:>14.1}{:>14.1}   (paper: 129.7 / 2118.4 / 3369.0)",
+        "Point GQF", ins, posq, randq
+    );
     drop(gqf);
 
     // ---- CPU VQF ----
@@ -56,7 +74,14 @@ fn main() {
     let (hits, posq) = vqf.query_all_threads(&keys);
     assert_eq!(hits, n);
     let (_, randq) = vqf.query_all_threads(&fresh);
-    let _ = writeln!(out, "{:<12}{:>12.1}{:>14.1}{:>14.1}   (paper: 247.2 / 332.0 / 333.8)", "VQF", ins, posq / 1e6, randq / 1e6);
+    let _ = writeln!(
+        out,
+        "{:<12}{:>12.1}{:>14.1}{:>14.1}   (paper: 247.2 / 332.0 / 333.8)",
+        "VQF",
+        ins,
+        posq / 1e6,
+        randq / 1e6
+    );
     drop(vqf);
 
     // ---- GPU point TCF (modeled) ----
@@ -64,14 +89,24 @@ fn main() {
     let fp = tcf.table_bytes() as u64;
     let ins = measure_point_multi(&devices, "TCF", "insert", s, 4, fp, n, |i| {
         let _ = tcf.insert(keys[i]);
-    })[0].modeled / 1e6;
+    })[0]
+        .modeled
+        / 1e6;
     let posq = measure_point_multi(&devices, "TCF", "pos", s, 4, fp, n, |i| {
         assert!(tcf.contains(keys[i]));
-    })[0].modeled / 1e6;
+    })[0]
+        .modeled
+        / 1e6;
     let randq = measure_point_multi(&devices, "TCF", "rand", s, 4, fp, n, |i| {
         std::hint::black_box(tcf.contains(fresh[i]));
-    })[0].modeled / 1e6;
-    let _ = writeln!(out, "{:<12}{:>12.1}{:>14.1}{:>14.1}   (paper: 1273.8 / 4340.9 / 1994.3)", "Point TCF", ins, posq, randq);
+    })[0]
+        .modeled
+        / 1e6;
+    let _ = writeln!(
+        out,
+        "{:<12}{:>12.1}{:>14.1}{:>14.1}   (paper: 1273.8 / 4340.9 / 1994.3)",
+        "Point TCF", ins, posq, randq
+    );
 
     println!("{out}");
     write_report(&args, "table4_cpu_gpu.txt", &out);

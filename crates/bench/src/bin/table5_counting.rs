@@ -46,14 +46,23 @@ fn main() {
                 gqf.effective_parallelism(&items)
             }
             .min(regions / 2);
-            series.push(measure_bulk(&cori, label, "count-insert", s, fp, items_len, parallelism, || {
-                let failures = if mapreduce {
-                    gqf.insert_batch_mapreduce(&items)
-                } else {
-                    gqf.insert_batch(&items)
-                };
-                assert_eq!(failures, 0, "{label} 2^{s}");
-            }));
+            series.push(measure_bulk(
+                &cori,
+                label,
+                "count-insert",
+                s,
+                fp,
+                items_len,
+                parallelism,
+                || {
+                    let failures = if mapreduce {
+                        gqf.insert_batch_mapreduce(&items)
+                    } else {
+                        gqf.insert_batch(&items)
+                    };
+                    assert_eq!(failures, 0, "{label} 2^{s}");
+                },
+            ));
         }
     }
 

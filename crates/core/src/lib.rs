@@ -31,14 +31,51 @@
 //! assert_eq!(counter.count(7), 42);
 //! # Ok::<(), gpu_filters::FilterError>(())
 //! ```
+//!
+//! ## Serving at scale
+//!
+//! The bulk APIs above exist because batching amortizes per-item costs
+//! (§4.2, §5.3) — and the same lesson applies when a filter backs a
+//! service handling heavy concurrent traffic. The [`serving`] module (the
+//! `filter-service` crate) wraps any bulk filter in a sharded,
+//! batch-aggregating front-end: keys are routed to `N` independent filter
+//! instances by a splitmix-derived hash, concurrent point operations are
+//! aggregated into per-shard batches, and each shard's dedicated worker
+//! flushes through the backend's `BulkFilter` API when a batch fills or a
+//! linger deadline passes. Bounded per-shard queues provide backpressure;
+//! [`ServiceStats`](serving::ServiceStats) reports throughput, the
+//! batch-size histogram, queue depths, and flush latency.
+//!
+//! ```
+//! use gpu_filters::prelude::*;
+//!
+//! let service = ShardedFilterBuilder::new()
+//!     .shards(4)
+//!     .build(|_shard| BulkTcf::new(1 << 14))?;
+//! let handle = service.handle();
+//! handle.insert(42)?;          // blocking: parks until its batch flushes
+//! assert!(handle.contains(42));
+//! let keys: Vec<u64> = (0..1000u64).map(|i| i * 2 + 1).collect();
+//! handle.insert_batch(&keys)?; // batched: fans out across shards
+//! assert!(handle.query_batch(&keys)?.iter().all(|&hit| hit));
+//! # Ok::<(), gpu_filters::FilterError>(())
+//! ```
+//!
+//! The service is generic over backend — `BulkTcf`, `BulkGqf`, and
+//! `BlockedBloomFilter` all satisfy the [`ServiceBackend`] blanket trait —
+//! and `build_deletable` additionally enables `remove`/`delete_batch` for
+//! backends with bulk deletion. See `crates/bench/src/bin/
+//! service_throughput.rs` for the measured point-vs-batched-vs-sharded
+//! comparison.
 
 pub use baselines::{
     BlockedBloomFilter, BloomFilter, CountingBloomFilter, CpuCqf, CpuVqf, CuckooFilter, Rsqf, Sqf,
 };
 pub use filter_core::{
     ApiMode, BulkDeletable, BulkFilter, Counting, Deletable, Features, Filter, FilterError,
-    FilterMeta, Operation, Valued,
+    FilterMeta, Operation, ServiceBackend, Valued,
 };
+pub use filter_service::{ServiceHandle, ShardRouter, ShardedFilter, ShardedFilterBuilder};
 pub use gpu_sim::{cost, Device, DeviceProfile, KernelStats};
 pub use gqf::{BulkGqf, PointGqf};
 pub use tcf::{BulkTcf, PointTcf, TcfConfig};
@@ -65,11 +102,18 @@ pub mod eoht {
     pub use eo_ht::*;
 }
 
+/// The sharded, batch-aggregating serving layer (see "Serving at scale"
+/// above).
+pub mod serving {
+    pub use filter_service::*;
+}
+
 /// Everything an application normally needs.
 pub mod prelude {
     pub use crate::{
         ApiMode, BulkDeletable, BulkFilter, BulkGqf, BulkTcf, Counting, Deletable, Features,
-        Filter, FilterError, FilterMeta, Operation, PointGqf, PointTcf, TcfConfig, Valued,
+        Filter, FilterError, FilterMeta, Operation, PointGqf, PointTcf, ServiceBackend,
+        ServiceHandle, ShardedFilter, ShardedFilterBuilder, TcfConfig, Valued,
     };
 }
 

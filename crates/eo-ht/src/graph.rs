@@ -135,8 +135,7 @@ impl DynamicGraph {
         // total reported for that key equals 1 ... which is exactly
         // "some copy saw total 1".
         let mut degree_deltas: Vec<(u64, u64)> = Vec::new();
-        let kept: Vec<(u32, u32)> =
-            edge_list.iter().filter(|&&(u, v)| u != v).copied().collect();
+        let kept: Vec<(u32, u32)> = edge_list.iter().filter(|&&(u, v)| u != v).copied().collect();
         let mut new_edges = 0usize;
         for (i, &(u, v)) in kept.iter().enumerate() {
             if totals[i] == 1 {
@@ -173,11 +172,7 @@ impl DynamicGraph {
         let keys: Vec<u64> = queries.iter().map(|&(u, v)| edge_key(u, v)).collect();
         let mut out = vec![None; keys.len()];
         self.edges.bulk_get(&keys, &mut out);
-        queries
-            .iter()
-            .zip(out)
-            .map(|(&(u, v), val)| u != v && val.is_some())
-            .collect()
+        queries.iter().zip(out).map(|(&(u, v), val)| u != v && val.is_some()).collect()
     }
 }
 
@@ -268,11 +263,7 @@ mod tests {
             assert_eq!(bulk.degree(v), point.degree(v), "vertex {v}");
         }
         for &(u, v) in &stream {
-            assert_eq!(
-                bulk.edge_multiplicity(u, v),
-                point.edge_multiplicity(u, v),
-                "edge {u}-{v}"
-            );
+            assert_eq!(bulk.edge_multiplicity(u, v), point.edge_multiplicity(u, v), "edge {u}-{v}");
         }
     }
 

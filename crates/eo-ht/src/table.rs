@@ -643,8 +643,7 @@ mod tests {
     fn bulk_upsert_places_everything() {
         let t = EoHashTable::new(1 << 15).unwrap();
         let keys = hashed_keys(74, 20_000);
-        let pairs: Vec<(u64, u64)> =
-            keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
+        let pairs: Vec<(u64, u64)> = keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
         assert_eq!(t.bulk_upsert(&pairs), 0);
         let mut out = vec![None; keys.len()];
         t.bulk_get(&keys, &mut out);
@@ -657,8 +656,7 @@ mod tests {
     fn bulk_matches_point_and_locked() {
         let slots = 1 << 14;
         let keys = hashed_keys(75, 9000);
-        let pairs: Vec<(u64, u64)> =
-            keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
+        let pairs: Vec<(u64, u64)> = keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
 
         let a = EoHashTable::new(slots).unwrap();
         assert_eq!(a.bulk_upsert(&pairs), 0);

@@ -31,21 +31,24 @@ pub enum FilterError {
         /// Maximum the filter accepts per call.
         capacity: usize,
     },
+    /// The serving layer the operation was submitted to has shut down; the
+    /// operation was not applied.
+    ServiceStopped,
 }
 
 impl fmt::Display for FilterError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FilterError::Full => write!(f, "filter is full"),
-            FilterError::CapacityExceeded { requested, maximum } => write!(
-                f,
-                "requested capacity {requested} exceeds implementation maximum {maximum}"
-            ),
+            FilterError::CapacityExceeded { requested, maximum } => {
+                write!(f, "requested capacity {requested} exceeds implementation maximum {maximum}")
+            }
             FilterError::Unsupported(op) => write!(f, "operation not supported: {op}"),
             FilterError::BadConfig(msg) => write!(f, "bad filter configuration: {msg}"),
             FilterError::BatchTooLarge { batch, capacity } => {
                 write!(f, "batch of {batch} items exceeds remaining capacity {capacity}")
             }
+            FilterError::ServiceStopped => write!(f, "filter service has shut down"),
         }
     }
 }

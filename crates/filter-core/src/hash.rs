@@ -45,6 +45,19 @@ pub fn hash64_seeded(key: u64, seed: u64) -> u64 {
     fmix64(key ^ seed.wrapping_mul(0x9e37_79b9_7f4a_7c15))
 }
 
+/// SplitMix64 finalizer: the mixer cuRAND-style generators use to derive
+/// independent streams. Used by the serving layer's shard router so shard
+/// assignment is statistically independent of every filter-internal hash
+/// (which are all [`fmix64`]-derived) — a key sharded to shard `s` must not
+/// land in a biased subset of that shard's blocks.
+#[inline(always)]
+pub fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 /// A pair of independent hashes for power-of-two-choice placement.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HashPair {

@@ -19,8 +19,8 @@ pub mod xorwow;
 pub use error::FilterError;
 pub use features::{ApiMode, Features, Operation};
 pub use fingerprint::{split_quotient_remainder, Fingerprint};
-pub use hash::{double_hash_probe, fmix64, hash64, hash64_seeded, HashPair};
+pub use hash::{double_hash_probe, fmix64, hash64, hash64_seeded, splitmix64, HashPair};
 pub use traits::{
-    BulkDeletable, BulkFilter, Counting, Deletable, Filter, FilterMeta, Valued,
+    BulkDeletable, BulkFilter, Counting, Deletable, Filter, FilterMeta, ServiceBackend, Valued,
 };
 pub use xorwow::{hashed_keys, Xorwow};

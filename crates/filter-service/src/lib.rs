@@ -1,0 +1,69 @@
+//! # filter-service — a sharded, batch-aggregating serving layer
+//!
+//! The paper's central performance lesson is that bulk/cooperative APIs
+//! amortize per-item costs that point APIs pay on every call (§4.2 bulk
+//! TCF, §5.3 GQF even-odd phased insertion). This crate applies the same
+//! lesson to a CPU-side serving system: concurrent point requests are
+//! **sharded** across `N` independent filter instances by a
+//! splitmix-derived router, **aggregated** into per-shard batches, and
+//! **flushed** through the backends' existing [`filter_core::BulkFilter`]
+//! APIs when a batch fills or a linger deadline passes — mirroring GPU
+//! kernel-launch amortization. Shards run on dedicated worker threads
+//! behind bounded MPSC queues (backpressure for free), and a
+//! [`ServiceStats`] snapshot reports throughput, the batch-size histogram,
+//! queue depths, and flush latency, analogously to `gpu_sim::KernelStats`.
+//!
+//! The service is generic over any [`filter_core::ServiceBackend`] — the
+//! blanket trait every thread-safe bulk filter implements — so the same
+//! front-end serves a `BulkTcf`, a `BulkGqf`, or a `BlockedBloomFilter`.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use filter_service::ShardedFilterBuilder;
+//! use std::time::Duration;
+//!
+//! // Four shards, each its own 2^14-slot bulk TCF, deletes enabled.
+//! let service = ShardedFilterBuilder::new()
+//!     .shards(4)
+//!     .batch_capacity(1024)
+//!     .linger(Duration::from_micros(100))
+//!     .build_deletable(|_shard| tcf::BulkTcf::new(1 << 14))?;
+//!
+//! // Blocking point surface: parks until the operation's batch flushes.
+//! let h = service.handle();
+//! h.insert(0xfeed_beef)?;
+//! assert!(h.contains(0xfeed_beef));
+//! assert!(h.remove(0xfeed_beef)?);
+//!
+//! // Batched surface: one call fans out across shards and reassembles
+//! // results in order.
+//! let keys: Vec<u64> = (0..4096u64).map(|i| i.wrapping_mul(0x9e3779b97f4a7c15)).collect();
+//! assert_eq!(h.insert_batch(&keys)?, 0);
+//! assert!(h.query_batch(&keys)?.iter().all(|&hit| hit));
+//!
+//! // Pipeline surface for streaming: enqueue, then fence.
+//! h.insert_batch_pipelined(&keys[..1000])?;
+//! h.barrier()?;
+//!
+//! let stats = service.stats();
+//! assert!(stats.mean_batch() > 1.0, "batching should aggregate:\n{}", stats.render());
+//! # Ok::<(), filter_core::FilterError>(())
+//! ```
+//!
+//! ## Semantics
+//!
+//! * Operations on the **same key** are applied in submission order (a key
+//!   always routes to one shard, whose worker applies its queue FIFO).
+//! * A blocking call returns once its batch has been applied; pipeline
+//!   calls are fenced by [`ServiceHandle::barrier`].
+//! * Shutting the service down aborts (never strands) outstanding
+//!   waiters, which observe [`filter_core::FilterError::ServiceStopped`].
+
+pub mod router;
+pub mod service;
+pub mod stats;
+
+pub use router::{ShardRouter, ROUTER_SEED};
+pub use service::{ServiceHandle, ShardedFilter, ShardedFilterBuilder};
+pub use stats::{BatchHistogram, ServiceStats};

@@ -1,0 +1,127 @@
+//! Key → shard routing.
+//!
+//! The router is the serving layer's analogue of the filters' block-choice
+//! hash: it must be deterministic (the same key always reaches the same
+//! shard, or membership breaks), uniform (shards stay balanced under any
+//! key distribution, including adversarial low-entropy streams), and
+//! *independent* of the backends' internal hashes (all `fmix64`-derived),
+//! so the keys routed to one shard do not cluster inside that shard's
+//! table. SplitMix64 over a router seed gives all three.
+
+use filter_core::hash::{fast_reduce, splitmix64};
+
+/// Default router seed; distinct from every filter-internal hash seed.
+pub const ROUTER_SEED: u64 = 0x5e47_1ce5_0f11_7e25;
+
+/// Deterministic splitmix-derived key router over `n` shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRouter {
+    shards: usize,
+    seed: u64,
+}
+
+impl ShardRouter {
+    /// Router over `shards` shards with the default seed. A shard count of
+    /// zero is clamped to one.
+    pub fn new(shards: usize) -> Self {
+        Self::with_seed(shards, ROUTER_SEED)
+    }
+
+    /// Router with an explicit seed (two services over the same key space
+    /// can use different seeds to decorrelate their hot shards).
+    pub fn with_seed(shards: usize, seed: u64) -> Self {
+        ShardRouter { shards: shards.max(1), seed }
+    }
+
+    /// Number of shards routed over.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Shard index for `key`, in `0..shards()`.
+    #[inline]
+    pub fn route(&self, key: u64) -> usize {
+        fast_reduce(splitmix64(key ^ self.seed), self.shards as u64) as usize
+    }
+
+    /// Split `keys` into per-shard key vectors, remembering each key's
+    /// position in the input so batched results can be scattered back in
+    /// order. Returns `(keys_by_shard, positions_by_shard)`.
+    pub fn partition(&self, keys: &[u64]) -> (Vec<Vec<u64>>, Vec<Vec<u32>>) {
+        let mut by_shard = vec![Vec::new(); self.shards];
+        let mut positions = vec![Vec::new(); self.shards];
+        for (i, &k) in keys.iter().enumerate() {
+            let s = self.route(k);
+            by_shard[s].push(k);
+            positions[s].push(i as u32);
+        }
+        (by_shard, positions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_in_range_and_deterministic() {
+        for shards in [1usize, 2, 3, 8, 17] {
+            let r = ShardRouter::new(shards);
+            for key in 0..10_000u64 {
+                let s = r.route(key);
+                assert!(s < shards);
+                assert_eq!(s, ShardRouter::new(shards).route(key), "instance-dependent routing");
+            }
+        }
+    }
+
+    #[test]
+    fn routing_is_roughly_uniform() {
+        let shards = 16;
+        let r = ShardRouter::new(shards);
+        let n = 160_000u64;
+        let mut counts = vec![0u64; shards];
+        for key in 0..n {
+            counts[r.route(key)] += 1;
+        }
+        let expect = n / shards as u64;
+        for (s, &c) in counts.iter().enumerate() {
+            assert!(
+                c > expect * 9 / 10 && c < expect * 11 / 10,
+                "shard {s} holds {c} of expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn seeds_decorrelate_routes() {
+        let a = ShardRouter::with_seed(8, 1);
+        let b = ShardRouter::with_seed(8, 2);
+        let agree = (0..10_000u64).filter(|&k| a.route(k) == b.route(k)).count();
+        // Independent routers agree ~1/8 of the time.
+        assert!(agree < 2000, "routers too correlated: {agree}");
+    }
+
+    #[test]
+    fn partition_scatters_and_preserves_positions() {
+        let r = ShardRouter::new(4);
+        let keys: Vec<u64> = (100..200).collect();
+        let (by_shard, pos) = r.partition(&keys);
+        let total: usize = by_shard.iter().map(|v| v.len()).sum();
+        assert_eq!(total, keys.len());
+        for s in 0..4 {
+            assert_eq!(by_shard[s].len(), pos[s].len());
+            for (k, &p) in by_shard[s].iter().zip(&pos[s]) {
+                assert_eq!(keys[p as usize], *k);
+                assert_eq!(r.route(*k), s);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let r = ShardRouter::new(0);
+        assert_eq!(r.shards(), 1);
+        assert_eq!(r.route(123), 0);
+    }
+}

@@ -1,0 +1,912 @@
+//! The sharded, batch-aggregating serving layer.
+//!
+//! Architecture (one box per shard):
+//!
+//! ```text
+//!  callers ──► ServiceHandle ──router──► bounded MPSC ──► shard worker ──► backend
+//!               (clone-able)             (backpressure)    (aggregates      (BulkTcf /
+//!                                                           into batches,    BulkGqf /
+//!                                                           flushes on       BBF / …)
+//!                                                           fill or linger)
+//! ```
+//!
+//! Each shard owns an independent backend instance and a dedicated worker
+//! thread. Workers pull operations off a bounded queue into a pending
+//! buffer and flush maximal same-kind runs through the backend's bulk API
+//! when the buffer fills or a linger deadline passes — the CPU-side
+//! equivalent of amortizing GPU kernel-launch overhead across a batch
+//! (§4.2 bulk TCF, §5.3 GQF phased insertion). Within a shard, operations
+//! are applied in arrival order, so per-key ordering is global: a key
+//! always routes to the same shard.
+//!
+//! Two usage modes per handle:
+//!
+//! * **blocking** — `insert` / `contains` / `remove` park the caller until
+//!   the flush containing their operation completes; many concurrent
+//!   callers naturally fill batches.
+//! * **pipeline** — `insert_pipelined` / `*_batch_pipelined` enqueue and
+//!   return; `barrier()` waits for everything already enqueued. Streaming
+//!   workloads use this to keep every shard busy from one thread.
+
+use crate::router::{ShardRouter, ROUTER_SEED};
+use crate::stats::{ServiceStats, StatsInner};
+use filter_core::{FilterError, ServiceBackend};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Completion gate for insert-like operations: counts keys still in
+/// flight, accumulating failures and aborts.
+#[derive(Debug)]
+struct OpGate {
+    state: Mutex<OpGateState>,
+    cv: Condvar,
+}
+
+#[derive(Debug)]
+struct OpGateState {
+    remaining: usize,
+    failures: usize,
+    aborted: usize,
+}
+
+impl OpGate {
+    fn new(remaining: usize) -> Arc<Self> {
+        Arc::new(OpGate {
+            state: Mutex::new(OpGateState { remaining, failures: 0, aborted: 0 }),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn done(&self, ok: bool, aborted: bool) {
+        let mut s = self.state.lock().unwrap();
+        s.remaining -= 1;
+        if aborted {
+            s.aborted += 1;
+        } else if !ok {
+            s.failures += 1;
+        }
+        if s.remaining == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Park until every key completes; returns `(failures, aborted)`.
+    fn wait(&self) -> (usize, usize) {
+        let mut s = self.state.lock().unwrap();
+        while s.remaining > 0 {
+            s = self.cv.wait(s).unwrap();
+        }
+        (s.failures, s.aborted)
+    }
+}
+
+/// Completion gate for query-like operations: a result slot per key.
+#[derive(Debug)]
+struct QueryGate {
+    state: Mutex<QueryGateState>,
+    cv: Condvar,
+}
+
+#[derive(Debug)]
+struct QueryGateState {
+    results: Vec<bool>,
+    remaining: usize,
+    aborted: usize,
+}
+
+impl QueryGate {
+    fn new(n: usize) -> Arc<Self> {
+        Arc::new(QueryGate {
+            state: Mutex::new(QueryGateState { results: vec![false; n], remaining: n, aborted: 0 }),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn set(&self, slot: u32, value: bool, aborted: bool) {
+        let mut s = self.state.lock().unwrap();
+        s.results[slot as usize] = value;
+        s.remaining -= 1;
+        if aborted {
+            s.aborted += 1;
+        }
+        if s.remaining == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Park until every slot fills; returns `(results, aborted)`.
+    fn wait(&self) -> (Vec<bool>, usize) {
+        let mut s = self.state.lock().unwrap();
+        while s.remaining > 0 {
+            s = self.cv.wait(s).unwrap();
+        }
+        (std::mem::take(&mut s.results), s.aborted)
+    }
+}
+
+/// One key's claim on an [`OpGate`]. Dropping an unfulfilled ack (task
+/// dropped on a dead channel, worker gone) counts as an abort, so waiting
+/// callers can never hang.
+#[derive(Debug)]
+struct InsertAck {
+    gate: Arc<OpGate>,
+    done: bool,
+}
+
+impl InsertAck {
+    fn new(gate: Arc<OpGate>) -> Self {
+        InsertAck { gate, done: false }
+    }
+
+    fn fulfill(mut self, ok: bool) {
+        self.done = true;
+        self.gate.done(ok, false);
+    }
+}
+
+impl Drop for InsertAck {
+    fn drop(&mut self) {
+        if !self.done {
+            self.gate.done(false, true);
+        }
+    }
+}
+
+/// One key's claim on a [`QueryGate`] slot; abort-on-drop like
+/// [`InsertAck`].
+#[derive(Debug)]
+struct QueryAck {
+    gate: Arc<QueryGate>,
+    slot: u32,
+    done: bool,
+}
+
+impl QueryAck {
+    fn new(gate: Arc<QueryGate>, slot: u32) -> Self {
+        QueryAck { gate, slot, done: false }
+    }
+
+    fn fulfill(mut self, value: bool) {
+        self.done = true;
+        self.gate.set(self.slot, value, false);
+    }
+}
+
+impl Drop for QueryAck {
+    fn drop(&mut self) {
+        if !self.done {
+            self.gate.set(self.slot, false, true);
+        }
+    }
+}
+
+/// One buffered operation awaiting a flush.
+#[derive(Debug)]
+enum Pending {
+    /// Insert `key`; ack carries success/failure back to a blocking caller.
+    Insert(u64, Option<InsertAck>),
+    /// Query `key` into the ack's result slot.
+    Query(u64, QueryAck),
+    /// Delete `key`; the ack's result slot reports "was present".
+    Delete(u64, Option<QueryAck>),
+}
+
+impl Pending {
+    fn kind(&self) -> u8 {
+        match self {
+            Pending::Insert(..) => 0,
+            Pending::Query(..) => 1,
+            Pending::Delete(..) => 2,
+        }
+    }
+
+    fn key(&self) -> u64 {
+        match self {
+            Pending::Insert(k, _) | Pending::Query(k, _) | Pending::Delete(k, _) => *k,
+        }
+    }
+}
+
+/// What flows through a shard's queue.
+enum Task {
+    /// A single operation.
+    One(Pending),
+    /// A pre-routed batch of operations (kept in submission order).
+    Many(Vec<Pending>),
+    /// Flush everything buffered, then acknowledge.
+    Barrier(InsertAck),
+    /// Flush, acknowledge nothing, and exit the worker.
+    Stop,
+}
+
+impl Task {
+    fn ops(&self) -> u64 {
+        match self {
+            Task::One(_) | Task::Barrier(_) => 1,
+            Task::Many(v) => v.len() as u64,
+            // Stop never passes through a handle's `send`, so it is never
+            // counted as enqueued; counting it dequeued would underflow
+            // the queue-depth gauge.
+            Task::Stop => 0,
+        }
+    }
+}
+
+/// Per-backend bulk-delete hook, captured at build time so delete support
+/// is a monomorphized capability rather than a trait-object downcast.
+type DeleteFn<B> = fn(&B, &[u64]) -> Result<usize, FilterError>;
+
+/// Configuration for a [`ShardedFilter`]; see the field setters.
+#[derive(Debug, Clone)]
+pub struct ShardedFilterBuilder {
+    shards: usize,
+    batch_capacity: usize,
+    linger: Duration,
+    queue_tasks: usize,
+    seed: u64,
+}
+
+impl Default for ShardedFilterBuilder {
+    fn default() -> Self {
+        ShardedFilterBuilder {
+            shards: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            batch_capacity: 4096,
+            linger: Duration::from_micros(200),
+            queue_tasks: 1024,
+            seed: ROUTER_SEED,
+        }
+    }
+}
+
+impl ShardedFilterBuilder {
+    /// Start from the defaults: one shard per core, 4096-op batches,
+    /// 200 µs linger, 1024-task queues.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of independent shards (worker thread + backend instance
+    /// each). Zero is clamped to one.
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n.max(1);
+        self
+    }
+
+    /// Flush a shard's buffer once it holds this many operations. One
+    /// degenerates the service to point calls (useful as a baseline).
+    pub fn batch_capacity(mut self, n: usize) -> Self {
+        self.batch_capacity = n.max(1);
+        self
+    }
+
+    /// Maximum time an operation waits for its batch to fill before the
+    /// shard flushes anyway — bounds blocking-call latency under light
+    /// load, exactly as a GPU driver bounds kernel-launch batching.
+    pub fn linger(mut self, d: Duration) -> Self {
+        self.linger = d;
+        self
+    }
+
+    /// Bounded queue length (in tasks) per shard; senders block when a
+    /// shard's queue is full, providing backpressure.
+    pub fn queue_depth(mut self, tasks: usize) -> Self {
+        self.queue_tasks = tasks.max(1);
+        self
+    }
+
+    /// Override the router seed (see [`ShardRouter::with_seed`]).
+    pub fn router_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Build with one backend per shard from `make(shard_index)`.
+    /// The service supports inserts and queries; `remove` reports
+    /// [`FilterError::Unsupported`].
+    pub fn build<B, F>(self, make: F) -> Result<ShardedFilter<B>, FilterError>
+    where
+        B: ServiceBackend + 'static,
+        F: FnMut(usize) -> Result<B, FilterError>,
+    {
+        self.build_inner(make, None)
+    }
+
+    /// Build over a backend with bulk deletion, enabling `remove` and the
+    /// delete batch operations.
+    pub fn build_deletable<B, F>(self, make: F) -> Result<ShardedFilter<B>, FilterError>
+    where
+        B: ServiceBackend + filter_core::BulkDeletable + 'static,
+        F: FnMut(usize) -> Result<B, FilterError>,
+    {
+        self.build_inner(make, Some(|b: &B, keys: &[u64]| b.bulk_delete(keys)))
+    }
+
+    fn build_inner<B, F>(
+        self,
+        mut make: F,
+        delete_fn: Option<DeleteFn<B>>,
+    ) -> Result<ShardedFilter<B>, FilterError>
+    where
+        B: ServiceBackend + 'static,
+        F: FnMut(usize) -> Result<B, FilterError>,
+    {
+        let shards = self.shards.max(1);
+        let stats: Arc<StatsInner> = Arc::default();
+        let mut backends = Vec::with_capacity(shards);
+        let mut senders = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        for i in 0..shards {
+            backends.push(Arc::new(make(i)?));
+        }
+        for (i, backend) in backends.iter().enumerate() {
+            let (tx, rx) = sync_channel::<Task>(self.queue_tasks);
+            let worker = WorkerConfig {
+                backend: Arc::clone(backend),
+                rx,
+                stats: Arc::clone(&stats),
+                capacity: self.batch_capacity,
+                linger: self.linger,
+                delete_fn,
+            };
+            let handle = std::thread::Builder::new()
+                .name(format!("filter-shard-{i}"))
+                .spawn(move || worker.run())
+                .map_err(|e| FilterError::BadConfig(format!("spawn shard worker: {e}")))?;
+            senders.push(tx);
+            workers.push(handle);
+        }
+        Ok(ShardedFilter {
+            backends,
+            senders,
+            workers,
+            router: ShardRouter::with_seed(shards, self.seed),
+            stats,
+            started: Instant::now(),
+            deletes: delete_fn.is_some(),
+        })
+    }
+}
+
+/// Per-shard worker: drains the queue, buffers, flushes.
+struct WorkerConfig<B: ServiceBackend> {
+    backend: Arc<B>,
+    rx: Receiver<Task>,
+    stats: Arc<StatsInner>,
+    capacity: usize,
+    linger: Duration,
+    delete_fn: Option<DeleteFn<B>>,
+}
+
+impl<B: ServiceBackend> WorkerConfig<B> {
+    fn run(self) {
+        let mut pending: Vec<Pending> = Vec::with_capacity(self.capacity);
+        let mut deadline: Option<Instant> = None;
+        loop {
+            let task = if pending.is_empty() {
+                match self.rx.recv() {
+                    Ok(t) => t,
+                    Err(_) => break,
+                }
+            } else {
+                let dl = deadline.unwrap_or_else(Instant::now);
+                match self.rx.recv_timeout(dl.saturating_duration_since(Instant::now())) {
+                    Ok(t) => t,
+                    Err(RecvTimeoutError::Timeout) => {
+                        self.flush(&mut pending);
+                        deadline = None;
+                        continue;
+                    }
+                    Err(RecvTimeoutError::Disconnected) => {
+                        self.flush(&mut pending);
+                        break;
+                    }
+                }
+            };
+            self.stats.dequeued(task.ops());
+            match task {
+                Task::One(p) => pending.push(p),
+                Task::Many(ps) => pending.extend(ps),
+                Task::Barrier(ack) => {
+                    self.flush(&mut pending);
+                    deadline = None;
+                    ack.fulfill(true);
+                    continue;
+                }
+                Task::Stop => {
+                    self.flush(&mut pending);
+                    return;
+                }
+            }
+            // Flush on a full buffer or an expired linger deadline. The
+            // deadline must be re-checked here, not only on recv timeout:
+            // under a sustained arrival stream recv_timeout keeps
+            // returning Ok and would otherwise starve the deadline until
+            // the buffer fills, unboundedly delaying blocking callers.
+            if pending.len() >= self.capacity || deadline.is_some_and(|d| Instant::now() >= d) {
+                self.flush(&mut pending);
+                deadline = None;
+            } else if deadline.is_none() {
+                deadline = Some(Instant::now() + self.linger);
+            }
+        }
+        self.flush(&mut pending);
+    }
+
+    /// Apply the buffer in arrival order: each maximal run of same-kind
+    /// operations becomes one backend bulk call. Same-kind runs dominate
+    /// real streams, and honoring arrival order keeps per-key semantics
+    /// sequential (a key always lands on one shard).
+    fn flush(&self, pending: &mut Vec<Pending>) {
+        if pending.is_empty() {
+            return;
+        }
+        let ops = std::mem::take(pending);
+        let mut run: Vec<Pending> = Vec::with_capacity(ops.len());
+        let mut keys: Vec<u64> = Vec::with_capacity(ops.len());
+        let mut iter = ops.into_iter().peekable();
+        while let Some(first) = iter.next() {
+            let kind = first.kind();
+            keys.clear();
+            keys.push(first.key());
+            run.push(first);
+            while iter.peek().map(|p| p.kind()) == Some(kind) {
+                let p = iter.next().unwrap();
+                keys.push(p.key());
+                run.push(p);
+            }
+            match kind {
+                0 => self.flush_inserts(&keys, run.drain(..)),
+                1 => self.flush_queries(&keys, run.drain(..)),
+                _ => self.flush_deletes(&keys, run.drain(..)),
+            }
+        }
+    }
+
+    fn flush_inserts(&self, keys: &[u64], run: std::vec::Drain<'_, Pending>) {
+        let t0 = Instant::now();
+        let result = self.backend.bulk_insert(keys);
+        self.stats.record_flush(keys.len(), t0.elapsed());
+        match result {
+            Ok(0) => {
+                for p in run {
+                    if let Pending::Insert(_, Some(ack)) = p {
+                        ack.fulfill(true);
+                    }
+                }
+            }
+            Ok(failed) => {
+                // The bulk API reports how many items failed but not which;
+                // re-query to attribute — but only when a blocking caller
+                // is waiting on the answer. A colliding fingerprint can
+                // mask an individual failure — acceptable under filter
+                // semantics, and the aggregate count stays exact in the
+                // stats.
+                self.stats
+                    .insert_failures
+                    .fetch_add(failed as u64, std::sync::atomic::Ordering::Relaxed);
+                if run.as_slice().iter().any(|p| matches!(p, Pending::Insert(_, Some(_)))) {
+                    let present = self.backend.bulk_query_vec(keys);
+                    for (p, ok) in run.zip(present) {
+                        if let Pending::Insert(_, Some(ack)) = p {
+                            ack.fulfill(ok);
+                        }
+                    }
+                }
+            }
+            Err(_) => {
+                self.stats
+                    .insert_failures
+                    .fetch_add(keys.len() as u64, std::sync::atomic::Ordering::Relaxed);
+                for p in run {
+                    if let Pending::Insert(_, Some(ack)) = p {
+                        ack.fulfill(false);
+                    }
+                }
+            }
+        }
+    }
+
+    fn flush_queries(&self, keys: &[u64], run: std::vec::Drain<'_, Pending>) {
+        let t0 = Instant::now();
+        let hits = self.backend.bulk_query_vec(keys);
+        self.stats.record_flush(keys.len(), t0.elapsed());
+        let n_hits = hits.iter().filter(|&&h| h).count() as u64;
+        self.stats.query_hits.fetch_add(n_hits, std::sync::atomic::Ordering::Relaxed);
+        for (p, hit) in run.zip(hits) {
+            if let Pending::Query(_, ack) = p {
+                ack.fulfill(hit);
+            }
+        }
+    }
+
+    fn flush_deletes(&self, keys: &[u64], run: std::vec::Drain<'_, Pending>) {
+        let Some(delete) = self.delete_fn else {
+            // Unreachable through the public API (handles refuse deletes on
+            // a non-deletable service); dropping the acks aborts waiters.
+            drop(run);
+            return;
+        };
+        // Pre-query so each blocking caller learns whether its key was
+        // present (the bulk delete itself only reports an aggregate
+        // not-found count) — skipped when the whole run is pipelined and
+        // nobody would read the answers.
+        let wants_presence =
+            run.as_slice().iter().any(|p| matches!(p, Pending::Delete(_, Some(_))));
+        let t0 = Instant::now();
+        let present = if wants_presence {
+            self.backend.bulk_query_vec(keys)
+        } else {
+            vec![false; keys.len()]
+        };
+        let deleted = delete(&self.backend, keys);
+        self.stats.record_flush(keys.len(), t0.elapsed());
+        if deleted.is_err() {
+            // The backend refused the whole batch: nothing was removed.
+            // Report "not present/removed" to blocking callers rather
+            // than the pre-query answer, and account the failure.
+            self.stats
+                .delete_failures
+                .fetch_add(keys.len() as u64, std::sync::atomic::Ordering::Relaxed);
+            for p in run {
+                if let Pending::Delete(_, Some(ack)) = p {
+                    ack.fulfill(false);
+                }
+            }
+            return;
+        }
+        for (p, was_present) in run.zip(present) {
+            if let Pending::Delete(_, Some(ack)) = p {
+                ack.fulfill(was_present);
+            }
+        }
+    }
+}
+
+/// A cheap, cloneable submission handle onto a [`ShardedFilter`].
+///
+/// Handles are deliberately not generic over the backend, so application
+/// code routing traffic into the service does not need to name the filter
+/// type.
+#[derive(Clone)]
+pub struct ServiceHandle {
+    senders: Vec<SyncSender<Task>>,
+    router: ShardRouter,
+    stats: Arc<StatsInner>,
+    deletes: bool,
+}
+
+impl ServiceHandle {
+    /// Enqueue a task; on success, credit its operations to `accepted`
+    /// (an operation rejected at the queue counts only as rejected, never
+    /// as accepted).
+    fn send(
+        &self,
+        shard: usize,
+        task: Task,
+        accepted: Option<&std::sync::atomic::AtomicU64>,
+    ) -> Result<(), FilterError> {
+        let n = task.ops();
+        self.stats.enqueued(n);
+        match self.senders[shard].send(task) {
+            Ok(()) => {
+                if let Some(counter) = accepted {
+                    counter.fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+                }
+                Ok(())
+            }
+            Err(_) => {
+                self.stats.dequeued(n);
+                self.stats.rejected.fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+                Err(FilterError::ServiceStopped)
+            }
+        }
+    }
+
+    /// Insert one key, parking until its batch flushes. Returns
+    /// `Err(Full)` when the owning shard's backend rejected the key and
+    /// `Err(ServiceStopped)` when the service shut down first.
+    pub fn insert(&self, key: u64) -> Result<(), FilterError> {
+        let gate = OpGate::new(1);
+        let ack = InsertAck::new(Arc::clone(&gate));
+        self.send(
+            self.router.route(key),
+            Task::One(Pending::Insert(key, Some(ack))),
+            Some(&self.stats.inserts),
+        )?;
+        match gate.wait() {
+            (_, aborted) if aborted > 0 => Err(FilterError::ServiceStopped),
+            (0, _) => Ok(()),
+            _ => Err(FilterError::Full),
+        }
+    }
+
+    /// Query one key, parking until its batch flushes. Reports `false`
+    /// (definitely absent) if the service stopped; use [`Self::query`] to
+    /// distinguish.
+    pub fn contains(&self, key: u64) -> bool {
+        self.query(key).unwrap_or(false)
+    }
+
+    /// Query one key; `Err(ServiceStopped)` if the service shut down.
+    pub fn query(&self, key: u64) -> Result<bool, FilterError> {
+        let gate = QueryGate::new(1);
+        let ack = QueryAck::new(Arc::clone(&gate), 0);
+        self.send(
+            self.router.route(key),
+            Task::One(Pending::Query(key, ack)),
+            Some(&self.stats.queries),
+        )?;
+        match gate.wait() {
+            (_, aborted) if aborted > 0 => Err(FilterError::ServiceStopped),
+            (results, _) => Ok(results[0]),
+        }
+    }
+
+    /// Remove one previously-inserted key; `Ok(true)` when a matching
+    /// fingerprint was present. Requires a service built with
+    /// [`ShardedFilterBuilder::build_deletable`]. If the backend refuses
+    /// the delete batch with an error, nothing is removed: the call
+    /// reports `Ok(false)` and the failure is counted in
+    /// [`ServiceStats::delete_failures`](crate::ServiceStats).
+    pub fn remove(&self, key: u64) -> Result<bool, FilterError> {
+        if !self.deletes {
+            return Err(FilterError::Unsupported("service built without deletes"));
+        }
+        let gate = QueryGate::new(1);
+        let ack = QueryAck::new(Arc::clone(&gate), 0);
+        self.send(
+            self.router.route(key),
+            Task::One(Pending::Delete(key, Some(ack))),
+            Some(&self.stats.deletes),
+        )?;
+        match gate.wait() {
+            (_, aborted) if aborted > 0 => Err(FilterError::ServiceStopped),
+            (results, _) => Ok(results[0]),
+        }
+    }
+
+    /// Insert a batch, parking until every key's flush completes. Returns
+    /// the number of keys the backends rejected (0 on full success),
+    /// mirroring [`filter_core::BulkFilter::bulk_insert`].
+    pub fn insert_batch(&self, keys: &[u64]) -> Result<usize, FilterError> {
+        if keys.is_empty() {
+            return Ok(0);
+        }
+        let gate = OpGate::new(keys.len());
+        let (by_shard, _) = self.router.partition(keys);
+        let mut send_failed = false;
+        for (shard, shard_keys) in by_shard.into_iter().enumerate() {
+            if shard_keys.is_empty() {
+                continue;
+            }
+            let ops: Vec<Pending> = shard_keys
+                .into_iter()
+                .map(|k| Pending::Insert(k, Some(InsertAck::new(Arc::clone(&gate)))))
+                .collect();
+            send_failed |= self.send(shard, Task::Many(ops), Some(&self.stats.inserts)).is_err();
+        }
+        let (failures, aborted) = gate.wait();
+        if send_failed || aborted > 0 {
+            return Err(FilterError::ServiceStopped);
+        }
+        Ok(failures)
+    }
+
+    /// Query a batch, parking until flushed; `out[i]` answers `keys[i]`.
+    pub fn query_batch(&self, keys: &[u64]) -> Result<Vec<bool>, FilterError> {
+        if keys.is_empty() {
+            return Ok(Vec::new());
+        }
+        let gate = QueryGate::new(keys.len());
+        let (by_shard, positions) = self.router.partition(keys);
+        let mut send_failed = false;
+        for (shard, (shard_keys, pos)) in by_shard.into_iter().zip(positions).enumerate() {
+            if shard_keys.is_empty() {
+                continue;
+            }
+            let ops: Vec<Pending> = shard_keys
+                .into_iter()
+                .zip(pos)
+                .map(|(k, p)| Pending::Query(k, QueryAck::new(Arc::clone(&gate), p)))
+                .collect();
+            send_failed |= self.send(shard, Task::Many(ops), Some(&self.stats.queries)).is_err();
+        }
+        let (results, aborted) = gate.wait();
+        if send_failed || aborted > 0 {
+            return Err(FilterError::ServiceStopped);
+        }
+        Ok(results)
+    }
+
+    /// Delete a batch, parking until flushed; returns how many keys were
+    /// *not* present (mirroring [`filter_core::BulkDeletable`]). Keys in
+    /// a backend-refused delete batch count as not present and are
+    /// recorded in [`ServiceStats::delete_failures`](crate::ServiceStats).
+    pub fn delete_batch(&self, keys: &[u64]) -> Result<usize, FilterError> {
+        if !self.deletes {
+            return Err(FilterError::Unsupported("service built without deletes"));
+        }
+        if keys.is_empty() {
+            return Ok(0);
+        }
+        let gate = QueryGate::new(keys.len());
+        let (by_shard, positions) = self.router.partition(keys);
+        let mut send_failed = false;
+        for (shard, (shard_keys, pos)) in by_shard.into_iter().zip(positions).enumerate() {
+            if shard_keys.is_empty() {
+                continue;
+            }
+            let ops: Vec<Pending> = shard_keys
+                .into_iter()
+                .zip(pos)
+                .map(|(k, p)| Pending::Delete(k, Some(QueryAck::new(Arc::clone(&gate), p))))
+                .collect();
+            send_failed |= self.send(shard, Task::Many(ops), Some(&self.stats.deletes)).is_err();
+        }
+        let (results, aborted) = gate.wait();
+        if send_failed || aborted > 0 {
+            return Err(FilterError::ServiceStopped);
+        }
+        Ok(results.iter().filter(|&&found| !found).count())
+    }
+
+    /// Fire-and-forget insert: enqueue and return. Failures surface only
+    /// in [`ServiceStats::insert_failures`]; call [`Self::barrier`] to
+    /// bound completion.
+    pub fn insert_pipelined(&self, key: u64) -> Result<(), FilterError> {
+        self.send(
+            self.router.route(key),
+            Task::One(Pending::Insert(key, None)),
+            Some(&self.stats.inserts),
+        )
+    }
+
+    /// Fire-and-forget batch insert (pre-routed, no completion gate).
+    pub fn insert_batch_pipelined(&self, keys: &[u64]) -> Result<(), FilterError> {
+        if keys.is_empty() {
+            return Ok(());
+        }
+        let (by_shard, _) = self.router.partition(keys);
+        for (shard, shard_keys) in by_shard.into_iter().enumerate() {
+            if shard_keys.is_empty() {
+                continue;
+            }
+            let ops: Vec<Pending> =
+                shard_keys.into_iter().map(|k| Pending::Insert(k, None)).collect();
+            self.send(shard, Task::Many(ops), Some(&self.stats.inserts))?;
+        }
+        Ok(())
+    }
+
+    /// Fire-and-forget batch delete (window expiry in streaming dedup and
+    /// similar). Requires delete support.
+    pub fn delete_batch_pipelined(&self, keys: &[u64]) -> Result<(), FilterError> {
+        if !self.deletes {
+            return Err(FilterError::Unsupported("service built without deletes"));
+        }
+        if keys.is_empty() {
+            return Ok(());
+        }
+        let (by_shard, _) = self.router.partition(keys);
+        for (shard, shard_keys) in by_shard.into_iter().enumerate() {
+            if shard_keys.is_empty() {
+                continue;
+            }
+            let ops: Vec<Pending> =
+                shard_keys.into_iter().map(|k| Pending::Delete(k, None)).collect();
+            self.send(shard, Task::Many(ops), Some(&self.stats.deletes))?;
+        }
+        Ok(())
+    }
+
+    /// Park until every operation enqueued (by any handle) before this
+    /// call has been flushed on every shard.
+    pub fn barrier(&self) -> Result<(), FilterError> {
+        let gate = OpGate::new(self.senders.len());
+        let mut send_failed = false;
+        for shard in 0..self.senders.len() {
+            let ack = InsertAck::new(Arc::clone(&gate));
+            send_failed |= self.send(shard, Task::Barrier(ack), None).is_err();
+        }
+        let (_, aborted) = gate.wait();
+        if send_failed || aborted > 0 {
+            return Err(FilterError::ServiceStopped);
+        }
+        Ok(())
+    }
+
+    /// Whether this service supports delete operations.
+    pub fn supports_delete(&self) -> bool {
+        self.deletes
+    }
+
+    /// The router in use (e.g. to co-locate auxiliary per-shard state).
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+}
+
+/// A sharded, batch-aggregating serving front-end over `N` independent
+/// instances of a bulk filter backend. See the [module docs](self) for the
+/// architecture and the [crate docs](crate) for a quickstart.
+pub struct ShardedFilter<B: ServiceBackend + 'static> {
+    backends: Vec<Arc<B>>,
+    senders: Vec<SyncSender<Task>>,
+    workers: Vec<JoinHandle<()>>,
+    router: ShardRouter,
+    stats: Arc<StatsInner>,
+    started: Instant,
+    deletes: bool,
+}
+
+impl<B: ServiceBackend + 'static> ShardedFilter<B> {
+    /// A new submission handle (cheap; clone freely across threads).
+    pub fn handle(&self) -> ServiceHandle {
+        ServiceHandle {
+            senders: self.senders.clone(),
+            router: self.router,
+            stats: Arc::clone(&self.stats),
+            deletes: self.deletes,
+        }
+    }
+
+    /// Snapshot of the service metrics.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats::snapshot(&self.stats, self.router.shards(), self.started.elapsed())
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.router.shards()
+    }
+
+    /// The router mapping keys to shards.
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// Shared references to the per-shard backends (read-only metadata
+    /// access; all trait methods take `&self`).
+    pub fn backends(&self) -> &[Arc<B>] {
+        &self.backends
+    }
+
+    /// Total heap bytes across all shard tables.
+    pub fn table_bytes(&self) -> usize {
+        self.backends.iter().map(|b| b.table_bytes()).sum()
+    }
+
+    /// Total capacity slots across all shards.
+    pub fn capacity_slots(&self) -> u64 {
+        self.backends.iter().map(|b| b.capacity_slots()).sum()
+    }
+
+    /// Stop accepting work, flush every shard, join the workers, and hand
+    /// back the backends (e.g. to persist or merge them). Outstanding
+    /// handles observe [`FilterError::ServiceStopped`] afterwards; their
+    /// in-flight blocking calls complete or abort, never hang.
+    pub fn shutdown(mut self) -> Vec<Arc<B>> {
+        self.stop_workers();
+        std::mem::take(&mut self.backends)
+    }
+
+    fn stop_workers(&mut self) {
+        for tx in &self.senders {
+            // A full queue blocks until the worker drains it; a worker that
+            // already exited surfaces as a send error, which is fine.
+            let _ = tx.send(Task::Stop);
+        }
+        self.senders.clear();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl<B: ServiceBackend + 'static> Drop for ShardedFilter<B> {
+    fn drop(&mut self) {
+        self.stop_workers();
+    }
+}

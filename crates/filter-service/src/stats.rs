@@ -1,0 +1,276 @@
+//! Service metrics: the serving-layer analogue of [`gpu_sim`]'s
+//! `KernelStats`. Where the substrate counts memory transactions per kernel
+//! launch, the service counts operations per flush — throughput, the
+//! batch-size histogram (how well aggregation is amortizing per-call
+//! costs, the paper's §4.2 lesson applied to serving), queue depths
+//! (backpressure headroom), and flush latency.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of power-of-two batch-size buckets tracked (1, 2–3, 4–7, …,
+/// ≥ 2¹⁵).
+pub const HIST_BUCKETS: usize = 16;
+
+/// Histogram of flushed batch sizes in power-of-two buckets.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BatchHistogram {
+    /// `buckets[i]` counts flushes of `2^i ..= 2^(i+1) - 1` items (the last
+    /// bucket absorbs everything larger).
+    pub buckets: [u64; HIST_BUCKETS],
+}
+
+impl BatchHistogram {
+    /// Bucket index for a flush of `n` items.
+    pub fn bucket_of(n: usize) -> usize {
+        if n == 0 {
+            return 0;
+        }
+        (usize::BITS - 1 - n.leading_zeros()).min(HIST_BUCKETS as u32 - 1) as usize
+    }
+
+    /// Total flushes recorded.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Render as `"1:12 2-3:40 …"`, skipping empty buckets.
+    pub fn render(&self) -> String {
+        let mut parts = Vec::new();
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let lo = 1usize << i;
+            let hi = (1usize << (i + 1)) - 1;
+            if i == HIST_BUCKETS - 1 {
+                parts.push(format!("{lo}+:{c}"));
+            } else if lo == hi {
+                parts.push(format!("{lo}:{c}"));
+            } else {
+                parts.push(format!("{lo}-{hi}:{c}"));
+            }
+        }
+        if parts.is_empty() {
+            "(no flushes)".to_string()
+        } else {
+            parts.join(" ")
+        }
+    }
+}
+
+/// Shared atomic counters, updated by handles (enqueue side) and shard
+/// workers (flush side).
+#[derive(Debug, Default)]
+pub(crate) struct StatsInner {
+    pub inserts: AtomicU64,
+    pub queries: AtomicU64,
+    pub deletes: AtomicU64,
+    pub query_hits: AtomicU64,
+    pub insert_failures: AtomicU64,
+    pub delete_failures: AtomicU64,
+    pub batches_flushed: AtomicU64,
+    pub items_flushed: AtomicU64,
+    pub hist: [AtomicU64; HIST_BUCKETS],
+    pub flush_ns_total: AtomicU64,
+    pub flush_ns_max: AtomicU64,
+    pub queue_depth: AtomicU64,
+    pub queue_depth_max: AtomicU64,
+    pub rejected: AtomicU64,
+}
+
+impl StatsInner {
+    pub fn record_flush(&self, items: usize, elapsed: Duration) {
+        let ns = elapsed.as_nanos() as u64;
+        self.batches_flushed.fetch_add(1, Ordering::Relaxed);
+        self.items_flushed.fetch_add(items as u64, Ordering::Relaxed);
+        self.hist[BatchHistogram::bucket_of(items)].fetch_add(1, Ordering::Relaxed);
+        self.flush_ns_total.fetch_add(ns, Ordering::Relaxed);
+        self.flush_ns_max.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    pub fn enqueued(&self, n: u64) {
+        let depth = self.queue_depth.fetch_add(n, Ordering::Relaxed) + n;
+        self.queue_depth_max.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    pub fn dequeued(&self, n: u64) {
+        self.queue_depth.fetch_sub(n, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time snapshot of service activity (see
+/// [`ShardedFilter::stats`](crate::ShardedFilter::stats)).
+#[derive(Debug, Clone)]
+pub struct ServiceStats {
+    /// Number of shards serving.
+    pub shards: usize,
+    /// Insert operations accepted.
+    pub inserts: u64,
+    /// Query operations accepted.
+    pub queries: u64,
+    /// Delete operations accepted.
+    pub deletes: u64,
+    /// Queries that reported "possibly present".
+    pub query_hits: u64,
+    /// Inserts the backends rejected (filter full).
+    pub insert_failures: u64,
+    /// Deletes the backends refused with an error (batch not applied).
+    pub delete_failures: u64,
+    /// Batches flushed to backends.
+    pub batches_flushed: u64,
+    /// Total items flushed inside those batches.
+    pub items_flushed: u64,
+    /// Flushed-batch size distribution.
+    pub batch_hist: BatchHistogram,
+    /// Cumulative time spent inside backend bulk calls.
+    pub flush_total: Duration,
+    /// Worst single backend bulk call.
+    pub flush_max: Duration,
+    /// Operations currently queued (all shards).
+    pub queue_depth: u64,
+    /// High-water mark of queued operations.
+    pub queue_depth_max: u64,
+    /// Operations rejected because the service had stopped.
+    pub rejected: u64,
+    /// Time since the service started.
+    pub elapsed: Duration,
+}
+
+impl ServiceStats {
+    pub(crate) fn snapshot(inner: &StatsInner, shards: usize, elapsed: Duration) -> Self {
+        let o = Ordering::Relaxed;
+        let mut hist = BatchHistogram::default();
+        for (d, s) in hist.buckets.iter_mut().zip(&inner.hist) {
+            *d = s.load(o);
+        }
+        ServiceStats {
+            shards,
+            inserts: inner.inserts.load(o),
+            queries: inner.queries.load(o),
+            deletes: inner.deletes.load(o),
+            query_hits: inner.query_hits.load(o),
+            insert_failures: inner.insert_failures.load(o),
+            delete_failures: inner.delete_failures.load(o),
+            batches_flushed: inner.batches_flushed.load(o),
+            items_flushed: inner.items_flushed.load(o),
+            batch_hist: hist,
+            flush_total: Duration::from_nanos(inner.flush_ns_total.load(o)),
+            flush_max: Duration::from_nanos(inner.flush_ns_max.load(o)),
+            queue_depth: inner.queue_depth.load(o),
+            queue_depth_max: inner.queue_depth_max.load(o),
+            rejected: inner.rejected.load(o),
+            elapsed,
+        }
+    }
+
+    /// Total operations accepted.
+    pub fn ops(&self) -> u64 {
+        self.inserts + self.queries + self.deletes
+    }
+
+    /// Accepted operations per second of service lifetime.
+    pub fn throughput(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.ops() as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// Mean flushed-batch size — the amortization factor the batching layer
+    /// achieved (1.0 means it degenerated to point calls).
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches_flushed == 0 {
+            return 0.0;
+        }
+        self.items_flushed as f64 / self.batches_flushed as f64
+    }
+
+    /// Mean time per backend bulk call.
+    pub fn mean_flush(&self) -> Duration {
+        if self.batches_flushed == 0 {
+            return Duration::ZERO;
+        }
+        self.flush_total / self.batches_flushed.min(u32::MAX as u64) as u32
+    }
+
+    /// Multi-line human-readable report.
+    pub fn render(&self) -> String {
+        format!(
+            "service: {} shards, {:.0} ops/s over {:.2?}\n\
+             ops: {} inserts ({} failed), {} queries ({} hits), {} deletes ({} failed)\n\
+             batches: {} flushed, mean size {:.1}, hist {}\n\
+             flush: mean {:.2?}, max {:.2?}; queue depth {} (max {}), rejected {}",
+            self.shards,
+            self.throughput(),
+            self.elapsed,
+            self.inserts,
+            self.insert_failures,
+            self.queries,
+            self.query_hits,
+            self.deletes,
+            self.delete_failures,
+            self.batches_flushed,
+            self.mean_batch(),
+            self.batch_hist.render(),
+            self.mean_flush(),
+            self.flush_max,
+            self.queue_depth,
+            self.queue_depth_max,
+            self.rejected,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(BatchHistogram::bucket_of(0), 0);
+        assert_eq!(BatchHistogram::bucket_of(1), 0);
+        assert_eq!(BatchHistogram::bucket_of(2), 1);
+        assert_eq!(BatchHistogram::bucket_of(3), 1);
+        assert_eq!(BatchHistogram::bucket_of(4), 2);
+        assert_eq!(BatchHistogram::bucket_of(1 << 20), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn snapshot_reflects_recorded_flushes() {
+        let inner = StatsInner::default();
+        inner.inserts.fetch_add(10, Ordering::Relaxed);
+        inner.record_flush(8, Duration::from_micros(5));
+        inner.record_flush(1, Duration::from_micros(20));
+        let s = ServiceStats::snapshot(&inner, 4, Duration::from_secs(1));
+        assert_eq!(s.batches_flushed, 2);
+        assert_eq!(s.items_flushed, 9);
+        assert_eq!(s.batch_hist.buckets[3], 1);
+        assert_eq!(s.batch_hist.buckets[0], 1);
+        assert!(s.mean_batch() > 4.0);
+        assert_eq!(s.flush_max, Duration::from_micros(20));
+        assert!(s.render().contains("4 shards"));
+    }
+
+    #[test]
+    fn queue_depth_tracks_high_water() {
+        let inner = StatsInner::default();
+        inner.enqueued(5);
+        inner.enqueued(7);
+        inner.dequeued(10);
+        let s = ServiceStats::snapshot(&inner, 1, Duration::from_secs(1));
+        assert_eq!(s.queue_depth, 2);
+        assert_eq!(s.queue_depth_max, 12);
+    }
+
+    #[test]
+    fn histogram_renders_sparse_buckets() {
+        let mut h = BatchHistogram::default();
+        assert_eq!(h.render(), "(no flushes)");
+        h.buckets[0] = 3;
+        h.buckets[4] = 1;
+        let r = h.render();
+        assert!(r.contains("1:3"));
+        assert!(r.contains("16-31:1"));
+    }
+}

@@ -1,0 +1,71 @@
+//! Property tests for the shard router and the routing layer's end-to-end
+//! guarantee: routing is a deterministic function of the key, shards
+//! partition the key space, and membership through a sharded service never
+//! yields false negatives — at shard counts 1, 2, and 8.
+
+use filter_service::{ShardRouter, ShardedFilterBuilder};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use tcf::BulkTcf;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The route is a pure function of (key, shard count, seed): two
+    /// independently constructed routers always agree.
+    #[test]
+    fn routing_is_deterministic(keys in vec(any::<u64>(), 1..500), shards in 1usize..32) {
+        let a = ShardRouter::new(shards);
+        let b = ShardRouter::new(shards);
+        for &k in &keys {
+            prop_assert_eq!(a.route(k), b.route(k));
+            prop_assert_eq!(a.route(k), a.route(k));
+        }
+    }
+
+    /// Shards partition the key space: every key routes to exactly one
+    /// in-range shard, and partition() scatters each key to exactly that
+    /// shard with its input position preserved.
+    #[test]
+    fn shards_partition_the_key_space(keys in vec(any::<u64>(), 1..500), shards in 1usize..32) {
+        let r = ShardRouter::new(shards);
+        let (by_shard, positions) = r.partition(&keys);
+        prop_assert_eq!(by_shard.len(), shards);
+        let total: usize = by_shard.iter().map(|v| v.len()).sum();
+        prop_assert_eq!(total, keys.len(), "keys lost or duplicated across shards");
+        let mut seen = vec![false; keys.len()];
+        for (s, (ks, ps)) in by_shard.iter().zip(&positions).enumerate() {
+            prop_assert_eq!(ks.len(), ps.len());
+            for (&k, &p) in ks.iter().zip(ps) {
+                prop_assert_eq!(r.route(k), s, "key in a shard it does not route to");
+                prop_assert_eq!(keys[p as usize], k);
+                prop_assert!(!seen[p as usize], "input position claimed twice");
+                seen[p as usize] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&x| x));
+    }
+
+    /// End-to-end: `contains` after a sharded `insert` never yields a
+    /// false negative, for shard counts 1, 2, and 8.
+    #[test]
+    fn no_false_negatives_across_shard_counts(keys in vec(any::<u64>(), 1..300)) {
+        for shards in [1usize, 2, 8] {
+            let service = ShardedFilterBuilder::new()
+                .shards(shards)
+                .batch_capacity(128)
+                .build(|_| BulkTcf::new(1 << 12))
+                .unwrap();
+            let h = service.handle();
+            prop_assert_eq!(h.insert_batch(&keys).unwrap(), 0, "shards={}", shards);
+            let hits = h.query_batch(&keys).unwrap();
+            for (i, &hit) in hits.iter().enumerate() {
+                prop_assert!(hit, "false negative for keys[{}] at shards={}", i, shards);
+            }
+            // The blocking point surface agrees with the batch surface.
+            for &k in keys.iter().take(20) {
+                prop_assert!(h.contains(k), "point query lost key at shards={}", shards);
+            }
+        }
+    }
+}

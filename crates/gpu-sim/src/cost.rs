@@ -144,8 +144,7 @@ pub fn estimate_with(
 
     // --- atomic pipeline, with contention amplification ---
     let fail_ratio = if atomics > 0.0 { (fails / atomics).min(1.0) } else { 0.0 };
-    let t_atomic =
-        atomics / profile.atomic_rate * (1.0 + profile.cas_retry_penalty * fail_ratio);
+    let t_atomic = atomics / profile.atomic_rate * (1.0 + profile.cas_retry_penalty * fail_ratio);
 
     // --- SIMT issue pipeline (group-size trade-off of Fig. 5) ---
     let issue_slots = c.get(Counter::CgSteps) as f64
@@ -162,9 +161,8 @@ pub fn estimate_with(
     // throughput with dataset size") and what buries the RSQF's serial
     // insert and the SQF's serialized deletes.
     let warps = (profile.max_threads / 32).max(1) as f64;
-    let in_flight = (stats.active_threads.max(1) as f64)
-        .min(warps * (32.0 / g))
-        * params.latency_weight;
+    let in_flight =
+        (stats.active_threads.max(1) as f64).min(warps * (32.0 / g)) * params.latency_weight;
     let t_latency = c.get(Counter::LinesLoaded) as f64 * profile.mem_latency / in_flight;
 
     // --- shared memory ---
@@ -209,14 +207,30 @@ mod tests {
         let mut counters = Counters::default();
         f(&mut counters);
         counters.vals[Counter::Items as usize] = items;
-        KernelStats { counters, wall: Duration::from_millis(1), items, cg_size: g, active_threads: active }
+        KernelStats {
+            counters,
+            wall: Duration::from_millis(1),
+            items,
+            cg_size: g,
+            active_threads: active,
+        }
     }
 
     #[test]
     fn more_lines_cost_more_time() {
         let p = DeviceProfile::cori_v100();
-        let few = stats_with(|c| c.vals[Counter::LinesLoaded as usize] = 1_000_000, 1_000_000, 4, 1 << 20);
-        let many = stats_with(|c| c.vals[Counter::LinesLoaded as usize] = 7_000_000, 1_000_000, 4, 1 << 20);
+        let few = stats_with(
+            |c| c.vals[Counter::LinesLoaded as usize] = 1_000_000,
+            1_000_000,
+            4,
+            1 << 20,
+        );
+        let many = stats_with(
+            |c| c.vals[Counter::LinesLoaded as usize] = 7_000_000,
+            1_000_000,
+            4,
+            1 << 20,
+        );
         let t1 = estimate(&few, &p, 1 << 30).seconds;
         let t7 = estimate(&many, &p, 1 << 30).seconds;
         assert!(t7 > t1 * 3.0, "7x lines should cost much more: {t1} vs {t7}");
@@ -225,7 +239,12 @@ mod tests {
     #[test]
     fn l2_resident_filter_is_faster() {
         let p = DeviceProfile::cori_v100();
-        let s = stats_with(|c| c.vals[Counter::LinesLoaded as usize] = 50_000_000, 10_000_000, 4, 1 << 20);
+        let s = stats_with(
+            |c| c.vals[Counter::LinesLoaded as usize] = 50_000_000,
+            10_000_000,
+            4,
+            1 << 20,
+        );
         let small = estimate(&s, &p, 4 << 20).throughput; // fits 8MB L2
         let large = estimate(&s, &p, 4 << 30).throughput;
         assert!(small > large, "L2-resident should model faster: {small} vs {large}");
@@ -234,7 +253,12 @@ mod tests {
     #[test]
     fn lock_spins_strictly_add_time() {
         let p = DeviceProfile::cori_v100();
-        let base = stats_with(|c| c.vals[Counter::LinesLoaded as usize] = 1_000_000, 1_000_000, 1, 1 << 20);
+        let base = stats_with(
+            |c| c.vals[Counter::LinesLoaded as usize] = 1_000_000,
+            1_000_000,
+            1,
+            1 << 20,
+        );
         let locked = stats_with(
             |c| {
                 c.vals[Counter::LinesLoaded as usize] = 1_000_000;
@@ -244,7 +268,9 @@ mod tests {
             1,
             1 << 20,
         );
-        assert!(estimate(&locked, &p, 1 << 30).seconds > estimate(&base, &p, 1 << 30).seconds * 2.0);
+        assert!(
+            estimate(&locked, &p, 1 << 30).seconds > estimate(&base, &p, 1 << 30).seconds * 2.0
+        );
     }
 
     #[test]
@@ -286,15 +312,26 @@ mod tests {
     #[test]
     fn low_occupancy_slows_kernel() {
         let p = DeviceProfile::cori_v100();
-        let full = stats_with(|c| c.vals[Counter::LinesLoaded as usize] = 1_000_000, 1_000_000, 1, 1 << 20);
-        let sparse = stats_with(|c| c.vals[Counter::LinesLoaded as usize] = 1_000_000, 1_000_000, 1, 64);
+        let full = stats_with(
+            |c| c.vals[Counter::LinesLoaded as usize] = 1_000_000,
+            1_000_000,
+            1,
+            1 << 20,
+        );
+        let sparse =
+            stats_with(|c| c.vals[Counter::LinesLoaded as usize] = 1_000_000, 1_000_000, 1, 64);
         assert!(estimate(&sparse, &p, 1 << 30).seconds > estimate(&full, &p, 1 << 30).seconds);
     }
 
     #[test]
     fn contention_amplifies_atomic_cost() {
         let p = DeviceProfile::cori_v100();
-        let clean = stats_with(|c| c.vals[Counter::AtomicOps as usize] = 1_000_000_000, 1_000_000, 4, 1 << 20);
+        let clean = stats_with(
+            |c| c.vals[Counter::AtomicOps as usize] = 1_000_000_000,
+            1_000_000,
+            4,
+            1 << 20,
+        );
         let contended = stats_with(
             |c| {
                 c.vals[Counter::AtomicOps as usize] = 1_000_000_000;
@@ -312,7 +349,12 @@ mod tests {
     #[test]
     fn breakdown_identifies_bound() {
         let p = DeviceProfile::cori_v100();
-        let s = stats_with(|c| c.vals[Counter::LinesLoaded as usize] = u32::MAX as u64, 1_000_000, 32, 1 << 20);
+        let s = stats_with(
+            |c| c.vals[Counter::LinesLoaded as usize] = u32::MAX as u64,
+            1_000_000,
+            32,
+            1 << 20,
+        );
         let m = estimate(&s, &p, 1 << 34);
         assert!(["bandwidth", "memory-latency"].contains(&m.breakdown.bound()));
         let disp = format!("{}", m.breakdown);

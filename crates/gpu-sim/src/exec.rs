@@ -104,13 +104,7 @@ impl Device {
         self.launch_inner(n_regions, 1, n_regions as u64, kernel)
     }
 
-    fn launch_inner<F>(
-        &self,
-        n: usize,
-        cg_size: u32,
-        active_threads: u64,
-        kernel: F,
-    ) -> KernelStats
+    fn launch_inner<F>(&self, n: usize, cg_size: u32, active_threads: u64, kernel: F) -> KernelStats
     where
         F: Fn(usize) + Sync,
     {

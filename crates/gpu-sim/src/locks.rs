@@ -12,8 +12,8 @@
 //! into the serialized lock-thrashing time that makes point-GQF inserts
 //! slower than the Bloom filter's (§6.1).
 
-use crate::metrics::{bump, Counter};
 use crate::memory::{GpuBuffer, WORDS_PER_LINE};
+use crate::metrics::{bump, Counter};
 
 /// Spin locks, one per region plus one for the spill pad.
 pub struct RegionLocks {

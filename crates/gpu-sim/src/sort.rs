@@ -160,10 +160,7 @@ pub fn reduce_by_key(sorted: &[u64]) -> Vec<(u64, u64)> {
         .filter(|&i| i == 0 || sorted[i] != sorted[i - 1])
         .collect();
     bounds.push(sorted.len());
-    bounds
-        .par_windows(2)
-        .map(|w| (sorted[w[0]], (w[1] - w[0]) as u64))
-        .collect()
+    bounds.par_windows(2).map(|w| (sorted[w[0]], (w[1] - w[0]) as u64)).collect()
 }
 
 /// First index in sorted `data` whose value is `>= x` (successor search;
@@ -295,7 +292,8 @@ mod tests {
         let step = u64::MAX / 16;
         for i in 0..16u64 {
             let lo = lower_bound(&data, i.wrapping_mul(step));
-            let hi = if i == 15 { data.len() } else { lower_bound(&data, (i + 1).wrapping_mul(step)) };
+            let hi =
+                if i == 15 { data.len() } else { lower_bound(&data, (i + 1).wrapping_mul(step)) };
             assert!(hi >= lo);
             total += hi - lo;
         }

@@ -93,9 +93,8 @@ impl BulkGqf {
         let n_regions = bounds.len() - 1;
         let failures = AtomicUsize::new(0);
         for parity in 0..2usize {
-            let regions: Vec<usize> = (0..n_regions)
-                .filter(|&g| g % 2 == parity && bounds[g] < bounds[g + 1])
-                .collect();
+            let regions: Vec<usize> =
+                (0..n_regions).filter(|&g| g % 2 == parity && bounds[g] < bounds[g + 1]).collect();
             if regions.is_empty() {
                 continue;
             }
@@ -255,8 +254,7 @@ impl BulkGqf {
             return Err(FilterError::BadConfig("merge requires identical layouts".into()));
         }
         let old = self.core.layout();
-        let merged =
-            BulkGqf::new(old.q_bits + 1, old.r_bits - 1, self.device.clone())?;
+        let merged = BulkGqf::new(old.q_bits + 1, old.r_bits - 1, self.device.clone())?;
         let to = *merged.core.layout();
         for src in [self, other] {
             // Re-split each lossless hash under the new layout and insert

@@ -19,9 +19,7 @@
 
 use crate::bits::{Metadata, Tracked};
 use crate::layout::Layout;
-use crate::runs::{
-    decode_run, encode_run, merge_entry, remove_entry, total_count, Entry,
-};
+use crate::runs::{decode_run, encode_run, merge_entry, remove_entry, total_count, Entry};
 use filter_core::FilterError;
 use gpu_sim::GpuBuffer;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -179,7 +177,13 @@ impl GqfCore {
     /// `memmove` of §5.2, walked in reverse so overlapping ranges are
     /// safe. Moved slots become shifted; continuation bits travel with
     /// their slots.
-    fn memmove_right_one(&self, cur: &mut crate::bits::MetaCursor<'_>, rem: &mut Tracked<'_>, a: usize, e: usize) {
+    fn memmove_right_one(
+        &self,
+        cur: &mut crate::bits::MetaCursor<'_>,
+        rem: &mut Tracked<'_>,
+        a: usize,
+        e: usize,
+    ) {
         debug_assert!(self.meta.is_empty_slot(cur, e));
         for i in (a..e).rev() {
             let v = rem.get(i);
@@ -289,11 +293,8 @@ impl GqfCore {
             self.write_run(&mut cur, &mut rem, q, start, &new_vals);
         } else {
             // New run: find its position among the cluster's runs.
-            let start = if self.meta.is_empty_slot(&mut cur, q) {
-                q
-            } else {
-                self.run_start(&mut cur, q)
-            };
+            let start =
+                if self.meta.is_empty_slot(&mut cur, q) { q } else { self.run_start(&mut cur, q) };
             let entries = [Entry { remainder: r, count: delta }];
             let new_vals = encode_run(&entries, self.layout.r_bits);
             self.open_gap(&mut cur, &mut rem, q, start, new_vals.len())?;
@@ -315,10 +316,7 @@ impl GqfCore {
         let start = self.run_start(&mut cur, q);
         let (vals, _) = self.read_run(&mut cur.cont, &mut rem, start);
         let entries = decode_run(&vals, self.layout.r_bits);
-        entries
-            .binary_search_by_key(&r, |e| e.remainder)
-            .map(|i| entries[i].count)
-            .unwrap_or(0)
+        entries.binary_search_by_key(&r, |e| e.remainder).map(|i| entries[i].count).unwrap_or(0)
     }
 
     /// Collect every run of the cluster starting at `c0`.
@@ -632,10 +630,8 @@ mod tests {
         }
         let mut got = f.enumerate();
         got.sort_unstable();
-        let mut want: Vec<(u64, u64)> = inserted
-            .iter()
-            .map(|&(q, r, c)| (f.layout().join(q, r), c))
-            .collect();
+        let mut want: Vec<(u64, u64)> =
+            inserted.iter().map(|&(q, r, c)| (f.layout().join(q, r), c)).collect();
         want.sort_unstable();
         assert_eq!(got, want);
     }

@@ -27,12 +27,24 @@ pub mod bits;
 pub mod bulk;
 pub mod core;
 pub mod layout;
-pub mod locks;
 pub mod point;
 pub mod runs;
 
 pub use bulk::BulkGqf;
 pub use core::GqfCore;
 pub use layout::{Layout, REGION_SLOTS};
-pub use locks::RegionLocks;
 pub use point::PointGqf;
+
+/// Region spinlocks, re-exported from the substrate.
+///
+/// The GQF needs no locking machinery of its own — and in particular no
+/// per-*run* lock table. The point GQF locks at *region* granularity
+/// (8192 slots, §5.2): an operation's cluster can span a run boundary and,
+/// under shifting, even a region boundary, so any lock finer than the
+/// cluster's maximal extent (per-run locks included) could not make an
+/// insert's read-shift-write atomic without hierarchical lock ordering
+/// across runs. The cache-aligned region locks in
+/// [`gpu_sim::locks`] already cover the maximal cluster span (see
+/// [`PointGqf`]'s optimistic span discovery), and the bulk GQF avoids
+/// locks entirely via even-odd phasing (§5.3).
+pub use gpu_sim::locks::RegionLocks;

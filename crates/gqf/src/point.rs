@@ -12,7 +12,7 @@
 
 use crate::core::GqfCore;
 use crate::layout::Layout;
-use crate::locks::RegionLocks;
+use crate::RegionLocks;
 use filter_core::{
     Counting, Deletable, Features, Filter, FilterError, FilterMeta, Operation, Valued,
 };

@@ -254,10 +254,8 @@ mod tests {
     #[test]
     #[should_panic]
     fn unsorted_entries_panic() {
-        let _ = encode_run(
-            &[Entry { remainder: 9, count: 1 }, Entry { remainder: 3, count: 1 }],
-            8,
-        );
+        let _ =
+            encode_run(&[Entry { remainder: 9, count: 1 }, Entry { remainder: 3, count: 1 }], 8);
     }
 
     #[test]

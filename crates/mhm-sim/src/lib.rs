@@ -210,11 +210,7 @@ impl CountStore {
 
 /// Run the Table 3 comparison (TCF vs No TCF) for one dataset profile
 /// using the accounted store (the scaled-GB columns).
-pub fn table3_rows(
-    profile: &GenomeProfile,
-    k: usize,
-    seed: u64,
-) -> (MemoryReport, MemoryReport) {
+pub fn table3_rows(profile: &GenomeProfile, k: usize, seed: u64) -> (MemoryReport, MemoryReport) {
     table3_rows_with(profile, k, seed, ExactStore::Accounted)
 }
 
@@ -273,8 +269,7 @@ mod tests {
     #[test]
     fn rhizo_profile_saves_more_than_wa() {
         let (wa_with, wa_without) = table3_rows(&GenomeProfile::metagenome_wa(30_000), 21, 3);
-        let (rh_with, rh_without) =
-            table3_rows(&GenomeProfile::metagenome_rhizo(30_000), 21, 3);
+        let (rh_with, rh_without) = table3_rows(&GenomeProfile::metagenome_rhizo(30_000), 21, 3);
         let wa_ratio = wa_with.total_bytes() as f64 / wa_without.total_bytes() as f64;
         let rh_ratio = rh_with.total_bytes() as f64 / rh_without.total_bytes() as f64;
         // Table 3: Rhizo's reduction (146/790) is deeper than WA's (607/1742).
@@ -287,8 +282,8 @@ mod tests {
     #[test]
     fn eoht_store_counts_match_accounted_store() {
         let reads = synthetic_reads(&wa_small(), 6);
-        let acc = KmerAnalysis { k: 21, use_tcf: true, store: ExactStore::Accounted }
-            .run(&reads, "test");
+        let acc =
+            KmerAnalysis { k: 21, use_tcf: true, store: ExactStore::Accounted }.run(&reads, "test");
         let real = KmerAnalysis { k: 21, use_tcf: true, store: ExactStore::EoHashTable }
             .run(&reads, "test");
         assert_eq!(acc.ht_entries, real.ht_entries, "same promotions in both stores");
@@ -298,8 +293,7 @@ mod tests {
 
     #[test]
     fn eoht_store_preserves_the_memory_cut() {
-        let (with, without) =
-            table3_rows_with(&wa_small(), 21, 7, ExactStore::EoHashTable);
+        let (with, without) = table3_rows_with(&wa_small(), 21, 7, ExactStore::EoHashTable);
         assert!(
             with.total_bytes() < without.total_bytes(),
             "real-table run must still show the Table 3 saving: {} vs {}",
@@ -314,7 +308,8 @@ mod tests {
     #[test]
     fn no_tcf_row_has_zero_tcf_bytes() {
         let reads = synthetic_reads(&wa_small(), 4);
-        let report = KmerAnalysis { k: 21, use_tcf: false, store: ExactStore::Accounted }.run(&reads, "test");
+        let report = KmerAnalysis { k: 21, use_tcf: false, store: ExactStore::Accounted }
+            .run(&reads, "test");
         assert_eq!(report.tcf_bytes, 0);
         assert_eq!(report.ht_entries, report.distinct);
     }
@@ -322,7 +317,8 @@ mod tests {
     #[test]
     fn scaling_is_linear() {
         let reads = synthetic_reads(&wa_small(), 5);
-        let report = KmerAnalysis { k: 21, use_tcf: false, store: ExactStore::Accounted }.run(&reads, "test");
+        let report = KmerAnalysis { k: 21, use_tcf: false, store: ExactStore::Accounted }
+            .run(&reads, "test");
         let gb = report.scaled_total_gb(report.distinct as f64 * 10.0);
         assert!((gb - report.total_bytes() as f64 * 10.0 / 1e9).abs() < 1e-9);
     }

@@ -20,9 +20,7 @@
 use crate::backing::BackingTable;
 use crate::config::TcfConfig;
 use filter_core::fingerprint::EMPTY;
-use filter_core::{
-    ApiMode, Features, FilterError, FilterMeta, Fingerprint, HashPair, Operation,
-};
+use filter_core::{ApiMode, Features, FilterError, FilterMeta, Fingerprint, HashPair, Operation};
 use gpu_sim::sort::radix_sort_pairs;
 use gpu_sim::{Device, GpuBuffer, SharedScratch};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -171,8 +169,7 @@ impl BulkTcf {
         }
         bounds.push(order.len());
 
-        let accepted: Vec<AtomicBool> =
-            (0..items.len()).map(|_| AtomicBool::new(false)).collect();
+        let accepted: Vec<AtomicBool> = (0..items.len()).map(|_| AtomicBool::new(false)).collect();
         let b = self.cfg.block_slots;
         let n_segments = bounds.len() - 1;
         let order_ref = &order;
@@ -487,9 +484,7 @@ impl BulkTcf {
         let mut failures = 0usize;
         for (it, &a) in items3.iter().zip(&mask) {
             if !a {
-                if spill_to_backing
-                    && self.cfg.backing_table
-                    && self.backing.insert(it.key, it.fp)
+                if spill_to_backing && self.cfg.backing_table && self.backing.insert(it.key, it.fp)
                 {
                     self.occupied.fetch_add(1, Ordering::Relaxed);
                 } else {
@@ -528,11 +523,8 @@ impl BulkTcf {
         let b = self.cfg.block_slots;
 
         // Group queries by primary block.
-        let mut order: Vec<(u64, u64)> = keys
-            .iter()
-            .enumerate()
-            .map(|(i, &k)| (self.blocks_of(k).0 as u64, i as u64))
-            .collect();
+        let mut order: Vec<(u64, u64)> =
+            keys.iter().enumerate().map(|(i, &k)| (self.blocks_of(k).0 as u64, i as u64)).collect();
         radix_sort_pairs(&mut order);
         let mut bounds = vec![0usize];
         for i in 1..order.len() {
@@ -655,9 +647,7 @@ impl FilterMeta for BulkTcf {
     }
 
     fn table_bytes(&self) -> usize {
-        self.table.bytes()
-            + self.values.as_ref().map_or(0, |v| v.bytes())
-            + self.backing.bytes()
+        self.table.bytes() + self.values.as_ref().map_or(0, |v| v.bytes()) + self.backing.bytes()
     }
 
     fn capacity_slots(&self) -> u64 {
@@ -817,8 +807,7 @@ mod sorted_query_tests {
         let f = BulkTcf::new(1 << 12).unwrap();
         let keys = hashed_keys(61, 3000);
         f.insert_batch(&keys);
-        let probes: Vec<u64> =
-            keys.iter().copied().chain(hashed_keys(62, 3000)).collect();
+        let probes: Vec<u64> = keys.iter().copied().chain(hashed_keys(62, 3000)).collect();
         let mut a = vec![false; probes.len()];
         let mut b = vec![false; probes.len()];
         f.query_batch(&probes, &mut a);
@@ -862,11 +851,8 @@ mod sorted_query_tests {
             keys.iter().enumerate().map(|(i, &k)| (k, (i % 60_000) as u64)).collect();
         assert_eq!(f.insert_values_batch(&pairs), 0);
         let got = f.query_values_batch(&keys);
-        let exact = keys
-            .iter()
-            .enumerate()
-            .filter(|&(i, _)| got[i] == Some((i % 60_000) as u64))
-            .count();
+        let exact =
+            keys.iter().enumerate().filter(|&(i, _)| got[i] == Some((i % 60_000) as u64)).count();
         // Fingerprint collisions may alias a few values; the rest are exact.
         assert!(exact as f64 / keys.len() as f64 > 0.99, "exact {exact}/{}", keys.len());
     }
@@ -882,8 +868,7 @@ mod sorted_query_tests {
             assert_eq!(f.insert_values_batch(&pairs), 0);
         }
         let got = f.query_values_batch(&keys);
-        let exact =
-            keys.iter().zip(&got).filter(|&(&k, v)| *v == Some(k & 0xffff_ffff)).count();
+        let exact = keys.iter().zip(&got).filter(|&(&k, v)| *v == Some(k & 0xffff_ffff)).count();
         assert!(exact as f64 / keys.len() as f64 > 0.99, "exact {exact}/{}", keys.len());
     }
 
@@ -897,8 +882,7 @@ mod sorted_query_tests {
         // even where deletions compacted their blocks.
         assert_eq!(f.delete_batch(&keys[..1000]), 0);
         let got = f.query_values_batch(&keys[1000..]);
-        let exact =
-            keys[1000..].iter().zip(&got).filter(|&(&k, v)| *v == Some(k >> 32)).count();
+        let exact = keys[1000..].iter().zip(&got).filter(|&(&k, v)| *v == Some(k >> 32)).count();
         assert!(exact >= 990, "exact {exact}/1000");
     }
 
@@ -914,7 +898,10 @@ mod sorted_query_tests {
     fn plain_and_valued_batches_coexist() {
         let f = BulkTcf::new(1 << 12).unwrap().with_values(16).unwrap();
         let keys = hashed_keys(68, 1000);
-        assert_eq!(f.insert_values_batch(&keys[..500].iter().map(|&k| (k, 7)).collect::<Vec<_>>()), 0);
+        assert_eq!(
+            f.insert_values_batch(&keys[..500].iter().map(|&k| (k, 7)).collect::<Vec<_>>()),
+            0
+        );
         assert_eq!(f.insert_batch(&keys[500..]), 0);
         let mut out = vec![false; keys.len()];
         f.query_batch(&keys, &mut out);

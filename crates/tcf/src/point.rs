@@ -10,8 +10,7 @@ use crate::backing::BackingTable;
 use crate::block::{block_delete, block_fill, block_insert_at, block_query};
 use crate::config::TcfConfig;
 use filter_core::{
-    Features, Filter, FilterError, FilterMeta, Fingerprint, HashPair, Operation,
-    Deletable, Valued,
+    Deletable, Features, Filter, FilterError, FilterMeta, Fingerprint, HashPair, Operation, Valued,
 };
 use gpu_sim::{Cg, GpuBuffer};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -52,8 +51,7 @@ impl PointTcf {
                 "point TCF blocks are capped at 64 slots (ballot width)".into(),
             ));
         }
-        let n_blocks =
-            (capacity.div_ceil(cfg.block_slots)).next_power_of_two().max(2);
+        let n_blocks = (capacity.div_ceil(cfg.block_slots)).next_power_of_two().max(2);
         let n_slots = n_blocks * cfg.block_slots;
         Ok(PointTcf {
             table: GpuBuffer::new(n_slots, cfg.fp_bits),
@@ -202,9 +200,7 @@ impl FilterMeta for PointTcf {
     }
 
     fn table_bytes(&self) -> usize {
-        self.table.bytes()
-            + self.backing.bytes()
-            + self.values.as_ref().map_or(0, |v| v.bytes())
+        self.table.bytes() + self.backing.bytes() + self.values.as_ref().map_or(0, |v| v.bytes())
     }
 
     fn capacity_slots(&self) -> u64 {

@@ -57,11 +57,8 @@ fn full_is_not_sticky_after_deletes() {
 
 #[test]
 fn no_backing_table_fails_earlier_than_with() {
-    let with = PointTcf::with_config(
-        1 << 12,
-        TcfConfig { max_load: 0.99, ..Default::default() },
-    )
-    .unwrap();
+    let with =
+        PointTcf::with_config(1 << 12, TcfConfig { max_load: 0.99, ..Default::default() }).unwrap();
     let without = PointTcf::with_config(
         1 << 12,
         TcfConfig { backing_table: false, max_load: 0.99, ..Default::default() },
@@ -93,10 +90,7 @@ fn delete_of_never_inserted_key_usually_misses() {
     for &k in &hashed_keys(505, 1000) {
         f.insert(k).unwrap();
     }
-    let misses = hashed_keys(506, 1000)
-        .iter()
-        .filter(|&&k| !f.remove(k).unwrap())
-        .count();
+    let misses = hashed_keys(506, 1000).iter().filter(|&&k| !f.remove(k).unwrap()).count();
     // A remove of an absent key only "succeeds" on a fingerprint
     // collision, bounded by ε.
     assert!(misses > 980, "absent-key deletes removed too much: {misses}");

@@ -42,12 +42,8 @@ fn main() {
 
     // Semi-join reduction: rows whose key is absent are dropped before
     // the join; counts estimate the join fan-out for the survivors.
-    let survivors: Vec<(u64, u64)> = probe
-        .iter()
-        .zip(&counts)
-        .filter(|(_, &c)| c > 0)
-        .map(|(&k, &c)| (k, c))
-        .collect();
+    let survivors: Vec<(u64, u64)> =
+        probe.iter().zip(&counts).filter(|(_, &c)| c > 0).map(|(&k, &c)| (k, c)).collect();
     let est_fanout: u64 = survivors.iter().map(|&(_, c)| c).sum();
     println!(
         "{} of {} probe rows survive ({:.1}% dropped), estimated join output {est_fanout}",

@@ -37,7 +37,8 @@ fn main() -> Result<(), gpu_filters::FilterError> {
 
     // Streaming updates land on top of the bulk-loaded graph.
     let before = g.n_edges();
-    let fresh: Vec<(u32, u32)> = (0..1000u32).map(|i| (N_VERTICES + i, N_VERTICES + i + 1)).collect();
+    let fresh: Vec<(u32, u32)> =
+        (0..1000u32).map(|i| (N_VERTICES + i, N_VERTICES + i + 1)).collect();
     for &(u, v) in &fresh {
         g.add_edge(u, v)?;
     }

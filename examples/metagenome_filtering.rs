@@ -19,8 +19,7 @@ fn main() {
         "Dataset", "Method", "TCF MB", "HT MB", "Total MB", "singletons"
     );
 
-    for profile in
-        [GenomeProfile::metagenome_wa(400_000), GenomeProfile::metagenome_rhizo(400_000)]
+    for profile in [GenomeProfile::metagenome_wa(400_000), GenomeProfile::metagenome_rhizo(400_000)]
     {
         let (with_tcf, without) = table3_rows(&profile, 21, 99);
         for r in [&with_tcf, &without] {
@@ -37,5 +36,7 @@ fn main() {
         let saved = 100.0 * (1.0 - gb(&with_tcf) / gb(&without));
         println!("  → TCF cuts {}'s memory by {saved:.0}%\n", profile.label);
     }
-    println!("(Table 3 reports the same pipeline at 64-node scale: WA 1742→607 GB, Rhizo 790→146 GB.)");
+    println!(
+        "(Table 3 reports the same pipeline at 64-node scale: WA 1742→607 GB, Rhizo 790→146 GB.)"
+    );
 }

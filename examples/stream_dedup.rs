@@ -1,4 +1,5 @@
-//! Streaming deduplication with bounded memory: a TCF as the seen-set.
+//! Streaming deduplication with bounded memory, served by the sharded
+//! batch-aggregating filter service.
 //!
 //! A classic filter deployment (the paper's §1 motivates filters as the
 //! memory-saving approximate set for accelerators): pass a stream of
@@ -6,52 +7,100 @@
 //! rate, and *delete* expired entries to keep the window sliding —
 //! deletions being exactly what Bloom-filter-based dedup cannot do.
 //!
+//! Where the original version called the point API once per event, this
+//! one drives the `filter-service` layer the way a stream processor
+//! would: events are handled in micro-batches, membership for a whole
+//! batch is resolved with one sharded `query_batch`, new events are
+//! admitted with one `insert_batch`, and window expiry is a pipelined
+//! `delete_batch` that overlaps with the next micro-batch (fenced by the
+//! service's FIFO ordering per key).
+//!
 //! ```sh
 //! cargo run --release -p gpu-filters --example stream_dedup
 //! ```
 
 use gpu_filters::datasets::hashed_keys;
 use gpu_filters::prelude::*;
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
+use std::time::Duration;
 
 const WINDOW: usize = 20_000;
+const MICRO_BATCH: usize = 1024;
 
 fn main() -> Result<(), FilterError> {
-    let filter = PointTcf::new(1 << 16)?;
-    let mut window: VecDeque<u64> = VecDeque::with_capacity(WINDOW);
+    // Four shards of 2^14 slots each — same 2^16 aggregate capacity as the
+    // original single filter, now behind the batching front-end.
+    let service = ShardedFilterBuilder::new()
+        .shards(4)
+        .batch_capacity(MICRO_BATCH)
+        .linger(Duration::from_micros(100))
+        .build_deletable(|_shard| BulkTcf::new(1 << 14))?;
+    let h = service.handle();
+
+    let mut window: VecDeque<u64> = VecDeque::with_capacity(WINDOW + MICRO_BATCH);
+    let mut expire: Vec<u64> = Vec::with_capacity(MICRO_BATCH);
 
     // A stream with ~30% duplicates: fresh keys interleaved with recent
     // replays.
     let fresh = hashed_keys(7, 100_000);
+    let stream: Vec<u64> = fresh
+        .iter()
+        .enumerate()
+        .map(|(i, &key)| if i % 10 < 3 && i > 100 { fresh[i - 1 - (i % 97)] } else { key })
+        .collect();
+
     let mut emitted = 0usize;
     let mut suppressed = 0usize;
 
-    for (i, &key) in fresh.iter().enumerate() {
-        let event = if i % 10 < 3 && i > 100 {
-            fresh[i - 1 - (i % 97)] // a replayed recent event
-        } else {
-            key
-        };
+    for batch in stream.chunks(MICRO_BATCH) {
+        // One sharded bulk query answers membership for the whole batch.
+        let seen = h.query_batch(batch)?;
 
-        if filter.contains(event) {
-            suppressed += 1;
-            continue;
+        // Admit first occurrences; a batch-local set catches duplicates
+        // that arrived inside this same micro-batch (the filter can't see
+        // them until the insert flushes).
+        let mut fresh_in_batch: HashSet<u64> = HashSet::with_capacity(batch.len());
+        let mut admit: Vec<u64> = Vec::with_capacity(batch.len());
+        for (&event, &was_seen) in batch.iter().zip(&seen) {
+            if was_seen || !fresh_in_batch.insert(event) {
+                suppressed += 1;
+            } else {
+                admit.push(event);
+            }
         }
-        // New event: emit and remember it, expiring the oldest beyond the
-        // window via deletion (the TCF's tombstones make this one CAS).
-        emitted += 1;
-        filter.insert(event)?;
-        window.push_back(event);
-        if window.len() > WINDOW {
-            let old = window.pop_front().unwrap();
-            filter.remove(old)?;
+
+        emitted += admit.len();
+        h.insert_batch(&admit)?;
+        window.extend(&admit);
+
+        // Slide the window: expire the oldest events with one pipelined
+        // delete batch. Per-key FIFO ordering in the service guarantees
+        // the deletes land after the inserts that created the entries.
+        expire.clear();
+        while window.len() > WINDOW {
+            expire.push(window.pop_front().unwrap());
         }
+        h.delete_batch_pipelined(&expire)?;
     }
+    h.barrier()?;
 
-    println!("stream: {} events", fresh.len());
+    let stats = service.stats();
+    println!("stream: {} events in micro-batches of {MICRO_BATCH}", stream.len());
     println!("emitted: {emitted}, suppressed as duplicates: {suppressed}");
-    println!("window load factor: {:.1}%", filter.load_factor() * 100.0);
+    println!(
+        "service: {} shards, mean flushed batch {:.0}, {} backend calls for {} ops",
+        stats.shards,
+        stats.mean_batch(),
+        stats.batches_flushed,
+        stats.ops()
+    );
+
     assert!(suppressed > 20_000, "the replay share should be suppressed");
-    assert!(filter.len() <= WINDOW);
+    assert!(window.len() <= WINDOW);
+    assert!(
+        stats.mean_batch() > MICRO_BATCH as f64 / 8.0,
+        "batching degenerated to point calls:\n{}",
+        stats.render()
+    );
     Ok(())
 }

@@ -54,10 +54,8 @@ fn main() -> Result<(), FilterError> {
     for &k in &kmers[..10_000] {
         gqf.insert_value(k, ext_code(k))?;
     }
-    let exact = kmers[..10_000]
-        .iter()
-        .filter(|&&k| gqf.query_value(k) == Some(ext_code(k)))
-        .count();
+    let exact =
+        kmers[..10_000].iter().filter(|&&k| gqf.query_value(k) == Some(ext_code(k))).count();
     println!("GQF  point: {exact}/10000 codes recovered");
     assert!(exact as f64 / 10_000.0 > 0.99);
 
@@ -69,11 +67,7 @@ fn main() -> Result<(), FilterError> {
     let pairs: Vec<(u64, u64)> = kmers.iter().map(|&k| (k, ext_code(k))).collect();
     assert_eq!(bulk.insert_values_batch(&pairs), 0);
     let values = bulk.query_values_batch(&kmers);
-    let exact = kmers
-        .iter()
-        .zip(&values)
-        .filter(|&(&k, v)| *v == Some(ext_code(k)))
-        .count();
+    let exact = kmers.iter().zip(&values).filter(|&(&k, v)| *v == Some(ext_code(k))).count();
     println!("GQF  bulk:  {}/{} codes recovered", exact, kmers.len());
     assert!(exact as f64 / kmers.len() as f64 > 0.99);
 
@@ -82,11 +76,7 @@ fn main() -> Result<(), FilterError> {
     let pairs: Vec<(u64, u64)> = kmers.iter().map(|&k| (k, ext_code(k))).collect();
     assert_eq!(btcf.insert_values_batch(&pairs), 0);
     let values = btcf.query_values_batch(&kmers);
-    let exact = kmers
-        .iter()
-        .zip(&values)
-        .filter(|&(&k, v)| *v == Some(ext_code(k)))
-        .count();
+    let exact = kmers.iter().zip(&values).filter(|&(&k, v)| *v == Some(ext_code(k))).count();
     println!("TCF  bulk:  {}/{} codes recovered", exact, kmers.len());
     assert!(exact as f64 / kmers.len() as f64 > 0.99);
 

@@ -1,8 +1,8 @@
 //! The bulk APIs must agree with the point APIs: same keys in, same
 //! answers out — for membership, counting, and deletion.
 
-use gpu_filters::prelude::*;
 use gpu_filters::datasets::hashed_keys;
+use gpu_filters::prelude::*;
 use gpu_filters::Device;
 
 #[test]

@@ -1,8 +1,8 @@
 //! Concurrency hammering: the point APIs are the paper's device-side
 //! concurrent interfaces; they must stay exact under thread storms.
 
-use gpu_filters::prelude::*;
 use gpu_filters::datasets::hashed_keys;
+use gpu_filters::prelude::*;
 use std::sync::Arc;
 
 #[test]

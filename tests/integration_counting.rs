@@ -1,8 +1,8 @@
 //! Counting semantics across datasets: the GQF against exact ground
 //! truth on every Table 5 distribution.
 
+use gpu_filters::datasets::{kmer_dataset, ur_count_dataset, ur_dataset, zipfian_count_dataset};
 use gpu_filters::prelude::*;
-use gpu_filters::datasets::{ur_count_dataset, ur_dataset, zipfian_count_dataset, kmer_dataset};
 use gpu_filters::Device;
 use std::collections::HashMap;
 

@@ -1,8 +1,8 @@
 //! Cross-filter integration: every filter honors the core approximate-
 //! membership contract under the same workload.
 
-use gpu_filters::prelude::*;
 use gpu_filters::datasets::hashed_keys;
+use gpu_filters::prelude::*;
 use gpu_filters::{BlockedBloomFilter, BloomFilter, CuckooFilter, Device, Rsqf, Sqf};
 
 /// Every point filter: insert n keys, find all of them, and stay within a
@@ -100,11 +100,7 @@ fn check_delete_contract(filter: &impl Deletable, n: usize, seed: u64) {
         assert!(filter.contains(k), "{} lost a survivor", filter.name());
     }
     let resurrected = keys[..n / 2].iter().filter(|&&k| filter.contains(k)).count();
-    assert!(
-        resurrected < n / 50,
-        "{}: {resurrected} deleted keys still present",
-        filter.name()
-    );
+    assert!(resurrected < n / 50, "{}: {resurrected} deleted keys still present", filter.name());
 }
 
 #[test]

@@ -10,7 +10,8 @@ use std::collections::HashMap;
 fn metahipmer_phase_preserves_nonsingleton_counts() {
     let profile = GenomeProfile::metagenome_wa(40_000);
     let reads = synthetic_reads(&profile, 601);
-    let report = KmerAnalysis { k: 21, use_tcf: true, store: ExactStore::Accounted }.run(&reads, "wa");
+    let report =
+        KmerAnalysis { k: 21, use_tcf: true, store: ExactStore::Accounted }.run(&reads, "wa");
     assert!(report.singleton_fraction() > 0.3);
     assert!(report.tcf_bytes > 0);
     // Hash table holds only promoted (≥2-count) k-mers.
@@ -70,12 +71,8 @@ fn filter_then_exact_join_never_drops_matches() {
     let mut probe = gpu_filters::datasets::hashed_keys(605, 20_000);
     probe.extend_from_slice(&build[..2500]);
     let counts = gqf.count_batch(&probe);
-    let survivors: Vec<u64> = probe
-        .iter()
-        .zip(&counts)
-        .filter(|(_, &c)| c > 0)
-        .map(|(&k, _)| k)
-        .collect();
+    let survivors: Vec<u64> =
+        probe.iter().zip(&counts).filter(|(_, &c)| c > 0).map(|(&k, _)| k).collect();
     // Every true match survives.
     for &k in &build[..2500] {
         assert!(survivors.contains(&k));
@@ -113,10 +110,7 @@ fn tcf_values_pipeline_minimizer_table() {
         v.dedup();
         v
     };
-    let f = PointTcf::new((distinct.len() * 2).max(1024))
-        .unwrap()
-        .with_values(8)
-        .unwrap();
+    let f = PointTcf::new((distinct.len() * 2).max(1024)).unwrap().with_values(8).unwrap();
     for &k in &distinct {
         f.insert_value(k, k & 0xf).unwrap();
     }

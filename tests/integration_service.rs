@@ -1,0 +1,126 @@
+//! Integration: the sharded serving layer over the umbrella crate's
+//! backends, exercised the way an application would use it — mixed
+//! workloads, many client threads, stats-driven verification, and
+//! agreement with a directly-driven unsharded filter.
+
+use gpu_filters::datasets::hashed_keys;
+use gpu_filters::prelude::*;
+use std::time::Duration;
+
+#[test]
+fn sharded_service_agrees_with_unsharded_filter() {
+    // The same key stream through (a) one bulk TCF driven directly and
+    // (b) a 4-shard service over smaller TCFs must produce identical
+    // membership answers for inserted keys (both no-false-negative), and
+    // statistically similar answers for absent keys.
+    let keys = hashed_keys(42, 20_000);
+    let absent = hashed_keys(43, 20_000);
+
+    let direct = BulkTcf::new(1 << 16).unwrap();
+    assert_eq!(direct.bulk_insert(&keys).unwrap(), 0);
+
+    let service = ShardedFilterBuilder::new().shards(4).build(|_| BulkTcf::new(1 << 14)).unwrap();
+    let h = service.handle();
+    assert_eq!(h.insert_batch(&keys).unwrap(), 0);
+
+    assert!(direct.bulk_query_vec(&keys).iter().all(|&x| x));
+    assert!(h.query_batch(&keys).unwrap().iter().all(|&x| x));
+
+    let fp_direct = direct.bulk_query_vec(&absent).iter().filter(|&&x| x).count();
+    let fp_service = h.query_batch(&absent).unwrap().iter().filter(|&&x| x).count();
+    // Same total capacity, same fingerprint width: FP rates should be in
+    // the same ballpark (each within 4x of the other, both small).
+    assert!(fp_service < absent.len() / 20, "service fp rate too high: {fp_service}");
+    assert!(
+        fp_service <= (fp_direct + 10) * 4,
+        "sharding should not inflate the FP rate: direct {fp_direct}, service {fp_service}"
+    );
+}
+
+#[test]
+fn mixed_insert_query_workload_across_backend_families() {
+    fn run<B: ServiceBackend + 'static>(service: ShardedFilter<B>, seed: u64) {
+        let h = service.handle();
+        let keys = hashed_keys(seed, 8000);
+        let (warm, cold) = keys.split_at(4000);
+        h.insert_batch(warm).unwrap();
+        // Interleave queries for present and absent keys with new inserts.
+        for (chunk_w, chunk_c) in warm.chunks(500).zip(cold.chunks(500)) {
+            let hits = h.query_batch(chunk_w).unwrap();
+            assert!(hits.iter().all(|&x| x), "lost warm keys");
+            h.insert_batch(chunk_c).unwrap();
+            let hits = h.query_batch(chunk_c).unwrap();
+            assert!(hits.iter().all(|&x| x), "lost cold keys");
+        }
+        let stats = service.stats();
+        assert_eq!(stats.inserts as usize, keys.len());
+        assert!(stats.query_hits >= 8000);
+    }
+
+    run(ShardedFilterBuilder::new().shards(3).build(|_| BulkTcf::new(1 << 13)).unwrap(), 1);
+    run(ShardedFilterBuilder::new().shards(3).build(|_| BulkGqf::new_cori(13, 8)).unwrap(), 2);
+    run(
+        ShardedFilterBuilder::new()
+            .shards(3)
+            .build(|_| gpu_filters::BlockedBloomFilter::new(1 << 14))
+            .unwrap(),
+        3,
+    );
+}
+
+#[test]
+fn many_client_threads_no_false_negatives() {
+    let service = ShardedFilterBuilder::new()
+        .shards(4)
+        .batch_capacity(1024)
+        .linger(Duration::from_micros(500))
+        .build(|_| BulkTcf::new(1 << 15))
+        .unwrap();
+    let h = service.handle();
+    std::thread::scope(|s| {
+        for t in 0..6u64 {
+            let h = h.clone();
+            s.spawn(move || {
+                let keys = hashed_keys(100 + t, 4000);
+                for chunk in keys.chunks(250) {
+                    assert_eq!(h.insert_batch(chunk).unwrap(), 0);
+                    assert!(h.query_batch(chunk).unwrap().iter().all(|&x| x));
+                }
+            });
+        }
+    });
+    let stats = service.stats();
+    assert_eq!(stats.inserts, 24_000);
+    assert_eq!(stats.query_hits, 24_000);
+    assert_eq!(stats.queue_depth, 0, "all work drained");
+}
+
+#[test]
+fn pipeline_mode_with_barrier_fences_visibility() {
+    let service = ShardedFilterBuilder::new()
+        .shards(2)
+        .batch_capacity(1 << 14)
+        .linger(Duration::from_secs(5)) // only barriers flush in this test
+        .build(|_| BulkTcf::new(1 << 14))
+        .unwrap();
+    let h = service.handle();
+    let keys = hashed_keys(77, 5000);
+    for chunk in keys.chunks(1000) {
+        h.insert_batch_pipelined(chunk).unwrap();
+    }
+    h.barrier().unwrap();
+    assert!(h.query_batch(&keys).unwrap().iter().all(|&x| x));
+    let stats = service.stats();
+    // Pipelined chunks aggregate into few large flushes per shard.
+    assert!(stats.mean_batch() >= 1000.0, "pipeline should aggregate heavily:\n{}", stats.render());
+}
+
+#[test]
+fn service_metadata_aggregates_across_shards() {
+    let service = ShardedFilterBuilder::new().shards(4).build(|_| BulkTcf::new(1 << 12)).unwrap();
+    let single = BulkTcf::new(1 << 12).unwrap();
+    assert_eq!(service.shard_count(), 4);
+    assert_eq!(service.capacity_slots(), 4 * single.capacity_slots());
+    assert_eq!(service.table_bytes(), 4 * single.table_bytes());
+    assert_eq!(service.backends().len(), 4);
+}

@@ -101,9 +101,10 @@ fn fig4_bulk_insert_ordering_and_rsqf_collapse() {
     let regions = (slots / gqf::REGION_SLOTS).max(1) as u64;
 
     let btcf = tcf::BulkTcf::new(slots).unwrap();
-    let t_tcf = modeled_bulk(&dev, btcf.table_bytes() as u64, n as u64, (slots / 128) as u64, || {
-        assert_eq!(btcf.insert_batch(&keys), 0);
-    });
+    let t_tcf =
+        modeled_bulk(&dev, btcf.table_bytes() as u64, n as u64, (slots / 128) as u64, || {
+            assert_eq!(btcf.insert_batch(&keys), 0);
+        });
     let bgqf = gqf::BulkGqf::new(SIZE_LOG2, 8, dev.clone()).unwrap();
     let t_gqf = modeled_bulk(&dev, bgqf.table_bytes() as u64, n as u64, regions / 2 + 1, || {
         assert_eq!(bgqf.insert_batch(&keys), 0);
@@ -187,9 +188,10 @@ fn table5_mapreduce_rescues_zipfian() {
 
     let naive = gqf::BulkGqf::new(SIZE_LOG2, 8, dev.clone()).unwrap();
     let par = naive.effective_parallelism(&zipf.items).min(regions / 2 + 1);
-    let t_naive = modeled_bulk(&dev, naive.table_bytes() as u64, zipf.items.len() as u64, par, || {
-        assert_eq!(naive.insert_batch(&zipf.items), 0);
-    });
+    let t_naive =
+        modeled_bulk(&dev, naive.table_bytes() as u64, zipf.items.len() as u64, par, || {
+            assert_eq!(naive.insert_batch(&zipf.items), 0);
+        });
 
     let mr = gqf::BulkGqf::new(SIZE_LOG2, 8, dev.clone()).unwrap();
     let mut distinct = zipf.items.clone();

@@ -1,0 +1,233 @@
+//! A minimal, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build environment for this repository has no registry access, so this
+//! shim implements the benchmark-definition surface the workspace's benches
+//! use (`criterion_group!`/`criterion_main!`, benchmark groups, throughput
+//! annotation, `iter` and `iter_batched`) with a simple measurement loop:
+//! a short warmup, then `sample_size` timed iterations, reporting mean
+//! wall-clock time and derived throughput to stdout. There is no outlier
+//! analysis, no HTML report, and no statistical comparison against saved
+//! baselines — run the `bench` crate's dedicated binaries for the paper's
+//! tracked measurements.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box`, criterion-style.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup allocations. The shim runs one setup
+/// per routine call regardless, so the variants only document intent.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Units for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Items processed per routine call.
+    Elements(u64),
+    /// Bytes processed per routine call.
+    Bytes(u64),
+}
+
+/// Identifier for parameterized benchmarks.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// Just the parameter as the id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Top-level benchmark context.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Ignored by the shim (accepted for API compatibility).
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name}");
+        BenchmarkGroup { criterion: self, name, throughput: None }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function(&mut self, name: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let sample_size = self.sample_size;
+        run_bench(&name.into(), None, sample_size, f);
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate how much work one routine call performs.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let label = format!("{}/{}", self.name, id.into());
+        run_bench(&label, self.throughput, self.criterion.sample_size, f);
+    }
+
+    /// Run one parameterized benchmark in the group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let label = format!("{}/{}", self.name, id.id);
+        run_bench(&label, self.throughput, self.criterion.sample_size, |b| f(b, input));
+    }
+
+    /// Close the group (prints nothing extra in the shim).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; records timing for the routine.
+pub struct Bencher {
+    samples: usize,
+    total: Duration,
+    calls: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, called `samples` times back to back.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.total += t0.elapsed();
+            self.calls += 1;
+        }
+    }
+
+    /// Time `routine` over fresh inputs from `setup`; setup time excluded.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.total += t0.elapsed();
+            self.calls += 1;
+        }
+    }
+}
+
+fn run_bench(
+    label: &str,
+    throughput: Option<Throughput>,
+    samples: usize,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    // Warmup pass (1 sample) to populate caches and lazy statics.
+    let mut warm = Bencher { samples: 1, total: Duration::ZERO, calls: 0 };
+    f(&mut warm);
+
+    let mut b = Bencher { samples, total: Duration::ZERO, calls: 0 };
+    f(&mut b);
+    let mean = if b.calls == 0 { Duration::ZERO } else { b.total / b.calls as u32 };
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if !mean.is_zero() => {
+            format!("  {:>10.2} Melem/s", n as f64 / mean.as_secs_f64() / 1e6)
+        }
+        Some(Throughput::Bytes(n)) if !mean.is_zero() => {
+            format!("  {:>10.2} MiB/s", n as f64 / mean.as_secs_f64() / (1 << 20) as f64)
+        }
+        _ => String::new(),
+    };
+    println!("{label:<44} {mean:>12.2?}/iter{rate}");
+}
+
+/// Define a named group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(name = $name; config = $crate::Criterion::default(); targets = $($target),+);
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_bencher_run_routines() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut g = c.benchmark_group("shim-test");
+        g.throughput(Throughput::Elements(10));
+        let mut runs = 0;
+        g.bench_function("iter", |b| b.iter(|| runs += 1));
+        assert!(runs >= 4, "warmup + samples should run the routine");
+        let mut batched = 0;
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7u32, |b, &x| {
+            b.iter_batched(|| x, |v| batched += v, BatchSize::LargeInput)
+        });
+        assert!(batched >= 7);
+        g.finish();
+    }
+}

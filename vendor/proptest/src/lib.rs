@@ -1,0 +1,200 @@
+//! A minimal, dependency-free stand-in for the `proptest` crate.
+//!
+//! The build environment for this repository has no registry access, so this
+//! shim implements the strategy/runner subset the workspace's property tests
+//! use: the `proptest!` macro (with `#![proptest_config(..)]`), `any::<T>()`
+//! for the primitive types in play, integer and float range strategies,
+//! tuple strategies, `Just`, `prop_oneof!`, `prop_map`, and
+//! `collection::vec`.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case panics with the assertion message; the
+//!   offending values are not minimized. The generator is seeded from the
+//!   test's name, so failures reproduce deterministically across runs.
+//! * **`prop_assert*` panic** instead of returning `Err`, which is
+//!   equivalent under a harness that treats panics as failures.
+//!
+//! Replace this path dependency with the real `proptest` when network
+//! access is available; no caller changes are needed.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `proptest::collection` — container strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `vec(element, min_len..max_len)`: vectors of `element` draws.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn pick(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start).max(1) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.pick(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>` with *up to* the drawn number of
+    /// elements (duplicates collapse, as in real proptest).
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `btree_set(element, min_len..max_len)`: ordered de-duplicated sets.
+    pub fn btree_set<S: Strategy>(element: S, len: Range<usize>) -> BTreeSetStrategy<S> {
+        BTreeSetStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = std::collections::BTreeSet<S::Value>;
+        fn pick(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.len.end - self.len.start).max(1) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.pick(rng)).collect()
+        }
+    }
+}
+
+/// Everything callers import with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Pick uniformly among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::one_of_arm($strat)),+
+        ])
+    }};
+}
+
+/// Define property tests: each `fn name(pat in strategy, ..) { body }`
+/// becomes a `#[test]` that draws `cases` inputs and runs the body on each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident ( $($pat:pat in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+                for __case in 0..__config.cases {
+                    let _ = __case;
+                    $(let $pat = $crate::strategy::Strategy::pick(&($strat), &mut __rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::collection::vec;
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Op {
+        A(u64),
+        B,
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Range strategies stay in range.
+        #[test]
+        fn ranges_in_bounds(x in 10u64..20, y in 0usize..5, f in 0.25f64..=0.75) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!(y < 5);
+            prop_assert!((0.25..=0.75).contains(&f));
+        }
+
+        /// Vec lengths respect the requested range.
+        #[test]
+        fn vec_lengths(v in vec(any::<u64>(), 3..7)) {
+            prop_assert!((3..7).contains(&v.len()));
+        }
+
+        /// prop_oneof + prop_map combine, mut patterns bind.
+        #[test]
+        fn oneof_and_map(mut ops in vec(prop_oneof![
+            (1u64..100).prop_map(Op::A),
+            Just(Op::B),
+        ], 1..50)) {
+            ops.push(Op::B);
+            prop_assert!(ops.iter().any(|o| matches!(o, Op::B)) || ops.len() > 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_runner::TestRng::from_name("x");
+        let mut b = crate::test_runner::TestRng::from_name("x");
+        let s = 0u64..1000;
+        for _ in 0..100 {
+            assert_eq!(s.pick(&mut a), s.pick(&mut b));
+        }
+    }
+
+    #[test]
+    fn tuple_and_any_strategies() {
+        let mut rng = crate::test_runner::TestRng::from_name("t");
+        let s = (any::<u64>(), 1u64..5, any::<bool>());
+        for _ in 0..50 {
+            let (_, m, _) = s.pick(&mut rng);
+            assert!((1..5).contains(&m));
+        }
+    }
+}

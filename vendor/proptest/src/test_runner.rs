@@ -1,0 +1,104 @@
+//! Runner configuration and the deterministic generator behind the shim.
+
+/// Configuration accepted by `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run each property `cases` times.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; the shim picks a lighter default
+        // since every call site in this workspace sets it explicitly anyway.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A small, fast, deterministic generator (xorshift64* core). Seeded from
+/// the test's name so each property gets an independent, reproducible
+/// stream.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from an arbitrary value.
+    pub fn new(seed: u64) -> Self {
+        // Avoid the all-zero fixed point.
+        TestRng { state: seed | 1 }
+    }
+
+    /// Seed deterministically from a test name (FNV-1a over the bytes).
+    pub fn from_name(name: &str) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng::new(h)
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform draw from `[0, n)`; `n` must be non-zero. Uses the
+    /// multiply-shift reduction (bias ≤ 2⁻⁶⁴·n, irrelevant for testing).
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform draw from `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn below_stays_in_range_and_varies() {
+        let mut rng = TestRng::from_name("below");
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            let v = rng.below(10);
+            assert!(v < 10);
+            seen.insert(v);
+        }
+        assert!(seen.len() >= 8, "draws too concentrated: {seen:?}");
+    }
+
+    #[test]
+    fn unit_f64_in_unit_interval() {
+        let mut rng = TestRng::from_name("unit");
+        for _ in 0..1000 {
+            let f = rng.unit_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn different_names_different_streams() {
+        let a = TestRng::from_name("a").next_u64();
+        let b = TestRng::from_name("b").next_u64();
+        assert_ne!(a, b);
+    }
+}

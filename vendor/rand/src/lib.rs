@@ -1,0 +1,111 @@
+//! A minimal, dependency-free stand-in for the `rand` crate.
+//!
+//! The build environment for this repository has no registry access; test
+//! code only uses `StdRng::seed_from_u64` and `Rng::gen` for integer types,
+//! so that is all this shim provides. The generator is splitmix64 — fast,
+//! well distributed, and deterministic per seed (the shim makes no attempt
+//! to match the real `StdRng`'s ChaCha stream, and no caller depends on the
+//! exact values).
+
+/// Generators constructible from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator from `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types drawable from the uniform "standard" distribution.
+pub trait Standard {
+    /// Construct a value from 64 uniformly random bits.
+    fn from_bits(bits: u64) -> Self;
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {
+        $(impl Standard for $t {
+            fn from_bits(bits: u64) -> $t { bits as $t }
+        })*
+    };
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn from_bits(bits: u64) -> bool {
+        bits & 1 == 1
+    }
+}
+
+/// The subset of rand's `Rng` extension trait in use here.
+pub trait Rng {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Draw a value of any [`Standard`] type.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_bits(self.next_u64())
+    }
+
+    /// Uniform draw from `[0, n)`.
+    fn gen_range_u64(&mut self, n: u64) -> u64
+    where
+        Self: Sized,
+    {
+        assert!(n > 0);
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic 64-bit generator (splitmix64 state advance).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_infers_integer_types() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let x: u64 = rng.gen();
+        let y: u32 = rng.gen();
+        let _ = (x, y);
+        let vals: Vec<u64> = (0..1000).map(|_| rng.gen()).collect();
+        let distinct: std::collections::HashSet<_> = vals.iter().collect();
+        assert!(distinct.len() > 990, "poor dispersion");
+    }
+}

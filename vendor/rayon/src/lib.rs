@@ -1,0 +1,488 @@
+//! A minimal, dependency-free stand-in for the `rayon` crate.
+//!
+//! The build environment for this repository has no registry access, so this
+//! shim implements exactly the parallel-iterator surface the workspace uses
+//! (`into_par_iter` on ranges and vectors, `par_iter` / `par_chunks` /
+//! `par_windows` on slices, `map` / `zip` / `filter` / `with_min_len`
+//! combinators, and the `for_each` / `collect` / `count` drivers) on top of
+//! `std::thread::scope`. Work is split into one contiguous chunk per
+//! available core — the same chunked-striping shape the callers already
+//! assume via `with_min_len` — rather than work-stealing. Semantics match
+//! rayon for the supported subset: items are processed exactly once,
+//! `collect` preserves input order, and closures run concurrently across
+//! chunks (so they must be `Sync`, enforced by the bounds below).
+//!
+//! Replace this path dependency with the real `rayon` when network access
+//! is available; no caller changes are needed.
+
+use std::ops::Range;
+
+mod pool;
+
+/// Number of worker threads in the shared pool (what rayon would report).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Below this many items (at the default granularity), pool dispatch costs
+/// more than it saves; run on the calling thread.
+const SEQUENTIAL_CUTOFF: usize = 64;
+
+/// Split `0..n` into contiguous ranges for the pool: at most one range per
+/// pool thread, each at least `min_len` items. Returns a single range
+/// (sequential execution) on pool worker threads — a worker blocking on
+/// sub-jobs could deadlock the pool, and nested parallelism on a saturated
+/// machine buys nothing — and for inputs too small to amortize dispatch.
+fn plan_chunks(n: usize, min_len: usize) -> Vec<Range<usize>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    if pool::is_pool_worker() || n < SEQUENTIAL_CUTOFF.max(2 * min_len) {
+        return vec![0..n];
+    }
+    let per = n.div_ceil(current_num_threads().max(1)).max(min_len).max(1);
+    (0..n).step_by(per).map(|lo| lo..(lo + per).min(n)).collect()
+}
+
+/// An indexed parallel iterator: every supported source and adapter can
+/// produce its `i`-th item independently, which is what lets the drivers
+/// hand disjoint index ranges to scoped threads.
+pub trait ParallelIterator: Sync + Sized {
+    /// The item type produced for each index.
+    type Item: Send;
+
+    /// Exact number of items.
+    fn par_len(&self) -> usize;
+
+    /// Produce item `i` (called exactly once per index by the drivers).
+    fn par_get(&self, i: usize) -> Self::Item;
+
+    /// Minimum chunk granularity requested via [`with_min_len`].
+    fn min_len(&self) -> usize {
+        1
+    }
+
+    /// Require at least `n` items per task (rayon's `with_min_len`).
+    fn with_min_len(self, n: usize) -> MinLen<Self> {
+        MinLen { base: self, min: n.max(1) }
+    }
+
+    /// Map each item through `f`.
+    fn map<O: Send, F: Fn(Self::Item) -> O + Sync>(self, f: F) -> Map<Self, F> {
+        Map { base: self, f }
+    }
+
+    /// Pair items with a second parallel iterator (length = shorter side).
+    fn zip<B: ParallelIterator>(self, other: B) -> Zip<Self, B> {
+        Zip { a: self, b: other }
+    }
+
+    /// Keep items matching `pred`. The result only supports the terminal
+    /// operations this workspace uses (`collect`, `count`, `for_each`).
+    fn filter<F: Fn(&Self::Item) -> bool + Sync>(self, pred: F) -> Filter<Self, F> {
+        Filter { base: self, pred }
+    }
+
+    /// Run `f` on every item, in parallel across index chunks.
+    fn for_each<F: Fn(Self::Item) + Sync>(self, f: F) {
+        let n = self.par_len();
+        if n == 0 {
+            return;
+        }
+        let ranges = plan_chunks(n, self.min_len());
+        if ranges.len() <= 1 {
+            for i in 0..n {
+                f(self.par_get(i));
+            }
+            return;
+        }
+        let this = &self;
+        let f = &f;
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = ranges
+            .into_iter()
+            .map(|r| {
+                Box::new(move || {
+                    for i in r {
+                        f(this.par_get(i));
+                    }
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool::run_scoped(tasks);
+    }
+
+    /// Collect all items in input order.
+    fn collect<C: From<Vec<Self::Item>>>(self) -> C {
+        let n = self.par_len();
+        if n == 0 {
+            return C::from(Vec::new());
+        }
+        let ranges = plan_chunks(n, self.min_len());
+        if ranges.len() <= 1 {
+            return C::from((0..n).map(|i| self.par_get(i)).collect());
+        }
+        let this = &self;
+        let slots: Vec<std::sync::Mutex<Vec<Self::Item>>> =
+            ranges.iter().map(|_| std::sync::Mutex::new(Vec::new())).collect();
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = ranges
+            .into_iter()
+            .zip(&slots)
+            .map(|(r, slot)| {
+                Box::new(move || {
+                    *slot.lock().unwrap() = r.map(|i| this.par_get(i)).collect();
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool::run_scoped(tasks);
+        let mut out = Vec::with_capacity(n);
+        for slot in slots {
+            out.extend(slot.into_inner().unwrap());
+        }
+        C::from(out)
+    }
+
+    /// Number of items.
+    fn count(self) -> usize {
+        self.par_len()
+    }
+}
+
+/// Sources convertible into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Iterator type produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Item type produced.
+    type Item: Send;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Parallel view over `0..n`.
+pub struct RangePar {
+    range: Range<usize>,
+}
+
+impl ParallelIterator for RangePar {
+    type Item = usize;
+    fn par_len(&self) -> usize {
+        self.range.end.saturating_sub(self.range.start)
+    }
+    fn par_get(&self, i: usize) -> usize {
+        self.range.start + i
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = RangePar;
+    type Item = usize;
+    fn into_par_iter(self) -> RangePar {
+        RangePar { range: self }
+    }
+}
+
+/// Parallel view over an owned vector. Items are cloned out of the backing
+/// store (all workspace uses are `Copy` payloads).
+pub struct VecPar<T> {
+    items: Vec<T>,
+}
+
+impl<T: Clone + Send + Sync> ParallelIterator for VecPar<T> {
+    type Item = T;
+    fn par_len(&self) -> usize {
+        self.items.len()
+    }
+    fn par_get(&self, i: usize) -> T {
+        self.items[i].clone()
+    }
+}
+
+impl<T: Clone + Send + Sync> IntoParallelIterator for Vec<T> {
+    type Iter = VecPar<T>;
+    type Item = T;
+    fn into_par_iter(self) -> VecPar<T> {
+        VecPar { items: self }
+    }
+}
+
+/// Borrowed-slice parallel iterators (`par_iter`, `par_chunks`,
+/// `par_windows`), provided as one extension trait.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `&T`.
+    fn par_iter(&self) -> ParIter<'_, T>;
+    /// Parallel iterator over contiguous chunks of at most `size` items.
+    fn par_chunks(&self, size: usize) -> ParChunks<'_, T>;
+    /// Parallel iterator over overlapping windows of exactly `size` items.
+    fn par_windows(&self, size: usize) -> ParWindows<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { slice: self }
+    }
+    fn par_chunks(&self, size: usize) -> ParChunks<'_, T> {
+        assert!(size > 0, "chunk size must be non-zero");
+        ParChunks { slice: self, size }
+    }
+    fn par_windows(&self, size: usize) -> ParWindows<'_, T> {
+        assert!(size > 0, "window size must be non-zero");
+        ParWindows { slice: self, size }
+    }
+}
+
+/// See [`ParallelSlice::par_iter`].
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for ParIter<'a, T> {
+    type Item = &'a T;
+    fn par_len(&self) -> usize {
+        self.slice.len()
+    }
+    fn par_get(&self, i: usize) -> &'a T {
+        &self.slice[i]
+    }
+}
+
+/// See [`ParallelSlice::par_chunks`].
+pub struct ParChunks<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for ParChunks<'a, T> {
+    type Item = &'a [T];
+    fn par_len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn par_get(&self, i: usize) -> &'a [T] {
+        let lo = i * self.size;
+        &self.slice[lo..(lo + self.size).min(self.slice.len())]
+    }
+}
+
+/// See [`ParallelSlice::par_windows`].
+pub struct ParWindows<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for ParWindows<'a, T> {
+    type Item = &'a [T];
+    fn par_len(&self) -> usize {
+        (self.slice.len() + 1).saturating_sub(self.size)
+    }
+    fn par_get(&self, i: usize) -> &'a [T] {
+        &self.slice[i..i + self.size]
+    }
+}
+
+/// Adapter produced by [`ParallelIterator::with_min_len`].
+pub struct MinLen<P> {
+    base: P,
+    min: usize,
+}
+
+impl<P: ParallelIterator> ParallelIterator for MinLen<P> {
+    type Item = P::Item;
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+    fn par_get(&self, i: usize) -> P::Item {
+        self.base.par_get(i)
+    }
+    fn min_len(&self) -> usize {
+        self.min.max(self.base.min_len())
+    }
+}
+
+/// Adapter produced by [`ParallelIterator::map`].
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, O, F> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    O: Send,
+    F: Fn(P::Item) -> O + Sync,
+{
+    type Item = O;
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+    fn par_get(&self, i: usize) -> O {
+        (self.f)(self.base.par_get(i))
+    }
+    fn min_len(&self) -> usize {
+        self.base.min_len()
+    }
+}
+
+/// Adapter produced by [`ParallelIterator::zip`].
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: ParallelIterator, B: ParallelIterator> ParallelIterator for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+    fn par_len(&self) -> usize {
+        self.a.par_len().min(self.b.par_len())
+    }
+    fn par_get(&self, i: usize) -> (A::Item, B::Item) {
+        (self.a.par_get(i), self.b.par_get(i))
+    }
+    fn min_len(&self) -> usize {
+        self.a.min_len().max(self.b.min_len())
+    }
+}
+
+/// Adapter produced by [`ParallelIterator::filter`]. Filtering destroys the
+/// index ↔ item correspondence, so this only offers terminal operations.
+pub struct Filter<P, F> {
+    base: P,
+    pred: F,
+}
+
+impl<P, F> Filter<P, F>
+where
+    P: ParallelIterator,
+    F: Fn(&P::Item) -> bool + Sync,
+{
+    /// Collect the surviving items in input order.
+    pub fn collect<C: From<Vec<P::Item>>>(self) -> C {
+        let n = self.base.par_len();
+        if n == 0 {
+            return C::from(Vec::new());
+        }
+        let ranges = plan_chunks(n, self.base.min_len());
+        if ranges.len() <= 1 {
+            return C::from(
+                (0..n).map(|i| self.base.par_get(i)).filter(|x| (self.pred)(x)).collect(),
+            );
+        }
+        let base = &self.base;
+        let pred = &self.pred;
+        let slots: Vec<std::sync::Mutex<Vec<P::Item>>> =
+            ranges.iter().map(|_| std::sync::Mutex::new(Vec::new())).collect();
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = ranges
+            .into_iter()
+            .zip(&slots)
+            .map(|(r, slot)| {
+                Box::new(move || {
+                    *slot.lock().unwrap() =
+                        r.map(|i| base.par_get(i)).filter(|x| pred(x)).collect();
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool::run_scoped(tasks);
+        let mut out = Vec::new();
+        for slot in slots {
+            out.extend(slot.into_inner().unwrap());
+        }
+        C::from(out)
+    }
+
+    /// Count the surviving items.
+    pub fn count(self) -> usize {
+        let n = self.base.par_len();
+        if n == 0 {
+            return 0;
+        }
+        let ranges = plan_chunks(n, self.base.min_len());
+        if ranges.len() <= 1 {
+            return (0..n).filter(|&i| (self.pred)(&self.base.par_get(i))).count();
+        }
+        let base = &self.base;
+        let pred = &self.pred;
+        let total = std::sync::atomic::AtomicUsize::new(0);
+        let total_ref = &total;
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = ranges
+            .into_iter()
+            .map(|r| {
+                Box::new(move || {
+                    let c = r.filter(|&i| pred(&base.par_get(i))).count();
+                    total_ref.fetch_add(c, std::sync::atomic::Ordering::Relaxed);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool::run_scoped(tasks);
+        total.into_inner()
+    }
+
+    /// Run `f` on every surviving item.
+    pub fn for_each<G: Fn(P::Item) + Sync>(self, f: G) {
+        let pred = self.pred;
+        self.base.for_each(|x| {
+            if pred(&x) {
+                f(x)
+            }
+        });
+    }
+}
+
+/// Everything callers import with `use rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator, ParallelSlice};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn range_for_each_visits_all_once() {
+        let n = 100_000;
+        let hits = AtomicUsize::new(0);
+        (0..n).into_par_iter().for_each(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), n);
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..10_000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v.len(), 10_000);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i * 2));
+    }
+
+    #[test]
+    fn chunks_zip_matches_sequential() {
+        let data: Vec<u64> = (0..1000u64).collect();
+        let tags: Vec<u64> = (0..100u64).collect();
+        let sums = std::sync::Mutex::new(Vec::new());
+        data.par_chunks(10).zip(tags.into_par_iter()).for_each(|(chunk, tag)| {
+            sums.lock().unwrap().push(chunk.iter().sum::<u64>() + tag);
+        });
+        assert_eq!(sums.lock().unwrap().len(), 100);
+    }
+
+    #[test]
+    fn filter_collect_and_count() {
+        let evens: Vec<usize> = (0..1000).into_par_iter().filter(|&i| i % 2 == 0).collect();
+        assert_eq!(evens.len(), 500);
+        assert_eq!(evens[0], 0);
+        assert_eq!(evens[499], 998);
+        let data: Vec<u64> = (0..100u64).collect();
+        assert_eq!(data.par_iter().filter(|&&x| x < 10).count(), 10);
+    }
+
+    #[test]
+    fn windows_cover_consecutive_pairs() {
+        let data = vec![1usize, 2, 3, 4, 5];
+        let diffs: Vec<usize> = data.par_windows(2).map(|w| w[1] - w[0]).collect();
+        assert_eq!(diffs, vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let v: Vec<usize> = (0..0).into_par_iter().map(|i| i).collect();
+        assert!(v.is_empty());
+        let empty: Vec<u64> = Vec::new();
+        assert_eq!(empty.par_iter().filter(|_| true).count(), 0);
+    }
+}

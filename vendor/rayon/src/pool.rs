@@ -1,0 +1,193 @@
+//! The shim's persistent worker pool.
+//!
+//! Scoped `std::thread::spawn` costs tens of microseconds per thread —
+//! fatal when a caller issues many short parallel sections (a bulk-filter
+//! flush is a handful of kernel launches over a few thousand tiny work
+//! items). Like real rayon, the shim therefore keeps one lazily-started
+//! pool of `current_num_threads()` parked workers and dispatches boxed
+//! chunk jobs to them; a dispatch is a queue push + condvar wake (~1 µs).
+//!
+//! Borrowed-closure safety follows the classic scoped-pool argument: the
+//! submitting call transmutes its jobs to `'static` but *always* blocks on
+//! a completion latch before returning, so every borrow captured by a job
+//! strictly outlives the job's execution. Panics inside a job are caught,
+//! recorded on the latch, and re-raised on the submitting thread.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, OnceLock};
+
+#[cfg(test)]
+use std::sync::atomic::Ordering;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    queue: Mutex<VecDeque<Job>>,
+    cv: Condvar,
+}
+
+fn shared() -> &'static Shared {
+    static SHARED: OnceLock<Shared> = OnceLock::new();
+    SHARED.get_or_init(|| {
+        let n = crate::current_num_threads();
+        for i in 0..n {
+            std::thread::Builder::new()
+                .name(format!("shim-pool-{i}"))
+                .spawn(worker_loop)
+                .expect("spawn pool worker");
+        }
+        Shared { queue: Mutex::new(VecDeque::new()), cv: Condvar::new() }
+    })
+}
+
+thread_local! {
+    static IS_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// True on pool worker threads. Parallel calls made *from* a worker run
+/// inline-sequential: a worker blocking on sub-jobs could deadlock the
+/// pool, and by construction the machine is already saturated.
+pub fn is_pool_worker() -> bool {
+    IS_POOL_WORKER.with(|f| f.get())
+}
+
+fn worker_loop() {
+    IS_POOL_WORKER.with(|f| f.set(true));
+    let s = shared();
+    loop {
+        let job = {
+            let mut q = s.queue.lock().unwrap();
+            loop {
+                if let Some(job) = q.pop_front() {
+                    break job;
+                }
+                q = s.cv.wait(q).unwrap();
+            }
+        };
+        job();
+    }
+}
+
+/// Tracks outstanding jobs of one parallel call.
+///
+/// All state lives inside one mutex: the submitting thread's `wait()` can
+/// only observe `remaining == 0` after the final `done()` has released the
+/// lock, so by the time `wait()` returns — and the stack-allocated latch
+/// can be destroyed — no job thread touches the latch again. (An
+/// atomic-fast-path variant would let `wait()` return between a job's
+/// decrement and its notify, a use-after-free on the condvar.)
+pub struct Latch {
+    state: Mutex<LatchState>,
+    cv: Condvar,
+}
+
+struct LatchState {
+    remaining: usize,
+    poisoned: bool,
+}
+
+impl Latch {
+    pub fn new(jobs: usize) -> Self {
+        Latch {
+            state: Mutex::new(LatchState { remaining: jobs, poisoned: false }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn done(&self, panicked: bool) {
+        let mut s = self.state.lock().unwrap();
+        s.remaining -= 1;
+        s.poisoned |= panicked;
+        if s.remaining == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Block until every job completes; returns whether any panicked.
+    fn wait(&self) -> bool {
+        let mut s = self.state.lock().unwrap();
+        while s.remaining > 0 {
+            s = self.cv.wait(s).unwrap();
+        }
+        s.poisoned
+    }
+}
+
+/// Run `tasks` to completion: all but the first are dispatched to the
+/// pool, the first runs on the calling thread, and the call returns only
+/// once every task has finished (re-raising any task panic).
+pub fn run_scoped<'env>(mut tasks: Vec<Box<dyn FnOnce() + Send + 'env>>) {
+    if tasks.is_empty() {
+        return;
+    }
+    let first = tasks.remove(0);
+    let latch = Latch::new(tasks.len());
+    // SAFETY: `latch.wait()` below keeps `latch` alive until every job
+    // that holds this reference has completed.
+    let latch_ref: &'static Latch = unsafe { std::mem::transmute(&latch) };
+    for task in tasks {
+        let job: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+            let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task)).is_err();
+            latch_ref.done(panicked);
+        });
+        // SAFETY: `latch.wait()` below blocks until every job has run, so
+        // all `'env` borrows (including `latch_ref`) outlive the jobs.
+        let job: Job = unsafe { std::mem::transmute(job) };
+        let s = shared();
+        s.queue.lock().unwrap().push_back(job);
+        s.cv.notify_one();
+    }
+    let first_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(first));
+    let poisoned = latch.wait();
+    if first_result.is_err() || poisoned {
+        panic!("a parallel task panicked");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn runs_all_tasks_once() {
+        let hits = AtomicU64::new(0);
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..64)
+            .map(|_| {
+                Box::new(|| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        run_scoped(tasks);
+        assert_eq!(hits.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn propagates_panics() {
+        let result = std::panic::catch_unwind(|| {
+            let tasks: Vec<Box<dyn FnOnce() + Send>> =
+                vec![Box::new(|| {}), Box::new(|| panic!("boom"))];
+            run_scoped(tasks);
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn borrowed_state_survives() {
+        let data = vec![1u64; 10_000];
+        let sum = AtomicU64::new(0);
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = data
+            .chunks(1000)
+            .map(|c| {
+                let sum = &sum;
+                Box::new(move || {
+                    sum.fetch_add(c.iter().sum::<u64>(), Ordering::Relaxed);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        run_scoped(tasks);
+        assert_eq!(sum.load(Ordering::Relaxed), 10_000);
+    }
+}
