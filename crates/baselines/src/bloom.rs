@@ -7,7 +7,7 @@
 //! Negative queries terminate at the first zero bit, giving random
 //! lookups their relatively higher throughput (§6.1).
 
-use filter_core::{ApiMode, Features, Filter, FilterError, FilterMeta, Operation};
+use filter_core::{ApiMode, Features, Filter, FilterError, FilterMeta, FilterSpec, Operation};
 use gpu_sim::metrics::{bump, Counter};
 use gpu_sim::GpuBuffer;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -53,9 +53,27 @@ impl BloomFilter {
         })
     }
 
-    /// The paper's default configuration.
+    /// The paper's default configuration. Thin wrapper over
+    /// [`Self::with_params`]; prefer [`Self::from_spec`] for target-error
+    /// driven sizing.
     pub fn new(capacity: usize) -> Result<Self, FilterError> {
         Self::with_params(capacity, DEFAULT_BITS_PER_ITEM, DEFAULT_K)
+    }
+
+    /// Build from a declarative [`FilterSpec`]: `k = ⌈log2(1/ε)⌉` hashes
+    /// at `k / ln 2` bits per item (the standard optimum; ε in the 1%
+    /// class recovers the paper's k=7 / 10.1 bpi configuration exactly).
+    /// Deletes, counting, and values are refused (Table 1).
+    pub fn from_spec(spec: &FilterSpec) -> Result<Self, FilterError> {
+        spec.validate()?;
+        if spec.counting {
+            return FilterError::unsupported("BF counting (use the CBF or GQF)");
+        }
+        if spec.value_bits > 0 {
+            return FilterError::unsupported("BF value association");
+        }
+        let (k, bits_per_item) = spec.bloom_params();
+        Self::with_params(spec.capacity as usize, bits_per_item, k)
     }
 
     #[inline]
@@ -117,11 +135,41 @@ impl Filter for BloomFilter {
     }
 }
 
+impl filter_core::DynFilter for BloomFilter {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        Some(Filter::len(self))
+    }
+
+    fn insert(&self, key: u64) -> Result<(), FilterError> {
+        Filter::insert(self, key)
+    }
+
+    fn contains(&self, key: u64) -> Result<bool, FilterError> {
+        Ok(Filter::contains(self, key))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use filter_core::hashed_keys;
     use gpu_sim::metrics;
+
+    #[test]
+    fn from_spec_recovers_paper_configuration() {
+        // ε in the 1% class → k=7 at ~10.1 bpi, the published BF config.
+        let f = BloomFilter::from_spec(&FilterSpec::items(10_000).fp_rate(0.008)).unwrap();
+        assert_eq!(f.k, DEFAULT_K);
+        let bpi = f.table_bytes() as f64 * 8.0 / 10_000.0;
+        assert!((bpi - DEFAULT_BITS_PER_ITEM).abs() < 0.1, "bpi {bpi}");
+        // Unsupported features are refused, not ignored.
+        assert!(BloomFilter::from_spec(&FilterSpec::items(10).counting(true)).is_err());
+        assert!(BloomFilter::from_spec(&FilterSpec::items(10).value_bits(8)).is_err());
+    }
 
     #[test]
     fn no_false_negatives() {

@@ -12,7 +12,7 @@
 //! quantifies the resulting bits-per-item against the GQF's.
 
 use filter_core::{
-    ApiMode, Counting, Deletable, Features, Filter, FilterError, FilterMeta, Operation,
+    ApiMode, Counting, Deletable, Features, Filter, FilterError, FilterMeta, FilterSpec, Operation,
 };
 use gpu_sim::metrics::{bump, Counter};
 use gpu_sim::GpuBuffer;
@@ -67,8 +67,23 @@ impl CountingBloomFilter {
 
     /// Paper-comparable default: the Bloom filter's k=7 / 10.1
     /// positions-per-item geometry, each position widened to a counter.
+    /// Thin wrapper over [`Self::with_params`]; prefer
+    /// [`Self::from_spec`] for target-error driven sizing.
     pub fn new(capacity: usize) -> Result<Self, FilterError> {
         Self::with_params(capacity, super::bloom::DEFAULT_BITS_PER_ITEM, super::bloom::DEFAULT_K)
+    }
+
+    /// Build from a declarative [`FilterSpec`]: the Bloom optimum
+    /// positions-per-item for the target ε, every position a 4-bit
+    /// counter — which is exactly the 4× space overhead footnote 2
+    /// objects to. Counting specs are of course accepted; values are not.
+    pub fn from_spec(spec: &FilterSpec) -> Result<Self, FilterError> {
+        spec.validate()?;
+        if spec.value_bits > 0 {
+            return FilterError::unsupported("CBF value association");
+        }
+        let (k, cells_per_item) = spec.bloom_params();
+        Self::with_params(spec.capacity as usize, cells_per_item, k)
     }
 
     #[inline]
@@ -192,10 +207,48 @@ impl Counting for CountingBloomFilter {
     }
 }
 
+impl filter_core::DynFilter for CountingBloomFilter {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        Some(Filter::len(self))
+    }
+
+    fn insert(&self, key: u64) -> Result<(), FilterError> {
+        Filter::insert(self, key)
+    }
+
+    fn contains(&self, key: u64) -> Result<bool, FilterError> {
+        Ok(Filter::contains(self, key))
+    }
+
+    fn remove(&self, key: u64) -> Result<bool, FilterError> {
+        Deletable::remove(self, key)
+    }
+
+    fn insert_count(&self, key: u64, count: u64) -> Result<(), FilterError> {
+        Counting::insert_count(self, key, count)
+    }
+
+    fn count(&self, key: u64) -> Result<u64, FilterError> {
+        Ok(Counting::count(self, key))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use filter_core::hashed_keys;
+
+    #[test]
+    fn from_spec_widens_positions_to_counters() {
+        let f = CountingBloomFilter::from_spec(&FilterSpec::items(1000).counting(true)).unwrap();
+        f.insert_count(5, 3).unwrap();
+        assert!(f.count(5) >= 3);
+        assert!(CountingBloomFilter::from_spec(&FilterSpec::items(10).value_bits(8)).is_err());
+    }
 
     #[test]
     fn no_false_negatives() {

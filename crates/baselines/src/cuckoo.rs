@@ -9,7 +9,9 @@
 //! which is why the paper's filters avoid kicking entirely. Included as
 //! the design-space ablation baseline.
 
-use filter_core::{ApiMode, Deletable, Features, Filter, FilterError, FilterMeta, Operation};
+use filter_core::{
+    ApiMode, Deletable, Features, Filter, FilterError, FilterMeta, FilterSpec, Operation,
+};
 use gpu_sim::metrics::{bump, Counter};
 use gpu_sim::GpuBuffer;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -53,6 +55,29 @@ impl CuckooFilter {
             n_buckets,
             items: AtomicUsize::new(0),
         })
+    }
+
+    /// Build from a declarative [`FilterSpec`]: sized so `spec.capacity`
+    /// items fit at the 95% load kicking sustains. Fingerprints are fixed
+    /// at 16 bits (theory: `2·4/2^16 ≈ 0.012%`), so specs demanding a
+    /// tighter rate are refused; counting and values are unsupported.
+    pub fn from_spec(spec: &FilterSpec) -> Result<Self, FilterError> {
+        spec.validate()?;
+        if spec.counting {
+            return FilterError::unsupported("cuckoo counting");
+        }
+        if spec.value_bits > 0 {
+            return FilterError::unsupported("cuckoo value association");
+        }
+        let theory = (2 * BUCKET_SLOTS) as f64 / 65536.0;
+        if spec.fp_rate < theory {
+            return Err(FilterError::BadConfig(format!(
+                "cuckoo fingerprints are fixed at 16 bits (ε ≈ {theory:.2e}); \
+                 requested {}",
+                spec.fp_rate
+            )));
+        }
+        Self::new(spec.slots_for_load(0.95))
     }
 
     #[inline]
@@ -198,10 +223,41 @@ impl Deletable for CuckooFilter {
     }
 }
 
+impl filter_core::DynFilter for CuckooFilter {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        Some(Filter::len(self))
+    }
+
+    fn insert(&self, key: u64) -> Result<(), FilterError> {
+        Filter::insert(self, key)
+    }
+
+    fn contains(&self, key: u64) -> Result<bool, FilterError> {
+        Ok(Filter::contains(self, key))
+    }
+
+    fn remove(&self, key: u64) -> Result<bool, FilterError> {
+        Deletable::remove(self, key)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use filter_core::hashed_keys;
+
+    #[test]
+    fn from_spec_respects_fixed_fingerprint_width() {
+        let f = CuckooFilter::from_spec(&FilterSpec::items(1000)).unwrap();
+        assert!(f.capacity_slots() as f64 * 0.95 >= 1000.0);
+        f.insert(9).unwrap();
+        assert!(f.contains(9));
+        assert!(CuckooFilter::from_spec(&FilterSpec::items(10).fp_rate(1e-6)).is_err());
+    }
 
     #[test]
     fn insert_query_roundtrip() {

@@ -8,10 +8,12 @@
 //! path processes the batch serially, topping out around 8 M/s, three
 //! orders of magnitude behind the other filters in Fig. 4.
 
-use filter_core::{ApiMode, BulkFilter, Features, FilterError, FilterMeta, Operation};
+use filter_core::{
+    ApiMode, BulkFilter, Features, FilterError, FilterMeta, FilterSpec, InsertOutcome, Operation,
+};
 use gpu_sim::Device;
 use gqf::{GqfCore, Layout};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// Geil et al.'s GPU rank-select quotient filter.
 pub struct Rsqf {
@@ -37,6 +39,22 @@ impl Rsqf {
         Ok(Rsqf { core: GqfCore::new(Layout::new(q_bits, r_bits)?), device })
     }
 
+    /// Build from a declarative [`FilterSpec`], with the same published
+    /// configuration limits and remainder choice as the
+    /// [`Sqf`](crate::Sqf). Deletes, counting, and values are refused
+    /// (Table 1: bulk insert + query only).
+    pub fn from_spec(spec: &FilterSpec) -> Result<Self, FilterError> {
+        spec.validate()?;
+        if spec.counting {
+            return FilterError::unsupported("RSQF counting");
+        }
+        if spec.value_bits > 0 {
+            return FilterError::unsupported("RSQF value association");
+        }
+        let (q_bits, r_bits) = crate::sqf::quotient_geometry(spec, "RSQF")?;
+        Self::new(q_bits, r_bits, Device::for_model_name(spec.device.name()))
+    }
+
     /// Shared core.
     pub fn core(&self) -> &GqfCore {
         &self.core
@@ -56,6 +74,29 @@ impl Rsqf {
             }
         });
         failures.load(Ordering::Relaxed)
+    }
+
+    /// The unoptimized insert path with per-key outcomes: `out[i]`
+    /// answers `keys[i]`. Still one device thread for the whole batch.
+    pub fn insert_batch_report(&self, keys: &[u64], out: &mut [InsertOutcome]) {
+        assert_eq!(keys.len(), out.len());
+        out.fill(InsertOutcome::Inserted);
+        let l = *self.core.layout();
+        let failed: Vec<AtomicBool> = (0..keys.len()).map(|_| AtomicBool::new(false)).collect();
+        let failed_ref = &failed;
+        self.device.launch_regions(1, |_| {
+            for (i, &k) in keys.iter().enumerate() {
+                let (q, r) = l.split(filter_core::hash64(k));
+                if self.core.upsert(q, r, 1).is_err() {
+                    failed_ref[i].store(true, Ordering::Relaxed);
+                }
+            }
+        });
+        for (o, f) in out.iter_mut().zip(&failed) {
+            if f.load(Ordering::Relaxed) {
+                *o = InsertOutcome::Failed;
+            }
+        }
     }
 
     /// Fast fully-parallel bulk queries (the RSQF's strong suit, §6.2).
@@ -98,6 +139,15 @@ impl FilterMeta for Rsqf {
 }
 
 impl BulkFilter for Rsqf {
+    fn bulk_insert_report(
+        &self,
+        keys: &[u64],
+        out: &mut [InsertOutcome],
+    ) -> Result<(), FilterError> {
+        self.insert_batch_report(keys, out);
+        Ok(())
+    }
+
     fn bulk_insert(&self, keys: &[u64]) -> Result<usize, FilterError> {
         Ok(self.insert_batch(keys))
     }
@@ -105,6 +155,18 @@ impl BulkFilter for Rsqf {
     fn bulk_query(&self, keys: &[u64], out: &mut [bool]) {
         self.query_batch(keys, out)
     }
+}
+
+impl filter_core::DynFilter for Rsqf {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        Some(self.core.items())
+    }
+
+    filter_core::dyn_forward_bulk!();
 }
 
 #[cfg(test)]

@@ -17,15 +17,36 @@
 //! the traffic profile is within one line per operation).
 
 use filter_core::{
-    ApiMode, BulkDeletable, BulkFilter, Features, FilterError, FilterMeta, Operation,
+    ApiMode, BulkDeletable, BulkFilter, DeleteOutcome, Features, FilterError, FilterMeta,
+    FilterSpec, InsertOutcome, Operation,
 };
-use gpu_sim::sort::radix_sort_u64;
+use gpu_sim::sort::{radix_sort_pairs, radix_sort_u64};
 use gpu_sim::Device;
 use gqf::{GqfCore, Layout, REGION_SLOTS};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// The SQF's two supported remainder widths.
 pub const SUPPORTED_R_BITS: [u32; 2] = [5, 13];
+
+/// Shared SQF/RSQF published-configuration geometry for a validated
+/// spec: the 5-bit remainder build when the target ε is within its
+/// theoretical 2^-5 rate, else the 13-bit build (whose size cap then
+/// decides); targets below the 13-bit rate are refused so a spec never
+/// silently overshoots its requested ε.
+pub(crate) fn quotient_geometry(
+    spec: &FilterSpec,
+    family: &'static str,
+) -> Result<(u32, u32), FilterError> {
+    if spec.fp_rate < 2f64.powi(-13) {
+        return Err(FilterError::BadConfig(format!(
+            "{family} remainders are 5 or 13 bits; fp rate {} is unreachable",
+            spec.fp_rate
+        )));
+    }
+    let r_bits = if spec.fp_rate >= 2f64.powi(-5) { 5 } else { 13 };
+    let q_bits = (spec.slots_for_load(0.9).max(64) as f64).log2().ceil() as u32;
+    Ok((q_bits, r_bits))
+}
 
 /// Geil et al.'s GPU standard quotient filter.
 pub struct Sqf {
@@ -50,6 +71,23 @@ impl Sqf {
             });
         }
         Ok(Sqf { core: GqfCore::new(Layout::new(q_bits, r_bits)?), device })
+    }
+
+    /// Build from a declarative [`FilterSpec`], within the published
+    /// configuration limits: the 13-bit remainder build when the target ε
+    /// is tighter than the 5-bit build's 2^-5 rate (capped at 2^18
+    /// slots), else the 5-bit build (capped at 2^26). Targets below what 13-bit remainders reach, and
+    /// counting/value specs, are refused.
+    pub fn from_spec(spec: &FilterSpec) -> Result<Self, FilterError> {
+        spec.validate()?;
+        if spec.counting {
+            return FilterError::unsupported("SQF counting");
+        }
+        if spec.value_bits > 0 {
+            return FilterError::unsupported("SQF value association");
+        }
+        let (q_bits, r_bits) = quotient_geometry(spec, "SQF")?;
+        Self::new(q_bits, r_bits, Device::for_model_name(spec.device.name()))
     }
 
     /// Shared core (tests, space accounting).
@@ -78,6 +116,16 @@ impl Sqf {
         bounds
     }
 
+    /// Pair-carrying twin of [`Self::region_bounds`] for the report path.
+    fn region_bounds_pairs(&self, sorted: &[(u64, u64)]) -> Vec<usize> {
+        let l = self.core.layout();
+        let mut bounds: Vec<usize> = (0..l.n_regions())
+            .map(|g| sorted.partition_point(|&(h, _)| h < ((g * REGION_SLOTS) as u64) << l.r_bits))
+            .collect();
+        bounds.push(sorted.len());
+        bounds
+    }
+
     /// Bulk build: sort the batch and insert region-by-region in two
     /// phases (the segmented parallel build of the reference
     /// implementation, expressed with the same region machinery as the
@@ -88,28 +136,65 @@ impl Sqf {
         let bounds = self.region_bounds(&hashes);
         let l = *self.core.layout();
         let failures = AtomicUsize::new(0);
+        let hashes_ref = &hashes;
+        let failures_ref = &failures;
+        self.phased(&bounds, |range| {
+            for &h in &hashes_ref[range] {
+                let (q, r) = l.split(h);
+                if self.core.upsert(q, r, 1).is_err() {
+                    failures_ref.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
+        failures.load(Ordering::Relaxed)
+    }
+
+    /// Run `per_region` over every non-empty region's batch range in two
+    /// phases (even regions then odd) — the segmented parallel build
+    /// shared by the aggregate and report insert paths.
+    fn phased(&self, bounds: &[usize], per_region: impl Fn(std::ops::Range<usize>) + Sync) {
+        let n_regions = bounds.len() - 1;
         for parity in 0..2usize {
-            let regions: Vec<usize> = (0..l.n_regions())
-                .filter(|&g| g % 2 == parity && bounds[g] < bounds[g + 1])
-                .collect();
+            let regions: Vec<usize> =
+                (0..n_regions).filter(|&g| g % 2 == parity && bounds[g] < bounds[g + 1]).collect();
             if regions.is_empty() {
                 continue;
             }
             let regions_ref = &regions;
-            let failures_ref = &failures;
-            let bounds_ref = &bounds;
-            let hashes_ref = &hashes;
             self.device.launch_regions(regions.len(), |i| {
                 let g = regions_ref[i];
-                for &h in &hashes_ref[bounds_ref[g]..bounds_ref[g + 1]] {
-                    let (q, r) = l.split(h);
-                    if self.core.upsert(q, r, 1).is_err() {
-                        failures_ref.fetch_add(1, Ordering::Relaxed);
-                    }
-                }
+                per_region(bounds[g]..bounds[g + 1]);
             });
         }
-        failures.load(Ordering::Relaxed)
+    }
+
+    /// Bulk build with per-key outcomes: `out[i]` answers `keys[i]`. Same
+    /// segmented two-phase flow as [`Self::insert_batch`], with batch
+    /// indices riding through the sort.
+    pub fn insert_batch_report(&self, keys: &[u64], out: &mut [InsertOutcome]) {
+        assert_eq!(keys.len(), out.len());
+        out.fill(InsertOutcome::Inserted);
+        let mut hashed: Vec<(u64, u64)> =
+            keys.iter().enumerate().map(|(i, &k)| (self.stored_hash(k), i as u64)).collect();
+        radix_sort_pairs(&mut hashed);
+        let bounds = self.region_bounds_pairs(&hashed);
+        let l = *self.core.layout();
+        let failed: Vec<AtomicBool> = (0..keys.len()).map(|_| AtomicBool::new(false)).collect();
+        let hashed_ref = &hashed;
+        let failed_ref = &failed;
+        self.phased(&bounds, |range| {
+            for &(h, idx) in &hashed_ref[range] {
+                let (q, r) = l.split(h);
+                if self.core.upsert(q, r, 1).is_err() {
+                    failed_ref[idx as usize].store(true, Ordering::Relaxed);
+                }
+            }
+        });
+        for (o, f) in out.iter_mut().zip(&failed) {
+            if f.load(Ordering::Relaxed) {
+                *o = InsertOutcome::Failed;
+            }
+        }
     }
 
     /// Bulk query using the reference implementation's *sorted* lookup
@@ -152,6 +237,31 @@ impl Sqf {
         });
         missing.load(Ordering::Relaxed)
     }
+
+    /// Bulk delete with per-key outcomes: `out[i]` answers `keys[i]`.
+    /// Serialized like [`Self::delete_batch`] — the Fig. 6 collapse — but
+    /// attributable.
+    pub fn delete_batch_report(&self, keys: &[u64], out: &mut [DeleteOutcome]) {
+        assert_eq!(keys.len(), out.len());
+        let l = *self.core.layout();
+        let removed: Vec<AtomicBool> = (0..keys.len()).map(|_| AtomicBool::new(false)).collect();
+        let removed_ref = &removed;
+        self.device.launch_regions(1, |_| {
+            for (i, &k) in keys.iter().enumerate() {
+                let (q, r) = l.split(filter_core::hash64(k));
+                if matches!(self.core.delete(q, r, 1), Ok(true)) {
+                    removed_ref[i].store(true, Ordering::Relaxed);
+                }
+            }
+        });
+        for (o, r) in out.iter_mut().zip(&removed) {
+            *o = if r.load(Ordering::Relaxed) {
+                DeleteOutcome::Removed
+            } else {
+                DeleteOutcome::NotFound
+            };
+        }
+    }
 }
 
 impl FilterMeta for Sqf {
@@ -176,6 +286,15 @@ impl FilterMeta for Sqf {
 }
 
 impl BulkFilter for Sqf {
+    fn bulk_insert_report(
+        &self,
+        keys: &[u64],
+        out: &mut [InsertOutcome],
+    ) -> Result<(), FilterError> {
+        self.insert_batch_report(keys, out);
+        Ok(())
+    }
+
     fn bulk_insert(&self, keys: &[u64]) -> Result<usize, FilterError> {
         Ok(self.insert_batch(keys))
     }
@@ -186,9 +305,31 @@ impl BulkFilter for Sqf {
 }
 
 impl BulkDeletable for Sqf {
+    fn bulk_delete_report(
+        &self,
+        keys: &[u64],
+        out: &mut [DeleteOutcome],
+    ) -> Result<(), FilterError> {
+        self.delete_batch_report(keys, out);
+        Ok(())
+    }
+
     fn bulk_delete(&self, keys: &[u64]) -> Result<usize, FilterError> {
         Ok(self.delete_batch(keys))
     }
+}
+
+impl filter_core::DynFilter for Sqf {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        Some(self.core.items())
+    }
+
+    filter_core::dyn_forward_bulk!();
+    filter_core::dyn_forward_bulk_delete!();
 }
 
 #[cfg(test)]

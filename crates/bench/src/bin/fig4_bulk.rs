@@ -1,5 +1,7 @@
-//! Figure 4: bulk-API aggregate throughput (one batch) for bulk TCF,
-//! bulk GQF, SQF, and RSQF.
+//! Figure 4: bulk-API aggregate throughput (one batch), with the filters
+//! built by the registry from one [`FilterSpec`] per (kind, device) pair.
+//! Kinds whose published size caps exclude a sweep point (SQF/RSQF past
+//! 2^26) report themselves unavailable instead of crashing the sweep.
 //!
 //! ```sh
 //! cargo run --release -p bench --bin fig4_bulk -- --sizes 18,20,22
@@ -7,9 +9,30 @@
 
 use bench::harness::measure_bulk;
 use bench::{parse_args, write_report, Series};
-use filter_core::{hashed_keys, FilterMeta};
+use filter_core::{hashed_keys, AnyFilter, DeviceModel, FilterKind, FilterSpec};
+use gpu_filters::build_filter;
 use gpu_sim::Device;
 use gqf::REGION_SLOTS;
+
+/// The figure's bulk filters and their published-configuration ε targets.
+const KINDS: [(FilterKind, f64); 4] = [
+    (FilterKind::TcfBulk, 4e-3),
+    (FilterKind::GqfBulk, 4e-3),
+    (FilterKind::Sqf, 4e-2),
+    (FilterKind::Rsqf, 4e-2),
+];
+
+/// Concurrently useful lanes of one bulk call — the kernel-shape metadata
+/// the cost model needs (blocks for the TCF, phased regions for the
+/// quotient filters, one serial thread for the RSQF).
+fn active_threads(kind: FilterKind, f: &AnyFilter) -> u64 {
+    let slots = f.capacity_slots();
+    match kind {
+        FilterKind::TcfBulk => (slots / 128).max(1),
+        FilterKind::GqfBulk | FilterKind::Sqf => (slots / REGION_SLOTS as u64).max(1) / 2,
+        _ => 1,
+    }
+}
 
 fn main() {
     let args = parse_args(&[18, 20, 22]);
@@ -22,181 +45,58 @@ fn main() {
         let n = (slots as f64 * 0.89) as usize;
         let keys = hashed_keys(1100 + s as u64, n);
         let fresh = hashed_keys(2100 + s as u64, n);
-        let regions = (slots / REGION_SLOTS).max(1) as u64;
+        let mut out = vec![false; n];
 
-        for dev in [&cori, &perl] {
-            let name = dev.profile().name;
+        for (dev, model) in [(&cori, DeviceModel::Cori), (&perl, DeviceModel::Perlmutter)] {
+            let dev_name = dev.profile().name;
+            for (kind, eps) in KINDS {
+                let spec = FilterSpec::items(n as u64).fp_rate(eps).device(model);
+                let f = match build_filter(kind, &spec) {
+                    Ok(f) => f,
+                    Err(e) => {
+                        println!("{kind}@{dev_name} unavailable at 2^{s}: {e}");
+                        continue;
+                    }
+                };
+                let label = format!("{}@{dev_name}", f.name());
+                let footprint = f.table_bytes() as u64;
+                let active = active_threads(kind, &f);
 
-            // ---- bulk TCF ----
-            let tcf = tcf::BulkTcf::with_config(slots, tcf::TcfConfig::bulk_default(), dev.clone())
-                .expect("bulk tcf");
-            let fp = tcf.table_bytes() as u64;
-            let blocks = (slots / 128) as u64;
-            series.push(measure_bulk(
-                dev,
-                &format!("BulkTCF@{name}"),
-                "insert",
-                s,
-                fp,
-                n as u64,
-                blocks,
-                || {
-                    assert_eq!(tcf.insert_batch(&keys), 0, "bulk TCF failures at 2^{s}");
-                },
-            ));
-            let mut out = vec![false; n];
-            series.push(measure_bulk(
-                dev,
-                &format!("BulkTCF@{name}"),
-                "pos-query",
-                s,
-                fp,
-                n as u64,
-                n as u64,
-                || {
-                    tcf.query_batch(&keys, &mut out);
-                },
-            ));
-            assert!(out.iter().all(|&x| x));
-            series.push(measure_bulk(
-                dev,
-                &format!("BulkTCF@{name}"),
-                "rand-query",
-                s,
-                fp,
-                n as u64,
-                n as u64,
-                || {
-                    tcf.query_batch(&fresh, &mut out);
-                },
-            ));
-            drop(tcf);
-
-            // ---- bulk GQF ----
-            let gqf = gqf::BulkGqf::new(s, 8, dev.clone()).expect("bulk gqf");
-            let fp = gqf.table_bytes() as u64;
-            series.push(measure_bulk(
-                dev,
-                &format!("GQF@{name}"),
-                "insert",
-                s,
-                fp,
-                n as u64,
-                regions / 2,
-                || {
-                    assert_eq!(gqf.insert_batch(&keys), 0, "bulk GQF failures at 2^{s}");
-                },
-            ));
-            series.push(measure_bulk(
-                dev,
-                &format!("GQF@{name}"),
-                "pos-query",
-                s,
-                fp,
-                n as u64,
-                n as u64,
-                || {
-                    gqf.query_batch(&keys, &mut out);
-                },
-            ));
-            assert!(out.iter().all(|&x| x));
-            series.push(measure_bulk(
-                dev,
-                &format!("GQF@{name}"),
-                "rand-query",
-                s,
-                fp,
-                n as u64,
-                n as u64,
-                || {
-                    gqf.query_batch(&fresh, &mut out);
-                },
-            ));
-            drop(gqf);
-
-            // ---- SQF (≤ 2^26) ----
-            if s <= 26 {
-                let sqf = baselines::Sqf::new(s, 5, dev.clone()).expect("sqf");
-                let fp = sqf.table_bytes() as u64;
                 series.push(measure_bulk(
                     dev,
-                    &format!("SQF@{name}"),
+                    &label,
                     "insert",
                     s,
-                    fp,
+                    footprint,
                     n as u64,
-                    regions / 2,
+                    active,
                     || {
-                        assert_eq!(sqf.insert_batch(&keys), 0);
+                        assert_eq!(f.bulk_insert(&keys).unwrap(), 0, "{label} failures at 2^{s}");
                     },
                 ));
                 series.push(measure_bulk(
                     dev,
-                    &format!("SQF@{name}"),
+                    &label,
                     "pos-query",
                     s,
-                    fp,
+                    footprint,
                     n as u64,
                     n as u64,
                     || {
-                        sqf.query_batch(&keys, &mut out);
+                        f.bulk_query(&keys, &mut out).unwrap();
                     },
                 ));
-                assert!(out.iter().all(|&x| x));
+                assert!(out.iter().all(|&x| x), "{label} lost keys at 2^{s}");
                 series.push(measure_bulk(
                     dev,
-                    &format!("SQF@{name}"),
+                    &label,
                     "rand-query",
                     s,
-                    fp,
+                    footprint,
                     n as u64,
                     n as u64,
                     || {
-                        sqf.query_batch(&fresh, &mut out);
-                    },
-                ));
-                drop(sqf);
-            }
-
-            // ---- RSQF (≤ 2^26; serial unoptimized inserts) ----
-            if s <= 26 {
-                let rsqf = baselines::Rsqf::new(s, 5, dev.clone()).expect("rsqf");
-                let fp = rsqf.table_bytes() as u64;
-                series.push(measure_bulk(
-                    dev,
-                    &format!("RSQF@{name}"),
-                    "insert",
-                    s,
-                    fp,
-                    n as u64,
-                    1,
-                    || {
-                        assert_eq!(rsqf.insert_batch(&keys), 0);
-                    },
-                ));
-                series.push(measure_bulk(
-                    dev,
-                    &format!("RSQF@{name}"),
-                    "pos-query",
-                    s,
-                    fp,
-                    n as u64,
-                    n as u64,
-                    || {
-                        rsqf.query_batch(&keys, &mut out);
-                    },
-                ));
-                assert!(out.iter().all(|&x| x));
-                series.push(measure_bulk(
-                    dev,
-                    &format!("RSQF@{name}"),
-                    "rand-query",
-                    s,
-                    fp,
-                    n as u64,
-                    n as u64,
-                    || {
-                        rsqf.query_batch(&fresh, &mut out);
+                        f.bulk_query(&fresh, &mut out).unwrap();
                     },
                 ));
             }

@@ -1,7 +1,8 @@
 //! Figure 6: deletion throughput — point TCF (tombstone CAS), bulk GQF
 //! (even-odd phased, sorted, descending), and SQF (serialized cluster
-//! rewrites) on the Cori model. Log-scale separations of roughly an
-//! order of magnitude each are the paper's result.
+//! rewrites) on the Cori model, with every filter built by the registry
+//! and driven through the `DynFilter` facade. Log-scale separations of
+//! roughly an order of magnitude each are the paper's result.
 //!
 //! ```sh
 //! cargo run --release -p bench --bin fig6_deletes -- --sizes 18,20,22
@@ -9,7 +10,8 @@
 
 use bench::harness::{measure_bulk, measure_point_multi};
 use bench::{parse_args, write_report, Series};
-use filter_core::{hashed_keys, Deletable, Filter, FilterMeta};
+use filter_core::{hashed_keys, FilterKind, FilterSpec};
+use gpu_filters::build_filter;
 use gpu_sim::Device;
 use gqf::REGION_SLOTS;
 
@@ -23,15 +25,15 @@ fn main() {
         let slots = 1usize << s;
         let n = (slots as f64 * 0.85) as usize;
         let keys = hashed_keys(7000 + s as u64, n);
-        let regions = (slots / REGION_SLOTS).max(1) as u64;
 
         // ---- TCF: point deletes (one atomicCAS per delete) ----
-        let tcf = tcf::PointTcf::new(slots).expect("tcf");
+        let tcf =
+            build_filter(FilterKind::TcfPoint, &FilterSpec::items(n as u64).fp_rate(5e-4)).unwrap();
         for &k in &keys {
             tcf.insert(k).unwrap();
         }
-        let fp = tcf.table_bytes() as u64;
-        for r in measure_point_multi(&devices, "TCF", "delete", s, 4, fp, n, |i| {
+        let footprint = tcf.table_bytes() as u64;
+        for r in measure_point_multi(&devices, tcf.name(), "delete", s, 4, footprint, n, |i| {
             let _ = tcf.remove(keys[i]);
         }) {
             series.push(r);
@@ -39,31 +41,44 @@ fn main() {
         drop(tcf);
 
         // ---- GQF: bulk even-odd deletes ----
-        let gqf = gqf::BulkGqf::new(s, 8, cori.clone()).expect("gqf");
-        assert_eq!(gqf.insert_batch(&keys), 0);
-        let fp = gqf.table_bytes() as u64;
+        let gqf =
+            build_filter(FilterKind::GqfBulk, &FilterSpec::items(n as u64).fp_rate(4e-3)).unwrap();
+        assert_eq!(gqf.bulk_insert(&keys).unwrap(), 0);
+        let footprint = gqf.table_bytes() as u64;
+        let regions = (gqf.capacity_slots() / REGION_SLOTS as u64).max(1);
         series.push(measure_bulk(
             &cori,
-            "GQF-Bulk",
+            gqf.name(),
             "delete",
             s,
-            fp,
+            footprint,
             n as u64,
             regions / 2,
             || {
-                assert_eq!(gqf.delete_batch(&keys), 0);
+                assert_eq!(gqf.bulk_delete(&keys).unwrap(), 0);
             },
         ));
         drop(gqf);
 
-        // ---- SQF: serialized deletes (≤ 2^26) ----
-        if s <= 26 {
-            let sqf = baselines::Sqf::new(s, 5, cori.clone()).expect("sqf");
-            assert_eq!(sqf.insert_batch(&keys), 0);
-            let fp = sqf.table_bytes() as u64;
-            series.push(measure_bulk(&cori, "SQF", "delete", s, fp, n as u64, 1, || {
-                assert_eq!(sqf.delete_batch(&keys), 0);
-            }));
+        // ---- SQF: serialized deletes (published caps permitting) ----
+        match build_filter(FilterKind::Sqf, &FilterSpec::items(n as u64).fp_rate(4e-2)) {
+            Ok(sqf) => {
+                assert_eq!(sqf.bulk_insert(&keys).unwrap(), 0);
+                let footprint = sqf.table_bytes() as u64;
+                series.push(measure_bulk(
+                    &cori,
+                    sqf.name(),
+                    "delete",
+                    s,
+                    footprint,
+                    n as u64,
+                    1,
+                    || {
+                        assert_eq!(sqf.bulk_delete(&keys).unwrap(), 0);
+                    },
+                ));
+            }
+            Err(e) => println!("SQF unavailable at 2^{s}: {e}"),
         }
     }
 

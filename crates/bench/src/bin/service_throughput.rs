@@ -214,6 +214,102 @@ fn run_sharded(keys: &[u64], shards: usize, clients: usize) -> Row {
     }
 }
 
+/// A backend wrapper reproducing the serving layer's *old* blocking-delete
+/// behaviour exactly: every per-key delete report first bulk-queries the
+/// batch in the worker (that answer is discarded — the old code used it to
+/// attribute per-key presence) and then deletes. Comparing this against
+/// the plain backend isolates the eliminated backend query, with zero
+/// extra client round trips or queueing.
+struct PrequeryTcf(BulkTcf);
+
+impl filter_core::FilterMeta for PrequeryTcf {
+    fn name(&self) -> &'static str {
+        "TCF+prequery"
+    }
+    fn features(&self) -> filter_core::Features {
+        self.0.features()
+    }
+    fn table_bytes(&self) -> usize {
+        self.0.table_bytes()
+    }
+    fn capacity_slots(&self) -> u64 {
+        self.0.capacity_slots()
+    }
+}
+
+impl filter_core::BulkFilter for PrequeryTcf {
+    fn bulk_insert_report(
+        &self,
+        keys: &[u64],
+        out: &mut [filter_core::InsertOutcome],
+    ) -> Result<(), filter_core::FilterError> {
+        self.0.bulk_insert_report(keys, out)
+    }
+    fn bulk_query(&self, keys: &[u64], out: &mut [bool]) {
+        self.0.bulk_query(keys, out)
+    }
+}
+
+impl filter_core::BulkDeletable for PrequeryTcf {
+    fn bulk_delete_report(
+        &self,
+        keys: &[u64],
+        out: &mut [filter_core::DeleteOutcome],
+    ) -> Result<(), filter_core::FilterError> {
+        std::hint::black_box(filter_core::BulkFilter::bulk_query_vec(&self.0, keys));
+        self.0.bulk_delete_report(keys, out)
+    }
+}
+
+/// Delete-heavy workload: every key is loaded (untimed), then deleted
+/// through blocking `delete_batch` calls, whose per-key acknowledgements
+/// now come straight from the backend's `bulk_delete_report` outcomes.
+/// With `emulate_prequery` the backend replays the old implementation's
+/// in-worker pre-query before each delete flush, so the row pair isolates
+/// exactly the backend work the per-key outcomes eliminated.
+fn run_delete_heavy(keys: &[u64], shards: usize, clients: usize, emulate_prequery: bool) -> Row {
+    let per_shard = (total_slots(keys.len()) / shards).max(1 << 10);
+    let builder = ShardedFilterBuilder::new()
+        .shards(shards)
+        .batch_capacity(CHUNK)
+        .linger(Duration::from_micros(200));
+
+    let run = |handle: &filter_service::ServiceHandle| {
+        assert_eq!(handle.insert_batch(keys).expect("load"), 0, "load phase failures");
+        let per_client = keys.len().div_ceil(clients);
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for part in keys.chunks(per_client) {
+                let h = handle.clone();
+                s.spawn(move || {
+                    for chunk in part.chunks(CHUNK) {
+                        let not_found = h.delete_batch(chunk).expect("service delete");
+                        assert_eq!(not_found, 0, "every loaded key must delete");
+                    }
+                });
+            }
+        });
+        t0.elapsed().as_secs_f64()
+    };
+
+    let secs = if emulate_prequery {
+        let service =
+            builder.build_deletable(|_| BulkTcf::new(per_shard).map(PrequeryTcf)).expect("service");
+        run(&service.handle())
+    } else {
+        let service = builder.build_deletable(|_| BulkTcf::new(per_shard)).expect("service");
+        run(&service.handle())
+    };
+    Row {
+        mode: if emulate_prequery { "delete-prequery" } else { "delete-perkey" },
+        backend: "TCF",
+        shards,
+        clients,
+        ops: keys.len() as u64,
+        secs,
+    }
+}
+
 fn main() {
     let mut n_keys = 1_000_000usize;
     let mut out_dir = "experiments".to_string();
@@ -250,6 +346,12 @@ fn main() {
         println!("{}", row.line());
         rows.push(row);
     }
+    // Delete-heavy workload: per-key outcomes vs the old pre-query path.
+    for emulate_prequery in [true, false] {
+        let row = run_delete_heavy(&keys, 4, CLIENTS, emulate_prequery);
+        println!("{}", row.line());
+        rows.push(row);
+    }
 
     let mops_of =
         |mode: &str| rows.iter().filter(|r| r.mode == mode).map(Row::mops).fold(0.0, f64::max);
@@ -262,8 +364,12 @@ fn main() {
         .fold(0.0, f64::max);
     let speedup_vs_naive = best_sharded / naive_serving;
     let speedup_vs_direct = best_sharded / point_direct;
+    let delete_perkey = mops_of("delete-perkey");
+    let delete_prequery = mops_of("delete-prequery");
+    let delete_speedup = delete_perkey / delete_prequery;
     println!("\nsharded-batched (≥4 shards) vs naive point-op serving: {speedup_vs_naive:.2}x");
     println!("sharded-batched (≥4 shards) vs in-process point loop:  {speedup_vs_direct:.2}x");
+    println!("delete-heavy: per-key outcomes vs pre-query round trip: {delete_speedup:.2}x");
 
     // Machine-readable trajectory for future PRs.
     let mut json = String::new();
@@ -282,6 +388,7 @@ fn main() {
     let _ = writeln!(json, "  ],");
     let _ = writeln!(json, "  \"speedup_sharded_ge4_vs_point_service\": {speedup_vs_naive:.4},");
     let _ = writeln!(json, "  \"speedup_sharded_ge4_vs_point_direct\": {speedup_vs_direct:.4},");
+    let _ = writeln!(json, "  \"delete_perkey_speedup_vs_prequery\": {delete_speedup:.4},");
     let _ = writeln!(json, "  \"meets_2x_acceptance\": {}", speedup_vs_naive >= 2.0);
     let _ = writeln!(json, "}}");
 

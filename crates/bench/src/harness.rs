@@ -114,6 +114,7 @@ impl Series {
 /// Measure a batch of point-style operations: the harness launches one
 /// kernel over `keys`, so wall and modeled throughput cover exactly the
 /// paper's aggregate-throughput definition.
+#[allow(clippy::too_many_arguments)] // bench-harness plumbing, not an API
 pub fn measure_point(
     device: &Device,
     label: &str,
@@ -131,6 +132,7 @@ pub fn measure_point(
 
 /// Measure a host-side bulk call: metrics are diffed around `f`, which is
 /// responsible for all kernel launches (sorting included).
+#[allow(clippy::too_many_arguments)] // bench-harness plumbing, not an API
 pub fn measure_bulk(
     device: &Device,
     label: &str,
@@ -160,6 +162,7 @@ pub fn measure_bulk(
 /// Measure once, price for several devices: the substrate's transaction
 /// counts are device-independent, so a single execution yields a modeled
 /// row per hardware profile (Cori *and* Perlmutter columns from one run).
+#[allow(clippy::too_many_arguments)] // bench-harness plumbing, not an API
 pub fn measure_point_multi(
     devices: &[&Device],
     label: &str,

@@ -16,21 +16,32 @@
 //!   cost.
 //! * No deletes, no values, space-insensitive: [`BlockedBloomFilter`].
 //!
-//! ## Quickstart
+//! ## Quickstart (v2 API: spec-driven construction)
+//!
+//! Declare what you need — items, target false-positive rate, optional
+//! counting/values/device — and let the [`registry`] build the backend
+//! behind the object-safe [`DynFilter`] facade:
 //!
 //! ```
-//! use gpu_filters::prelude::*;
+//! use gpu_filters::{build_filter, FilterKind, FilterSpec};
 //!
-//! let filter = PointTcf::new(1 << 16)?;
+//! let spec = FilterSpec::items(1 << 16).fp_rate(1e-3);
+//! let filter = build_filter(FilterKind::TcfPoint, &spec)?;
 //! filter.insert(0xfeed_beef)?;
-//! assert!(filter.contains(0xfeed_beef));
+//! assert!(filter.contains(0xfeed_beef)?);
 //!
-//! let counter = PointGqf::new(12, 8)?;
+//! let counter = build_filter(FilterKind::GqfPoint, &spec.clone().counting(true))?;
 //! counter.insert_count(7, 41)?;
 //! counter.insert(7)?;
-//! assert_eq!(counter.count(7), 42);
+//! assert_eq!(counter.count(7)?, 42);
 //! # Ok::<(), gpu_filters::FilterError>(())
 //! ```
+//!
+//! The concrete types ([`PointTcf`], [`BulkGqf`], …) remain available for
+//! monomorphized hot paths; every one of them also has a `from_spec`
+//! constructor, and their bulk APIs report **per-key outcomes**
+//! ([`InsertOutcome`]/[`DeleteOutcome`] via `bulk_insert_report` /
+//! `bulk_delete_report`) with the aggregate counts as derived wrappers.
 //!
 //! ## Serving at scale
 //!
@@ -64,20 +75,26 @@
 //! The service is generic over backend — `BulkTcf`, `BulkGqf`, and
 //! `BlockedBloomFilter` all satisfy the [`ServiceBackend`] blanket trait —
 //! and `build_deletable` additionally enables `remove`/`delete_batch` for
-//! backends with bulk deletion. See `crates/bench/src/bin/
-//! service_throughput.rs` for the measured point-vs-batched-vs-sharded
-//! comparison.
+//! backends with bulk deletion. Blocking callers are acknowledged from
+//! the backends' per-key bulk outcomes directly (no extra query round
+//! trips on the delete or failed-insert paths). See `crates/bench/src/
+//! bin/service_throughput.rs` for the measured point-vs-batched-vs-
+//! sharded comparison and the delete-heavy per-key-vs-pre-query delta.
+
+pub mod registry;
 
 pub use baselines::{
     BlockedBloomFilter, BloomFilter, CountingBloomFilter, CpuCqf, CpuVqf, CuckooFilter, Rsqf, Sqf,
 };
 pub use filter_core::{
-    ApiMode, BulkDeletable, BulkFilter, Counting, Deletable, Features, Filter, FilterError,
-    FilterMeta, Operation, ServiceBackend, Valued,
+    AnyFilter, ApiMode, BulkDeletable, BulkFilter, Counting, Deletable, DeleteOutcome, DeviceModel,
+    DynFilter, Features, Filter, FilterError, FilterKind, FilterMeta, FilterSpec, InsertOutcome,
+    Operation, ServiceBackend, Valued,
 };
 pub use filter_service::{ServiceHandle, ShardRouter, ShardedFilter, ShardedFilterBuilder};
 pub use gpu_sim::{cost, Device, DeviceProfile, KernelStats};
 pub use gqf::{BulkGqf, PointGqf};
+pub use registry::{all_filters, build_filter};
 pub use tcf::{BulkTcf, PointTcf, TcfConfig};
 
 /// Re-exported building blocks for applications that extend the filters.
@@ -109,36 +126,56 @@ pub mod serving {
 }
 
 /// Everything an application normally needs.
+///
+/// [`DynFilter`] is deliberately *not* glob-exported here: its method
+/// names mirror the static traits', so importing both on a concrete type
+/// would make every `f.insert(…)` ambiguous. Import it explicitly where
+/// you hold an [`AnyFilter`].
 pub mod prelude {
     pub use crate::{
-        ApiMode, BulkDeletable, BulkFilter, BulkGqf, BulkTcf, Counting, Deletable, Features,
-        Filter, FilterError, FilterMeta, Operation, PointGqf, PointTcf, ServiceBackend,
+        all_filters, build_filter, AnyFilter, ApiMode, BulkDeletable, BulkFilter, BulkGqf, BulkTcf,
+        Counting, Deletable, DeleteOutcome, DeviceModel, Features, Filter, FilterError, FilterKind,
+        FilterMeta, FilterSpec, InsertOutcome, Operation, PointGqf, PointTcf, ServiceBackend,
         ServiceHandle, ShardedFilter, ShardedFilterBuilder, TcfConfig, Valued,
     };
 }
 
-/// Render the paper's Table 1 (API feature matrix) from live trait impls.
+/// Render the paper's Table 1 (API feature matrix) by iterating the
+/// filter registry: every [`FilterKind`] is built from one small
+/// [`FilterSpec`] and reports its own live feature row. Point/bulk
+/// sibling types of the same structure (TCF, GQF) are folded into one row
+/// as the paper presents them.
 pub fn feature_matrix() -> String {
     use filter_core::features::render_table1;
-    let gqf = PointGqf::new(8, 8).expect("gqf");
-    let tcf = PointTcf::new(256).expect("tcf");
-    let bf = BloomFilter::new(256).expect("bf");
-    let sqf = Sqf::new(8, 5, Device::cori()).expect("sqf");
-    let rsqf = Rsqf::new(8, 5, Device::cori()).expect("rsqf");
-    // The TCF's bulk side lives in a separate type; fold both into one row
-    // as the paper does.
-    let tcf_row = {
-        use filter_core::{ApiMode, Operation};
-        let mut row = tcf.features();
-        let bulk = BulkTcf::new(256).expect("bulk tcf").features();
+
+    let spec = FilterSpec::items(230).fp_rate(0.04);
+    let features_of = |kind: FilterKind| {
+        build_filter(kind, &spec)
+            .unwrap_or_else(|e| panic!("registry build {kind}: {e}"))
+            .features()
+    };
+    // Fold a bulk sibling's cells into its point row, as the paper does.
+    let folded = |point: FilterKind, bulk: FilterKind| {
+        let mut row = features_of(point);
+        let bulk_row = features_of(bulk);
         for op in Operation::ALL {
-            if bulk.supports(op, ApiMode::Bulk) {
+            if bulk_row.supports(op, ApiMode::Bulk) {
                 row = row.with(op, ApiMode::Bulk);
             }
         }
         row
     };
-    render_table1(&[gqf.features(), tcf_row, bf.features(), sqf.features(), rsqf.features()])
+
+    render_table1(&[
+        folded(FilterKind::GqfPoint, FilterKind::GqfBulk),
+        folded(FilterKind::TcfPoint, FilterKind::TcfBulk),
+        features_of(FilterKind::Bloom),
+        features_of(FilterKind::Sqf),
+        features_of(FilterKind::Rsqf),
+        features_of(FilterKind::BlockedBloom),
+        features_of(FilterKind::CountingBloom),
+        features_of(FilterKind::Cuckoo),
+    ])
 }
 
 #[cfg(test)]
@@ -157,7 +194,13 @@ mod tests {
         let rsqf_row = t.lines().find(|l| l.starts_with("RSQF")).unwrap();
         assert_eq!(rsqf_row.matches('✓').count(), 2);
     }
+}
 
+/// Deliberately *not* `use super::*`: this module sees exactly what a
+/// downstream `use gpu_filters::prelude::*;` sees, proving the prelude
+/// keeps static-trait method calls unambiguous (no `DynFilter` in scope).
+#[cfg(test)]
+mod prelude_tests {
     #[test]
     fn prelude_compiles_typical_usage() {
         use crate::prelude::*;
@@ -165,5 +208,13 @@ mod tests {
         f.insert(1).unwrap();
         assert!(f.contains(1));
         assert!(f.remove(1).unwrap());
+    }
+
+    #[test]
+    fn prelude_builds_from_spec_via_registry() {
+        use crate::prelude::*;
+        let f = build_filter(FilterKind::TcfBulk, &FilterSpec::items(1000)).unwrap();
+        assert_eq!(f.bulk_insert(&[1, 2, 3]).unwrap(), 0);
+        assert!(f.bulk_query_vec(&[1, 2, 3]).unwrap().iter().all(|&h| h));
     }
 }

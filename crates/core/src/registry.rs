@@ -1,0 +1,112 @@
+//! The filter registry: build any filter in the workspace from one
+//! [`FilterSpec`].
+//!
+//! This is the construction half of the v2 API. A [`FilterKind`] names the
+//! backend, the spec says what the application needs (items, ε, values,
+//! counting, device), and [`build_filter`] returns the backend behind the
+//! object-safe [`DynFilter`](filter_core::DynFilter) facade. Benchmarks
+//! generate their per-filter rows by iterating [`FilterKind::ALL`] (or
+//! [`all_filters`]) instead of hand-wiring each constructor — the uniform
+//! configuration surface that makes the paper's Table 1/Table 2 style
+//! comparisons apples-to-apples.
+//!
+//! ```
+//! use gpu_filters::{build_filter, FilterKind, FilterSpec};
+//!
+//! let spec = FilterSpec::items(10_000).fp_rate(1e-3);
+//! let f = build_filter(FilterKind::TcfPoint, &spec)?;
+//! f.insert(42)?;
+//! assert!(f.contains(42)?);
+//! # Ok::<(), gpu_filters::FilterError>(())
+//! ```
+
+use filter_core::{AnyFilter, FilterError, FilterKind, FilterSpec};
+
+/// Build the `kind` backend from `spec`, boxed behind the dynamic facade.
+///
+/// Errors surface exactly as the concrete constructors report them: a spec
+/// a backend cannot honour is [`FilterError::Unsupported`] (e.g. counting
+/// on the TCF) or [`FilterError::BadConfig`] /
+/// [`FilterError::CapacityExceeded`] (e.g. an SQF beyond its published
+/// size caps) — never a silently degraded filter.
+pub fn build_filter(kind: FilterKind, spec: &FilterSpec) -> Result<AnyFilter, FilterError> {
+    Ok(match kind {
+        FilterKind::TcfPoint => Box::new(tcf::PointTcf::from_spec(spec)?),
+        FilterKind::TcfBulk => Box::new(tcf::BulkTcf::from_spec(spec)?),
+        FilterKind::GqfPoint => Box::new(gqf::PointGqf::from_spec(spec)?),
+        FilterKind::GqfBulk => Box::new(gqf::BulkGqf::from_spec(spec)?),
+        FilterKind::Bloom => Box::new(baselines::BloomFilter::from_spec(spec)?),
+        FilterKind::BlockedBloom => Box::new(baselines::BlockedBloomFilter::from_spec(spec)?),
+        FilterKind::CountingBloom => Box::new(baselines::CountingBloomFilter::from_spec(spec)?),
+        FilterKind::Cuckoo => Box::new(baselines::CuckooFilter::from_spec(spec)?),
+        FilterKind::Sqf => Box::new(baselines::Sqf::from_spec(spec)?),
+        FilterKind::Rsqf => Box::new(baselines::Rsqf::from_spec(spec)?),
+        // `FilterKind` is non-exhaustive so specs can name kinds this
+        // build does not know yet; refuse them explicitly.
+        _ => return FilterError::unsupported("unknown filter kind"),
+    })
+}
+
+/// Build every registered kind from `spec`, yielding `(kind, result)`
+/// pairs. Kinds that cannot honour the spec yield their error, so sweeps
+/// can skip (and report) them instead of crashing.
+pub fn all_filters(
+    spec: &FilterSpec,
+) -> impl Iterator<Item = (FilterKind, Result<AnyFilter, FilterError>)> + '_ {
+    FilterKind::ALL.into_iter().map(move |kind| (kind, build_filter(kind, spec)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use filter_core::{hashed_keys, ApiMode, Operation};
+
+    #[test]
+    fn every_kind_builds_from_a_default_spec() {
+        let spec = FilterSpec::items(2000);
+        for (kind, built) in all_filters(&spec) {
+            let f = built.unwrap_or_else(|e| panic!("{kind} failed: {e}"));
+            assert!(f.table_bytes() > 0, "{kind}");
+            assert!(f.capacity_slots() > 0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn built_filters_honour_their_feature_matrix() {
+        let spec = FilterSpec::items(500);
+        for (kind, built) in all_filters(&spec) {
+            let f = built.unwrap();
+            let feats = f.features();
+            let key = hashed_keys(kind.name().len() as u64, 1)[0];
+            if feats.supports(Operation::Insert, ApiMode::Point) {
+                f.insert(key).unwrap_or_else(|e| panic!("{kind} point insert: {e}"));
+                assert!(f.contains(key).unwrap(), "{kind}");
+            }
+            if feats.supports(Operation::Insert, ApiMode::Bulk) {
+                match f.bulk_insert(&[key]) {
+                    Ok(failed) => {
+                        assert_eq!(failed, 0, "{kind}");
+                        assert!(f.bulk_query_vec(&[key]).unwrap()[0], "{kind}");
+                    }
+                    // Point variants carry the paper's folded Table-1 row;
+                    // their bulk cells live on the bulk sibling type.
+                    Err(FilterError::Unsupported(_)) => {}
+                    Err(e) => panic!("{kind} bulk insert: {e}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unsupported_spec_combinations_error_cleanly() {
+        // Counting on a non-counting structure.
+        assert!(build_filter(FilterKind::TcfPoint, &FilterSpec::items(10).counting(true)).is_err());
+        assert!(build_filter(FilterKind::Bloom, &FilterSpec::items(10).counting(true)).is_err());
+        // Values on a bit-array structure.
+        assert!(build_filter(FilterKind::Bloom, &FilterSpec::items(10).value_bits(16)).is_err());
+        // An ε the structure cannot reach.
+        assert!(build_filter(FilterKind::Cuckoo, &FilterSpec::items(10).fp_rate(1e-7)).is_err());
+        // A capacity beyond published caps (SQF r=13 ⇒ ≤ 2^18 slots).
+        assert!(build_filter(FilterKind::Sqf, &FilterSpec::items(1 << 20)).is_err());
+    }
+}

@@ -1,0 +1,232 @@
+//! The object-safe dynamic facade: one boxed surface over every filter.
+//!
+//! The static traits ([`Filter`](crate::Filter), [`Counting`](crate::Counting),
+//! [`BulkFilter`](crate::BulkFilter), …) carve the API into capability
+//! slices, which is right for monomorphized hot paths but wrong for the
+//! benchmark tables and examples that want to *iterate every filter in the
+//! workspace*: those ended up with one hand-written match arm per backend.
+//! [`DynFilter`] is the union surface — point, bulk, delete, count, and
+//! value operations in one object-safe trait — where every method defaults
+//! to [`FilterError::Unsupported`] and each filter overrides exactly the
+//! slice it implements (its [`FilterMeta::features`] matrix says which).
+//!
+//! Consumers hold [`AnyFilter`] (a boxed `DynFilter`), usually built from a
+//! [`FilterSpec`](crate::FilterSpec) by the registry in the umbrella crate.
+
+use crate::error::FilterError;
+use crate::outcome::{count_delete_misses, count_insert_failures, DeleteOutcome, InsertOutcome};
+use crate::traits::FilterMeta;
+
+/// A boxed filter behind the dynamic facade.
+pub type AnyFilter = Box<dyn DynFilter>;
+
+/// Object-safe union of every filter operation in the workspace.
+///
+/// Unimplemented operations return [`FilterError::Unsupported`] rather
+/// than panicking; consult [`FilterMeta::features`] to know up front which
+/// cells of the paper's Table 1 a filter fills.
+pub trait DynFilter: FilterMeta + Send + Sync {
+    /// Escape hatch to the concrete type, for callers that need an API
+    /// the facade does not carry (e.g. the GQF's lock-free query phase).
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Approximate number of stored items, when the filter tracks it.
+    fn len_hint(&self) -> Option<usize> {
+        None
+    }
+
+    // ---- point surface -------------------------------------------------
+
+    /// Insert one item.
+    fn insert(&self, _key: u64) -> Result<(), FilterError> {
+        FilterError::unsupported("point insert")
+    }
+
+    /// Membership test for one item.
+    fn contains(&self, _key: u64) -> Result<bool, FilterError> {
+        FilterError::unsupported("point query")
+    }
+
+    /// Remove one previously-inserted instance of `key`.
+    fn remove(&self, _key: u64) -> Result<bool, FilterError> {
+        FilterError::unsupported("point delete")
+    }
+
+    /// Insert `count` instances of `key`.
+    fn insert_count(&self, _key: u64, _count: u64) -> Result<(), FilterError> {
+        FilterError::unsupported("counting insert")
+    }
+
+    /// Estimated multiset count of `key`.
+    fn count(&self, _key: u64) -> Result<u64, FilterError> {
+        FilterError::unsupported("count query")
+    }
+
+    /// Bits of associated value per item (0 when value association is
+    /// unsupported or not configured).
+    fn value_bits(&self) -> u32 {
+        0
+    }
+
+    /// Insert `key` with an associated value.
+    fn insert_value(&self, _key: u64, _value: u64) -> Result<(), FilterError> {
+        FilterError::unsupported("value insert")
+    }
+
+    /// Look up the value associated with `key` (`None` when absent).
+    fn query_value(&self, _key: u64) -> Result<Option<u64>, FilterError> {
+        FilterError::unsupported("value query")
+    }
+
+    // ---- bulk surface --------------------------------------------------
+
+    /// Insert a batch with per-key outcomes (`out[i]` answers `keys[i]`).
+    fn bulk_insert_report(
+        &self,
+        _keys: &[u64],
+        _out: &mut [InsertOutcome],
+    ) -> Result<(), FilterError> {
+        FilterError::unsupported("bulk insert")
+    }
+
+    /// Insert a batch; returns the number of failed items.
+    fn bulk_insert(&self, keys: &[u64]) -> Result<usize, FilterError> {
+        let mut out = vec![InsertOutcome::Inserted; keys.len()];
+        self.bulk_insert_report(keys, &mut out)?;
+        Ok(count_insert_failures(&out))
+    }
+
+    /// Query a batch; `out[i]` answers `keys[i]`.
+    fn bulk_query(&self, _keys: &[u64], _out: &mut [bool]) -> Result<(), FilterError> {
+        FilterError::unsupported("bulk query")
+    }
+
+    /// Query a batch into a fresh vector.
+    fn bulk_query_vec(&self, keys: &[u64]) -> Result<Vec<bool>, FilterError> {
+        let mut out = vec![false; keys.len()];
+        self.bulk_query(keys, &mut out)?;
+        Ok(out)
+    }
+
+    /// Delete a batch with per-key outcomes (`out[i]` answers `keys[i]`).
+    fn bulk_delete_report(
+        &self,
+        _keys: &[u64],
+        _out: &mut [DeleteOutcome],
+    ) -> Result<(), FilterError> {
+        FilterError::unsupported("bulk delete")
+    }
+
+    /// Delete a batch; returns the number of keys not found.
+    fn bulk_delete(&self, keys: &[u64]) -> Result<usize, FilterError> {
+        let mut out = vec![DeleteOutcome::NotFound; keys.len()];
+        self.bulk_delete_report(keys, &mut out)?;
+        Ok(count_delete_misses(&out))
+    }
+
+    /// Count a batch; `Ok(v)` has `v[i]` answering `keys[i]`.
+    fn bulk_count(&self, _keys: &[u64]) -> Result<Vec<u64>, FilterError> {
+        FilterError::unsupported("bulk count")
+    }
+}
+
+/// Expand inside a [`DynFilter`] impl for a type implementing
+/// [`BulkFilter`](crate::BulkFilter): forwards the facade's bulk
+/// insert/query surface to the static trait, so each backend writes the
+/// forwarding once.
+#[macro_export]
+macro_rules! dyn_forward_bulk {
+    () => {
+        fn bulk_insert_report(
+            &self,
+            keys: &[u64],
+            out: &mut [$crate::InsertOutcome],
+        ) -> Result<(), $crate::FilterError> {
+            $crate::BulkFilter::bulk_insert_report(self, keys, out)
+        }
+
+        fn bulk_insert(&self, keys: &[u64]) -> Result<usize, $crate::FilterError> {
+            $crate::BulkFilter::bulk_insert(self, keys)
+        }
+
+        fn bulk_query(&self, keys: &[u64], out: &mut [bool]) -> Result<(), $crate::FilterError> {
+            $crate::BulkFilter::bulk_query(self, keys, out);
+            Ok(())
+        }
+    };
+}
+
+/// Companion to [`dyn_forward_bulk`] for types also implementing
+/// [`BulkDeletable`](crate::BulkDeletable).
+#[macro_export]
+macro_rules! dyn_forward_bulk_delete {
+    () => {
+        fn bulk_delete_report(
+            &self,
+            keys: &[u64],
+            out: &mut [$crate::DeleteOutcome],
+        ) -> Result<(), $crate::FilterError> {
+            $crate::BulkDeletable::bulk_delete_report(self, keys, out)
+        }
+
+        fn bulk_delete(&self, keys: &[u64]) -> Result<usize, $crate::FilterError> {
+            $crate::BulkDeletable::bulk_delete(self, keys)
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::{ApiMode, Features, Operation};
+
+    /// A facade impl that overrides nothing: every operation must fall
+    /// back to `Unsupported`, never panic.
+    struct Inert;
+
+    impl FilterMeta for Inert {
+        fn name(&self) -> &'static str {
+            "Inert"
+        }
+        fn features(&self) -> Features {
+            Features::new("Inert")
+        }
+        fn table_bytes(&self) -> usize {
+            0
+        }
+        fn capacity_slots(&self) -> u64 {
+            0
+        }
+    }
+
+    impl DynFilter for Inert {
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+    }
+
+    #[test]
+    fn defaults_surface_unsupported_not_panic() {
+        let f: AnyFilter = Box::new(Inert);
+        assert!(matches!(f.insert(1), Err(FilterError::Unsupported(_))));
+        assert!(matches!(f.contains(1), Err(FilterError::Unsupported(_))));
+        assert!(matches!(f.remove(1), Err(FilterError::Unsupported(_))));
+        assert!(matches!(f.insert_count(1, 2), Err(FilterError::Unsupported(_))));
+        assert!(matches!(f.count(1), Err(FilterError::Unsupported(_))));
+        assert!(matches!(f.insert_value(1, 2), Err(FilterError::Unsupported(_))));
+        assert!(matches!(f.query_value(1), Err(FilterError::Unsupported(_))));
+        assert!(matches!(f.bulk_insert(&[1]), Err(FilterError::Unsupported(_))));
+        assert!(matches!(f.bulk_query_vec(&[1]), Err(FilterError::Unsupported(_))));
+        assert!(matches!(f.bulk_delete(&[1]), Err(FilterError::Unsupported(_))));
+        assert!(matches!(f.bulk_count(&[1]), Err(FilterError::Unsupported(_))));
+        assert_eq!(f.value_bits(), 0);
+        assert_eq!(f.len_hint(), None);
+        assert!(!f.features().supports(Operation::Insert, ApiMode::Point));
+    }
+
+    #[test]
+    fn as_any_downcasts() {
+        let f: AnyFilter = Box::new(Inert);
+        assert!(f.as_any().downcast_ref::<Inert>().is_some());
+    }
+}

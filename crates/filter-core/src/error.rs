@@ -10,6 +10,7 @@ use std::fmt;
 /// backing table reject an item; the GQF refuses inserts past its maximum
 /// recommended load factor).
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum FilterError {
     /// Both candidate locations (and any backing store) were full.
     Full,
@@ -34,6 +35,16 @@ pub enum FilterError {
     /// The serving layer the operation was submitted to has shut down; the
     /// operation was not applied.
     ServiceStopped,
+}
+
+impl FilterError {
+    /// `Err(Unsupported(op))` with the inferred success type — the one-line
+    /// body for facade methods a backend does not implement
+    /// (see [`DynFilter`](crate::DynFilter)), so unimplemented operations
+    /// surface as errors instead of panics.
+    pub const fn unsupported<T>(op: &'static str) -> Result<T, FilterError> {
+        Err(FilterError::Unsupported(op))
+    }
 }
 
 impl fmt::Display for FilterError {
@@ -88,5 +99,11 @@ mod tests {
     fn clone_and_eq() {
         let e = FilterError::BatchTooLarge { batch: 10, capacity: 5 };
         assert_eq!(e.clone(), e);
+    }
+
+    #[test]
+    fn unsupported_helper_builds_err() {
+        let r: Result<u64, FilterError> = FilterError::unsupported("bulk count");
+        assert_eq!(r, Err(FilterError::Unsupported("bulk count")));
     }
 }

@@ -8,18 +8,38 @@
 //! Every concrete filter (TCF, GQF, Bloom, blocked Bloom, SQF, RSQF, cuckoo,
 //! and the CPU comparison filters) implements the traits defined here so the
 //! benchmark harness and applications can treat them uniformly.
+//!
+//! ## The v2 construction and facade surface
+//!
+//! * [`FilterSpec`] + [`FilterKind`] — declarative, capacity/error-driven
+//!   construction: say how many items and what ε, not which `q`/`r`/`k`
+//!   parameters. Each filter crate exposes a `from_spec` constructor and
+//!   the umbrella crate's registry builds any [`FilterKind`] from a spec.
+//! * [`DynFilter`] / [`AnyFilter`] — the object-safe union of the point,
+//!   bulk, delete, count, and value surfaces, with
+//!   [`FilterError::Unsupported`] fallbacks, so benchmarks and services
+//!   can iterate heterogeneous filters without per-backend match arms.
+//! * [`InsertOutcome`] / [`DeleteOutcome`] — per-key bulk results
+//!   (`bulk_insert_report` / `bulk_delete_report`); the aggregate-count
+//!   forms remain as defaulted wrappers.
 
+pub mod dynfilter;
 pub mod error;
 pub mod features;
 pub mod fingerprint;
 pub mod hash;
+pub mod outcome;
+pub mod spec;
 pub mod traits;
 pub mod xorwow;
 
+pub use dynfilter::{AnyFilter, DynFilter};
 pub use error::FilterError;
 pub use features::{ApiMode, Features, Operation};
 pub use fingerprint::{split_quotient_remainder, Fingerprint};
 pub use hash::{double_hash_probe, fmix64, hash64, hash64_seeded, splitmix64, HashPair};
+pub use outcome::{count_delete_misses, count_insert_failures, DeleteOutcome, InsertOutcome};
+pub use spec::{DeviceModel, FilterKind, FilterSpec, DEFAULT_FP_RATE};
 pub use traits::{
     BulkDeletable, BulkFilter, Counting, Deletable, Filter, FilterMeta, ServiceBackend, Valued,
 };

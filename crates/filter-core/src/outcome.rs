@@ -1,0 +1,84 @@
+//! Per-key results for bulk operations.
+//!
+//! The paper's bulk kernels report how many items of a batch failed; a
+//! serving layer needs to know *which* ones, or it must re-query the whole
+//! batch to attribute failures (the pre-query round trip the
+//! `filter-service` delete path used to pay). These types are the slice-out
+//! answer: `bulk_insert_report` / `bulk_delete_report` fill one outcome per
+//! key, and the aggregate counts of the classic API become derived views.
+
+/// Per-key result of a bulk insert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InsertOutcome {
+    /// The key was placed (or merged into an existing counter).
+    #[default]
+    Inserted,
+    /// The structure could not place this key (both candidate blocks and
+    /// any backing store full, load ceiling reached, …).
+    Failed,
+}
+
+impl InsertOutcome {
+    /// `true` when the key was placed.
+    #[inline]
+    pub const fn inserted(self) -> bool {
+        matches!(self, InsertOutcome::Inserted)
+    }
+
+    /// `true` when the key could not be placed.
+    #[inline]
+    pub const fn failed(self) -> bool {
+        matches!(self, InsertOutcome::Failed)
+    }
+}
+
+/// Per-key result of a bulk delete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DeleteOutcome {
+    /// A matching fingerprint was found and one instance removed.
+    Removed,
+    /// No matching fingerprint was present.
+    #[default]
+    NotFound,
+}
+
+impl DeleteOutcome {
+    /// `true` when a matching fingerprint was removed.
+    #[inline]
+    pub const fn removed(self) -> bool {
+        matches!(self, DeleteOutcome::Removed)
+    }
+}
+
+/// Count the failed entries of an insert report.
+pub fn count_insert_failures(out: &[InsertOutcome]) -> usize {
+    out.iter().filter(|o| o.failed()).count()
+}
+
+/// Count the not-found entries of a delete report.
+pub fn count_delete_misses(out: &[DeleteOutcome]) -> usize {
+    out.iter().filter(|o| !o.removed()).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_and_predicates() {
+        assert_eq!(InsertOutcome::default(), InsertOutcome::Inserted);
+        assert!(InsertOutcome::Inserted.inserted());
+        assert!(InsertOutcome::Failed.failed());
+        assert_eq!(DeleteOutcome::default(), DeleteOutcome::NotFound);
+        assert!(DeleteOutcome::Removed.removed());
+        assert!(!DeleteOutcome::NotFound.removed());
+    }
+
+    #[test]
+    fn aggregate_helpers() {
+        let ins = [InsertOutcome::Inserted, InsertOutcome::Failed, InsertOutcome::Failed];
+        assert_eq!(count_insert_failures(&ins), 2);
+        let del = [DeleteOutcome::Removed, DeleteOutcome::NotFound];
+        assert_eq!(count_delete_misses(&del), 1);
+    }
+}

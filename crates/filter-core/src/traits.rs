@@ -8,6 +8,7 @@
 
 use crate::error::FilterError;
 use crate::features::Features;
+use crate::outcome::{count_delete_misses, count_insert_failures, DeleteOutcome, InsertOutcome};
 
 /// Static metadata about a filter implementation.
 pub trait FilterMeta {
@@ -89,10 +90,24 @@ pub trait Valued: Filter {
 /// sorted/cooperative kernels described in §4.2 (bulk TCF) and §5.3 (GQF
 /// even-odd phased insertion).
 pub trait BulkFilter: FilterMeta + Sync {
-    /// Insert a batch. Returns the number of items that failed (0 on full
-    /// success); the paper's bulk filters report failures rather than
-    /// aborting the batch.
-    fn bulk_insert(&self, keys: &[u64]) -> Result<usize, FilterError>;
+    /// Insert a batch, reporting each key's outcome: `out[i]` answers
+    /// `keys[i]` (`out.len()` must equal `keys.len()`). The paper's bulk
+    /// filters report failures rather than aborting the batch; this is the
+    /// per-key form a serving layer needs to acknowledge individual
+    /// callers without re-querying the batch.
+    fn bulk_insert_report(
+        &self,
+        keys: &[u64],
+        out: &mut [InsertOutcome],
+    ) -> Result<(), FilterError>;
+
+    /// Aggregate form: insert a batch and return the number of items that
+    /// failed (0 on full success).
+    fn bulk_insert(&self, keys: &[u64]) -> Result<usize, FilterError> {
+        let mut out = vec![InsertOutcome::Inserted; keys.len()];
+        self.bulk_insert_report(keys, &mut out)?;
+        Ok(count_insert_failures(&out))
+    }
 
     /// Query a batch; `out[i]` corresponds to `keys[i]`.
     fn bulk_query(&self, keys: &[u64], out: &mut [bool]);
@@ -107,9 +122,24 @@ pub trait BulkFilter: FilterMeta + Sync {
 
 /// Bulk deletion (TCF, GQF, SQF).
 pub trait BulkDeletable: BulkFilter {
-    /// Delete a batch of previously-inserted keys; returns the number of
-    /// keys whose fingerprints were not found.
-    fn bulk_delete(&self, keys: &[u64]) -> Result<usize, FilterError>;
+    /// Delete a batch of previously-inserted keys, reporting each key's
+    /// outcome: `out[i]` answers `keys[i]` (`out.len()` must equal
+    /// `keys.len()`). As with point deletes, a key that was never inserted
+    /// may report [`DeleteOutcome::Removed`] when it collides with a
+    /// stored fingerprint.
+    fn bulk_delete_report(
+        &self,
+        keys: &[u64],
+        out: &mut [DeleteOutcome],
+    ) -> Result<(), FilterError>;
+
+    /// Aggregate form: delete a batch and return the number of keys whose
+    /// fingerprints were not found.
+    fn bulk_delete(&self, keys: &[u64]) -> Result<usize, FilterError> {
+        let mut out = vec![DeleteOutcome::NotFound; keys.len()];
+        self.bulk_delete_report(keys, &mut out)?;
+        Ok(count_delete_misses(&out))
+    }
 }
 
 /// Everything a serving layer (the `filter-service` crate) needs from a

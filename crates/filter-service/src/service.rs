@@ -30,7 +30,7 @@
 
 use crate::router::{ShardRouter, ROUTER_SEED};
 use crate::stats::{ServiceStats, StatsInner};
-use filter_core::{FilterError, ServiceBackend};
+use filter_core::{DeleteOutcome, FilterError, InsertOutcome, ServiceBackend};
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -234,9 +234,28 @@ impl Task {
     }
 }
 
-/// Per-backend bulk-delete hook, captured at build time so delete support
-/// is a monomorphized capability rather than a trait-object downcast.
-type DeleteFn<B> = fn(&B, &[u64]) -> Result<usize, FilterError>;
+/// Per-backend bulk-delete hooks, captured at build time so delete
+/// support is a monomorphized capability rather than a trait-object
+/// downcast. The report hook (`out[i]` answers `keys[i]`) serves blocking
+/// callers — their answers come from the delete itself, no pre-query
+/// round trip — while the aggregate hook keeps ack-free pipelined flushes
+/// on the cheaper plain-sort path.
+/// Signature of the per-key report hook.
+type DeleteReportFn<B> = fn(&B, &[u64], &mut [DeleteOutcome]) -> Result<(), FilterError>;
+
+struct DeleteHooks<B> {
+    report: DeleteReportFn<B>,
+    aggregate: fn(&B, &[u64]) -> Result<usize, FilterError>,
+}
+
+// Manual impls: the fields are plain fn pointers, so the hooks are Copy
+// for every `B` (a derive would demand `B: Copy`).
+impl<B> Clone for DeleteHooks<B> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<B> Copy for DeleteHooks<B> {}
 
 /// Configuration for a [`ShardedFilter`]; see the field setters.
 #[derive(Debug, Clone)]
@@ -320,13 +339,19 @@ impl ShardedFilterBuilder {
         B: ServiceBackend + filter_core::BulkDeletable + 'static,
         F: FnMut(usize) -> Result<B, FilterError>,
     {
-        self.build_inner(make, Some(|b: &B, keys: &[u64]| b.bulk_delete(keys)))
+        self.build_inner(
+            make,
+            Some(DeleteHooks {
+                report: |b: &B, keys, out| b.bulk_delete_report(keys, out),
+                aggregate: |b: &B, keys| b.bulk_delete(keys),
+            }),
+        )
     }
 
     fn build_inner<B, F>(
         self,
         mut make: F,
-        delete_fn: Option<DeleteFn<B>>,
+        delete_fn: Option<DeleteHooks<B>>,
     ) -> Result<ShardedFilter<B>, FilterError>
     where
         B: ServiceBackend + 'static,
@@ -376,7 +401,7 @@ struct WorkerConfig<B: ServiceBackend> {
     stats: Arc<StatsInner>,
     capacity: usize,
     linger: Duration,
-    delete_fn: Option<DeleteFn<B>>,
+    delete_fn: Option<DeleteHooks<B>>,
 }
 
 impl<B: ServiceBackend> WorkerConfig<B> {
@@ -465,33 +490,38 @@ impl<B: ServiceBackend> WorkerConfig<B> {
     }
 
     fn flush_inserts(&self, keys: &[u64], run: std::vec::Drain<'_, Pending>) {
-        let t0 = Instant::now();
-        let result = self.backend.bulk_insert(keys);
-        self.stats.record_flush(keys.len(), t0.elapsed());
-        match result {
-            Ok(0) => {
-                for p in run {
-                    if let Pending::Insert(_, Some(ack)) = p {
-                        ack.fulfill(true);
-                    }
-                }
-            }
-            Ok(failed) => {
-                // The bulk API reports how many items failed but not which;
-                // re-query to attribute — but only when a blocking caller
-                // is waiting on the answer. A colliding fingerprint can
-                // mask an individual failure — acceptable under filter
-                // semantics, and the aggregate count stays exact in the
-                // stats.
+        // Fully pipelined runs need only the aggregate failure count;
+        // skip the per-key attribution work nobody would read.
+        let wants_acks = run.as_slice().iter().any(|p| matches!(p, Pending::Insert(_, Some(_))));
+        if !wants_acks {
+            let t0 = Instant::now();
+            let failed = self.backend.bulk_insert(keys).unwrap_or(keys.len());
+            self.stats.record_flush(keys.len(), t0.elapsed());
+            if failed > 0 {
                 self.stats
                     .insert_failures
                     .fetch_add(failed as u64, std::sync::atomic::Ordering::Relaxed);
-                if run.as_slice().iter().any(|p| matches!(p, Pending::Insert(_, Some(_)))) {
-                    let present = self.backend.bulk_query_vec(keys);
-                    for (p, ok) in run.zip(present) {
-                        if let Pending::Insert(_, Some(ack)) = p {
-                            ack.fulfill(ok);
-                        }
+            }
+            return;
+        }
+        // Per-key outcomes come straight from the backend's report API, so
+        // individual failures are attributed exactly — the old path had to
+        // re-query the batch, which a colliding fingerprint could fool.
+        let mut outcomes = vec![InsertOutcome::Inserted; keys.len()];
+        let t0 = Instant::now();
+        let result = self.backend.bulk_insert_report(keys, &mut outcomes);
+        self.stats.record_flush(keys.len(), t0.elapsed());
+        match result {
+            Ok(()) => {
+                let failed = outcomes.iter().filter(|o| o.failed()).count();
+                if failed > 0 {
+                    self.stats
+                        .insert_failures
+                        .fetch_add(failed as u64, std::sync::atomic::Ordering::Relaxed);
+                }
+                for (p, outcome) in run.zip(outcomes) {
+                    if let Pending::Insert(_, Some(ack)) = p {
+                        ack.fulfill(outcome.inserted());
                     }
                 }
             }
@@ -522,30 +552,37 @@ impl<B: ServiceBackend> WorkerConfig<B> {
     }
 
     fn flush_deletes(&self, keys: &[u64], run: std::vec::Drain<'_, Pending>) {
-        let Some(delete) = self.delete_fn else {
+        let Some(hooks) = self.delete_fn else {
             // Unreachable through the public API (handles refuse deletes on
             // a non-deletable service); dropping the acks aborts waiters.
             drop(run);
             return;
         };
-        // Pre-query so each blocking caller learns whether its key was
-        // present (the bulk delete itself only reports an aggregate
-        // not-found count) — skipped when the whole run is pipelined and
-        // nobody would read the answers.
-        let wants_presence =
-            run.as_slice().iter().any(|p| matches!(p, Pending::Delete(_, Some(_))));
+        // Fully pipelined runs read no per-key answers; keep them on the
+        // cheaper aggregate path.
+        let wants_acks = run.as_slice().iter().any(|p| matches!(p, Pending::Delete(_, Some(_))));
+        if !wants_acks {
+            let t0 = Instant::now();
+            if (hooks.aggregate)(&self.backend, keys).is_err() {
+                self.stats
+                    .delete_failures
+                    .fetch_add(keys.len() as u64, std::sync::atomic::Ordering::Relaxed);
+            }
+            self.stats.record_flush(keys.len(), t0.elapsed());
+            return;
+        }
+        // The backend's per-key delete outcomes answer each blocking
+        // caller directly — the pre-query round trip the old aggregate
+        // API forced is gone, halving the backend work of a blocking
+        // delete batch.
+        let mut outcomes = vec![DeleteOutcome::NotFound; keys.len()];
         let t0 = Instant::now();
-        let present = if wants_presence {
-            self.backend.bulk_query_vec(keys)
-        } else {
-            vec![false; keys.len()]
-        };
-        let deleted = delete(&self.backend, keys);
+        let deleted = (hooks.report)(&self.backend, keys, &mut outcomes);
         self.stats.record_flush(keys.len(), t0.elapsed());
         if deleted.is_err() {
             // The backend refused the whole batch: nothing was removed.
-            // Report "not present/removed" to blocking callers rather
-            // than the pre-query answer, and account the failure.
+            // Report "not removed" to blocking callers and account the
+            // failure.
             self.stats
                 .delete_failures
                 .fetch_add(keys.len() as u64, std::sync::atomic::Ordering::Relaxed);
@@ -556,9 +593,9 @@ impl<B: ServiceBackend> WorkerConfig<B> {
             }
             return;
         }
-        for (p, was_present) in run.zip(present) {
+        for (p, outcome) in run.zip(outcomes) {
             if let Pending::Delete(_, Some(ack)) = p {
-                ack.fulfill(was_present);
+                ack.fulfill(outcome.removed());
             }
         }
     }

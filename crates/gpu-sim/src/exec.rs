@@ -80,6 +80,25 @@ impl Device {
         Device::new(DeviceProfile::perlmutter_a100())
     }
 
+    /// Look up a device by model name (`"cori"` / `"perlmutter"`,
+    /// case-insensitive) — the single source of truth mapping
+    /// `filter_core::DeviceModel::name()` strings onto substrate devices,
+    /// so spec-driven constructors across crates cannot drift apart.
+    pub fn by_model_name(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "cori" => Some(Device::cori()),
+            "perlmutter" => Some(Device::perlmutter()),
+            _ => None,
+        }
+    }
+
+    /// [`Self::by_model_name`] with the spec-construction fallback policy:
+    /// model names the substrate does not know yet price as the paper's
+    /// primary (Cori/V100) system.
+    pub fn for_model_name(name: &str) -> Self {
+        Self::by_model_name(name).unwrap_or_else(Device::cori)
+    }
+
     /// Hardware profile.
     pub fn profile(&self) -> &DeviceProfile {
         &self.profile
@@ -114,7 +133,7 @@ impl Device {
         // Chunked striping keeps per-task overhead negligible while still
         // interleaving many simulated groups across CPU workers.
         let chunk = (n / (rayon::current_num_threads() * 8)).max(1);
-        (0..n).into_par_iter().with_min_len(chunk).for_each(|i| kernel(i));
+        (0..n).into_par_iter().with_min_len(chunk).for_each(&kernel);
         let wall = start.elapsed();
         bump(Counter::Items, n as u64);
         let counters = metrics::snapshot().since(&before);

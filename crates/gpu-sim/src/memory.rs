@@ -328,6 +328,9 @@ impl std::fmt::Debug for GpuBuffer {
 const INLINE_SPAN_WORDS: usize = 4 * WORDS_PER_LINE;
 
 /// Storage for a staged span: inline for block-sized spans, heap beyond.
+/// The inline arm is deliberately large — that is the whole optimization
+/// (no heap traffic for block-sized spans).
+#[allow(clippy::large_enum_variant)]
 enum SpanWords {
     Inline([u64; INLINE_SPAN_WORDS], usize),
     Heap(Vec<u64>),

@@ -33,8 +33,13 @@ fn charge_sort_traffic(n: usize, bytes_per_item: usize) {
     bump(Counter::LinesStored, passes * lines_per_stream);
 }
 
+/// A mutable ping-pong buffer view used by the radix passes.
+type Lane<'a, T> = &'a mut [T];
+/// [`Lane`] over `(key, value)` pairs.
+type PairLane<'a> = Lane<'a, (u64, u64)>;
+
 /// Sort a `u64` slice in place with a parallel LSD radix sort.
-pub fn radix_sort_u64(data: &mut Vec<u64>) {
+pub fn radix_sort_u64(data: &mut [u64]) {
     charge_sort_traffic(data.len(), 8);
     if data.len() < SMALL_SORT {
         data.sort_unstable();
@@ -44,7 +49,7 @@ pub fn radix_sort_u64(data: &mut Vec<u64>) {
     let mut src_is_data = true;
     for pass in 0..(64 / RADIX_BITS) {
         let shift = pass * RADIX_BITS;
-        let (src, dst): (&mut Vec<u64>, &mut Vec<u64>) =
+        let (src, dst): (Lane<'_, u64>, Lane<'_, u64>) =
             if src_is_data { (data, &mut aux) } else { (&mut aux, data) };
         if radix_pass(src, dst, shift, |&v| v) {
             src_is_data = !src_is_data;
@@ -56,7 +61,7 @@ pub fn radix_sort_u64(data: &mut Vec<u64>) {
 }
 
 /// Sort `(key, value)` pairs in place by key (stable within equal keys).
-pub fn radix_sort_pairs(data: &mut Vec<(u64, u64)>) {
+pub fn radix_sort_pairs(data: &mut [(u64, u64)]) {
     charge_sort_traffic(data.len(), 16);
     if data.len() < SMALL_SORT {
         data.sort_by_key(|&(k, _)| k);
@@ -66,7 +71,7 @@ pub fn radix_sort_pairs(data: &mut Vec<(u64, u64)>) {
     let mut src_is_data = true;
     for pass in 0..(64 / RADIX_BITS) {
         let shift = pass * RADIX_BITS;
-        let (src, dst): (&mut Vec<(u64, u64)>, &mut Vec<(u64, u64)>) =
+        let (src, dst): (PairLane<'_>, PairLane<'_>) =
             if src_is_data { (data, &mut aux) } else { (&mut aux, data) };
         if radix_pass(src, dst, shift, |&(k, _)| k) {
             src_is_data = !src_is_data;
@@ -82,8 +87,8 @@ pub fn radix_sort_pairs(data: &mut Vec<(u64, u64)>) {
 /// permutation (all keys share one bucket), an important fast path for
 /// already-hashed keys whose high bytes are uniform late in the sort.
 fn radix_pass<T: Copy + Send + Sync>(
-    src: &mut Vec<T>,
-    dst: &mut Vec<T>,
+    src: &mut [T],
+    dst: &mut [T],
     shift: u32,
     key: impl Fn(&T) -> u64 + Sync,
 ) -> bool {
@@ -110,7 +115,7 @@ fn radix_pass<T: Copy + Send + Sync>(
             totals[b] += c as u64;
         }
     }
-    if totals.iter().any(|&t| t == n as u64) {
+    if totals.contains(&(n as u64)) {
         return false;
     }
 

@@ -17,11 +17,12 @@
 use crate::core::GqfCore;
 use crate::layout::{Layout, REGION_SLOTS};
 use filter_core::{
-    ApiMode, BulkDeletable, BulkFilter, Features, FilterError, FilterMeta, Operation,
+    ApiMode, BulkDeletable, BulkFilter, DeleteOutcome, Features, FilterError, FilterMeta,
+    FilterSpec, InsertOutcome, Operation,
 };
 use gpu_sim::sort::{lower_bound, radix_sort_pairs, radix_sort_u64, reduce_by_key};
 use gpu_sim::Device;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// A bulk-API GPU counting quotient filter.
 ///
@@ -49,6 +50,19 @@ impl BulkGqf {
     /// Build on the Cori (V100) device model.
     pub fn new_cori(q_bits: u32, r_bits: u32) -> Result<Self, FilterError> {
         Self::new(q_bits, r_bits, Device::cori())
+    }
+
+    /// Build from a declarative [`FilterSpec`]: sized so `spec.capacity`
+    /// items fit at the recommended 90% load, with the word-aligned
+    /// remainder width meeting `spec.fp_rate`, on the spec's device model.
+    pub fn from_spec(spec: &FilterSpec) -> Result<Self, FilterError> {
+        spec.validate()?;
+        let layout = Layout::for_fp_rate(spec.slots_for_load(0.9) as u64, spec.fp_rate)?;
+        Ok(BulkGqf {
+            core: GqfCore::new(layout),
+            device: Device::for_model_name(spec.device.name()),
+            max_load: 0.9,
+        })
     }
 
     /// Shared core.
@@ -80,6 +94,22 @@ impl BulkGqf {
             bounds.push(lower_bound(sorted_hashes, first_hash));
         }
         bounds.push(sorted_hashes.len());
+        bounds
+    }
+
+    /// Partition a sorted `(hash, payload)` batch into per-region index
+    /// ranges — the pair-carrying twin of [`Self::region_bounds`], so
+    /// pair-shaped batches need no materialized copy of the sorted
+    /// hashes.
+    fn region_bounds_pairs(&self, sorted: &[(u64, u64)]) -> Vec<usize> {
+        let l = self.core.layout();
+        let n_regions = l.n_regions();
+        let mut bounds = Vec::with_capacity(n_regions + 1);
+        for g in 0..n_regions {
+            let first_hash = ((g * REGION_SLOTS) as u64) << l.r_bits;
+            bounds.push(sorted.partition_point(|&(h, _)| h < first_hash));
+        }
+        bounds.push(sorted.len());
         bounds
     }
 
@@ -155,6 +185,38 @@ impl BulkGqf {
         })
     }
 
+    /// Insert a batch with per-key outcomes: `out[i]` answers `keys[i]`.
+    /// Same even-odd phased flow as [`Self::insert_batch`], with batch
+    /// indices riding through the sort so failures are attributable.
+    pub fn insert_batch_report(&self, keys: &[u64], out: &mut [InsertOutcome]) {
+        assert_eq!(keys.len(), out.len());
+        out.fill(InsertOutcome::Inserted);
+        let mut hashed: Vec<(u64, u64)> =
+            keys.iter().enumerate().map(|(i, &k)| (self.stored_hash(k), i as u64)).collect();
+        radix_sort_pairs(&mut hashed);
+        let bounds = self.region_bounds_pairs(&hashed);
+        let l = *self.core.layout();
+        let failed: Vec<AtomicBool> = (0..keys.len()).map(|_| AtomicBool::new(false)).collect();
+        let hashed_ref = &hashed;
+        let failed_ref = &failed;
+        self.phased(&bounds, |_, range| {
+            let mut fails = 0usize;
+            for &(h, idx) in &hashed_ref[range] {
+                let (q, r) = l.split(h);
+                if self.core.upsert(q, r, 1).is_err() {
+                    fails += 1;
+                    failed_ref[idx as usize].store(true, Ordering::Relaxed);
+                }
+            }
+            fails
+        });
+        for (o, f) in out.iter_mut().zip(&failed) {
+            if f.load(Ordering::Relaxed) {
+                *o = InsertOutcome::Failed;
+            }
+        }
+    }
+
     /// Insert a batch with the map-reduce preprocessing of §5.4: sort,
     /// reduce duplicates to `(hash, count)`, then one counted insert per
     /// distinct item.
@@ -182,8 +244,7 @@ impl BulkGqf {
         let mut hashed: Vec<(u64, u64)> =
             pairs.iter().map(|&(k, c)| (self.stored_hash(k), c)).collect();
         radix_sort_pairs(&mut hashed);
-        let sorted: Vec<u64> = hashed.iter().map(|&(h, _)| h).collect();
-        let bounds = self.region_bounds(&sorted);
+        let bounds = self.region_bounds_pairs(&hashed);
         let l = *self.core.layout();
         self.phased(&bounds, |_, range| {
             let mut fails = 0usize;
@@ -295,8 +356,7 @@ impl BulkGqf {
         let mut hashed: Vec<(u64, u64)> =
             pairs.iter().map(|&(k, v)| (self.stored_hash(k), v)).collect();
         radix_sort_pairs(&mut hashed);
-        let sorted: Vec<u64> = hashed.iter().map(|&(h, _)| h).collect();
-        let bounds = self.region_bounds(&sorted);
+        let bounds = self.region_bounds_pairs(&hashed);
         let l = *self.core.layout();
         self.phased(&bounds, |_, range| {
             let mut fails = 0usize;
@@ -346,6 +406,39 @@ impl BulkGqf {
             missing
         })
     }
+
+    /// Delete a batch with per-key outcomes: `out[i]` answers `keys[i]`.
+    /// Two phases, descending within each region like
+    /// [`Self::delete_batch`], with batch indices riding through the sort.
+    pub fn delete_batch_report(&self, keys: &[u64], out: &mut [DeleteOutcome]) {
+        assert_eq!(keys.len(), out.len());
+        let mut hashed: Vec<(u64, u64)> =
+            keys.iter().enumerate().map(|(i, &k)| (self.stored_hash(k), i as u64)).collect();
+        radix_sort_pairs(&mut hashed);
+        let bounds = self.region_bounds_pairs(&hashed);
+        let l = *self.core.layout();
+        let removed: Vec<AtomicBool> = (0..keys.len()).map(|_| AtomicBool::new(false)).collect();
+        let hashed_ref = &hashed;
+        let removed_ref = &removed;
+        self.phased(&bounds, |_, range| {
+            let mut missing = 0usize;
+            for &(h, idx) in hashed_ref[range].iter().rev() {
+                let (q, r) = l.split(h);
+                match self.core.delete(q, r, 1) {
+                    Ok(true) => removed_ref[idx as usize].store(true, Ordering::Relaxed),
+                    _ => missing += 1,
+                }
+            }
+            missing
+        });
+        for (o, r) in out.iter_mut().zip(&removed) {
+            *o = if r.load(Ordering::Relaxed) {
+                DeleteOutcome::Removed
+            } else {
+                DeleteOutcome::NotFound
+            };
+        }
+    }
 }
 
 impl FilterMeta for BulkGqf {
@@ -375,6 +468,15 @@ impl FilterMeta for BulkGqf {
 }
 
 impl BulkFilter for BulkGqf {
+    fn bulk_insert_report(
+        &self,
+        keys: &[u64],
+        out: &mut [InsertOutcome],
+    ) -> Result<(), FilterError> {
+        self.insert_batch_report(keys, out);
+        Ok(())
+    }
+
     fn bulk_insert(&self, keys: &[u64]) -> Result<usize, FilterError> {
         Ok(self.insert_batch(keys))
     }
@@ -385,8 +487,34 @@ impl BulkFilter for BulkGqf {
 }
 
 impl BulkDeletable for BulkGqf {
+    fn bulk_delete_report(
+        &self,
+        keys: &[u64],
+        out: &mut [DeleteOutcome],
+    ) -> Result<(), FilterError> {
+        self.delete_batch_report(keys, out);
+        Ok(())
+    }
+
     fn bulk_delete(&self, keys: &[u64]) -> Result<usize, FilterError> {
         Ok(self.delete_batch(keys))
+    }
+}
+
+impl filter_core::DynFilter for BulkGqf {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        Some(self.core.items())
+    }
+
+    filter_core::dyn_forward_bulk!();
+    filter_core::dyn_forward_bulk_delete!();
+
+    fn bulk_count(&self, keys: &[u64]) -> Result<Vec<u64>, FilterError> {
+        Ok(self.count_batch(keys))
     }
 }
 
@@ -601,5 +729,53 @@ mod tests {
         let dyn_f: &dyn BulkFilter = &f;
         dyn_f.bulk_insert(&keys).unwrap();
         assert!(dyn_f.bulk_query_vec(&keys).iter().all(|&x| x));
+    }
+
+    #[test]
+    fn per_key_report_matches_plain_batch() {
+        // Same batch through the aggregate and report paths must leave
+        // identical filter contents and consistent failure accounting.
+        let a = filter(12);
+        let b = filter(12);
+        let keys = hashed_keys(59, 3000);
+        let plain_fails = a.insert_batch(&keys);
+        let mut out = vec![InsertOutcome::Inserted; keys.len()];
+        b.insert_batch_report(&keys, &mut out);
+        assert_eq!(plain_fails, out.iter().filter(|o| o.failed()).count());
+        let probe: Vec<u64> = keys.iter().copied().chain(hashed_keys(60, 1000)).collect();
+        assert_eq!(a.count_batch(&probe), b.count_batch(&probe));
+    }
+
+    #[test]
+    fn per_key_delete_outcomes_track_multiset() {
+        let f = filter(12);
+        let key = hashed_keys(61, 1)[0];
+        assert_eq!(f.insert_batch(&[key, key]), 0);
+        let mut out = vec![DeleteOutcome::NotFound; 3];
+        f.delete_batch_report(&[key, key, key], &mut out);
+        // Two instances removable, the third delete misses.
+        assert_eq!(out.iter().filter(|o| o.removed()).count(), 2);
+        assert_eq!(f.count_batch(&[key]), vec![0]);
+        f.core().check_invariants();
+    }
+
+    #[test]
+    fn from_spec_picks_aligned_remainder() {
+        let f = BulkGqf::from_spec(&FilterSpec::items(3000).fp_rate(0.004)).unwrap();
+        assert_eq!(f.core().layout().r_bits, 8);
+        let keys = hashed_keys(62, 3000);
+        assert_eq!(f.insert_batch(&keys), 0);
+        assert_eq!(f.count_batch(&keys[..5]), vec![1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn dyn_facade_bulk_count() {
+        let f: filter_core::AnyFilter =
+            Box::new(BulkGqf::from_spec(&FilterSpec::items(1000).counting(true)).unwrap());
+        let batch = vec![1u64, 2, 2, 3, 3, 3];
+        assert_eq!(f.bulk_insert(&batch).unwrap(), 0);
+        assert_eq!(f.bulk_count(&[1, 2, 3, 4]).unwrap(), vec![1, 2, 3, 0]);
+        assert_eq!(f.bulk_delete(&[3]).unwrap(), 0);
+        assert_eq!(f.bulk_count(&[3]).unwrap(), vec![2]);
     }
 }

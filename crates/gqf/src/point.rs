@@ -14,7 +14,7 @@ use crate::core::GqfCore;
 use crate::layout::Layout;
 use crate::RegionLocks;
 use filter_core::{
-    Counting, Deletable, Features, Filter, FilterError, FilterMeta, Operation, Valued,
+    Counting, Deletable, Features, Filter, FilterError, FilterMeta, FilterSpec, Operation, Valued,
 };
 
 /// A point-API GPU counting quotient filter.
@@ -51,7 +51,7 @@ impl PointGqf {
         })
     }
 
-    /// Build for `capacity` items at false-positive rate `eps` (picks the
+    /// Build for `capacity` slots at false-positive rate `eps` (picks the
     /// word-aligned remainder width).
     pub fn with_fp_rate(capacity: u64, eps: f64) -> Result<Self, FilterError> {
         let layout = Layout::for_fp_rate(capacity, eps)?;
@@ -60,6 +60,16 @@ impl PointGqf {
             core: GqfCore::new(layout),
             max_load: 0.9,
         })
+    }
+
+    /// Build from a declarative [`FilterSpec`]: sized so `spec.capacity`
+    /// items fit at the recommended 90% load, with the word-aligned
+    /// remainder width meeting `spec.fp_rate`. Counting and value
+    /// association are native GQF features, so every spec combination is
+    /// accepted.
+    pub fn from_spec(spec: &FilterSpec) -> Result<Self, FilterError> {
+        spec.validate()?;
+        Self::with_fp_rate(spec.slots_for_load(0.9) as u64, spec.fp_rate)
     }
 
     /// Shared core (used by tests and the bench harness).
@@ -249,10 +259,79 @@ impl Valued for PointGqf {
     }
 }
 
+impl filter_core::DynFilter for PointGqf {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        Some(Filter::len(self))
+    }
+
+    fn insert(&self, key: u64) -> Result<(), FilterError> {
+        Filter::insert(self, key)
+    }
+
+    fn contains(&self, key: u64) -> Result<bool, FilterError> {
+        Ok(Filter::contains(self, key))
+    }
+
+    fn remove(&self, key: u64) -> Result<bool, FilterError> {
+        Deletable::remove(self, key)
+    }
+
+    fn insert_count(&self, key: u64, count: u64) -> Result<(), FilterError> {
+        Counting::insert_count(self, key, count)
+    }
+
+    fn count(&self, key: u64) -> Result<u64, FilterError> {
+        Ok(Counting::count(self, key))
+    }
+
+    fn value_bits(&self) -> u32 {
+        Valued::value_bits(self)
+    }
+
+    fn insert_value(&self, key: u64, value: u64) -> Result<(), FilterError> {
+        Valued::insert_value(self, key, value)
+    }
+
+    fn query_value(&self, key: u64) -> Result<Option<u64>, FilterError> {
+        Ok(Valued::query_value(self, key))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use filter_core::{hashed_keys, ApiMode};
+
+    #[test]
+    fn from_spec_sizes_for_items_at_target_rate() {
+        // The paper's r=8 class: ε just under 2^-8.
+        let f = PointGqf::from_spec(&FilterSpec::items(3600).fp_rate(0.004)).unwrap();
+        assert_eq!(f.core().layout().r_bits, 8);
+        assert!(f.capacity_slots() as f64 * 0.9 >= 3600.0);
+        let keys = hashed_keys(39, 3600);
+        for &k in &keys {
+            f.insert(k).unwrap();
+        }
+        for &k in &keys {
+            assert!(f.contains(k));
+        }
+    }
+
+    #[test]
+    fn dyn_facade_counts() {
+        let f: filter_core::AnyFilter =
+            Box::new(PointGqf::from_spec(&FilterSpec::items(1000).counting(true)).unwrap());
+        f.insert_count(7, 41).unwrap();
+        f.insert(7).unwrap();
+        assert_eq!(f.count(7).unwrap(), 42);
+        assert!(f.remove(7).unwrap());
+        assert_eq!(f.count(7).unwrap(), 41);
+        assert!(matches!(f.bulk_insert(&[1]), Err(FilterError::Unsupported(_))));
+    }
 
     #[test]
     fn insert_query_roundtrip() {

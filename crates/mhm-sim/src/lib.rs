@@ -152,6 +152,8 @@ impl KmerAnalysis {
 
 /// The exact counting table behind the pipeline: either accounted bytes
 /// over a host map, or a real even-odd hash table on the substrate.
+/// (One store exists per pipeline, so the size skew between arms is moot.)
+#[allow(clippy::large_enum_variant)]
 enum CountStore {
     Accounted(HashMap<u64, u64>),
     Table(eo_ht::EoHashTable),

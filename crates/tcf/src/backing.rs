@@ -20,7 +20,7 @@ pub const MAX_PROBES: u64 = 20;
 /// Seeds for the two probe hashes (distinct from the main-table POTC
 /// seeds so backing placement is independent of block placement).
 const SEED_H1: u64 = 0xbac_c1e5;
-const SEED_H2: u64 = 0x0ddb_a11;
+const SEED_H2: u64 = 0x00dd_ba11;
 
 /// Double-hashing overflow table storing the same fingerprints as the
 /// main table.

@@ -20,7 +20,10 @@
 use crate::backing::BackingTable;
 use crate::config::TcfConfig;
 use filter_core::fingerprint::EMPTY;
-use filter_core::{ApiMode, Features, FilterError, FilterMeta, Fingerprint, HashPair, Operation};
+use filter_core::{
+    ApiMode, DeleteOutcome, Features, FilterError, FilterMeta, FilterSpec, Fingerprint, HashPair,
+    InsertOutcome, Operation,
+};
 use gpu_sim::sort::radix_sort_pairs;
 use gpu_sim::{Device, GpuBuffer, SharedScratch};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -58,6 +61,9 @@ struct Item {
     fp: u64,
     /// Associated value (0 for plain membership batches).
     val: u64,
+    /// Position in the caller's batch, so per-key outcomes survive the
+    /// sort/leftover shuffling of the placement passes.
+    idx: usize,
 }
 
 impl BulkTcf {
@@ -82,9 +88,33 @@ impl BulkTcf {
     }
 
     /// Default bulk configuration (128-slot blocks of 16-bit keys, §4.2)
-    /// on the Cori (V100) device model.
+    /// on the Cori (V100) device model. Thin wrapper over
+    /// [`Self::with_config`]; `capacity` is a raw slot budget. Prefer
+    /// [`Self::from_spec`] for item-count/error-rate-driven sizing.
     pub fn new(capacity: usize) -> Result<Self, FilterError> {
         Self::with_config(capacity, TcfConfig::bulk_default(), Device::cori())
+    }
+
+    /// Build from a declarative [`FilterSpec`]: sized so `spec.capacity`
+    /// items fit at the recommended load, with the narrowest fingerprint
+    /// meeting `spec.fp_rate` at the bulk block geometry, on the spec's
+    /// device model. Counting specs are refused (use the GQF).
+    pub fn from_spec(spec: &FilterSpec) -> Result<Self, FilterError> {
+        spec.validate()?;
+        if spec.counting {
+            return FilterError::unsupported("TCF counting (use the GQF)");
+        }
+        let cfg = TcfConfig::bulk_default().with_fp_rate(spec.fp_rate)?;
+        let filter = Self::with_config(
+            spec.slots_for_load(cfg.max_load),
+            cfg,
+            Device::for_model_name(spec.device.name()),
+        )?;
+        if spec.value_bits > 0 {
+            filter.with_values(spec.value_bits)
+        } else {
+            Ok(filter)
+        }
     }
 
     /// Attach a value store of `value_bits` per slot (8, 16, 32 or 64).
@@ -370,9 +400,26 @@ impl BulkTcf {
     /// Insert a batch; returns the number of items that could not be
     /// placed anywhere (0 on success).
     pub fn insert_batch(&self, keys: &[u64]) -> usize {
-        let items: Vec<Item> =
-            keys.iter().map(|&k| Item { key: k, fp: self.fp_of(k), val: 0 }).collect();
-        self.insert_items(items, true)
+        let items: Vec<Item> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| Item { key: k, fp: self.fp_of(k), val: 0, idx: i })
+            .collect();
+        self.insert_items(items, true).len()
+    }
+
+    /// Insert a batch with per-key outcomes: `out[i]` answers `keys[i]`.
+    pub fn insert_batch_report(&self, keys: &[u64], out: &mut [InsertOutcome]) {
+        assert_eq!(keys.len(), out.len());
+        out.fill(InsertOutcome::Inserted);
+        let items: Vec<Item> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| Item { key: k, fp: self.fp_of(k), val: 0, idx: i })
+            .collect();
+        for idx in self.insert_items(items, true) {
+            out[idx] = InsertOutcome::Failed;
+        }
     }
 
     /// Insert a batch of `(key, value)` associations. Requires a value
@@ -384,9 +431,12 @@ impl BulkTcf {
         if self.values.is_none() {
             return pairs.len();
         }
-        let items: Vec<Item> =
-            pairs.iter().map(|&(k, v)| Item { key: k, fp: self.fp_of(k), val: v }).collect();
-        self.insert_items(items, false)
+        let items: Vec<Item> = pairs
+            .iter()
+            .enumerate()
+            .map(|(i, &(k, v))| Item { key: k, fp: self.fp_of(k), val: v, idx: i })
+            .collect();
+        self.insert_items(items, false).len()
     }
 
     /// Look up the values associated with a batch of keys (`None` when
@@ -423,8 +473,9 @@ impl BulkTcf {
             .collect()
     }
 
-    /// Shared batch-insert flow for plain and valued items.
-    fn insert_items(&self, items: Vec<Item>, spill_to_backing: bool) -> usize {
+    /// Shared batch-insert flow for plain and valued items. Returns the
+    /// original batch indices of the items that could not be placed.
+    fn insert_items(&self, items: Vec<Item>, spill_to_backing: bool) -> Vec<usize> {
         // Pass 1 — shortcut: primary block up to the shortcut threshold.
         let cap1 = ((self.cfg.block_slots as f64) * self.cfg.shortcut_fill).floor() as usize;
         let targets: Vec<usize> = items.iter().map(|it| self.blocks_of(it.key).0).collect();
@@ -432,7 +483,7 @@ impl BulkTcf {
         let leftover: Vec<Item> =
             items.iter().zip(&mask).filter(|(_, &a)| !a).map(|(it, _)| *it).collect();
         if leftover.is_empty() {
-            return 0;
+            return Vec::new();
         }
 
         // Pass 2 — POTC: the less-full of the two blocks, to capacity.
@@ -461,7 +512,7 @@ impl BulkTcf {
             .map(|((it, _), &t)| (*it, t))
             .collect();
         if leftover.is_empty() {
-            return 0;
+            return Vec::new();
         }
 
         // Pass 3 — spill: the block pass 2 did not target.
@@ -481,14 +532,14 @@ impl BulkTcf {
 
         // Final spill — backing table (valued items fail instead: backing
         // slots cannot carry values).
-        let mut failures = 0usize;
+        let mut failures = Vec::new();
         for (it, &a) in items3.iter().zip(&mask) {
             if !a {
                 if spill_to_backing && self.cfg.backing_table && self.backing.insert(it.key, it.fp)
                 {
                     self.occupied.fetch_add(1, Ordering::Relaxed);
                 } else {
-                    failures += 1;
+                    failures.push(it.idx);
                 }
             }
         }
@@ -591,31 +642,55 @@ impl BulkTcf {
     /// Delete a batch of previously inserted keys; returns the count whose
     /// fingerprints were not found.
     pub fn delete_batch(&self, keys: &[u64]) -> usize {
-        let items: Vec<Item> =
-            keys.iter().map(|&k| Item { key: k, fp: self.fp_of(k), val: 0 }).collect();
+        self.delete_items(keys).iter().filter(|&&removed| !removed).count()
+    }
+
+    /// Delete a batch with per-key outcomes: `out[i]` answers `keys[i]`.
+    pub fn delete_batch_report(&self, keys: &[u64], out: &mut [DeleteOutcome]) {
+        assert_eq!(keys.len(), out.len());
+        for (o, removed) in out.iter_mut().zip(self.delete_items(keys)) {
+            *o = if removed { DeleteOutcome::Removed } else { DeleteOutcome::NotFound };
+        }
+    }
+
+    /// Shared batch-delete flow: primary-block pass, secondary-block pass,
+    /// then the backing table. Returns the per-key removed mask in the
+    /// caller's batch order.
+    fn delete_items(&self, keys: &[u64]) -> Vec<bool> {
+        let items: Vec<Item> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| Item { key: k, fp: self.fp_of(k), val: 0, idx: i })
+            .collect();
+        let mut removed_mask = vec![false; keys.len()];
 
         let targets: Vec<usize> = items.iter().map(|it| self.blocks_of(it.key).0).collect();
         let removed = self.delete_pass(&items, &targets);
         let leftover: Vec<Item> =
             items.iter().zip(&removed).filter(|(_, &r)| !r).map(|(it, _)| *it).collect();
-        let mut n_removed = items.len() - leftover.len();
 
         let targets: Vec<usize> = leftover.iter().map(|it| self.blocks_of(it.key).1).collect();
         let removed = self.delete_pass(&leftover, &targets);
         let leftover: Vec<Item> =
             leftover.iter().zip(&removed).filter(|(_, &r)| !r).map(|(it, _)| *it).collect();
-        n_removed += targets.len() - leftover.len();
 
-        let mut not_found = 0usize;
+        // The passes removed everything except `leftover`; the backing
+        // table gets a shot at the rest.
+        let mut n_removed = items.len() - leftover.len();
+        for m in removed_mask.iter_mut() {
+            *m = true;
+        }
+        for it in &leftover {
+            removed_mask[it.idx] = false;
+        }
         for it in &leftover {
             if self.cfg.backing_table && self.backing.remove(it.key, it.fp) {
+                removed_mask[it.idx] = true;
                 n_removed += 1;
-            } else {
-                not_found += 1;
             }
         }
         self.occupied.fetch_sub(n_removed, Ordering::Relaxed);
-        not_found
+        removed_mask
     }
 }
 
@@ -660,6 +735,15 @@ impl FilterMeta for BulkTcf {
 }
 
 impl filter_core::BulkFilter for BulkTcf {
+    fn bulk_insert_report(
+        &self,
+        keys: &[u64],
+        out: &mut [InsertOutcome],
+    ) -> Result<(), FilterError> {
+        self.insert_batch_report(keys, out);
+        Ok(())
+    }
+
     fn bulk_insert(&self, keys: &[u64]) -> Result<usize, FilterError> {
         Ok(self.insert_batch(keys))
     }
@@ -670,9 +754,35 @@ impl filter_core::BulkFilter for BulkTcf {
 }
 
 impl filter_core::BulkDeletable for BulkTcf {
+    fn bulk_delete_report(
+        &self,
+        keys: &[u64],
+        out: &mut [DeleteOutcome],
+    ) -> Result<(), FilterError> {
+        self.delete_batch_report(keys, out);
+        Ok(())
+    }
+
     fn bulk_delete(&self, keys: &[u64]) -> Result<usize, FilterError> {
         Ok(self.delete_batch(keys))
     }
+}
+
+impl filter_core::DynFilter for BulkTcf {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        Some(self.occupied.load(Ordering::Relaxed))
+    }
+
+    fn value_bits(&self) -> u32 {
+        BulkTcf::value_bits(self)
+    }
+
+    filter_core::dyn_forward_bulk!();
+    filter_core::dyn_forward_bulk_delete!();
 }
 
 #[cfg(test)]
@@ -778,6 +888,79 @@ mod tests {
         f.delete_batch(&[key, key]);
         f.query_batch(&[key], &mut out);
         assert!(!out[0], "all copies deleted");
+    }
+
+    #[test]
+    fn per_key_insert_outcomes_match_aggregate() {
+        // Overfill a tiny filter without a backing table so some keys fail.
+        let cfg = TcfConfig { backing_table: false, ..TcfConfig::bulk_default() };
+        let f = BulkTcf::with_config(1 << 9, cfg, Device::cori()).unwrap();
+        let keys = hashed_keys(30, f.slots() + 200);
+        let mut out = vec![InsertOutcome::Inserted; keys.len()];
+        f.insert_batch_report(&keys, &mut out);
+        let failed = out.iter().filter(|o| o.failed()).count();
+        assert!(failed > 0, "overfill must fail some keys");
+        // Every key reported Inserted must be findable (no false negatives
+        // on acknowledged keys).
+        let hits = f.bulk_query_vec(&keys);
+        for (i, o) in out.iter().enumerate() {
+            if o.inserted() {
+                assert!(hits[i], "key {i} reported inserted but is absent");
+            }
+        }
+        // A fresh identical filter's aggregate count agrees.
+        let g = BulkTcf::with_config(
+            1 << 9,
+            TcfConfig { backing_table: false, ..TcfConfig::bulk_default() },
+            Device::cori(),
+        )
+        .unwrap();
+        assert_eq!(g.insert_batch(&keys), failed);
+    }
+
+    #[test]
+    fn per_key_delete_outcomes() {
+        let f = BulkTcf::new(1 << 12).unwrap();
+        let keys = hashed_keys(31, 2000);
+        assert_eq!(f.insert_batch(&keys), 0);
+        // Delete the first half plus some never-inserted keys.
+        let absent = hashed_keys(32, 500);
+        let batch: Vec<u64> = keys[..1000].iter().chain(&absent).copied().collect();
+        let mut out = vec![DeleteOutcome::NotFound; batch.len()];
+        f.delete_batch_report(&batch, &mut out);
+        for (i, o) in out[..1000].iter().enumerate() {
+            assert!(o.removed(), "inserted key {i} must report Removed");
+        }
+        // Absent keys are NotFound except for rare fingerprint collisions.
+        let ghost_hits = out[1000..].iter().filter(|o| o.removed()).count();
+        assert!(ghost_hits < 25, "ghost removals {ghost_hits}");
+        // Survivors remain queryable, except any whose colliding
+        // fingerprint a ghost delete legally claimed.
+        let lost = f.bulk_query_vec(&keys[1000..]).iter().filter(|&&h| !h).count();
+        assert!(lost <= ghost_hits, "lost {lost} > ghost removals {ghost_hits}");
+    }
+
+    #[test]
+    fn from_spec_builds_paper_bulk_geometry() {
+        let f = BulkTcf::from_spec(&FilterSpec::items(10_000).fp_rate(0.004)).unwrap();
+        assert_eq!(f.config().fp_bits, 16);
+        assert_eq!(f.config().block_slots, 128);
+        assert!(f.slots() as f64 * f.config().max_load >= 10_000.0);
+        let keys = hashed_keys(33, 10_000);
+        assert_eq!(f.insert_batch(&keys), 0);
+        assert!(f.bulk_query_vec(&keys).iter().all(|&h| h));
+    }
+
+    #[test]
+    fn dyn_facade_bulk_surface() {
+        let f: filter_core::AnyFilter =
+            Box::new(BulkTcf::from_spec(&FilterSpec::items(2000)).unwrap());
+        let keys = hashed_keys(34, 1000);
+        assert_eq!(f.bulk_insert(&keys).unwrap(), 0);
+        assert!(f.bulk_query_vec(&keys).unwrap().iter().all(|&h| h));
+        assert_eq!(f.bulk_delete(&keys).unwrap(), 0);
+        // Point ops are not part of the bulk TCF's surface.
+        assert!(matches!(f.insert(1), Err(FilterError::Unsupported(_))));
     }
 
     #[test]

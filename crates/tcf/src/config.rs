@@ -71,6 +71,24 @@ impl TcfConfig {
         self
     }
 
+    /// Pick the narrowest supported fingerprint width whose theoretical
+    /// false-positive rate (`2B/2^f`) meets the target `eps`, keeping the
+    /// block geometry. Errors when even 32-bit fingerprints cannot reach
+    /// the target at this block size.
+    pub fn with_fp_rate(mut self, eps: f64) -> Result<Self, FilterError> {
+        let two_b = (2 * self.block_slots) as f64;
+        self.fp_bits = [8u32, 12, 16, 32]
+            .into_iter()
+            .find(|&f| two_b / 2f64.powi(f as i32) <= eps)
+            .ok_or_else(|| {
+                FilterError::BadConfig(format!(
+                    "no TCF fingerprint width reaches fp rate {eps} at {} -slot blocks",
+                    self.block_slots
+                ))
+            })?;
+        Ok(self)
+    }
+
     /// Block footprint in bytes (slot pitch is word-aligned packing, so
     /// 12-bit slots occupy 64/⌊64/12⌋ = 12.8 bits each).
     pub fn block_bytes(&self) -> usize {
@@ -173,5 +191,17 @@ mod tests {
     #[test]
     fn with_cg_overrides() {
         assert_eq!(TcfConfig::default().with_cg(8).cg_size, 8);
+    }
+
+    #[test]
+    fn with_fp_rate_picks_narrowest_width() {
+        // Point blocks (B=16): the paper's 0.1%-class target lands on the
+        // default 16-bit fingerprints; a loose 1% target shrinks to 12.
+        assert_eq!(TcfConfig::default().with_fp_rate(5e-4).unwrap().fp_bits, 16);
+        assert_eq!(TcfConfig::default().with_fp_rate(0.01).unwrap().fp_bits, 12);
+        // Bulk blocks (B=128): the paper's 0.39% config needs 16 bits.
+        assert_eq!(TcfConfig::bulk_default().with_fp_rate(0.004).unwrap().fp_bits, 16);
+        // Unreachable targets error instead of silently overshooting.
+        assert!(TcfConfig::default().with_fp_rate(1e-12).is_err());
     }
 }

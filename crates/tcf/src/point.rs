@@ -10,7 +10,8 @@ use crate::backing::BackingTable;
 use crate::block::{block_delete, block_fill, block_insert_at, block_query};
 use crate::config::TcfConfig;
 use filter_core::{
-    Deletable, Features, Filter, FilterError, FilterMeta, Fingerprint, HashPair, Operation, Valued,
+    Deletable, Features, Filter, FilterError, FilterMeta, FilterSpec, Fingerprint, HashPair,
+    Operation, Valued,
 };
 use gpu_sim::{Cg, GpuBuffer};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -64,9 +65,30 @@ impl PointTcf {
     }
 
     /// Build with the paper's default configuration (16-bit fingerprints,
-    /// 16-slot blocks, CG of 4).
+    /// 16-slot blocks, CG of 4). Thin wrapper over [`Self::with_config`];
+    /// `capacity` is a raw slot budget. Prefer [`Self::from_spec`] for
+    /// item-count/error-rate-driven sizing.
     pub fn new(capacity: usize) -> Result<Self, FilterError> {
         Self::with_config(capacity, TcfConfig::default())
+    }
+
+    /// Build from a declarative [`FilterSpec`]: the table is sized so
+    /// `spec.capacity` *items* fit at the recommended load factor, the
+    /// narrowest fingerprint meeting `spec.fp_rate` is chosen, and a value
+    /// store is attached when `spec.value_bits > 0`. Counting specs are
+    /// refused (Table 1: the TCF does not count — use the GQF).
+    pub fn from_spec(spec: &FilterSpec) -> Result<Self, FilterError> {
+        spec.validate()?;
+        if spec.counting {
+            return FilterError::unsupported("TCF counting (use the GQF)");
+        }
+        let cfg = TcfConfig::default().with_fp_rate(spec.fp_rate)?;
+        let filter = Self::with_config(spec.slots_for_load(cfg.max_load), cfg)?;
+        if spec.value_bits > 0 {
+            filter.with_values(spec.value_bits)
+        } else {
+            Ok(filter)
+        }
     }
 
     /// Attach a value store of `value_bits` per slot (8, 16, 32 or 64).
@@ -263,7 +285,7 @@ impl Valued for PointTcf {
                 // Backing-table items cannot carry values; the paper's
                 // value-bearing deployments (MetaHipMer) size the filter so
                 // overflow is negligible. Roll the insert back.
-                let _ = self.remove(key);
+                let _ = Deletable::remove(self, key);
                 Err(FilterError::Full)
             }
             (_, slot) => {
@@ -279,6 +301,40 @@ impl Valued for PointTcf {
             (Placement::Backing, _) => None,
             (_, slot) => Some(values.read(slot)),
         }
+    }
+}
+
+impl filter_core::DynFilter for PointTcf {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        Some(Filter::len(self))
+    }
+
+    fn insert(&self, key: u64) -> Result<(), FilterError> {
+        Filter::insert(self, key)
+    }
+
+    fn contains(&self, key: u64) -> Result<bool, FilterError> {
+        Ok(Filter::contains(self, key))
+    }
+
+    fn remove(&self, key: u64) -> Result<bool, FilterError> {
+        Deletable::remove(self, key)
+    }
+
+    fn value_bits(&self) -> u32 {
+        Valued::value_bits(self)
+    }
+
+    fn insert_value(&self, key: u64, value: u64) -> Result<(), FilterError> {
+        Valued::insert_value(self, key, value)
+    }
+
+    fn query_value(&self, key: u64) -> Result<Option<u64>, FilterError> {
+        Ok(Valued::query_value(self, key))
     }
 }
 
@@ -470,6 +526,45 @@ mod tests {
         }
         let fps = f.enumerate_fingerprints();
         assert_eq!(fps.len() + f.backing_occupancy(), 200);
+    }
+
+    #[test]
+    fn from_spec_sizes_for_items_and_picks_default_width() {
+        let spec = FilterSpec::items(9000).fp_rate(5e-4);
+        let f = PointTcf::from_spec(&spec).unwrap();
+        assert_eq!(f.config().fp_bits, 16);
+        assert!(f.slots() as f64 * f.config().max_load >= 9000.0, "slots {}", f.slots());
+        let keys = hashed_keys(40, 9000);
+        for &k in &keys {
+            f.insert(k).unwrap();
+        }
+        for &k in &keys {
+            assert!(f.contains(k));
+        }
+    }
+
+    #[test]
+    fn from_spec_values_and_counting() {
+        let f = PointTcf::from_spec(&FilterSpec::items(500).value_bits(16)).unwrap();
+        f.insert_value(7, 99).unwrap();
+        assert_eq!(f.query_value(7), Some(99));
+        assert!(matches!(
+            PointTcf::from_spec(&FilterSpec::items(500).counting(true)),
+            Err(FilterError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn dyn_facade_roundtrip() {
+        let f: filter_core::AnyFilter =
+            Box::new(PointTcf::from_spec(&FilterSpec::items(500)).unwrap());
+        f.insert(42).unwrap();
+        assert!(f.contains(42).unwrap());
+        assert!(f.remove(42).unwrap());
+        assert!(!f.contains(42).unwrap());
+        assert!(matches!(f.count(42), Err(FilterError::Unsupported(_))));
+        assert!(matches!(f.bulk_insert(&[1, 2]), Err(FilterError::Unsupported(_))));
+        assert!(f.as_any().downcast_ref::<PointTcf>().is_some());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! fail cleanly — report `Full`, keep serving queries, and never corrupt
 //! already-stored fingerprints.
 
-use filter_core::{hashed_keys, Deletable, Filter, FilterError, FilterMeta};
+use filter_core::{hashed_keys, Deletable, Filter, FilterError};
 use tcf::{BulkTcf, PointTcf, TcfConfig};
 
 #[test]
@@ -118,7 +118,7 @@ fn bulk_overfill_reports_exact_failure_count() {
 fn bulk_delete_of_missing_keys_counts_misses() {
     let f = BulkTcf::new(1 << 12).unwrap();
     let keys = hashed_keys(508, 2000);
-    assert_eq!(f.insert_batch(&keys[..1000].to_vec()), 0);
+    assert_eq!(f.insert_batch(&keys[..1000]), 0);
     let missing = f.delete_batch(&keys[1000..]);
     assert!(missing > 950, "deleting absent keys must report misses, got {missing}");
     // The stored half is untouched (minus ε collisions).

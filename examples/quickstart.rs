@@ -1,4 +1,6 @@
-//! Quickstart: the five-minute tour of both filters.
+//! Quickstart: the five-minute tour of the v2 API — declare what you
+//! need with a `FilterSpec`, let the registry pick and build the backend,
+//! and drive everything through one uniform surface.
 //!
 //! ```sh
 //! cargo run --release -p gpu-filters --example quickstart
@@ -7,52 +9,61 @@
 use gpu_filters::prelude::*;
 
 fn main() -> Result<(), FilterError> {
-    // ---- TCF: the default choice (fast, deletes, values) -------------
-    let tcf = PointTcf::new(1 << 16)?;
+    // ---- 1. Say what you need, not which knobs to turn -----------------
+    // 2^16 items at a 0.1% false-positive target. No more guessing
+    // q_bits/r_bits/k/bits-per-item per backend.
+    let spec = FilterSpec::items(1 << 16).fp_rate(1e-3);
+
+    // The TCF is the paper's default choice (§6.8): fast, deletes, values.
+    let tcf = build_filter(FilterKind::TcfPoint, &spec)?;
     tcf.insert(42)?;
     tcf.insert(1337)?;
-    assert!(tcf.contains(42));
-    assert!(tcf.contains(1337));
-
+    assert!(tcf.contains(42)?);
     tcf.remove(42)?;
-    assert!(!tcf.contains(42));
-    println!("TCF: inserted, queried, deleted ✓ (load {:.1}%)", tcf.load_factor() * 100.0);
+    assert!(!tcf.contains(42)?);
+    println!("TCF via spec: inserted, queried, deleted ✓ ({} bytes)", tcf.table_bytes());
 
-    // Value association: map fingerprints to small values (the
-    // MetaHipMer use case).
-    let valued = PointTcf::new(1 << 12)?.with_values(16)?;
-    valued.insert_value(7, 99)?;
-    assert_eq!(valued.query_value(7), Some(99));
-    println!("TCF values: fingerprint → 99 ✓");
-
-    // ---- GQF: when you need counting ---------------------------------
-    let gqf = PointGqf::new(16, 8)?;
+    // ---- 2. Need counting? Ask for it ----------------------------------
+    // The registry refuses specs a backend cannot honour…
+    assert!(build_filter(FilterKind::TcfPoint, &spec.clone().counting(true)).is_err());
+    // …and the GQF honours all of them.
+    let gqf = build_filter(FilterKind::GqfPoint, &spec.clone().counting(true))?;
+    gqf.insert_count(2024, 95)?;
     for _ in 0..5 {
         gqf.insert(2024)?;
     }
-    gqf.insert_count(2024, 95)?;
-    assert_eq!(gqf.count(2024), 100);
-    println!("GQF: counted 100 instances ✓");
+    assert_eq!(gqf.count(2024)?, 100);
+    assert_eq!(gqf.count(777)?, 0);
+    println!("GQF via spec: counted 100 instances ✓");
 
-    // Counting never undercounts; absent keys are (almost always) 0.
-    assert_eq!(gqf.count(777), 0);
-
-    // ---- Bulk APIs: one call per batch --------------------------------
-    let bulk = BulkTcf::new(1 << 16)?;
+    // ---- 3. Bulk APIs with per-key outcomes ----------------------------
+    let bulk = build_filter(FilterKind::TcfBulk, &spec)?;
     let keys: Vec<u64> = (0..40_000u64).map(|i| i.wrapping_mul(0x9e3779b97f4a7c15)).collect();
-    let failed = bulk.bulk_insert(&keys)?;
+    let mut outcomes = vec![InsertOutcome::Inserted; keys.len()];
+    bulk.bulk_insert_report(&keys, &mut outcomes)?;
+    let failed = outcomes.iter().filter(|o| o.failed()).count();
     assert_eq!(failed, 0);
-    let hits = bulk.bulk_query_vec(&keys);
-    assert!(hits.iter().all(|&h| h));
-    println!("Bulk TCF: {} keys in one batch ✓", keys.len());
+    assert!(bulk.bulk_query_vec(&keys)?.iter().all(|&h| h));
+    println!("Bulk TCF: {} keys in one batch, 0 per-key failures ✓", keys.len());
 
-    // False positives are bounded by the configured rate.
-    let probes: Vec<u64> = (1..20_000u64).map(|i| i.wrapping_mul(0xdeadbeefcafef00d)).collect();
-    let fps = bulk.bulk_query_vec(&probes).iter().filter(|&&h| h).count();
-    println!(
-        "Bulk TCF negative probes: {fps}/{} false positives ({:.3}%)",
-        probes.len(),
-        fps as f64 / probes.len() as f64 * 100.0
-    );
+    let mut deleted = vec![DeleteOutcome::NotFound; 20_000];
+    bulk.bulk_delete_report(&keys[..20_000], &mut deleted)?;
+    let removed = deleted.iter().filter(|o| o.removed()).count();
+    println!("Bulk TCF: deleted {removed}/20000 with per-key outcomes ✓");
+
+    // ---- 4. Or sweep every filter in the workspace ---------------------
+    // The benchmark tables are generated exactly this way.
+    println!("\nregistry sweep at {} items:", spec.capacity);
+    for (kind, built) in all_filters(&spec) {
+        match built {
+            Ok(f) => println!(
+                "  {:<14} {:>9} bytes  {:>12} slots",
+                f.name(),
+                f.table_bytes(),
+                f.capacity_slots()
+            ),
+            Err(e) => println!("  {:<14} unavailable: {e}", kind.name()),
+        }
+    }
     Ok(())
 }

@@ -1,0 +1,186 @@
+//! Registry conformance suite: one shared set of behavioural checks run
+//! over **every** `FilterKind`, exercised purely through the spec-driven
+//! registry and the object-safe `DynFilter` facade.
+//!
+//! Three families of guarantees:
+//! 1. spec-built filters keep the approximate-membership contract
+//!    (no false negatives) through whichever API surface they expose;
+//! 2. spec-built construction matches direct (hand-parameterized)
+//!    construction bit-for-bit where the geometries coincide;
+//! 3. per-key bulk outcomes agree with point-op / aggregate ground truth.
+
+use gpu_filters::{
+    all_filters, build_filter, AnyFilter, ApiMode, DeleteOutcome, FilterError, FilterKind,
+    FilterSpec, InsertOutcome, Operation,
+};
+
+const ITEMS: usize = 2500;
+
+fn keys(seed: u64, n: usize) -> Vec<u64> {
+    filter_core::hashed_keys(seed, n)
+}
+
+/// Per-kind ε used throughout the suite (loose enough that every kind can
+/// honour it, incl. the SQF/RSQF 5-bit builds at these sizes).
+fn eps(kind: FilterKind) -> f64 {
+    match kind {
+        FilterKind::Sqf | FilterKind::Rsqf => 4e-2,
+        _ => 4e-3,
+    }
+}
+
+/// Insert through whichever surface the filter exposes; returns failures.
+fn load(f: &AnyFilter, batch: &[u64]) -> usize {
+    match f.bulk_insert(batch) {
+        Ok(failed) => failed,
+        Err(FilterError::Unsupported(_)) => batch.iter().filter(|&&k| f.insert(k).is_err()).count(),
+        Err(e) => panic!("insert: {e}"),
+    }
+}
+
+/// Query through whichever surface the filter exposes.
+fn hits(f: &AnyFilter, batch: &[u64]) -> Vec<bool> {
+    match f.bulk_query_vec(batch) {
+        Ok(h) => h,
+        Err(FilterError::Unsupported(_)) => batch.iter().map(|&k| f.contains(k).unwrap()).collect(),
+        Err(e) => panic!("query: {e}"),
+    }
+}
+
+#[test]
+fn no_false_negatives_for_every_kind() {
+    let ks = keys(0xc0f, ITEMS);
+    for kind in FilterKind::ALL {
+        let spec = FilterSpec::items(ITEMS as u64).fp_rate(eps(kind));
+        let f = build_filter(kind, &spec).unwrap_or_else(|e| panic!("{kind}: {e}"));
+        assert_eq!(load(&f, &ks), 0, "{kind} rejected keys within its spec capacity");
+        let h = hits(&f, &ks);
+        for (i, ok) in h.iter().enumerate() {
+            assert!(ok, "{kind}: inserted key {i} reported absent");
+        }
+    }
+}
+
+#[test]
+fn fp_rate_stays_in_the_specified_class() {
+    // Not a tight bound — a sanity band: realized ε within ~12× of target
+    // covers small-table rounding and quotient-filter load effects while
+    // still catching a mis-derived geometry.
+    let ks = keys(0xc1f, ITEMS);
+    let probes = keys(0xffe, 120_000);
+    for kind in FilterKind::ALL {
+        let target = eps(kind);
+        let f = build_filter(kind, &FilterSpec::items(ITEMS as u64).fp_rate(target)).unwrap();
+        load(&f, &ks);
+        let fp = hits(&f, &probes).iter().filter(|&&h| h).count() as f64 / probes.len() as f64;
+        assert!(fp <= target * 12.0, "{kind}: fp {fp} vs target {target}");
+    }
+}
+
+#[test]
+fn spec_built_equals_direct_built() {
+    // Where a spec reproduces a hand-parameterized geometry exactly, the
+    // two constructions must answer identically on every probe
+    // (construction is deterministic; only geometry could differ).
+    let ks = keys(0xc2f, 3600);
+    let probes = keys(0xc3f, 30_000);
+
+    // TCF: 3686 items at 90% load in 16-slot blocks → 4096 slots, 16-bit.
+    let spec_tcf =
+        build_filter(FilterKind::TcfPoint, &FilterSpec::items(3686).fp_rate(5e-4)).unwrap();
+    let direct_tcf = tcf::PointTcf::new(4096).unwrap();
+    // GQF: same items → q=12, ε 0.4% → r=8.
+    let spec_gqf =
+        build_filter(FilterKind::GqfPoint, &FilterSpec::items(3686).fp_rate(4e-3)).unwrap();
+    let direct_gqf = gqf::PointGqf::new(12, 8).unwrap();
+    // BF: ε 0.8% → k=7 at 7/ln2 ≈ 10.1 bits per item.
+    let spec_bf = build_filter(FilterKind::Bloom, &FilterSpec::items(3600).fp_rate(8e-3)).unwrap();
+    let direct_bf =
+        baselines::BloomFilter::with_params(3600, 7.0 / std::f64::consts::LN_2, 7).unwrap();
+
+    use filter_core::{Filter, FilterMeta};
+    for &k in &ks {
+        spec_tcf.insert(k).unwrap();
+        direct_tcf.insert(k).unwrap();
+        spec_gqf.insert(k).unwrap();
+        direct_gqf.insert(k).unwrap();
+        spec_bf.insert(k).unwrap();
+        direct_bf.insert(k).unwrap();
+    }
+    assert_eq!(spec_tcf.capacity_slots(), direct_tcf.capacity_slots());
+    assert_eq!(spec_gqf.capacity_slots(), direct_gqf.capacity_slots());
+    assert_eq!(spec_bf.capacity_slots(), direct_bf.capacity_slots());
+    for &k in ks.iter().chain(&probes) {
+        assert_eq!(spec_tcf.contains(k).unwrap(), direct_tcf.contains(k), "TCF diverged on {k}");
+        assert_eq!(spec_gqf.contains(k).unwrap(), direct_gqf.contains(k), "GQF diverged on {k}");
+        assert_eq!(spec_bf.contains(k).unwrap(), direct_bf.contains(k), "BF diverged on {k}");
+    }
+}
+
+#[test]
+fn per_key_insert_outcomes_agree_with_ground_truth() {
+    let ks = keys(0xc4f, ITEMS);
+    for kind in FilterKind::ALL {
+        let f = build_filter(kind, &FilterSpec::items(ITEMS as u64).fp_rate(eps(kind))).unwrap();
+        let mut out = vec![InsertOutcome::Failed; ks.len()];
+        match f.bulk_insert_report(&ks, &mut out) {
+            Err(FilterError::Unsupported(_)) => continue, // point-only kind
+            other => other.unwrap_or_else(|e| panic!("{kind}: {e}")),
+        }
+        // (a) the aggregate wrapper agrees with the report,
+        let failed = out.iter().filter(|o| o.failed()).count();
+        assert_eq!(failed, 0, "{kind}: unexpected per-key failures");
+        // (b) every acknowledged key is queryable (no false negatives).
+        for (i, h) in hits(&f, &ks).iter().enumerate() {
+            assert!(h, "{kind}: key {i} acknowledged Inserted but absent");
+        }
+    }
+}
+
+#[test]
+fn per_key_delete_outcomes_agree_with_ground_truth() {
+    let ks = keys(0xc5f, ITEMS);
+    for kind in FilterKind::ALL {
+        let f = build_filter(kind, &FilterSpec::items(ITEMS as u64).fp_rate(eps(kind))).unwrap();
+        if !f.features().supports(Operation::Delete, ApiMode::Bulk) {
+            continue;
+        }
+        let mut out = vec![DeleteOutcome::NotFound; ks.len()];
+        match f.bulk_insert_report(&ks, &mut vec![InsertOutcome::Inserted; ks.len()]) {
+            Err(FilterError::Unsupported(_)) => continue, // point-only kind
+            other => other.unwrap_or_else(|e| panic!("{kind}: {e}")),
+        }
+        f.bulk_delete_report(&ks, &mut out).unwrap_or_else(|e| panic!("{kind}: {e}"));
+        // Every inserted key must report Removed (it was present)…
+        for (i, o) in out.iter().enumerate() {
+            assert!(o.removed(), "{kind}: inserted key {i} reported NotFound on delete");
+        }
+        // …and the filter must now be empty of them (minus fingerprint
+        // collisions, impossible here because every instance was deleted).
+        let still = hits(&f, &ks).iter().filter(|&&h| h).count();
+        assert_eq!(still, 0, "{kind}: {still} keys survive a full delete");
+    }
+}
+
+#[test]
+fn all_filters_reports_errors_instead_of_panicking() {
+    // A spec no quotient-family backend can honour at this size: every
+    // kind either builds or yields a clean error.
+    let spec = FilterSpec::items(1 << 22).fp_rate(3e-2);
+    for (kind, built) in all_filters(&spec) {
+        match built {
+            Ok(f) => assert!(f.capacity_slots() > 0, "{kind}"),
+            Err(e) => {
+                assert!(
+                    matches!(
+                        e,
+                        FilterError::CapacityExceeded { .. }
+                            | FilterError::BadConfig(_)
+                            | FilterError::Unsupported(_)
+                    ),
+                    "{kind}: unexpected error class {e}"
+                );
+            }
+        }
+    }
+}

@@ -124,3 +124,101 @@ fn service_metadata_aggregates_across_shards() {
     assert_eq!(service.table_bytes(), 4 * single.table_bytes());
     assert_eq!(service.backends().len(), 4);
 }
+
+/// A counting wrapper proving the serving layer's blocking deletes are
+/// served **entirely** by the backend's per-key `bulk_delete_report`
+/// outcomes — the old implementation pre-queried every blocking delete
+/// batch to attribute per-key presence, doubling the backend work.
+struct SpyBackend {
+    inner: BulkTcf,
+    query_calls: std::sync::atomic::AtomicUsize,
+    delete_reports: std::sync::atomic::AtomicUsize,
+}
+
+impl SpyBackend {
+    fn new(slots: usize) -> Result<Self, FilterError> {
+        Ok(SpyBackend {
+            inner: BulkTcf::new(slots)?,
+            query_calls: Default::default(),
+            delete_reports: Default::default(),
+        })
+    }
+}
+
+impl FilterMeta for SpyBackend {
+    fn name(&self) -> &'static str {
+        "SpyTCF"
+    }
+    fn features(&self) -> Features {
+        self.inner.features()
+    }
+    fn table_bytes(&self) -> usize {
+        self.inner.table_bytes()
+    }
+    fn capacity_slots(&self) -> u64 {
+        self.inner.capacity_slots()
+    }
+}
+
+impl BulkFilter for SpyBackend {
+    fn bulk_insert_report(
+        &self,
+        keys: &[u64],
+        out: &mut [InsertOutcome],
+    ) -> Result<(), FilterError> {
+        self.inner.bulk_insert_report(keys, out)
+    }
+    fn bulk_query(&self, keys: &[u64], out: &mut [bool]) {
+        self.query_calls.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.inner.bulk_query(keys, out)
+    }
+}
+
+impl BulkDeletable for SpyBackend {
+    fn bulk_delete_report(
+        &self,
+        keys: &[u64],
+        out: &mut [DeleteOutcome],
+    ) -> Result<(), FilterError> {
+        self.delete_reports.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.inner.bulk_delete_report(keys, out)
+    }
+}
+
+#[test]
+fn blocking_deletes_need_no_pre_query() {
+    let keys = hashed_keys(0xdead, 4000);
+    let absent = hashed_keys(0xbeef, 100);
+    let service = ShardedFilterBuilder::new()
+        .shards(2)
+        .build_deletable(|_| SpyBackend::new(1 << 13))
+        .unwrap();
+    let h = service.handle();
+    assert_eq!(h.insert_batch(&keys).unwrap(), 0);
+
+    // Blocking batch delete: per-key answers must be correct…
+    assert_eq!(h.delete_batch(&keys[..2000]).unwrap(), 0);
+    // …including for single blocking removes, present and absent.
+    assert!(h.remove(keys[2500]).unwrap(), "present key must report removed");
+    for &k in &absent {
+        // Absent keys report false (fingerprint collisions aside).
+        let _ = h.remove(k).unwrap();
+    }
+    assert!(h.query_batch(&keys[3000..]).unwrap().iter().all(|&x| x));
+
+    // The ledger: deletes flowed through per-key reports, and *no* bulk
+    // query was issued on their behalf — the only query calls are the
+    // explicit query_batch above.
+    let (reports, queries) = service.backends().iter().fold((0, 0), |(r, q), b| {
+        (
+            r + b.delete_reports.load(std::sync::atomic::Ordering::Relaxed),
+            q + b.query_calls.load(std::sync::atomic::Ordering::Relaxed),
+        )
+    });
+    assert!(reports > 0, "deletes must go through bulk_delete_report");
+    let explicit_query_flushes = 2; // one query_batch over 2 shards
+    assert!(
+        queries <= explicit_query_flushes,
+        "blocking deletes triggered {queries} backend queries (pre-query regression)"
+    );
+}

@@ -3,7 +3,7 @@
 //! the device model, and pin the relationships every figure depends on —
 //! so a refactor that silently breaks a reproduction claim fails CI.
 
-use filter_core::{hashed_keys, Counting, Deletable, Filter, FilterMeta};
+use filter_core::{hashed_keys, Deletable, Filter, FilterMeta};
 use gpu_filters::substrate::cost::estimate;
 use gpu_filters::substrate::metrics;
 use gpu_filters::substrate::{Device, KernelStats};
