@@ -1,63 +1,65 @@
 //! Criterion companion to Fig. 3: wall-clock point-op latency per filter.
 //! (The fig3_point binary produces the modeled-GPU figure series; this
 //! bench tracks the substrate's real execution speed per operation.)
+//!
+//! The subjects come from `core::registry::all_filters` — every registered
+//! [`FilterKind`] whose feature matrix exposes the point API is measured
+//! through the same `DynFilter` facade the binaries use, so adding a kind
+//! to the registry adds it to this bench. The vendored criterion shim
+//! reports median / p10 / p90 across samples — the same statistics the
+//! trajectory files record.
 
-use baselines::{BlockedBloomFilter, BloomFilter};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use filter_core::{hashed_keys, Filter};
-use gqf::PointGqf;
-use tcf::PointTcf;
+use filter_core::{hashed_keys, ApiMode, FilterKind, FilterSpec, Operation};
+use gpu_filters::{build_filter, AnyFilter};
 
 const N: usize = 1 << 14;
+
+/// ε every registered kind can honour at this size.
+fn eps(kind: FilterKind) -> f64 {
+    match kind {
+        FilterKind::Sqf | FilterKind::Rsqf => 4e-2,
+        _ => 4e-3,
+    }
+}
+
+fn spec(kind: FilterKind) -> FilterSpec {
+    FilterSpec::items(N as u64).fp_rate(eps(kind))
+}
+
+/// Registry kinds whose feature matrix exposes `op` through the point API.
+fn point_kinds(op: Operation) -> Vec<(FilterKind, AnyFilter)> {
+    FilterKind::ALL
+        .into_iter()
+        .filter_map(|kind| {
+            let f = build_filter(kind, &spec(kind)).ok()?;
+            f.features().supports(op, ApiMode::Point).then_some((kind, f))
+        })
+        .collect()
+}
 
 fn bench_inserts(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig3/inserts");
     g.throughput(Throughput::Elements(N as u64));
 
-    g.bench_function("TCF", |b| {
-        b.iter_batched(
-            || (PointTcf::new(N * 2).unwrap(), hashed_keys(1, N)),
-            |(f, keys)| {
-                for &k in &keys {
-                    f.insert(k).unwrap();
-                }
-            },
-            BatchSize::LargeInput,
-        )
-    });
-    g.bench_function("GQF", |b| {
-        b.iter_batched(
-            || (PointGqf::new(15, 8).unwrap(), hashed_keys(2, N)),
-            |(f, keys)| {
-                for &k in &keys {
-                    f.insert(k).unwrap();
-                }
-            },
-            BatchSize::LargeInput,
-        )
-    });
-    g.bench_function("BF", |b| {
-        b.iter_batched(
-            || (BloomFilter::new(N).unwrap(), hashed_keys(3, N)),
-            |(f, keys)| {
-                for &k in &keys {
-                    f.insert(k).unwrap();
-                }
-            },
-            BatchSize::LargeInput,
-        )
-    });
-    g.bench_function("BBF", |b| {
-        b.iter_batched(
-            || (BlockedBloomFilter::new(N).unwrap(), hashed_keys(4, N)),
-            |(f, keys)| {
-                for &k in &keys {
-                    f.insert(k).unwrap();
-                }
-            },
-            BatchSize::LargeInput,
-        )
-    });
+    for (kind, _) in point_kinds(Operation::Insert) {
+        g.bench_function(kind.name(), |b| {
+            b.iter_batched(
+                || {
+                    (
+                        build_filter(kind, &spec(kind)).unwrap(),
+                        hashed_keys(kind.name().len() as u64, N),
+                    )
+                },
+                |(f, keys)| {
+                    for &k in &keys {
+                        f.insert(k).unwrap();
+                    }
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
     g.finish();
 }
 
@@ -68,35 +70,27 @@ fn bench_queries(c: &mut Criterion) {
     let keys = hashed_keys(5, N);
     let fresh = hashed_keys(6, N);
 
-    let tcf = PointTcf::new(N * 2).unwrap();
-    let gqf = PointGqf::new(15, 8).unwrap();
-    let bf = BloomFilter::new(N).unwrap();
-    let bbf = BlockedBloomFilter::new(N).unwrap();
-    for &k in &keys {
-        tcf.insert(k).unwrap();
-        gqf.insert(k).unwrap();
-        bf.insert(k).unwrap();
-        bbf.insert(k).unwrap();
+    for (kind, f) in point_kinds(Operation::Query) {
+        if !f.features().supports(Operation::Insert, ApiMode::Point) {
+            continue; // bulk-loading-only kinds are fig4's subjects
+        }
+        for &k in &keys {
+            f.insert(k).unwrap();
+        }
+        // The GQF's paper-grade point queries are lock-free (safe in a
+        // query-only phase); downcast for that one filter, as fig3 does.
+        let gqf = f.as_any().downcast_ref::<gqf::PointGqf>();
+        let contains = |k: u64| match gqf {
+            Some(g) => g.count_unlocked(k) > 0,
+            None => f.contains(k).unwrap(),
+        };
+        g.bench_function(format!("{}/positive", kind.name()), |b| {
+            b.iter(|| keys.iter().filter(|&&k| contains(k)).count())
+        });
+        g.bench_function(format!("{}/random", kind.name()), |b| {
+            b.iter(|| fresh.iter().filter(|&&k| contains(k)).count())
+        });
     }
-
-    g.bench_function("TCF/positive", |b| {
-        b.iter(|| keys.iter().filter(|&&k| tcf.contains(k)).count())
-    });
-    g.bench_function("TCF/random", |b| {
-        b.iter(|| fresh.iter().filter(|&&k| tcf.contains(k)).count())
-    });
-    g.bench_function("GQF/positive", |b| {
-        b.iter(|| keys.iter().filter(|&&k| gqf.count_unlocked(k) > 0).count())
-    });
-    g.bench_function("GQF/random", |b| {
-        b.iter(|| fresh.iter().filter(|&&k| gqf.count_unlocked(k) > 0).count())
-    });
-    g.bench_function("BF/positive", |b| {
-        b.iter(|| keys.iter().filter(|&&k| bf.contains(k)).count())
-    });
-    g.bench_function("BBF/positive", |b| {
-        b.iter(|| keys.iter().filter(|&&k| bbf.contains(k)).count())
-    });
     g.finish();
 }
 

@@ -1,44 +1,62 @@
 //! Criterion companion to Fig. 4: bulk-API wall throughput per batch.
+//!
+//! Subjects come from `core::registry::all_filters`: every registered
+//! [`FilterKind`] that implements the bulk surface natively (point-only
+//! siblings report `Unsupported` and are skipped), driven through the
+//! `DynFilter` facade. The shim reports median / p10 / p90 per bench.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use filter_core::hashed_keys;
-use gpu_sim::Device;
+use filter_core::{hashed_keys, FilterError, FilterKind, FilterSpec};
+use gpu_filters::{build_filter, AnyFilter};
 
 const N: usize = 1 << 15;
-const SLOTS_LOG2: u32 = 16;
+
+/// ε every registered kind can honour at this size.
+fn eps(kind: FilterKind) -> f64 {
+    match kind {
+        FilterKind::Sqf | FilterKind::Rsqf => 4e-2,
+        _ => 4e-3,
+    }
+}
+
+fn spec(kind: FilterKind) -> FilterSpec {
+    FilterSpec::items(N as u64).fp_rate(eps(kind))
+}
+
+/// Registry kinds with a native bulk-insert path at this size.
+fn bulk_kinds() -> Vec<(FilterKind, AnyFilter)> {
+    FilterKind::ALL
+        .into_iter()
+        .filter_map(|kind| {
+            let f = build_filter(kind, &spec(kind)).ok()?;
+            match f.bulk_insert(&[kind.name().len() as u64]) {
+                // Rebuild so the probe key doesn't sit in the benched filter.
+                Ok(_) => Some((kind, build_filter(kind, &spec(kind)).unwrap())),
+                Err(FilterError::Unsupported(_)) => None,
+                Err(e) => panic!("{kind}: {e}"),
+            }
+        })
+        .collect()
+}
 
 fn bench_bulk_insert(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig4/bulk-insert");
     g.throughput(Throughput::Elements(N as u64));
 
-    g.bench_function("BulkTCF", |b| {
-        b.iter_batched(
-            || (tcf::BulkTcf::new(1 << SLOTS_LOG2).unwrap(), hashed_keys(11, N)),
-            |(f, keys)| assert_eq!(f.insert_batch(&keys), 0),
-            BatchSize::LargeInput,
-        )
-    });
-    g.bench_function("BulkGQF", |b| {
-        b.iter_batched(
-            || (gqf::BulkGqf::new_cori(SLOTS_LOG2, 8).unwrap(), hashed_keys(12, N)),
-            |(f, keys)| assert_eq!(f.insert_batch(&keys), 0),
-            BatchSize::LargeInput,
-        )
-    });
-    g.bench_function("SQF", |b| {
-        b.iter_batched(
-            || (baselines::Sqf::new(SLOTS_LOG2, 5, Device::cori()).unwrap(), hashed_keys(13, N)),
-            |(f, keys)| assert_eq!(f.insert_batch(&keys), 0),
-            BatchSize::LargeInput,
-        )
-    });
-    g.bench_function("RSQF", |b| {
-        b.iter_batched(
-            || (baselines::Rsqf::new(SLOTS_LOG2, 5, Device::cori()).unwrap(), hashed_keys(14, N)),
-            |(f, keys)| assert_eq!(f.insert_batch(&keys), 0),
-            BatchSize::LargeInput,
-        )
-    });
+    for (kind, _) in bulk_kinds() {
+        g.bench_function(kind.name(), |b| {
+            b.iter_batched(
+                || {
+                    (
+                        build_filter(kind, &spec(kind)).unwrap(),
+                        hashed_keys(10 + kind.name().len() as u64, N),
+                    )
+                },
+                |(f, keys)| assert_eq!(f.bulk_insert(&keys).unwrap(), 0),
+                BatchSize::LargeInput,
+            )
+        });
+    }
     g.finish();
 }
 
@@ -47,14 +65,11 @@ fn bench_bulk_query(c: &mut Criterion) {
     g.throughput(Throughput::Elements(N as u64));
     let keys = hashed_keys(15, N);
 
-    let tcf = tcf::BulkTcf::new(1 << SLOTS_LOG2).unwrap();
-    tcf.insert_batch(&keys);
-    let gqf = gqf::BulkGqf::new_cori(SLOTS_LOG2, 8).unwrap();
-    gqf.insert_batch(&keys);
-
-    let mut out = vec![false; N];
-    g.bench_function("BulkTCF", |b| b.iter(|| tcf.query_batch(&keys, &mut out)));
-    g.bench_function("BulkGQF", |b| b.iter(|| gqf.query_batch(&keys, &mut out)));
+    for (kind, f) in bulk_kinds() {
+        assert_eq!(f.bulk_insert(&keys).unwrap(), 0, "{kind} load");
+        let mut out = vec![false; N];
+        g.bench_function(kind.name(), |b| b.iter(|| f.bulk_query(&keys, &mut out).unwrap()));
+    }
     g.finish();
 }
 

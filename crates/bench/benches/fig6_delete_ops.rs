@@ -1,59 +1,76 @@
 //! Criterion companion to Fig. 6: deletion cost per filter.
+//!
+//! Subjects come from `core::registry::all_filters`: every registered
+//! [`FilterKind`] whose feature matrix supports deletion is measured —
+//! bulk deleters through `bulk_delete`, point deleters through `remove` —
+//! with a freshly loaded filter per sample (setup excluded from timing).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use filter_core::{hashed_keys, Deletable, Filter};
-use gpu_sim::Device;
+use filter_core::{hashed_keys, ApiMode, FilterError, FilterKind, FilterSpec, Operation};
+use gpu_filters::build_filter;
 
 const N: usize = 1 << 13;
+
+/// ε every registered kind can honour at this size.
+fn eps(kind: FilterKind) -> f64 {
+    match kind {
+        FilterKind::Sqf | FilterKind::Rsqf => 4e-2,
+        _ => 4e-3,
+    }
+}
 
 fn bench_deletes(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig6/deletes");
     g.throughput(Throughput::Elements(N as u64));
 
-    g.bench_function("TCF-point", |b| {
-        b.iter_batched(
-            || {
-                let f = tcf::PointTcf::new(N * 2).unwrap();
-                let keys = hashed_keys(21, N);
-                for &k in &keys {
-                    f.insert(k).unwrap();
+    for kind in FilterKind::ALL {
+        let spec = FilterSpec::items(N as u64).fp_rate(eps(kind));
+        let Ok(probe) = build_filter(kind, &spec) else { continue };
+        let feats = probe.features();
+        let bulk = feats.supports(Operation::Delete, ApiMode::Bulk);
+        let point = feats.supports(Operation::Delete, ApiMode::Point);
+        if !bulk && !point {
+            continue;
+        }
+        let keys = hashed_keys(20 + kind.name().len() as u64, N);
+        let load = || {
+            let f = build_filter(kind, &spec).unwrap();
+            match f.bulk_insert(&keys) {
+                Ok(failed) => assert_eq!(failed, 0, "{kind} load"),
+                Err(FilterError::Unsupported(_)) => {
+                    for &k in &keys {
+                        f.insert(k).unwrap();
+                    }
                 }
-                (f, keys)
-            },
-            |(f, keys)| {
-                for &k in &keys {
-                    assert!(f.remove(k).unwrap());
-                }
-            },
-            BatchSize::LargeInput,
-        )
-    });
-
-    g.bench_function("GQF-bulk", |b| {
-        b.iter_batched(
-            || {
-                let f = gqf::BulkGqf::new_cori(14, 8).unwrap();
-                let keys = hashed_keys(22, N);
-                assert_eq!(f.insert_batch(&keys), 0);
-                (f, keys)
-            },
-            |(f, keys)| assert_eq!(f.delete_batch(&keys), 0),
-            BatchSize::LargeInput,
-        )
-    });
-
-    g.bench_function("SQF", |b| {
-        b.iter_batched(
-            || {
-                let f = baselines::Sqf::new(14, 5, Device::cori()).unwrap();
-                let keys = hashed_keys(23, N);
-                assert_eq!(f.insert_batch(&keys), 0);
-                (f, keys)
-            },
-            |(f, keys)| assert_eq!(f.delete_batch(&keys), 0),
-            BatchSize::LargeInput,
-        )
-    });
+                Err(e) => panic!("{kind} load: {e}"),
+            }
+            f
+        };
+        // Point variants fold their bulk Table-1 cells onto the bulk
+        // sibling type; prefer the surface this kind implements natively.
+        let native_bulk = bulk
+            && match load().bulk_delete(&keys[..1]) {
+                Ok(_) => true,
+                Err(FilterError::Unsupported(_)) => false,
+                Err(e) => panic!("{kind} bulk-delete probe: {e}"),
+            };
+        let id = format!("{}/{}", kind.name(), if native_bulk { "bulk" } else { "point" });
+        g.bench_function(id, |b| {
+            b.iter_batched(
+                load,
+                |f| {
+                    if native_bulk {
+                        assert_eq!(f.bulk_delete(&keys).unwrap(), 0);
+                    } else {
+                        for &k in &keys {
+                            assert!(f.remove(k).unwrap(), "{kind} lost a key");
+                        }
+                    }
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
     g.finish();
 }
 

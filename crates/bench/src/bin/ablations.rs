@@ -14,17 +14,26 @@
 //!    CBF vs the GQF at the same false-positive target, the number that
 //!    makes the CBF "highly inefficient in practice".
 //!
+//! Timed ablations run through the shared measurement harness (fresh
+//! state per repeat, median wall/modeled statistics).
+//!
 //! ```sh
 //! cargo run --release -p bench --bin ablations -- --sizes 18
+//! cargo run --release -p bench --bin ablations -- --smoke
 //! ```
 
-use bench::harness::{counters_around, measure_bulk, measure_point_multi};
-use bench::{parse_args, write_report};
+use bench::harness::counters_around;
+use bench::{measure_bulk, measure_point, parse_args, write_report, Measurement, Probe};
 use filter_core::{hashed_keys, Filter, FilterMeta};
 use gpu_sim::{Counter, Device};
 use gqf::REGION_SLOTS;
 use std::fmt::Write as _;
 use tcf::{PointTcf, TcfConfig};
+
+/// Median wall and modeled throughput, formatted the ablation-table way.
+fn rates(row: &Measurement) -> (f64, f64) {
+    (row.modeled_items_per_sec.unwrap_or(0.0), row.items_per_sec.median)
+}
 
 fn main() {
     let args = parse_args(&[18]);
@@ -60,18 +69,23 @@ fn main() {
     let _ = writeln!(out, "\n## Ablation 2: shortcut-threshold sweep (inserts to 85% load)");
     for cut in [0.0, 0.25, 0.5, 0.75, 1.0] {
         let cfg = TcfConfig { shortcut_fill: cut, ..Default::default() };
-        let f = PointTcf::with_config(slots, cfg).unwrap();
-        let n = (f.slots() as f64 * 0.85) as usize;
+        let build = || PointTcf::with_config(slots, cfg).unwrap();
+        let sample = build();
+        let n = (sample.slots() as f64 * 0.85) as usize;
         let keys = hashed_keys(12_000, n);
-        let fp = f.table_bytes() as u64;
-        let row = &measure_point_multi(&devices, "TCF", "insert", s, 4, fp, n, |i| {
+        let probe = Probe::new("TCF", "tcf-point", "insert", s, n as u64)
+            .cg(4)
+            .footprint(sample.table_bytes() as u64);
+        drop(sample);
+        let (rows, f) = measure_point(&devices, &args, &probe, build, |f, i| {
             let _ = f.insert(keys[i]);
-        })[0];
+        });
+        let (modeled, wall) = rates(&rows[0]);
         let _ = writeln!(
             out,
             "  shortcut={cut:<5} → modeled {:>7.3} B/s  wall {:>6.1} M/s  backing_overflow={}",
-            row.modeled / 1e9,
-            row.wall / 1e6,
+            modeled / 1e9,
+            wall / 1e6,
             f.backing_occupancy(),
         );
     }
@@ -82,32 +96,35 @@ fn main() {
     let keys = hashed_keys(13_000, n);
     let regions = (slots / REGION_SLOTS).max(1) as u64;
     {
-        let bulk = gqf::BulkGqf::new(s, 8, cori.clone()).unwrap();
-        let fpb = bulk.table_bytes() as u64;
-        let row = measure_bulk(&cori, "GQF-bulk", "insert", s, fpb, n as u64, regions / 2, || {
+        let build = || gqf::BulkGqf::new(s, 8, cori.clone()).unwrap();
+        let probe = Probe::new("GQF-bulk", "gqf-bulk", "insert", s, n as u64)
+            .footprint(build().table_bytes() as u64)
+            .active_threads(regions / 2);
+        let (row, _) = measure_bulk(&cori, &args, &probe, build, |bulk| {
             assert_eq!(bulk.insert_batch(&keys), 0);
         });
+        let (modeled, wall) = rates(&row);
         let _ = writeln!(
             out,
             "  even-odd bulk → modeled {:>7.3} B/s  wall {:>6.1} M/s",
-            row.modeled / 1e9,
-            row.wall / 1e6
+            modeled / 1e9,
+            wall / 1e6
         );
     }
     {
-        let point = gqf::PointGqf::new(s, 8).unwrap();
-        let fpp = point.table_bytes() as u64;
-        let spins_before = counters_around(|| {});
-        let _ = spins_before;
-        let row = &measure_point_multi(&devices, "GQF-point", "insert", s, 1, fpp, n, |i| {
+        let build = || gqf::PointGqf::new(s, 8).unwrap();
+        let probe = Probe::new("GQF-point", "gqf-point", "insert", s, n as u64)
+            .footprint(build().table_bytes() as u64);
+        let (rows, _) = measure_point(&devices, &args, &probe, build, |point, i| {
             let _ = point.insert(keys[i]);
-        })[0];
+        });
+        let (modeled, wall) = rates(&rows[0]);
         let _ = writeln!(
             out,
             "  locked point  → modeled {:>7.3} B/s  wall {:>6.1} M/s  [{}]",
-            row.modeled / 1e9,
-            row.wall / 1e6,
-            row.bound
+            modeled / 1e9,
+            wall / 1e6,
+            rows[0].bound.as_deref().unwrap_or("-")
         );
     }
 
@@ -115,30 +132,24 @@ fn main() {
     let _ = writeln!(out, "\n## Ablation 4: Zipfian counting, naive vs map-reduce (§5.4)");
     let zipf = workloads::zipfian_count_dataset(n, 1.5, 14_000);
     for mapreduce in [false, true] {
-        let gqf = gqf::BulkGqf::new(s, 8, cori.clone()).unwrap();
-        let fp = gqf.table_bytes() as u64;
-        let row = measure_bulk(
-            &cori,
-            "GQF",
-            "count",
-            s,
-            fp,
-            zipf.items.len() as u64,
-            regions / 2,
-            || {
-                let fails = if mapreduce {
-                    gqf.insert_batch_mapreduce(&zipf.items)
-                } else {
-                    gqf.insert_batch(&zipf.items)
-                };
-                assert_eq!(fails, 0);
-            },
-        );
+        let build = || gqf::BulkGqf::new(s, 8, cori.clone()).unwrap();
+        let probe = Probe::new("GQF", "gqf-bulk", "count", s, zipf.items.len() as u64)
+            .footprint(build().table_bytes() as u64)
+            .active_threads(regions / 2);
+        let (row, _) = measure_bulk(&cori, &args, &probe, build, |gqf| {
+            let fails = if mapreduce {
+                gqf.insert_batch_mapreduce(&zipf.items)
+            } else {
+                gqf.insert_batch(&zipf.items)
+            };
+            assert_eq!(fails, 0);
+        });
+        let (modeled, wall) = rates(&row);
         let _ = writeln!(
             out,
             "  map-reduce={mapreduce:<5} → modeled {:>8.1} M/s  wall {:>6.1} M/s",
-            row.modeled / 1e6,
-            row.wall / 1e6
+            modeled / 1e6,
+            wall / 1e6
         );
     }
 
@@ -181,52 +192,60 @@ fn main() {
     let pairs: Vec<(u64, u64)> = keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
     let ht_regions = ((slots / eo_ht::REGION_SLOTS).max(2) / 2) as u64;
     {
-        let t = eo_ht::EoHashTable::with_device(slots, cori.clone()).unwrap();
-        let fp = t.bytes() as u64;
-        let row = measure_bulk(&cori, "EoHT", "insert", s, fp, n as u64, ht_regions, || {
+        let build = || eo_ht::EoHashTable::with_device(slots, cori.clone()).unwrap();
+        let probe = Probe::new("EoHT", "eo-ht", "insert", s, n as u64)
+            .footprint(build().bytes() as u64)
+            .active_threads(ht_regions);
+        let (row, _) = measure_bulk(&cori, &args, &probe, build, |t| {
             assert_eq!(t.bulk_upsert(&pairs), 0);
         });
+        let (modeled, wall) = rates(&row);
         let _ = writeln!(
             out,
             "  even-odd bulk → modeled {:>7.3} B/s  wall {:>6.1} M/s",
-            row.modeled / 1e9,
-            row.wall / 1e6
+            modeled / 1e9,
+            wall / 1e6
         );
     }
     {
         let t = eo_ht::EoHashTable::with_device(slots, cori.clone()).unwrap();
-        let fp = t.bytes() as u64;
         let spins = counters_around(|| {
             assert_eq!(t.bulk_upsert_locked(&pairs), 0);
         });
-        let t2 = eo_ht::EoHashTable::with_device(slots, cori.clone()).unwrap();
+        let build = || eo_ht::EoHashTable::with_device(slots, cori.clone()).unwrap();
         // The locked path maps one thread per item (point-style), so it is
         // charged with that full parallelism; its cost is the lock traffic.
-        let row = measure_bulk(&cori, "EoHT-locked", "insert", s, fp, n as u64, n as u64, || {
+        let probe = Probe::new("EoHT-locked", "eo-ht", "insert", s, n as u64)
+            .footprint(t.bytes() as u64)
+            .active_threads(n as u64);
+        let (row, _) = measure_bulk(&cori, &args, &probe, build, |t2| {
             assert_eq!(t2.bulk_upsert_locked(&pairs), 0);
         });
+        let (modeled, wall) = rates(&row);
         let _ = writeln!(
             out,
             "  locked point  → modeled {:>7.3} B/s  wall {:>6.1} M/s  lock_spins={}",
-            row.modeled / 1e9,
-            row.wall / 1e6,
+            modeled / 1e9,
+            wall / 1e6,
             spins.get(Counter::LockSpins)
         );
     }
     {
         // Dynamic-graph ingest through the same scheme (power-law stream).
         let edges = workloads::powerlaw_edges(16_500, n, 65_536).edges;
-        let g = eo_ht::DynamicGraph::with_device(edges.len(), cori.clone()).unwrap();
-        let fp = g.bytes() as u64;
-        let row =
-            measure_bulk(&cori, "EoGraph", "edges", s, fp, edges.len() as u64, ht_regions, || {
-                g.bulk_add_edges(&edges).unwrap();
-            });
+        let build = || eo_ht::DynamicGraph::with_device(edges.len(), cori.clone()).unwrap();
+        let probe = Probe::new("EoGraph", "eo-graph", "edges", s, edges.len() as u64)
+            .footprint(build().bytes() as u64)
+            .active_threads(ht_regions);
+        let (row, g) = measure_bulk(&cori, &args, &probe, build, |g| {
+            g.bulk_add_edges(&edges).unwrap();
+        });
+        let (modeled, wall) = rates(&row);
         let _ = writeln!(
             out,
             "  graph ingest  → modeled {:>7.3} B edges/s  wall {:>6.1} M/s  ({} distinct edges)",
-            row.modeled / 1e9,
-            row.wall / 1e6,
+            modeled / 1e9,
+            wall / 1e6,
             g.n_edges()
         );
     }

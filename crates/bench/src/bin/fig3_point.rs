@@ -1,14 +1,15 @@
 //! Figure 3: point-API aggregate throughput — inserts, positive queries,
 //! random (negative) queries — priced for both Cori (V100) and Perlmutter
 //! (A100). The filters come from the registry (one [`FilterSpec`] per
-//! kind) instead of hand-wired constructors; only the cooperative-group
-//! width and per-kind ε target remain as metadata.
+//! kind); inserts are re-measured from a freshly built filter every
+//! repeat, and the trajectory lands in `experiments/BENCH_fig3.json`.
 //!
 //! ```sh
 //! cargo run --release -p bench --bin fig3_point -- --sizes 18,20,22
+//! cargo run --release -p bench --bin fig3_point -- --smoke   # CI scale
 //! ```
 
-use bench::{parse_args, write_report, Series};
+use bench::{measure_point, parse_args, Probe, Trajectory};
 use filter_core::{hashed_keys, FilterKind, FilterSpec};
 use gpu_filters::build_filter;
 use gpu_sim::Device;
@@ -30,7 +31,7 @@ fn main() {
     let cori = Device::cori();
     let perl = Device::perlmutter();
     let devices = [&cori, &perl];
-    let mut series = Series::default();
+    let mut traj = Trajectory::new("fig3", &args);
 
     for &s in &args.sizes_log2 {
         let slots = 1usize << s;
@@ -40,58 +41,47 @@ fn main() {
 
         for (kind, cg, eps) in KINDS {
             let spec = FilterSpec::items(n as u64).fp_rate(eps);
-            let f = build_filter(kind, &spec)
-                .unwrap_or_else(|e| panic!("registry build {kind} at 2^{s}: {e}"));
-            let label = f.name();
-            let footprint = f.table_bytes() as u64;
+            let build = || {
+                build_filter(kind, &spec)
+                    .unwrap_or_else(|e| panic!("registry build {kind} at 2^{s}: {e}"))
+            };
+            let sample = build();
+            let probe = Probe::new(sample.name(), kind.name(), "insert", s, n as u64)
+                .cg(cg)
+                .footprint(sample.table_bytes() as u64)
+                .spec(&spec);
+            drop(sample);
 
             let fails = AtomicU64::new(0);
-            for r in bench::harness::measure_point_multi(
-                &devices,
-                label,
-                "insert",
-                s,
-                cg,
-                footprint,
-                n,
-                |i| {
-                    if f.insert(keys[i]).is_err() {
-                        fails.fetch_add(1, Ordering::Relaxed);
-                    }
-                },
-            ) {
-                series.push(r);
-            }
-            assert_eq!(fails.load(Ordering::Relaxed), 0, "{label} insert failures at 2^{s}");
+            let (rows, f) = measure_point(&devices, &args, &probe, build, |f, i| {
+                if f.insert(keys[i]).is_err() {
+                    fails.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            traj.push_all(rows);
+            assert_eq!(fails.load(Ordering::Relaxed), 0, "{kind} insert failures at 2^{s}");
 
             // The GQF's paper-grade point queries are lock-free (safe in a
             // query-only phase); the facade's `contains` takes region
             // locks, so the query kernels downcast for that one filter.
             let gqf = f.as_any().downcast_ref::<gqf::PointGqf>();
-            for r in bench::harness::measure_point_multi(
+            let (rows, _) = measure_point(
                 &devices,
-                label,
-                "pos-query",
-                s,
-                cg,
-                footprint,
-                n,
-                |i| match gqf {
+                &args,
+                &probe.with_op("pos-query"),
+                || (),
+                |_, i| match gqf {
                     Some(g) => assert!(g.count_unlocked(keys[i]) > 0),
                     None => assert!(f.contains(keys[i]).unwrap()),
                 },
-            ) {
-                series.push(r);
-            }
-            for r in bench::harness::measure_point_multi(
+            );
+            traj.push_all(rows);
+            let (rows, _) = measure_point(
                 &devices,
-                label,
-                "rand-query",
-                s,
-                cg,
-                footprint,
-                n,
-                |i| match gqf {
+                &args,
+                &probe.with_op("rand-query"),
+                || (),
+                |_, i| match gqf {
                     Some(g) => {
                         std::hint::black_box(g.count_unlocked(fresh[i]));
                     }
@@ -99,11 +89,10 @@ fn main() {
                         std::hint::black_box(f.contains(fresh[i]).unwrap());
                     }
                 },
-            ) {
-                series.push(r);
-            }
+            );
+            traj.push_all(rows);
         }
     }
 
-    write_report(&args, "fig3_point.txt", &series.render("Figure 3: point API throughput"));
+    traj.write(&args);
 }

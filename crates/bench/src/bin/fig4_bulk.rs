@@ -1,14 +1,16 @@
 //! Figure 4: bulk-API aggregate throughput (one batch), with the filters
 //! built by the registry from one [`FilterSpec`] per (kind, device) pair.
-//! Kinds whose published size caps exclude a sweep point (SQF/RSQF past
-//! 2^26) report themselves unavailable instead of crashing the sweep.
+//! Inserts re-measure from a freshly built filter every repeat; kinds
+//! whose published size caps exclude a sweep point (SQF/RSQF past 2^26)
+//! report themselves unavailable instead of crashing the sweep. The
+//! trajectory lands in `experiments/BENCH_fig4.json`.
 //!
 //! ```sh
 //! cargo run --release -p bench --bin fig4_bulk -- --sizes 18,20,22
+//! cargo run --release -p bench --bin fig4_bulk -- --smoke   # CI scale
 //! ```
 
-use bench::harness::measure_bulk;
-use bench::{parse_args, write_report, Series};
+use bench::{measure_bulk, parse_args, Json, Probe, Trajectory};
 use filter_core::{hashed_keys, AnyFilter, DeviceModel, FilterKind, FilterSpec};
 use gpu_filters::build_filter;
 use gpu_sim::Device;
@@ -38,74 +40,75 @@ fn main() {
     let args = parse_args(&[18, 20, 22]);
     let cori = Device::cori();
     let perl = Device::perlmutter();
-    let mut series = Series::default();
+    let mut traj = Trajectory::new("fig4", &args);
 
     for &s in &args.sizes_log2 {
         let slots = 1usize << s;
         let n = (slots as f64 * 0.89) as usize;
         let keys = hashed_keys(1100 + s as u64, n);
         let fresh = hashed_keys(2100 + s as u64, n);
-        let mut out = vec![false; n];
 
         for (dev, model) in [(&cori, DeviceModel::Cori), (&perl, DeviceModel::Perlmutter)] {
             let dev_name = dev.profile().name;
             for (kind, eps) in KINDS {
                 let spec = FilterSpec::items(n as u64).fp_rate(eps).device(model);
-                let f = match build_filter(kind, &spec) {
+                let build = || build_filter(kind, &spec);
+                let sample = match build() {
                     Ok(f) => f,
                     Err(e) => {
                         println!("{kind}@{dev_name} unavailable at 2^{s}: {e}");
+                        traj.set_extra(
+                            format!("unavailable_{kind}@{dev_name}_2^{s}"),
+                            Json::str(e.to_string()),
+                        );
                         continue;
                     }
                 };
-                let label = format!("{}@{dev_name}", f.name());
-                let footprint = f.table_bytes() as u64;
-                let active = active_threads(kind, &f);
+                let label = format!("{}@{dev_name}", sample.name());
+                let probe = Probe::new(&label, kind.name(), "insert", s, n as u64)
+                    .footprint(sample.table_bytes() as u64)
+                    .active_threads(active_threads(kind, &sample))
+                    .spec(&spec);
+                drop(sample);
 
-                series.push(measure_bulk(
+                let (row, f) = measure_bulk(
                     dev,
-                    &label,
-                    "insert",
-                    s,
-                    footprint,
-                    n as u64,
-                    active,
-                    || {
+                    &args,
+                    &probe,
+                    || build().expect("built once already"),
+                    |f| {
                         assert_eq!(f.bulk_insert(&keys).unwrap(), 0, "{label} failures at 2^{s}");
                     },
-                ));
-                series.push(measure_bulk(
+                );
+                traj.push(row);
+
+                let query_probe = probe.with_op("pos-query").active_threads(n as u64);
+                let (row, out) = measure_bulk(
                     dev,
-                    &label,
-                    "pos-query",
-                    s,
-                    footprint,
-                    n as u64,
-                    n as u64,
-                    || {
-                        f.bulk_query(&keys, &mut out).unwrap();
+                    &args,
+                    &query_probe,
+                    || vec![false; n],
+                    |out| {
+                        f.bulk_query(&keys, out).unwrap();
                     },
-                ));
+                );
+                traj.push(row);
                 assert!(out.iter().all(|&x| x), "{label} lost keys at 2^{s}");
-                series.push(measure_bulk(
+
+                let rand_probe = probe.with_op("rand-query").active_threads(n as u64);
+                let (row, _) = measure_bulk(
                     dev,
-                    &label,
-                    "rand-query",
-                    s,
-                    footprint,
-                    n as u64,
-                    n as u64,
-                    || {
-                        f.bulk_query(&fresh, &mut out).unwrap();
+                    &args,
+                    &rand_probe,
+                    || vec![false; n],
+                    |out| {
+                        f.bulk_query(&fresh, out).unwrap();
                     },
-                ));
+                );
+                traj.push(row);
             }
         }
     }
 
-    write_report(
-        &args,
-        "fig4_bulk.txt",
-        &series.render("Figure 4: bulk API throughput, one batch"),
-    );
+    traj.write(&args);
 }

@@ -3,50 +3,66 @@
 //!
 //! The paper runs this at 2^28 slots; the default here is 2^20 with the
 //! same shape (an interior optimum around CG = 4, shifting to 8 for the
-//! large-block variants; 8/16-bit variants beat 12-bit).
+//! large-block variants; 8/16-bit variants beat 12-bit). The sweep is
+//! 42 configurations × 3 ops, so it defaults to 2 repeats; the trajectory
+//! lands in `experiments/BENCH_fig5.json` with the per-variant optimum in
+//! the `extra` block.
 //!
 //! ```sh
 //! cargo run --release -p bench --bin fig5_cg_sweep -- --sizes 20
+//! cargo run --release -p bench --bin fig5_cg_sweep -- --smoke   # CI scale
 //! ```
 
-use bench::harness::measure_point_multi;
-use bench::{parse_args, write_report, Series};
+use bench::{measure_point, parse_args_with, Json, Probe, Trajectory};
 use filter_core::{hashed_keys, Filter, FilterMeta};
 use gpu_sim::Device;
 use tcf::{PointTcf, TcfConfig};
 
 fn main() {
-    let args = parse_args(&[20]);
+    let args = parse_args_with(&[20], 2);
     let s = args.sizes_log2[0];
     let cori = Device::cori();
     let devices = [&cori];
-    let mut series = Series::default();
+    let mut traj = Trajectory::new("fig5", &args);
 
     for (label, base_cfg) in TcfConfig::fig5_variants() {
         for cg in [1u32, 2, 4, 8, 16, 32] {
             let cfg = base_cfg.with_cg(cg);
-            let f = PointTcf::with_config(1 << s, cfg).expect(label);
-            let n = (f.slots() as f64 * 0.85) as usize;
+            let build = || PointTcf::with_config(1 << s, cfg).expect(label);
+            let sample = build();
+            let n = (sample.slots() as f64 * 0.85) as usize;
             let keys = hashed_keys(5000 + cg as u64, n);
             let fresh = hashed_keys(6000 + cg as u64, n);
-            let fp = f.table_bytes() as u64;
             let tag = format!("{label}/cg{cg}");
+            let probe = Probe::new(&tag, "tcf-point", "insert", s, n as u64)
+                .cg(cg)
+                .footprint(sample.table_bytes() as u64);
+            drop(sample);
 
-            for r in measure_point_multi(&devices, &tag, "insert", s, cg, fp, n, |i| {
+            let (rows, f) = measure_point(&devices, &args, &probe, build, |f, i| {
                 let _ = f.insert(keys[i]);
-            }) {
-                series.push(r);
-            }
-            for r in measure_point_multi(&devices, &tag, "pos-query", s, cg, fp, n, |i| {
-                std::hint::black_box(f.contains(keys[i]));
-            }) {
-                series.push(r);
-            }
-            for r in measure_point_multi(&devices, &tag, "rand-query", s, cg, fp, n, |i| {
-                std::hint::black_box(f.contains(fresh[i]));
-            }) {
-                series.push(r);
-            }
+            });
+            traj.push_all(rows);
+            let (rows, _) = measure_point(
+                &devices,
+                &args,
+                &probe.with_op("pos-query"),
+                || (),
+                |_, i| {
+                    std::hint::black_box(f.contains(keys[i]));
+                },
+            );
+            traj.push_all(rows);
+            let (rows, _) = measure_point(
+                &devices,
+                &args,
+                &probe.with_op("rand-query"),
+                || (),
+                |_, i| {
+                    std::hint::black_box(f.contains(fresh[i]));
+                },
+            );
+            traj.push_all(rows);
         }
     }
 
@@ -55,18 +71,17 @@ fn main() {
     for (label, _) in TcfConfig::fig5_variants() {
         let mut best = (0u32, 0.0f64);
         for cg in [1u32, 2, 4, 8, 16, 32] {
-            let tag = format!("{label}/cg{cg}@Cori-V100");
-            if let Some(row) = series.get(&tag, "insert").first() {
-                if row.modeled > best.1 {
-                    best = (cg, row.modeled);
+            let tag = format!("{label}/cg{cg}");
+            if let Some(row) = traj.get(&tag, "insert").first() {
+                let modeled = row.modeled_items_per_sec.unwrap_or(0.0);
+                if modeled > best.1 {
+                    best = (cg, modeled);
                 }
             }
         }
         summary.push_str(&format!("  {label:<6} → CG {} ({:.2} B/s)\n", best.0, best.1 / 1e9));
+        traj.set_extra(format!("optimal_cg_{label}"), Json::num(f64::from(best.0)));
     }
     println!("{summary}");
-
-    let mut report = series.render("Figure 5: cooperative group size sweep");
-    report.push_str(&summary);
-    write_report(&args, "fig5_cg_sweep.txt", &report);
+    traj.write(&args);
 }

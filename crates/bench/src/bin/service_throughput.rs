@@ -18,24 +18,25 @@
 //! * `sharded-batched` — the tentpole: shards 1/4/16 aggregating client
 //!   chunks into large flushes.
 //!
-//! The headline figure (and the `meets_2x_acceptance` field) compares
-//! sharded-batched (≥ 4 shards) against naive point-op serving, which
-//! isolates what aggregation + sharding contribute on the serving path;
-//! on a multi-core host the sharded rows additionally scale with worker
-//! parallelism (this container is single-core, so any parallel speedup
-//! shown here is a lower bound). Results land in
-//! `experiments/BENCH_service.json` so future PRs have a throughput
-//! trajectory for the serving layer.
+//! Every configuration rebuilds its service fresh per repeat and reports
+//! median/p10/p90 across repeats on the shared trajectory schema
+//! (`experiments/BENCH_service.json`). The headline figure (and the
+//! `meets_2x_acceptance` extra) compares sharded-batched (≥ 4 shards)
+//! against naive point-op serving, which isolates what aggregation +
+//! sharding contribute on the serving path; on a multi-core host the
+//! sharded rows additionally scale with worker parallelism (a single-core
+//! container shows a lower bound — `host_cores` is recorded in the file).
 //!
 //! ```sh
 //! cargo run --release -p bench --bin service_throughput              # 1M keys
 //! cargo run --release -p bench --bin service_throughput -- --quick  # 100k keys
+//! cargo run --release -p bench --bin service_throughput -- --smoke  # CI scale
 //! ```
 
+use bench::{measure_wall, BenchArgs, Json, Measurement, Probe, Trajectory};
 use filter_core::{hashed_keys, Filter};
-use filter_service::ShardedFilterBuilder;
-use std::fmt::Write as _;
-use std::time::{Duration, Instant};
+use filter_service::{ServiceHandle, ShardedFilterBuilder};
+use std::time::Duration;
 use tcf::{BulkTcf, PointTcf};
 
 /// Keys per client-issued batch in the batched/sharded modes.
@@ -46,172 +47,125 @@ const CLIENTS: usize = 8;
 /// the full key set would dominate the run, so it uses a subsample.
 const NAIVE_SAMPLE_CAP: usize = 50_000;
 
-struct Row {
-    mode: &'static str,
-    backend: &'static str,
-    shards: usize,
-    clients: usize,
-    ops: u64,
-    secs: f64,
-}
-
-impl Row {
-    fn mops(&self) -> f64 {
-        self.ops as f64 / self.secs / 1e6
-    }
-
-    fn line(&self) -> String {
-        format!(
-            "{:<16} {:<5} shards {:>2}  clients {:>2}  {:>9} ops  {:>8.3}s  {:>9.3} Mops/s",
-            self.mode,
-            self.backend,
-            self.shards,
-            self.clients,
-            self.ops,
-            self.secs,
-            self.mops()
-        )
-    }
-
-    fn json(&self) -> String {
-        format!(
-            "{{\"mode\": \"{}\", \"backend\": \"{}\", \"shards\": {}, \"clients\": {}, \"ops\": {}, \"secs\": {:.6}, \"mops\": {:.4}}}",
-            self.mode,
-            self.backend,
-            self.shards,
-            self.clients,
-            self.ops,
-            self.secs,
-            self.mops()
-        )
-    }
-}
-
 /// Slots so the keys sit under 50% aggregate load.
 fn total_slots(n_keys: usize) -> usize {
     (n_keys * 2).next_power_of_two()
 }
 
 /// Reference: in-process point API, no serving path.
-fn run_point_direct(keys: &[u64]) -> Row {
-    let filter = PointTcf::new(total_slots(keys.len())).expect("point tcf");
-    let t0 = Instant::now();
-    for &k in keys {
-        filter.insert(k).expect("insert");
-    }
-    let mut hits = 0usize;
-    for &k in keys {
-        hits += filter.contains(k) as usize;
-    }
-    let secs = t0.elapsed().as_secs_f64();
-    assert_eq!(hits, keys.len(), "point filter lost keys");
-    Row {
-        mode: "point-direct",
-        backend: "TCF",
-        shards: 1,
-        clients: 1,
-        ops: 2 * keys.len() as u64,
-        secs,
-    }
+fn run_point_direct(args: &BenchArgs, keys: &[u64]) -> Measurement {
+    let probe = probe_for("point-direct", "tcf-point", "mixed", keys, 2 * keys.len() as u64);
+    let (row, _) = measure_wall(
+        args,
+        &probe,
+        || PointTcf::new(total_slots(keys.len())).expect("point tcf"),
+        |filter| {
+            for &k in keys {
+                filter.insert(k).expect("insert");
+            }
+            let mut hits = 0usize;
+            for &k in keys {
+                hits += filter.contains(k) as usize;
+            }
+            assert_eq!(hits, keys.len(), "point filter lost keys");
+        },
+    );
+    row.metric("shards", 1.0).metric("clients", 1.0)
 }
 
 /// Reference: in-process bulk calls, no serving path.
-fn run_batched_direct(keys: &[u64]) -> Row {
-    let filter = BulkTcf::new(total_slots(keys.len())).expect("bulk tcf");
-    let t0 = Instant::now();
-    let mut out = vec![false; CHUNK];
-    for chunk in keys.chunks(CHUNK) {
-        assert_eq!(filter.insert_batch(chunk), 0, "bulk insert failures");
-        filter.query_batch(chunk, &mut out[..chunk.len()]);
-        assert!(out[..chunk.len()].iter().all(|&x| x), "bulk filter lost keys");
-    }
-    let secs = t0.elapsed().as_secs_f64();
-    Row {
-        mode: "batched-direct",
-        backend: "TCF",
-        shards: 1,
-        clients: 1,
-        ops: 2 * keys.len() as u64,
-        secs,
-    }
+fn run_batched_direct(args: &BenchArgs, keys: &[u64]) -> Measurement {
+    let probe = probe_for("batched-direct", "tcf-bulk", "mixed", keys, 2 * keys.len() as u64);
+    let (row, _) = measure_wall(
+        args,
+        &probe,
+        || (BulkTcf::new(total_slots(keys.len())).expect("bulk tcf"), vec![false; CHUNK]),
+        |(filter, out)| {
+            for chunk in keys.chunks(CHUNK) {
+                assert_eq!(filter.insert_batch(chunk), 0, "bulk insert failures");
+                filter.query_batch(chunk, &mut out[..chunk.len()]);
+                assert!(out[..chunk.len()].iter().all(|&x| x), "bulk filter lost keys");
+            }
+        },
+    );
+    row.metric("shards", 1.0).metric("clients", 1.0)
 }
 
 /// The naive serving baseline: every request crosses the same queue/worker
 /// boundary as the real service, but nothing aggregates — one point op,
 /// one backend call.
-fn run_point_service(keys: &[u64]) -> Row {
+fn run_point_service(args: &BenchArgs, keys: &[u64]) -> Measurement {
     let sample = &keys[..keys.len().min(NAIVE_SAMPLE_CAP)];
-    let service = ShardedFilterBuilder::new()
-        .shards(1)
-        .batch_capacity(1)
-        .linger(Duration::ZERO)
-        .build(|_| BulkTcf::new(total_slots(sample.len())))
-        .expect("service");
-    let h = service.handle();
-    let per_client = sample.len().div_ceil(CLIENTS);
-    let t0 = Instant::now();
-    std::thread::scope(|s| {
-        for part in sample.chunks(per_client) {
-            let h = h.clone();
-            s.spawn(move || {
-                for &k in part {
-                    h.insert(k).expect("service insert");
-                }
-                for &k in part {
-                    assert!(h.contains(k), "service lost key");
+    let probe = probe_for("point-service", "tcf-bulk", "mixed", sample, 2 * sample.len() as u64);
+    let (row, _) = measure_wall(
+        args,
+        &probe,
+        || {
+            ShardedFilterBuilder::new()
+                .shards(1)
+                .batch_capacity(1)
+                .linger(Duration::ZERO)
+                .build(|_| BulkTcf::new(total_slots(sample.len())))
+                .expect("service")
+        },
+        |service| {
+            let h = service.handle();
+            let per_client = sample.len().div_ceil(CLIENTS);
+            std::thread::scope(|s| {
+                for part in sample.chunks(per_client) {
+                    let h = h.clone();
+                    s.spawn(move || {
+                        for &k in part {
+                            h.insert(k).expect("service insert");
+                        }
+                        for &k in part {
+                            assert!(h.contains(k), "service lost key");
+                        }
+                    });
                 }
             });
-        }
-    });
-    let secs = t0.elapsed().as_secs_f64();
-    Row {
-        mode: "point-service",
-        backend: "TCF",
-        shards: 1,
-        clients: CLIENTS,
-        ops: 2 * sample.len() as u64,
-        secs,
-    }
+        },
+    );
+    row.metric("shards", 1.0).metric("clients", CLIENTS as f64)
 }
 
 /// The tentpole: `shards` workers aggregating chunked submissions from
 /// concurrent client threads.
-fn run_sharded(keys: &[u64], shards: usize, clients: usize) -> Row {
+fn run_sharded(args: &BenchArgs, keys: &[u64], shards: usize, clients: usize) -> Measurement {
     let per_shard = (total_slots(keys.len()) / shards).max(1 << 10);
-    let service = ShardedFilterBuilder::new()
-        .shards(shards)
-        .batch_capacity(CHUNK)
-        .linger(Duration::from_micros(200))
-        .build(|_| BulkTcf::new(per_shard))
-        .expect("service");
-    let h = service.handle();
-    let per_client = keys.len().div_ceil(clients);
-
-    let t0 = Instant::now();
-    std::thread::scope(|s| {
-        for part in keys.chunks(per_client) {
-            let h = h.clone();
-            s.spawn(move || {
-                for chunk in part.chunks(CHUNK) {
-                    assert_eq!(h.insert_batch(chunk).expect("service insert"), 0);
-                    let hits = h.query_batch(chunk).expect("service query");
-                    assert!(hits.iter().all(|&x| x), "service lost keys");
+    let label = format!("sharded-batched/s{shards}");
+    let probe = probe_for(&label, "tcf-bulk", "mixed", keys, 2 * keys.len() as u64);
+    let (row, service) = measure_wall(
+        args,
+        &probe,
+        || {
+            ShardedFilterBuilder::new()
+                .shards(shards)
+                .batch_capacity(CHUNK)
+                .linger(Duration::from_micros(200))
+                .build(|_| BulkTcf::new(per_shard))
+                .expect("service")
+        },
+        |service| {
+            let h = service.handle();
+            let per_client = keys.len().div_ceil(clients);
+            std::thread::scope(|s| {
+                for part in keys.chunks(per_client) {
+                    let h = h.clone();
+                    s.spawn(move || {
+                        for chunk in part.chunks(CHUNK) {
+                            assert_eq!(h.insert_batch(chunk).expect("service insert"), 0);
+                            let hits = h.query_batch(chunk).expect("service query");
+                            assert!(hits.iter().all(|&x| x), "service lost keys");
+                        }
+                    });
                 }
             });
-        }
-    });
-    let secs = t0.elapsed().as_secs_f64();
-
+        },
+    );
     let stats = service.stats();
     println!("    └─ {}", stats.render().replace('\n', "\n       "));
-    Row {
-        mode: "sharded-batched",
-        backend: "TCF",
-        shards,
-        clients,
-        ops: 2 * keys.len() as u64,
-        secs,
-    }
+    row.metric("shards", shards as f64).metric("clients", clients as f64)
 }
 
 /// A backend wrapper reproducing the serving layer's *old* blocking-delete
@@ -261,23 +215,26 @@ impl filter_core::BulkDeletable for PrequeryTcf {
     }
 }
 
-/// Delete-heavy workload: every key is loaded (untimed), then deleted
-/// through blocking `delete_batch` calls, whose per-key acknowledgements
-/// now come straight from the backend's `bulk_delete_report` outcomes.
-/// With `emulate_prequery` the backend replays the old implementation's
-/// in-worker pre-query before each delete flush, so the row pair isolates
-/// exactly the backend work the per-key outcomes eliminated.
-fn run_delete_heavy(keys: &[u64], shards: usize, clients: usize, emulate_prequery: bool) -> Row {
+/// Delete-heavy workload: every key is loaded (untimed, in the per-repeat
+/// setup), then deleted through blocking `delete_batch` calls, whose
+/// per-key acknowledgements come straight from the backend's
+/// `bulk_delete_report` outcomes. With `emulate_prequery` the backend
+/// replays the old implementation's in-worker pre-query before each delete
+/// flush, so the row pair isolates exactly the backend work the per-key
+/// outcomes eliminated.
+fn run_delete_heavy(
+    args: &BenchArgs,
+    keys: &[u64],
+    shards: usize,
+    clients: usize,
+    emulate_prequery: bool,
+) -> Measurement {
     let per_shard = (total_slots(keys.len()) / shards).max(1 << 10);
-    let builder = ShardedFilterBuilder::new()
-        .shards(shards)
-        .batch_capacity(CHUNK)
-        .linger(Duration::from_micros(200));
+    let label = if emulate_prequery { "delete-prequery" } else { "delete-perkey" };
+    let probe = probe_for(label, "tcf-bulk", "delete", keys, keys.len() as u64);
 
-    let run = |handle: &filter_service::ServiceHandle| {
-        assert_eq!(handle.insert_batch(keys).expect("load"), 0, "load phase failures");
+    let run = |handle: ServiceHandle| {
         let per_client = keys.len().div_ceil(clients);
-        let t0 = Instant::now();
         std::thread::scope(|s| {
             for part in keys.chunks(per_client) {
                 let h = handle.clone();
@@ -289,116 +246,142 @@ fn run_delete_heavy(keys: &[u64], shards: usize, clients: usize, emulate_prequer
                 });
             }
         });
-        t0.elapsed().as_secs_f64()
     };
 
-    let secs = if emulate_prequery {
-        let service =
-            builder.build_deletable(|_| BulkTcf::new(per_shard).map(PrequeryTcf)).expect("service");
-        run(&service.handle())
-    } else {
-        let service = builder.build_deletable(|_| BulkTcf::new(per_shard)).expect("service");
-        run(&service.handle())
+    let builder = || {
+        ShardedFilterBuilder::new()
+            .shards(shards)
+            .batch_capacity(CHUNK)
+            .linger(Duration::from_micros(200))
     };
-    Row {
-        mode: if emulate_prequery { "delete-prequery" } else { "delete-perkey" },
-        backend: "TCF",
-        shards,
-        clients,
-        ops: keys.len() as u64,
-        secs,
-    }
+    let row = if emulate_prequery {
+        let (row, _) = measure_wall(
+            args,
+            &probe,
+            || {
+                let service = builder()
+                    .build_deletable(|_| BulkTcf::new(per_shard).map(PrequeryTcf))
+                    .expect("service");
+                assert_eq!(service.handle().insert_batch(keys).expect("load"), 0);
+                service
+            },
+            |service| run(service.handle()),
+        );
+        row
+    } else {
+        let (row, _) = measure_wall(
+            args,
+            &probe,
+            || {
+                let service =
+                    builder().build_deletable(|_| BulkTcf::new(per_shard)).expect("service");
+                assert_eq!(service.handle().insert_batch(keys).expect("load"), 0);
+                service
+            },
+            |service| run(service.handle()),
+        );
+        row
+    };
+    row.metric("shards", shards as f64).metric("clients", clients as f64)
+}
+
+fn probe_for(label: &str, kind: &str, op: &str, keys: &[u64], ops: u64) -> Probe {
+    let size_log2 = total_slots(keys.len()).trailing_zeros();
+    Probe::new(label, kind, op, size_log2, ops)
 }
 
 fn main() {
     let mut n_keys = 1_000_000usize;
     let mut out_dir = "experiments".to_string();
-    let args: Vec<String> = std::env::args().collect();
+    let mut repeats = 3u32;
+    let mut warmup = 0u32;
+    let mut smoke = false;
+    let argv: Vec<String> = std::env::args().collect();
     let mut i = 1;
-    while i < args.len() {
-        match args[i].as_str() {
+    while i < argv.len() {
+        match argv[i].as_str() {
             "--keys" => {
                 i += 1;
-                n_keys = args[i].parse().expect("bad --keys");
+                n_keys = argv[i].parse().expect("bad --keys");
             }
             "--quick" => n_keys = 100_000,
+            "--smoke" => smoke = true,
+            "--repeats" => {
+                i += 1;
+                repeats = argv[i].parse().expect("bad --repeats");
+            }
+            "--warmup" => {
+                i += 1;
+                warmup = argv[i].parse().expect("bad --warmup");
+            }
             "--out" => {
                 i += 1;
-                out_dir = args[i].clone();
+                out_dir = argv[i].clone();
             }
             other => panic!("unknown argument {other}"),
         }
         i += 1;
     }
+    if smoke {
+        n_keys = 20_000;
+        repeats = 1;
+        warmup = 0;
+    }
+    let args =
+        BenchArgs { sizes_log2: Vec::new(), out_dir, repeats: repeats.max(1), warmup, smoke };
 
-    println!("service throughput: {n_keys} keys, chunk {CHUNK}, mixed insert+query\n");
+    println!(
+        "service throughput: {n_keys} keys, chunk {CHUNK}, mixed insert+query, {} repeats\n",
+        args.repeats
+    );
     let keys = hashed_keys(0x5eef, n_keys);
 
-    let mut rows = Vec::new();
-    rows.push(run_point_direct(&keys));
-    println!("{}", rows.last().unwrap().line());
-    rows.push(run_batched_direct(&keys));
-    println!("{}", rows.last().unwrap().line());
-    rows.push(run_point_service(&keys));
-    println!("{}", rows.last().unwrap().line());
+    let mut traj = Trajectory::new("service", &args);
+    let row = run_point_direct(&args, &keys);
+    traj.push(row);
+    let row = run_batched_direct(&args, &keys);
+    traj.push(row);
+    let row = run_point_service(&args, &keys);
+    traj.push(row);
     for shards in [1usize, 4, 16] {
-        let row = run_sharded(&keys, shards, CLIENTS);
-        println!("{}", row.line());
-        rows.push(row);
+        let row = run_sharded(&args, &keys, shards, CLIENTS);
+        traj.push(row);
     }
     // Delete-heavy workload: per-key outcomes vs the old pre-query path.
     for emulate_prequery in [true, false] {
-        let row = run_delete_heavy(&keys, 4, CLIENTS, emulate_prequery);
-        println!("{}", row.line());
-        rows.push(row);
+        let row = run_delete_heavy(&args, &keys, 4, CLIENTS, emulate_prequery);
+        traj.push(row);
     }
 
-    let mops_of =
-        |mode: &str| rows.iter().filter(|r| r.mode == mode).map(Row::mops).fold(0.0, f64::max);
-    let naive_serving = mops_of("point-service");
-    let point_direct = mops_of("point-direct");
-    let best_sharded = rows
+    let mops_of = |label_prefix: &str| {
+        traj.rows
+            .iter()
+            .filter(|m| m.label.starts_with(label_prefix))
+            .map(|m| m.items_per_sec.median / 1e6)
+            .fold(0.0, f64::max)
+    };
+    let best_sharded = traj
+        .rows
         .iter()
-        .filter(|r| r.mode == "sharded-batched" && r.shards >= 4)
-        .map(Row::mops)
+        .filter(|m| {
+            m.label.starts_with("sharded-batched") && m.get_metric("shards").unwrap_or(0.0) >= 4.0
+        })
+        .map(|m| m.items_per_sec.median / 1e6)
         .fold(0.0, f64::max);
-    let speedup_vs_naive = best_sharded / naive_serving;
-    let speedup_vs_direct = best_sharded / point_direct;
-    let delete_perkey = mops_of("delete-perkey");
-    let delete_prequery = mops_of("delete-prequery");
-    let delete_speedup = delete_perkey / delete_prequery;
+    let speedup_vs_naive = best_sharded / mops_of("point-service");
+    let speedup_vs_direct = best_sharded / mops_of("point-direct");
+    let delete_speedup = mops_of("delete-perkey") / mops_of("delete-prequery");
     println!("\nsharded-batched (≥4 shards) vs naive point-op serving: {speedup_vs_naive:.2}x");
     println!("sharded-batched (≥4 shards) vs in-process point loop:  {speedup_vs_direct:.2}x");
     println!("delete-heavy: per-key outcomes vs pre-query round trip: {delete_speedup:.2}x");
 
-    // Machine-readable trajectory for future PRs.
-    let mut json = String::new();
-    let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"bench\": \"service_throughput\",");
-    let _ = writeln!(json, "  \"keys\": {n_keys},");
-    let _ = writeln!(json, "  \"chunk\": {CHUNK},");
-    let _ = writeln!(json, "  \"host_cores\": {},", rayon_core_count());
-    let _ = writeln!(json, "  \"workload\": \"insert each key once, query each key once\",");
-    let _ = writeln!(json, "  \"naive_sample_cap\": {NAIVE_SAMPLE_CAP},");
-    let _ = writeln!(json, "  \"rows\": [");
-    for (i, r) in rows.iter().enumerate() {
-        let comma = if i + 1 < rows.len() { "," } else { "" };
-        let _ = writeln!(json, "    {}{comma}", r.json());
-    }
-    let _ = writeln!(json, "  ],");
-    let _ = writeln!(json, "  \"speedup_sharded_ge4_vs_point_service\": {speedup_vs_naive:.4},");
-    let _ = writeln!(json, "  \"speedup_sharded_ge4_vs_point_direct\": {speedup_vs_direct:.4},");
-    let _ = writeln!(json, "  \"delete_perkey_speedup_vs_prequery\": {delete_speedup:.4},");
-    let _ = writeln!(json, "  \"meets_2x_acceptance\": {}", speedup_vs_naive >= 2.0);
-    let _ = writeln!(json, "}}");
-
-    let dir = std::path::Path::new(&out_dir);
-    std::fs::create_dir_all(dir).expect("create out dir");
-    let path = dir.join("BENCH_service.json");
-    std::fs::write(&path, &json).expect("write BENCH_service.json");
-    println!("→ wrote {}", path.display());
-}
-
-fn rayon_core_count() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    traj.set_extra("keys", Json::num(n_keys as f64));
+    traj.set_extra("chunk", Json::num(CHUNK as f64));
+    traj.set_extra("naive_sample_cap", Json::num(NAIVE_SAMPLE_CAP as f64));
+    traj.set_extra("workload", Json::str("insert each key once, query each key once"));
+    traj.set_extra("speedup_sharded_ge4_vs_point_service", Json::num(speedup_vs_naive));
+    traj.set_extra("speedup_sharded_ge4_vs_point_direct", Json::num(speedup_vs_direct));
+    traj.set_extra("delete_perkey_speedup_vs_prequery", Json::num(delete_speedup));
+    traj.set_extra("meets_2x_acceptance", Json::Bool(speedup_vs_naive >= 2.0));
+    traj.write(&args);
 }

@@ -1,14 +1,17 @@
 //! Table 4: CPU vs GPU versions of the same filter designs. CPU rows
 //! (CQF, VQF) run on all host threads and report wall throughput; GPU
-//! rows (point GQF, point TCF) report the device model (Cori).
+//! rows (point GQF, point TCF) report the device model (Cori). Every row
+//! carries repeat statistics (fresh filter per repeat for inserts); the
+//! trajectory lands in `experiments/BENCH_table4.json` next to the
+//! human-readable `table4_cpu_gpu.txt`.
 //!
 //! ```sh
 //! cargo run --release -p bench --bin table4_cpu_gpu -- --sizes 20
+//! cargo run --release -p bench --bin table4_cpu_gpu -- --smoke
 //! ```
 
 use baselines::{CpuCqf, CpuVqf};
-use bench::harness::measure_point_multi;
-use bench::{parse_args, write_report};
+use bench::{measure_point, measure_wall, parse_args, write_report, Probe, Trajectory};
 use filter_core::{hashed_keys, Filter, FilterMeta};
 use gpu_sim::Device;
 use std::fmt::Write as _;
@@ -22,92 +25,161 @@ fn main() {
     let fresh = hashed_keys(4200, n);
     let cori = Device::cori();
     let devices = [&cori];
+    let mut traj = Trajectory::new("table4", &args);
     let mut out = String::new();
     let _ = writeln!(out, "Table 4: CPU vs GPU filter throughput (2^{s} slots, M ops/s)");
     let _ =
         writeln!(out, "{:<12}{:>12}{:>14}{:>14}", "Filter", "Inserts", "PosQueries", "RandQueries");
 
-    // ---- CPU CQF ----
-    let cqf = CpuCqf::new(s, 8).unwrap();
-    let ins = cqf.insert_all_threads(&keys) / 1e6;
-    let (hits, posq) = cqf.query_all_threads(&keys);
-    assert_eq!(hits, n);
-    let (_, randq) = cqf.query_all_threads(&fresh);
-    let _ = writeln!(
-        out,
-        "{:<12}{:>12.1}{:>14.1}{:>14.1}   (paper: 2.2 / 320.9 / 368.0)",
-        "CQF",
-        ins,
-        posq / 1e6,
-        randq / 1e6
-    );
-    drop(cqf);
+    // CPU rows measure wall time on all host threads; the mops reported
+    // in the table are the medians across repeats.
+    let mut cpu_row = |traj: &mut Trajectory,
+                       label: &str,
+                       kind: &str,
+                       paper: &str,
+                       build: &dyn Fn() -> Box<dyn CpuThreaded>| {
+        let probe = Probe::new(label, kind, "insert", s, n as u64);
+        let (row, f) = measure_wall(&args, &probe, build, |f| {
+            f.insert_all(&keys);
+        });
+        let ins = row.items_per_sec.median / 1e6;
+        traj.push(row);
+        let (row, _) = measure_wall(
+            &args,
+            &probe.with_op("pos-query"),
+            || (),
+            |_| {
+                assert_eq!(f.query_all(&keys), n, "{label} lost keys");
+            },
+        );
+        let posq = row.items_per_sec.median / 1e6;
+        traj.push(row);
+        let (row, _) = measure_wall(
+            &args,
+            &probe.with_op("rand-query"),
+            || (),
+            |_| {
+                std::hint::black_box(f.query_all(&fresh));
+            },
+        );
+        let randq = row.items_per_sec.median / 1e6;
+        traj.push(row);
+        let _ = writeln!(
+            out,
+            "{:<12}{:>12.1}{:>14.1}{:>14.1}   (paper: {})",
+            label, ins, posq, randq, paper
+        );
+    };
+    cpu_row(&mut traj, "CQF", "cpu-cqf", "2.2 / 320.9 / 368.0", &|| {
+        Box::new(CpuCqf::new(s, 8).unwrap())
+    });
+    cpu_row(&mut traj, "VQF", "cpu-vqf", "247.2 / 332.0 / 333.8", &|| {
+        Box::new(CpuVqf::new(slots).unwrap())
+    });
 
-    // ---- GPU point GQF (modeled) ----
-    let gqf = gqf::PointGqf::new(s, 8).unwrap();
-    let fp = gqf.table_bytes() as u64;
-    let ins = measure_point_multi(&devices, "GQF", "insert", s, 1, fp, n, |i| {
-        let _ = gqf.insert(keys[i]);
-    })[0]
-        .modeled
-        / 1e6;
-    let posq = measure_point_multi(&devices, "GQF", "pos", s, 1, fp, n, |i| {
-        assert!(gqf.count_unlocked(keys[i]) > 0);
-    })[0]
-        .modeled
-        / 1e6;
-    let randq = measure_point_multi(&devices, "GQF", "rand", s, 1, fp, n, |i| {
-        std::hint::black_box(gqf.count_unlocked(fresh[i]));
-    })[0]
-        .modeled
-        / 1e6;
-    let _ = writeln!(
-        out,
-        "{:<12}{:>12.1}{:>14.1}{:>14.1}   (paper: 129.7 / 2118.4 / 3369.0)",
-        "Point GQF", ins, posq, randq
-    );
-    drop(gqf);
-
-    // ---- CPU VQF ----
-    let vqf = CpuVqf::new(slots).unwrap();
-    let ins = vqf.insert_all_threads(&keys) / 1e6;
-    let (hits, posq) = vqf.query_all_threads(&keys);
-    assert_eq!(hits, n);
-    let (_, randq) = vqf.query_all_threads(&fresh);
-    let _ = writeln!(
-        out,
-        "{:<12}{:>12.1}{:>14.1}{:>14.1}   (paper: 247.2 / 332.0 / 333.8)",
-        "VQF",
-        ins,
-        posq / 1e6,
-        randq / 1e6
-    );
-    drop(vqf);
-
-    // ---- GPU point TCF (modeled) ----
-    let tcf = tcf::PointTcf::new(slots).unwrap();
-    let fp = tcf.table_bytes() as u64;
-    let ins = measure_point_multi(&devices, "TCF", "insert", s, 4, fp, n, |i| {
-        let _ = tcf.insert(keys[i]);
-    })[0]
-        .modeled
-        / 1e6;
-    let posq = measure_point_multi(&devices, "TCF", "pos", s, 4, fp, n, |i| {
-        assert!(tcf.contains(keys[i]));
-    })[0]
-        .modeled
-        / 1e6;
-    let randq = measure_point_multi(&devices, "TCF", "rand", s, 4, fp, n, |i| {
-        std::hint::black_box(tcf.contains(fresh[i]));
-    })[0]
-        .modeled
-        / 1e6;
-    let _ = writeln!(
-        out,
-        "{:<12}{:>12.1}{:>14.1}{:>14.1}   (paper: 1273.8 / 4340.9 / 1994.3)",
-        "Point TCF", ins, posq, randq
-    );
+    // GPU rows report the device cost model (modeled median column).
+    {
+        let build = || gqf::PointGqf::new(s, 8).unwrap();
+        let probe = Probe::new("Point GQF", "gqf-point", "insert", s, n as u64)
+            .footprint(build().table_bytes() as u64);
+        let (rows, gqf) = measure_point(&devices, &args, &probe, build, |g, i| {
+            let _ = g.insert(keys[i]);
+        });
+        let ins = rows[0].modeled_items_per_sec.unwrap() / 1e6;
+        traj.push_all(rows);
+        let (rows, _) = measure_point(
+            &devices,
+            &args,
+            &probe.with_op("pos-query"),
+            || (),
+            |_, i| {
+                assert!(gqf.count_unlocked(keys[i]) > 0);
+            },
+        );
+        let posq = rows[0].modeled_items_per_sec.unwrap() / 1e6;
+        traj.push_all(rows);
+        let (rows, _) = measure_point(
+            &devices,
+            &args,
+            &probe.with_op("rand-query"),
+            || (),
+            |_, i| {
+                std::hint::black_box(gqf.count_unlocked(fresh[i]));
+            },
+        );
+        let randq = rows[0].modeled_items_per_sec.unwrap() / 1e6;
+        traj.push_all(rows);
+        let _ = writeln!(
+            out,
+            "{:<12}{:>12.1}{:>14.1}{:>14.1}   (paper: 129.7 / 2118.4 / 3369.0)",
+            "Point GQF", ins, posq, randq
+        );
+    }
+    {
+        let build = || tcf::PointTcf::new(slots).unwrap();
+        let probe = Probe::new("Point TCF", "tcf-point", "insert", s, n as u64)
+            .cg(4)
+            .footprint(build().table_bytes() as u64);
+        let (rows, tcf) = measure_point(&devices, &args, &probe, build, |t, i| {
+            let _ = t.insert(keys[i]);
+        });
+        let ins = rows[0].modeled_items_per_sec.unwrap() / 1e6;
+        traj.push_all(rows);
+        let (rows, _) = measure_point(
+            &devices,
+            &args,
+            &probe.with_op("pos-query"),
+            || (),
+            |_, i| {
+                assert!(tcf.contains(keys[i]));
+            },
+        );
+        let posq = rows[0].modeled_items_per_sec.unwrap() / 1e6;
+        traj.push_all(rows);
+        let (rows, _) = measure_point(
+            &devices,
+            &args,
+            &probe.with_op("rand-query"),
+            || (),
+            |_, i| {
+                std::hint::black_box(tcf.contains(fresh[i]));
+            },
+        );
+        let randq = rows[0].modeled_items_per_sec.unwrap() / 1e6;
+        traj.push_all(rows);
+        let _ = writeln!(
+            out,
+            "{:<12}{:>12.1}{:>14.1}{:>14.1}   (paper: 1273.8 / 4340.9 / 1994.3)",
+            "Point TCF", ins, posq, randq
+        );
+    }
 
     println!("{out}");
     write_report(&args, "table4_cpu_gpu.txt", &out);
+    traj.write(&args);
+}
+
+/// The two CPU comparison filters behind one object-safe surface, so the
+/// table's CPU rows share a measurement loop.
+trait CpuThreaded: Sync {
+    fn insert_all(&self, keys: &[u64]);
+    fn query_all(&self, keys: &[u64]) -> usize;
+}
+
+impl CpuThreaded for CpuCqf {
+    fn insert_all(&self, keys: &[u64]) {
+        std::hint::black_box(self.insert_all_threads(keys));
+    }
+    fn query_all(&self, keys: &[u64]) -> usize {
+        self.query_all_threads(keys).0
+    }
+}
+
+impl CpuThreaded for CpuVqf {
+    fn insert_all(&self, keys: &[u64]) {
+        std::hint::black_box(self.insert_all_threads(keys));
+    }
+    fn query_all(&self, keys: &[u64]) -> usize {
+        self.query_all_threads(keys).0
+    }
 }

@@ -1,12 +1,14 @@
 //! Table 5: bulk GQF counting throughput across count distributions —
-//! UR, UR-count, Zipfian (naive), Zipfian (map-reduce), and k-mers.
+//! UR, UR-count, Zipfian (naive), Zipfian (map-reduce), and k-mers. Each
+//! distribution re-inserts into a freshly built GQF every repeat; the
+//! trajectory lands in `experiments/BENCH_table5.json`.
 //!
 //! ```sh
 //! cargo run --release -p bench --bin table5_counting -- --sizes 16,18,20
+//! cargo run --release -p bench --bin table5_counting -- --smoke
 //! ```
 
-use bench::harness::measure_bulk;
-use bench::{parse_args, write_report, Series};
+use bench::{measure_bulk, parse_args, Probe, Trajectory};
 use filter_core::FilterMeta;
 use gpu_sim::Device;
 use gqf::{BulkGqf, REGION_SLOTS};
@@ -15,7 +17,7 @@ use workloads::{kmer_dataset, ur_count_dataset, ur_dataset, zipfian_count_datase
 fn main() {
     let args = parse_args(&[16, 18, 20]);
     let cori = Device::cori();
-    let mut series = Series::default();
+    let mut traj = Trajectory::new("table5", &args);
 
     for &s in &args.sizes_log2 {
         // Dataset sized so distinct items fill ~60% of 2^s slots even in
@@ -32,43 +34,34 @@ fn main() {
         ];
 
         for (label, items, mapreduce) in datasets {
-            let gqf = BulkGqf::new(s, 8, cori.clone()).expect("gqf");
-            let fp = gqf.table_bytes() as u64;
-            let items_len = items.len() as u64;
+            let build = || BulkGqf::new(s, 8, cori.clone()).expect("gqf");
+            let sample = build();
             // Phase parallelism is bounded by the hottest region; the
             // map-reduce path is assessed on the *reduced* batch (§5.4).
             let parallelism = if mapreduce {
                 let mut distinct = items.clone();
                 distinct.sort_unstable();
                 distinct.dedup();
-                gqf.effective_parallelism(&distinct)
+                sample.effective_parallelism(&distinct)
             } else {
-                gqf.effective_parallelism(&items)
+                sample.effective_parallelism(&items)
             }
             .min(regions / 2);
-            series.push(measure_bulk(
-                &cori,
-                label,
-                "count-insert",
-                s,
-                fp,
-                items_len,
-                parallelism,
-                || {
-                    let failures = if mapreduce {
-                        gqf.insert_batch_mapreduce(&items)
-                    } else {
-                        gqf.insert_batch(&items)
-                    };
-                    assert_eq!(failures, 0, "{label} 2^{s}");
-                },
-            ));
+            let probe = Probe::new(label, "gqf-bulk", "count-insert", s, items.len() as u64)
+                .footprint(sample.table_bytes() as u64)
+                .active_threads(parallelism);
+            drop(sample);
+            let (row, _) = measure_bulk(&cori, &args, &probe, build, |gqf| {
+                let failures = if mapreduce {
+                    gqf.insert_batch_mapreduce(&items)
+                } else {
+                    gqf.insert_batch(&items)
+                };
+                assert_eq!(failures, 0, "{label} 2^{s}");
+            });
+            traj.push(row.metric("mapreduce", f64::from(u8::from(mapreduce))));
         }
     }
 
-    write_report(
-        &args,
-        "table5_counting.txt",
-        &series.render("Table 5: GQF counting insertion throughput (M items/s, Cori)"),
-    );
+    traj.write(&args);
 }

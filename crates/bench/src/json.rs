@@ -1,0 +1,466 @@
+//! A minimal, serde-free JSON value: writer *and* reader for the
+//! `experiments/BENCH_*.json` trajectory files.
+//!
+//! The container building this workspace has no registry access, so the
+//! trajectory schema is implemented directly: [`Json`] covers exactly the
+//! JSON data model, [`Json::render`] emits the files, and [`Json::parse`]
+//! reads them back — the same reader the schema-regression test uses, so a
+//! file the harness writes is by construction a file the harness (and the
+//! test suite) can load.
+
+use std::fmt::Write as _;
+
+/// One JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (JSON does not distinguish integer from float).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved on render.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Shorthand for a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Shorthand for a numeric value.
+    pub fn num(x: impl Into<f64>) -> Json {
+        Json::Num(x.into())
+    }
+
+    /// Member of an object, when this is an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value, when this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Non-negative integer value, when this is a whole number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= u64::MAX as f64 => {
+                Some(*x as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// String value, when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean value, when this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Elements, when this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Members, when this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(members) => Some(members),
+            _ => None,
+        }
+    }
+
+    /// Render with 2-space indentation and a trailing newline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) => render_number(out, *x),
+            Json::Str(s) => render_string(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    item.render_into(out, depth + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                if members.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    render_string(out, k);
+                    out.push_str(": ");
+                    v.render_into(out, depth + 1);
+                    if i + 1 < members.len() {
+                        out.push(',');
+                    }
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parse one JSON document (trailing whitespace allowed).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing content at byte {}", p.pos));
+        }
+        Ok(value)
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn render_number(out: &mut String, x: f64) {
+    // JSON has no NaN/Infinity; degrade to null rather than emit an
+    // unparseable file.
+    if !x.is_finite() {
+        out.push_str("null");
+    } else if x.fract() == 0.0 && x.abs() < 1e15 {
+        let _ = write!(out, "{}", x as i64);
+    } else {
+        let _ = write!(out, "{x}");
+    }
+}
+
+fn render_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(b) => Err(format!("unexpected byte '{}' at {}", b as char, self.pos)),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("expected '{word}' at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        text.parse::<f64>().map(Json::Num).map_err(|e| format!("bad number '{text}': {e}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            out.push(self.unicode_escape()?);
+                            continue;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input came from &str,
+                    // so byte-level continuation handling is safe).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|e| format!("invalid utf-8 in string: {e}"))?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Four hex digits at the cursor (the `XXXX` of a `\uXXXX` escape).
+    fn hex4(&mut self) -> Result<u32, String> {
+        let hex = self.bytes.get(self.pos..self.pos + 4).ok_or("truncated \\u escape")?;
+        let code = u32::from_str_radix(std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?, 16)
+            .map_err(|_| "bad \\u escape")?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    /// Decode `\uXXXX`, combining UTF-16 surrogate pairs; the cursor sits
+    /// just past the `u` on entry and past the escape on exit. Unpaired
+    /// surrogates are an error, not silent replacement characters.
+    fn unicode_escape(&mut self) -> Result<char, String> {
+        let hi = self.hex4()?;
+        if (0xdc00..=0xdfff).contains(&hi) {
+            return Err(format!("unpaired low surrogate \\u{hi:04x}"));
+        }
+        if !(0xd800..=0xdbff).contains(&hi) {
+            return char::from_u32(hi).ok_or(format!("invalid \\u{hi:04x}"));
+        }
+        if self.peek() != Some(b'\\') {
+            return Err(format!("unpaired high surrogate \\u{hi:04x}"));
+        }
+        self.pos += 1;
+        if self.peek() != Some(b'u') {
+            return Err(format!("unpaired high surrogate \\u{hi:04x}"));
+        }
+        self.pos += 1;
+        let lo = self.hex4()?;
+        if !(0xdc00..=0xdfff).contains(&lo) {
+            return Err(format!("\\u{hi:04x} not followed by a low surrogate (\\u{lo:04x})"));
+        }
+        let code = 0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00);
+        char::from_u32(code).ok_or(format!("invalid surrogate pair \\u{hi:04x}\\u{lo:04x}"))
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_a_nested_document() {
+        let doc = Json::Obj(vec![
+            ("figure".into(), Json::str("fig3")),
+            ("smoke".into(), Json::Bool(false)),
+            ("nums".into(), Json::Arr(vec![Json::num(1.0), Json::num(0.5), Json::num(-3.25e-4)])),
+            ("nested".into(), Json::Obj(vec![("k".into(), Json::Null)])),
+            ("empty_arr".into(), Json::Arr(vec![])),
+            ("empty_obj".into(), Json::Obj(vec![])),
+        ]);
+        let text = doc.render();
+        assert_eq!(Json::parse(&text).unwrap(), doc);
+    }
+
+    #[test]
+    fn parses_the_service_trajectory_shape() {
+        let text = r#"{
+            "bench": "service_throughput",
+            "rows": [
+                {"mode": "point-direct", "ops": 2000000, "secs": 0.346289, "mops": 5.7755}
+            ],
+            "meets_2x_acceptance": true
+        }"#;
+        let doc = Json::parse(text).unwrap();
+        assert_eq!(doc.get("bench").and_then(Json::as_str), Some("service_throughput"));
+        let rows = doc.get("rows").and_then(Json::as_arr).unwrap();
+        assert_eq!(rows[0].get("ops").and_then(Json::as_u64), Some(2_000_000));
+        assert_eq!(doc.get("meets_2x_acceptance").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn escapes_and_unicode_roundtrip() {
+        let doc = Json::Obj(vec![(
+            "s".into(),
+            Json::str("a \"quoted\" line\nwith\ttabs, a backslash \\ and ε"),
+        )]);
+        assert_eq!(Json::parse(&doc.render()).unwrap(), doc);
+        assert_eq!(Json::parse(r#""é""#).unwrap(), Json::Str("é".into()));
+        assert_eq!(Json::parse(r#""\u00e9""#).unwrap(), Json::Str("é".into()));
+        // Surrogate pairs combine; unpaired surrogates are errors, not
+        // silent replacement characters.
+        assert_eq!(Json::parse(r#""\ud83d\ude00""#).unwrap(), Json::Str("😀".into()));
+        assert!(Json::parse(r#""\ud83d""#).is_err());
+        assert!(Json::parse(r#""\ud83d x""#).is_err());
+        assert!(Json::parse(r#""\ude00""#).is_err());
+    }
+
+    #[test]
+    fn integers_render_without_fraction() {
+        assert_eq!(Json::num(2_000_000.0).render(), "2000000\n");
+        assert_eq!(Json::num(0.5).render(), "0.5\n");
+        assert_eq!(Json::Num(f64::NAN).render(), "null\n");
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1, 2,]").is_err());
+        assert!(Json::parse("{\"a\" 1}").is_err());
+        assert!(Json::parse("true false").is_err());
+        assert!(Json::parse("nul").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+    }
+}

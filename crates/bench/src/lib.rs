@@ -15,12 +15,22 @@
 //! | `table4_cpu_gpu` | Table 4 CPU vs GPU |
 //! | `table5_counting`| Table 5 GQF counting throughput |
 //! | `ablations`      | §4.1/§6.8 design-choice ablations |
+//! | `service_throughput` | serving-layer point-vs-bulk comparison |
 //!
-//! Each reports **wall** (measured CPU) and **modeled** (device cost
-//! model) throughput; the modeled numbers are the ones comparable to the
-//! paper's figures. Binaries accept `--sizes a,b,c` (log2 slot counts)
-//! and write their tables under `experiments/`.
+//! Every binary measures through the [`harness`]: `warmup + repeats`
+//! executions per row, median/p10/p90 wall statistics (the same
+//! aggregation the vendored criterion shim reports for `benches/*`), plus
+//! the device cost model's **modeled** throughput — the numbers comparable
+//! to the paper's figures. Each figure's rows land in
+//! `experiments/BENCH_<figure>.json` on the schema described in this
+//! crate's README; binaries accept `--sizes a,b,c` (log2 slot counts),
+//! `--repeats N`, and `--smoke` (CI-scale: small n, 1 repeat).
 
 pub mod harness;
+pub mod json;
 
-pub use harness::{parse_args, write_report, BenchArgs, Row, Series};
+pub use harness::{
+    measure_bulk, measure_point, measure_wall, parse_args, parse_args_with, stats, write_report,
+    BenchArgs, Measurement, Probe, SampleStats, Trajectory,
+};
+pub use json::Json;

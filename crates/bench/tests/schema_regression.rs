@@ -1,0 +1,104 @@
+//! Schema regression: every `experiments/BENCH_*.json` trajectory file
+//! must parse through the harness's own serde-free reader and satisfy the
+//! shared schema (figure, filter kind, n, repeats, median, …), so the
+//! repo's perf-trajectory files cannot silently drift as binaries evolve.
+
+use bench::Trajectory;
+use std::path::PathBuf;
+
+fn experiments_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../experiments")
+}
+
+fn trajectory_files() -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(experiments_dir())
+        .expect("experiments/ exists")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            name.starts_with("BENCH_") && name.ends_with(".json")
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+/// Every figure the measurement subsystem is contracted to record. A
+/// missing file is as much schema drift as a malformed one.
+const REQUIRED_FIGURES: [&str; 8] =
+    ["fig3", "fig4", "fig5", "fig6", "service", "table2", "table4", "table5"];
+
+#[test]
+fn every_trajectory_file_parses_and_validates() {
+    let files = trajectory_files();
+    assert!(!files.is_empty(), "no BENCH_*.json files under experiments/");
+    for path in &files {
+        let traj = Trajectory::read(path).unwrap_or_else(|e| panic!("{e}"));
+        traj.validate().unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+
+        // The file name and the figure field must agree, so a figure
+        // can't overwrite another figure's trajectory.
+        let expect = format!("BENCH_{}.json", traj.figure);
+        assert_eq!(
+            path.file_name().and_then(|n| n.to_str()),
+            Some(expect.as_str()),
+            "{}: figure field disagrees with file name",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn required_figures_are_present() {
+    let present: Vec<String> =
+        trajectory_files().iter().map(|p| Trajectory::read(p).unwrap().figure).collect();
+    for figure in REQUIRED_FIGURES {
+        assert!(
+            present.iter().any(|f| f == figure),
+            "missing experiments/BENCH_{figure}.json (present: {present:?})"
+        );
+    }
+}
+
+#[test]
+fn rows_carry_the_required_fields() {
+    for path in trajectory_files() {
+        let traj = Trajectory::read(&path).unwrap();
+        for row in &traj.rows {
+            // validate() covers structure; these are the semantic floors
+            // the ISSUE contract names explicitly.
+            assert!(!row.kind.is_empty(), "{}: row without filter kind", path.display());
+            assert!(row.n > 0, "{}: row with n = 0", path.display());
+            assert!(row.repeats >= 1, "{}: row with no repeats", path.display());
+            assert!(
+                row.secs.median.is_finite() && row.secs.median >= 0.0,
+                "{}: row '{}' has invalid median",
+                path.display(),
+                row.label
+            );
+            assert_eq!(
+                row.secs.n,
+                row.repeats,
+                "{}: row '{}' aggregates a different number of samples than it claims",
+                path.display(),
+                row.label
+            );
+            // Spec echoes, where present, must be valid specs.
+            if let Some(spec) = &row.spec {
+                spec.validate().unwrap_or_else(|e| {
+                    panic!("{}: row '{}' echoes invalid spec: {e}", path.display(), row.label)
+                });
+            }
+        }
+    }
+}
+
+#[test]
+fn reader_rejects_unversioned_documents() {
+    // The old ad-hoc BENCH_service.json shape (no schema_version) must be
+    // rejected by the shared reader, not half-parsed.
+    let legacy = r#"{"bench": "service_throughput", "rows": []}"#;
+    let doc = bench::Json::parse(legacy).unwrap();
+    assert!(Trajectory::from_json(&doc).is_err());
+}

@@ -163,6 +163,35 @@ fn per_key_delete_outcomes_agree_with_ground_truth() {
 }
 
 #[test]
+fn from_spec_is_idempotent_for_every_kind() {
+    // Building the same spec twice must yield filters that agree on every
+    // probe after identical load sequences: `from_spec` may not consume
+    // hidden global state (a process-wide seed, a static counter) that
+    // would make the second build answer differently from the first.
+    let ks = keys(0xc6f, ITEMS);
+    let probes = keys(0xc7f, 60_000);
+    for kind in FilterKind::ALL {
+        let spec = FilterSpec::items(ITEMS as u64).fp_rate(eps(kind));
+        let a = build_filter(kind, &spec).unwrap_or_else(|e| panic!("{kind}: {e}"));
+        let b = build_filter(kind, &spec).unwrap_or_else(|e| panic!("{kind} (rebuild): {e}"));
+        assert_eq!(a.capacity_slots(), b.capacity_slots(), "{kind}: geometry differs");
+        assert_eq!(a.table_bytes(), b.table_bytes(), "{kind}: table size differs");
+        assert_eq!(load(&a, &ks), 0, "{kind}");
+        assert_eq!(load(&b, &ks), 0, "{kind} (rebuild)");
+        for (i, (ha, hb)) in hits(&a, &probes).iter().zip(hits(&b, &probes)).enumerate() {
+            assert_eq!(
+                *ha, hb,
+                "{kind}: builds diverge on probe {i} ({:#x}) — hidden global/seeded state",
+                probes[i]
+            );
+        }
+        // The inserted keys must agree too (both present — covered by the
+        // no-false-negative suite — so compare the full answer surface).
+        assert_eq!(hits(&a, &ks), hits(&b, &ks), "{kind}: builds diverge on inserted keys");
+    }
+}
+
+#[test]
 fn all_filters_reports_errors_instead_of_panicking() {
     // A spec no quotient-family backend can honour at this size: every
     // kind either builds or yields a clean error.

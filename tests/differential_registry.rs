@@ -1,0 +1,201 @@
+//! Differential oracle: every registered `FilterKind` is driven through a
+//! randomized insert/query/delete trace against an exact ground-truth
+//! multiset (`HashMap<key, count>`). The approximate-membership contract
+//! under test:
+//!
+//! * **zero false negatives** — any key the ground truth holds (count ≥ 1)
+//!   must be reported present after every round, deletes interleaved;
+//! * **bounded false positives** — after the trace, the realized fp rate
+//!   on a disjoint probe set stays within 2× the spec's target ε.
+//!
+//! Deleting a present key is safe even under fingerprint collisions:
+//! instances of colliding keys form one indistinguishable class whose
+//! stored multiplicity equals the *sum* of the members' ground-truth
+//! counts, so one decrement per ground-truth decrement keeps every
+//! member's count ≤ the class multiplicity — the no-false-negative
+//! invariant this trace asserts round by round.
+//!
+//! The trace is pseudo-random but deterministic (splitmix64 seeded per
+//! kind), so a failure reproduces exactly.
+
+use gpu_filters::{
+    build_filter, AnyFilter, DeleteOutcome, FilterError, FilterKind, FilterSpec, InsertOutcome,
+};
+use std::collections::HashMap;
+
+const ITEMS: u64 = 3000;
+const UNIVERSE: usize = 1200;
+const ROUNDS: usize = 8;
+const INSERTS_PER_ROUND: usize = 220;
+const DELETES_PER_ROUND: usize = 90;
+const PROBES: usize = 100_000;
+
+/// Per-kind target ε (the spec knob the 2× acceptance bound refers to);
+/// loose enough that every kind can honour it at this size, tight enough
+/// that a mis-derived geometry trips the bound.
+fn eps(kind: FilterKind) -> f64 {
+    match kind {
+        FilterKind::Sqf | FilterKind::Rsqf => 4e-2,
+        _ => 4e-3,
+    }
+}
+
+/// splitmix64: deterministic trace randomness, seeded per kind.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next() % bound as u64) as usize
+    }
+}
+
+/// Insert through whichever surface the filter exposes; returns failures.
+fn insert_all(f: &AnyFilter, batch: &[u64]) -> usize {
+    let mut out = vec![InsertOutcome::Inserted; batch.len()];
+    match f.bulk_insert_report(batch, &mut out) {
+        Ok(()) => out.iter().filter(|o| o.failed()).count(),
+        Err(FilterError::Unsupported(_)) => batch.iter().filter(|&&k| f.insert(k).is_err()).count(),
+        Err(e) => panic!("insert: {e}"),
+    }
+}
+
+/// Query through whichever surface the filter exposes.
+fn query_all(f: &AnyFilter, batch: &[u64]) -> Vec<bool> {
+    match f.bulk_query_vec(batch) {
+        Ok(h) => h,
+        Err(FilterError::Unsupported(_)) => batch.iter().map(|&k| f.contains(k).unwrap()).collect(),
+        Err(e) => panic!("query: {e}"),
+    }
+}
+
+/// How this kind deletes, if it deletes at all.
+enum DeletePath {
+    Bulk,
+    Point,
+    None,
+}
+
+/// Probe the live object (not the static feature matrix): point variants
+/// fold their sibling's bulk cells into Table 1, so the matrix alone
+/// over-approximates what this instance can do.
+fn delete_path(kind: FilterKind) -> DeletePath {
+    let f = build_filter(kind, &FilterSpec::items(64).fp_rate(eps(kind))).unwrap();
+    assert_eq!(insert_all(&f, &[7]), 0);
+    match f.bulk_delete_report(&[7], &mut [DeleteOutcome::NotFound]) {
+        Ok(()) => DeletePath::Bulk,
+        Err(FilterError::Unsupported(_)) => match f.remove(7) {
+            Ok(removed) => {
+                assert!(removed, "{kind}: probe delete of a present key failed");
+                DeletePath::Point
+            }
+            Err(FilterError::Unsupported(_)) => DeletePath::None,
+            Err(e) => panic!("{kind}: probe delete: {e}"),
+        },
+        Err(e) => panic!("{kind}: probe bulk delete: {e}"),
+    }
+}
+
+/// Delete one instance of each key; every key must report Removed.
+fn delete_all(kind: FilterKind, f: &AnyFilter, path: &DeletePath, batch: &[u64]) {
+    match path {
+        DeletePath::Bulk => {
+            let mut out = vec![DeleteOutcome::NotFound; batch.len()];
+            f.bulk_delete_report(batch, &mut out).unwrap_or_else(|e| panic!("{kind}: {e}"));
+            for (i, o) in out.iter().enumerate() {
+                assert!(o.removed(), "{kind}: present key {:#x} reported NotFound", batch[i]);
+            }
+        }
+        DeletePath::Point => {
+            for &k in batch {
+                let removed = f.remove(k).unwrap_or_else(|e| panic!("{kind}: {e}"));
+                assert!(removed, "{kind}: present key {k:#x} reported NotFound");
+            }
+        }
+        DeletePath::None => unreachable!("no delete path"),
+    }
+}
+
+fn assert_no_false_negatives(
+    kind: FilterKind,
+    f: &AnyFilter,
+    truth: &HashMap<u64, u64>,
+    round: usize,
+) {
+    let live: Vec<u64> = truth.iter().filter(|(_, &c)| c > 0).map(|(&k, _)| k).collect();
+    let hits = query_all(f, &live);
+    for (k, hit) in live.iter().zip(&hits) {
+        assert!(hit, "{kind}: false negative on {k:#x} (count {}) after round {round}", truth[k]);
+    }
+}
+
+#[test]
+fn randomized_trace_matches_ground_truth_for_every_kind() {
+    for kind in FilterKind::ALL {
+        let target = eps(kind);
+        let spec = FilterSpec::items(ITEMS).fp_rate(target);
+        let f = build_filter(kind, &spec).unwrap_or_else(|e| panic!("{kind}: {e}"));
+        let path = delete_path(kind);
+
+        // Seed the trace from the kind's name so each kind gets its own
+        // deterministic interleaving.
+        let seed = kind
+            .name()
+            .bytes()
+            .fold(0xd1f_u64, |a, b| a.wrapping_mul(31).wrapping_add(u64::from(b)));
+        let mut rng = Rng(seed);
+        let universe = filter_core::hashed_keys(0xdead ^ seed, UNIVERSE);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+
+        for round in 0..ROUNDS {
+            // -- inserts: draws from the universe, duplicates included --
+            let batch: Vec<u64> =
+                (0..INSERTS_PER_ROUND).map(|_| universe[rng.below(UNIVERSE)]).collect();
+            assert_eq!(
+                insert_all(&f, &batch),
+                0,
+                "{kind}: insert failures in round {round} (well under spec capacity)"
+            );
+            for &k in &batch {
+                *truth.entry(k).or_insert(0) += 1;
+            }
+
+            // -- queries: every live key must still be present --
+            assert_no_false_negatives(kind, &f, &truth, round);
+
+            // -- deletes: one instance each of present keys --
+            if matches!(path, DeletePath::None) {
+                continue;
+            }
+            let mut victims = Vec::new();
+            let live: Vec<u64> = truth.iter().filter(|(_, &c)| c > 0).map(|(&k, _)| k).collect();
+            for _ in 0..DELETES_PER_ROUND.min(live.len()) {
+                let k = live[rng.below(live.len())];
+                let count = truth.get_mut(&k).unwrap();
+                if *count > 0 && !victims.contains(&k) {
+                    *count -= 1;
+                    victims.push(k);
+                }
+            }
+            delete_all(kind, &f, &path, &victims);
+            assert_no_false_negatives(kind, &f, &truth, round);
+        }
+
+        // -- fp bound: disjoint probes, realized ε within 2× of target --
+        let mut probes = filter_core::hashed_keys(0xfeed ^ seed, PROBES);
+        probes.retain(|k| !truth.contains_key(k));
+        let fps = query_all(&f, &probes).iter().filter(|&&h| h).count();
+        let fp_rate = fps as f64 / probes.len() as f64;
+        assert!(
+            fp_rate <= 2.0 * target,
+            "{kind}: realized fp rate {fp_rate:.5} exceeds 2x target {target:.5}"
+        );
+    }
+}

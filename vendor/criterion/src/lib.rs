@@ -4,8 +4,11 @@
 //! shim implements the benchmark-definition surface the workspace's benches
 //! use (`criterion_group!`/`criterion_main!`, benchmark groups, throughput
 //! annotation, `iter` and `iter_batched`) with a simple measurement loop:
-//! a short warmup, then `sample_size` timed iterations, reporting mean
-//! wall-clock time and derived throughput to stdout. There is no outlier
+//! a short warmup, then `sample_size` individually-timed iterations,
+//! reporting median / p10 / p90 wall-clock time and derived throughput to
+//! stdout. The aggregation lives in [`stats`], which the `bench` crate's
+//! measurement harness reuses, so `benches/*` and the per-figure binaries
+//! report the same statistics from the same code. There is no outlier
 //! analysis, no HTML report, and no statistical comparison against saved
 //! baselines — run the `bench` crate's dedicated binaries for the paper's
 //! tracked measurements.
@@ -20,6 +23,87 @@ use std::time::{Duration, Instant};
 /// Re-export of `std::hint::black_box`, criterion-style.
 pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
+}
+
+/// Repeat-sample aggregation shared by this shim and the `bench` crate's
+/// measurement harness (so `benches/*` and the per-figure binaries report
+/// the same statistics from the same code).
+///
+/// Percentiles use linear interpolation between order statistics
+/// (`rank = q · (n − 1)` over the sorted samples), the common "type 7"
+/// estimator, so `q = 0` is the minimum, `q = 1` the maximum, and a single
+/// sample answers every quantile with itself.
+pub mod stats {
+    /// Summary of one batch of repeat samples (seconds, items/sec, …).
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct SampleStats {
+        /// Number of samples aggregated.
+        pub n: u32,
+        /// 50th percentile.
+        pub median: f64,
+        /// 10th percentile.
+        pub p10: f64,
+        /// 90th percentile.
+        pub p90: f64,
+        /// Smallest sample.
+        pub min: f64,
+        /// Largest sample.
+        pub max: f64,
+    }
+
+    impl SampleStats {
+        /// Aggregate `samples`; `None` when empty.
+        pub fn from_samples(samples: &[f64]) -> Option<SampleStats> {
+            if samples.is_empty() {
+                return None;
+            }
+            let mut sorted = samples.to_vec();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            Some(SampleStats {
+                n: sorted.len() as u32,
+                median: percentile_sorted(&sorted, 0.5),
+                p10: percentile_sorted(&sorted, 0.1),
+                p90: percentile_sorted(&sorted, 0.9),
+                min: sorted[0],
+                max: sorted[sorted.len() - 1],
+            })
+        }
+    }
+
+    /// Quantile `q ∈ [0, 1]` of `samples` (unsorted input; NaN on empty).
+    pub fn percentile(samples: &[f64], q: f64) -> f64 {
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+        percentile_sorted(&sorted, q)
+    }
+
+    /// Median of `samples` (unsorted input; NaN on empty).
+    pub fn median(samples: &[f64]) -> f64 {
+        percentile(samples, 0.5)
+    }
+
+    /// Throughput for `items` processed in `secs` (0 when `secs` is 0,
+    /// so a timer too coarse to see the run reports "no throughput"
+    /// rather than infinity).
+    pub fn items_per_sec(items: u64, secs: f64) -> f64 {
+        if secs > 0.0 {
+            items as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+        if sorted.is_empty() {
+            return f64::NAN;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = q * (sorted.len() - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+    }
 }
 
 /// How `iter_batched` amortizes setup allocations. The shim runs one setup
@@ -131,11 +215,10 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
-/// Passed to benchmark closures; records timing for the routine.
+/// Passed to benchmark closures; records one duration per routine call.
 pub struct Bencher {
     samples: usize,
-    total: Duration,
-    calls: u64,
+    durations: Vec<Duration>,
 }
 
 impl Bencher {
@@ -144,8 +227,7 @@ impl Bencher {
         for _ in 0..self.samples {
             let t0 = Instant::now();
             black_box(routine());
-            self.total += t0.elapsed();
-            self.calls += 1;
+            self.durations.push(t0.elapsed());
         }
     }
 
@@ -160,8 +242,7 @@ impl Bencher {
             let input = setup();
             let t0 = Instant::now();
             black_box(routine(input));
-            self.total += t0.elapsed();
-            self.calls += 1;
+            self.durations.push(t0.elapsed());
         }
     }
 }
@@ -173,22 +254,32 @@ fn run_bench(
     mut f: impl FnMut(&mut Bencher),
 ) {
     // Warmup pass (1 sample) to populate caches and lazy statics.
-    let mut warm = Bencher { samples: 1, total: Duration::ZERO, calls: 0 };
+    let mut warm = Bencher { samples: 1, durations: Vec::new() };
     f(&mut warm);
 
-    let mut b = Bencher { samples, total: Duration::ZERO, calls: 0 };
+    let mut b = Bencher { samples, durations: Vec::new() };
     f(&mut b);
-    let mean = if b.calls == 0 { Duration::ZERO } else { b.total / b.calls as u32 };
+    let secs: Vec<f64> = b.durations.iter().map(Duration::as_secs_f64).collect();
+    let Some(s) = stats::SampleStats::from_samples(&secs) else {
+        println!("{label:<44} (no samples)");
+        return;
+    };
     let rate = match throughput {
-        Some(Throughput::Elements(n)) if !mean.is_zero() => {
-            format!("  {:>10.2} Melem/s", n as f64 / mean.as_secs_f64() / 1e6)
+        Some(Throughput::Elements(n)) if s.median > 0.0 => {
+            format!("  {:>10.2} Melem/s", stats::items_per_sec(n, s.median) / 1e6)
         }
-        Some(Throughput::Bytes(n)) if !mean.is_zero() => {
-            format!("  {:>10.2} MiB/s", n as f64 / mean.as_secs_f64() / (1 << 20) as f64)
+        Some(Throughput::Bytes(n)) if s.median > 0.0 => {
+            format!("  {:>10.2} MiB/s", stats::items_per_sec(n, s.median) / (1 << 20) as f64)
         }
         _ => String::new(),
     };
-    println!("{label:<44} {mean:>12.2?}/iter{rate}");
+    println!(
+        "{label:<44} {:>12.2?}/iter  [p10 {:.2?} .. p90 {:.2?}, {} samples]{rate}",
+        Duration::from_secs_f64(s.median),
+        Duration::from_secs_f64(s.p10),
+        Duration::from_secs_f64(s.p90),
+        s.n,
+    );
 }
 
 /// Define a named group of benchmark functions.
@@ -233,5 +324,20 @@ mod tests {
         });
         assert!(batched >= 7);
         g.finish();
+    }
+
+    #[test]
+    fn stats_aggregate_order_statistics() {
+        let s = stats::SampleStats::from_samples(&[3.0, 1.0, 2.0, 5.0, 4.0]).unwrap();
+        assert_eq!(s.n, 5);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert!((s.p10 - 1.4).abs() < 1e-12);
+        assert!((s.p90 - 4.6).abs() < 1e-12);
+        assert!(stats::SampleStats::from_samples(&[]).is_none());
+        assert_eq!(stats::median(&[7.0]), 7.0);
+        assert_eq!(stats::items_per_sec(100, 2.0), 50.0);
+        assert_eq!(stats::items_per_sec(100, 0.0), 0.0);
     }
 }
