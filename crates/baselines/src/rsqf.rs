@@ -52,7 +52,9 @@ impl Rsqf {
             return FilterError::unsupported("RSQF value association");
         }
         let (q_bits, r_bits) = crate::sqf::quotient_geometry(spec, "RSQF")?;
-        Self::new(q_bits, r_bits, Device::for_model_name(spec.device.name()))
+        let device =
+            Device::for_model_name(spec.device.name()).with_workers(spec.parallelism.workers());
+        Self::new(q_bits, r_bits, device)
     }
 
     /// Shared core.

@@ -20,7 +20,6 @@ use filter_core::{
     ApiMode, BulkDeletable, BulkFilter, DeleteOutcome, Features, FilterError, FilterMeta,
     FilterSpec, InsertOutcome, Operation,
 };
-use gpu_sim::sort::{radix_sort_pairs, radix_sort_u64};
 use gpu_sim::Device;
 use gqf::{GqfCore, Layout, REGION_SLOTS};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -87,7 +86,9 @@ impl Sqf {
             return FilterError::unsupported("SQF value association");
         }
         let (q_bits, r_bits) = quotient_geometry(spec, "SQF")?;
-        Self::new(q_bits, r_bits, Device::for_model_name(spec.device.name()))
+        let device =
+            Device::for_model_name(spec.device.name()).with_workers(spec.parallelism.workers());
+        Self::new(q_bits, r_bits, device)
     }
 
     /// Shared core (tests, space accounting).
@@ -132,7 +133,7 @@ impl Sqf {
     /// GQF).
     pub fn insert_batch(&self, keys: &[u64]) -> usize {
         let mut hashes: Vec<u64> = keys.iter().map(|&k| self.stored_hash(k)).collect();
-        radix_sort_u64(&mut hashes);
+        self.device.sort_u64(&mut hashes);
         let bounds = self.region_bounds(&hashes);
         let l = *self.core.layout();
         let failures = AtomicUsize::new(0);
@@ -176,7 +177,7 @@ impl Sqf {
         out.fill(InsertOutcome::Inserted);
         let mut hashed: Vec<(u64, u64)> =
             keys.iter().enumerate().map(|(i, &k)| (self.stored_hash(k), i as u64)).collect();
-        radix_sort_pairs(&mut hashed);
+        self.device.sort_pairs(&mut hashed);
         let bounds = self.region_bounds_pairs(&hashed);
         let l = *self.core.layout();
         let failed: Vec<AtomicBool> = (0..keys.len()).map(|_| AtomicBool::new(false)).collect();
@@ -204,7 +205,7 @@ impl Sqf {
         assert_eq!(keys.len(), out.len());
         let mut order: Vec<(u64, u64)> =
             keys.iter().enumerate().map(|(i, &k)| (self.stored_hash(k), i as u64)).collect();
-        gpu_sim::sort::radix_sort_pairs(&mut order);
+        self.device.sort_pairs(&mut order);
         let l = *self.core.layout();
         let results: Vec<std::sync::atomic::AtomicBool> =
             (0..keys.len()).map(|_| std::sync::atomic::AtomicBool::new(false)).collect();

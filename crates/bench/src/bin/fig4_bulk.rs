@@ -11,7 +11,7 @@
 //! ```
 
 use bench::{measure_bulk, parse_args, Json, Probe, Trajectory};
-use filter_core::{hashed_keys, AnyFilter, DeviceModel, FilterKind, FilterSpec};
+use filter_core::{hashed_keys, AnyFilter, DeviceModel, FilterKind, FilterSpec, Parallelism};
 use gpu_filters::build_filter;
 use gpu_sim::Device;
 use gqf::REGION_SLOTS;
@@ -109,6 +109,57 @@ fn main() {
             }
         }
     }
+
+    // Threads sweep: the same bulk batch with the host-side
+    // partition/sort/apply phases bounded to t workers, at the largest
+    // sweep size on the primary (Cori) device. Parallel-vs-sequential
+    // equivalence is the parallel-oracle tier's job; these rows record the
+    // wall-clock trajectory of the knob (≈ 1.0× on a single-core host).
+    let threads_sweep = args.threads_sweep(&[1, 2, 4]);
+    let s = *args.sizes_log2.iter().max().expect("at least one size");
+    let slots = 1usize << s;
+    let n = (slots as f64 * 0.89) as usize;
+    let keys = hashed_keys(1100 + s as u64, n);
+    for (kind, eps) in [(FilterKind::TcfBulk, 4e-3), (FilterKind::GqfBulk, 4e-3)] {
+        for &t in &threads_sweep {
+            let spec =
+                FilterSpec::items(n as u64).fp_rate(eps).parallelism(Parallelism::Threads(t));
+            let build = || build_filter(kind, &spec);
+            let sample = build().expect("threads-sweep build");
+            let label = format!("{}@cori/t{t}", sample.name());
+            let probe = Probe::new(&label, kind.name(), "insert", s, n as u64)
+                .footprint(sample.table_bytes() as u64)
+                .active_threads(active_threads(kind, &sample))
+                .spec(&spec);
+            drop(sample);
+            let (row, f) = measure_bulk(
+                &cori,
+                &args,
+                &probe,
+                || build().expect("built once already"),
+                |f| {
+                    assert_eq!(f.bulk_insert(&keys).unwrap(), 0, "{label} failures at 2^{s}");
+                },
+            );
+            traj.push(row.metric("threads", f64::from(t)));
+            let query_probe = probe.with_op("pos-query");
+            let (row, out) = measure_bulk(
+                &cori,
+                &args,
+                &query_probe,
+                || vec![false; n],
+                |out| {
+                    f.bulk_query(&keys, out).unwrap();
+                },
+            );
+            traj.push(row.metric("threads", f64::from(t)));
+            assert!(out.iter().all(|&x| x), "{label} lost keys at 2^{s}");
+        }
+    }
+    traj.set_extra(
+        "threads_sweep",
+        Json::Arr(threads_sweep.iter().map(|&t| Json::num(f64::from(t))).collect()),
+    );
 
     traj.write(&args);
 }

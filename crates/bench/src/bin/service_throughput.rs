@@ -34,7 +34,7 @@
 //! ```
 
 use bench::{measure_wall, BenchArgs, Json, Measurement, Probe, Trajectory};
-use filter_core::{hashed_keys, Filter};
+use filter_core::{hashed_keys, Filter, FilterSpec, Parallelism};
 use filter_service::{ServiceHandle, ShardedFilterBuilder};
 use std::time::Duration;
 use tcf::{BulkTcf, PointTcf};
@@ -129,6 +129,24 @@ fn run_point_service(args: &BenchArgs, keys: &[u64]) -> Measurement {
     row.metric("shards", 1.0).metric("clients", CLIENTS as f64)
 }
 
+/// Drive the mixed insert+query workload through `clients` concurrent
+/// blocking client threads.
+fn drive_mixed(h: &ServiceHandle, keys: &[u64], clients: usize) {
+    let per_client = keys.len().div_ceil(clients);
+    std::thread::scope(|s| {
+        for part in keys.chunks(per_client) {
+            let h = h.clone();
+            s.spawn(move || {
+                for chunk in part.chunks(CHUNK) {
+                    assert_eq!(h.insert_batch(chunk).expect("service insert"), 0);
+                    let hits = h.query_batch(chunk).expect("service query");
+                    assert!(hits.iter().all(|&x| x), "service lost keys");
+                }
+            });
+        }
+    });
+}
+
 /// The tentpole: `shards` workers aggregating chunked submissions from
 /// concurrent client threads.
 fn run_sharded(args: &BenchArgs, keys: &[u64], shards: usize, clients: usize) -> Measurement {
@@ -146,26 +164,47 @@ fn run_sharded(args: &BenchArgs, keys: &[u64], shards: usize, clients: usize) ->
                 .build(|_| BulkTcf::new(per_shard))
                 .expect("service")
         },
-        |service| {
-            let h = service.handle();
-            let per_client = keys.len().div_ceil(clients);
-            std::thread::scope(|s| {
-                for part in keys.chunks(per_client) {
-                    let h = h.clone();
-                    s.spawn(move || {
-                        for chunk in part.chunks(CHUNK) {
-                            assert_eq!(h.insert_batch(chunk).expect("service insert"), 0);
-                            let hits = h.query_batch(chunk).expect("service query");
-                            assert!(hits.iter().all(|&x| x), "service lost keys");
-                        }
-                    });
-                }
-            });
-        },
+        |service| drive_mixed(&service.handle(), keys, clients),
     );
     let stats = service.stats();
     println!("    └─ {}", stats.render().replace('\n', "\n       "));
     row.metric("shards", shards as f64).metric("clients", clients as f64)
+}
+
+/// The threads sweep: the same sharded-batched configuration with the
+/// backends' bulk phases bounded to `backend_threads` host workers per
+/// shard — the service-wide [`Parallelism`] budget divided across shard
+/// workers by [`ShardedFilterBuilder::shard_spec`]. On a single-core host
+/// the wall numbers only bound the knob's overhead (speedup ≈ 1.0×);
+/// parallel-vs-sequential *equivalence* is enforced by the
+/// parallel-oracle test tier, not here.
+fn run_sharded_threads(
+    args: &BenchArgs,
+    keys: &[u64],
+    shards: usize,
+    clients: usize,
+    backend_threads: u32,
+) -> Measurement {
+    let spec = FilterSpec::items((keys.len() * 2) as u64)
+        .fp_rate(4e-3)
+        .parallelism(Parallelism::Threads(backend_threads * shards as u32));
+    let builder = ShardedFilterBuilder::new()
+        .shards(shards)
+        .batch_capacity(CHUNK)
+        .linger(Duration::from_micros(200))
+        .parallelism(spec.parallelism);
+    let shard_spec = builder.shard_spec(&spec);
+    let label = format!("sharded-batched/s{shards}/bt{backend_threads}");
+    let probe = probe_for(&label, "tcf-bulk", "mixed", keys, 2 * keys.len() as u64).spec(&spec);
+    let (row, _) = measure_wall(
+        args,
+        &probe,
+        || builder.clone().build(|_| BulkTcf::from_spec(&shard_spec)).expect("service"),
+        |service| drive_mixed(&service.handle(), keys, clients),
+    );
+    row.metric("shards", shards as f64)
+        .metric("clients", clients as f64)
+        .metric("backend_threads", f64::from(backend_threads))
 }
 
 /// A backend wrapper reproducing the serving layer's *old* blocking-delete
@@ -296,6 +335,7 @@ fn main() {
     let mut repeats = 3u32;
     let mut warmup = 0u32;
     let mut smoke = false;
+    let mut threads: Vec<u32> = Vec::new();
     let argv: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i < argv.len() {
@@ -314,6 +354,10 @@ fn main() {
                 i += 1;
                 warmup = argv[i].parse().expect("bad --warmup");
             }
+            "--threads" => {
+                i += 1;
+                threads = bench::parse_threads(&argv[i]);
+            }
             "--out" => {
                 i += 1;
                 out_dir = argv[i].clone();
@@ -327,8 +371,14 @@ fn main() {
         repeats = 1;
         warmup = 0;
     }
-    let args =
-        BenchArgs { sizes_log2: Vec::new(), out_dir, repeats: repeats.max(1), warmup, smoke };
+    let args = BenchArgs {
+        sizes_log2: Vec::new(),
+        out_dir,
+        repeats: repeats.max(1),
+        warmup,
+        smoke,
+        threads,
+    };
 
     println!(
         "service throughput: {n_keys} keys, chunk {CHUNK}, mixed insert+query, {} repeats\n",
@@ -345,6 +395,12 @@ fn main() {
     traj.push(row);
     for shards in [1usize, 4, 16] {
         let row = run_sharded(&args, &keys, shards, CLIENTS);
+        traj.push(row);
+    }
+    // Threads sweep: backend bulk-phase parallelism per shard worker.
+    let threads_sweep = args.threads_sweep(&[1, 2, 4]);
+    for &t in &threads_sweep {
+        let row = run_sharded_threads(&args, &keys, 4, CLIENTS, t);
         traj.push(row);
     }
     // Delete-heavy workload: per-key outcomes vs the old pre-query path.
@@ -375,6 +431,10 @@ fn main() {
     println!("sharded-batched (≥4 shards) vs in-process point loop:  {speedup_vs_direct:.2}x");
     println!("delete-heavy: per-key outcomes vs pre-query round trip: {delete_speedup:.2}x");
 
+    traj.set_extra(
+        "backend_threads_sweep",
+        Json::Arr(threads_sweep.iter().map(|&t| Json::num(f64::from(t))).collect()),
+    );
     traj.set_extra("keys", Json::num(n_keys as f64));
     traj.set_extra("chunk", Json::num(CHUNK as f64));
     traj.set_extra("naive_sample_cap", Json::num(NAIVE_SAMPLE_CAP as f64));

@@ -2,25 +2,52 @@
 //! on WA-like and Rhizo-like synthetic metagenomes, scaled to the paper's
 //! aggregate dataset sizes.
 //!
+//! Since PR 4 the canonical output is `experiments/BENCH_table3.json` on
+//! the shared trajectory schema — one measured row per (dataset, exact
+//! store), timing the whole k-mer pipeline and carrying the memory
+//! accounting as row metrics — with the rendered text table kept as the
+//! human-readable companion, so this figure no longer bypasses the
+//! schema-regression test.
+//!
 //! ```sh
 //! cargo run --release -p bench --bin table3_mhm -- --sizes 19
 //! ```
 
-use bench::{parse_args, write_report};
-use mhm_sim::{table3_rows, table3_rows_with, ExactStore};
+use bench::{measure_wall, parse_args, write_report, Json, Measurement, Probe, Trajectory};
+use mhm_sim::{table3_rows, table3_rows_with, ExactStore, MemoryReport};
 use std::fmt::Write as _;
 use workloads::GenomeProfile;
+
+/// Measure one dataset's pipeline (both methods) and fold the memory
+/// accounting into row metrics.
+fn measure_dataset(
+    args: &bench::BenchArgs,
+    label: &str,
+    size_log2: u32,
+    run: impl Fn() -> (MemoryReport, MemoryReport),
+) -> (Measurement, (MemoryReport, MemoryReport)) {
+    let probe = Probe::new(label, "mhm-tcf", "kmer-pipeline", size_log2, 1u64 << size_log2);
+    let (row, reports) = measure_wall(args, &probe, || None, |slot| *slot = Some(run()));
+    let (with, without) = reports.expect("at least one repeat ran");
+    let cut = 1.0 - with.total_bytes() as f64 / without.total_bytes() as f64;
+    let row = row
+        .metric("tcf_mb", with.tcf_bytes as f64 / 1e6)
+        .metric("ht_with_mb", with.ht_bytes as f64 / 1e6)
+        .metric("total_with_mb", with.total_bytes() as f64 / 1e6)
+        .metric("total_without_mb", without.total_bytes() as f64 / 1e6)
+        .metric("singleton_pct", with.singleton_fraction() * 100.0)
+        .metric("memory_cut_pct", cut * 100.0);
+    (row, (with, without))
+}
 
 fn main() {
     let args = parse_args(&[19]);
     // Interpret size as log2 of the synthetic genome length.
-    let genome = 1usize << args.sizes_log2[0];
+    let s = args.sizes_log2[0];
+    let genome = 1usize << s;
+    let mut traj = Trajectory::new("table3", &args);
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "Table 3: MetaHipMer k-mer analysis memory (synthetic, genome 2^{})",
-        args.sizes_log2[0]
-    );
+    let _ = writeln!(out, "Table 3: MetaHipMer k-mer analysis memory (synthetic, genome 2^{s})");
     let _ = writeln!(
         out,
         "{:<12}{:<9}{:>10}{:>10}{:>10}{:>12}{:>14}",
@@ -34,7 +61,12 @@ fn main() {
         (GenomeProfile::metagenome_wa(genome), 6.5e10),
         (GenomeProfile::metagenome_rhizo(genome), 3.0e10),
     ] {
-        let (with, without) = table3_rows(&profile, 21, 1234);
+        let (row, (with, without)) =
+            measure_dataset(&args, profile.label, s, || table3_rows(&profile, 21, 1234));
+        let row = row
+            .metric("scaled_with_gb", with.scaled_total_gb(target_distinct))
+            .metric("scaled_without_gb", without.scaled_total_gb(target_distinct));
+        traj.push(row);
         for r in [&with, &without] {
             let _ = writeln!(
                 out,
@@ -56,7 +88,11 @@ fn main() {
     // accounting: HT MB is now the measured footprint of the structure.
     let _ = writeln!(out, "With the even-odd hash table as the exact store (measured bytes):");
     for profile in [GenomeProfile::metagenome_wa(genome), GenomeProfile::metagenome_rhizo(genome)] {
-        let (with, without) = table3_rows_with(&profile, 21, 1234, ExactStore::EoHashTable);
+        let (row, (with, without)) =
+            measure_dataset(&args, &format!("{}/eoht", profile.label), s, || {
+                table3_rows_with(&profile, 21, 1234, ExactStore::EoHashTable)
+            });
+        traj.push(row);
         for r in [&with, &without] {
             let _ = writeln!(
                 out,
@@ -72,6 +108,9 @@ fn main() {
         let cut = 1.0 - with.total_bytes() as f64 / without.total_bytes() as f64;
         let _ = writeln!(out, "  → memory cut: {:.0}%\n", cut * 100.0);
     }
+
+    traj.set_extra("genome_log2", Json::num(f64::from(s)));
+    traj.write(&args);
     println!("{out}");
     write_report(&args, "table3_mhm.txt", &out);
 }

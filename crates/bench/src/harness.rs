@@ -24,7 +24,7 @@
 //! runs on every PR so a broken bench binary fails fast.
 
 pub use criterion::stats::{self, SampleStats};
-use filter_core::{DeviceModel, FilterSpec};
+use filter_core::{DeviceModel, FilterSpec, Parallelism};
 use gpu_sim::cost::estimate;
 use gpu_sim::metrics::{self, Counters};
 use gpu_sim::{Device, KernelStats};
@@ -52,11 +52,35 @@ pub struct BenchArgs {
     pub warmup: u32,
     /// CI smoke mode: small n, 1 repeat, no warmup.
     pub smoke: bool,
+    /// Host-worker budgets to sweep for bulk phases (`--threads 1,2,4`);
+    /// empty = the binary's default sweep.
+    pub threads: Vec<u32>,
+}
+
+impl BenchArgs {
+    /// The threads sweep to run: the `--threads` override, or `default`.
+    pub fn threads_sweep(&self, default: &[u32]) -> Vec<u32> {
+        if self.threads.is_empty() {
+            default.to_vec()
+        } else {
+            self.threads.clone()
+        }
+    }
+}
+
+/// Parse a `--threads` value list (`"1,2,4"`): comma-separated positive
+/// worker counts — the one grammar both the shared parser and the
+/// binaries with hand-rolled flag loops (`service_throughput`) use.
+pub fn parse_threads(arg: &str) -> Vec<u32> {
+    let threads: Vec<u32> =
+        arg.split(',').map(|s| s.trim().parse().expect("bad --threads entry")).collect();
+    assert!(!threads.contains(&0), "--threads entries must be >= 1");
+    threads
 }
 
 /// Parse `--sizes 20,22,24`, `--quick`, `--full`, `--smoke`,
-/// `--repeats N`, `--warmup N`, `--out DIR` with 5 timed repeats by
-/// default.
+/// `--repeats N`, `--warmup N`, `--threads a,b,c`, `--out DIR` with 5
+/// timed repeats by default.
 ///
 /// Size defaults are laptop-scale (the paper sweeps 2^22–2^30 on 16–40 GB
 /// devices; the substrate defaults to 2^18–2^22 and `--full` raises it).
@@ -72,6 +96,7 @@ pub fn parse_args_with(default_sizes: &[u32], default_repeats: u32) -> BenchArgs
     let mut repeats = default_repeats;
     let mut warmup = 1;
     let mut smoke = false;
+    let mut threads: Vec<u32> = Vec::new();
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i < args.len() {
@@ -94,6 +119,10 @@ pub fn parse_args_with(default_sizes: &[u32], default_repeats: u32) -> BenchArgs
                 i += 1;
                 warmup = args[i].parse().expect("bad --warmup");
             }
+            "--threads" => {
+                i += 1;
+                threads = parse_threads(&args[i]);
+            }
             "--out" => {
                 i += 1;
                 out_dir = args[i].clone();
@@ -107,7 +136,7 @@ pub fn parse_args_with(default_sizes: &[u32], default_repeats: u32) -> BenchArgs
         repeats = 1;
         warmup = 0;
     }
-    BenchArgs { sizes_log2: sizes, out_dir, repeats: repeats.max(1), warmup, smoke }
+    BenchArgs { sizes_log2: sizes, out_dir, repeats: repeats.max(1), warmup, smoke, threads }
 }
 
 /// What one measurement is probing: identity (label/kind/op), workload
@@ -392,6 +421,7 @@ fn spec_to_json(spec: &FilterSpec) -> Json {
         ("value_bits".to_string(), Json::num(f64::from(spec.value_bits))),
         ("counting".to_string(), Json::Bool(spec.counting)),
         ("device".to_string(), Json::str(spec.device.name())),
+        ("parallelism".to_string(), Json::str(spec.parallelism.label())),
     ])
 }
 
@@ -406,11 +436,22 @@ fn spec_from_json(j: &Json) -> Result<FilterSpec, String> {
         "perlmutter" => DeviceModel::Perlmutter,
         other => return Err(format!("unknown device model '{other}'")),
     };
+    // Additive schema field: trajectories written before the parallelism
+    // knob existed echo no budget, which means the pool default.
+    let parallelism = match j.get("parallelism") {
+        Some(p) => p
+            .as_str()
+            .ok_or("spec field 'parallelism' is not a string")?
+            .parse::<Parallelism>()
+            .map_err(|e| e.to_string())?,
+        None => Parallelism::Auto,
+    };
     Ok(FilterSpec::items(capacity)
         .fp_rate(fp_rate)
         .value_bits(value_bits as u32)
         .counting(counting)
-        .device(device))
+        .device(device)
+        .parallelism(parallelism))
 }
 
 /// A figure's measurements plus figure-level context — the unit that one
@@ -742,6 +783,7 @@ mod tests {
             repeats: 3,
             warmup: 1,
             smoke: false,
+            threads: Vec::new(),
         }
     }
 
@@ -749,7 +791,7 @@ mod tests {
         let probe = Probe::new("TCF", "tcf-point", "insert", 12, 1000)
             .cg(4)
             .footprint(1 << 16)
-            .spec(&FilterSpec::items(1000).fp_rate(5e-4));
+            .spec(&FilterSpec::items(1000).fp_rate(5e-4).parallelism(Parallelism::Threads(2)));
         measurement_from(&probe, "TCF".into(), &test_args(), &[0.5, 0.25, 1.0], Some(2e9), None)
             .metric("fp_rate", 3.5e-3)
     }
@@ -768,6 +810,23 @@ mod tests {
         assert_eq!(back.spec, m.spec);
         assert_eq!(back.get_metric("fp_rate"), Some(3.5e-3));
         back.validate().unwrap();
+    }
+
+    #[test]
+    fn legacy_spec_echo_defaults_parallelism_to_auto() {
+        let doc = Json::parse(
+            r#"{"capacity": 10, "fp_rate": 0.001, "value_bits": 0,
+                "counting": false, "device": "cori"}"#,
+        )
+        .unwrap();
+        let spec = spec_from_json(&doc).unwrap();
+        assert_eq!(spec.parallelism, Parallelism::Auto);
+        let doc = Json::parse(
+            r#"{"capacity": 10, "fp_rate": 0.001, "value_bits": 0,
+            "counting": false, "device": "cori", "parallelism": "lots"}"#,
+        )
+        .unwrap();
+        assert!(spec_from_json(&doc).is_err(), "bad parallelism labels are rejected");
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub mod harness;
 pub mod json;
 
 pub use harness::{
-    measure_bulk, measure_point, measure_wall, parse_args, parse_args_with, stats, write_report,
-    BenchArgs, Measurement, Probe, SampleStats, Trajectory,
+    measure_bulk, measure_point, measure_wall, parse_args, parse_args_with, parse_threads, stats,
+    write_report, BenchArgs, Measurement, Probe, SampleStats, Trajectory,
 };
 pub use json::Json;

@@ -1,0 +1,71 @@
+//! Property test for the trajectory schema's `FilterSpec` echo: every
+//! spec — in particular every [`Parallelism`] setting the PR 4 knob can
+//! express — must survive a write/read round trip through the serde-free
+//! JSON codec (`bench/src/json.rs`) bit-for-bit, so a trajectory file
+//! always reconstructs the exact spec that produced its rows.
+
+use bench::{BenchArgs, Probe, Trajectory};
+use filter_core::{DeviceModel, FilterSpec, Parallelism};
+use proptest::prelude::*;
+
+/// Derive an arbitrary-but-valid spec from one seed (the shim has no
+/// tuple strategies; a seeded derivation covers the same space).
+fn spec_from_seed(seed: u64) -> FilterSpec {
+    let parallelism = match seed % 4 {
+        0 => Parallelism::Sequential,
+        1 => Parallelism::Auto,
+        _ => Parallelism::Threads(((seed >> 2) % 4096 + 1) as u32),
+    };
+    let value_bits = [0u32, 8, 16, 32, 64][(seed >> 16) as usize % 5];
+    let device = if seed & (1 << 21) == 0 { DeviceModel::Cori } else { DeviceModel::Perlmutter };
+    FilterSpec::items((seed >> 24).max(1))
+        .fp_rate(1.0 / ((seed % 100_000 + 3) as f64))
+        .value_bits(value_bits)
+        .counting(seed & (1 << 22) != 0)
+        .device(device)
+        .parallelism(parallelism)
+}
+
+/// One-row trajectory carrying `spec` as its echo.
+fn trajectory_with(spec: &FilterSpec) -> Trajectory {
+    let args = BenchArgs {
+        sizes_log2: vec![10],
+        out_dir: "unused".into(),
+        repeats: 1,
+        warmup: 0,
+        smoke: true,
+        threads: Vec::new(),
+    };
+    let probe = Probe::new("echo", "unit", "noop", 10, 1).spec(spec);
+    let mut traj = Trajectory::new("unit", &args);
+    let (row, _) = bench::measure_wall(&args, &probe, || (), |_| {});
+    traj.rows.push(row);
+    traj
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The full spec — parallelism included — round-trips through the
+    /// JSON writer and reader exactly.
+    #[test]
+    fn spec_echo_roundtrips_through_json(seed in 0u64..u64::MAX) {
+        let spec = spec_from_seed(seed);
+        prop_assert!(spec.validate().is_ok(), "derived specs are valid by construction");
+        let traj = trajectory_with(&spec);
+        let back = Trajectory::from_json(&traj.to_json()).unwrap();
+        prop_assert_eq!(back.rows.len(), 1);
+        let echoed = back.rows[0].spec.clone().expect("spec echo survives the round trip");
+        prop_assert_eq!(&echoed, &spec, "spec diverged through the JSON echo");
+        prop_assert_eq!(echoed.parallelism, spec.parallelism);
+    }
+
+    /// The parallelism label grammar itself round-trips (`seq`, `auto`,
+    /// and any positive thread count).
+    #[test]
+    fn parallelism_labels_roundtrip(n in 1u32..1_000_000) {
+        for p in [Parallelism::Sequential, Parallelism::Auto, Parallelism::Threads(n)] {
+            prop_assert_eq!(p.label().parse::<Parallelism>().unwrap(), p);
+        }
+    }
+}

@@ -26,8 +26,28 @@ fn trajectory_files() -> Vec<PathBuf> {
 
 /// Every figure the measurement subsystem is contracted to record. A
 /// missing file is as much schema drift as a malformed one.
-const REQUIRED_FIGURES: [&str; 8] =
-    ["fig3", "fig4", "fig5", "fig6", "service", "table2", "table4", "table5"];
+const REQUIRED_FIGURES: [&str; 10] =
+    ["fig3", "fig4", "fig5", "fig6", "service", "table1", "table2", "table3", "table4", "table5"];
+
+/// The PR 4 acceptance contract: fig4 and service must record a threads
+/// sweep (host-parallelism rows for the bulk phases).
+#[test]
+fn fig4_and_service_record_a_threads_sweep() {
+    for (figure, metric) in [("fig4", "threads"), ("service", "backend_threads")] {
+        let path = experiments_dir().join(format!("BENCH_{figure}.json"));
+        let traj = Trajectory::read(&path).unwrap_or_else(|e| panic!("{e}"));
+        let swept: Vec<f64> = traj.rows.iter().filter_map(|m| m.get_metric(metric)).collect();
+        assert!(
+            swept.iter().any(|&t| t >= 2.0)
+                && swept.iter().any(|&t| (t - 1.0).abs() < f64::EPSILON),
+            "{figure}: no threads sweep recorded (metric '{metric}' values: {swept:?})"
+        );
+        assert!(
+            traj.extra.iter().any(|(k, _)| k.contains("threads_sweep")),
+            "{figure}: missing threads_sweep extra"
+        );
+    }
+}
 
 #[test]
 fn every_trajectory_file_parses_and_validates() {

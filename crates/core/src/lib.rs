@@ -89,7 +89,7 @@ pub use baselines::{
 pub use filter_core::{
     AnyFilter, ApiMode, BulkDeletable, BulkFilter, Counting, Deletable, DeleteOutcome, DeviceModel,
     DynFilter, Features, Filter, FilterError, FilterKind, FilterMeta, FilterSpec, InsertOutcome,
-    Operation, ServiceBackend, Valued,
+    Operation, Parallelism, ServiceBackend, Valued,
 };
 pub use filter_service::{ServiceHandle, ShardRouter, ShardedFilter, ShardedFilterBuilder};
 pub use gpu_sim::{cost, Device, DeviceProfile, KernelStats};
@@ -135,8 +135,8 @@ pub mod prelude {
     pub use crate::{
         all_filters, build_filter, AnyFilter, ApiMode, BulkDeletable, BulkFilter, BulkGqf, BulkTcf,
         Counting, Deletable, DeleteOutcome, DeviceModel, Features, Filter, FilterError, FilterKind,
-        FilterMeta, FilterSpec, InsertOutcome, Operation, PointGqf, PointTcf, ServiceBackend,
-        ServiceHandle, ShardedFilter, ShardedFilterBuilder, TcfConfig, Valued,
+        FilterMeta, FilterSpec, InsertOutcome, Operation, Parallelism, PointGqf, PointTcf,
+        ServiceBackend, ServiceHandle, ShardedFilter, ShardedFilterBuilder, TcfConfig, Valued,
     };
 }
 

@@ -98,6 +98,42 @@ mod tests {
     }
 
     #[test]
+    fn parallelism_routes_through_the_registry_for_every_kind() {
+        // The knob reaches every backend through `build_filter` alone —
+        // no per-backend wiring — and never changes what a filter answers
+        // (the parallel-oracle tier proves the full trace property; this
+        // is the registry-level smoke check).
+        use filter_core::Parallelism;
+        let keys = hashed_keys(0xa11e1, 800);
+        for kind in FilterKind::ALL {
+            let spec = FilterSpec::items(2000).fp_rate(4e-2);
+            let seq =
+                build_filter(kind, &spec.clone().parallelism(Parallelism::Sequential)).unwrap();
+            let par =
+                build_filter(kind, &spec.clone().parallelism(Parallelism::Threads(4))).unwrap();
+            for f in [&seq, &par] {
+                match f.bulk_insert(&keys) {
+                    Ok(failed) => assert_eq!(failed, 0, "{kind}"),
+                    Err(FilterError::Unsupported(_)) => {
+                        for &k in &keys {
+                            f.insert(k).unwrap();
+                        }
+                    }
+                    Err(e) => panic!("{kind}: {e}"),
+                }
+            }
+            let probes = hashed_keys(0xa11e2, 5000);
+            let hits = |f: &AnyFilter| -> Vec<bool> {
+                match f.bulk_query_vec(&probes) {
+                    Ok(h) => h,
+                    Err(_) => probes.iter().map(|&k| f.contains(k).unwrap()).collect(),
+                }
+            };
+            assert_eq!(hits(&seq), hits(&par), "{kind}: parallel build answers differently");
+        }
+    }
+
+    #[test]
     fn unsupported_spec_combinations_error_cleanly() {
         // Counting on a non-counting structure.
         assert!(build_filter(FilterKind::TcfPoint, &FilterSpec::items(10).counting(true)).is_err());

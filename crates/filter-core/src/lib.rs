@@ -39,7 +39,7 @@ pub use features::{ApiMode, Features, Operation};
 pub use fingerprint::{split_quotient_remainder, Fingerprint};
 pub use hash::{double_hash_probe, fmix64, hash64, hash64_seeded, splitmix64, HashPair};
 pub use outcome::{count_delete_misses, count_insert_failures, DeleteOutcome, InsertOutcome};
-pub use spec::{DeviceModel, FilterKind, FilterSpec, DEFAULT_FP_RATE};
+pub use spec::{DeviceModel, FilterKind, FilterSpec, Parallelism, DEFAULT_FP_RATE};
 pub use traits::{
     BulkDeletable, BulkFilter, Counting, Deletable, Filter, FilterMeta, ServiceBackend, Valued,
 };

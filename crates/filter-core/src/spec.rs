@@ -43,6 +43,70 @@ impl DeviceModel {
     }
 }
 
+/// Host-side data-parallelism of a filter's bulk phases.
+///
+/// The paper's bulk kernels are bulk-synchronous: a batch is partitioned,
+/// sorted, and applied block-by-block, and each phase is embarrassingly
+/// parallel over block ranges. This knob bounds how many host workers the
+/// substrate devotes to those phases. The phase structure makes the result
+/// *scheduling-independent*: any worker count produces bit-for-bit
+/// identical filter contents and query outcomes (enforced by the
+/// parallel-oracle test tier), so `Sequential` doubles as the oracle
+/// baseline for the parallel settings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Parallelism {
+    /// One worker: every bulk phase runs sequentially (oracle baseline).
+    Sequential,
+    /// Exactly this many workers (must be ≥ 1).
+    Threads(u32),
+    /// One worker per available core — the pool default.
+    #[default]
+    Auto,
+}
+
+impl Parallelism {
+    /// Worker budget for the substrate: `0` means "all pool workers"
+    /// (resolved by the executor), otherwise an exact count.
+    pub const fn workers(self) -> usize {
+        match self {
+            Parallelism::Sequential => 1,
+            Parallelism::Threads(n) => n as usize,
+            Parallelism::Auto => 0,
+        }
+    }
+
+    /// Stable identifier (`"seq"`, `"auto"`, or the thread count) — what
+    /// the bench trajectory's spec echo records; accepted by `FromStr`.
+    pub fn label(self) -> String {
+        match self {
+            Parallelism::Sequential => "seq".into(),
+            Parallelism::Threads(n) => n.to_string(),
+            Parallelism::Auto => "auto".into(),
+        }
+    }
+}
+
+impl std::fmt::Display for Parallelism {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+impl std::str::FromStr for Parallelism {
+    type Err = FilterError;
+
+    fn from_str(s: &str) -> Result<Self, FilterError> {
+        match s {
+            "seq" | "sequential" => Ok(Parallelism::Sequential),
+            "auto" => Ok(Parallelism::Auto),
+            n => match n.parse::<u32>() {
+                Ok(n) if n >= 1 => Ok(Parallelism::Threads(n)),
+                _ => Err(FilterError::BadConfig(format!("bad parallelism: {s}"))),
+            },
+        }
+    }
+}
+
 /// A declarative description of the filter an application needs.
 ///
 /// ```
@@ -67,6 +131,8 @@ pub struct FilterSpec {
     pub counting: bool,
     /// Device model bulk kernels are priced for.
     pub device: DeviceModel,
+    /// Host workers the bulk partition/sort/apply phases may use.
+    pub parallelism: Parallelism,
 }
 
 impl FilterSpec {
@@ -78,7 +144,15 @@ impl FilterSpec {
             value_bits: 0,
             counting: false,
             device: DeviceModel::default(),
+            parallelism: Parallelism::default(),
         }
+    }
+
+    /// Replace the item capacity (e.g. to split one service-wide spec
+    /// into per-shard specs).
+    pub fn capacity(mut self, items: u64) -> Self {
+        self.capacity = items;
+        self
     }
 
     /// Set the target false-positive rate.
@@ -105,10 +179,21 @@ impl FilterSpec {
         self
     }
 
+    /// Bound the host parallelism of the bulk phases.
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
     /// Validate the spec's own invariants (filters add theirs on top).
     pub fn validate(&self) -> Result<(), FilterError> {
         if self.capacity == 0 {
             return Err(FilterError::BadConfig("spec capacity must be positive".into()));
+        }
+        if self.parallelism == Parallelism::Threads(0) {
+            return Err(FilterError::BadConfig(
+                "spec parallelism Threads(0) is invalid (use Sequential or >= 1)".into(),
+            ));
         }
         if !(f64::MIN_POSITIVE..0.5).contains(&self.fp_rate) {
             return Err(FilterError::BadConfig(format!(
@@ -263,6 +348,26 @@ mod tests {
         let (k, per_item) = FilterSpec::items(1).bloom_params();
         assert_eq!(k, 10);
         assert!((per_item - 14.43).abs() < 0.01, "per_item {per_item}");
+    }
+
+    #[test]
+    fn parallelism_labels_roundtrip_from_str() {
+        for p in [Parallelism::Sequential, Parallelism::Auto, Parallelism::Threads(1)] {
+            assert_eq!(p.label().parse::<Parallelism>().unwrap(), p);
+        }
+        assert_eq!("8".parse::<Parallelism>().unwrap(), Parallelism::Threads(8));
+        assert!("0".parse::<Parallelism>().is_err());
+        assert!("many".parse::<Parallelism>().is_err());
+        assert!(FilterSpec::items(10).parallelism(Parallelism::Threads(0)).validate().is_err());
+        assert!(FilterSpec::items(10).parallelism(Parallelism::Threads(2)).validate().is_ok());
+    }
+
+    #[test]
+    fn parallelism_worker_budgets() {
+        assert_eq!(Parallelism::Sequential.workers(), 1);
+        assert_eq!(Parallelism::Threads(8).workers(), 8);
+        assert_eq!(Parallelism::Auto.workers(), 0, "0 = all pool workers");
+        assert_eq!(FilterSpec::items(10).parallelism, Parallelism::Auto);
     }
 
     #[test]

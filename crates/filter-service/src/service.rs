@@ -30,7 +30,9 @@
 
 use crate::router::{ShardRouter, ROUTER_SEED};
 use crate::stats::{ServiceStats, StatsInner};
-use filter_core::{DeleteOutcome, FilterError, InsertOutcome, ServiceBackend};
+use filter_core::{
+    DeleteOutcome, FilterError, FilterSpec, InsertOutcome, Parallelism, ServiceBackend,
+};
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -265,6 +267,7 @@ pub struct ShardedFilterBuilder {
     linger: Duration,
     queue_tasks: usize,
     seed: u64,
+    parallelism: Parallelism,
 }
 
 impl Default for ShardedFilterBuilder {
@@ -275,6 +278,7 @@ impl Default for ShardedFilterBuilder {
             linger: Duration::from_micros(200),
             queue_tasks: 1024,
             seed: ROUTER_SEED,
+            parallelism: Parallelism::Auto,
         }
     }
 }
@@ -319,6 +323,44 @@ impl ShardedFilterBuilder {
     pub fn router_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// Service-wide host-parallelism budget for the backends' bulk phases
+    /// (the paper's partition/sort/apply structure, CPU-side). The budget
+    /// covers the whole service: [`Self::shard_spec`] divides it across
+    /// shard workers, giving each shard at most `ceil(n / shards)`
+    /// backend workers — when `n` does not divide evenly, the aggregate
+    /// `shards × backend workers` can round up to one extra worker per
+    /// shard (and every shard always keeps at least one).
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Derive the per-shard backend spec from one service-wide spec:
+    /// capacity splits evenly across shards (with the spec's own headroom
+    /// policy left to the backend), and a `Threads(n)` budget divides into
+    /// `ceil(n / shards)` workers per shard (so the aggregate may round
+    /// up when `n % shards != 0` — see [`Self::parallelism`]).
+    /// `Sequential` and `Auto` pass through unchanged. Use inside the
+    /// `make` closure of [`Self::build`] / [`Self::build_deletable`]:
+    ///
+    /// ```ignore
+    /// let builder = ShardedFilterBuilder::new().shards(4).parallelism(Parallelism::Threads(8));
+    /// let spec = FilterSpec::items(1 << 20);
+    /// let service = builder
+    ///     .clone()
+    ///     .build(|_| BulkTcf::from_spec(&builder.shard_spec(&spec)))?;
+    /// ```
+    pub fn shard_spec(&self, spec: &FilterSpec) -> FilterSpec {
+        let shards = self.shards.max(1) as u64;
+        let per_shard = match self.parallelism {
+            Parallelism::Threads(n) => {
+                Parallelism::Threads((n as u64).div_ceil(shards).max(1) as u32)
+            }
+            other => other,
+        };
+        spec.clone().parallelism(per_shard).capacity(spec.capacity.div_ceil(shards).max(1))
     }
 
     /// Build with one backend per shard from `make(shard_index)`.
@@ -945,5 +987,30 @@ impl<B: ServiceBackend + 'static> ShardedFilter<B> {
 impl<B: ServiceBackend + 'static> Drop for ShardedFilter<B> {
     fn drop(&mut self) {
         self.stop_workers();
+    }
+}
+
+#[cfg(test)]
+mod builder_tests {
+    use super::*;
+
+    #[test]
+    fn shard_spec_divides_capacity_and_thread_budget() {
+        let spec = FilterSpec::items(1_000_000).fp_rate(1e-3);
+        let b = ShardedFilterBuilder::new().shards(4).parallelism(Parallelism::Threads(8));
+        let per = b.shard_spec(&spec);
+        assert_eq!(per.capacity, 250_000);
+        assert_eq!(per.parallelism, Parallelism::Threads(2));
+        assert_eq!(per.fp_rate, spec.fp_rate, "other knobs pass through");
+
+        // Budgets smaller than the shard count clamp to one worker each.
+        let b = ShardedFilterBuilder::new().shards(8).parallelism(Parallelism::Threads(3));
+        assert_eq!(b.shard_spec(&spec).parallelism, Parallelism::Threads(1));
+
+        // Sequential and Auto pass through unchanged.
+        let b = ShardedFilterBuilder::new().shards(4).parallelism(Parallelism::Sequential);
+        assert_eq!(b.shard_spec(&spec).parallelism, Parallelism::Sequential);
+        let b = ShardedFilterBuilder::new().shards(4);
+        assert_eq!(b.shard_spec(&spec).parallelism, Parallelism::Auto);
     }
 }

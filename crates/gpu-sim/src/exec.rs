@@ -25,6 +25,8 @@ use std::time::{Duration, Instant};
 #[derive(Debug, Clone)]
 pub struct Device {
     profile: DeviceProfile,
+    /// Host workers the bulk phases may occupy (0 = all pool workers).
+    workers: usize,
 }
 
 /// Execution statistics for one kernel launch.
@@ -67,7 +69,26 @@ impl KernelStats {
 impl Device {
     /// Build a device with the given hardware profile.
     pub fn new(profile: DeviceProfile) -> Self {
-        Device { profile }
+        Device { profile, workers: 0 }
+    }
+
+    /// Bound the host parallelism of every launch (and device-bounded
+    /// sort) on this device: `n` workers, `0` = all pool workers. Any
+    /// bound yields bit-for-bit identical results — the bulk phases are
+    /// scheduling-independent — so this is purely a throughput knob
+    /// (`filter_core::Parallelism::workers` maps onto it directly).
+    pub fn with_workers(mut self, n: usize) -> Self {
+        self.workers = n;
+        self
+    }
+
+    /// Resolved host worker budget (≥ 1).
+    pub fn host_workers(&self) -> usize {
+        if self.workers == 0 {
+            rayon::current_num_threads().max(1)
+        } else {
+            self.workers
+        }
     }
 
     /// The paper's Cori testbed (Tesla V100).
@@ -123,6 +144,62 @@ impl Device {
         self.launch_inner(n_regions, 1, n_regions as u64, kernel)
     }
 
+    /// Apply phase of the bulk-synchronous pattern: one region task per
+    /// segment of a [sorted, segmented](Self::sorted_segments) batch;
+    /// `kernel(seg, lo..hi)` owns `sorted[lo..hi]` exclusively.
+    pub fn launch_segments<F>(&self, bounds: &[usize], kernel: F) -> KernelStats
+    where
+        F: Fn(usize, std::ops::Range<usize>) + Sync,
+    {
+        let n_segments = bounds.len().saturating_sub(1);
+        self.launch_regions(n_segments, |seg| kernel(seg, bounds[seg]..bounds[seg + 1]))
+    }
+
+    /// Partition phase of the bulk-synchronous pattern: compute `f(i)` for
+    /// every batch item as independent data-parallel tasks over item
+    /// ranges, bounded by this device's worker budget. Output order is the
+    /// input order regardless of the budget.
+    pub fn par_map<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        (0..n).into_par_iter().with_min_len(self.min_task_len(n)).map(&f).collect()
+    }
+
+    /// Sort phase: device-bounded stable radix sort of `(key, payload)`
+    /// pairs (see [`crate::sort::radix_sort_pairs_bounded`]).
+    pub fn sort_pairs(&self, data: &mut [(u64, u64)]) {
+        crate::sort::radix_sort_pairs_bounded(data, self.host_workers());
+    }
+
+    /// Sort phase: device-bounded radix sort of raw hashes.
+    pub fn sort_u64(&self, data: &mut [u64]) {
+        crate::sort::radix_sort_u64_bounded(data, self.host_workers());
+    }
+
+    /// Sort + boundary phases in one call: stable-sort `(target, payload)`
+    /// pairs by target and return the segment bounds (one segment per
+    /// distinct target, `bounds[s]..bounds[s+1]` indexes segment `s`),
+    /// ready for [`Self::launch_segments`].
+    pub fn sorted_segments(&self, pairs: &mut [(u64, u64)]) -> Vec<usize> {
+        self.sort_pairs(pairs);
+        crate::sort::segment_bounds_pairs_bounded(pairs, self.host_workers())
+    }
+
+    /// Minimum items per parallel task so a launch of `n` items spawns at
+    /// most `host_workers` tasks (under a bounded budget) or the default
+    /// fine-grained striping (unbounded).
+    fn min_task_len(&self, n: usize) -> usize {
+        if self.workers == 0 {
+            // Chunked striping keeps per-task overhead negligible while
+            // still interleaving many simulated groups across CPU workers.
+            (n / (rayon::current_num_threads() * 8)).max(1)
+        } else {
+            n.div_ceil(self.workers.max(1))
+        }
+    }
+
     fn launch_inner<F>(&self, n: usize, cg_size: u32, active_threads: u64, kernel: F) -> KernelStats
     where
         F: Fn(usize) + Sync,
@@ -130,10 +207,7 @@ impl Device {
         let before = metrics::snapshot();
         let start = Instant::now();
         bump(Counter::KernelLaunches, 1);
-        // Chunked striping keeps per-task overhead negligible while still
-        // interleaving many simulated groups across CPU workers.
-        let chunk = (n / (rayon::current_num_threads() * 8)).max(1);
-        (0..n).into_par_iter().with_min_len(chunk).for_each(&kernel);
+        (0..n).into_par_iter().with_min_len(self.min_task_len(n)).for_each(&kernel);
         let wall = start.elapsed();
         bump(Counter::Items, n as u64);
         let counters = metrics::snapshot().since(&before);
@@ -194,6 +268,46 @@ mod tests {
         let m = a.merge(&b);
         assert_eq!(m.items, 30);
         assert!(m.wall >= a.wall);
+    }
+
+    #[test]
+    fn worker_budget_resolves_and_bounds() {
+        let dev = Device::cori();
+        assert!(dev.host_workers() >= 1, "auto resolves to the pool width");
+        let dev1 = Device::cori().with_workers(1);
+        assert_eq!(dev1.host_workers(), 1);
+        assert_eq!(dev1.min_task_len(1000), 1000, "one worker ⇒ one task");
+        let dev3 = Device::cori().with_workers(3);
+        assert_eq!(dev3.min_task_len(1000), 334, "ceil(n / workers)");
+    }
+
+    #[test]
+    fn par_map_preserves_input_order_for_every_budget() {
+        for workers in [0usize, 1, 2, 8] {
+            let dev = Device::cori().with_workers(workers);
+            let out = dev.par_map(10_000, |i| i as u64 * 3);
+            assert!(out.iter().enumerate().all(|(i, &x)| x == i as u64 * 3), "w={workers}");
+        }
+    }
+
+    #[test]
+    fn sorted_segments_then_launch_segments_cover_the_batch() {
+        let dev = Device::cori().with_workers(2);
+        let mut pairs: Vec<(u64, u64)> = (0..5000u64).map(|i| (i % 37, i)).collect();
+        let bounds = dev.sorted_segments(&mut pairs);
+        assert_eq!(bounds.len() - 1, 37, "one segment per distinct target");
+        let visited: Vec<AtomicU64> = (0..pairs.len()).map(|_| AtomicU64::new(0)).collect();
+        let pairs_ref = &pairs;
+        let visited_ref = &visited;
+        let stats = dev.launch_segments(&bounds, |seg, range| {
+            let target = pairs_ref[range.start].0;
+            for i in range {
+                assert_eq!(pairs_ref[i].0, target, "segment {seg} mixes targets");
+                visited_ref[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(visited.iter().all(|v| v.load(Ordering::Relaxed) == 1));
+        assert_eq!(stats.items, 37);
     }
 
     #[test]

@@ -40,6 +40,13 @@ type PairLane<'a> = Lane<'a, (u64, u64)>;
 
 /// Sort a `u64` slice in place with a parallel LSD radix sort.
 pub fn radix_sort_u64(data: &mut [u64]) {
+    radix_sort_u64_bounded(data, 0);
+}
+
+/// [`radix_sort_u64`] bounded to at most `workers` concurrent scatter
+/// tasks (0 = the pool default). The sort is stable and its output is
+/// independent of the bound.
+pub fn radix_sort_u64_bounded(data: &mut [u64], workers: usize) {
     charge_sort_traffic(data.len(), 8);
     if data.len() < SMALL_SORT {
         data.sort_unstable();
@@ -51,7 +58,7 @@ pub fn radix_sort_u64(data: &mut [u64]) {
         let shift = pass * RADIX_BITS;
         let (src, dst): (Lane<'_, u64>, Lane<'_, u64>) =
             if src_is_data { (data, &mut aux) } else { (&mut aux, data) };
-        if radix_pass(src, dst, shift, |&v| v) {
+        if radix_pass(src, dst, shift, workers, |&v| v) {
             src_is_data = !src_is_data;
         }
     }
@@ -62,6 +69,13 @@ pub fn radix_sort_u64(data: &mut [u64]) {
 
 /// Sort `(key, value)` pairs in place by key (stable within equal keys).
 pub fn radix_sort_pairs(data: &mut [(u64, u64)]) {
+    radix_sort_pairs_bounded(data, 0);
+}
+
+/// [`radix_sort_pairs`] bounded to at most `workers` concurrent scatter
+/// tasks (0 = the pool default). Stability makes the output identical for
+/// every bound — the property the parallel-oracle test tier leans on.
+pub fn radix_sort_pairs_bounded(data: &mut [(u64, u64)], workers: usize) {
     charge_sort_traffic(data.len(), 16);
     if data.len() < SMALL_SORT {
         data.sort_by_key(|&(k, _)| k);
@@ -73,13 +87,35 @@ pub fn radix_sort_pairs(data: &mut [(u64, u64)]) {
         let shift = pass * RADIX_BITS;
         let (src, dst): (PairLane<'_>, PairLane<'_>) =
             if src_is_data { (data, &mut aux) } else { (&mut aux, data) };
-        if radix_pass(src, dst, shift, |&(k, _)| k) {
+        if radix_pass(src, dst, shift, workers, |&(k, _)| k) {
             src_is_data = !src_is_data;
         }
     }
     if !src_is_data {
         data.copy_from_slice(&aux);
     }
+}
+
+/// Segment boundaries of a key-sorted pair batch: `bounds[s]..bounds[s+1]`
+/// spans segment `s` (one segment per distinct key; includes the final
+/// `len` sentinel). Boundary detection runs data-parallel over the batch,
+/// mirroring the successor-search partition of §5.3.
+pub fn segment_bounds_pairs(sorted: &[(u64, u64)]) -> Vec<usize> {
+    segment_bounds_pairs_bounded(sorted, 0)
+}
+
+/// [`segment_bounds_pairs`] bounded to at most `workers` concurrent scan
+/// tasks (0 = the pool default); the output is independent of the bound.
+pub fn segment_bounds_pairs_bounded(sorted: &[(u64, u64)], workers: usize) -> Vec<usize> {
+    debug_assert!(sorted.windows(2).all(|w| w[0].0 <= w[1].0), "input must be key-sorted");
+    let min_len = if workers == 0 { 1 } else { sorted.len().div_ceil(workers.max(1)) };
+    let mut bounds: Vec<usize> = (0..sorted.len())
+        .into_par_iter()
+        .with_min_len(min_len)
+        .filter(|&i| i == 0 || sorted[i].0 != sorted[i - 1].0)
+        .collect();
+    bounds.push(sorted.len());
+    bounds
 }
 
 /// One stable counting pass over `shift..shift+8` key bits. Returns false
@@ -90,10 +126,14 @@ fn radix_pass<T: Copy + Send + Sync>(
     src: &mut [T],
     dst: &mut [T],
     shift: u32,
+    workers: usize,
     key: impl Fn(&T) -> u64 + Sync,
 ) -> bool {
     let n = src.len();
-    let n_chunks = rayon::current_num_threads().max(1) * 4;
+    // Unbounded (workers = 0): over-decompose for load balance. Bounded:
+    // exactly one chunk per permitted worker.
+    let n_chunks =
+        if workers == 0 { rayon::current_num_threads().max(1) * 4 } else { workers.max(1) };
     let chunk_len = n.div_ceil(n_chunks);
 
     // Per-chunk histograms.
@@ -276,6 +316,48 @@ mod tests {
     #[test]
     fn reduce_by_key_single_run() {
         assert_eq!(reduce_by_key(&[7, 7, 7]), vec![(7, 3)]);
+    }
+
+    #[test]
+    fn bounded_sorts_match_unbounded_for_every_budget() {
+        let base: Vec<(u64, u64)> = random_vec(120_000, 7)
+            .into_iter()
+            .enumerate()
+            .map(|(i, k)| (k % 512, i as u64))
+            .collect();
+        let mut expect = base.clone();
+        radix_sort_pairs(&mut expect);
+        for workers in [1usize, 2, 3, 8] {
+            let mut got = base.clone();
+            radix_sort_pairs_bounded(&mut got, workers);
+            assert_eq!(got, expect, "pair sort diverged at workers={workers}");
+        }
+        let base: Vec<u64> = random_vec(80_000, 8);
+        let mut expect = base.clone();
+        radix_sort_u64(&mut expect);
+        for workers in [1usize, 2, 7] {
+            let mut got = base.clone();
+            radix_sort_u64_bounded(&mut got, workers);
+            assert_eq!(got, expect, "u64 sort diverged at workers={workers}");
+        }
+    }
+
+    #[test]
+    fn segment_bounds_partition_sorted_pairs() {
+        let mut pairs: Vec<(u64, u64)> = (0..50_000u64).map(|i| ((i * 31) % 97, i)).collect();
+        radix_sort_pairs(&mut pairs);
+        let bounds = segment_bounds_pairs(&pairs);
+        assert_eq!(bounds[0], 0);
+        assert_eq!(*bounds.last().unwrap(), pairs.len());
+        for w in bounds.windows(2) {
+            let seg = &pairs[w[0]..w[1]];
+            assert!(!seg.is_empty(), "segments are non-empty by construction");
+            assert!(seg.iter().all(|&(k, _)| k == seg[0].0), "mixed keys in one segment");
+            if w[1] < pairs.len() {
+                assert_ne!(pairs[w[1]].0, seg[0].0, "split mid-segment");
+            }
+        }
+        assert_eq!(segment_bounds_pairs(&[]), vec![0]);
     }
 
     #[test]

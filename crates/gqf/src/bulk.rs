@@ -14,13 +14,22 @@
 //! `reduce_by_key`), turning millions of contended single inserts into
 //! one counted insert per distinct item (§5.4).
 
+//! Every batch runs the substrate's bulk-synchronous phase pattern: a
+//! data-parallel **hash** phase ([`Device::par_map`]), a device-bounded
+//! **sort** ([`Device::sort_u64`] / [`Device::sort_pairs`]), a parallel
+//! **partition** phase (successor search per region, again `par_map`),
+//! and the even-odd **apply** phases over region ranges
+//! ([`Device::launch_regions`]) — all bounded by the spec's
+//! [`Parallelism`](filter_core::Parallelism) worker budget and all
+//! scheduling-independent, so any budget produces identical filters.
+
 use crate::core::GqfCore;
 use crate::layout::{Layout, REGION_SLOTS};
 use filter_core::{
     ApiMode, BulkDeletable, BulkFilter, DeleteOutcome, Features, FilterError, FilterMeta,
     FilterSpec, InsertOutcome, Operation,
 };
-use gpu_sim::sort::{lower_bound, radix_sort_pairs, radix_sort_u64, reduce_by_key};
+use gpu_sim::sort::{lower_bound, reduce_by_key};
 use gpu_sim::Device;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
@@ -54,13 +63,15 @@ impl BulkGqf {
 
     /// Build from a declarative [`FilterSpec`]: sized so `spec.capacity`
     /// items fit at the recommended 90% load, with the word-aligned
-    /// remainder width meeting `spec.fp_rate`, on the spec's device model.
+    /// remainder width meeting `spec.fp_rate`, on the spec's device model
+    /// with the spec's host-parallelism budget.
     pub fn from_spec(spec: &FilterSpec) -> Result<Self, FilterError> {
         spec.validate()?;
         let layout = Layout::for_fp_rate(spec.slots_for_load(0.9) as u64, spec.fp_rate)?;
         Ok(BulkGqf {
             core: GqfCore::new(layout),
-            device: Device::for_model_name(spec.device.name()),
+            device: Device::for_model_name(spec.device.name())
+                .with_workers(spec.parallelism.workers()),
             max_load: 0.9,
         })
     }
@@ -84,15 +95,15 @@ impl BulkGqf {
     }
 
     /// Partition a sorted hash batch into per-region index ranges via
-    /// successor search. `bounds[g]..bounds[g+1]` is region `g`'s buffer.
+    /// successor search — one independent search per region, run as the
+    /// data-parallel partition phase. `bounds[g]..bounds[g+1]` is region
+    /// `g`'s buffer.
     fn region_bounds(&self, sorted_hashes: &[u64]) -> Vec<usize> {
-        let l = self.core.layout();
+        let l = *self.core.layout();
         let n_regions = l.n_regions();
-        let mut bounds = Vec::with_capacity(n_regions + 1);
-        for g in 0..n_regions {
-            let first_hash = ((g * REGION_SLOTS) as u64) << l.r_bits;
-            bounds.push(lower_bound(sorted_hashes, first_hash));
-        }
+        let mut bounds = self.device.par_map(n_regions, |g| {
+            lower_bound(sorted_hashes, ((g * REGION_SLOTS) as u64) << l.r_bits)
+        });
         bounds.push(sorted_hashes.len());
         bounds
     }
@@ -102,15 +113,19 @@ impl BulkGqf {
     /// pair-shaped batches need no materialized copy of the sorted
     /// hashes.
     fn region_bounds_pairs(&self, sorted: &[(u64, u64)]) -> Vec<usize> {
-        let l = self.core.layout();
+        let l = *self.core.layout();
         let n_regions = l.n_regions();
-        let mut bounds = Vec::with_capacity(n_regions + 1);
-        for g in 0..n_regions {
+        let mut bounds = self.device.par_map(n_regions, |g| {
             let first_hash = ((g * REGION_SLOTS) as u64) << l.r_bits;
-            bounds.push(sorted.partition_point(|&(h, _)| h < first_hash));
-        }
+            sorted.partition_point(|&(h, _)| h < first_hash)
+        });
         bounds.push(sorted.len());
         bounds
+    }
+
+    /// Hash phase: map keys onto stored hashes in parallel (order kept).
+    fn hash_batch(&self, keys: &[u64]) -> Vec<u64> {
+        self.device.par_map(keys.len(), |i| self.stored_hash(keys[i]))
     }
 
     /// Run `per_region` over every non-empty region in two phases (even
@@ -169,8 +184,8 @@ impl BulkGqf {
     /// Insert a batch of keys. Returns the number of items that could not
     /// be placed (0 on success).
     pub fn insert_batch(&self, keys: &[u64]) -> usize {
-        let mut hashes: Vec<u64> = keys.iter().map(|&k| self.stored_hash(k)).collect();
-        radix_sort_u64(&mut hashes);
+        let mut hashes = self.hash_batch(keys);
+        self.device.sort_u64(&mut hashes);
         let bounds = self.region_bounds(&hashes);
         let l = *self.core.layout();
         self.phased(&bounds, |_, range| {
@@ -192,8 +207,8 @@ impl BulkGqf {
         assert_eq!(keys.len(), out.len());
         out.fill(InsertOutcome::Inserted);
         let mut hashed: Vec<(u64, u64)> =
-            keys.iter().enumerate().map(|(i, &k)| (self.stored_hash(k), i as u64)).collect();
-        radix_sort_pairs(&mut hashed);
+            self.device.par_map(keys.len(), |i| (self.stored_hash(keys[i]), i as u64));
+        self.device.sort_pairs(&mut hashed);
         let bounds = self.region_bounds_pairs(&hashed);
         let l = *self.core.layout();
         let failed: Vec<AtomicBool> = (0..keys.len()).map(|_| AtomicBool::new(false)).collect();
@@ -221,8 +236,8 @@ impl BulkGqf {
     /// reduce duplicates to `(hash, count)`, then one counted insert per
     /// distinct item.
     pub fn insert_batch_mapreduce(&self, keys: &[u64]) -> usize {
-        let mut hashes: Vec<u64> = keys.iter().map(|&k| self.stored_hash(k)).collect();
-        radix_sort_u64(&mut hashes);
+        let mut hashes = self.hash_batch(keys);
+        self.device.sort_u64(&mut hashes);
         let reduced = reduce_by_key(&hashes);
         let sorted: Vec<u64> = reduced.iter().map(|&(h, _)| h).collect();
         let bounds = self.region_bounds(&sorted);
@@ -241,9 +256,11 @@ impl BulkGqf {
 
     /// Insert pre-counted `(key, count)` pairs.
     pub fn insert_counted_batch(&self, pairs: &[(u64, u64)]) -> usize {
-        let mut hashed: Vec<(u64, u64)> =
-            pairs.iter().map(|&(k, c)| (self.stored_hash(k), c)).collect();
-        radix_sort_pairs(&mut hashed);
+        let mut hashed: Vec<(u64, u64)> = self.device.par_map(pairs.len(), |i| {
+            let (k, c) = pairs[i];
+            (self.stored_hash(k), c)
+        });
+        self.device.sort_pairs(&mut hashed);
         let bounds = self.region_bounds_pairs(&hashed);
         let l = *self.core.layout();
         self.phased(&bounds, |_, range| {
@@ -288,7 +305,7 @@ impl BulkGqf {
         let bigger = BulkGqf::new(old.q_bits + 1, old.r_bits - 1, self.device.clone())?;
         let to = *bigger.core.layout();
         let mut pairs: Vec<(u64, u64)> = self.core.enumerate();
-        radix_sort_pairs(&mut pairs);
+        self.device.sort_pairs(&mut pairs);
         let sorted: Vec<u64> = pairs.iter().map(|&(h, _)| h).collect();
         let bounds = bigger.region_bounds(&sorted);
         let fails = bigger.phased(&bounds, |_, range| {
@@ -321,7 +338,7 @@ impl BulkGqf {
             // Re-split each lossless hash under the new layout and insert
             // with its exact count.
             let mut pairs: Vec<(u64, u64)> = src.core.enumerate();
-            radix_sort_pairs(&mut pairs);
+            src.device.sort_pairs(&mut pairs);
             let sorted: Vec<u64> = pairs.iter().map(|&(h, _)| h).collect();
             let bounds = merged.region_bounds(&sorted);
             let fails = merged.phased(&bounds, |_, range| {
@@ -353,9 +370,11 @@ impl BulkGqf {
     /// deterministic). Returns the number of pairs that could not be
     /// placed.
     pub fn insert_values_batch(&self, pairs: &[(u64, u64)]) -> usize {
-        let mut hashed: Vec<(u64, u64)> =
-            pairs.iter().map(|&(k, v)| (self.stored_hash(k), v)).collect();
-        radix_sort_pairs(&mut hashed);
+        let mut hashed: Vec<(u64, u64)> = self.device.par_map(pairs.len(), |i| {
+            let (k, v) = pairs[i];
+            (self.stored_hash(k), v)
+        });
+        self.device.sort_pairs(&mut hashed);
         let bounds = self.region_bounds_pairs(&hashed);
         let l = *self.core.layout();
         self.phased(&bounds, |_, range| {
@@ -390,8 +409,8 @@ impl BulkGqf {
     /// larger items first" minimizes left-shifting, §6.4). Returns the
     /// count not found.
     pub fn delete_batch(&self, keys: &[u64]) -> usize {
-        let mut hashes: Vec<u64> = keys.iter().map(|&k| self.stored_hash(k)).collect();
-        radix_sort_u64(&mut hashes);
+        let mut hashes = self.hash_batch(keys);
+        self.device.sort_u64(&mut hashes);
         let bounds = self.region_bounds(&hashes);
         let l = *self.core.layout();
         self.phased(&bounds, |_, range| {
@@ -413,8 +432,8 @@ impl BulkGqf {
     pub fn delete_batch_report(&self, keys: &[u64], out: &mut [DeleteOutcome]) {
         assert_eq!(keys.len(), out.len());
         let mut hashed: Vec<(u64, u64)> =
-            keys.iter().enumerate().map(|(i, &k)| (self.stored_hash(k), i as u64)).collect();
-        radix_sort_pairs(&mut hashed);
+            self.device.par_map(keys.len(), |i| (self.stored_hash(keys[i]), i as u64));
+        self.device.sort_pairs(&mut hashed);
         let bounds = self.region_bounds_pairs(&hashed);
         let l = *self.core.layout();
         let removed: Vec<AtomicBool> = (0..keys.len()).map(|_| AtomicBool::new(false)).collect();
@@ -757,6 +776,32 @@ mod tests {
         assert_eq!(out.iter().filter(|o| o.removed()).count(), 2);
         assert_eq!(f.count_batch(&[key]), vec![0]);
         f.core().check_invariants();
+    }
+
+    #[test]
+    fn every_worker_budget_builds_an_identical_filter() {
+        use filter_core::Parallelism;
+        let spec = FilterSpec::items(8000).fp_rate(0.004).counting(true);
+        let oracle =
+            BulkGqf::from_spec(&spec.clone().parallelism(Parallelism::Sequential)).unwrap();
+        let keys = hashed_keys(65, 8000);
+        let dupes: Vec<u64> = keys[..500].iter().flat_map(|&k| [k, k]).collect();
+        let probes = hashed_keys(66, 40_000);
+        assert_eq!(oracle.insert_batch(&keys), 0);
+        assert_eq!(oracle.insert_batch(&dupes), 0);
+        assert_eq!(oracle.delete_batch(&keys[..3000]), 0);
+        let oracle_counts = oracle.count_batch(&probes);
+        let oracle_present = oracle.count_batch(&keys);
+        for workers in [1u32, 2, 8] {
+            let f = BulkGqf::from_spec(&spec.clone().parallelism(Parallelism::Threads(workers)))
+                .unwrap();
+            assert_eq!(f.insert_batch(&keys), 0, "w={workers}");
+            assert_eq!(f.insert_batch(&dupes), 0, "w={workers}");
+            assert_eq!(f.delete_batch(&keys[..3000]), 0, "w={workers}");
+            assert_eq!(f.count_batch(&probes), oracle_counts, "probe counts, w={workers}");
+            assert_eq!(f.count_batch(&keys), oracle_present, "present counts, w={workers}");
+            f.core().check_invariants();
+        }
     }
 
     #[test]

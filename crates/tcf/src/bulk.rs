@@ -16,6 +16,15 @@
 //!
 //! Every pass is a region kernel: one thread owns one block, so all block
 //! mutations are exclusive and writes coalesce.
+//!
+//! Each pass runs the substrate's bulk-synchronous phase pattern —
+//! data-parallel **partition** ([`Device::par_map`] computes every item's
+//! target block), device-bounded **sort**
+//! ([`Device::sorted_segments`] groups items by block), and a per-block
+//! **apply** ([`Device::launch_segments`]) — all bounded by the
+//! [`FilterSpec::parallelism`] worker budget, and all
+//! scheduling-independent: every budget yields bit-for-bit identical
+//! tables (the parallel-oracle test tier's contract).
 
 use crate::backing::BackingTable;
 use crate::config::TcfConfig;
@@ -24,7 +33,6 @@ use filter_core::{
     ApiMode, DeleteOutcome, Features, FilterError, FilterMeta, FilterSpec, Fingerprint, HashPair,
     InsertOutcome, Operation,
 };
-use gpu_sim::sort::radix_sort_pairs;
 use gpu_sim::{Device, GpuBuffer, SharedScratch};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
@@ -98,7 +106,8 @@ impl BulkTcf {
     /// Build from a declarative [`FilterSpec`]: sized so `spec.capacity`
     /// items fit at the recommended load, with the narrowest fingerprint
     /// meeting `spec.fp_rate` at the bulk block geometry, on the spec's
-    /// device model. Counting specs are refused (use the GQF).
+    /// device model with the spec's host-parallelism budget. Counting
+    /// specs are refused (use the GQF).
     pub fn from_spec(spec: &FilterSpec) -> Result<Self, FilterError> {
         spec.validate()?;
         if spec.counting {
@@ -108,7 +117,7 @@ impl BulkTcf {
         let filter = Self::with_config(
             spec.slots_for_load(cfg.max_load),
             cfg,
-            Device::for_model_name(spec.device.name()),
+            Device::for_model_name(spec.device.name()).with_workers(spec.parallelism.workers()),
         )?;
         if spec.value_bits > 0 {
             filter.with_values(spec.value_bits)
@@ -185,30 +194,20 @@ impl BulkTcf {
         if items.is_empty() {
             return Vec::new();
         }
-        // Sort (target, index) so each block's items are contiguous.
+        // Partition + sort phases: (target, index) pairs built in
+        // parallel, then stable-sorted so each block's items are
+        // contiguous; bounds mark one segment per distinct block.
         let mut order: Vec<(u64, u64)> =
-            targets.iter().enumerate().map(|(i, &b)| (b as u64, i as u64)).collect();
-        radix_sort_pairs(&mut order);
-
-        // Segment boundaries per distinct block.
-        let mut bounds = vec![0usize];
-        for i in 1..order.len() {
-            if order[i].0 != order[i - 1].0 {
-                bounds.push(i);
-            }
-        }
-        bounds.push(order.len());
+            self.device.par_map(targets.len(), |i| (targets[i] as u64, i as u64));
+        let bounds = self.device.sorted_segments(&mut order);
 
         let accepted: Vec<AtomicBool> = (0..items.len()).map(|_| AtomicBool::new(false)).collect();
         let b = self.cfg.block_slots;
-        let n_segments = bounds.len() - 1;
         let order_ref = &order;
-        let bounds_ref = &bounds;
         let accepted_ref = &accepted;
 
-        self.device.launch_regions(n_segments, |seg| {
-            let lo = bounds_ref[seg];
-            let hi = bounds_ref[seg + 1];
+        self.device.launch_segments(&bounds, |_seg, range| {
+            let (lo, hi) = (range.start, range.end);
             let block = order_ref[lo].0 as usize;
             let start = block * b;
 
@@ -325,25 +324,16 @@ impl BulkTcf {
             return Vec::new();
         }
         let mut order: Vec<(u64, u64)> =
-            targets.iter().enumerate().map(|(i, &b)| (b as u64, i as u64)).collect();
-        radix_sort_pairs(&mut order);
-        let mut bounds = vec![0usize];
-        for i in 1..order.len() {
-            if order[i].0 != order[i - 1].0 {
-                bounds.push(i);
-            }
-        }
-        bounds.push(order.len());
+            self.device.par_map(targets.len(), |i| (targets[i] as u64, i as u64));
+        let bounds = self.device.sorted_segments(&mut order);
 
         let removed: Vec<AtomicBool> = (0..items.len()).map(|_| AtomicBool::new(false)).collect();
         let b = self.cfg.block_slots;
         let order_ref = &order;
-        let bounds_ref = &bounds;
         let removed_ref = &removed;
 
-        self.device.launch_regions(bounds.len() - 1, |seg| {
-            let lo = bounds_ref[seg];
-            let hi = bounds_ref[seg + 1];
+        self.device.launch_segments(&bounds, |_seg, range| {
+            let (lo, hi) = (range.start, range.end);
             let block = order_ref[lo].0 as usize;
             let start = block * b;
             let view = self.table.load_span(start, b);
@@ -400,24 +390,24 @@ impl BulkTcf {
     /// Insert a batch; returns the number of items that could not be
     /// placed anywhere (0 on success).
     pub fn insert_batch(&self, keys: &[u64]) -> usize {
-        let items: Vec<Item> = keys
-            .iter()
-            .enumerate()
-            .map(|(i, &k)| Item { key: k, fp: self.fp_of(k), val: 0, idx: i })
-            .collect();
-        self.insert_items(items, true).len()
+        self.insert_items(self.hash_items(keys), true).len()
+    }
+
+    /// Hash phase: fingerprint every key in parallel (batch order kept).
+    fn hash_items(&self, keys: &[u64]) -> Vec<Item> {
+        self.device.par_map(keys.len(), |i| Item {
+            key: keys[i],
+            fp: self.fp_of(keys[i]),
+            val: 0,
+            idx: i,
+        })
     }
 
     /// Insert a batch with per-key outcomes: `out[i]` answers `keys[i]`.
     pub fn insert_batch_report(&self, keys: &[u64], out: &mut [InsertOutcome]) {
         assert_eq!(keys.len(), out.len());
         out.fill(InsertOutcome::Inserted);
-        let items: Vec<Item> = keys
-            .iter()
-            .enumerate()
-            .map(|(i, &k)| Item { key: k, fp: self.fp_of(k), val: 0, idx: i })
-            .collect();
-        for idx in self.insert_items(items, true) {
+        for idx in self.insert_items(self.hash_items(keys), true) {
             out[idx] = InsertOutcome::Failed;
         }
     }
@@ -431,11 +421,10 @@ impl BulkTcf {
         if self.values.is_none() {
             return pairs.len();
         }
-        let items: Vec<Item> = pairs
-            .iter()
-            .enumerate()
-            .map(|(i, &(k, v))| Item { key: k, fp: self.fp_of(k), val: v, idx: i })
-            .collect();
+        let items: Vec<Item> = self.device.par_map(pairs.len(), |i| {
+            let (k, v) = pairs[i];
+            Item { key: k, fp: self.fp_of(k), val: v, idx: i }
+        });
         self.insert_items(items, false).len()
     }
 
@@ -476,9 +465,11 @@ impl BulkTcf {
     /// Shared batch-insert flow for plain and valued items. Returns the
     /// original batch indices of the items that could not be placed.
     fn insert_items(&self, items: Vec<Item>, spill_to_backing: bool) -> Vec<usize> {
-        // Pass 1 — shortcut: primary block up to the shortcut threshold.
+        // Pass 1 — shortcut: primary block up to the shortcut threshold
+        // (targets computed in the data-parallel partition phase).
         let cap1 = ((self.cfg.block_slots as f64) * self.cfg.shortcut_fill).floor() as usize;
-        let targets: Vec<usize> = items.iter().map(|it| self.blocks_of(it.key).0).collect();
+        let targets: Vec<usize> =
+            self.device.par_map(items.len(), |i| self.blocks_of(items[i].key).0);
         let mask = self.placement_pass(&items, &targets, cap1.max(1));
         let leftover: Vec<Item> =
             items.iter().zip(&mask).filter(|(_, &a)| !a).map(|(it, _)| *it).collect();
@@ -487,22 +478,21 @@ impl BulkTcf {
         }
 
         // Pass 2 — POTC: the less-full of the two blocks, to capacity.
+        // The fill inspection only reads block prefixes pass 1 already
+        // finalized, so it parallelizes over the leftover items.
         let b = self.cfg.block_slots;
-        let targets: Vec<usize> = leftover
-            .iter()
-            .map(|it| {
-                let (p, s) = self.blocks_of(it.key);
-                let pv = self.table.load_span(p * b, b);
-                let pl = Self::prefix_len(&pv, p * b, b);
-                let sv = self.table.load_span(s * b, b);
-                let sl = Self::prefix_len(&sv, s * b, b);
-                if sl < pl {
-                    s
-                } else {
-                    p
-                }
-            })
-            .collect();
+        let targets: Vec<usize> = self.device.par_map(leftover.len(), |i| {
+            let (p, s) = self.blocks_of(leftover[i].key);
+            let pv = self.table.load_span(p * b, b);
+            let pl = Self::prefix_len(&pv, p * b, b);
+            let sv = self.table.load_span(s * b, b);
+            let sl = Self::prefix_len(&sv, s * b, b);
+            if sl < pl {
+                s
+            } else {
+                p
+            }
+        });
         let mask = self.placement_pass(&leftover, &targets, b);
         let leftover: Vec<(Item, usize)> = leftover
             .iter()
@@ -573,26 +563,17 @@ impl BulkTcf {
         }
         let b = self.cfg.block_slots;
 
-        // Group queries by primary block.
+        // Partition + sort phases: group queries by primary block.
         let mut order: Vec<(u64, u64)> =
-            keys.iter().enumerate().map(|(i, &k)| (self.blocks_of(k).0 as u64, i as u64)).collect();
-        radix_sort_pairs(&mut order);
-        let mut bounds = vec![0usize];
-        for i in 1..order.len() {
-            if order[i].0 != order[i - 1].0 {
-                bounds.push(i);
-            }
-        }
-        bounds.push(order.len());
+            self.device.par_map(keys.len(), |i| (self.blocks_of(keys[i]).0 as u64, i as u64));
+        let bounds = self.device.sorted_segments(&mut order);
 
         let hits: Vec<AtomicBool> = (0..keys.len()).map(|_| AtomicBool::new(false)).collect();
         let order_ref = &order;
-        let bounds_ref = &bounds;
         let hits_ref = &hits;
 
-        self.device.launch_regions(bounds.len() - 1, |seg| {
-            let lo = bounds_ref[seg];
-            let hi = bounds_ref[seg + 1];
+        self.device.launch_segments(&bounds, |_seg, range| {
+            let (lo, hi) = (range.start, range.end);
             let block = order_ref[lo].0 as usize;
             let start = block * b;
             let view = self.table.load_span(start, b);
@@ -657,19 +638,17 @@ impl BulkTcf {
     /// then the backing table. Returns the per-key removed mask in the
     /// caller's batch order.
     fn delete_items(&self, keys: &[u64]) -> Vec<bool> {
-        let items: Vec<Item> = keys
-            .iter()
-            .enumerate()
-            .map(|(i, &k)| Item { key: k, fp: self.fp_of(k), val: 0, idx: i })
-            .collect();
+        let items = self.hash_items(keys);
         let mut removed_mask = vec![false; keys.len()];
 
-        let targets: Vec<usize> = items.iter().map(|it| self.blocks_of(it.key).0).collect();
+        let targets: Vec<usize> =
+            self.device.par_map(items.len(), |i| self.blocks_of(items[i].key).0);
         let removed = self.delete_pass(&items, &targets);
         let leftover: Vec<Item> =
             items.iter().zip(&removed).filter(|(_, &r)| !r).map(|(it, _)| *it).collect();
 
-        let targets: Vec<usize> = leftover.iter().map(|it| self.blocks_of(it.key).1).collect();
+        let targets: Vec<usize> =
+            self.device.par_map(leftover.len(), |i| self.blocks_of(leftover[i].key).1);
         let removed = self.delete_pass(&leftover, &targets);
         let leftover: Vec<Item> =
             leftover.iter().zip(&removed).filter(|(_, &r)| !r).map(|(it, _)| *it).collect();
@@ -938,6 +917,36 @@ mod tests {
         // fingerprint a ghost delete legally claimed.
         let lost = f.bulk_query_vec(&keys[1000..]).iter().filter(|&&h| !h).count();
         assert!(lost <= ghost_hits, "lost {lost} > ghost removals {ghost_hits}");
+    }
+
+    #[test]
+    fn every_worker_budget_builds_an_identical_table() {
+        use filter_core::Parallelism;
+        let spec = FilterSpec::items(6000).fp_rate(0.004);
+        let oracle =
+            BulkTcf::from_spec(&spec.clone().parallelism(Parallelism::Sequential)).unwrap();
+        let keys = hashed_keys(71, 6000);
+        let probes = hashed_keys(72, 40_000);
+        assert_eq!(oracle.insert_batch(&keys), 0);
+        assert_eq!(oracle.delete_batch(&keys[..2000]), 0);
+        let oracle_fps = oracle.enumerate_fingerprints();
+        let oracle_hits = oracle.bulk_query_vec(&probes);
+        for workers in [1u32, 2, 8] {
+            let f = BulkTcf::from_spec(&spec.clone().parallelism(Parallelism::Threads(workers)))
+                .unwrap();
+            assert_eq!(f.insert_batch(&keys), 0, "w={workers}");
+            assert_eq!(f.delete_batch(&keys[..2000]), 0, "w={workers}");
+            assert_eq!(
+                f.enumerate_fingerprints(),
+                oracle_fps,
+                "stored fingerprints diverge at workers={workers}"
+            );
+            assert_eq!(
+                f.bulk_query_vec(&probes),
+                oracle_hits,
+                "probe outcomes diverge at workers={workers}"
+            );
+        }
     }
 
     #[test]

@@ -51,7 +51,23 @@ fn main() -> Result<(), FilterError> {
     let removed = deleted.iter().filter(|o| o.removed()).count();
     println!("Bulk TCF: deleted {removed}/20000 with per-key outcomes ✓");
 
-    // ---- 4. Or sweep every filter in the workspace ---------------------
+    // ---- 4. Dial bulk-phase parallelism without changing answers -------
+    // The bulk partition/sort/apply phases fan out over host workers;
+    // `Parallelism` bounds the budget. Any setting yields bit-for-bit
+    // identical filters (the parallel-oracle test tier enforces it), so
+    // pick per deployment: `Sequential` for reproducible debugging,
+    // `Threads(n)` to share cores with other work, `Auto` (default) for
+    // the full pool.
+    let seq =
+        build_filter(FilterKind::TcfBulk, &spec.clone().parallelism(Parallelism::Sequential))?;
+    let par =
+        build_filter(FilterKind::TcfBulk, &spec.clone().parallelism(Parallelism::Threads(4)))?;
+    seq.bulk_insert(&keys)?;
+    par.bulk_insert(&keys)?;
+    assert_eq!(seq.bulk_query_vec(&keys)?, par.bulk_query_vec(&keys)?);
+    println!("Parallelism knob: 4-worker build answers identically to sequential ✓");
+
+    // ---- 5. Or sweep every filter in the workspace ---------------------
     // The benchmark tables are generated exactly this way.
     println!("\nregistry sweep at {} items:", spec.capacity);
     for (kind, built) in all_filters(&spec) {

@@ -11,7 +11,7 @@
 
 use gpu_filters::{
     all_filters, build_filter, AnyFilter, ApiMode, DeleteOutcome, FilterError, FilterKind,
-    FilterSpec, InsertOutcome, Operation,
+    FilterSpec, InsertOutcome, Operation, Parallelism,
 };
 
 const ITEMS: usize = 2500;
@@ -167,11 +167,15 @@ fn from_spec_is_idempotent_for_every_kind() {
     // Building the same spec twice must yield filters that agree on every
     // probe after identical load sequences: `from_spec` may not consume
     // hidden global state (a process-wide seed, a static counter) that
-    // would make the second build answer differently from the first.
+    // would make the second build answer differently from the first. The
+    // spec carries an explicit parallelism budget so the PR 4 field flows
+    // through the whole suite (cross-budget equivalence is the
+    // parallel-oracle tier's job; same-budget idempotence is ours).
     let ks = keys(0xc6f, ITEMS);
     let probes = keys(0xc7f, 60_000);
     for kind in FilterKind::ALL {
-        let spec = FilterSpec::items(ITEMS as u64).fp_rate(eps(kind));
+        let spec =
+            FilterSpec::items(ITEMS as u64).fp_rate(eps(kind)).parallelism(Parallelism::Threads(2));
         let a = build_filter(kind, &spec).unwrap_or_else(|e| panic!("{kind}: {e}"));
         let b = build_filter(kind, &spec).unwrap_or_else(|e| panic!("{kind} (rebuild): {e}"));
         assert_eq!(a.capacity_slots(), b.capacity_slots(), "{kind}: geometry differs");

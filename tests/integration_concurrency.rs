@@ -1,5 +1,7 @@
 //! Concurrency hammering: the point APIs are the paper's device-side
-//! concurrent interfaces; they must stay exact under thread storms.
+//! concurrent interfaces; they must stay exact under thread storms — and
+//! the serving layer over a *parallel* bulk backend must lose nothing
+//! when blocking and pipelined handles race.
 
 use gpu_filters::datasets::hashed_keys;
 use gpu_filters::prelude::*;
@@ -130,6 +132,97 @@ fn tcf_concurrent_duplicate_inserts_are_multiset() {
     }
     assert_eq!(removed, 32);
     assert!(!f.contains(k));
+}
+
+#[test]
+fn service_over_parallel_backend_loses_no_outcomes_under_mixed_handles() {
+    // filter-service shard workers flushing into backends whose bulk
+    // phases themselves fan out on the rayon pool (Parallelism::Threads),
+    // hammered by concurrent blocking *and* pipelined handles. The
+    // contract: zero lost outcomes (every blocking call answers exactly,
+    // every pipelined op lands before the barrier) and a consistent
+    // ServiceStats ledger.
+    use gpu_filters::FilterSpec;
+    use std::time::Duration;
+
+    const SHARDS: usize = 4;
+    const BLOCKING_CLIENTS: usize = 4;
+    const PIPELINE_CLIENTS: usize = 2;
+    const KEYS_PER_CLIENT: usize = 4000;
+
+    let n_blocking = BLOCKING_CLIENTS * KEYS_PER_CLIENT;
+    let n_pipeline = PIPELINE_CLIENTS * KEYS_PER_CLIENT;
+    let spec = FilterSpec::items((2 * (n_blocking + n_pipeline)) as u64)
+        .fp_rate(4e-3)
+        .parallelism(Parallelism::Threads(2 * SHARDS as u32));
+    let builder = ShardedFilterBuilder::new()
+        .shards(SHARDS)
+        .batch_capacity(512)
+        .linger(Duration::from_micros(100))
+        .parallelism(spec.parallelism);
+    let shard_spec = builder.shard_spec(&spec);
+    let service = builder
+        .build_deletable(|_| BulkTcf::from_spec(&shard_spec))
+        .expect("service over parallel backend");
+
+    let blocking_keys = Arc::new(hashed_keys(601, n_blocking));
+    let pipeline_keys = Arc::new(hashed_keys(602, n_pipeline));
+    let handle = service.handle();
+
+    std::thread::scope(|s| {
+        // Blocking clients: insert own range, verify, delete half, verify.
+        for t in 0..BLOCKING_CLIENTS {
+            let h = handle.clone();
+            let keys = Arc::clone(&blocking_keys);
+            s.spawn(move || {
+                let mine = &keys[t * KEYS_PER_CLIENT..(t + 1) * KEYS_PER_CLIENT];
+                assert_eq!(h.insert_batch(mine).unwrap(), 0, "client {t} lost inserts");
+                let hits = h.query_batch(mine).unwrap();
+                assert!(hits.iter().all(|&x| x), "client {t} lost keys");
+                let half = &mine[..KEYS_PER_CLIENT / 2];
+                assert_eq!(h.delete_batch(half).unwrap(), 0, "client {t} lost deletes");
+                let hits = h.query_batch(&mine[KEYS_PER_CLIENT / 2..]).unwrap();
+                assert!(hits.iter().all(|&x| x), "client {t}: survivors vanished");
+            });
+        }
+        // Pipelined clients: fire-and-forget inserts, then a barrier.
+        for t in 0..PIPELINE_CLIENTS {
+            let h = handle.clone();
+            let keys = Arc::clone(&pipeline_keys);
+            s.spawn(move || {
+                let mine = &keys[t * KEYS_PER_CLIENT..(t + 1) * KEYS_PER_CLIENT];
+                for chunk in mine.chunks(700) {
+                    h.insert_batch_pipelined(chunk).unwrap();
+                }
+                h.barrier().unwrap();
+                let hits = h.query_batch(mine).unwrap();
+                assert!(hits.iter().all(|&x| x), "pipelined client {t} lost keys");
+            });
+        }
+    });
+
+    // The ledger must balance: every accepted op was flushed (queues
+    // drained by the barriers/blocking gates above), nothing rejected,
+    // nothing failed, and the hit counter covers at least the positive
+    // queries the clients verified.
+    let stats = service.stats();
+    let expect_inserts = (n_blocking + n_pipeline) as u64;
+    let expect_deletes = (n_blocking / 2) as u64;
+    let expect_queries = (n_blocking + n_blocking / 2 + n_pipeline) as u64;
+    assert_eq!(stats.inserts, expect_inserts, "insert ledger");
+    assert_eq!(stats.deletes, expect_deletes, "delete ledger");
+    assert_eq!(stats.queries, expect_queries, "query ledger");
+    assert_eq!(stats.insert_failures, 0);
+    assert_eq!(stats.delete_failures, 0);
+    assert_eq!(stats.rejected, 0);
+    assert_eq!(stats.query_hits, expect_queries, "every verified query was a hit");
+    assert_eq!(
+        stats.items_flushed,
+        expect_inserts + expect_deletes + expect_queries,
+        "flushed items must equal accepted operations (zero lost outcomes)"
+    );
+    assert_eq!(stats.queue_depth, 0, "queues drained");
+    assert!(stats.batches_flushed > 0 && stats.mean_batch() > 1.0, "aggregation happened");
 }
 
 #[test]

@@ -1,0 +1,245 @@
+//! Parallel oracle: the new test tier proving the bulk stack's
+//! data-parallelism is *observably invisible*. Every registered
+//! `FilterKind` is driven through the same deterministic
+//! insert/query/delete workload under `Parallelism::Sequential` (the
+//! oracle) and `Threads(1)`, `Threads(2)`, `Threads(8)`; every setting
+//! must produce:
+//!
+//! * identical per-key insert outcomes,
+//! * identical per-key query outcomes after every round,
+//! * identical per-key delete outcomes,
+//! * an identical false-positive *set* on a disjoint probe universe —
+//!   not merely a similar rate: the same colliding fingerprints must be
+//!   stored, i.e. the filters are bit-for-bit behaviourally equal.
+//!
+//! This is what lets `Parallelism` be a pure throughput knob: the bulk
+//! phases (partition → sort → per-block apply) are scheduling-independent
+//! by construction, and this tier is the contract that keeps them so.
+//! It extends the PR 3 differential oracle (ground-truth correctness)
+//! with cross-parallelism equivalence.
+
+use gpu_filters::{
+    build_filter, AnyFilter, DeleteOutcome, FilterError, FilterKind, FilterSpec, InsertOutcome,
+    Parallelism,
+};
+
+const ITEMS: u64 = 2600;
+const UNIVERSE: usize = 1000;
+const ROUNDS: usize = 3;
+const INSERTS_PER_ROUND: usize = 400;
+const DELETES_PER_ROUND: usize = 150;
+const PROBES: usize = 60_000;
+
+/// The parallel settings under test, compared against `Sequential`.
+const SETTINGS: [Parallelism; 3] =
+    [Parallelism::Threads(1), Parallelism::Threads(2), Parallelism::Threads(8)];
+
+/// Per-kind target ε (matches the differential oracle's classes).
+fn eps(kind: FilterKind) -> f64 {
+    match kind {
+        FilterKind::Sqf | FilterKind::Rsqf => 4e-2,
+        _ => 4e-3,
+    }
+}
+
+/// splitmix64: deterministic workload randomness, seeded per kind.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next() % bound as u64) as usize
+    }
+}
+
+/// One fixed workload: per-round insert and delete batches plus the
+/// disjoint probe set, derived deterministically per kind so every
+/// parallelism setting replays exactly the same trace.
+struct Workload {
+    inserts: Vec<Vec<u64>>,
+    deletes: Vec<Vec<u64>>,
+    probes: Vec<u64>,
+}
+
+impl Workload {
+    fn for_kind(kind: FilterKind) -> Workload {
+        let seed = kind
+            .name()
+            .bytes()
+            .fold(0x9a11_u64, |a, b| a.wrapping_mul(31).wrapping_add(u64::from(b)));
+        let mut rng = Rng(seed);
+        let universe = filter_core::hashed_keys(0xbeef ^ seed, UNIVERSE);
+        let mut inserts = Vec::with_capacity(ROUNDS);
+        let mut deletes = Vec::with_capacity(ROUNDS);
+        // Track multiplicities so delete batches only name present keys
+        // (absent-key deletes are legal but collide nondeterministically
+        // with nothing — keeping them present makes every outcome integer
+        // comparable across settings *and* meaningful).
+        let mut count = std::collections::HashMap::<u64, u64>::new();
+        for _ in 0..ROUNDS {
+            let batch: Vec<u64> =
+                (0..INSERTS_PER_ROUND).map(|_| universe[rng.below(UNIVERSE)]).collect();
+            for &k in &batch {
+                *count.entry(k).or_insert(0) += 1;
+            }
+            inserts.push(batch);
+            let live: Vec<u64> = count.iter().filter(|(_, &c)| c > 0).map(|(&k, _)| k).collect();
+            let mut victims = Vec::new();
+            for _ in 0..DELETES_PER_ROUND.min(live.len()) {
+                let k = live[rng.below(live.len())];
+                let c = count.get_mut(&k).unwrap();
+                if *c > 0 && !victims.contains(&k) {
+                    *c -= 1;
+                    victims.push(k);
+                }
+            }
+            deletes.push(victims);
+        }
+        let mut probes = filter_core::hashed_keys(0xf00d ^ seed, PROBES);
+        probes.retain(|k| !count.contains_key(k));
+        Workload { inserts, deletes, probes }
+    }
+}
+
+/// Everything a run observes, in batch order — the equality surface.
+#[derive(PartialEq, Debug, Default)]
+struct Observed {
+    insert_outcomes: Vec<Vec<InsertOutcome>>,
+    query_hits: Vec<Vec<bool>>,
+    delete_outcomes: Vec<Vec<DeleteOutcome>>,
+    fp_hits: Vec<bool>,
+}
+
+fn insert_all(f: &AnyFilter, batch: &[u64]) -> Vec<InsertOutcome> {
+    let mut out = vec![InsertOutcome::Inserted; batch.len()];
+    match f.bulk_insert_report(batch, &mut out) {
+        Ok(()) => out,
+        Err(FilterError::Unsupported(_)) => {
+            batch
+                .iter()
+                .map(|&k| {
+                    if f.insert(k).is_ok() {
+                        InsertOutcome::Inserted
+                    } else {
+                        InsertOutcome::Failed
+                    }
+                })
+                .collect()
+        }
+        Err(e) => panic!("insert: {e}"),
+    }
+}
+
+fn query_all(f: &AnyFilter, batch: &[u64]) -> Vec<bool> {
+    match f.bulk_query_vec(batch) {
+        Ok(h) => h,
+        Err(FilterError::Unsupported(_)) => batch.iter().map(|&k| f.contains(k).unwrap()).collect(),
+        Err(e) => panic!("query: {e}"),
+    }
+}
+
+/// Delete through whichever surface exists; `None` when the kind cannot
+/// delete at all (its runs simply record no delete outcomes).
+fn delete_all(f: &AnyFilter, batch: &[u64]) -> Option<Vec<DeleteOutcome>> {
+    let mut out = vec![DeleteOutcome::NotFound; batch.len()];
+    match f.bulk_delete_report(batch, &mut out) {
+        Ok(()) => Some(out),
+        Err(FilterError::Unsupported(_)) => {
+            let mut point = Vec::with_capacity(batch.len());
+            for &k in batch {
+                match f.remove(k) {
+                    Ok(true) => point.push(DeleteOutcome::Removed),
+                    Ok(false) => point.push(DeleteOutcome::NotFound),
+                    Err(FilterError::Unsupported(_)) => return None,
+                    Err(e) => panic!("delete: {e}"),
+                }
+            }
+            Some(point)
+        }
+        Err(e) => panic!("delete: {e}"),
+    }
+}
+
+/// Replay the workload under one parallelism setting, recording every
+/// per-key outcome the caller could observe.
+fn run_trace(kind: FilterKind, workload: &Workload, parallelism: Parallelism) -> Observed {
+    let spec = FilterSpec::items(ITEMS).fp_rate(eps(kind)).parallelism(parallelism);
+    let f = build_filter(kind, &spec).unwrap_or_else(|e| panic!("{kind}@{parallelism}: {e}"));
+    let mut obs = Observed::default();
+    for round in 0..ROUNDS {
+        obs.insert_outcomes.push(insert_all(&f, &workload.inserts[round]));
+        obs.query_hits.push(query_all(&f, &workload.inserts[round]));
+        if let Some(out) = delete_all(&f, &workload.deletes[round]) {
+            obs.delete_outcomes.push(out);
+            obs.query_hits.push(query_all(&f, &workload.deletes[round]));
+        }
+    }
+    obs.fp_hits = query_all(&f, &workload.probes);
+    obs
+}
+
+#[test]
+fn every_kind_is_parallelism_invariant() {
+    for kind in FilterKind::ALL {
+        let workload = Workload::for_kind(kind);
+        let oracle = run_trace(kind, &workload, Parallelism::Sequential);
+        // Sanity: the oracle itself must accept the whole workload (it is
+        // sized well under spec capacity) so the comparison is not
+        // vacuously about empty filters.
+        for (round, outs) in oracle.insert_outcomes.iter().enumerate() {
+            let failed = outs.iter().filter(|o| o.failed()).count();
+            assert_eq!(failed, 0, "{kind}: sequential oracle failed inserts in round {round}");
+        }
+        let fp_count = oracle.fp_hits.iter().filter(|&&h| h).count();
+        assert!(
+            (fp_count as f64) <= 2.0 * eps(kind) * workload.probes.len() as f64,
+            "{kind}: oracle fp set of {fp_count} exceeds 2x target ε"
+        );
+
+        for setting in SETTINGS {
+            let got = run_trace(kind, &workload, setting);
+            assert_eq!(
+                got.insert_outcomes, oracle.insert_outcomes,
+                "{kind}@{setting}: per-key insert outcomes diverge from sequential"
+            );
+            assert_eq!(
+                got.query_hits, oracle.query_hits,
+                "{kind}@{setting}: query outcomes diverge from sequential"
+            );
+            assert_eq!(
+                got.delete_outcomes, oracle.delete_outcomes,
+                "{kind}@{setting}: per-key delete outcomes diverge from sequential"
+            );
+            // Identical fp *set*, element for element — the strongest
+            // observable equality: the same colliding fingerprints ended
+            // up stored under every worker budget.
+            assert_eq!(
+                got.fp_hits, oracle.fp_hits,
+                "{kind}@{setting}: false-positive set diverges from sequential"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_builds_share_the_sequential_geometry() {
+    // The knob must not leak into sizing: a spec built at any parallelism
+    // has the same table geometry (so the equality above is about one
+    // structure, not coincidentally-equal different ones).
+    for kind in FilterKind::ALL {
+        let base = FilterSpec::items(ITEMS).fp_rate(eps(kind));
+        let seq = build_filter(kind, &base.clone().parallelism(Parallelism::Sequential)).unwrap();
+        for setting in SETTINGS {
+            let par = build_filter(kind, &base.clone().parallelism(setting)).unwrap();
+            assert_eq!(seq.capacity_slots(), par.capacity_slots(), "{kind}@{setting}");
+            assert_eq!(seq.table_bytes(), par.table_bytes(), "{kind}@{setting}");
+        }
+    }
+}
