@@ -118,6 +118,22 @@ impl Rsqf {
     }
 }
 
+impl filter_core::MaintainableFilter for Rsqf {
+    fn load(&self) -> f64 {
+        self.core.load_factor().clamp(0.0, 1.0)
+    }
+
+    fn grow(&mut self, factor: u32) -> Result<(), FilterError> {
+        self.core = crate::sqf::grown_core(&self.core, &self.device, factor, "RSQF")?;
+        Ok(())
+    }
+
+    fn merge(&mut self, other: &Self) -> Result<(), FilterError> {
+        self.core = crate::sqf::merged_core(&self.core, &self.device, &other.core)?;
+        Ok(())
+    }
+}
+
 impl FilterMeta for Rsqf {
     fn name(&self) -> &'static str {
         "RSQF"
@@ -129,6 +145,7 @@ impl FilterMeta for Rsqf {
         Features::new("RSQF")
             .with(Operation::Insert, ApiMode::Bulk)
             .with(Operation::Query, ApiMode::Bulk)
+            .with_growth()
     }
 
     fn table_bytes(&self) -> usize {
@@ -169,6 +186,7 @@ impl filter_core::DynFilter for Rsqf {
     }
 
     filter_core::dyn_forward_bulk!();
+    filter_core::dyn_forward_maintain!(Rsqf);
 }
 
 #[cfg(test)]
@@ -198,5 +216,28 @@ mod tests {
     fn size_caps_enforced() {
         assert!(Rsqf::new(27, 5, Device::cori()).is_err());
         assert!(Rsqf::new(26, 5, Device::cori()).is_ok());
+    }
+
+    #[test]
+    fn grow_and_merge_preserve_membership() {
+        use filter_core::MaintainableFilter;
+        let mut f = Rsqf::new(13, 5, Device::cori()).unwrap();
+        let keys = hashed_keys(92, 4000);
+        assert_eq!(f.insert_batch(&keys), 0);
+        f.grow(2).unwrap();
+        assert_eq!(f.core().layout().q_bits, 14);
+        let mut out = vec![false; keys.len()];
+        f.query_batch(&keys, &mut out);
+        assert!(out.iter().all(|&x| x));
+
+        let mut other = Rsqf::new(13, 5, Device::cori()).unwrap();
+        let more = hashed_keys(93, 2000);
+        assert_eq!(other.insert_batch(&more), 0);
+        other.grow(2).unwrap();
+        f.merge(&other).unwrap();
+        let mut out = vec![false; more.len()];
+        f.query_batch(&more, &mut out);
+        assert!(out.iter().all(|&x| x));
+        f.core().check_invariants();
     }
 }

@@ -21,7 +21,7 @@ use filter_core::{
     FilterSpec, InsertOutcome, Operation,
 };
 use gpu_sim::Device;
-use gqf::{GqfCore, Layout, REGION_SLOTS};
+use gqf::{refill_core, GqfCore, Layout, REGION_SLOTS};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// The SQF's two supported remainder widths.
@@ -45,6 +45,57 @@ pub(crate) fn quotient_geometry(
     let r_bits = if spec.fp_rate >= 2f64.powi(-5) { 5 } else { 13 };
     let q_bits = (spec.slots_for_load(0.9).max(64) as f64).log2().ceil() as u32;
     Ok((q_bits, r_bits))
+}
+
+/// Grow `core` by quotient-bit extension (q+d, r−d) — the shared SQF/RSQF
+/// [`grow`](filter_core::MaintainableFilter::grow) body, migrating
+/// through [`gqf::refill_core`] (the same even-odd phased primitive the
+/// GQF's own resize uses, so any worker budget grows into the same
+/// table). Returns the replacement core; the caller swaps it in on
+/// success. Grown geometries leave the published 5/13-bit configuration
+/// space (a recorded deviation); the packed-word constraint `q + r < 32`
+/// is preserved because `p` never changes.
+pub(crate) fn grown_core(
+    core: &GqfCore,
+    device: &Device,
+    factor: u32,
+    family: &'static str,
+) -> Result<GqfCore, FilterError> {
+    let d = filter_core::growth_steps(factor)?;
+    let old = *core.layout();
+    if old.r_bits < d + 2 {
+        return Err(FilterError::BadConfig(format!(
+            "{family}: cannot extend quotient by {d} bits with {} remainder bits",
+            old.r_bits
+        )));
+    }
+    let bigger = GqfCore::new(Layout::new(old.q_bits + d, old.r_bits - d)?);
+    if refill_core(&bigger, device, core)? > 0 {
+        return Err(FilterError::Full);
+    }
+    Ok(bigger)
+}
+
+/// Merge `other` into a fresh core with `core`'s layout — the shared
+/// SQF/RSQF [`merge`](filter_core::MaintainableFilter::merge) body.
+/// Returns the union core; `NeedsGrowth` when it does not fit at the 90%
+/// recommended load.
+pub(crate) fn merged_core(
+    core: &GqfCore,
+    device: &Device,
+    other: &GqfCore,
+) -> Result<GqfCore, FilterError> {
+    let layout = *core.layout();
+    let union = GqfCore::new(layout);
+    for src in [core, other] {
+        if refill_core(&union, device, src)? > 0 {
+            return Err(FilterError::needs_growth(core.load_factor()));
+        }
+    }
+    if union.load_factor() > 0.9 {
+        return Err(FilterError::needs_growth(union.load_factor()));
+    }
+    Ok(union)
 }
 
 /// Geil et al.'s GPU standard quotient filter.
@@ -265,6 +316,22 @@ impl Sqf {
     }
 }
 
+impl filter_core::MaintainableFilter for Sqf {
+    fn load(&self) -> f64 {
+        self.core.load_factor().clamp(0.0, 1.0)
+    }
+
+    fn grow(&mut self, factor: u32) -> Result<(), FilterError> {
+        self.core = grown_core(&self.core, &self.device, factor, "SQF")?;
+        Ok(())
+    }
+
+    fn merge(&mut self, other: &Self) -> Result<(), FilterError> {
+        self.core = merged_core(&self.core, &self.device, &other.core)?;
+        Ok(())
+    }
+}
+
 impl FilterMeta for Sqf {
     fn name(&self) -> &'static str {
         "SQF"
@@ -275,6 +342,7 @@ impl FilterMeta for Sqf {
             .with(Operation::Insert, ApiMode::Bulk)
             .with(Operation::Query, ApiMode::Bulk)
             .with(Operation::Delete, ApiMode::Bulk)
+            .with_growth()
     }
 
     fn table_bytes(&self) -> usize {
@@ -331,12 +399,13 @@ impl filter_core::DynFilter for Sqf {
 
     filter_core::dyn_forward_bulk!();
     filter_core::dyn_forward_bulk_delete!();
+    filter_core::dyn_forward_maintain!(Sqf);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use filter_core::hashed_keys;
+    use filter_core::{hashed_keys, MaintainableFilter};
 
     fn sqf(q: u32) -> Sqf {
         Sqf::new(q, 5, Device::cori()).unwrap()
@@ -393,5 +462,51 @@ mod tests {
         assert!(!f.features().supports(Operation::Insert, ApiMode::Point));
         assert!(!f.features().supports(Operation::Count, ApiMode::Bulk));
         assert!(f.features().supports(Operation::Delete, ApiMode::Bulk));
+        assert!(f.features().supports_growth());
+    }
+
+    #[test]
+    fn quotient_extension_grow_preserves_membership() {
+        let mut f = sqf(13);
+        let keys = hashed_keys(84, 4000);
+        assert_eq!(f.insert_batch(&keys), 0);
+        let load_before = f.load();
+        f.grow(2).unwrap();
+        assert_eq!(f.core().layout().q_bits, 14);
+        assert_eq!(f.core().layout().r_bits, 4, "grown geometry leaves the published widths");
+        assert!(f.load() < load_before);
+        let mut out = vec![false; keys.len()];
+        f.query_batch(&keys, &mut out);
+        assert!(out.iter().all(|&x| x), "zero false negatives across a grow");
+        f.core().check_invariants();
+        // r=4 has 2 extensible bits left; a grow past that is refused.
+        assert!(f.grow(8).is_err());
+        assert!(f.grow(4).is_ok());
+    }
+
+    #[test]
+    fn merge_unions_two_filters_or_demands_growth() {
+        let mut a = sqf(13);
+        let b = sqf(13);
+        let keys = hashed_keys(85, 5000);
+        assert_eq!(a.insert_batch(&keys[..2500]), 0);
+        assert_eq!(b.insert_batch(&keys[2500..]), 0);
+        a.merge(&b).unwrap();
+        let mut out = vec![false; keys.len()];
+        a.query_batch(&keys, &mut out);
+        assert!(out.iter().all(|&x| x));
+        a.core().check_invariants();
+
+        // Near-full merge partners refuse with NeedsGrowth; growing
+        // first resolves it.
+        let mut c = sqf(12);
+        let d = sqf(12);
+        let n = ((1usize << 12) as f64 * 0.8) as usize;
+        assert_eq!(c.insert_batch(&hashed_keys(86, n)), 0);
+        assert_eq!(d.insert_batch(&hashed_keys(87, n)), 0);
+        assert!(matches!(c.merge(&d), Err(FilterError::NeedsGrowth { .. })));
+        c.grow(2).unwrap();
+        c.merge(&d).unwrap();
+        assert_eq!(c.core().items(), 2 * n);
     }
 }

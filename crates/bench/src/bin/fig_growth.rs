@@ -1,0 +1,196 @@
+//! Capacity-lifecycle figure (PR 5): what growing *costs*.
+//!
+//! Two families of rows land in `experiments/BENCH_growth.json`:
+//!
+//! * **Per-kind amortized growth cost** — for every growable
+//!   `FilterKind`, the same chunked insert workload runs into (a) a
+//!   filter pre-sized for the full keyset (`insert-fixed`) and (b) a
+//!   filter built at 1/8 the capacity under `GrowthPolicy::Auto`
+//!   (`insert-grown`), which pays ~3 doublings mid-stream. The ratio of
+//!   the two medians is the amortized cost of not knowing your capacity
+//!   up front.
+//! * **Service scale-out** — a `filter-service` fleet ingests the same
+//!   stream while `resize_shards` doubles it twice mid-run
+//!   (`scale-out`), next to a statically-sized fleet (`static-fleet`);
+//!   the delta prices live merge-based migration.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin fig_growth -- --sizes 16,18
+//! cargo run --release -p bench --bin fig_growth -- --smoke   # CI scale
+//! ```
+
+use bench::{measure_bulk, measure_wall, parse_args, Json, Probe, Trajectory};
+use filter_core::{hashed_keys, FilterKind, FilterSpec, GrowingFilter, GrowthPolicy};
+use filter_service::ShardedFilterBuilder;
+use gpu_filters::build_filter;
+use gpu_sim::Device;
+use std::time::Duration;
+
+/// The growable kinds and their published-configuration ε targets.
+const KINDS: [(FilterKind, f64); 4] = [
+    (FilterKind::TcfBulk, 4e-3),
+    (FilterKind::GqfBulk, 4e-3),
+    (FilterKind::Sqf, 4e-2),
+    (FilterKind::Rsqf, 4e-2),
+];
+
+/// Chunks the insert stream is fed in (both arms, so the comparison is
+/// pure growth cost, not batching shape).
+const CHUNKS: usize = 8;
+
+/// Capacity head-start of the grown arm: starts at 1/8 of the keys, so
+/// absorbing the full stream needs three doublings.
+const UNDERSIZE: u64 = 8;
+
+fn main() {
+    let args = parse_args(&[16, 18, 20]);
+    let cori = Device::cori();
+    let mut traj = Trajectory::new("growth", &args);
+
+    for &s in &args.sizes_log2 {
+        let n = ((1usize << s) as f64 * 0.85) as usize;
+        let keys = hashed_keys(7100 + s as u64, n);
+        let chunk = n.div_ceil(CHUNKS);
+
+        for (kind, eps) in KINDS {
+            // Arm 1: capacity known up front.
+            let fixed_spec = FilterSpec::items(n as u64).fp_rate(eps);
+            let sample = match build_filter(kind, &fixed_spec) {
+                Ok(f) => f,
+                Err(e) => {
+                    println!("{kind} unavailable at 2^{s}: {e}");
+                    traj.set_extra(format!("unavailable_{kind}_2^{s}"), Json::str(e.to_string()));
+                    continue;
+                }
+            };
+            let name = sample.name();
+            let footprint = sample.table_bytes() as u64;
+            drop(sample);
+            let probe = Probe::new(name, kind.name(), "insert-fixed", s, n as u64)
+                .footprint(footprint)
+                .spec(&fixed_spec);
+            let (fixed_row, _) = measure_bulk(
+                &cori,
+                &args,
+                &probe,
+                || build_filter(kind, &fixed_spec).expect("built once already"),
+                |f| {
+                    for c in keys.chunks(chunk) {
+                        assert_eq!(f.bulk_insert(c).unwrap(), 0, "{kind} failures at 2^{s}");
+                    }
+                },
+            );
+            let fixed_median = fixed_row.secs.median;
+            traj.push(fixed_row.metric("grow_events", 0.0));
+
+            // Arm 2: the same stream into 1/8 the capacity under the
+            // automatic policy — the filter doubles mid-stream until the
+            // keys fit.
+            let grown_spec = FilterSpec::items((n as u64 / UNDERSIZE).max(64))
+                .fp_rate(eps)
+                .growth(GrowthPolicy::AUTO_DEFAULT);
+            let probe = Probe::new(name, kind.name(), "insert-grown", s, n as u64)
+                .footprint(footprint)
+                .spec(&grown_spec);
+            let (row, grown) = measure_bulk(
+                &cori,
+                &args,
+                &probe,
+                || build_filter(kind, &grown_spec).expect("fixed arm built"),
+                |f| {
+                    for c in keys.chunks(chunk) {
+                        assert_eq!(f.bulk_insert(c).unwrap(), 0, "{kind} grow-arm failures");
+                    }
+                },
+            );
+            let grow_events = grown
+                .as_any()
+                .downcast_ref::<GrowingFilter>()
+                .map(|g| g.grow_events())
+                .unwrap_or(0);
+            assert!(grow_events > 0, "{kind}: the undersized arm must have grown");
+            assert!(
+                grown.bulk_query_vec(&keys).unwrap().iter().all(|&h| h),
+                "{kind}: keys lost across growth at 2^{s}"
+            );
+            let amortized = row.secs.median / fixed_median.max(f64::MIN_POSITIVE);
+            traj.push(
+                row.metric("grow_events", grow_events as f64)
+                    .metric("amortized_cost_vs_fixed", amortized),
+            );
+        }
+
+        // Service scale-out: the fleet doubles twice mid-ingest, with
+        // merge-based migration, vs. a statically right-sized fleet.
+        let shard_spec =
+            FilterSpec::items(n as u64).fp_rate(4e-3).growth(GrowthPolicy::AUTO_DEFAULT);
+        let service_builder = || {
+            ShardedFilterBuilder::new()
+                .shards(1)
+                .batch_capacity(4096)
+                .linger(Duration::from_micros(100))
+                .growth(GrowthPolicy::AUTO_DEFAULT)
+        };
+        let probe =
+            Probe::new("service/scale-out", "service", "scale-out", s, n as u64).spec(&shard_spec);
+        let (row, svc) = measure_wall(
+            &args,
+            &probe,
+            || {
+                service_builder()
+                    .build_maintainable_deletable(|_| tcf::BulkTcf::from_spec(&shard_spec))
+                    .expect("scale-out service")
+            },
+            |service| {
+                let h = service.handle();
+                let third = n.div_ceil(3);
+                for (i, part) in keys.chunks(third).enumerate() {
+                    for c in part.chunks(4096) {
+                        h.insert_batch_pipelined(c).unwrap();
+                    }
+                    h.barrier().unwrap();
+                    // Double the fleet after the first and second thirds.
+                    if i < 2 {
+                        let target = service.shard_count() * 2;
+                        service
+                            .resize_shards(target, |_| tcf::BulkTcf::from_spec(&shard_spec))
+                            .expect("live scale-out");
+                    }
+                }
+            },
+        );
+        let stats = svc.stats();
+        assert_eq!(stats.scale_outs, 2, "both resizes must land");
+        assert_eq!(stats.rejected, 0);
+        traj.push(
+            row.metric("scale_outs", stats.scale_outs as f64)
+                .metric("migration_events", stats.migration_events as f64)
+                .metric("final_shards", stats.shards as f64),
+        );
+
+        let probe = Probe::new("service/static-fleet", "service", "static-fleet", s, n as u64)
+            .spec(&shard_spec);
+        let (row, _) = measure_wall(
+            &args,
+            &probe,
+            || {
+                service_builder()
+                    .shards(4)
+                    .build_maintainable_deletable(|_| tcf::BulkTcf::from_spec(&shard_spec))
+                    .expect("static service")
+            },
+            |service| {
+                let h = service.handle();
+                for c in keys.chunks(4096) {
+                    h.insert_batch_pipelined(c).unwrap();
+                }
+                h.barrier().unwrap();
+            },
+        );
+        traj.push(row.metric("final_shards", 4.0));
+    }
+
+    traj.set_extra("chunks", Json::num(CHUNKS as f64));
+    traj.set_extra("undersize_factor", Json::num(UNDERSIZE as f64));
+    traj.write(&args);
+}

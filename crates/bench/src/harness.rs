@@ -24,7 +24,7 @@
 //! runs on every PR so a broken bench binary fails fast.
 
 pub use criterion::stats::{self, SampleStats};
-use filter_core::{DeviceModel, FilterSpec, Parallelism};
+use filter_core::{DeviceModel, FilterSpec, GrowthPolicy, Parallelism};
 use gpu_sim::cost::estimate;
 use gpu_sim::metrics::{self, Counters};
 use gpu_sim::{Device, KernelStats};
@@ -422,6 +422,7 @@ fn spec_to_json(spec: &FilterSpec) -> Json {
         ("counting".to_string(), Json::Bool(spec.counting)),
         ("device".to_string(), Json::str(spec.device.name())),
         ("parallelism".to_string(), Json::str(spec.parallelism.label())),
+        ("growth".to_string(), Json::str(spec.growth.label())),
     ])
 }
 
@@ -446,12 +447,23 @@ fn spec_from_json(j: &Json) -> Result<FilterSpec, String> {
             .map_err(|e| e.to_string())?,
         None => Parallelism::Auto,
     };
+    // Additive (PR 5): pre-lifecycle trajectories echo no policy, which
+    // means fixed capacity.
+    let growth = match j.get("growth") {
+        Some(g) => g
+            .as_str()
+            .ok_or("spec field 'growth' is not a string")?
+            .parse::<GrowthPolicy>()
+            .map_err(|e| e.to_string())?,
+        None => GrowthPolicy::Fixed,
+    };
     Ok(FilterSpec::items(capacity)
         .fp_rate(fp_rate)
         .value_bits(value_bits as u32)
         .counting(counting)
         .device(device)
-        .parallelism(parallelism))
+        .parallelism(parallelism)
+        .growth(growth))
 }
 
 /// A figure's measurements plus figure-level context — the unit that one

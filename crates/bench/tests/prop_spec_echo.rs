@@ -5,7 +5,7 @@
 //! always reconstructs the exact spec that produced its rows.
 
 use bench::{BenchArgs, Probe, Trajectory};
-use filter_core::{DeviceModel, FilterSpec, Parallelism};
+use filter_core::{DeviceModel, FilterSpec, GrowthPolicy, Parallelism};
 use proptest::prelude::*;
 
 /// Derive an arbitrary-but-valid spec from one seed (the shim has no
@@ -18,12 +18,21 @@ fn spec_from_seed(seed: u64) -> FilterSpec {
     };
     let value_bits = [0u32, 8, 16, 32, 64][(seed >> 16) as usize % 5];
     let device = if seed & (1 << 21) == 0 { DeviceModel::Cori } else { DeviceModel::Perlmutter };
-    FilterSpec::items((seed >> 24).max(1))
+    let growth = match (seed >> 40) % 3 {
+        0 => GrowthPolicy::Fixed,
+        _ => GrowthPolicy::Auto {
+            // Strictly positive, ≤ 1, with a few exact decimals mixed in.
+            max_load: (((seed >> 43) % 1000) + 1) as f64 / 1000.0,
+            factor: 1 << (((seed >> 53) % 5) + 1),
+        },
+    };
+    FilterSpec::items(((seed >> 24) & 0xffff_ffff).max(1))
         .fp_rate(1.0 / ((seed % 100_000 + 3) as f64))
         .value_bits(value_bits)
         .counting(seed & (1 << 22) != 0)
         .device(device)
         .parallelism(parallelism)
+        .growth(growth)
 }
 
 /// One-row trajectory carrying `spec` as its echo.
@@ -66,6 +75,18 @@ proptest! {
     fn parallelism_labels_roundtrip(n in 1u32..1_000_000) {
         for p in [Parallelism::Sequential, Parallelism::Auto, Parallelism::Threads(n)] {
             prop_assert_eq!(p.label().parse::<Parallelism>().unwrap(), p);
+        }
+    }
+
+    /// The growth-policy label grammar round-trips for every valid policy
+    /// — arbitrary f64 thresholds included (Rust's shortest-roundtrip
+    /// float formatting guarantees `parse(format(x)) == x`).
+    #[test]
+    fn growth_policy_labels_roundtrip(seed in 0u64..u64::MAX) {
+        let max_load = ((seed % (1 << 52)) as f64 / (1u64 << 52) as f64).max(f64::MIN_POSITIVE);
+        let factor = 1u32 << (seed % 30 + 1);
+        for policy in [GrowthPolicy::Fixed, GrowthPolicy::Auto { max_load, factor }] {
+            prop_assert_eq!(policy.label().parse::<GrowthPolicy>().unwrap(), policy);
         }
     }
 }

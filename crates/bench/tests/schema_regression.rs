@@ -26,8 +26,10 @@ fn trajectory_files() -> Vec<PathBuf> {
 
 /// Every figure the measurement subsystem is contracted to record. A
 /// missing file is as much schema drift as a malformed one.
-const REQUIRED_FIGURES: [&str; 10] =
-    ["fig3", "fig4", "fig5", "fig6", "service", "table1", "table2", "table3", "table4", "table5"];
+const REQUIRED_FIGURES: [&str; 11] = [
+    "fig3", "fig4", "fig5", "fig6", "growth", "service", "table1", "table2", "table3", "table4",
+    "table5",
+];
 
 /// The PR 4 acceptance contract: fig4 and service must record a threads
 /// sweep (host-parallelism rows for the bulk phases).
@@ -45,6 +47,51 @@ fn fig4_and_service_record_a_threads_sweep() {
         assert!(
             traj.extra.iter().any(|(k, _)| k.contains("threads_sweep")),
             "{figure}: missing threads_sweep extra"
+        );
+    }
+}
+
+/// The PR 5 acceptance contract: the growth trajectory must record the
+/// amortized growth-cost rows (a fixed arm and a grown arm that actually
+/// grew, per growable kind) and the service scale-out row.
+#[test]
+fn growth_trajectory_records_amortized_cost_and_scale_out() {
+    let path = experiments_dir().join("BENCH_growth.json");
+    let traj = Trajectory::read(&path).unwrap_or_else(|e| panic!("{e}"));
+
+    for kind in ["tcf-bulk", "gqf-bulk", "sqf", "rsqf"] {
+        let fixed: Vec<_> =
+            traj.rows.iter().filter(|m| m.kind == kind && m.op == "insert-fixed").collect();
+        let grown: Vec<_> =
+            traj.rows.iter().filter(|m| m.kind == kind && m.op == "insert-grown").collect();
+        assert!(!fixed.is_empty(), "growth: no fixed arm for {kind}");
+        assert!(!grown.is_empty(), "growth: no grown arm for {kind}");
+        for m in grown {
+            assert!(
+                m.get_metric("grow_events").unwrap_or(0.0) >= 1.0,
+                "growth: {kind} grown arm recorded no grow events"
+            );
+            assert!(
+                m.get_metric("amortized_cost_vs_fixed").unwrap_or(0.0) > 0.0,
+                "growth: {kind} grown arm missing the amortized-cost metric"
+            );
+            let spec = m.spec.as_ref().expect("grown arm echoes its spec");
+            assert!(
+                matches!(spec.growth, filter_core::GrowthPolicy::Auto { .. }),
+                "growth: {kind} grown arm must echo an Auto policy, got {}",
+                spec.growth
+            );
+        }
+    }
+
+    let scale_out: Vec<_> = traj.rows.iter().filter(|m| m.op == "scale-out").collect();
+    assert!(!scale_out.is_empty(), "growth: no service scale-out row");
+    for m in scale_out {
+        assert!(m.get_metric("scale_outs").unwrap_or(0.0) >= 2.0, "scale-out row: no resizes");
+        assert!(
+            m.get_metric("migration_events").unwrap_or(0.0)
+                >= m.get_metric("final_shards").unwrap_or(f64::MAX),
+            "scale-out row: migrations must cover at least the final fleet"
         );
     }
 }

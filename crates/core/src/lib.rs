@@ -88,8 +88,9 @@ pub use baselines::{
 };
 pub use filter_core::{
     AnyFilter, ApiMode, BulkDeletable, BulkFilter, Counting, Deletable, DeleteOutcome, DeviceModel,
-    DynFilter, Features, Filter, FilterError, FilterKind, FilterMeta, FilterSpec, InsertOutcome,
-    Operation, Parallelism, ServiceBackend, Valued,
+    DynFilter, Features, Filter, FilterError, FilterKind, FilterMeta, FilterSpec, GrowingFilter,
+    GrowthPolicy, InsertOutcome, MaintainableFilter, Operation, Parallelism, ServiceBackend,
+    Valued,
 };
 pub use filter_service::{ServiceHandle, ShardRouter, ShardedFilter, ShardedFilterBuilder};
 pub use gpu_sim::{cost, Device, DeviceProfile, KernelStats};
@@ -135,8 +136,9 @@ pub mod prelude {
     pub use crate::{
         all_filters, build_filter, AnyFilter, ApiMode, BulkDeletable, BulkFilter, BulkGqf, BulkTcf,
         Counting, Deletable, DeleteOutcome, DeviceModel, Features, Filter, FilterError, FilterKind,
-        FilterMeta, FilterSpec, InsertOutcome, Operation, Parallelism, PointGqf, PointTcf,
-        ServiceBackend, ServiceHandle, ShardedFilter, ShardedFilterBuilder, TcfConfig, Valued,
+        FilterMeta, FilterSpec, GrowthPolicy, InsertOutcome, MaintainableFilter, Operation,
+        Parallelism, PointGqf, PointTcf, ServiceBackend, ServiceHandle, ShardedFilter,
+        ShardedFilterBuilder, TcfConfig, Valued,
     };
 }
 
@@ -154,7 +156,9 @@ pub fn feature_matrix() -> String {
             .unwrap_or_else(|e| panic!("registry build {kind}: {e}"))
             .features()
     };
-    // Fold a bulk sibling's cells into its point row, as the paper does.
+    // Fold a bulk sibling's cells into its point row, as the paper does
+    // (the capacity lifecycle lives on the bulk sibling, so the Grow
+    // column folds too).
     let folded = |point: FilterKind, bulk: FilterKind| {
         let mut row = features_of(point);
         let bulk_row = features_of(bulk);
@@ -162,6 +166,9 @@ pub fn feature_matrix() -> String {
             if bulk_row.supports(op, ApiMode::Bulk) {
                 row = row.with(op, ApiMode::Bulk);
             }
+        }
+        if bulk_row.supports_growth() {
+            row = row.with_growth();
         }
         row
     };
@@ -188,11 +195,16 @@ mod tests {
         assert!(t.contains("GQF"));
         assert!(t.contains("TCF"));
         assert!(t.contains("RSQF"));
-        // GQF row: 8 checkmarks; RSQF row: 2.
+        // GQF row: 8 operation checkmarks + the Grow column; RSQF: 2 + Grow.
+        assert!(t.contains("Grow"));
         let gqf_row = t.lines().find(|l| l.starts_with("GQF")).unwrap();
-        assert_eq!(gqf_row.matches('✓').count(), 8);
+        assert_eq!(gqf_row.matches('✓').count(), 9);
         let rsqf_row = t.lines().find(|l| l.starts_with("RSQF")).unwrap();
-        assert_eq!(rsqf_row.matches('✓').count(), 2);
+        assert_eq!(rsqf_row.matches('✓').count(), 3);
+        // Bloom-family rows stay growth-free (same checkmark count as the
+        // live feature matrix minus zero: no Grow mark).
+        let bf = build_filter(FilterKind::Bloom, &FilterSpec::items(64).fp_rate(0.04)).unwrap();
+        assert!(!bf.features().supports_growth());
     }
 }
 

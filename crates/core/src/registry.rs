@@ -20,7 +20,7 @@
 //! # Ok::<(), gpu_filters::FilterError>(())
 //! ```
 
-use filter_core::{AnyFilter, FilterError, FilterKind, FilterSpec};
+use filter_core::{AnyFilter, FilterError, FilterKind, FilterSpec, GrowingFilter, GrowthPolicy};
 
 /// Build the `kind` backend from `spec`, boxed behind the dynamic facade.
 ///
@@ -29,8 +29,15 @@ use filter_core::{AnyFilter, FilterError, FilterKind, FilterSpec};
 /// on the TCF) or [`FilterError::BadConfig`] /
 /// [`FilterError::CapacityExceeded`] (e.g. an SQF beyond its published
 /// size caps) — never a silently degraded filter.
+///
+/// A spec with [`GrowthPolicy::Auto`] comes back wrapped in the
+/// [`GrowingFilter`] maintenance adapter: growable kinds (those whose
+/// feature matrix reports `supports_growth`) then never surface capacity
+/// failures — the adapter grows the filter by the policy factor whenever
+/// the load crosses the threshold or keys fail, and retries exactly the
+/// failed keys, preserving per-key outcomes across the migration.
 pub fn build_filter(kind: FilterKind, spec: &FilterSpec) -> Result<AnyFilter, FilterError> {
-    Ok(match kind {
+    let inner: AnyFilter = match kind {
         FilterKind::TcfPoint => Box::new(tcf::PointTcf::from_spec(spec)?),
         FilterKind::TcfBulk => Box::new(tcf::BulkTcf::from_spec(spec)?),
         FilterKind::GqfPoint => Box::new(gqf::PointGqf::from_spec(spec)?),
@@ -44,6 +51,10 @@ pub fn build_filter(kind: FilterKind, spec: &FilterSpec) -> Result<AnyFilter, Fi
         // `FilterKind` is non-exhaustive so specs can name kinds this
         // build does not know yet; refuse them explicitly.
         _ => return FilterError::unsupported("unknown filter kind"),
+    };
+    Ok(match spec.growth {
+        GrowthPolicy::Fixed => inner,
+        auto @ GrowthPolicy::Auto { .. } => Box::new(GrowingFilter::new(inner, auto)),
     })
 }
 
@@ -130,6 +141,52 @@ mod tests {
                 }
             };
             assert_eq!(hits(&seq), hits(&par), "{kind}: parallel build answers differently");
+        }
+    }
+
+    #[test]
+    fn auto_growth_specs_never_surface_capacity_failures() {
+        use filter_core::GrowthPolicy;
+        // A spec sized for 600 items fed 4x that: growable kinds must
+        // absorb everything under an Auto policy and report zero
+        // failures, with the grown filter still answering exactly.
+        let keys = hashed_keys(0x96011, 2400);
+        for kind in FilterKind::ALL {
+            let spec = FilterSpec::items(600).fp_rate(4e-2).growth(GrowthPolicy::AUTO_DEFAULT);
+            let f = build_filter(kind, &spec).unwrap_or_else(|e| panic!("{kind}: {e}"));
+            if !f.supports_growth() {
+                continue;
+            }
+            assert_eq!(
+                f.bulk_insert(&keys).unwrap(),
+                0,
+                "{kind}: auto-growth spec must absorb 4x the spec capacity"
+            );
+            assert!(f.load().unwrap() < 0.9, "{kind}: load stayed high after auto-grows");
+            let hits = f.bulk_query_vec(&keys).unwrap();
+            assert!(hits.iter().all(|&h| h), "{kind}: key lost across auto-grow");
+        }
+    }
+
+    #[test]
+    fn growth_capability_matches_the_feature_matrix() {
+        let spec = FilterSpec::items(600).fp_rate(4e-2);
+        let growable: Vec<FilterKind> = FilterKind::ALL
+            .into_iter()
+            .filter(|&k| build_filter(k, &spec).unwrap().supports_growth())
+            .collect();
+        assert_eq!(
+            growable,
+            vec![FilterKind::TcfBulk, FilterKind::GqfBulk, FilterKind::Sqf, FilterKind::Rsqf],
+            "the growable set is the bulk TCF/GQF plus the quotient baselines"
+        );
+        for kind in FilterKind::ALL {
+            let f = build_filter(kind, &spec).unwrap();
+            assert_eq!(
+                f.features().supports_growth(),
+                f.supports_growth(),
+                "{kind}: feature matrix and facade disagree on growth"
+            );
         }
     }
 

@@ -128,6 +128,32 @@ pub trait DynFilter: FilterMeta + Send + Sync {
     fn bulk_count(&self, _keys: &[u64]) -> Result<Vec<u64>, FilterError> {
         FilterError::unsupported("bulk count")
     }
+
+    // ---- capacity lifecycle (PR 5) -------------------------------------
+
+    /// Whether this backend implements the capacity lifecycle
+    /// ([`MaintainableFilter`](crate::MaintainableFilter)): `load`,
+    /// `grow`, and `merge_from` succeed instead of `Unsupported`.
+    fn supports_growth(&self) -> bool {
+        false
+    }
+
+    /// Current load factor in `[0, 1]` (fraction of capacity in use).
+    fn load(&self) -> Result<f64, FilterError> {
+        FilterError::unsupported("load accounting")
+    }
+
+    /// Multiply capacity by `factor` in place, migrating all contents.
+    fn grow(&mut self, _factor: u32) -> Result<(), FilterError> {
+        FilterError::unsupported("grow")
+    }
+
+    /// Absorb `other`'s contents (must be the same backend type, with
+    /// compatible geometry). [`FilterError::NeedsGrowth`] means grow and
+    /// retry.
+    fn merge_from(&mut self, _other: &dyn DynFilter) -> Result<(), FilterError> {
+        FilterError::unsupported("merge")
+    }
 }
 
 /// Expand inside a [`DynFilter`] impl for a type implementing
@@ -152,6 +178,37 @@ macro_rules! dyn_forward_bulk {
         fn bulk_query(&self, keys: &[u64], out: &mut [bool]) -> Result<(), $crate::FilterError> {
             $crate::BulkFilter::bulk_query(self, keys, out);
             Ok(())
+        }
+    };
+}
+
+/// Companion to [`dyn_forward_bulk`] for types implementing
+/// [`MaintainableFilter`](crate::MaintainableFilter): forwards the
+/// facade's capacity-lifecycle surface, downcasting the merge partner to
+/// the concrete type. Pass the implementing type's name.
+#[macro_export]
+macro_rules! dyn_forward_maintain {
+    ($ty:ty) => {
+        fn supports_growth(&self) -> bool {
+            true
+        }
+
+        fn load(&self) -> Result<f64, $crate::FilterError> {
+            Ok($crate::MaintainableFilter::load(self))
+        }
+
+        fn grow(&mut self, factor: u32) -> Result<(), $crate::FilterError> {
+            $crate::MaintainableFilter::grow(self, factor)
+        }
+
+        fn merge_from(&mut self, other: &dyn $crate::DynFilter) -> Result<(), $crate::FilterError> {
+            let other = other.as_any().downcast_ref::<$ty>().ok_or_else(|| {
+                $crate::FilterError::BadConfig(format!(
+                    "merge partner must be another {}",
+                    stringify!($ty)
+                ))
+            })?;
+            $crate::MaintainableFilter::merge(self, other)
         }
     };
 }
@@ -207,7 +264,12 @@ mod tests {
 
     #[test]
     fn defaults_surface_unsupported_not_panic() {
-        let f: AnyFilter = Box::new(Inert);
+        let mut f: AnyFilter = Box::new(Inert);
+        assert!(!f.supports_growth());
+        assert!(matches!(f.load(), Err(FilterError::Unsupported(_))));
+        assert!(matches!(f.grow(2), Err(FilterError::Unsupported(_))));
+        let other: AnyFilter = Box::new(Inert);
+        assert!(matches!(f.merge_from(&*other), Err(FilterError::Unsupported(_))));
         assert!(matches!(f.insert(1), Err(FilterError::Unsupported(_))));
         assert!(matches!(f.contains(1), Err(FilterError::Unsupported(_))));
         assert!(matches!(f.remove(1), Err(FilterError::Unsupported(_))));

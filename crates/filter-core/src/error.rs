@@ -35,6 +35,15 @@ pub enum FilterError {
     /// The serving layer the operation was submitted to has shut down; the
     /// operation was not applied.
     ServiceStopped,
+    /// The structure needs more capacity before the operation can succeed:
+    /// either a merge/insert found no room and the caller should `grow`
+    /// first, or a growth policy demanded growth the backend cannot
+    /// perform. The state is unchanged.
+    NeedsGrowth {
+        /// Load factor at refusal time, in thousandths (integer so the
+        /// error type stays `Eq`).
+        load_millis: u32,
+    },
 }
 
 impl FilterError {
@@ -44,6 +53,12 @@ impl FilterError {
     /// surface as errors instead of panics.
     pub const fn unsupported<T>(op: &'static str) -> Result<T, FilterError> {
         Err(FilterError::Unsupported(op))
+    }
+
+    /// `NeedsGrowth` carrying `load` (a load factor in `[0, 1]`-ish space)
+    /// rounded to thousandths.
+    pub fn needs_growth(load: f64) -> FilterError {
+        FilterError::NeedsGrowth { load_millis: (load.max(0.0) * 1000.0).round() as u32 }
     }
 }
 
@@ -60,6 +75,13 @@ impl fmt::Display for FilterError {
                 write!(f, "batch of {batch} items exceeds remaining capacity {capacity}")
             }
             FilterError::ServiceStopped => write!(f, "filter service has shut down"),
+            FilterError::NeedsGrowth { load_millis } => {
+                write!(
+                    f,
+                    "filter needs growth before this operation (load {:.3})",
+                    *load_millis as f64 / 1000.0
+                )
+            }
         }
     }
 }
@@ -99,6 +121,16 @@ mod tests {
     fn clone_and_eq() {
         let e = FilterError::BatchTooLarge { batch: 10, capacity: 5 };
         assert_eq!(e.clone(), e);
+    }
+
+    #[test]
+    fn needs_growth_rounds_to_millis() {
+        assert_eq!(
+            FilterError::needs_growth(0.8994),
+            FilterError::NeedsGrowth { load_millis: 899 }
+        );
+        assert_eq!(FilterError::needs_growth(-1.0), FilterError::NeedsGrowth { load_millis: 0 });
+        assert!(FilterError::needs_growth(0.5).to_string().contains("0.500"));
     }
 
     #[test]

@@ -57,18 +57,21 @@ impl fmt::Display for ApiMode {
     }
 }
 
-/// Supported (operation × mode) matrix for one filter.
+/// Supported (operation × mode) matrix for one filter, plus the
+/// capacity-lifecycle flag (PR 5): whether the filter can grow/merge
+/// after construction.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Features {
     name: &'static str,
     // Bit i*2 + m: operation i supported in mode m.
     bits: u16,
+    growth: bool,
 }
 
 impl Features {
     /// Empty matrix for a filter called `name`.
     pub const fn new(name: &'static str) -> Self {
-        Features { name, bits: 0 }
+        Features { name, bits: 0, growth: false }
     }
 
     const fn idx(op: Operation, mode: ApiMode) -> u16 {
@@ -101,12 +104,24 @@ impl Features {
         self.bits & Self::idx(op, mode) != 0
     }
 
+    /// Mark the capacity lifecycle (grow/merge) supported.
+    pub const fn with_growth(mut self) -> Self {
+        self.growth = true;
+        self
+    }
+
+    /// Does this filter support the capacity lifecycle (grow/merge)?
+    pub const fn supports_growth(&self) -> bool {
+        self.growth
+    }
+
     /// Filter display name.
     pub const fn name(&self) -> &'static str {
         self.name
     }
 
-    /// Render one row of Table 1 ("✓" per supported cell).
+    /// Render one row of Table 1 ("✓" per supported cell, plus the Grow
+    /// column).
     pub fn table_row(&self) -> String {
         let mut row = format!("{:<14}", self.name);
         for op in Operation::ALL {
@@ -114,6 +129,7 @@ impl Features {
                 row.push_str(if self.supports(op, mode) { "  ✓  " } else { "     " });
             }
         }
+        row.push_str(if self.growth { "  ✓  " } else { "     " });
         row
     }
 }
@@ -125,6 +141,7 @@ pub fn render_table1(rows: &[Features]) -> String {
     for op in Operation::ALL {
         out.push_str(&format!("{:^10}", op.to_string()));
     }
+    out.push_str(&format!("{:^5}", "Grow"));
     out.push('\n');
     out.push_str(&format!("{:<14}", ""));
     for _ in Operation::ALL {
@@ -205,5 +222,17 @@ mod tests {
     fn const_builder_usable_in_const_context() {
         const F: Features = Features::new("C").with_both(Operation::Query);
         assert!(F.supports(Operation::Query, ApiMode::Bulk));
+    }
+
+    #[test]
+    fn growth_flag_is_tracked_and_rendered() {
+        let plain = Features::new("X").with_both(Operation::Insert);
+        assert!(!plain.supports_growth());
+        let growable = plain.clone().with_growth();
+        assert!(growable.supports_growth());
+        assert_ne!(plain, growable);
+        let t = render_table1(&[growable]);
+        assert!(t.contains("Grow"));
+        assert!(t.lines().nth(2).unwrap().trim_end().ends_with('✓'));
     }
 }

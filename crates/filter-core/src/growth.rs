@@ -1,0 +1,430 @@
+//! The auto-growth adapter behind [`GrowthPolicy::Auto`]: wraps any
+//! [`AnyFilter`] and enforces the policy at the facade boundary, so
+//! callers of growable kinds never observe capacity failures.
+//!
+//! Every operation forwards through a read lock; when an insert path
+//! reports per-key failures, or the post-batch load crosses the policy
+//! threshold, the adapter takes the write lock, grows the inner filter by
+//! the policy factor, and retries exactly the failed keys — per-key
+//! outcomes are preserved across the migration. A filter that cannot grow
+//! under an `Auto` policy surfaces [`FilterError::NeedsGrowth`] instead
+//! of silently failing keys.
+
+use crate::dynfilter::{AnyFilter, DynFilter};
+use crate::error::FilterError;
+use crate::features::Features;
+use crate::outcome::{DeleteOutcome, InsertOutcome};
+use crate::spec::GrowthPolicy;
+use crate::traits::FilterMeta;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+/// Upper bound on grow events per operation — a runaway-policy backstop
+/// far above anything a sane workload reaches (2^32× capacity). Public
+/// so the serving layer's worker-side grow-and-retry loop (the
+/// monomorphized sibling of [`GrowingFilter`]'s) shares the same bound.
+pub const MAX_GROWS_PER_OP: u32 = 32;
+
+/// An [`AnyFilter`] under an automatic growth policy. Built by the
+/// registry when the spec says [`GrowthPolicy::Auto`].
+pub struct GrowingFilter {
+    inner: RwLock<AnyFilter>,
+    auto: bool,
+    max_load: f64,
+    factor: u32,
+    grow_events: AtomicU64,
+}
+
+impl GrowingFilter {
+    /// Wrap `inner` under `policy`. A `Fixed` policy is accepted and acts
+    /// as a transparent pass-through (no growth is ever triggered).
+    pub fn new(inner: AnyFilter, policy: GrowthPolicy) -> Self {
+        let (auto, max_load, factor) = match policy {
+            // factor stays valid for explicit `grow` calls via the facade.
+            GrowthPolicy::Fixed => (false, f64::INFINITY, 2),
+            GrowthPolicy::Auto { max_load, factor } => (true, max_load, factor),
+        };
+        GrowingFilter {
+            inner: RwLock::new(inner),
+            auto,
+            max_load,
+            factor,
+            grow_events: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of grow events the policy has triggered so far.
+    pub fn grow_events(&self) -> u64 {
+        self.grow_events.load(Ordering::Relaxed)
+    }
+
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, AnyFilter> {
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write(&self) -> std::sync::RwLockWriteGuard<'_, AnyFilter> {
+        self.inner.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Is the inner filter at or past the policy threshold?
+    fn over_threshold(&self, inner: &AnyFilter) -> bool {
+        inner.load().map(|l| l >= self.max_load).unwrap_or(false)
+    }
+
+    /// Grow the inner filter once. `Ok(false)` means the backend cannot
+    /// grow (Unsupported); hard errors pass through.
+    fn grow_once(&self) -> Result<bool, FilterError> {
+        let mut inner = self.write();
+        match inner.grow(self.factor) {
+            Ok(()) => {
+                self.grow_events.fetch_add(1, Ordering::Relaxed);
+                Ok(true)
+            }
+            Err(FilterError::Unsupported(_)) => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Enforce the policy after an insert-like batch: while keys failed
+    /// (or the load sits past the threshold), grow and retry exactly the
+    /// failed keys, rewriting their outcomes in place.
+    fn settle_inserts(&self, keys: &[u64], out: &mut [InsertOutcome]) -> Result<(), FilterError> {
+        if !self.auto {
+            return Ok(());
+        }
+        for _ in 0..MAX_GROWS_PER_OP {
+            let failed: Vec<usize> = (0..out.len()).filter(|&i| out[i].failed()).collect();
+            let over = {
+                let inner = self.read();
+                self.over_threshold(&inner)
+            };
+            if failed.is_empty() && !over {
+                return Ok(());
+            }
+            match self.grow_once() {
+                Ok(true) => {}
+                // The backend cannot grow (unsupported, or its geometry
+                // is exhausted — e.g. a quotient filter out of remainder
+                // bits). A hot load alone is livable; failed keys under
+                // an Auto policy are not.
+                Ok(false) | Err(_) if failed.is_empty() => return Ok(()),
+                Ok(false) => {
+                    let load = self.read().load().unwrap_or(1.0);
+                    return Err(FilterError::needs_growth(load));
+                }
+                Err(e) => return Err(e),
+            }
+            if !failed.is_empty() {
+                let retry_keys: Vec<u64> = failed.iter().map(|&i| keys[i]).collect();
+                let mut retry_out = vec![InsertOutcome::Inserted; retry_keys.len()];
+                self.read().bulk_insert_report(&retry_keys, &mut retry_out)?;
+                for (slot, outcome) in failed.into_iter().zip(retry_out) {
+                    out[slot] = outcome;
+                }
+            }
+        }
+        let load = self.read().load().unwrap_or(1.0);
+        Err(FilterError::needs_growth(load))
+    }
+
+    /// Point-insert retry loop shared by `insert`/`insert_count`/
+    /// `insert_value`.
+    fn settle_point(
+        &self,
+        attempt: impl Fn(&AnyFilter) -> Result<(), FilterError>,
+    ) -> Result<(), FilterError> {
+        if !self.auto {
+            return attempt(&self.read());
+        }
+        for _ in 0..MAX_GROWS_PER_OP {
+            let outcome = {
+                let inner = self.read();
+                let r = attempt(&inner);
+                match r {
+                    Ok(()) if !self.over_threshold(&inner) => return Ok(()),
+                    other => other,
+                }
+            };
+            match outcome {
+                Ok(()) => {
+                    // Inserted, but the load crossed the threshold: grow
+                    // proactively (best-effort — an exhausted geometry
+                    // just stays hot) and report success.
+                    let _ = self.grow_once();
+                    return Ok(());
+                }
+                Err(FilterError::Full) | Err(FilterError::NeedsGrowth { .. }) => {
+                    // A key failed for capacity: growth is mandatory. A
+                    // backend that cannot (or can no longer) grow
+                    // surfaces the uniform NeedsGrowth signal.
+                    match self.grow_once() {
+                        Ok(true) => {}
+                        Ok(false) | Err(_) => {
+                            let load = self.read().load().unwrap_or(1.0);
+                            return Err(FilterError::needs_growth(load));
+                        }
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let load = self.read().load().unwrap_or(1.0);
+        Err(FilterError::needs_growth(load))
+    }
+}
+
+impl FilterMeta for GrowingFilter {
+    fn name(&self) -> &'static str {
+        self.read().name()
+    }
+
+    fn features(&self) -> Features {
+        self.read().features()
+    }
+
+    fn table_bytes(&self) -> usize {
+        self.read().table_bytes()
+    }
+
+    fn capacity_slots(&self) -> u64 {
+        self.read().capacity_slots()
+    }
+
+    fn max_load_factor(&self) -> f64 {
+        self.read().max_load_factor()
+    }
+}
+
+impl DynFilter for GrowingFilter {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        self.read().len_hint()
+    }
+
+    fn insert(&self, key: u64) -> Result<(), FilterError> {
+        self.settle_point(|f| f.insert(key))
+    }
+
+    fn contains(&self, key: u64) -> Result<bool, FilterError> {
+        self.read().contains(key)
+    }
+
+    fn remove(&self, key: u64) -> Result<bool, FilterError> {
+        self.read().remove(key)
+    }
+
+    fn insert_count(&self, key: u64, count: u64) -> Result<(), FilterError> {
+        self.settle_point(|f| f.insert_count(key, count))
+    }
+
+    fn count(&self, key: u64) -> Result<u64, FilterError> {
+        self.read().count(key)
+    }
+
+    fn value_bits(&self) -> u32 {
+        self.read().value_bits()
+    }
+
+    fn insert_value(&self, key: u64, value: u64) -> Result<(), FilterError> {
+        self.settle_point(|f| f.insert_value(key, value))
+    }
+
+    fn query_value(&self, key: u64) -> Result<Option<u64>, FilterError> {
+        self.read().query_value(key)
+    }
+
+    fn bulk_insert_report(
+        &self,
+        keys: &[u64],
+        out: &mut [InsertOutcome],
+    ) -> Result<(), FilterError> {
+        self.read().bulk_insert_report(keys, out)?;
+        self.settle_inserts(keys, out)
+    }
+
+    fn bulk_query(&self, keys: &[u64], out: &mut [bool]) -> Result<(), FilterError> {
+        self.read().bulk_query(keys, out)
+    }
+
+    fn bulk_delete_report(
+        &self,
+        keys: &[u64],
+        out: &mut [DeleteOutcome],
+    ) -> Result<(), FilterError> {
+        self.read().bulk_delete_report(keys, out)
+    }
+
+    fn bulk_count(&self, keys: &[u64]) -> Result<Vec<u64>, FilterError> {
+        self.read().bulk_count(keys)
+    }
+
+    fn supports_growth(&self) -> bool {
+        self.read().supports_growth()
+    }
+
+    fn load(&self) -> Result<f64, FilterError> {
+        self.read().load()
+    }
+
+    fn grow(&mut self, factor: u32) -> Result<(), FilterError> {
+        let grown = self.write().grow(factor);
+        if grown.is_ok() {
+            self.grow_events.fetch_add(1, Ordering::Relaxed);
+        }
+        grown
+    }
+
+    fn merge_from(&mut self, other: &dyn DynFilter) -> Result<(), FilterError> {
+        let mut inner = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        match other.as_any().downcast_ref::<GrowingFilter>() {
+            Some(wrapped) => inner.merge_from(&**wrapped.read()),
+            None => inner.merge_from(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::{ApiMode, Operation};
+    use std::sync::Mutex;
+
+    /// A growable toy backend: an exact set with a slot budget that grows
+    /// by doubling.
+    struct ToySet {
+        items: Mutex<Vec<u64>>,
+        capacity: Mutex<usize>,
+        growable: bool,
+    }
+
+    impl ToySet {
+        fn new(capacity: usize, growable: bool) -> Self {
+            ToySet { items: Mutex::new(Vec::new()), capacity: Mutex::new(capacity), growable }
+        }
+    }
+
+    impl FilterMeta for ToySet {
+        fn name(&self) -> &'static str {
+            "ToySet"
+        }
+        fn features(&self) -> Features {
+            Features::new("ToySet")
+                .with(Operation::Insert, ApiMode::Bulk)
+                .with(Operation::Query, ApiMode::Bulk)
+        }
+        fn table_bytes(&self) -> usize {
+            *self.capacity.lock().unwrap() * 8
+        }
+        fn capacity_slots(&self) -> u64 {
+            *self.capacity.lock().unwrap() as u64
+        }
+    }
+
+    impl DynFilter for ToySet {
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+
+        fn bulk_insert_report(
+            &self,
+            keys: &[u64],
+            out: &mut [InsertOutcome],
+        ) -> Result<(), FilterError> {
+            let mut items = self.items.lock().unwrap();
+            let cap = *self.capacity.lock().unwrap();
+            for (k, o) in keys.iter().zip(out.iter_mut()) {
+                if items.len() < cap {
+                    items.push(*k);
+                    *o = InsertOutcome::Inserted;
+                } else {
+                    *o = InsertOutcome::Failed;
+                }
+            }
+            Ok(())
+        }
+
+        fn bulk_query(&self, keys: &[u64], out: &mut [bool]) -> Result<(), FilterError> {
+            let items = self.items.lock().unwrap();
+            for (k, o) in keys.iter().zip(out.iter_mut()) {
+                *o = items.contains(k);
+            }
+            Ok(())
+        }
+
+        fn supports_growth(&self) -> bool {
+            self.growable
+        }
+
+        fn load(&self) -> Result<f64, FilterError> {
+            let cap = *self.capacity.lock().unwrap();
+            Ok(self.items.lock().unwrap().len() as f64 / cap as f64)
+        }
+
+        fn grow(&mut self, factor: u32) -> Result<(), FilterError> {
+            if !self.growable {
+                return FilterError::unsupported("grow");
+            }
+            *self.capacity.lock().unwrap() *= factor as usize;
+            Ok(())
+        }
+    }
+
+    fn auto(policy_load: f64) -> GrowthPolicy {
+        GrowthPolicy::Auto { max_load: policy_load, factor: 2 }
+    }
+
+    #[test]
+    fn failed_keys_are_regrown_and_retried() {
+        let f = GrowingFilter::new(Box::new(ToySet::new(4, true)), auto(0.9));
+        let keys: Vec<u64> = (0..20).collect();
+        let mut out = vec![InsertOutcome::Failed; keys.len()];
+        f.bulk_insert_report(&keys, &mut out).unwrap();
+        assert!(out.iter().all(|o| o.inserted()), "auto policy must absorb capacity failures");
+        assert!(f.grow_events() >= 3, "4 slots -> 20 keys needs >= 3 doublings");
+        let hits = f.bulk_query_vec(&keys).unwrap();
+        assert!(hits.iter().all(|&h| h));
+        assert!(DynFilter::load(&f).unwrap() < 0.9);
+    }
+
+    #[test]
+    fn proactive_grow_keeps_load_under_threshold() {
+        let f = GrowingFilter::new(Box::new(ToySet::new(16, true)), auto(0.5));
+        let keys: Vec<u64> = (0..8).collect();
+        let mut out = vec![InsertOutcome::Failed; keys.len()];
+        f.bulk_insert_report(&keys, &mut out).unwrap();
+        // 8/16 = 0.5 crosses the threshold: one proactive grow.
+        assert_eq!(f.grow_events(), 1);
+        assert!(DynFilter::load(&f).unwrap() < 0.5);
+    }
+
+    #[test]
+    fn ungrowable_backend_surfaces_needs_growth() {
+        let f = GrowingFilter::new(Box::new(ToySet::new(4, false)), auto(0.9));
+        let keys: Vec<u64> = (0..20).collect();
+        let mut out = vec![InsertOutcome::Failed; keys.len()];
+        let err = f.bulk_insert_report(&keys, &mut out).unwrap_err();
+        assert!(matches!(err, FilterError::NeedsGrowth { .. }), "got {err}");
+    }
+
+    #[test]
+    fn fixed_policy_is_a_pass_through() {
+        let f = GrowingFilter::new(Box::new(ToySet::new(4, true)), GrowthPolicy::Fixed);
+        let keys: Vec<u64> = (0..20).collect();
+        let mut out = vec![InsertOutcome::Inserted; keys.len()];
+        f.bulk_insert_report(&keys, &mut out).unwrap();
+        assert_eq!(out.iter().filter(|o| o.failed()).count(), 16, "no growth under Fixed");
+        assert_eq!(f.grow_events(), 0);
+    }
+
+    #[test]
+    fn explicit_facade_grow_still_works() {
+        let mut f = GrowingFilter::new(Box::new(ToySet::new(4, true)), auto(0.9));
+        assert!(f.supports_growth());
+        f.grow(4).unwrap();
+        assert_eq!(f.capacity_slots(), 16);
+        assert_eq!(f.grow_events(), 1);
+    }
+}

@@ -27,6 +27,7 @@ pub mod dynfilter;
 pub mod error;
 pub mod features;
 pub mod fingerprint;
+pub mod growth;
 pub mod hash;
 pub mod outcome;
 pub mod spec;
@@ -37,10 +38,12 @@ pub use dynfilter::{AnyFilter, DynFilter};
 pub use error::FilterError;
 pub use features::{ApiMode, Features, Operation};
 pub use fingerprint::{split_quotient_remainder, Fingerprint};
+pub use growth::GrowingFilter;
 pub use hash::{double_hash_probe, fmix64, hash64, hash64_seeded, splitmix64, HashPair};
 pub use outcome::{count_delete_misses, count_insert_failures, DeleteOutcome, InsertOutcome};
-pub use spec::{DeviceModel, FilterKind, FilterSpec, Parallelism, DEFAULT_FP_RATE};
+pub use spec::{DeviceModel, FilterKind, FilterSpec, GrowthPolicy, Parallelism, DEFAULT_FP_RATE};
 pub use traits::{
-    BulkDeletable, BulkFilter, Counting, Deletable, Filter, FilterMeta, ServiceBackend, Valued,
+    growth_steps, BulkDeletable, BulkFilter, Counting, Deletable, Filter, FilterMeta,
+    MaintainableFilter, ServiceBackend, Valued,
 };
 pub use xorwow::{hashed_keys, Xorwow};

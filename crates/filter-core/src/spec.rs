@@ -107,6 +107,91 @@ impl std::str::FromStr for Parallelism {
     }
 }
 
+/// How a filter's capacity may evolve after construction.
+///
+/// The paper's GQF is explicitly built to resize (its stored hashes are a
+/// lossless representation of `h(S)`, §5), and the serving layer needs
+/// capacity to be an *operational* property, not a constructor constant.
+/// `Fixed` keeps today's semantics: a full filter reports
+/// [`FilterError::Full`]. `Auto` arms the maintenance layer: whenever the
+/// load factor crosses `max_load` (or an insert fails for capacity), the
+/// filter grows by `factor` and the failed keys are retried, so callers
+/// of growable kinds never observe capacity failures.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum GrowthPolicy {
+    /// Capacity fixed at construction (the default).
+    #[default]
+    Fixed,
+    /// Grow by `factor` whenever `load() >= max_load` or an insert hits
+    /// capacity. `factor` must be a power of two ≥ 2 (filters grow by
+    /// doubling steps: quotient-bit extension / block-array doubling).
+    Auto {
+        /// Load-factor threshold that triggers a grow (0 < x ≤ 1).
+        max_load: f64,
+        /// Capacity multiplier per grow event.
+        factor: u32,
+    },
+}
+
+impl GrowthPolicy {
+    /// The paper-recommended automatic policy: grow 2× at 85% load
+    /// (just under the 90% maximum recommended load of the TCF/GQF, so a
+    /// grow lands before inserts start failing).
+    pub const AUTO_DEFAULT: GrowthPolicy = GrowthPolicy::Auto { max_load: 0.85, factor: 2 };
+
+    /// Stable identifier (`"fixed"` or `"auto@<max_load>x<factor>"`) —
+    /// what the bench trajectory's spec echo records; accepted by
+    /// `FromStr`.
+    pub fn label(self) -> String {
+        match self {
+            GrowthPolicy::Fixed => "fixed".into(),
+            GrowthPolicy::Auto { max_load, factor } => format!("auto@{max_load}x{factor}"),
+        }
+    }
+
+    /// Validate the policy's own invariants.
+    pub fn validate(&self) -> Result<(), FilterError> {
+        if let GrowthPolicy::Auto { max_load, factor } = *self {
+            if !(max_load > 0.0 && max_load <= 1.0) {
+                return Err(FilterError::BadConfig(format!(
+                    "growth max_load must be in (0, 1], got {max_load}"
+                )));
+            }
+            if factor < 2 || !factor.is_power_of_two() {
+                return Err(FilterError::BadConfig(format!(
+                    "growth factor must be a power of two >= 2, got {factor}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for GrowthPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+impl std::str::FromStr for GrowthPolicy {
+    type Err = FilterError;
+
+    fn from_str(s: &str) -> Result<Self, FilterError> {
+        if s == "fixed" {
+            return Ok(GrowthPolicy::Fixed);
+        }
+        let bad = || FilterError::BadConfig(format!("bad growth policy: {s}"));
+        let rest = s.strip_prefix("auto@").ok_or_else(bad)?;
+        let (load, factor) = rest.split_once('x').ok_or_else(bad)?;
+        let policy = GrowthPolicy::Auto {
+            max_load: load.parse().map_err(|_| bad())?,
+            factor: factor.parse().map_err(|_| bad())?,
+        };
+        policy.validate()?;
+        Ok(policy)
+    }
+}
+
 /// A declarative description of the filter an application needs.
 ///
 /// ```
@@ -133,6 +218,9 @@ pub struct FilterSpec {
     pub device: DeviceModel,
     /// Host workers the bulk partition/sort/apply phases may use.
     pub parallelism: Parallelism,
+    /// How capacity may evolve after construction (PR 5): `Fixed`, or
+    /// `Auto` so growable kinds never surface capacity failures.
+    pub growth: GrowthPolicy,
 }
 
 impl FilterSpec {
@@ -145,6 +233,7 @@ impl FilterSpec {
             counting: false,
             device: DeviceModel::default(),
             parallelism: Parallelism::default(),
+            growth: GrowthPolicy::default(),
         }
     }
 
@@ -185,6 +274,12 @@ impl FilterSpec {
         self
     }
 
+    /// Select the capacity-growth policy.
+    pub fn growth(mut self, growth: GrowthPolicy) -> Self {
+        self.growth = growth;
+        self
+    }
+
     /// Validate the spec's own invariants (filters add theirs on top).
     pub fn validate(&self) -> Result<(), FilterError> {
         if self.capacity == 0 {
@@ -207,6 +302,7 @@ impl FilterSpec {
                 self.value_bits
             )));
         }
+        self.growth.validate()?;
         Ok(())
     }
 
@@ -368,6 +464,32 @@ mod tests {
         assert_eq!(Parallelism::Threads(8).workers(), 8);
         assert_eq!(Parallelism::Auto.workers(), 0, "0 = all pool workers");
         assert_eq!(FilterSpec::items(10).parallelism, Parallelism::Auto);
+    }
+
+    #[test]
+    fn growth_policy_labels_roundtrip_from_str() {
+        for policy in [
+            GrowthPolicy::Fixed,
+            GrowthPolicy::AUTO_DEFAULT,
+            GrowthPolicy::Auto { max_load: 0.5, factor: 4 },
+        ] {
+            assert_eq!(policy.label().parse::<GrowthPolicy>().unwrap(), policy);
+        }
+        assert!("auto".parse::<GrowthPolicy>().is_err());
+        assert!("auto@0.9".parse::<GrowthPolicy>().is_err());
+        assert!("auto@0.9x3".parse::<GrowthPolicy>().is_err(), "factor must be a power of two");
+        assert!("auto@1.5x2".parse::<GrowthPolicy>().is_err(), "max_load must be <= 1");
+    }
+
+    #[test]
+    fn growth_policy_validates_through_spec() {
+        assert_eq!(FilterSpec::items(10).growth, GrowthPolicy::Fixed);
+        let auto = FilterSpec::items(10).growth(GrowthPolicy::AUTO_DEFAULT);
+        auto.validate().unwrap();
+        let bad = FilterSpec::items(10).growth(GrowthPolicy::Auto { max_load: 0.9, factor: 3 });
+        assert!(bad.validate().is_err());
+        let bad = FilterSpec::items(10).growth(GrowthPolicy::Auto { max_load: 0.0, factor: 2 });
+        assert!(bad.validate().is_err());
     }
 
     #[test]

@@ -120,6 +120,52 @@ pub trait BulkFilter: FilterMeta + Sync {
     }
 }
 
+/// The capacity-lifecycle capability (PR 5): load accounting, in-place
+/// growth, and merging — the maintenance operations a long-lived
+/// deployment needs once capacity stops being a constructor-time constant.
+///
+/// The paper's GQF is built for exactly this (its stored hashes losslessly
+/// represent `h(S)`, so remainders migrate wholesale into a larger table,
+/// §5); the TCF grows by doubling its block array and splitting each
+/// block's fingerprints between the two children; SQF/RSQF extend their
+/// quotient by re-splitting the same `p = q + r` stored bits. All
+/// migrations run on the bulk-synchronous phase abstraction, so they are
+/// scheduling-independent like every other bulk path (the parallel-oracle
+/// tier's contract).
+pub trait MaintainableFilter: FilterMeta {
+    /// Current load factor in `[0, 1]`: the fraction of capacity in use.
+    /// Monotone under inserts and strictly decreasing across a grow.
+    fn load(&self) -> f64;
+
+    /// Multiply capacity by `factor` (a power of two ≥ 2) in place,
+    /// migrating every stored fingerprint — with its count/value — into
+    /// the larger geometry. Membership answers for previously inserted
+    /// keys are preserved exactly; the realized false-positive rate after
+    /// one doubling stays within 2× of the construction target. On error
+    /// the filter is unchanged.
+    fn grow(&mut self, factor: u32) -> Result<(), FilterError>;
+
+    /// Absorb `other`'s entire contents into `self` (counts summed for
+    /// counting filters). Requires compatible geometry — filters built
+    /// from the same spec stay compatible across grows. Returns
+    /// [`FilterError::NeedsGrowth`] (state unchanged) when `self` lacks
+    /// room; callers grow and retry.
+    fn merge(&mut self, other: &Self) -> Result<(), FilterError>
+    where
+        Self: Sized;
+}
+
+/// Validate and decompose a growth factor into doubling steps.
+/// Shared by every [`MaintainableFilter`] implementation.
+pub fn growth_steps(factor: u32) -> Result<u32, FilterError> {
+    if factor < 2 || !factor.is_power_of_two() {
+        return Err(FilterError::BadConfig(format!(
+            "growth factor must be a power of two >= 2, got {factor}"
+        )));
+    }
+    Ok(factor.trailing_zeros())
+}
+
 /// Bulk deletion (TCF, GQF, SQF).
 pub trait BulkDeletable: BulkFilter {
     /// Delete a batch of previously-inserted keys, reporting each key's
@@ -253,6 +299,16 @@ mod tests {
     fn default_max_load_factor() {
         let s = ExactSet::new();
         assert_eq!(s.max_load_factor(), 0.9);
+    }
+
+    #[test]
+    fn growth_steps_validates_factors() {
+        assert_eq!(growth_steps(2).unwrap(), 1);
+        assert_eq!(growth_steps(8).unwrap(), 3);
+        assert!(growth_steps(0).is_err());
+        assert!(growth_steps(1).is_err());
+        assert!(growth_steps(3).is_err());
+        assert!(growth_steps(6).is_err());
     }
 
     #[test]

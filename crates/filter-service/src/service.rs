@@ -27,16 +27,36 @@
 //! * **pipeline** — `insert_pipelined` / `*_batch_pipelined` enqueue and
 //!   return; `barrier()` waits for everything already enqueued. Streaming
 //!   workloads use this to keep every shard busy from one thread.
+//!
+//! **Capacity lifecycle (PR 5).** Shard workers built over a
+//! [`MaintainableFilter`] backend auto-grow it under the spec's
+//! [`GrowthPolicy`], retrying exactly the keys a full backend failed — so
+//! a service over a growable kind never surfaces capacity failures. The
+//! service itself scales out live: [`ShardedFilter::resize_shards`]
+//! multiplies the shard count, re-partitioning via the splitmix router —
+//! whose range-nesting means each new shard's key range sits inside
+//! exactly one old shard's — with merge-based migration of every parent
+//! backend into its children, correct under concurrent blocking and
+//! pipelined handles (intake pauses on the shared routing state while
+//! old shards drain). Growth and migration events land in the
+//! [`ServiceStats`] ledger.
 
 use crate::router::{ShardRouter, ROUTER_SEED};
 use crate::stats::{ServiceStats, StatsInner};
 use filter_core::{
-    DeleteOutcome, FilterError, FilterSpec, InsertOutcome, Parallelism, ServiceBackend,
+    DeleteOutcome, FilterError, FilterSpec, GrowthPolicy, InsertOutcome, MaintainableFilter,
+    Parallelism, ServiceBackend,
 };
+use std::sync::atomic::Ordering;
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, RwLock, RwLockReadGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Grow events one flush (or one scale-out merge) may trigger — the
+/// runaway-policy backstop shared with the facade-side
+/// [`filter_core::GrowingFilter`] loop.
+const MAX_GROWS_PER_FLUSH: u32 = filter_core::growth::MAX_GROWS_PER_OP;
 
 /// Completion gate for insert-like operations: counts keys still in
 /// flight, accumulating failures and aborts.
@@ -259,6 +279,40 @@ impl<B> Clone for DeleteHooks<B> {
 }
 impl<B> Copy for DeleteHooks<B> {}
 
+/// Per-backend capacity-lifecycle hooks, captured at build time like
+/// [`DeleteHooks`] so maintenance is a monomorphized capability. `auto`
+/// carries the [`GrowthPolicy::Auto`] parameters when shard workers
+/// should grow their backend on load/failure; the grow/merge hooks also
+/// serve [`ShardedFilter::resize_shards`] regardless of policy.
+struct MaintainHooks<B> {
+    load: fn(&B) -> f64,
+    grow: fn(&mut B, u32) -> Result<(), FilterError>,
+    merge: fn(&mut B, &B) -> Result<(), FilterError>,
+    /// `Some((max_load, factor))` when workers auto-grow.
+    auto: Option<(f64, u32)>,
+}
+
+impl<B> Clone for MaintainHooks<B> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<B> Copy for MaintainHooks<B> {}
+
+impl<B: MaintainableFilter> MaintainHooks<B> {
+    fn for_policy(growth: GrowthPolicy) -> Self {
+        MaintainHooks {
+            load: |b| b.load(),
+            grow: |b, factor| b.grow(factor),
+            merge: |b, other| b.merge(other),
+            auto: match growth {
+                GrowthPolicy::Fixed => None,
+                GrowthPolicy::Auto { max_load, factor } => Some((max_load, factor)),
+            },
+        }
+    }
+}
+
 /// Configuration for a [`ShardedFilter`]; see the field setters.
 #[derive(Debug, Clone)]
 pub struct ShardedFilterBuilder {
@@ -268,6 +322,7 @@ pub struct ShardedFilterBuilder {
     queue_tasks: usize,
     seed: u64,
     parallelism: Parallelism,
+    growth: GrowthPolicy,
 }
 
 impl Default for ShardedFilterBuilder {
@@ -279,6 +334,7 @@ impl Default for ShardedFilterBuilder {
             queue_tasks: 1024,
             seed: ROUTER_SEED,
             parallelism: Parallelism::Auto,
+            growth: GrowthPolicy::Fixed,
         }
     }
 }
@@ -337,6 +393,17 @@ impl ShardedFilterBuilder {
         self
     }
 
+    /// Capacity-growth policy for the shard workers (only effective on a
+    /// service built with [`Self::build_maintainable`] /
+    /// [`Self::build_maintainable_deletable`]): under
+    /// [`GrowthPolicy::Auto`], a worker whose backend fails keys or whose
+    /// load crosses the threshold grows the backend in place and retries
+    /// the failed keys, so callers never observe capacity failures.
+    pub fn growth(mut self, growth: GrowthPolicy) -> Self {
+        self.growth = growth;
+        self
+    }
+
     /// Derive the per-shard backend spec from one service-wide spec:
     /// capacity splits evenly across shards (with the spec's own headroom
     /// policy left to the backend), and a `Threads(n)` budget divides into
@@ -371,7 +438,7 @@ impl ShardedFilterBuilder {
         B: ServiceBackend + 'static,
         F: FnMut(usize) -> Result<B, FilterError>,
     {
-        self.build_inner(make, None)
+        self.build_inner(make, None, None)
     }
 
     /// Build over a backend with bulk deletion, enabling `remove` and the
@@ -381,19 +448,40 @@ impl ShardedFilterBuilder {
         B: ServiceBackend + filter_core::BulkDeletable + 'static,
         F: FnMut(usize) -> Result<B, FilterError>,
     {
-        self.build_inner(
-            make,
-            Some(DeleteHooks {
-                report: |b: &B, keys, out| b.bulk_delete_report(keys, out),
-                aggregate: |b: &B, keys| b.bulk_delete(keys),
-            }),
-        )
+        self.build_inner(make, Some(DeleteHooks::new()), None)
+    }
+
+    /// Build over a backend with the capacity lifecycle
+    /// ([`MaintainableFilter`]): shard workers auto-grow under the
+    /// builder's [`Self::growth`] policy, and the service supports live
+    /// scale-out via [`ShardedFilter::resize_shards`].
+    pub fn build_maintainable<B, F>(self, make: F) -> Result<ShardedFilter<B>, FilterError>
+    where
+        B: ServiceBackend + MaintainableFilter + 'static,
+        F: FnMut(usize) -> Result<B, FilterError>,
+    {
+        let hooks = MaintainHooks::for_policy(self.growth);
+        self.build_inner(make, None, Some(hooks))
+    }
+
+    /// [`Self::build_maintainable`] plus bulk deletion.
+    pub fn build_maintainable_deletable<B, F>(
+        self,
+        make: F,
+    ) -> Result<ShardedFilter<B>, FilterError>
+    where
+        B: ServiceBackend + filter_core::BulkDeletable + MaintainableFilter + 'static,
+        F: FnMut(usize) -> Result<B, FilterError>,
+    {
+        let hooks = MaintainHooks::for_policy(self.growth);
+        self.build_inner(make, Some(DeleteHooks::new()), Some(hooks))
     }
 
     fn build_inner<B, F>(
         self,
         mut make: F,
         delete_fn: Option<DeleteHooks<B>>,
+        maintain: Option<MaintainHooks<B>>,
     ) -> Result<ShardedFilter<B>, FilterError>
     where
         B: ServiceBackend + 'static,
@@ -402,51 +490,146 @@ impl ShardedFilterBuilder {
         let shards = self.shards.max(1);
         let stats: Arc<StatsInner> = Arc::default();
         let mut backends = Vec::with_capacity(shards);
-        let mut senders = Vec::with_capacity(shards);
-        let mut workers = Vec::with_capacity(shards);
         for i in 0..shards {
-            backends.push(Arc::new(make(i)?));
+            backends.push(Arc::new(RwLock::new(make(i)?)));
         }
-        for (i, backend) in backends.iter().enumerate() {
-            let (tx, rx) = sync_channel::<Task>(self.queue_tasks);
-            let worker = WorkerConfig {
-                backend: Arc::clone(backend),
-                rx,
-                stats: Arc::clone(&stats),
-                capacity: self.batch_capacity,
-                linger: self.linger,
-                delete_fn,
-            };
-            let handle = std::thread::Builder::new()
-                .name(format!("filter-shard-{i}"))
-                .spawn(move || worker.run())
-                .map_err(|e| FilterError::BadConfig(format!("spawn shard worker: {e}")))?;
-            senders.push(tx);
-            workers.push(handle);
-        }
+        let (senders, workers) = spawn_workers(&backends, &stats, &self, delete_fn, maintain, 0)?;
         Ok(ShardedFilter {
             backends,
-            senders,
+            state: Arc::new(RwLock::new(RouteState {
+                senders,
+                router: ShardRouter::with_seed(shards, self.seed),
+            })),
             workers,
-            router: ShardRouter::with_seed(shards, self.seed),
+            cfg: self.clone(),
             stats,
             started: Instant::now(),
-            deletes: delete_fn.is_some(),
+            delete_fn,
+            maintain,
+            worker_generation: 0,
         })
     }
 }
 
-/// Per-shard worker: drains the queue, buffers, flushes.
+impl<B: ServiceBackend + filter_core::BulkDeletable> DeleteHooks<B> {
+    fn new() -> Self {
+        DeleteHooks {
+            report: |b: &B, keys, out| b.bulk_delete_report(keys, out),
+            aggregate: |b: &B, keys| b.bulk_delete(keys),
+        }
+    }
+}
+
+/// One live shard fleet: a sender per worker plus the worker handles.
+type ShardFleet = (Vec<SyncSender<Task>>, Vec<JoinHandle<()>>);
+
+/// Spawn one worker thread per backend, returning the matching senders.
+/// `generation` disambiguates thread names across scale-outs.
+fn spawn_workers<B: ServiceBackend + 'static>(
+    backends: &[Arc<RwLock<B>>],
+    stats: &Arc<StatsInner>,
+    cfg: &ShardedFilterBuilder,
+    delete_fn: Option<DeleteHooks<B>>,
+    maintain: Option<MaintainHooks<B>>,
+    generation: u64,
+) -> Result<ShardFleet, FilterError> {
+    let mut senders = Vec::with_capacity(backends.len());
+    let mut workers = Vec::with_capacity(backends.len());
+    for (i, backend) in backends.iter().enumerate() {
+        let (tx, rx) = sync_channel::<Task>(cfg.queue_tasks);
+        let worker = WorkerConfig {
+            backend: Arc::clone(backend),
+            rx,
+            stats: Arc::clone(stats),
+            capacity: cfg.batch_capacity,
+            linger: cfg.linger,
+            delete_fn,
+            maintain,
+        };
+        let handle = std::thread::Builder::new()
+            .name(format!("filter-shard-{i}.g{generation}"))
+            .spawn(move || worker.run())
+            .map_err(|e| FilterError::BadConfig(format!("spawn shard worker: {e}")))?;
+        senders.push(tx);
+        workers.push(handle);
+    }
+    Ok((senders, workers))
+}
+
+/// The handle-visible routing state: one sender per live shard plus the
+/// router that addresses them. Swapped atomically (behind one `RwLock`)
+/// by [`ShardedFilter::resize_shards`], so every handle — blocking or
+/// pipelined, cloned before or after a scale-out — always routes against
+/// a consistent (senders, router) pair.
+struct RouteState {
+    senders: Vec<SyncSender<Task>>,
+    router: ShardRouter,
+}
+
+/// Per-shard worker: drains the queue, buffers, flushes. The backend
+/// sits behind a `RwLock`: flushes hold the read side (the worker is the
+/// only operation path), and the write side serves in-place growth —
+/// from this worker's own auto-grow or from a scale-out migration, which
+/// only runs after the worker has been stopped.
 struct WorkerConfig<B: ServiceBackend> {
-    backend: Arc<B>,
+    backend: Arc<RwLock<B>>,
     rx: Receiver<Task>,
     stats: Arc<StatsInner>,
     capacity: usize,
     linger: Duration,
     delete_fn: Option<DeleteHooks<B>>,
+    maintain: Option<MaintainHooks<B>>,
 }
 
 impl<B: ServiceBackend> WorkerConfig<B> {
+    fn backend(&self) -> RwLockReadGuard<'_, B> {
+        self.backend.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Auto-grow loop after an insert flush: while keys failed or the
+    /// load sits past the policy threshold, grow the backend and retry
+    /// exactly the failed keys, rewriting their outcomes. Returns the
+    /// final failure count (0 unless growth is exhausted or refused).
+    /// This is the monomorphized, ledger-recording sibling of
+    /// `filter_core::GrowingFilter::settle_inserts` (which serves the
+    /// boxed facade and reports `NeedsGrowth` instead of counting);
+    /// changes to either loop's semantics belong in both.
+    fn settle_inserts(&self, keys: &[u64], outcomes: &mut [InsertOutcome]) -> usize {
+        let Some(hooks) = self.maintain else {
+            return outcomes.iter().filter(|o| o.failed()).count();
+        };
+        let Some((max_load, factor)) = hooks.auto else {
+            return outcomes.iter().filter(|o| o.failed()).count();
+        };
+        for _ in 0..MAX_GROWS_PER_FLUSH {
+            let failed: Vec<usize> =
+                (0..outcomes.len()).filter(|&i| outcomes[i].failed()).collect();
+            let over = (hooks.load)(&self.backend()) >= max_load;
+            if failed.is_empty() && !over {
+                return 0;
+            }
+            {
+                let mut b = self.backend.write().unwrap_or_else(|e| e.into_inner());
+                if (hooks.grow)(&mut b, factor).is_err() {
+                    return failed.len();
+                }
+            }
+            self.stats.grow_events.fetch_add(1, Ordering::Relaxed);
+            if !failed.is_empty() {
+                let retry_keys: Vec<u64> = failed.iter().map(|&i| keys[i]).collect();
+                let mut retry_out = vec![InsertOutcome::Inserted; retry_keys.len()];
+                if self.backend().bulk_insert_report(&retry_keys, &mut retry_out).is_err() {
+                    return failed.len();
+                }
+                let recovered = retry_out.iter().filter(|o| o.inserted()).count() as u64;
+                self.stats.regrown_keys.fetch_add(recovered, Ordering::Relaxed);
+                for (slot, outcome) in failed.into_iter().zip(retry_out) {
+                    outcomes[slot] = outcome;
+                }
+            }
+        }
+        outcomes.iter().filter(|o| o.failed()).count()
+    }
     fn run(self) {
         let mut pending: Vec<Pending> = Vec::with_capacity(self.capacity);
         let mut deadline: Option<Instant> = None;
@@ -532,34 +715,32 @@ impl<B: ServiceBackend> WorkerConfig<B> {
     }
 
     fn flush_inserts(&self, keys: &[u64], run: std::vec::Drain<'_, Pending>) {
-        // Fully pipelined runs need only the aggregate failure count;
-        // skip the per-key attribution work nobody would read.
+        // Fully pipelined runs need only the aggregate failure count —
+        // unless an auto-growth policy is armed, in which case the
+        // per-key report drives the grow-and-retry loop even for them.
         let wants_acks = run.as_slice().iter().any(|p| matches!(p, Pending::Insert(_, Some(_))));
-        if !wants_acks {
+        let auto_growth = self.maintain.is_some_and(|m| m.auto.is_some());
+        if !wants_acks && !auto_growth {
             let t0 = Instant::now();
-            let failed = self.backend.bulk_insert(keys).unwrap_or(keys.len());
+            let failed = self.backend().bulk_insert(keys).unwrap_or(keys.len());
             self.stats.record_flush(keys.len(), t0.elapsed());
             if failed > 0 {
-                self.stats
-                    .insert_failures
-                    .fetch_add(failed as u64, std::sync::atomic::Ordering::Relaxed);
+                self.stats.insert_failures.fetch_add(failed as u64, Ordering::Relaxed);
             }
             return;
         }
         // Per-key outcomes come straight from the backend's report API, so
-        // individual failures are attributed exactly — the old path had to
-        // re-query the batch, which a colliding fingerprint could fool.
+        // individual failures are attributed exactly — and, under an Auto
+        // policy, retried across grows until they land.
         let mut outcomes = vec![InsertOutcome::Inserted; keys.len()];
         let t0 = Instant::now();
-        let result = self.backend.bulk_insert_report(keys, &mut outcomes);
-        self.stats.record_flush(keys.len(), t0.elapsed());
+        let result = self.backend().bulk_insert_report(keys, &mut outcomes);
         match result {
             Ok(()) => {
-                let failed = outcomes.iter().filter(|o| o.failed()).count();
+                let failed = self.settle_inserts(keys, &mut outcomes);
+                self.stats.record_flush(keys.len(), t0.elapsed());
                 if failed > 0 {
-                    self.stats
-                        .insert_failures
-                        .fetch_add(failed as u64, std::sync::atomic::Ordering::Relaxed);
+                    self.stats.insert_failures.fetch_add(failed as u64, Ordering::Relaxed);
                 }
                 for (p, outcome) in run.zip(outcomes) {
                     if let Pending::Insert(_, Some(ack)) = p {
@@ -568,9 +749,8 @@ impl<B: ServiceBackend> WorkerConfig<B> {
                 }
             }
             Err(_) => {
-                self.stats
-                    .insert_failures
-                    .fetch_add(keys.len() as u64, std::sync::atomic::Ordering::Relaxed);
+                self.stats.record_flush(keys.len(), t0.elapsed());
+                self.stats.insert_failures.fetch_add(keys.len() as u64, Ordering::Relaxed);
                 for p in run {
                     if let Pending::Insert(_, Some(ack)) = p {
                         ack.fulfill(false);
@@ -582,10 +762,10 @@ impl<B: ServiceBackend> WorkerConfig<B> {
 
     fn flush_queries(&self, keys: &[u64], run: std::vec::Drain<'_, Pending>) {
         let t0 = Instant::now();
-        let hits = self.backend.bulk_query_vec(keys);
+        let hits = self.backend().bulk_query_vec(keys);
         self.stats.record_flush(keys.len(), t0.elapsed());
         let n_hits = hits.iter().filter(|&&h| h).count() as u64;
-        self.stats.query_hits.fetch_add(n_hits, std::sync::atomic::Ordering::Relaxed);
+        self.stats.query_hits.fetch_add(n_hits, Ordering::Relaxed);
         for (p, hit) in run.zip(hits) {
             if let Pending::Query(_, ack) = p {
                 ack.fulfill(hit);
@@ -605,10 +785,8 @@ impl<B: ServiceBackend> WorkerConfig<B> {
         let wants_acks = run.as_slice().iter().any(|p| matches!(p, Pending::Delete(_, Some(_))));
         if !wants_acks {
             let t0 = Instant::now();
-            if (hooks.aggregate)(&self.backend, keys).is_err() {
-                self.stats
-                    .delete_failures
-                    .fetch_add(keys.len() as u64, std::sync::atomic::Ordering::Relaxed);
+            if (hooks.aggregate)(&self.backend(), keys).is_err() {
+                self.stats.delete_failures.fetch_add(keys.len() as u64, Ordering::Relaxed);
             }
             self.stats.record_flush(keys.len(), t0.elapsed());
             return;
@@ -619,15 +797,13 @@ impl<B: ServiceBackend> WorkerConfig<B> {
         // delete batch.
         let mut outcomes = vec![DeleteOutcome::NotFound; keys.len()];
         let t0 = Instant::now();
-        let deleted = (hooks.report)(&self.backend, keys, &mut outcomes);
+        let deleted = (hooks.report)(&self.backend(), keys, &mut outcomes);
         self.stats.record_flush(keys.len(), t0.elapsed());
         if deleted.is_err() {
             // The backend refused the whole batch: nothing was removed.
             // Report "not removed" to blocking callers and account the
             // failure.
-            self.stats
-                .delete_failures
-                .fetch_add(keys.len() as u64, std::sync::atomic::Ordering::Relaxed);
+            self.stats.delete_failures.fetch_add(keys.len() as u64, Ordering::Relaxed);
             for p in run {
                 if let Pending::Delete(_, Some(ack)) = p {
                     ack.fulfill(false);
@@ -647,37 +823,56 @@ impl<B: ServiceBackend> WorkerConfig<B> {
 ///
 /// Handles are deliberately not generic over the backend, so application
 /// code routing traffic into the service does not need to name the filter
-/// type.
+/// type. Handles reference the service's *shared* routing state, so a
+/// live scale-out ([`ShardedFilter::resize_shards`]) transparently
+/// redirects every handle — cloned before or after the resize — to the
+/// new shard fleet.
 #[derive(Clone)]
 pub struct ServiceHandle {
-    senders: Vec<SyncSender<Task>>,
-    router: ShardRouter,
+    state: Arc<RwLock<RouteState>>,
     stats: Arc<StatsInner>,
     deletes: bool,
 }
 
 impl ServiceHandle {
+    /// Read-lock the routing state: one consistent (senders, router)
+    /// view per operation. Held across route + send so a concurrent
+    /// scale-out can never split an operation between fleets; dropped
+    /// before any gate wait so draining workers (which never take this
+    /// lock) can make progress.
+    fn route_state(&self) -> RwLockReadGuard<'_, RouteState> {
+        self.state.read().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Enqueue a task; on success, credit its operations to `accepted`
     /// (an operation rejected at the queue counts only as rejected, never
     /// as accepted).
     fn send(
         &self,
+        rs: &RouteState,
         shard: usize,
         task: Task,
         accepted: Option<&std::sync::atomic::AtomicU64>,
     ) -> Result<(), FilterError> {
         let n = task.ops();
         self.stats.enqueued(n);
-        match self.senders[shard].send(task) {
+        // A stopped service has drained its senders; a routed shard index
+        // with no sender means "stopped", never a panic.
+        let Some(sender) = rs.senders.get(shard) else {
+            self.stats.dequeued(n);
+            self.stats.rejected.fetch_add(n, Ordering::Relaxed);
+            return Err(FilterError::ServiceStopped);
+        };
+        match sender.send(task) {
             Ok(()) => {
                 if let Some(counter) = accepted {
-                    counter.fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+                    counter.fetch_add(n, Ordering::Relaxed);
                 }
                 Ok(())
             }
             Err(_) => {
                 self.stats.dequeued(n);
-                self.stats.rejected.fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+                self.stats.rejected.fetch_add(n, Ordering::Relaxed);
                 Err(FilterError::ServiceStopped)
             }
         }
@@ -689,11 +884,16 @@ impl ServiceHandle {
     pub fn insert(&self, key: u64) -> Result<(), FilterError> {
         let gate = OpGate::new(1);
         let ack = InsertAck::new(Arc::clone(&gate));
-        self.send(
-            self.router.route(key),
-            Task::One(Pending::Insert(key, Some(ack))),
-            Some(&self.stats.inserts),
-        )?;
+        {
+            let rs = self.route_state();
+            let shard = rs.router.route(key);
+            self.send(
+                &rs,
+                shard,
+                Task::One(Pending::Insert(key, Some(ack))),
+                Some(&self.stats.inserts),
+            )?;
+        }
         match gate.wait() {
             (_, aborted) if aborted > 0 => Err(FilterError::ServiceStopped),
             (0, _) => Ok(()),
@@ -712,11 +912,11 @@ impl ServiceHandle {
     pub fn query(&self, key: u64) -> Result<bool, FilterError> {
         let gate = QueryGate::new(1);
         let ack = QueryAck::new(Arc::clone(&gate), 0);
-        self.send(
-            self.router.route(key),
-            Task::One(Pending::Query(key, ack)),
-            Some(&self.stats.queries),
-        )?;
+        {
+            let rs = self.route_state();
+            let shard = rs.router.route(key);
+            self.send(&rs, shard, Task::One(Pending::Query(key, ack)), Some(&self.stats.queries))?;
+        }
         match gate.wait() {
             (_, aborted) if aborted > 0 => Err(FilterError::ServiceStopped),
             (results, _) => Ok(results[0]),
@@ -735,11 +935,16 @@ impl ServiceHandle {
         }
         let gate = QueryGate::new(1);
         let ack = QueryAck::new(Arc::clone(&gate), 0);
-        self.send(
-            self.router.route(key),
-            Task::One(Pending::Delete(key, Some(ack))),
-            Some(&self.stats.deletes),
-        )?;
+        {
+            let rs = self.route_state();
+            let shard = rs.router.route(key);
+            self.send(
+                &rs,
+                shard,
+                Task::One(Pending::Delete(key, Some(ack))),
+                Some(&self.stats.deletes),
+            )?;
+        }
         match gate.wait() {
             (_, aborted) if aborted > 0 => Err(FilterError::ServiceStopped),
             (results, _) => Ok(results[0]),
@@ -754,17 +959,21 @@ impl ServiceHandle {
             return Ok(0);
         }
         let gate = OpGate::new(keys.len());
-        let (by_shard, _) = self.router.partition(keys);
         let mut send_failed = false;
-        for (shard, shard_keys) in by_shard.into_iter().enumerate() {
-            if shard_keys.is_empty() {
-                continue;
+        {
+            let rs = self.route_state();
+            let (by_shard, _) = rs.router.partition(keys);
+            for (shard, shard_keys) in by_shard.into_iter().enumerate() {
+                if shard_keys.is_empty() {
+                    continue;
+                }
+                let ops: Vec<Pending> = shard_keys
+                    .into_iter()
+                    .map(|k| Pending::Insert(k, Some(InsertAck::new(Arc::clone(&gate)))))
+                    .collect();
+                send_failed |=
+                    self.send(&rs, shard, Task::Many(ops), Some(&self.stats.inserts)).is_err();
             }
-            let ops: Vec<Pending> = shard_keys
-                .into_iter()
-                .map(|k| Pending::Insert(k, Some(InsertAck::new(Arc::clone(&gate)))))
-                .collect();
-            send_failed |= self.send(shard, Task::Many(ops), Some(&self.stats.inserts)).is_err();
         }
         let (failures, aborted) = gate.wait();
         if send_failed || aborted > 0 {
@@ -779,18 +988,22 @@ impl ServiceHandle {
             return Ok(Vec::new());
         }
         let gate = QueryGate::new(keys.len());
-        let (by_shard, positions) = self.router.partition(keys);
         let mut send_failed = false;
-        for (shard, (shard_keys, pos)) in by_shard.into_iter().zip(positions).enumerate() {
-            if shard_keys.is_empty() {
-                continue;
+        {
+            let rs = self.route_state();
+            let (by_shard, positions) = rs.router.partition(keys);
+            for (shard, (shard_keys, pos)) in by_shard.into_iter().zip(positions).enumerate() {
+                if shard_keys.is_empty() {
+                    continue;
+                }
+                let ops: Vec<Pending> = shard_keys
+                    .into_iter()
+                    .zip(pos)
+                    .map(|(k, p)| Pending::Query(k, QueryAck::new(Arc::clone(&gate), p)))
+                    .collect();
+                send_failed |=
+                    self.send(&rs, shard, Task::Many(ops), Some(&self.stats.queries)).is_err();
             }
-            let ops: Vec<Pending> = shard_keys
-                .into_iter()
-                .zip(pos)
-                .map(|(k, p)| Pending::Query(k, QueryAck::new(Arc::clone(&gate), p)))
-                .collect();
-            send_failed |= self.send(shard, Task::Many(ops), Some(&self.stats.queries)).is_err();
         }
         let (results, aborted) = gate.wait();
         if send_failed || aborted > 0 {
@@ -811,18 +1024,22 @@ impl ServiceHandle {
             return Ok(0);
         }
         let gate = QueryGate::new(keys.len());
-        let (by_shard, positions) = self.router.partition(keys);
         let mut send_failed = false;
-        for (shard, (shard_keys, pos)) in by_shard.into_iter().zip(positions).enumerate() {
-            if shard_keys.is_empty() {
-                continue;
+        {
+            let rs = self.route_state();
+            let (by_shard, positions) = rs.router.partition(keys);
+            for (shard, (shard_keys, pos)) in by_shard.into_iter().zip(positions).enumerate() {
+                if shard_keys.is_empty() {
+                    continue;
+                }
+                let ops: Vec<Pending> = shard_keys
+                    .into_iter()
+                    .zip(pos)
+                    .map(|(k, p)| Pending::Delete(k, Some(QueryAck::new(Arc::clone(&gate), p))))
+                    .collect();
+                send_failed |=
+                    self.send(&rs, shard, Task::Many(ops), Some(&self.stats.deletes)).is_err();
             }
-            let ops: Vec<Pending> = shard_keys
-                .into_iter()
-                .zip(pos)
-                .map(|(k, p)| Pending::Delete(k, Some(QueryAck::new(Arc::clone(&gate), p))))
-                .collect();
-            send_failed |= self.send(shard, Task::Many(ops), Some(&self.stats.deletes)).is_err();
         }
         let (results, aborted) = gate.wait();
         if send_failed || aborted > 0 {
@@ -835,11 +1052,9 @@ impl ServiceHandle {
     /// in [`ServiceStats::insert_failures`]; call [`Self::barrier`] to
     /// bound completion.
     pub fn insert_pipelined(&self, key: u64) -> Result<(), FilterError> {
-        self.send(
-            self.router.route(key),
-            Task::One(Pending::Insert(key, None)),
-            Some(&self.stats.inserts),
-        )
+        let rs = self.route_state();
+        let shard = rs.router.route(key);
+        self.send(&rs, shard, Task::One(Pending::Insert(key, None)), Some(&self.stats.inserts))
     }
 
     /// Fire-and-forget batch insert (pre-routed, no completion gate).
@@ -847,14 +1062,15 @@ impl ServiceHandle {
         if keys.is_empty() {
             return Ok(());
         }
-        let (by_shard, _) = self.router.partition(keys);
+        let rs = self.route_state();
+        let (by_shard, _) = rs.router.partition(keys);
         for (shard, shard_keys) in by_shard.into_iter().enumerate() {
             if shard_keys.is_empty() {
                 continue;
             }
             let ops: Vec<Pending> =
                 shard_keys.into_iter().map(|k| Pending::Insert(k, None)).collect();
-            self.send(shard, Task::Many(ops), Some(&self.stats.inserts))?;
+            self.send(&rs, shard, Task::Many(ops), Some(&self.stats.inserts))?;
         }
         Ok(())
     }
@@ -868,14 +1084,15 @@ impl ServiceHandle {
         if keys.is_empty() {
             return Ok(());
         }
-        let (by_shard, _) = self.router.partition(keys);
+        let rs = self.route_state();
+        let (by_shard, _) = rs.router.partition(keys);
         for (shard, shard_keys) in by_shard.into_iter().enumerate() {
             if shard_keys.is_empty() {
                 continue;
             }
             let ops: Vec<Pending> =
                 shard_keys.into_iter().map(|k| Pending::Delete(k, None)).collect();
-            self.send(shard, Task::Many(ops), Some(&self.stats.deletes))?;
+            self.send(&rs, shard, Task::Many(ops), Some(&self.stats.deletes))?;
         }
         Ok(())
     }
@@ -883,12 +1100,21 @@ impl ServiceHandle {
     /// Park until every operation enqueued (by any handle) before this
     /// call has been flushed on every shard.
     pub fn barrier(&self) -> Result<(), FilterError> {
-        let gate = OpGate::new(self.senders.len());
-        let mut send_failed = false;
-        for shard in 0..self.senders.len() {
-            let ack = InsertAck::new(Arc::clone(&gate));
-            send_failed |= self.send(shard, Task::Barrier(ack), None).is_err();
-        }
+        let (gate, send_failed) = {
+            let rs = self.route_state();
+            // A stopped service has no senders left; a zero-fence barrier
+            // would report success for work that never flushed.
+            if rs.senders.is_empty() {
+                return Err(FilterError::ServiceStopped);
+            }
+            let gate = OpGate::new(rs.senders.len());
+            let mut send_failed = false;
+            for shard in 0..rs.senders.len() {
+                let ack = InsertAck::new(Arc::clone(&gate));
+                send_failed |= self.send(&rs, shard, Task::Barrier(ack), None).is_err();
+            }
+            (gate, send_failed)
+        };
         let (_, aborted) = gate.wait();
         if send_failed || aborted > 0 {
             return Err(FilterError::ServiceStopped);
@@ -901,9 +1127,11 @@ impl ServiceHandle {
         self.deletes
     }
 
-    /// The router in use (e.g. to co-locate auxiliary per-shard state).
-    pub fn router(&self) -> &ShardRouter {
-        &self.router
+    /// The router currently in use (e.g. to co-locate auxiliary
+    /// per-shard state). By value: a scale-out replaces the live router,
+    /// so cache this only for as long as the shard count is known stable.
+    pub fn router(&self) -> ShardRouter {
+        self.route_state().router
     }
 }
 
@@ -911,73 +1139,226 @@ impl ServiceHandle {
 /// instances of a bulk filter backend. See the [module docs](self) for the
 /// architecture and the [crate docs](crate) for a quickstart.
 pub struct ShardedFilter<B: ServiceBackend + 'static> {
-    backends: Vec<Arc<B>>,
-    senders: Vec<SyncSender<Task>>,
+    backends: Vec<Arc<RwLock<B>>>,
+    state: Arc<RwLock<RouteState>>,
     workers: Vec<JoinHandle<()>>,
-    router: ShardRouter,
+    cfg: ShardedFilterBuilder,
     stats: Arc<StatsInner>,
     started: Instant,
-    deletes: bool,
+    delete_fn: Option<DeleteHooks<B>>,
+    maintain: Option<MaintainHooks<B>>,
+    worker_generation: u64,
 }
 
 impl<B: ServiceBackend + 'static> ShardedFilter<B> {
     /// A new submission handle (cheap; clone freely across threads).
     pub fn handle(&self) -> ServiceHandle {
         ServiceHandle {
-            senders: self.senders.clone(),
-            router: self.router,
+            state: Arc::clone(&self.state),
             stats: Arc::clone(&self.stats),
-            deletes: self.deletes,
+            deletes: self.delete_fn.is_some(),
         }
+    }
+
+    fn route_state(&self) -> RwLockReadGuard<'_, RouteState> {
+        self.state.read().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Snapshot of the service metrics.
     pub fn stats(&self) -> ServiceStats {
-        ServiceStats::snapshot(&self.stats, self.router.shards(), self.started.elapsed())
+        let shards = self.route_state().router.shards();
+        ServiceStats::snapshot(&self.stats, shards, self.started.elapsed())
     }
 
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
-        self.router.shards()
+        self.route_state().router.shards()
     }
 
-    /// The router mapping keys to shards.
-    pub fn router(&self) -> &ShardRouter {
-        &self.router
+    /// The router currently mapping keys to shards (by value: scale-outs
+    /// replace it).
+    pub fn router(&self) -> ShardRouter {
+        self.route_state().router
     }
 
-    /// Shared references to the per-shard backends (read-only metadata
-    /// access; all trait methods take `&self`).
-    pub fn backends(&self) -> &[Arc<B>] {
+    /// Shared references to the per-shard backends. Lock a backend
+    /// (read) for metadata access; the write side belongs to the
+    /// maintenance paths.
+    pub fn backends(&self) -> &[Arc<RwLock<B>>] {
         &self.backends
     }
 
     /// Total heap bytes across all shard tables.
     pub fn table_bytes(&self) -> usize {
-        self.backends.iter().map(|b| b.table_bytes()).sum()
+        self.backends
+            .iter()
+            .map(|b| b.read().unwrap_or_else(|e| e.into_inner()).table_bytes())
+            .sum()
     }
 
     /// Total capacity slots across all shards.
     pub fn capacity_slots(&self) -> u64 {
-        self.backends.iter().map(|b| b.capacity_slots()).sum()
+        self.backends
+            .iter()
+            .map(|b| b.read().unwrap_or_else(|e| e.into_inner()).capacity_slots())
+            .sum()
+    }
+
+    /// Live scale-out: multiply the shard fleet to `new_shards` (a
+    /// multiple of the current count), migrating every old shard's
+    /// contents into its successor shards by merging.
+    ///
+    /// `make(shard_index)` builds the new backends (size them with
+    /// [`ShardedFilterBuilder::shard_spec`] over the *new* shard count,
+    /// or reuse the original per-shard spec — each new shard must be able
+    /// to absorb its parent's live contents, growing under the maintain
+    /// hooks when the first attempt reports
+    /// [`FilterError::NeedsGrowth`]).
+    ///
+    /// Correctness under concurrent traffic: the splitmix router
+    /// range-nests when the count multiplies — new shard `j` serves
+    /// exactly a sub-range of old shard `j / (new/old)`'s keys — so
+    /// merging parent `j / k` into child `j` preserves every membership
+    /// answer. Intake pauses (handles block on the shared routing state)
+    /// while the old workers drain and stop, so no enqueued operation is
+    /// lost and blocking callers are answered before migration begins; on
+    /// a migration error the old fleet is restored intact.
+    ///
+    /// Cost model — what merge-based migration buys and what it does not:
+    /// filters store fingerprints, not keys, so a parent's contents
+    /// cannot be *partitioned* by router range; each child absorbs the
+    /// parent's **full** contents instead. Directly after a k× scale-out,
+    /// aggregate memory is therefore ~k× the parent fleet's, each child
+    /// starts at its parent's fingerprint population (so the service-wide
+    /// false-positive rate is unchanged from the moment before the
+    /// resize — not reduced as a key-partitioned split would achieve),
+    /// and the sibling-range fingerprints a child inherits are inert but
+    /// undeletable (deletes for those keys route to the owning sibling).
+    /// What the scale-out buys is *forward* capacity and parallelism:
+    /// every new key lands in exactly one child, so per-shard growth
+    /// pressure and worker load drop by k from this point on. A
+    /// deployment that needs the stale fingerprints reclaimed rebuilds
+    /// shards from its source of truth (out of scope here).
+    ///
+    /// Requires a service built with
+    /// [`ShardedFilterBuilder::build_maintainable`] /
+    /// [`build_maintainable_deletable`](ShardedFilterBuilder::build_maintainable_deletable)
+    /// (the merge hook does the migration).
+    pub fn resize_shards<F>(&mut self, new_shards: usize, mut make: F) -> Result<(), FilterError>
+    where
+        F: FnMut(usize) -> Result<B, FilterError>,
+    {
+        let Some(hooks) = self.maintain else {
+            return FilterError::unsupported("scale-out needs a maintainable backend");
+        };
+        let old_shards = self.backends.len();
+        if new_shards == old_shards {
+            return Ok(());
+        }
+        if new_shards == 0 || !new_shards.is_multiple_of(old_shards) {
+            return Err(FilterError::BadConfig(format!(
+                "resize_shards: {new_shards} is not a positive multiple of the current \
+                 {old_shards} shards (the splitmix ranges only nest under multiplication)"
+            )));
+        }
+        let k = new_shards / old_shards;
+        let grow_factor = hooks.auto.map(|(_, f)| f).unwrap_or(2);
+
+        // Build the new fleet before pausing intake.
+        let mut new_backends = Vec::with_capacity(new_shards);
+        for j in 0..new_shards {
+            new_backends.push(Arc::new(RwLock::new(make(j)?)));
+        }
+
+        // Pause intake: handles block acquiring the read side; workers
+        // never take this lock, so their queues keep draining. (The Arc
+        // is cloned so the guard does not pin `self`.)
+        let state = Arc::clone(&self.state);
+        let mut rs = state.write().unwrap_or_else(|e| e.into_inner());
+
+        // Stop the old workers. `Task::Stop` flushes everything buffered
+        // first, so every already-enqueued operation completes (blocking
+        // callers get their acks) before migration starts.
+        for tx in rs.senders.drain(..) {
+            let _ = tx.send(Task::Stop);
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.worker_generation += 1;
+
+        // Merge-migrate: child j absorbs parent j / k. On an
+        // unrecoverable error, restore the old fleet (its backends are
+        // untouched — merges only write into the new ones).
+        let migrate = || -> Result<(), FilterError> {
+            for (j, child) in new_backends.iter().enumerate() {
+                let parent = self.backends[j / k].read().unwrap_or_else(|e| e.into_inner());
+                let mut child_b = child.write().unwrap_or_else(|e| e.into_inner());
+                let mut grows = 0;
+                loop {
+                    match (hooks.merge)(&mut child_b, &parent) {
+                        Ok(()) => break,
+                        Err(FilterError::NeedsGrowth { .. }) if grows < MAX_GROWS_PER_FLUSH => {
+                            (hooks.grow)(&mut child_b, grow_factor)?;
+                            grows += 1;
+                            self.stats.grow_events.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+                self.stats.migration_events.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(())
+        };
+        if let Err(e) = migrate() {
+            let (senders, workers) = spawn_workers(
+                &self.backends,
+                &self.stats,
+                &self.cfg,
+                self.delete_fn,
+                self.maintain,
+                self.worker_generation,
+            )?;
+            rs.senders = senders;
+            self.workers = workers;
+            return Err(e);
+        }
+
+        // Install the new fleet and resume intake.
+        let (senders, workers) = spawn_workers(
+            &new_backends,
+            &self.stats,
+            &self.cfg,
+            self.delete_fn,
+            self.maintain,
+            self.worker_generation,
+        )?;
+        self.backends = new_backends;
+        rs.senders = senders;
+        rs.router = ShardRouter::with_seed(new_shards, self.cfg.seed);
+        self.workers = workers;
+        self.stats.scale_outs.fetch_add(1, Ordering::Relaxed);
+        Ok(())
     }
 
     /// Stop accepting work, flush every shard, join the workers, and hand
     /// back the backends (e.g. to persist or merge them). Outstanding
     /// handles observe [`FilterError::ServiceStopped`] afterwards; their
     /// in-flight blocking calls complete or abort, never hang.
-    pub fn shutdown(mut self) -> Vec<Arc<B>> {
+    pub fn shutdown(mut self) -> Vec<Arc<RwLock<B>>> {
         self.stop_workers();
         std::mem::take(&mut self.backends)
     }
 
     fn stop_workers(&mut self) {
-        for tx in &self.senders {
+        let state = Arc::clone(&self.state);
+        let mut rs = state.write().unwrap_or_else(|e| e.into_inner());
+        for tx in rs.senders.drain(..) {
             // A full queue blocks until the worker drains it; a worker that
             // already exited surfaces as a send error, which is fine.
             let _ = tx.send(Task::Stop);
         }
-        self.senders.clear();
+        drop(rs);
         for w in self.workers.drain(..) {
             let _ = w.join();
         }

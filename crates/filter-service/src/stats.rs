@@ -77,6 +77,11 @@ pub(crate) struct StatsInner {
     pub queue_depth: AtomicU64,
     pub queue_depth_max: AtomicU64,
     pub rejected: AtomicU64,
+    // -- capacity-lifecycle ledger (PR 5) --
+    pub grow_events: AtomicU64,
+    pub regrown_keys: AtomicU64,
+    pub scale_outs: AtomicU64,
+    pub migration_events: AtomicU64,
 }
 
 impl StatsInner {
@@ -133,6 +138,18 @@ pub struct ServiceStats {
     pub queue_depth_max: u64,
     /// Operations rejected because the service had stopped.
     pub rejected: u64,
+    /// Backend grow events (worker auto-growth under the policy, plus
+    /// grows performed while migrating a scale-out).
+    pub grow_events: u64,
+    /// Keys that failed an insert, were absorbed by a grow, and then
+    /// succeeded on retry — capacity failures the lifecycle hid from
+    /// callers.
+    pub regrown_keys: u64,
+    /// Completed `resize_shards` operations.
+    pub scale_outs: u64,
+    /// Per-shard merge migrations performed during scale-outs (one per
+    /// new shard absorbing its parent).
+    pub migration_events: u64,
     /// Time since the service started.
     pub elapsed: Duration,
 }
@@ -160,6 +177,10 @@ impl ServiceStats {
             queue_depth: inner.queue_depth.load(o),
             queue_depth_max: inner.queue_depth_max.load(o),
             rejected: inner.rejected.load(o),
+            grow_events: inner.grow_events.load(o),
+            regrown_keys: inner.regrown_keys.load(o),
+            scale_outs: inner.scale_outs.load(o),
+            migration_events: inner.migration_events.load(o),
             elapsed,
         }
     }
@@ -200,7 +221,8 @@ impl ServiceStats {
             "service: {} shards, {:.0} ops/s over {:.2?}\n\
              ops: {} inserts ({} failed), {} queries ({} hits), {} deletes ({} failed)\n\
              batches: {} flushed, mean size {:.1}, hist {}\n\
-             flush: mean {:.2?}, max {:.2?}; queue depth {} (max {}), rejected {}",
+             flush: mean {:.2?}, max {:.2?}; queue depth {} (max {}), rejected {}\n\
+             lifecycle: {} grows ({} keys regrown), {} scale-outs ({} migrations)",
             self.shards,
             self.throughput(),
             self.elapsed,
@@ -218,6 +240,10 @@ impl ServiceStats {
             self.queue_depth,
             self.queue_depth_max,
             self.rejected,
+            self.grow_events,
+            self.regrown_keys,
+            self.scale_outs,
+            self.migration_events,
         )
     }
 }

@@ -52,6 +52,10 @@ fn exercise_generic<B: ServiceBackend + 'static>(service: ShardedFilter<B>, seed
     assert!(matches!(h.insert(1), Err(FilterError::ServiceStopped)));
     assert!(matches!(h.query_batch(&keys[..3]), Err(FilterError::ServiceStopped)));
     assert!(!h.contains(keys[0]), "queries on a stopped service report absent");
+    assert!(
+        matches!(h.barrier(), Err(FilterError::ServiceStopped)),
+        "a barrier on a stopped service must not report durability"
+    );
 }
 
 #[test]

@@ -40,6 +40,14 @@ pub struct ModelParams {
     /// Extra latency-bound term weight: lines loaded per unit of
     /// memory-level parallelism (groups per warp).
     pub latency_weight: f64,
+    /// Spin-equivalents charged per lock *acquisition*: the fenced RMW
+    /// plus the expected line ping-pong of taking a cache-aligned lock on
+    /// a device where other groups hold and contend it. Charged from the
+    /// deterministic [`Counter::LockAcquires`] count, so the §6.1 lock
+    /// cost is priced identically on any host — observed
+    /// [`Counter::LockSpins`] (host threads actually colliding) still add
+    /// on top.
+    pub spins_per_acquire: f64,
 }
 
 impl Default for ModelParams {
@@ -49,6 +57,7 @@ impl Default for ModelParams {
             fixed_steps_per_item: 2.0,
             steps_per_atomic: 6.0,
             latency_weight: 1.0,
+            spins_per_acquire: 1.5,
         }
     }
 }
@@ -173,7 +182,16 @@ pub fn estimate_with(
     let occupancy = profile.occupancy(stats.active_threads.max(1));
 
     // --- strictly serializing effects ---
-    let t_lock = c.get(Counter::LockSpins) as f64 / profile.lock_spin_rate;
+    // Lock cost has a deterministic part (every acquisition pays the
+    // fenced RMW + expected line ping-pong, whether or not host threads
+    // happened to collide while simulating) and an observed part (actual
+    // spins). Without the deterministic term the modeled ordering of
+    // Fig. 3 would depend on how many host workers interleaved the
+    // simulation — zero spins on a single-core host made the point GQF
+    // price as if its locks were free.
+    let spins = c.get(Counter::LockSpins) as f64
+        + c.get(Counter::LockAcquires) as f64 * params.spins_per_acquire;
+    let t_lock = spins / profile.lock_spin_rate;
     let t_launch = c.get(Counter::KernelLaunches).max(1) as f64 * profile.launch_overhead;
 
     let t_core = t_bw.max(t_atomic).max(t_pipeline).max(t_latency).max(t_shared);

@@ -33,6 +33,54 @@ use gpu_sim::sort::{lower_bound, reduce_by_key};
 use gpu_sim::Device;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
+/// Refill `target` from `src`'s enumerated `(hash, count)` multiset,
+/// re-splitting each lossless stored hash under `target`'s layout and
+/// inserting through the even-odd phased bulk path (sorted order within
+/// each region, so any worker budget produces the same table). Both
+/// layouts must store the same `p = q + r` bits so the re-split loses
+/// nothing — the quotient-bit-extension migration primitive shared by
+/// the GQF's own resize/merge and the SQF/RSQF capacity lifecycle in
+/// `baselines`. Returns the count that could not be placed.
+pub fn refill_core(target: &GqfCore, device: &Device, src: &GqfCore) -> Result<usize, FilterError> {
+    let from = src.layout();
+    let to = *target.layout();
+    if from.q_bits + from.r_bits != to.q_bits + to.r_bits {
+        return Err(FilterError::BadConfig(format!(
+            "hash widths differ: p={} vs p={} — filters must share a stored-hash width",
+            from.q_bits + from.r_bits,
+            to.q_bits + to.r_bits
+        )));
+    }
+    let mut pairs: Vec<(u64, u64)> = src.enumerate();
+    device.sort_pairs(&mut pairs);
+    let mut bounds: Vec<usize> = device.par_map(to.n_regions(), |g| {
+        pairs.partition_point(|&(h, _)| h < ((g * REGION_SLOTS) as u64) << to.r_bits)
+    });
+    bounds.push(pairs.len());
+    let failures = AtomicUsize::new(0);
+    let pairs_ref = &pairs;
+    let failures_ref = &failures;
+    for parity in 0..2usize {
+        let regions: Vec<usize> =
+            (0..to.n_regions()).filter(|&g| g % 2 == parity && bounds[g] < bounds[g + 1]).collect();
+        if regions.is_empty() {
+            continue;
+        }
+        let regions_ref = &regions;
+        let bounds_ref = &bounds;
+        device.launch_regions(regions.len(), |i| {
+            let g = regions_ref[i];
+            for &(h, c) in &pairs_ref[bounds_ref[g]..bounds_ref[g + 1]] {
+                let (q, r) = to.split(h);
+                if target.upsert(q, r, c).is_err() {
+                    failures_ref.fetch_add(c as usize, Ordering::Relaxed);
+                }
+            }
+        });
+    }
+    Ok(failures.load(Ordering::Relaxed))
+}
+
 /// A bulk-API GPU counting quotient filter.
 ///
 /// ```
@@ -297,28 +345,20 @@ impl BulkGqf {
         out.into_iter().map(|a| a.into_inner()).collect()
     }
 
+    /// Refill this (fresh or partially filled) filter from another core's
+    /// enumerated multiset — [`refill_core`] over this filter's own core
+    /// and device.
+    fn refill_from(&self, src: &GqfCore) -> Result<usize, FilterError> {
+        refill_core(&self.core, &self.device, src)
+    }
+
     /// Build a filter with twice the slots (q+1, r−1) containing the same
     /// multiset, re-splitting the stored lossless hashes through the
     /// phased bulk path — the resizability feature §1 lists.
     pub fn resized(&self) -> Result<BulkGqf, FilterError> {
         let old = self.core.layout();
         let bigger = BulkGqf::new(old.q_bits + 1, old.r_bits - 1, self.device.clone())?;
-        let to = *bigger.core.layout();
-        let mut pairs: Vec<(u64, u64)> = self.core.enumerate();
-        self.device.sort_pairs(&mut pairs);
-        let sorted: Vec<u64> = pairs.iter().map(|&(h, _)| h).collect();
-        let bounds = bigger.region_bounds(&sorted);
-        let fails = bigger.phased(&bounds, |_, range| {
-            let mut f = 0usize;
-            for &(h, c) in &pairs[range] {
-                let (q, r) = to.split(h);
-                if bigger.core.upsert(q, r, c).is_err() {
-                    f += c as usize;
-                }
-            }
-            f
-        });
-        if fails > 0 {
+        if bigger.refill_from(&self.core)? > 0 {
             return Err(FilterError::Full);
         }
         Ok(bigger)
@@ -333,25 +373,8 @@ impl BulkGqf {
         }
         let old = self.core.layout();
         let merged = BulkGqf::new(old.q_bits + 1, old.r_bits - 1, self.device.clone())?;
-        let to = *merged.core.layout();
         for src in [self, other] {
-            // Re-split each lossless hash under the new layout and insert
-            // with its exact count.
-            let mut pairs: Vec<(u64, u64)> = src.core.enumerate();
-            src.device.sort_pairs(&mut pairs);
-            let sorted: Vec<u64> = pairs.iter().map(|&(h, _)| h).collect();
-            let bounds = merged.region_bounds(&sorted);
-            let fails = merged.phased(&bounds, |_, range| {
-                let mut f = 0usize;
-                for &(h, c) in &pairs[range] {
-                    let (q, r) = to.split(h);
-                    if merged.core.upsert(q, r, c).is_err() {
-                        f += c as usize;
-                    }
-                }
-                f
-            });
-            if fails > 0 {
+            if merged.refill_from(&src.core)? > 0 {
                 return Err(FilterError::Full);
             }
         }
@@ -460,6 +483,55 @@ impl BulkGqf {
     }
 }
 
+impl filter_core::MaintainableFilter for BulkGqf {
+    fn load(&self) -> f64 {
+        self.core.load_factor().clamp(0.0, 1.0)
+    }
+
+    /// Quotient-bit extension (q+d, r−d): the table multiplies by
+    /// `factor` while the stored `p = q + r` hash bits — and therefore
+    /// every membership answer and count — carry over losslessly. Runs
+    /// the same enumerate → device sort → even-odd phased apply pipeline
+    /// as every bulk path, so any worker budget grows into a bit-identical
+    /// filter. On error the filter is unchanged.
+    fn grow(&mut self, factor: u32) -> Result<(), FilterError> {
+        let d = filter_core::growth_steps(factor)?;
+        let old = *self.core.layout();
+        if old.r_bits < d + 2 {
+            return Err(FilterError::BadConfig(format!(
+                "cannot extend quotient by {d} bits: only {} remainder bits left",
+                old.r_bits
+            )));
+        }
+        let bigger = BulkGqf::new(old.q_bits + d, old.r_bits - d, self.device.clone())?;
+        if bigger.refill_from(&self.core)? > 0 {
+            return Err(FilterError::Full);
+        }
+        self.core = bigger.core;
+        Ok(())
+    }
+
+    /// Absorb `other`'s multiset (counts summed). Requires the same
+    /// stored-hash width `p = q + r` — which filters built from one spec
+    /// keep across any number of grows. Builds the union into a fresh
+    /// core first, so a refusal ([`FilterError::NeedsGrowth`]) leaves
+    /// `self` untouched.
+    fn merge(&mut self, other: &Self) -> Result<(), FilterError> {
+        let layout = *self.core.layout();
+        let union = BulkGqf::new(layout.q_bits, layout.r_bits, self.device.clone())?;
+        for src in [&self.core, &other.core] {
+            if union.refill_from(src)? > 0 {
+                return Err(FilterError::needs_growth(self.core.load_factor()));
+            }
+        }
+        if union.core.load_factor() > self.max_load {
+            return Err(FilterError::needs_growth(union.core.load_factor()));
+        }
+        self.core = union.core;
+        Ok(())
+    }
+}
+
 impl FilterMeta for BulkGqf {
     fn name(&self) -> &'static str {
         "GQF-Bulk"
@@ -471,6 +543,7 @@ impl FilterMeta for BulkGqf {
             .with(Operation::Query, ApiMode::Bulk)
             .with(Operation::Delete, ApiMode::Bulk)
             .with(Operation::Count, ApiMode::Bulk)
+            .with_growth()
     }
 
     fn table_bytes(&self) -> usize {
@@ -531,6 +604,7 @@ impl filter_core::DynFilter for BulkGqf {
 
     filter_core::dyn_forward_bulk!();
     filter_core::dyn_forward_bulk_delete!();
+    filter_core::dyn_forward_maintain!(BulkGqf);
 
     fn bulk_count(&self, keys: &[u64]) -> Result<Vec<u64>, FilterError> {
         Ok(self.count_batch(keys))
@@ -811,6 +885,109 @@ mod tests {
         let keys = hashed_keys(62, 3000);
         assert_eq!(f.insert_batch(&keys), 0);
         assert_eq!(f.count_batch(&keys[..5]), vec![1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn in_place_grow_preserves_the_multiset() {
+        use filter_core::MaintainableFilter;
+        let mut f = BulkGqf::new_cori(12, 16).unwrap();
+        let keys = hashed_keys(70, 900);
+        let pairs: Vec<(u64, u64)> =
+            keys.iter().enumerate().map(|(i, &k)| (k, (i % 4 + 1) as u64)).collect();
+        assert_eq!(f.insert_counted_batch(&pairs), 0);
+        let load_before = f.load();
+        let slots_before = f.capacity_slots();
+        f.grow(4).unwrap();
+        assert_eq!(f.capacity_slots(), 4 * slots_before);
+        assert!(f.load() < load_before, "load must strictly decrease across a grow");
+        let counts = f.count_batch(&keys);
+        for (i, &c) in counts.iter().enumerate() {
+            assert_eq!(c, (i % 4 + 1) as u64, "key {i}");
+        }
+        f.core().check_invariants();
+    }
+
+    #[test]
+    fn grow_rejects_bad_factors_and_exhausted_remainders() {
+        use filter_core::MaintainableFilter;
+        let mut f = BulkGqf::new_cori(12, 8).unwrap();
+        assert!(f.grow(3).is_err());
+        assert!(f.grow(0).is_err());
+        // r=8 can give up at most 6 bits (r must stay >= 2).
+        assert!(f.grow(1 << 7).is_err());
+        assert!(f.grow(1 << 6).is_ok());
+        assert_eq!(f.core().layout().r_bits, 2);
+    }
+
+    #[test]
+    fn in_place_merge_sums_counts_and_refuses_when_full() {
+        use filter_core::MaintainableFilter;
+        let mut a = filter(13);
+        let b = filter(13);
+        let keys = hashed_keys(71, 600);
+        a.insert_batch(&keys[..400]);
+        b.insert_batch(&keys[200..]);
+        a.merge(&b).unwrap();
+        let counts = a.count_batch(&keys);
+        for (i, &c) in counts.iter().enumerate() {
+            let want = if (200..400).contains(&i) { 2 } else { 1 };
+            assert_eq!(c, want, "key {i}");
+        }
+        a.core().check_invariants();
+
+        // Merging two near-full filters must refuse with NeedsGrowth and
+        // leave the target unchanged.
+        let mut c = filter(12);
+        let d = filter(12);
+        let n = ((1usize << 12) as f64 * 0.85) as usize;
+        assert_eq!(c.insert_batch(&hashed_keys(72, n)), 0);
+        assert_eq!(d.insert_batch(&hashed_keys(73, n)), 0);
+        let items_before = c.core().items();
+        match c.merge(&d) {
+            Err(FilterError::NeedsGrowth { .. }) => {}
+            other => panic!("expected NeedsGrowth, got {other:?}"),
+        }
+        assert_eq!(c.core().items(), items_before, "refused merge must not mutate");
+        // Growing first makes the same merge succeed.
+        c.grow(2).unwrap();
+        c.merge(&d).unwrap();
+        assert_eq!(c.core().items(), 2 * items_before);
+    }
+
+    #[test]
+    fn grown_filters_remain_mergeable() {
+        use filter_core::MaintainableFilter;
+        // Same spec, different grow histories: p = q + r stays equal, so
+        // merge still works.
+        let mut a = BulkGqf::new_cori(12, 16).unwrap();
+        let b = BulkGqf::new_cori(12, 16).unwrap();
+        let keys = hashed_keys(74, 800);
+        a.insert_batch(&keys[..400]);
+        b.insert_batch(&keys[400..]);
+        a.grow(2).unwrap();
+        a.merge(&b).unwrap();
+        let counts = a.count_batch(&keys);
+        assert!(counts.iter().all(|&c| c >= 1), "all keys present after grow+merge");
+        // Mismatched p is refused.
+        let narrow = BulkGqf::new_cori(12, 8).unwrap();
+        assert!(a.merge(&narrow).is_err());
+    }
+
+    #[test]
+    fn dyn_facade_routes_the_capacity_lifecycle() {
+        use filter_core::FilterSpec;
+        let spec = FilterSpec::items(500).fp_rate(4e-3).counting(true);
+        let mut f: filter_core::AnyFilter = Box::new(BulkGqf::from_spec(&spec).unwrap());
+        let other: filter_core::AnyFilter = Box::new(BulkGqf::from_spec(&spec).unwrap());
+        assert!(f.supports_growth());
+        assert!(f.features().supports_growth());
+        assert_eq!(f.bulk_insert(&[1, 2, 3]).unwrap(), 0);
+        assert_eq!(other.bulk_insert(&[3, 4]).unwrap(), 0);
+        let before = f.load().unwrap();
+        f.grow(2).unwrap();
+        assert!(f.load().unwrap() < before);
+        f.merge_from(&*other).unwrap();
+        assert_eq!(f.bulk_count(&[1, 2, 3, 4, 5]).unwrap(), vec![1, 1, 2, 1, 0]);
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub mod layout;
 pub mod point;
 pub mod runs;
 
-pub use bulk::BulkGqf;
+pub use bulk::{refill_core, BulkGqf};
 pub use core::GqfCore;
 pub use layout::{Layout, REGION_SLOTS};
 pub use point::PointGqf;

@@ -11,6 +11,7 @@
 
 use filter_core::fingerprint::{EMPTY, TOMBSTONE};
 use filter_core::hash::{double_hash_probe, hash64_seeded};
+use filter_core::FilterError;
 use gpu_sim::GpuBuffer;
 
 /// Maximum probe length before an insert/query gives up (the paper's
@@ -23,9 +24,18 @@ const SEED_H1: u64 = 0xbac_c1e5;
 const SEED_H2: u64 = 0x00dd_ba11;
 
 /// Double-hashing overflow table storing the same fingerprints as the
-/// main table.
+/// main table, plus — a deviation from the paper recorded for the PR 5
+/// capacity lifecycle — the spilled item itself. The paper's backing
+/// stores only fingerprints; retaining the 64-bit key (≈0.64 extra bits
+/// per *main-table* slot at the 1/100 sizing) is what lets maintenance
+/// migrations re-probe spilled items: a grow drains the backing into the
+/// enlarged main table, and a merge re-probes the partner's spilled items
+/// instead of requiring its exact slot layout.
 pub struct BackingTable {
     slots: GpuBuffer,
+    /// Spilled item per occupied slot (valid wherever `slots` holds a
+    /// live fingerprint; written exclusively by the slot's CAS winner).
+    keys: GpuBuffer,
     n_slots: u64,
 }
 
@@ -36,7 +46,11 @@ impl BackingTable {
     pub fn for_main_table(main_slots: usize, fp_bits: u32) -> Self {
         let want = (main_slots / 100).max(64);
         let n = want.next_power_of_two();
-        BackingTable { slots: GpuBuffer::new(n, fp_bits), n_slots: n as u64 }
+        BackingTable {
+            slots: GpuBuffer::new(n, fp_bits),
+            keys: GpuBuffer::new(n, 64),
+            n_slots: n as u64,
+        }
     }
 
     /// Number of slots.
@@ -44,9 +58,9 @@ impl BackingTable {
         self.n_slots as usize
     }
 
-    /// Allocated bytes.
+    /// Allocated bytes (fingerprint slots + retained keys).
     pub fn bytes(&self) -> usize {
-        self.slots.bytes()
+        self.slots.bytes() + self.keys.bytes()
     }
 
     #[inline]
@@ -67,7 +81,12 @@ impl BackingTable {
                     break; // occupied by someone else; next probe
                 }
                 match self.slots.cas(slot, cur, fp) {
-                    Ok(()) => return true,
+                    Ok(()) => {
+                        // CAS winner owns the slot; the key write races
+                        // with nobody.
+                        self.keys.write(slot, key);
+                        return true;
+                    }
                     Err(actual) if actual == EMPTY || actual == TOMBSTONE => continue,
                     Err(_) => break,
                 }
@@ -110,6 +129,39 @@ impl BackingTable {
     /// Occupied slots (host-side scan; used by tests and space accounting).
     pub fn occupied(&self) -> usize {
         self.slots.to_vec().iter().filter(|&&v| v != EMPTY && v != TOMBSTONE).count()
+    }
+
+    /// Enumerate the live `(key, fingerprint)` entries in slot order
+    /// (host-side; deterministic) — the migration source for grow/merge.
+    pub fn entries(&self) -> Vec<(u64, u64)> {
+        (0..self.n_slots as usize)
+            .filter_map(|slot| {
+                let fp = self.slots.read_free(slot);
+                if fp == EMPTY || fp == TOMBSTONE {
+                    None
+                } else {
+                    Some((self.keys.read_free(slot), fp))
+                }
+            })
+            .collect()
+    }
+
+    /// A fresh table with this table's contents re-probed in slot order —
+    /// used by merges to build the union off to the side before
+    /// committing. Fails only if a probe sequence exhausts (the table is
+    /// effectively full).
+    pub fn reprobed_clone(&self) -> Result<BackingTable, FilterError> {
+        let clone = BackingTable {
+            slots: GpuBuffer::new(self.n_slots as usize, self.slots.elem_bits()),
+            keys: GpuBuffer::new(self.n_slots as usize, 64),
+            n_slots: self.n_slots,
+        };
+        for (key, fp) in self.entries() {
+            if !clone.insert(key, fp) {
+                return Err(FilterError::Full);
+            }
+        }
+        Ok(clone)
     }
 }
 
@@ -183,6 +235,39 @@ mod tests {
         assert!(stored <= 64);
         assert!(stored > 32, "double hashing should fill most of a small table, got {stored}");
         assert_eq!(b.occupied(), stored);
+    }
+
+    #[test]
+    fn entries_enumerate_live_keys_with_fingerprints() {
+        let b = BackingTable::for_main_table(100_000, 16);
+        for key in 0..100u64 {
+            assert!(b.insert(key, fp_of(key)));
+        }
+        assert!(b.remove(50, fp_of(50)));
+        let entries = b.entries();
+        assert_eq!(entries.len(), 99);
+        for (key, fp) in entries {
+            assert_ne!(key, 50, "tombstoned entry must not enumerate");
+            assert_eq!(fp, fp_of(key), "key and fingerprint must pair up");
+        }
+    }
+
+    #[test]
+    fn reprobed_clone_compacts_tombstones_and_keeps_members() {
+        let b = BackingTable::for_main_table(100_000, 16);
+        for key in 0..200u64 {
+            assert!(b.insert(key, fp_of(key)));
+        }
+        for key in 0..100u64 {
+            assert!(b.remove(key, fp_of(key)));
+        }
+        let clone = b.reprobed_clone().unwrap();
+        for key in 100..200u64 {
+            assert!(clone.contains(key, fp_of(key)), "key {key} lost in reprobe");
+        }
+        assert_eq!(clone.occupied(), 100);
+        // The original is untouched.
+        assert_eq!(b.occupied(), 100);
     }
 
     #[test]

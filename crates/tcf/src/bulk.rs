@@ -58,6 +58,14 @@ pub struct BulkTcf {
     values: Option<GpuBuffer>,
     backing: BackingTable,
     n_blocks: usize,
+    /// Doubling generations applied since construction. A grown table
+    /// addresses blocks as `(base_block << levels) | (fp & mask(levels))`
+    /// — the POTC hashes pick the *base* block and the fingerprint's low
+    /// bits pick the child — so a stored fingerprint alone determines
+    /// where it migrates on the next doubling (the Cuckoo-GPU
+    /// fingerprint-migration primitive). At `levels == 0` this is exactly
+    /// the ungrown addressing.
+    grow_levels: u32,
     occupied: AtomicUsize,
     device: Device,
 }
@@ -89,6 +97,7 @@ impl BulkTcf {
             values: None,
             backing: BackingTable::for_main_table(n_slots, cfg.fp_bits),
             n_blocks,
+            grow_levels: 0,
             occupied: AtomicUsize::new(0),
             device,
             cfg,
@@ -166,8 +175,15 @@ impl BulkTcf {
 
     #[inline]
     fn blocks_of(&self, key: u64) -> (usize, usize) {
-        let (b1, b2) = HashPair::new(key).blocks(self.n_blocks as u64);
-        (b1 as usize, b2 as usize)
+        let levels = self.grow_levels;
+        let (b1, b2) = HashPair::new(key).blocks((self.n_blocks >> levels) as u64);
+        if levels == 0 {
+            return (b1 as usize, b2 as usize);
+        }
+        // Grown table: the fingerprint's low bits select the child block,
+        // so placement stays derivable from stored state alone.
+        let sub = (self.fp_of(key) & ((1u64 << levels) - 1)) as usize;
+        (((b1 as usize) << levels) | sub, ((b2 as usize) << levels) | sub)
     }
 
     /// Length of the sorted live prefix of a staged block.
@@ -387,6 +403,229 @@ impl BulkTcf {
         self.backing.occupied()
     }
 
+    /// Doubling generations applied since construction.
+    pub fn grow_levels(&self) -> u32 {
+        self.grow_levels
+    }
+
+    /// Read one block's live `(fingerprint, value)` prefix (values 0
+    /// without a store). Shared by the grow/merge migrations.
+    fn block_entries(&self, block: usize) -> Vec<(u64, u64)> {
+        let b = self.cfg.block_slots;
+        let start = block * b;
+        let view = self.table.load_span(start, b);
+        let live = Self::prefix_len(&view, start, b);
+        let vals = self.values.as_ref().map(|vb| vb.load_span(start, b));
+        (0..live)
+            .map(|i| (view.get(start + i), vals.as_ref().map_or(0, |v| v.get(start + i))))
+            .collect()
+    }
+
+    /// Entries of `self`'s block `src` that belong in child block `dst`
+    /// of a table with `dst_levels` doubling generations (`dst_levels >=
+    /// self.grow_levels`): the fingerprint's low `dst_levels` bits must
+    /// spell `dst`'s sub-index. Order (sorted) is preserved.
+    fn entries_for_child(&self, src: usize, dst: usize, dst_levels: u32) -> Vec<(u64, u64)> {
+        let mask = (1u64 << dst_levels) - 1;
+        let want = dst as u64 & mask;
+        let mut entries = self.block_entries(src);
+        entries.retain(|&(fp, _)| fp & mask == want);
+        entries
+    }
+}
+
+impl filter_core::MaintainableFilter for BulkTcf {
+    fn load(&self) -> f64 {
+        self.load_factor().clamp(0.0, 1.0)
+    }
+
+    /// Double the block array `log2(factor)` times in one migration pass.
+    /// Every old block splits into `factor` children; a stored
+    /// fingerprint's low bits pick its child, so migration is a pure
+    /// function of stored state — each child has exactly one parent and
+    /// one owning worker, making the grown table bit-identical under any
+    /// worker budget. The backing table (which retains its spilled items'
+    /// keys) is then drained through the normal placement passes: the
+    /// enlarged blocks absorb the old overflow, and a fresh backing sized
+    /// for the new table takes whatever still spills.
+    fn grow(&mut self, factor: u32) -> Result<(), FilterError> {
+        let d = filter_core::growth_steps(factor)?;
+        let new_levels = self.grow_levels + d;
+        // Each level consumes one low fingerprint bit for child selection;
+        // keep at least 8 bits of residual fingerprint entropy.
+        if new_levels + 8 > self.cfg.fp_bits {
+            return Err(FilterError::BadConfig(format!(
+                "cannot grow to {new_levels} levels with {}-bit fingerprints",
+                self.cfg.fp_bits
+            )));
+        }
+        let b = self.cfg.block_slots;
+        let old_levels = self.grow_levels;
+        let new_blocks = self.n_blocks << d;
+        let new_table = GpuBuffer::new(new_blocks * b, self.cfg.fp_bits);
+        let new_values =
+            self.values.as_ref().map(|v| GpuBuffer::new(new_blocks * b, v.elem_bits()));
+
+        let new_table_ref = &new_table;
+        let new_values_ref = &new_values;
+        self.device.launch_regions(new_blocks, |nb| {
+            // The one parent whose entries can land in child `nb`: same
+            // base block, same low `old_levels` fingerprint bits.
+            let parent = ((nb >> new_levels) << old_levels) | (nb & ((1usize << old_levels) - 1));
+            let entries = self.entries_for_child(parent, nb, new_levels);
+            if entries.is_empty() {
+                return;
+            }
+            let mut fps: Vec<u64> = entries.iter().map(|&(fp, _)| fp).collect();
+            fps.resize(b, EMPTY);
+            new_table_ref.write_span_coalesced(nb * b, &fps);
+            if let Some(vb) = new_values_ref.as_ref() {
+                let mut vals: Vec<u64> = entries.iter().map(|&(_, v)| v).collect();
+                vals.resize(b, 0);
+                vb.write_span_coalesced(nb * b, &vals);
+            }
+        });
+
+        // Commit the enlarged geometry, keeping the old state aside so a
+        // drain failure below can restore it ("on error the filter is
+        // unchanged" — the MaintainableFilter contract).
+        let old_table = std::mem::replace(&mut self.table, new_table);
+        let old_values = std::mem::replace(&mut self.values, new_values);
+        let old_backing = std::mem::replace(
+            &mut self.backing,
+            BackingTable::for_main_table(new_blocks * b, self.cfg.fp_bits),
+        );
+        let old_blocks = std::mem::replace(&mut self.n_blocks, new_blocks);
+        self.grow_levels = new_levels;
+
+        // Drain the old backing into the enlarged table: re-insert each
+        // spilled item through the normal placement passes (slot order →
+        // deterministic), spilling into the fresh, proportionally larger
+        // backing only if its two (now half-empty) blocks are somehow
+        // still full.
+        let spilled = old_backing.entries();
+        if !spilled.is_empty() {
+            self.occupied.fetch_sub(spilled.len(), Ordering::Relaxed);
+            let items: Vec<Item> = spilled
+                .iter()
+                .enumerate()
+                .map(|(i, &(key, fp))| Item { key, fp, val: 0, idx: i })
+                .collect();
+            let failures = self.insert_items(items, true);
+            if !failures.is_empty() {
+                // Both candidate blocks and the fresh backing refused an
+                // item straight after capacity doubled — not a reachable
+                // state at sane loads, but if it happens, roll the whole
+                // grow back rather than lose the spilled keys.
+                self.table = old_table;
+                self.values = old_values;
+                self.backing = old_backing;
+                self.n_blocks = old_blocks;
+                self.grow_levels = old_levels;
+                // `insert_items` already re-counted the drains it
+                // accepted; restoring the failed remainder lands the
+                // counter exactly where it started.
+                self.occupied.fetch_add(failures.len(), Ordering::Relaxed);
+                return Err(FilterError::Full);
+            }
+        }
+        Ok(())
+    }
+
+    /// Absorb `other`'s contents. Requires the same block geometry and
+    /// base block count; `other` may have *fewer* doubling generations
+    /// (its entries re-split into this table's children during the
+    /// merge). The union is built into fresh buffers first, so a refusal
+    /// — a child block without room ([`FilterError::NeedsGrowth`]: grow
+    /// and retry) or a backing-slot collision — leaves `self` untouched.
+    fn merge(&mut self, other: &Self) -> Result<(), FilterError> {
+        if self.cfg.block_slots != other.cfg.block_slots
+            || self.cfg.fp_bits != other.cfg.fp_bits
+            || (self.n_blocks >> self.grow_levels) != (other.n_blocks >> other.grow_levels)
+            || self.values.is_some() != other.values.is_some()
+        {
+            return Err(FilterError::BadConfig(
+                "TCF merge requires the same base geometry (block size, fingerprint width, \
+                 base block count, value store)"
+                    .into(),
+            ));
+        }
+        if other.grow_levels > self.grow_levels {
+            return Err(FilterError::needs_growth(self.load_factor()));
+        }
+        let b = self.cfg.block_slots;
+        let ls = self.grow_levels;
+        let lo = other.grow_levels;
+        let new_table = GpuBuffer::new(self.n_blocks * b, self.cfg.fp_bits);
+        let new_values =
+            self.values.as_ref().map(|v| GpuBuffer::new(self.n_blocks * b, v.elem_bits()));
+        let overflow = AtomicBool::new(false);
+
+        let new_table_ref = &new_table;
+        let new_values_ref = &new_values;
+        let overflow_ref = &overflow;
+        self.device.launch_regions(self.n_blocks, |nb| {
+            let mine = self.block_entries(nb);
+            let parent = ((nb >> ls) << lo) | (nb & ((1usize << lo) - 1));
+            let theirs = other.entries_for_child(parent, nb, ls);
+            if mine.len() + theirs.len() > b {
+                overflow_ref.store(true, Ordering::Relaxed);
+                return;
+            }
+            if mine.is_empty() && theirs.is_empty() {
+                return;
+            }
+            // Merge the two sorted runs, values travelling with their
+            // fingerprints.
+            let mut merged = Vec::with_capacity(mine.len() + theirs.len());
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < mine.len() && j < theirs.len() {
+                if mine[i].0 <= theirs[j].0 {
+                    merged.push(mine[i]);
+                    i += 1;
+                } else {
+                    merged.push(theirs[j]);
+                    j += 1;
+                }
+            }
+            merged.extend_from_slice(&mine[i..]);
+            merged.extend_from_slice(&theirs[j..]);
+            let mut fps: Vec<u64> = merged.iter().map(|&(fp, _)| fp).collect();
+            fps.resize(b, EMPTY);
+            new_table_ref.write_span_coalesced(nb * b, &fps);
+            if let Some(vb) = new_values_ref.as_ref() {
+                let mut vals: Vec<u64> = merged.iter().map(|&(_, v)| v).collect();
+                vals.resize(b, 0);
+                vb.write_span_coalesced(nb * b, &vals);
+            }
+        });
+        if overflow.load(Ordering::Relaxed) {
+            return Err(FilterError::needs_growth(self.load_factor()));
+        }
+        // Union the backings by re-probing: both sides retain their
+        // spilled items' keys, so the partner's entries probe into a
+        // fresh copy of ours regardless of the two tables' sizes. A probe
+        // exhaustion means the backing is saturated — NeedsGrowth, since
+        // a grow drains the backing into the enlarged main table.
+        let new_backing = match self.backing.reprobed_clone() {
+            Ok(clone) => clone,
+            Err(_) => return Err(FilterError::needs_growth(self.load_factor())),
+        };
+        for (key, fp) in other.backing.entries() {
+            if !new_backing.insert(key, fp) {
+                return Err(FilterError::needs_growth(self.load_factor()));
+            }
+        }
+
+        self.table = new_table;
+        self.values = new_values;
+        self.backing = new_backing;
+        self.occupied.fetch_add(other.occupied.load(Ordering::Relaxed), Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+impl BulkTcf {
     /// Insert a batch; returns the number of items that could not be
     /// placed anywhere (0 on success).
     pub fn insert_batch(&self, keys: &[u64]) -> usize {
@@ -698,6 +937,7 @@ impl FilterMeta for BulkTcf {
             .with(Operation::Insert, ApiMode::Bulk)
             .with(Operation::Query, ApiMode::Bulk)
             .with(Operation::Delete, ApiMode::Bulk)
+            .with_growth()
     }
 
     fn table_bytes(&self) -> usize {
@@ -762,6 +1002,7 @@ impl filter_core::DynFilter for BulkTcf {
 
     filter_core::dyn_forward_bulk!();
     filter_core::dyn_forward_bulk_delete!();
+    filter_core::dyn_forward_maintain!(BulkTcf);
 }
 
 #[cfg(test)]
@@ -947,6 +1188,139 @@ mod tests {
                 "probe outcomes diverge at workers={workers}"
             );
         }
+    }
+
+    #[test]
+    fn grow_preserves_membership_and_halves_load() {
+        use filter_core::MaintainableFilter;
+        let mut f = BulkTcf::new(1 << 12).unwrap();
+        let keys = hashed_keys(80, 3000);
+        assert_eq!(f.insert_batch(&keys), 0);
+        let load_before = f.load();
+        let slots_before = f.slots();
+        f.grow(2).unwrap();
+        assert_eq!(f.slots(), 2 * slots_before);
+        assert_eq!(f.grow_levels(), 1);
+        assert!((f.load() - load_before / 2.0).abs() < 1e-9, "load must halve");
+        let mut out = vec![false; keys.len()];
+        f.query_batch(&keys, &mut out);
+        assert!(out.iter().all(|&x| x), "zero false negatives across a grow");
+        // The grown filter keeps ingesting and deleting normally.
+        let more = hashed_keys(81, 3000);
+        assert_eq!(f.insert_batch(&more), 0);
+        assert_eq!(f.delete_batch(&keys[..1000]), 0);
+        let mut out = vec![false; more.len()];
+        f.query_batch(&more, &mut out);
+        assert!(out.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn grow_keeps_fp_rate_in_class() {
+        use filter_core::MaintainableFilter;
+        let mut f = BulkTcf::new(1 << 12).unwrap();
+        let keys = hashed_keys(82, (f.slots() as f64 * 0.85) as usize);
+        assert_eq!(f.insert_batch(&keys), 0);
+        let probes = hashed_keys(8200, 100_000);
+        let fp_at = |f: &BulkTcf| {
+            let mut out = vec![false; probes.len()];
+            f.query_batch(&probes, &mut out);
+            out.iter().filter(|&&x| x).count() as f64 / probes.len() as f64
+        };
+        let before = fp_at(&f);
+        f.grow(2).unwrap();
+        let after = fp_at(&f);
+        // Halved per-block occupancy compensates the sub-index bit: the
+        // realized rate stays within 2x (it barely moves in practice).
+        assert!(after <= before * 2.0 + 1e-3, "fp {before} -> {after}");
+    }
+
+    #[test]
+    fn grow_values_travel_with_fingerprints() {
+        use filter_core::MaintainableFilter;
+        let mut f = BulkTcf::new(1 << 12).unwrap().with_values(32).unwrap();
+        let keys = hashed_keys(83, 2000);
+        let pairs: Vec<(u64, u64)> = keys.iter().map(|&k| (k, k & 0xffff_ffff)).collect();
+        assert_eq!(f.insert_values_batch(&pairs), 0);
+        f.grow(4).unwrap();
+        let got = f.query_values_batch(&keys);
+        let exact = keys.iter().zip(&got).filter(|&(&k, v)| *v == Some(k & 0xffff_ffff)).count();
+        assert!(exact as f64 / keys.len() as f64 > 0.99, "exact {exact}/{}", keys.len());
+    }
+
+    #[test]
+    fn grown_table_is_identical_under_any_worker_budget() {
+        use filter_core::{MaintainableFilter, Parallelism};
+        let spec = FilterSpec::items(4000).fp_rate(0.004);
+        let keys = hashed_keys(84, 4000);
+        let probes = hashed_keys(85, 40_000);
+        let build = |p: Parallelism| {
+            let mut f = BulkTcf::from_spec(&spec.clone().parallelism(p)).unwrap();
+            assert_eq!(f.insert_batch(&keys), 0);
+            f.grow(2).unwrap();
+            assert_eq!(f.insert_batch(&probes[..2000]), 0);
+            f
+        };
+        let oracle = build(Parallelism::Sequential);
+        let oracle_fps = oracle.enumerate_fingerprints();
+        let oracle_hits = oracle.bulk_query_vec(&probes);
+        for workers in [1u32, 2, 8] {
+            let f = build(Parallelism::Threads(workers));
+            assert_eq!(f.enumerate_fingerprints(), oracle_fps, "w={workers}");
+            assert_eq!(f.bulk_query_vec(&probes), oracle_hits, "w={workers}");
+        }
+    }
+
+    #[test]
+    fn merge_absorbs_another_filter_and_refuses_when_tight() {
+        use filter_core::MaintainableFilter;
+        let mut a = BulkTcf::new(1 << 12).unwrap();
+        let b = BulkTcf::new(1 << 12).unwrap();
+        let keys = hashed_keys(86, 2600);
+        assert_eq!(a.insert_batch(&keys[..1300]), 0);
+        assert_eq!(b.insert_batch(&keys[1300..]), 0);
+        a.merge(&b).unwrap();
+        let mut out = vec![false; keys.len()];
+        a.query_batch(&keys, &mut out);
+        assert!(out.iter().all(|&x| x), "merge must keep both sides' keys");
+
+        // Two near-full filters exceed block capacity: NeedsGrowth, state
+        // unchanged; growing first makes it succeed.
+        let mut c = BulkTcf::new(1 << 10).unwrap();
+        let d = BulkTcf::new(1 << 10).unwrap();
+        let n = (c.slots() as f64 * 0.85) as usize;
+        assert_eq!(c.insert_batch(&hashed_keys(87, n)), 0);
+        assert_eq!(d.insert_batch(&hashed_keys(88, n)), 0);
+        let before = c.enumerate_fingerprints();
+        match c.merge(&d) {
+            Err(FilterError::NeedsGrowth { .. }) => {}
+            other => panic!("expected NeedsGrowth, got {other:?}"),
+        }
+        assert_eq!(c.enumerate_fingerprints(), before, "refused merge must not mutate");
+        c.grow(4).unwrap();
+        c.merge(&d).unwrap();
+        let keys_d = hashed_keys(88, n);
+        assert!(c.bulk_query_vec(&keys_d).iter().all(|&h| h));
+    }
+
+    #[test]
+    fn merge_respects_geometry_preconditions() {
+        use filter_core::MaintainableFilter;
+        let mut a = BulkTcf::new(1 << 12).unwrap();
+        // Different base block count.
+        let b = BulkTcf::new(1 << 13).unwrap();
+        assert!(a.merge(&b).is_err());
+        // Value-store mismatch.
+        let c = BulkTcf::new(1 << 12).unwrap().with_values(16).unwrap();
+        assert!(a.merge(&c).is_err());
+        // A more-grown partner cannot merge downward...
+        let mut d = BulkTcf::new(1 << 12).unwrap();
+        d.grow(2).unwrap();
+        assert!(matches!(a.merge(&d), Err(FilterError::NeedsGrowth { .. })));
+        // ...but the grown side absorbs the ungrown side fine.
+        let keys = hashed_keys(89, 1000);
+        assert_eq!(a.insert_batch(&keys), 0);
+        d.merge(&a).unwrap();
+        assert!(d.bulk_query_vec(&keys).iter().all(|&h| h));
     }
 
     #[test]

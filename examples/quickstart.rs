@@ -67,7 +67,36 @@ fn main() -> Result<(), FilterError> {
     assert_eq!(seq.bulk_query_vec(&keys)?, par.bulk_query_vec(&keys)?);
     println!("Parallelism knob: 4-worker build answers identically to sequential ✓");
 
-    // ---- 5. Or sweep every filter in the workspace ---------------------
+    // ---- 5. Let capacity be a lifecycle, not a constant ----------------
+    // Under `GrowthPolicy::Auto`, growable kinds (bulk TCF/GQF, SQF,
+    // RSQF — see the feature matrix's Grow column) never surface
+    // capacity failures: when the load crosses the threshold or a key
+    // fails for space, the filter grows in place (quotient-bit extension
+    // for the GQF family, block-array doubling for the TCF) and the
+    // failed keys are retried. Here a filter sized for 4k items absorbs
+    // 40k without a single failure.
+    let small_spec = FilterSpec::items(1 << 12).fp_rate(1e-3).growth(GrowthPolicy::AUTO_DEFAULT);
+    let growing = build_filter(FilterKind::TcfBulk, &small_spec)?;
+    let before = growing.capacity_slots();
+    assert_eq!(growing.bulk_insert(&keys)?, 0, "auto-growth absorbs 10x the spec capacity");
+    assert!(growing.bulk_query_vec(&keys)?.iter().all(|&h| h));
+    println!(
+        "GrowthPolicy::Auto: {} keys into a {}-slot spec, grown to {} slots, 0 failures ✓",
+        keys.len(),
+        before,
+        growing.capacity_slots()
+    );
+    // The capability surface is also explicit: load / grow / merge.
+    let mut a = build_filter(FilterKind::GqfBulk, &FilterSpec::items(4096).counting(true))?;
+    let b = build_filter(FilterKind::GqfBulk, &FilterSpec::items(4096).counting(true))?;
+    a.bulk_insert(&[1, 2, 3])?;
+    b.bulk_insert(&[3, 4])?;
+    a.grow(2)?; // twice the slots, same answers
+    a.merge_from(&*b)?; // absorb b (counts sum)
+    assert_eq!(a.bulk_count(&[1, 2, 3, 4])?, vec![1, 1, 2, 1]);
+    println!("Lifecycle surface: grow(2) + merge kept every count exact ✓");
+
+    // ---- 6. Or sweep every filter in the workspace ---------------------
     // The benchmark tables are generated exactly this way.
     println!("\nregistry sweep at {} items:", spec.capacity);
     for (kind, built) in all_filters(&spec) {

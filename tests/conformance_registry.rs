@@ -196,6 +196,66 @@ fn from_spec_is_idempotent_for_every_kind() {
 }
 
 #[test]
+fn grow_preserves_membership_and_fp_class_for_growable_kinds() {
+    // PR 5 growth oracle, conformance half: for every kind reporting
+    // `supports_growth`, a filter grown mid-workload keeps zero false
+    // negatives and a realized fp rate within 2x the construction target.
+    let ks = keys(0xc8f, ITEMS);
+    let probes = keys(0xc9f, 120_000);
+    let mut any = 0;
+    for kind in FilterKind::ALL {
+        let target = eps(kind);
+        let mut f = build_filter(kind, &FilterSpec::items(ITEMS as u64).fp_rate(target)).unwrap();
+        if !f.supports_growth() {
+            assert!(matches!(f.grow(2), Err(FilterError::Unsupported(_))), "{kind}");
+            continue;
+        }
+        any += 1;
+        // Split the workload around the grow: half before, half after.
+        assert_eq!(load(&f, &ks[..ITEMS / 2]), 0, "{kind}");
+        let load_before = f.load().unwrap();
+        let slots_before = f.capacity_slots();
+        f.grow(2).unwrap_or_else(|e| panic!("{kind}: grow: {e}"));
+        assert!(f.load().unwrap() < load_before, "{kind}: load must drop across a grow");
+        assert!(f.capacity_slots() > slots_before, "{kind}: capacity must increase");
+        assert_eq!(load(&f, &ks[ITEMS / 2..]), 0, "{kind}");
+        for (i, ok) in hits(&f, &ks).iter().enumerate() {
+            assert!(ok, "{kind}: key {i} lost across the grow");
+        }
+        let fp = hits(&f, &probes).iter().filter(|&&h| h).count() as f64 / probes.len() as f64;
+        assert!(fp <= target * 2.0, "{kind}: post-grow fp {fp} vs target {target}");
+    }
+    assert!(any >= 4, "expected at least TCF-bulk/GQF-bulk/SQF/RSQF to be growable");
+}
+
+#[test]
+fn merge_unions_filters_for_growable_kinds() {
+    let ks = keys(0xcaf, ITEMS);
+    for kind in FilterKind::ALL {
+        let spec = FilterSpec::items(ITEMS as u64).fp_rate(eps(kind));
+        let mut a = build_filter(kind, &spec).unwrap();
+        if !a.supports_growth() {
+            continue;
+        }
+        let b = build_filter(kind, &spec).unwrap();
+        assert_eq!(load(&a, &ks[..ITEMS / 2]), 0, "{kind}");
+        assert_eq!(load(&b, &ks[ITEMS / 2..]), 0, "{kind}");
+        // Merge may legitimately demand growth first; obey it like the
+        // serving layer does.
+        for _ in 0..4 {
+            match a.merge_from(&*b) {
+                Ok(()) => break,
+                Err(FilterError::NeedsGrowth { .. }) => a.grow(2).unwrap(),
+                Err(e) => panic!("{kind}: merge: {e}"),
+            }
+        }
+        for (i, ok) in hits(&a, &ks).iter().enumerate() {
+            assert!(ok, "{kind}: key {i} missing from the merged filter");
+        }
+    }
+}
+
+#[test]
 fn all_filters_reports_errors_instead_of_panicking() {
     // A spec no quotient-family backend can honour at this size: every
     // kind either builds or yields a clean error.

@@ -136,12 +136,20 @@ fn assert_no_false_negatives(
     }
 }
 
-#[test]
-fn randomized_trace_matches_ground_truth_for_every_kind() {
-    for kind in FilterKind::ALL {
+/// Drive one kind through the randomized differential trace. When
+/// `grow_rounds` is true (and the kind supports growth), the filter is
+/// grown 2x mid-trace after rounds 2 and 5 — the PR 5 growth oracle's
+/// differential half: the ground-truth contract must hold across live
+/// migrations exactly as it does on a fixed-capacity filter.
+fn run_differential_trace(kind: FilterKind, grow_rounds: bool) {
+    {
         let target = eps(kind);
         let spec = FilterSpec::items(ITEMS).fp_rate(target);
-        let f = build_filter(kind, &spec).unwrap_or_else(|e| panic!("{kind}: {e}"));
+        let mut f = build_filter(kind, &spec).unwrap_or_else(|e| panic!("{kind}: {e}"));
+        let growable = f.supports_growth();
+        if grow_rounds && !growable {
+            return;
+        }
         let path = delete_path(kind);
 
         // Seed the trace from the kind's name so each kind gets its own
@@ -167,6 +175,18 @@ fn randomized_trace_matches_ground_truth_for_every_kind() {
                 *truth.entry(k).or_insert(0) += 1;
             }
 
+            // -- mid-trace growth: the migration must be invisible to the
+            //    ground-truth contract --
+            if grow_rounds && (round == 2 || round == 5) {
+                let load_before = f.load().unwrap_or_else(|e| panic!("{kind}: load: {e}"));
+                f.grow(2).unwrap_or_else(|e| panic!("{kind}: grow in round {round}: {e}"));
+                let load_after = f.load().unwrap();
+                assert!(
+                    load_after < load_before,
+                    "{kind}: load {load_before} -> {load_after} across grow"
+                );
+            }
+
             // -- queries: every live key must still be present --
             assert_no_false_negatives(kind, &f, &truth, round);
 
@@ -188,7 +208,8 @@ fn randomized_trace_matches_ground_truth_for_every_kind() {
             assert_no_false_negatives(kind, &f, &truth, round);
         }
 
-        // -- fp bound: disjoint probes, realized ε within 2× of target --
+        // -- fp bound: disjoint probes, realized ε within 2× of target
+        //    (grown filters included) --
         let mut probes = filter_core::hashed_keys(0xfeed ^ seed, PROBES);
         probes.retain(|k| !truth.contains_key(k));
         let fps = query_all(&f, &probes).iter().filter(|&&h| h).count();
@@ -197,5 +218,19 @@ fn randomized_trace_matches_ground_truth_for_every_kind() {
             fp_rate <= 2.0 * target,
             "{kind}: realized fp rate {fp_rate:.5} exceeds 2x target {target:.5}"
         );
+    }
+}
+
+#[test]
+fn randomized_trace_matches_ground_truth_for_every_kind() {
+    for kind in FilterKind::ALL {
+        run_differential_trace(kind, false);
+    }
+}
+
+#[test]
+fn randomized_trace_with_interleaved_grows_matches_ground_truth() {
+    for kind in FilterKind::ALL {
+        run_differential_trace(kind, true);
     }
 }

@@ -226,6 +226,139 @@ fn service_over_parallel_backend_loses_no_outcomes_under_mixed_handles() {
 }
 
 #[test]
+fn service_scale_out_loses_no_outcomes_under_live_traffic() {
+    // The PR 5 acceptance gate for the serving layer: resize_shards
+    // doubles the fleet twice while blocking and pipelined clients keep
+    // hammering the service. Every acknowledged key must survive every
+    // migration, no call may error, and the ServiceStats ledger must
+    // balance (inserts+deletes+queries accepted == flushed, zero
+    // rejected, with the scale-outs and migrations recorded).
+    use gpu_filters::{FilterSpec, GrowthPolicy};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::Duration;
+
+    const CLIENTS: usize = 3;
+    const KEYS_PER_CLIENT: usize = 3000;
+
+    let shard_spec = FilterSpec::items(4 * KEYS_PER_CLIENT as u64).fp_rate(4e-3);
+    let mut service = ShardedFilterBuilder::new()
+        .shards(2)
+        .batch_capacity(256)
+        .linger(Duration::from_micros(100))
+        .growth(GrowthPolicy::AUTO_DEFAULT)
+        .build_maintainable_deletable(|_| BulkTcf::from_spec(&shard_spec))
+        .expect("maintainable service");
+
+    let keys = Arc::new(hashed_keys(701, CLIENTS * KEYS_PER_CLIENT));
+    let pipelined = Arc::new(hashed_keys(702, KEYS_PER_CLIENT));
+    let handle = service.handle();
+    let stop = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|s| {
+        // Blocking clients: insert in chunks, re-verifying after each.
+        for t in 0..CLIENTS {
+            let h = handle.clone();
+            let keys = Arc::clone(&keys);
+            s.spawn(move || {
+                let mine = &keys[t * KEYS_PER_CLIENT..(t + 1) * KEYS_PER_CLIENT];
+                for chunk in mine.chunks(500) {
+                    assert_eq!(h.insert_batch(chunk).unwrap(), 0, "client {t} lost inserts");
+                    assert!(
+                        h.query_batch(chunk).unwrap().iter().all(|&x| x),
+                        "client {t} lost keys mid-scale-out"
+                    );
+                }
+            });
+        }
+        // A pipelined client with barriers.
+        {
+            let h = handle.clone();
+            let pipelined = Arc::clone(&pipelined);
+            s.spawn(move || {
+                for chunk in pipelined.chunks(400) {
+                    h.insert_batch_pipelined(chunk).unwrap();
+                }
+                h.barrier().unwrap();
+                assert!(
+                    h.query_batch(&pipelined).unwrap().iter().all(|&x| x),
+                    "pipelined keys lost"
+                );
+            });
+        }
+        // A querying client that churns all through the resizes.
+        {
+            let h = handle.clone();
+            let keys = Arc::clone(&keys);
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let _ = h.query_batch(&keys[..200]).unwrap();
+                }
+            });
+        }
+        // The operator thread: two live doublings while traffic flows.
+        let stop_op = Arc::clone(&stop);
+        let svc = &mut service;
+        s.spawn(move || {
+            for target in [4usize, 8] {
+                std::thread::sleep(Duration::from_millis(5));
+                svc.resize_shards(target, |_| BulkTcf::from_spec(&shard_spec))
+                    .unwrap_or_else(|e| panic!("scale-out to {target}: {e}"));
+                assert_eq!(svc.shard_count(), target);
+            }
+            stop_op.store(true, Ordering::Relaxed);
+        });
+    });
+
+    // Everything acknowledged must still be present after both resizes.
+    let all: Vec<u64> = keys.iter().chain(pipelined.iter()).copied().collect();
+    assert!(handle.query_batch(&all).unwrap().iter().all(|&x| x), "keys lost after scale-out");
+
+    let stats = service.stats();
+    assert_eq!(stats.shards, 8, "final shard count");
+    assert_eq!(stats.scale_outs, 2, "both resizes ledgered");
+    assert!(stats.migration_events >= 4 + 8, "one migration per new shard per resize");
+    assert_eq!(stats.rejected, 0, "no operation rejected during scale-out");
+    assert_eq!(stats.insert_failures, 0, "no capacity failures under the growth policy");
+    assert_eq!(stats.queue_depth, 0, "queues drained");
+    assert_eq!(
+        stats.items_flushed,
+        stats.inserts + stats.deletes + stats.queries,
+        "flushed items must equal accepted operations (zero lost outcomes):\n{}",
+        stats.render()
+    );
+}
+
+#[test]
+fn service_worker_auto_growth_absorbs_overload() {
+    // A service whose shards are sized for a fraction of the traffic:
+    // under GrowthPolicy::Auto the workers must grow their backends and
+    // acknowledge every key, with the grow events ledgered.
+    use gpu_filters::{FilterSpec, GrowthPolicy};
+
+    let shard_spec = FilterSpec::items(500).fp_rate(4e-3);
+    let service = ShardedFilterBuilder::new()
+        .shards(2)
+        .batch_capacity(512)
+        .growth(GrowthPolicy::AUTO_DEFAULT)
+        .build_maintainable_deletable(|_| BulkTcf::from_spec(&shard_spec))
+        .unwrap();
+    let h = service.handle();
+    let keys = hashed_keys(703, 8000); // 8x the service's spec capacity
+    assert_eq!(h.insert_batch(&keys).unwrap(), 0, "growth policy must absorb the overload");
+    assert!(h.query_batch(&keys).unwrap().iter().all(|&x| x));
+
+    let stats = service.stats();
+    assert!(stats.grow_events > 0, "growth must have happened:\n{}", stats.render());
+    assert_eq!(stats.insert_failures, 0, "callers must never see capacity failures");
+    for b in service.backends() {
+        let b = b.read().unwrap();
+        use gpu_filters::MaintainableFilter;
+        assert!(b.load() < 0.9, "backend left above its recommended load");
+    }
+}
+
+#[test]
 fn bloom_concurrent_inserts_never_lose_bits() {
     use gpu_filters::BloomFilter;
     let f = Arc::new(BloomFilter::new(40_000).unwrap());

@@ -210,6 +210,7 @@ fn blocking_deletes_need_no_pre_query() {
     // query was issued on their behalf — the only query calls are the
     // explicit query_batch above.
     let (reports, queries) = service.backends().iter().fold((0, 0), |(r, q), b| {
+        let b = b.read().unwrap();
         (
             r + b.delete_reports.load(std::sync::atomic::Ordering::Relaxed),
             q + b.query_calls.load(std::sync::atomic::Ordering::Relaxed),

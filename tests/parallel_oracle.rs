@@ -168,13 +168,23 @@ fn delete_all(f: &AnyFilter, batch: &[u64]) -> Option<Vec<DeleteOutcome>> {
 }
 
 /// Replay the workload under one parallelism setting, recording every
-/// per-key outcome the caller could observe.
-fn run_trace(kind: FilterKind, workload: &Workload, parallelism: Parallelism) -> Observed {
+/// per-key outcome the caller could observe. With `grow`, the filter is
+/// grown 2x after round 1's inserts — mid-workload, so the migration
+/// itself runs under the worker budget being tested.
+fn run_trace(
+    kind: FilterKind,
+    workload: &Workload,
+    parallelism: Parallelism,
+    grow: bool,
+) -> Observed {
     let spec = FilterSpec::items(ITEMS).fp_rate(eps(kind)).parallelism(parallelism);
-    let f = build_filter(kind, &spec).unwrap_or_else(|e| panic!("{kind}@{parallelism}: {e}"));
+    let mut f = build_filter(kind, &spec).unwrap_or_else(|e| panic!("{kind}@{parallelism}: {e}"));
     let mut obs = Observed::default();
     for round in 0..ROUNDS {
         obs.insert_outcomes.push(insert_all(&f, &workload.inserts[round]));
+        if grow && round == 1 {
+            f.grow(2).unwrap_or_else(|e| panic!("{kind}@{parallelism}: grow: {e}"));
+        }
         obs.query_hits.push(query_all(&f, &workload.inserts[round]));
         if let Some(out) = delete_all(&f, &workload.deletes[round]) {
             obs.delete_outcomes.push(out);
@@ -189,7 +199,7 @@ fn run_trace(kind: FilterKind, workload: &Workload, parallelism: Parallelism) ->
 fn every_kind_is_parallelism_invariant() {
     for kind in FilterKind::ALL {
         let workload = Workload::for_kind(kind);
-        let oracle = run_trace(kind, &workload, Parallelism::Sequential);
+        let oracle = run_trace(kind, &workload, Parallelism::Sequential, false);
         // Sanity: the oracle itself must accept the whole workload (it is
         // sized well under spec capacity) so the comparison is not
         // vacuously about empty filters.
@@ -204,7 +214,7 @@ fn every_kind_is_parallelism_invariant() {
         );
 
         for setting in SETTINGS {
-            let got = run_trace(kind, &workload, setting);
+            let got = run_trace(kind, &workload, setting, false);
             assert_eq!(
                 got.insert_outcomes, oracle.insert_outcomes,
                 "{kind}@{setting}: per-key insert outcomes diverge from sequential"
@@ -226,6 +236,52 @@ fn every_kind_is_parallelism_invariant() {
             );
         }
     }
+}
+
+#[test]
+fn grown_filters_are_bit_identical_at_any_worker_budget() {
+    // PR 5's growth oracle, parallel half: a grow executed mid-workload
+    // is itself a bulk migration (enumerate → sort → phased apply), so it
+    // must be as scheduling-independent as every other bulk path. Same
+    // equality surface as the main oracle — per-key outcomes plus the
+    // exact false-positive *set* — with the grow interleaved after
+    // round 1 under every worker budget.
+    let mut covered = 0;
+    for kind in FilterKind::ALL {
+        let spec = FilterSpec::items(ITEMS).fp_rate(eps(kind));
+        if !build_filter(kind, &spec).unwrap().supports_growth() {
+            continue;
+        }
+        covered += 1;
+        let workload = Workload::for_kind(kind);
+        let oracle = run_trace(kind, &workload, Parallelism::Sequential, true);
+        let fp_count = oracle.fp_hits.iter().filter(|&&h| h).count();
+        assert!(
+            (fp_count as f64) <= 2.0 * eps(kind) * workload.probes.len() as f64,
+            "{kind}: grown oracle fp set of {fp_count} exceeds 2x target ε"
+        );
+        for setting in SETTINGS {
+            let got = run_trace(kind, &workload, setting, true);
+            assert_eq!(
+                got.insert_outcomes, oracle.insert_outcomes,
+                "{kind}@{setting}: insert outcomes diverge across a grow"
+            );
+            assert_eq!(
+                got.query_hits, oracle.query_hits,
+                "{kind}@{setting}: query outcomes diverge across a grow"
+            );
+            assert_eq!(
+                got.delete_outcomes, oracle.delete_outcomes,
+                "{kind}@{setting}: delete outcomes diverge across a grow"
+            );
+            assert_eq!(
+                got.fp_hits, oracle.fp_hits,
+                "{kind}@{setting}: grown false-positive set diverges — the migration \
+                 is not scheduling-independent"
+            );
+        }
+    }
+    assert!(covered >= 4, "expected >= 4 growable kinds, found {covered}");
 }
 
 #[test]

@@ -1,0 +1,64 @@
+//! Property tests for the capacity lifecycle's load accounting (PR 5):
+//! for every growable `FilterKind`, `load()` must stay within `[0, 1]`,
+//! be monotone non-decreasing under inserts, and drop *strictly* across
+//! a grow — the invariants the auto-growth policy (registry adapter and
+//! service workers alike) relies on to decide when to grow and to prove
+//! a grow took effect.
+
+use gpu_filters::{build_filter, FilterKind, FilterSpec};
+use proptest::prelude::*;
+
+/// Per-kind ε matching the other registry-wide suites.
+fn eps(kind: FilterKind) -> f64 {
+    match kind {
+        FilterKind::Sqf | FilterKind::Rsqf => 4e-2,
+        _ => 4e-3,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Randomized batch shapes: the whole trace keeps `load()` in `[0,1]`
+    /// and monotone, and each interleaved grow strictly decreases it.
+    #[test]
+    fn load_is_bounded_monotone_and_drops_across_grows(seed in 0u64..u64::MAX) {
+        let n_batches = (seed % 5 + 2) as usize;          // 2..=6 batches
+        let batch_len = (seed >> 8) as usize % 400 + 50;  // 50..=449 keys
+        let grow_after = (seed >> 24) as usize % n_batches;
+        let capacity = (n_batches * batch_len) as u64;
+
+        for kind in FilterKind::ALL {
+            let spec = FilterSpec::items(capacity).fp_rate(eps(kind));
+            let mut f = build_filter(kind, &spec).unwrap();
+            if !f.supports_growth() {
+                prop_assert!(f.load().is_err(), "{}: load without growth support", kind);
+                continue;
+            }
+            let mut prev = f.load().unwrap();
+            prop_assert!((0.0..=1.0).contains(&prev), "{}: initial load {prev}", kind);
+            for (i, chunk_seed) in (0..n_batches).enumerate() {
+                let keys = filter_core::hashed_keys(seed ^ (chunk_seed as u64) << 32, batch_len);
+                prop_assert_eq!(f.bulk_insert(&keys).unwrap(), 0, "{}: batch {} failed", kind, i);
+                let now = f.load().unwrap();
+                prop_assert!((0.0..=1.0).contains(&now), "{}: load {now} out of [0,1]", kind);
+                prop_assert!(
+                    now >= prev,
+                    "{}: load decreased {prev} -> {now} under inserts", kind
+                );
+                prev = now;
+                if i == grow_after {
+                    let before = f.load().unwrap();
+                    f.grow(2).unwrap();
+                    let after = f.load().unwrap();
+                    prop_assert!((0.0..=1.0).contains(&after), "{}: post-grow load", kind);
+                    prop_assert!(
+                        after < before,
+                        "{}: grow must strictly decrease load ({before} -> {after})", kind
+                    );
+                    prev = after;
+                }
+            }
+        }
+    }
+}
