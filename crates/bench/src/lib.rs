@@ -16,6 +16,7 @@
 //! | `table5_counting`| Table 5 GQF counting throughput |
 //! | `ablations`      | §4.1/§6.8 design-choice ablations |
 //! | `service_throughput` | serving-layer point-vs-bulk comparison |
+//! | `fig_net`        | network tier: tail latency vs offered load |
 //!
 //! Every binary measures through the [`harness`]: `warmup + repeats`
 //! executions per row, median/p10/p90 wall statistics (the same

@@ -26,9 +26,9 @@ fn trajectory_files() -> Vec<PathBuf> {
 
 /// Every figure the measurement subsystem is contracted to record. A
 /// missing file is as much schema drift as a malformed one.
-const REQUIRED_FIGURES: [&str; 11] = [
-    "fig3", "fig4", "fig5", "fig6", "growth", "service", "table1", "table2", "table3", "table4",
-    "table5",
+const REQUIRED_FIGURES: [&str; 12] = [
+    "fig3", "fig4", "fig5", "fig6", "growth", "net", "service", "table1", "table2", "table3",
+    "table4", "table5",
 ];
 
 /// The PR 4 acceptance contract: fig4 and service must record a threads
@@ -94,6 +94,66 @@ fn growth_trajectory_records_amortized_cost_and_scale_out() {
             "scale-out row: migrations must cover at least the final fleet"
         );
     }
+}
+
+/// The PR 6 acceptance contract: the net trajectory must sweep offered
+/// load below and beyond saturation for both batching policies, record
+/// ordered latency percentiles per point, and show the adaptive policy
+/// holding p99 where the static policy collapses.
+#[test]
+fn net_trajectory_records_tail_latency_vs_offered_load() {
+    let path = experiments_dir().join("BENCH_net.json");
+    let traj = Trajectory::read(&path).unwrap_or_else(|e| panic!("{e}"));
+
+    for mode in ["static", "adaptive"] {
+        let rows: Vec<_> = traj.rows.iter().filter(|m| m.label == mode).collect();
+        assert!(rows.len() >= 4, "net: {mode} has {} load points, need >= 4", rows.len());
+        let rhos: Vec<f64> = rows.iter().map(|m| m.get_metric("rho").unwrap_or(0.0)).collect();
+        assert!(
+            rhos.iter().any(|&r| r < 0.9) && rhos.iter().any(|&r| r > 1.1),
+            "net: {mode} load sweep must span below and beyond saturation, got {rhos:?}"
+        );
+        for m in &rows {
+            let (p50, p99, p999) = (
+                m.get_metric("p50_ms").expect("p50_ms metric"),
+                m.get_metric("p99_ms").expect("p99_ms metric"),
+                m.get_metric("p999_ms").expect("p999_ms metric"),
+            );
+            assert!(
+                p50 > 0.0 && p50 <= p99 && p99 <= p999,
+                "net: {mode} ρ={} has disordered percentiles {p50}/{p99}/{p999}",
+                m.get_metric("rho").unwrap_or(f64::NAN)
+            );
+            assert!(m.get_metric("offered_rps").unwrap_or(0.0) > 0.0);
+            assert!(m.get_metric("achieved_rps").unwrap_or(-1.0) >= 0.0);
+        }
+    }
+
+    // The static arm never sheds; the adaptive arm must shed past
+    // saturation — that is what buys the bounded tail.
+    let top = |mode: &str| {
+        traj.rows
+            .iter()
+            .filter(|m| m.label == mode)
+            .max_by(|a, b| {
+                a.get_metric("rho").unwrap().partial_cmp(&b.get_metric("rho").unwrap()).unwrap()
+            })
+            .expect("top load point")
+    };
+    assert_eq!(top("static").get_metric("shed_frac"), Some(0.0), "static must not shed");
+    assert!(
+        top("adaptive").get_metric("shed_frac").unwrap_or(0.0) > 0.0,
+        "net: adaptive shed nothing beyond saturation"
+    );
+    assert!(
+        top("adaptive").get_metric("p99_ms").unwrap() < top("static").get_metric("p99_ms").unwrap(),
+        "net: adaptive p99 must beat static p99 past saturation"
+    );
+    assert_eq!(
+        traj.extra.iter().find(|(k, _)| k == "adaptive_holds_p99_past_saturation").map(|(_, v)| v),
+        Some(&bench::Json::Bool(true)),
+        "net: the figure's claim flag must be recorded true"
+    );
 }
 
 #[test]

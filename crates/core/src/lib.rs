@@ -89,8 +89,8 @@ pub use baselines::{
 pub use filter_core::{
     AnyFilter, ApiMode, BulkDeletable, BulkFilter, Counting, Deletable, DeleteOutcome, DeviceModel,
     DynFilter, Features, Filter, FilterError, FilterKind, FilterMeta, FilterSpec, GrowingFilter,
-    GrowthPolicy, InsertOutcome, MaintainableFilter, Operation, Parallelism, ServiceBackend,
-    Valued,
+    GrowthPolicy, InsertOutcome, MaintainableFilter, OpKind, Operation, Parallelism, RespStatus,
+    ServiceBackend, Valued, WIRE_VERSION,
 };
 pub use filter_service::{ServiceHandle, ShardRouter, ShardedFilter, ShardedFilterBuilder};
 pub use gpu_sim::{cost, Device, DeviceProfile, KernelStats};
@@ -124,6 +124,16 @@ pub mod eoht {
 /// above).
 pub mod serving {
     pub use filter_service::*;
+}
+
+/// The network serving tier over [`serving`]: a length-prefixed binary
+/// wire protocol, a nonblocking reactor feeding
+/// [`ServiceHandle::submit_batch`](filter_service::ServiceHandle::submit_batch),
+/// adaptive batch-linger + admission control for bounded tail latency,
+/// and an open-loop client fleet for latency-vs-offered-load measurement
+/// (`crates/filter-net`).
+pub mod net {
+    pub use filter_net::*;
 }
 
 /// Everything an application normally needs.

@@ -32,6 +32,7 @@ pub mod hash;
 pub mod outcome;
 pub mod spec;
 pub mod traits;
+pub mod wire;
 pub mod xorwow;
 
 pub use dynfilter::{AnyFilter, DynFilter};
@@ -46,4 +47,5 @@ pub use traits::{
     growth_steps, BulkDeletable, BulkFilter, Counting, Deletable, Filter, FilterMeta,
     MaintainableFilter, ServiceBackend, Valued,
 };
+pub use wire::{OpKind, RespStatus, WIRE_VERSION};
 pub use xorwow::{hashed_keys, Xorwow};

@@ -1,0 +1,149 @@
+//! Shared wire-protocol vocabulary for the network serving tier.
+//!
+//! `filter-net` frames requests and responses over TCP; the *meaning* of
+//! the bytes — which operations exist, what a response status is, how a
+//! per-key outcome is encoded — lives here so the service layer, the
+//! reactor, and the client fleet all speak from one definition without
+//! `filter-net` depending on serving internals (or vice versa).
+//!
+//! Everything is a `u8` on the wire with explicit, stable discriminants;
+//! decoding is total (unknown bytes are errors, never panics).
+
+use crate::error::FilterError;
+
+/// Wire protocol version carried in every request/response frame.
+pub const WIRE_VERSION: u8 = 1;
+
+/// The operation a request asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum OpKind {
+    /// Insert every key in the batch.
+    Insert = 0,
+    /// Query membership of every key in the batch.
+    Query = 1,
+    /// Delete every key in the batch (needs a deletable backend).
+    Delete = 2,
+    /// Liveness probe; carries no keys, answered immediately.
+    Ping = 3,
+    /// Ask the server to drain and exit cleanly (used by tooling/CI).
+    Shutdown = 4,
+}
+
+impl OpKind {
+    /// All operations, in discriminant order.
+    pub const ALL: [OpKind; 5] =
+        [OpKind::Insert, OpKind::Query, OpKind::Delete, OpKind::Ping, OpKind::Shutdown];
+
+    /// Decode from the wire byte.
+    pub fn from_u8(b: u8) -> Result<Self, FilterError> {
+        match b {
+            0 => Ok(OpKind::Insert),
+            1 => Ok(OpKind::Query),
+            2 => Ok(OpKind::Delete),
+            3 => Ok(OpKind::Ping),
+            4 => Ok(OpKind::Shutdown),
+            _ => Err(FilterError::BadConfig(format!("unknown wire op byte {b:#04x}"))),
+        }
+    }
+
+    /// Whether this op carries keys and flows through the filter service
+    /// (as opposed to being handled by the server itself).
+    pub fn is_data(self) -> bool {
+        matches!(self, OpKind::Insert | OpKind::Query | OpKind::Delete)
+    }
+
+    /// Short lowercase label for metrics and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            OpKind::Insert => "insert",
+            OpKind::Query => "query",
+            OpKind::Delete => "delete",
+            OpKind::Ping => "ping",
+            OpKind::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// Response-level status: the whole batch's disposition. Per-key results
+/// only accompany [`RespStatus::Ok`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum RespStatus {
+    /// The batch was applied; per-key results follow.
+    Ok = 0,
+    /// Admission control refused the batch (server overloaded) — the
+    /// wire-level 429. Nothing was applied; retry later.
+    Shed = 1,
+    /// The server could not serve the request (unsupported op, service
+    /// stopped). Nothing was applied.
+    Error = 2,
+}
+
+impl RespStatus {
+    /// Decode from the wire byte.
+    pub fn from_u8(b: u8) -> Result<Self, FilterError> {
+        match b {
+            0 => Ok(RespStatus::Ok),
+            1 => Ok(RespStatus::Shed),
+            2 => Ok(RespStatus::Error),
+            _ => Err(FilterError::BadConfig(format!("unknown wire status byte {b:#04x}"))),
+        }
+    }
+}
+
+/// Per-key outcome byte inside an [`RespStatus::Ok`] response: `1` means
+/// "yes" (inserted / possibly present / removed for insert/query/delete
+/// respectively), `0` means "no" (rejected / absent / not found).
+pub fn outcome_byte(yes: bool) -> u8 {
+    yes as u8
+}
+
+/// Decode a per-key outcome byte (strict: only 0 and 1 are legal).
+pub fn outcome_from_byte(b: u8) -> Result<bool, FilterError> {
+    match b {
+        0 => Ok(false),
+        1 => Ok(true),
+        _ => Err(FilterError::BadConfig(format!("unknown wire outcome byte {b:#04x}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_roundtrip_all_and_rejects_unknown() {
+        for op in OpKind::ALL {
+            assert_eq!(OpKind::from_u8(op as u8).unwrap(), op);
+        }
+        assert!(OpKind::from_u8(5).is_err());
+        assert!(OpKind::from_u8(0xff).is_err());
+    }
+
+    #[test]
+    fn status_roundtrip_and_rejects_unknown() {
+        for s in [RespStatus::Ok, RespStatus::Shed, RespStatus::Error] {
+            assert_eq!(RespStatus::from_u8(s as u8).unwrap(), s);
+        }
+        assert!(RespStatus::from_u8(3).is_err());
+    }
+
+    #[test]
+    fn data_ops_are_exactly_the_keyed_ones() {
+        assert!(OpKind::Insert.is_data());
+        assert!(OpKind::Query.is_data());
+        assert!(OpKind::Delete.is_data());
+        assert!(!OpKind::Ping.is_data());
+        assert!(!OpKind::Shutdown.is_data());
+    }
+
+    #[test]
+    fn outcome_bytes_are_strict() {
+        assert_eq!(outcome_byte(true), 1);
+        assert_eq!(outcome_byte(false), 0);
+        assert!(outcome_from_byte(1).unwrap());
+        assert!(!outcome_from_byte(0).unwrap());
+        assert!(outcome_from_byte(2).is_err());
+    }
+}

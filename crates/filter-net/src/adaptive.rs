@@ -1,0 +1,228 @@
+//! The adaptive batching control loop.
+//!
+//! The serving tier's central tension: the per-shard *linger* (how long a
+//! worker holds a partial batch before flushing) buys throughput at light
+//! load but is pure added latency, and a fixed value tuned for one load
+//! level collapses at another. The [`Controller`] closes the loop from
+//! two observations the service already exports — ops accepted (a rate
+//! when differenced) and queue depth — to two actuators:
+//!
+//! * **linger**: sized so an average-rate shard fills `target_batch` ops
+//!   within one linger, clamped to `[min_linger, max_linger]`. Light load
+//!   → short linger (low latency); heavy load → longer linger (big
+//!   batches, high throughput).
+//! * **admission**: when per-shard queue depth crosses `shed_on`, new
+//!   data requests are answered `Shed` instead of queued, until depth
+//!   falls below `shed_off` (hysteresis, so the gate doesn't flap). This
+//!   is what keeps p99 bounded past saturation: queueing delay is capped
+//!   at roughly `shed_on × service time` instead of growing without
+//!   bound.
+//!
+//! The controller is plain state + arithmetic, deliberately ignorant of
+//! sockets and services: the reactor feeds it observations on a tick and
+//! applies whatever linger it returns via
+//! [`ServiceControl::set_linger`](filter_service::ServiceControl::set_linger).
+
+use std::time::{Duration, Instant};
+
+/// How the serving tier manages worker batching.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BatchPolicy {
+    /// Fixed linger, admission always open — the baseline the paper-style
+    /// `fig_net` sweep degrades.
+    Static {
+        /// The linger every worker uses, forever.
+        linger: Duration,
+    },
+    /// Closed-loop linger + admission control.
+    Adaptive(AdaptiveConfig),
+}
+
+/// Knobs for [`BatchPolicy::Adaptive`]; `Default` is tuned for the
+/// loopback benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveConfig {
+    /// Linger floor (never batch *below* this horizon).
+    pub min_linger: Duration,
+    /// Linger ceiling (never add more than this to first-op latency).
+    pub max_linger: Duration,
+    /// Ops an average shard should accumulate per flush.
+    pub target_batch: usize,
+    /// Per-shard queue depth (ops) at which admission closes.
+    pub shed_on: usize,
+    /// Per-shard queue depth at which admission reopens (`< shed_on`).
+    pub shed_off: usize,
+    /// How often the reactor runs the control law.
+    pub tick: Duration,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            min_linger: Duration::from_micros(50),
+            max_linger: Duration::from_millis(2),
+            target_batch: 64,
+            shed_on: 4096,
+            shed_off: 1024,
+            tick: Duration::from_millis(10),
+        }
+    }
+}
+
+/// The control-loop state: rate estimation between ticks plus the
+/// admission hysteresis bit.
+#[derive(Debug)]
+pub struct Controller {
+    cfg: AdaptiveConfig,
+    last_tick: Option<(Instant, u64)>,
+    /// Exponentially-smoothed ops/sec across the whole service.
+    rate_ema: f64,
+    shedding: bool,
+}
+
+impl Controller {
+    pub fn new(cfg: AdaptiveConfig) -> Controller {
+        assert!(cfg.shed_off < cfg.shed_on, "shed hysteresis must open below the close threshold");
+        assert!(cfg.min_linger <= cfg.max_linger, "linger bounds inverted");
+        assert!(cfg.target_batch > 0, "target batch must be positive");
+        Controller { cfg, last_tick: None, rate_ema: 0.0, shedding: false }
+    }
+
+    pub fn config(&self) -> &AdaptiveConfig {
+        &self.cfg
+    }
+
+    /// Whether admission is currently closed.
+    pub fn shedding(&self) -> bool {
+        self.shedding
+    }
+
+    /// The smoothed service-wide arrival rate estimate, ops/sec.
+    pub fn rate(&self) -> f64 {
+        self.rate_ema
+    }
+
+    /// Run one control iteration from fresh observations: the monotonic
+    /// `ops_accepted` counter, the instantaneous total `queue_depth`, and
+    /// the shard count. Returns the new linger to apply, or `None` on the
+    /// first (calibration) tick.
+    pub fn tick(
+        &mut self,
+        now: Instant,
+        ops_accepted: u64,
+        queue_depth: usize,
+        shards: usize,
+    ) -> Option<Duration> {
+        // Admission hysteresis works off depth alone — no rate needed.
+        let per_shard_depth = queue_depth / shards.max(1);
+        if self.shedding {
+            if per_shard_depth <= self.cfg.shed_off {
+                self.shedding = false;
+            }
+        } else if per_shard_depth >= self.cfg.shed_on {
+            self.shedding = true;
+        }
+
+        let (prev_t, prev_ops) = self.last_tick.replace((now, ops_accepted))?;
+        let dt = now.saturating_duration_since(prev_t).as_secs_f64();
+        if dt <= 0.0 {
+            return None;
+        }
+        let inst = ops_accepted.saturating_sub(prev_ops) as f64 / dt;
+        // EMA with ~3-tick memory: fast enough to track burst episodes,
+        // slow enough not to chase single-tick noise.
+        self.rate_ema = if self.rate_ema == 0.0 { inst } else { 0.7 * self.rate_ema + 0.3 * inst };
+
+        let per_shard_rate = self.rate_ema / shards.max(1) as f64;
+        let linger = if per_shard_rate <= 1.0 {
+            // Effectively idle: nothing to batch, take the latency floor.
+            self.cfg.min_linger
+        } else {
+            Duration::from_secs_f64(self.cfg.target_batch as f64 / per_shard_rate)
+                .clamp(self.cfg.min_linger, self.cfg.max_linger)
+        };
+        Some(linger)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> AdaptiveConfig {
+        AdaptiveConfig {
+            min_linger: Duration::from_micros(50),
+            max_linger: Duration::from_millis(2),
+            target_batch: 100,
+            shed_on: 1000,
+            shed_off: 200,
+            tick: Duration::from_millis(10),
+        }
+    }
+
+    /// Drive the controller through `n` uniform ticks at a fixed rate.
+    fn drive(c: &mut Controller, start: Instant, rate_per_sec: u64, n: u32) -> Option<Duration> {
+        let mut out = None;
+        for i in 0..=n {
+            let t = start + Duration::from_millis(10) * i;
+            let ops = rate_per_sec * u64::from(i) / 100; // per 10ms tick
+            if let Some(l) = c.tick(t, ops, 0, 4) {
+                out = Some(l);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn linger_tracks_the_arrival_rate() {
+        let start = Instant::now();
+        // Light load: 4k ops/s over 4 shards = 1k/shard → 100 ops take
+        // 100ms, clamped to max_linger.
+        let mut c = Controller::new(cfg());
+        assert_eq!(drive(&mut c, start, 4_000, 20), Some(cfg().max_linger));
+        // Heavy load: 40M ops/s over 4 shards → 100 ops in 10µs, clamped
+        // to min_linger.
+        let mut c = Controller::new(cfg());
+        assert_eq!(drive(&mut c, start, 40_000_000, 20), Some(cfg().min_linger));
+        // Mid load: 4M ops/s over 4 shards = 1M/shard → 100µs, in-range.
+        let mut c = Controller::new(cfg());
+        let l = drive(&mut c, start, 4_000_000, 20).unwrap();
+        assert!(
+            l > Duration::from_micros(80) && l < Duration::from_micros(120),
+            "expected ~100µs linger, got {l:?}"
+        );
+    }
+
+    #[test]
+    fn first_tick_only_calibrates() {
+        let mut c = Controller::new(cfg());
+        assert_eq!(c.tick(Instant::now(), 500, 0, 4), None);
+    }
+
+    #[test]
+    fn shed_gate_has_hysteresis() {
+        let mut c = Controller::new(cfg());
+        let t0 = Instant::now();
+        let step = Duration::from_millis(10);
+        // Depth below shed_on × shards: admission open.
+        c.tick(t0, 0, 3_900, 4);
+        assert!(!c.shedding());
+        // Crossing shed_on per shard closes it.
+        c.tick(t0 + step, 100, 4_000, 4);
+        assert!(c.shedding());
+        // Falling below shed_on but above shed_off keeps it closed.
+        c.tick(t0 + step * 2, 200, 2_000, 4);
+        assert!(c.shedding(), "hysteresis must hold the gate closed");
+        // Only dropping to shed_off reopens.
+        c.tick(t0 + step * 3, 300, 800, 4);
+        assert!(!c.shedding());
+    }
+
+    #[test]
+    #[should_panic]
+    fn inverted_hysteresis_is_refused() {
+        let mut bad = cfg();
+        bad.shed_off = bad.shed_on;
+        let _ = Controller::new(bad);
+    }
+}

@@ -1,0 +1,67 @@
+//! Stand-alone open-loop client fleet: drive a running `net_server` and
+//! report offered load, completion, and latency percentiles.
+//!
+//! ```text
+//! net_fleet --addr HOST:PORT [--rate RPS] [--duration-ms MS]
+//!           [--connections N] [--keys N] [--seed S]
+//!           [--smoke]      # tiny preset for CI
+//!           [--shutdown]   # send an in-protocol shutdown when done
+//! ```
+//!
+//! Exits nonzero if any sent request went unanswered — the fleet's core
+//! invariant is zero lost outcomes.
+
+use filter_net::{run_fleet, FleetConfig};
+use std::time::Duration;
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let addr = arg_value(&args, "--addr")
+        .expect("--addr HOST:PORT is required")
+        .parse()
+        .expect("parseable socket address");
+    let smoke = args.iter().any(|a| a == "--smoke");
+
+    let mut cfg = FleetConfig { addr, ..FleetConfig::default() };
+    if smoke {
+        cfg.connections = 8;
+        cfg.rate = 5_000.0;
+        cfg.duration = Duration::from_millis(500);
+        cfg.keys_per_request = 8;
+        cfg.universe = 1 << 14;
+    }
+    if let Some(v) = arg_value(&args, "--rate") {
+        cfg.rate = v.parse().unwrap();
+    }
+    if let Some(v) = arg_value(&args, "--duration-ms") {
+        cfg.duration = Duration::from_millis(v.parse().unwrap());
+    }
+    if let Some(v) = arg_value(&args, "--connections") {
+        cfg.connections = v.parse().unwrap();
+    }
+    if let Some(v) = arg_value(&args, "--keys") {
+        cfg.keys_per_request = v.parse().unwrap();
+    }
+    if let Some(v) = arg_value(&args, "--seed") {
+        cfg.seed = v.parse().unwrap();
+    }
+    cfg.shutdown_after = args.iter().any(|a| a == "--shutdown");
+
+    match run_fleet(&cfg) {
+        Ok(report) => {
+            println!("fleet: {}", report.render());
+            if !report.complete() {
+                eprintln!("FAIL: {} requests lost", report.unanswered);
+                std::process::exit(2);
+            }
+        }
+        Err(e) => {
+            eprintln!("fleet failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

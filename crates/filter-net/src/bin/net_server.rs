@@ -1,0 +1,57 @@
+//! Stand-alone serving-tier binary: a sharded TCF service behind the
+//! filter-net reactor.
+//!
+//! Prints `listening <addr>` once bound (scripts parse this line), then
+//! runs until a client sends an in-protocol shutdown frame.
+//!
+//! ```text
+//! net_server [--addr 127.0.0.1:0] [--shards 4] [--capacity-log2 16]
+//!            [--static-linger-us N]   # fixed linger instead of adaptive
+//! ```
+
+use filter_net::{serve, AdaptiveConfig, BatchPolicy, ServerConfig};
+use filter_service::ShardedFilterBuilder;
+use std::time::Duration;
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let addr = arg_value(&args, "--addr").unwrap_or_else(|| "127.0.0.1:0".into());
+    let shards: usize = arg_value(&args, "--shards").map(|v| v.parse().unwrap()).unwrap_or(4);
+    let cap_log2: u32 =
+        arg_value(&args, "--capacity-log2").map(|v| v.parse().unwrap()).unwrap_or(16);
+    let policy = match arg_value(&args, "--static-linger-us") {
+        Some(us) => BatchPolicy::Static { linger: Duration::from_micros(us.parse().unwrap()) },
+        None => BatchPolicy::Adaptive(AdaptiveConfig::default()),
+    };
+
+    let svc = ShardedFilterBuilder::new()
+        .shards(shards)
+        .build_deletable(|_| tcf::BulkTcf::new(1usize << cap_log2))
+        .expect("service construction");
+
+    let server = serve(
+        addr.as_str(),
+        svc.handle(),
+        svc.control(),
+        ServerConfig { policy, ..ServerConfig::default() },
+    )
+    .expect("bind and start reactor");
+    println!("listening {}", server.local_addr());
+    use std::io::Write;
+    std::io::stdout().flush().ok();
+
+    match server.join() {
+        Ok(stats) => {
+            println!("server stats: {}", stats.render());
+            println!("service stats:\n{}", svc.stats().render());
+        }
+        Err(e) => {
+            eprintln!("reactor failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

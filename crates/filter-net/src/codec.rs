@@ -1,0 +1,268 @@
+//! The length-prefixed binary wire protocol.
+//!
+//! Every frame is a little-endian `u32` body length followed by the body:
+//!
+//! ```text
+//! request body  := u8 version | u8 op     | u64 request id | u32 nkeys    | nkeys × u64 key
+//! response body := u8 version | u8 status | u64 request id | u32 nresults | nresults × u8 outcome
+//! ```
+//!
+//! The op, status, and outcome vocabularies live in [`filter_core::wire`];
+//! this module owns the framing. Decoding is *streaming* (hand it a byte
+//! buffer, get back `None` until a whole frame is present) and *total*:
+//! corrupt input yields a [`FrameError`], never a panic, and oversized
+//! length prefixes are rejected before any allocation — a malformed peer
+//! cannot make the reactor reserve gigabytes.
+
+use filter_core::wire::{outcome_byte, outcome_from_byte, OpKind, RespStatus, WIRE_VERSION};
+
+/// Most keys one request may carry (and results one response may carry).
+pub const MAX_KEYS: usize = 1 << 16;
+/// Bytes in a request/response body before the keys/results array.
+pub const HEADER_BYTES: usize = 1 + 1 + 8 + 4;
+/// Largest legal frame body (a maximal request; responses are smaller).
+pub const MAX_BODY: usize = HEADER_BYTES + 8 * MAX_KEYS;
+
+/// One decoded request frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Caller-chosen correlation id, echoed verbatim in the response.
+    pub id: u64,
+    /// What to do with the keys.
+    pub op: OpKind,
+    /// The key batch (empty for ping/shutdown).
+    pub keys: Vec<u64>,
+}
+
+/// One decoded response frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// The request's correlation id.
+    pub id: u64,
+    /// Batch disposition; per-key results accompany only [`RespStatus::Ok`].
+    pub status: RespStatus,
+    /// Per-key answers in request key order.
+    pub results: Vec<bool>,
+}
+
+/// Why a frame failed to decode. Every variant closes the connection —
+/// framing errors are not recoverable mid-stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The length prefix exceeds [`MAX_BODY`].
+    Oversized(usize),
+    /// The body is shorter than a header.
+    Truncated { need: usize, have: usize },
+    /// Unknown protocol version byte.
+    BadVersion(u8),
+    /// Unknown op byte (requests).
+    BadOp(u8),
+    /// Unknown status byte (responses).
+    BadStatus(u8),
+    /// Unknown per-key outcome byte (responses).
+    BadOutcome(u8),
+    /// The declared element count disagrees with the body length.
+    CountMismatch { declared: usize, body_holds: usize },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Oversized(n) => write!(f, "frame body of {n} bytes exceeds {MAX_BODY}"),
+            FrameError::Truncated { need, have } => {
+                write!(f, "frame body truncated: need {need} bytes, have {have}")
+            }
+            FrameError::BadVersion(b) => write!(f, "unknown wire version {b:#04x}"),
+            FrameError::BadOp(b) => write!(f, "unknown op byte {b:#04x}"),
+            FrameError::BadStatus(b) => write!(f, "unknown status byte {b:#04x}"),
+            FrameError::BadOutcome(b) => write!(f, "unknown outcome byte {b:#04x}"),
+            FrameError::CountMismatch { declared, body_holds } => {
+                write!(f, "declared {declared} elements but body holds {body_holds}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Append a request frame to `out`.
+pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
+    debug_assert!(req.keys.len() <= MAX_KEYS, "request exceeds MAX_KEYS");
+    let body = HEADER_BYTES + 8 * req.keys.len();
+    out.reserve(4 + body);
+    out.extend_from_slice(&(body as u32).to_le_bytes());
+    out.push(WIRE_VERSION);
+    out.push(req.op as u8);
+    out.extend_from_slice(&req.id.to_le_bytes());
+    out.extend_from_slice(&(req.keys.len() as u32).to_le_bytes());
+    for k in &req.keys {
+        out.extend_from_slice(&k.to_le_bytes());
+    }
+}
+
+/// Append a response frame to `out`.
+pub fn encode_response(resp: &Response, out: &mut Vec<u8>) {
+    debug_assert!(resp.results.len() <= MAX_KEYS, "response exceeds MAX_KEYS");
+    let body = HEADER_BYTES + resp.results.len();
+    out.reserve(4 + body);
+    out.extend_from_slice(&(body as u32).to_le_bytes());
+    out.push(WIRE_VERSION);
+    out.push(resp.status as u8);
+    out.extend_from_slice(&resp.id.to_le_bytes());
+    out.extend_from_slice(&(resp.results.len() as u32).to_le_bytes());
+    for &r in &resp.results {
+        out.push(outcome_byte(r));
+    }
+}
+
+/// Split off the next frame body from `buf`: `Ok(None)` until a complete
+/// frame is buffered, `Ok(Some((body, consumed)))` with the total bytes
+/// (prefix + body) to discard afterwards.
+fn next_body(buf: &[u8]) -> Result<Option<(&[u8], usize)>, FrameError> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if len > MAX_BODY {
+        return Err(FrameError::Oversized(len));
+    }
+    if len < HEADER_BYTES {
+        return Err(FrameError::Truncated { need: HEADER_BYTES, have: len });
+    }
+    if buf.len() < 4 + len {
+        return Ok(None);
+    }
+    Ok(Some((&buf[4..4 + len], 4 + len)))
+}
+
+fn read_u64(b: &[u8]) -> u64 {
+    u64::from_le_bytes(b[..8].try_into().unwrap())
+}
+
+/// Decode the next request frame from `buf`. `Ok(None)` means "feed me
+/// more bytes"; `Ok(Some((req, consumed)))` hands back the frame and how
+/// many buffer bytes it used.
+pub fn decode_request(buf: &[u8]) -> Result<Option<(Request, usize)>, FrameError> {
+    let Some((body, consumed)) = next_body(buf)? else {
+        return Ok(None);
+    };
+    if body[0] != WIRE_VERSION {
+        return Err(FrameError::BadVersion(body[0]));
+    }
+    let op = OpKind::from_u8(body[1]).map_err(|_| FrameError::BadOp(body[1]))?;
+    let id = read_u64(&body[2..10]);
+    let declared = u32::from_le_bytes(body[10..14].try_into().unwrap()) as usize;
+    let body_holds = (body.len() - HEADER_BYTES) / 8;
+    if declared > MAX_KEYS || declared * 8 != body.len() - HEADER_BYTES {
+        return Err(FrameError::CountMismatch { declared, body_holds });
+    }
+    let keys = body[HEADER_BYTES..].chunks_exact(8).map(read_u64).collect();
+    Ok(Some((Request { id, op, keys }, consumed)))
+}
+
+/// Decode the next response frame from `buf`; contract as
+/// [`decode_request`].
+pub fn decode_response(buf: &[u8]) -> Result<Option<(Response, usize)>, FrameError> {
+    let Some((body, consumed)) = next_body(buf)? else {
+        return Ok(None);
+    };
+    if body[0] != WIRE_VERSION {
+        return Err(FrameError::BadVersion(body[0]));
+    }
+    let status = RespStatus::from_u8(body[1]).map_err(|_| FrameError::BadStatus(body[1]))?;
+    let id = read_u64(&body[2..10]);
+    let declared = u32::from_le_bytes(body[10..14].try_into().unwrap()) as usize;
+    let body_holds = body.len() - HEADER_BYTES;
+    if declared > MAX_KEYS || declared != body_holds {
+        return Err(FrameError::CountMismatch { declared, body_holds });
+    }
+    let mut results = Vec::with_capacity(declared);
+    for &b in &body[HEADER_BYTES..] {
+        results.push(outcome_from_byte(b).map_err(|_| FrameError::BadOutcome(b))?);
+    }
+    Ok(Some((Response { id, status, results }, consumed)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64, op: OpKind, keys: Vec<u64>) -> Request {
+        Request { id, op, keys }
+    }
+
+    #[test]
+    fn request_roundtrip_and_streaming_decode() {
+        let a = req(7, OpKind::Insert, vec![1, 2, 3]);
+        let b = req(8, OpKind::Ping, vec![]);
+        let mut buf = Vec::new();
+        encode_request(&a, &mut buf);
+        encode_request(&b, &mut buf);
+        // Both frames decode in order from the shared buffer.
+        let (got_a, used_a) = decode_request(&buf).unwrap().unwrap();
+        assert_eq!(got_a, a);
+        let (got_b, used_b) = decode_request(&buf[used_a..]).unwrap().unwrap();
+        assert_eq!(got_b, b);
+        assert_eq!(used_a + used_b, buf.len());
+        // Every strict prefix of a single frame is Incomplete, not an error.
+        let mut one = Vec::new();
+        encode_request(&a, &mut one);
+        for cut in 0..one.len() {
+            assert_eq!(decode_request(&one[..cut]).unwrap(), None, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        for status in [RespStatus::Ok, RespStatus::Shed, RespStatus::Error] {
+            let r = Response { id: 42, status, results: vec![true, false, true] };
+            let mut buf = Vec::new();
+            encode_response(&r, &mut buf);
+            let (got, used) = decode_response(&buf).unwrap().unwrap();
+            assert_eq!(got, r);
+            assert_eq!(used, buf.len());
+        }
+    }
+
+    #[test]
+    fn corrupt_frames_are_clean_errors() {
+        let mut buf = Vec::new();
+        encode_request(&req(1, OpKind::Query, vec![5]), &mut buf);
+        // Bad version byte.
+        let mut bad = buf.clone();
+        bad[4] = 99;
+        assert_eq!(decode_request(&bad), Err(FrameError::BadVersion(99)));
+        // Bad op byte.
+        let mut bad = buf.clone();
+        bad[5] = 0xee;
+        assert_eq!(decode_request(&bad), Err(FrameError::BadOp(0xee)));
+        // Count that disagrees with the body.
+        let mut bad = buf.clone();
+        bad[14] = 9;
+        assert!(matches!(decode_request(&bad), Err(FrameError::CountMismatch { .. })));
+        // A length prefix beyond the cap is refused before allocation.
+        let huge = (MAX_BODY as u32 + 1).to_le_bytes().to_vec();
+        assert_eq!(decode_request(&huge), Err(FrameError::Oversized(MAX_BODY + 1)));
+        // A length prefix too small to hold a header.
+        let tiny = 3u32.to_le_bytes().to_vec();
+        assert!(matches!(decode_request(&tiny), Err(FrameError::Truncated { .. })));
+        // Bad outcome byte in a response.
+        let mut rbuf = Vec::new();
+        encode_response(
+            &Response { id: 1, status: RespStatus::Ok, results: vec![true] },
+            &mut rbuf,
+        );
+        let last = rbuf.len() - 1;
+        rbuf[last] = 7;
+        assert_eq!(decode_response(&rbuf), Err(FrameError::BadOutcome(7)));
+    }
+
+    #[test]
+    fn error_messages_render() {
+        assert!(FrameError::Oversized(9).to_string().contains("exceeds"));
+        assert!(FrameError::BadVersion(2).to_string().contains("version"));
+        assert!(FrameError::CountMismatch { declared: 4, body_holds: 1 }
+            .to_string()
+            .contains("declared 4"));
+    }
+}

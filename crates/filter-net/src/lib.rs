@@ -1,0 +1,71 @@
+//! # filter-net — the asynchronous network serving tier
+//!
+//! The paper's filters live behind a GPU-batch abstraction; this crate
+//! puts a network in front of the CPU-side [`filter_service`] tier so the
+//! latency/throughput trade the batching design makes can be measured the
+//! way a serving system would see it: offered load in requests per second
+//! against p50/p99/p999 response time.
+//!
+//! Four pieces, each its own module:
+//!
+//! * [`codec`] — the length-prefixed binary wire protocol (version + op +
+//!   request id + key batch; responses carry per-key outcomes). Framing
+//!   is streaming and total: partial input is "not yet", corrupt input is
+//!   a typed [`codec::FrameError`], never a panic.
+//! * [`poll`] + [`conn`] — a minimal readiness reactor substrate: raw
+//!   `epoll` bindings on Linux (the container has no crates.io, so no
+//!   `mio`), a degraded-but-correct fallback elsewhere, and a framed
+//!   nonblocking connection type that hides partial reads and short
+//!   writes.
+//! * [`server`] — the single-threaded reactor. Decoded requests feed
+//!   [`filter_service::ServiceHandle::submit_batch`]; completions return
+//!   on worker threads and cross back over a channel + waker. Generation
+//!   counters keep responses for dead connections from leaking into
+//!   their slot's next tenant.
+//! * [`adaptive`] — the control loop: linger sized to hit a target batch
+//!   per shard from the observed arrival rate, plus hysteretic admission
+//!   control (shed past a queue-depth threshold) so tail latency stays
+//!   bounded past saturation instead of collapsing.
+//! * [`fleet`] — the measurement side: an open-loop Poisson client fleet
+//!   (bursts, Zipf key popularity) that clocks every request from its
+//!   *scheduled* send time, immune to coordinated omission.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use filter_net::{serve, run_fleet, BatchPolicy, FleetConfig, ServerConfig};
+//! use filter_service::ShardedFilterBuilder;
+//! use std::time::Duration;
+//!
+//! // A small sharded TCF service...
+//! let svc = ShardedFilterBuilder::new()
+//!     .shards(2)
+//!     .build(|_| tcf::BulkTcf::new(1 << 12))
+//!     .unwrap();
+//! // ...served over loopback with adaptive batching...
+//! let server = serve("127.0.0.1:0", svc.handle(), svc.control(),
+//!                    ServerConfig::default()).unwrap();
+//! // ...and measured by a tiny open-loop fleet.
+//! let report = run_fleet(&FleetConfig {
+//!     addr: server.local_addr(),
+//!     connections: 4,
+//!     rate: 2_000.0,
+//!     duration: Duration::from_millis(200),
+//!     ..FleetConfig::default()
+//! }).unwrap();
+//! assert!(report.complete(), "every request answered: {}", report.render());
+//! server.shutdown().unwrap();
+//! ```
+
+pub mod adaptive;
+pub mod codec;
+pub mod conn;
+pub mod fleet;
+pub mod poll;
+pub mod server;
+
+pub use adaptive::{AdaptiveConfig, BatchPolicy, Controller};
+pub use codec::{FrameError, Request, Response};
+pub use conn::FramedConn;
+pub use fleet::{run_fleet, FleetConfig, FleetReport};
+pub use server::{serve, NetStats, RunningServer, ServerConfig};

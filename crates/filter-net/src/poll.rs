@@ -1,0 +1,339 @@
+//! A minimal readiness poller over raw `epoll`, with a portable fallback.
+//!
+//! The container has no crates.io access, so instead of `mio`/`polling`
+//! this module binds the four `epoll` syscalls directly (`extern "C"` —
+//! no libc crate either) on Linux. Everywhere else it degrades to a
+//! registry that reports every registered descriptor ready after a short
+//! sleep — correct (if less efficient) as long as all I/O is nonblocking,
+//! which [`super::conn::FramedConn`] guarantees.
+//!
+//! The surface is the small slice of readiness polling the reactor needs:
+//! register/modify/remove interest keyed by a `u64`, and `wait` filling a
+//! caller-owned event buffer. A [`Waker`] built from a `UnixStream` pair
+//! lets other threads (worker completion callbacks) interrupt a blocked
+//! `wait`.
+
+use std::io;
+use std::os::unix::io::RawFd;
+
+/// What to watch a descriptor for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    pub readable: bool,
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read readiness only.
+    pub const READ: Interest = Interest { readable: true, writable: false };
+    /// Read and write readiness.
+    pub const READ_WRITE: Interest = Interest { readable: true, writable: true };
+}
+
+/// One readiness report from [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The key the descriptor was registered under.
+    pub key: u64,
+    /// Readable — includes error/hangup conditions, which a subsequent
+    /// read surfaces as `Ok(0)` or an error.
+    pub readable: bool,
+    /// Writable.
+    pub writable: bool,
+    /// Peer hangup (best-effort; the fallback poller never sets it).
+    pub hangup: bool,
+}
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+mod sys {
+    use super::{Event, Interest};
+    use std::io;
+    use std::os::unix::io::RawFd;
+    use std::time::Duration;
+
+    const EPOLL_CLOEXEC: i32 = 0x80000;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLLIN: u32 = 0x1;
+    const EPOLLOUT: u32 = 0x4;
+    const EPOLLERR: u32 = 0x8;
+    const EPOLLHUP: u32 = 0x10;
+    const EPOLLRDHUP: u32 = 0x2000;
+
+    // The kernel ABI packs this struct on x86-64.
+    #[repr(C)]
+    #[repr(packed)]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout_ms: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    fn cvt(ret: i32) -> io::Result<i32> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    fn mask(interest: Interest) -> u32 {
+        let mut m = EPOLLRDHUP;
+        if interest.readable {
+            m |= EPOLLIN;
+        }
+        if interest.writable {
+            m |= EPOLLOUT;
+        }
+        m
+    }
+
+    /// Readiness poller backed by an `epoll` instance.
+    pub struct Poller {
+        epfd: i32,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+            Ok(Poller { epfd })
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, key: u64, interest: Interest) -> io::Result<()> {
+            let mut ev = EpollEvent { events: mask(interest), data: key };
+            cvt(unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) }).map(|_| ())
+        }
+
+        pub fn add(&self, fd: RawFd, key: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, key, interest)
+        }
+
+        pub fn modify(&self, fd: RawFd, key: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, key, interest)
+        }
+
+        pub fn remove(&self, fd: RawFd) -> io::Result<()> {
+            let mut ev = EpollEvent { events: 0, data: 0 };
+            cvt(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_DEL, fd, &mut ev) }).map(|_| ())
+        }
+
+        /// Block until readiness or `timeout` (`None` = forever), filling
+        /// `out` with the ready set.
+        pub fn wait(&self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+            out.clear();
+            let timeout_ms = match timeout {
+                // Round up so sub-millisecond timeouts still sleep.
+                Some(t) => (t.as_millis() as i32).max(i32::from(!t.is_zero())),
+                None => -1,
+            };
+            let mut buf = [EpollEvent { events: 0, data: 0 }; 64];
+            let n = loop {
+                match cvt(unsafe {
+                    epoll_wait(self.epfd, buf.as_mut_ptr(), buf.len() as i32, timeout_ms)
+                }) {
+                    Ok(n) => break n as usize,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                }
+            };
+            for ev in buf.iter().take(n) {
+                // Copy out of the packed struct before touching fields.
+                let (events, data) = (ev.events, ev.data);
+                out.push(Event {
+                    key: data,
+                    readable: events & (EPOLLIN | EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0,
+                    writable: events & EPOLLOUT != 0,
+                    hangup: events & (EPOLLHUP | EPOLLRDHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.epfd);
+            }
+        }
+    }
+}
+
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+mod sys {
+    use super::{Event, Interest};
+    use std::io;
+    use std::os::unix::io::RawFd;
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    /// Portable fallback: no kernel readiness at all — report every
+    /// registered descriptor as ready after a short sleep. Valid because
+    /// the reactor's I/O is nonblocking (a spurious "ready" costs one
+    /// `WouldBlock`), at the price of a busy-ish poll loop.
+    pub struct Poller {
+        registry: Mutex<Vec<(RawFd, u64, Interest)>>,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            Ok(Poller { registry: Mutex::new(Vec::new()) })
+        }
+
+        pub fn add(&self, fd: RawFd, key: u64, interest: Interest) -> io::Result<()> {
+            self.registry.lock().unwrap().push((fd, key, interest));
+            Ok(())
+        }
+
+        pub fn modify(&self, fd: RawFd, key: u64, interest: Interest) -> io::Result<()> {
+            let mut reg = self.registry.lock().unwrap();
+            for slot in reg.iter_mut() {
+                if slot.0 == fd {
+                    *slot = (fd, key, interest);
+                    return Ok(());
+                }
+            }
+            Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered"))
+        }
+
+        pub fn remove(&self, fd: RawFd) -> io::Result<()> {
+            self.registry.lock().unwrap().retain(|slot| slot.0 != fd);
+            Ok(())
+        }
+
+        pub fn wait(&self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+            out.clear();
+            let nap = timeout.unwrap_or(Duration::from_millis(1)).min(Duration::from_millis(1));
+            std::thread::sleep(nap);
+            for &(_, key, interest) in self.registry.lock().unwrap().iter() {
+                out.push(Event {
+                    key,
+                    readable: interest.readable,
+                    writable: interest.writable,
+                    hangup: false,
+                });
+            }
+            Ok(())
+        }
+    }
+}
+
+pub use sys::Poller;
+
+/// Cross-thread wakeup for a blocked [`Poller::wait`]: one end of a
+/// nonblocking `UnixStream` pair registered with the poller; any thread
+/// holding the [`Waker`] writes a byte to make the reactor's `wait`
+/// return.
+pub struct Waker {
+    tx: std::os::unix::net::UnixStream,
+}
+
+/// The reactor-side end of a [`Waker`] pair; register its fd and drain it
+/// whenever it polls readable.
+pub struct WakeReceiver {
+    rx: std::os::unix::net::UnixStream,
+}
+
+/// Build a connected waker pair.
+pub fn waker() -> io::Result<(Waker, WakeReceiver)> {
+    let (tx, rx) = std::os::unix::net::UnixStream::pair()?;
+    tx.set_nonblocking(true)?;
+    rx.set_nonblocking(true)?;
+    Ok((Waker { tx }, WakeReceiver { rx }))
+}
+
+impl Waker {
+    /// Interrupt the poller. Errors are ignored: a full pipe means a wake
+    /// is already pending, and a closed peer means the reactor is gone.
+    pub fn wake(&self) {
+        use std::io::Write;
+        let _ = (&self.tx).write(&[1]);
+    }
+}
+
+impl WakeReceiver {
+    /// The fd to register with the poller (read interest).
+    pub fn fd(&self) -> RawFd {
+        use std::os::unix::io::AsRawFd;
+        self.rx.as_raw_fd()
+    }
+
+    /// Consume all pending wake bytes.
+    pub fn drain(&self) {
+        use std::io::Read;
+        let mut buf = [0u8; 64];
+        while matches!((&self.rx).read(&mut buf), Ok(n) if n > 0) {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+    use std::time::Duration;
+
+    #[test]
+    fn poller_sees_readable_socket() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        poller.add(server.as_raw_fd(), 77, Interest::READ).unwrap();
+
+        client.write_all(b"x").unwrap();
+        let mut events = Vec::new();
+        // Give the byte a generous window to land.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        loop {
+            poller.wait(&mut events, Some(Duration::from_millis(50))).unwrap();
+            if events.iter().any(|e| e.key == 77 && e.readable) {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "never saw readability");
+        }
+        poller.remove(server.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn waker_interrupts_wait() {
+        let (tx, rx) = waker().unwrap();
+        let poller = Poller::new().unwrap();
+        poller.add(rx.fd(), 1, Interest::READ).unwrap();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            tx.wake();
+        });
+        let mut events = Vec::new();
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        loop {
+            poller.wait(&mut events, Some(Duration::from_millis(50))).unwrap();
+            if events.iter().any(|e| e.key == 1 && e.readable) {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "wake never arrived");
+        }
+        rx.drain();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn wait_times_out_when_idle() {
+        let poller = Poller::new().unwrap();
+        let mut events = Vec::new();
+        poller.wait(&mut events, Some(Duration::from_millis(5))).unwrap();
+        assert!(events.is_empty());
+    }
+}

@@ -1,0 +1,119 @@
+//! Property tests for the wire codec: arbitrary frames round-trip
+//! exactly, arbitrary byte soup never panics the decoder, and every
+//! truncation of a valid frame is "incomplete", never an error.
+
+use filter_core::wire::{OpKind, RespStatus};
+use filter_net::codec::{
+    decode_request, decode_response, encode_request, encode_response, Request, Response,
+    HEADER_BYTES, MAX_BODY,
+};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn op_strategy() -> impl Strategy<Value = OpKind> {
+    prop_oneof![
+        Just(OpKind::Insert),
+        Just(OpKind::Query),
+        Just(OpKind::Delete),
+        Just(OpKind::Ping),
+        Just(OpKind::Shutdown),
+    ]
+}
+
+fn status_strategy() -> impl Strategy<Value = RespStatus> {
+    prop_oneof![Just(RespStatus::Ok), Just(RespStatus::Shed), Just(RespStatus::Error)]
+}
+
+fn request_strategy() -> impl Strategy<Value = Request> {
+    (any::<u64>(), op_strategy(), vec(any::<u64>(), 0..200)).prop_map(|(id, op, keys)| Request {
+        id,
+        op,
+        keys,
+    })
+}
+
+fn response_strategy() -> impl Strategy<Value = Response> {
+    (any::<u64>(), status_strategy(), vec(any::<bool>(), 0..200))
+        .prop_map(|(id, status, results)| Response { id, status, results })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// encode → decode is the identity, frame after frame, and consumes
+    /// exactly the bytes it produced.
+    #[test]
+    fn request_encode_decode_identity(reqs in vec(request_strategy(), 1..8)) {
+        let mut buf = Vec::new();
+        for r in &reqs {
+            encode_request(r, &mut buf);
+        }
+        let mut at = 0usize;
+        for r in &reqs {
+            let (got, used) = decode_request(&buf[at..]).unwrap().expect("whole frame present");
+            prop_assert_eq!(&got, r);
+            at += used;
+        }
+        prop_assert_eq!(at, buf.len(), "no trailing bytes");
+    }
+
+    /// Same identity for responses.
+    #[test]
+    fn response_encode_decode_identity(resps in vec(response_strategy(), 1..8)) {
+        let mut buf = Vec::new();
+        for r in &resps {
+            encode_response(r, &mut buf);
+        }
+        let mut at = 0usize;
+        for r in &resps {
+            let (got, used) = decode_response(&buf[at..]).unwrap().expect("whole frame present");
+            prop_assert_eq!(&got, r);
+            at += used;
+        }
+        prop_assert_eq!(at, buf.len());
+    }
+
+    /// Every strict prefix of a valid frame decodes as "incomplete" —
+    /// partial reads can never surface as protocol errors.
+    #[test]
+    fn truncation_is_always_incomplete(req in request_strategy()) {
+        let mut buf = Vec::new();
+        encode_request(&req, &mut buf);
+        for cut in 0..buf.len() {
+            prop_assert_eq!(decode_request(&buf[..cut]).unwrap(), None, "cut {}", cut);
+        }
+    }
+
+    /// Arbitrary bytes never panic either decoder; they decode, want
+    /// more input, or fail cleanly — and whatever they do claim to
+    /// consume stays inside the buffer.
+    #[test]
+    fn byte_soup_never_panics(bytes in vec(any::<u8>(), 0..512)) {
+        if let Ok(Some((_, used))) = decode_request(&bytes) {
+            prop_assert!(used <= bytes.len());
+        }
+        if let Ok(Some((_, used))) = decode_response(&bytes) {
+            prop_assert!(used <= bytes.len());
+        }
+    }
+
+    /// Corrupting any single byte of a valid frame yields one of the
+    /// legal outcomes — a clean decode (the byte was a don't-care flip
+    /// like a key bit), incomplete (length prefix grew), or a typed
+    /// error — never a panic and never an out-of-buffer consume.
+    #[test]
+    fn single_byte_corruption_is_contained(
+        req in request_strategy(),
+        pos_seed in any::<u32>(),
+        delta in 1u8..=255,
+    ) {
+        let mut buf = Vec::new();
+        encode_request(&req, &mut buf);
+        let pos = pos_seed as usize % buf.len();
+        buf[pos] = buf[pos].wrapping_add(delta);
+        if let Ok(Some((got, used))) = decode_request(&buf) {
+            prop_assert!(used <= buf.len());
+            prop_assert!(got.keys.len() <= (MAX_BODY - HEADER_BYTES) / 8);
+        }
+    }
+}

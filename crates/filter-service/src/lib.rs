@@ -65,5 +65,7 @@ pub mod service;
 pub mod stats;
 
 pub use router::{ShardRouter, ROUTER_SEED};
-pub use service::{ServiceHandle, ShardedFilter, ShardedFilterBuilder};
-pub use stats::{BatchHistogram, ServiceStats};
+pub use service::{
+    BatchReport, ServiceControl, ServiceHandle, ShardedFilter, ShardedFilterBuilder,
+};
+pub use stats::{BatchHistogram, LatencySnapshot, ServiceStats};

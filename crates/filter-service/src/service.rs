@@ -45,9 +45,9 @@ use crate::router::{ShardRouter, ROUTER_SEED};
 use crate::stats::{ServiceStats, StatsInner};
 use filter_core::{
     DeleteOutcome, FilterError, FilterSpec, GrowthPolicy, InsertOutcome, MaintainableFilter,
-    Parallelism, ServiceBackend,
+    OpKind, Parallelism, ServiceBackend,
 };
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
 use std::sync::{Arc, Condvar, Mutex, RwLock, RwLockReadGuard};
 use std::thread::JoinHandle;
@@ -204,30 +204,161 @@ impl Drop for QueryAck {
     }
 }
 
-/// One buffered operation awaiting a flush.
+/// Aggregate result of an asynchronously submitted batch
+/// ([`ServiceHandle::submit_batch`]), delivered to the completion callback
+/// once every key of the batch has flushed.
 #[derive(Debug)]
-enum Pending {
-    /// Insert `key`; ack carries success/failure back to a blocking caller.
-    Insert(u64, Option<InsertAck>),
-    /// Query `key` into the ack's result slot.
-    Query(u64, QueryAck),
-    /// Delete `key`; the ack's result slot reports "was present".
-    Delete(u64, Option<QueryAck>),
+pub struct BatchReport {
+    /// Per-key answers in submission order — insert: accepted, query:
+    /// possibly present, delete: removed.
+    pub results: Vec<bool>,
+    /// Keys whose worker disappeared before answering (service stopped
+    /// mid-flight); their result slots read `false`.
+    pub aborted: usize,
 }
 
-impl Pending {
-    fn kind(&self) -> u8 {
+type BatchCallback = Box<dyn FnOnce(BatchReport) + Send + 'static>;
+
+/// Completion gate for callback-style batches: like [`QueryGate`], but
+/// instead of parking a caller, the last-arriving answer fires a callback
+/// (outside the gate lock, on whichever shard worker delivered it).
+struct AsyncGate {
+    state: Mutex<AsyncGateState>,
+}
+
+struct AsyncGateState {
+    results: Vec<bool>,
+    remaining: usize,
+    aborted: usize,
+    on_done: Option<BatchCallback>,
+}
+
+impl std::fmt::Debug for AsyncGate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("AsyncGate")
+    }
+}
+
+impl AsyncGate {
+    fn new(n: usize, on_done: BatchCallback) -> Arc<Self> {
+        Arc::new(AsyncGate {
+            state: Mutex::new(AsyncGateState {
+                results: vec![false; n],
+                remaining: n,
+                aborted: 0,
+                on_done: Some(on_done),
+            }),
+        })
+    }
+
+    fn set(&self, slot: u32, value: bool, aborted: bool) {
+        let fire = {
+            let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            s.results[slot as usize] = value;
+            s.remaining -= 1;
+            if aborted {
+                s.aborted += 1;
+            }
+            if s.remaining == 0 {
+                s.on_done.take().map(|cb| (std::mem::take(&mut s.results), s.aborted, cb))
+            } else {
+                None
+            }
+        };
+        if let Some((results, aborted, cb)) = fire {
+            cb(BatchReport { results, aborted });
+        }
+    }
+}
+
+/// One key's claim on an [`AsyncGate`] slot; abort-on-drop like
+/// [`QueryAck`], so a successfully submitted batch *always* fires its
+/// callback, even when the service stops mid-flight.
+#[derive(Debug)]
+struct AsyncAck {
+    gate: Arc<AsyncGate>,
+    slot: u32,
+    done: bool,
+}
+
+impl AsyncAck {
+    fn new(gate: Arc<AsyncGate>, slot: u32) -> Self {
+        AsyncAck { gate, slot, done: false }
+    }
+
+    fn fulfill(mut self, value: bool) {
+        self.done = true;
+        self.gate.set(self.slot, value, false);
+    }
+}
+
+impl Drop for AsyncAck {
+    fn drop(&mut self) {
+        if !self.done {
+            self.gate.set(self.slot, false, true);
+        }
+    }
+}
+
+/// Operation classes inside a shard buffer; maximal same-kind runs become
+/// one backend bulk call each.
+const KIND_INSERT: u8 = 0;
+const KIND_QUERY: u8 = 1;
+const KIND_DELETE: u8 = 2;
+
+/// The completion path of one buffered operation.
+#[derive(Debug)]
+enum Ack {
+    /// Fire-and-forget (pipelined): nothing to notify.
+    Fire,
+    /// A blocking caller's claim on an [`OpGate`].
+    Insert(InsertAck),
+    /// A blocking caller's slot on a [`QueryGate`].
+    Slot(QueryAck),
+    /// A completion-callback slot on an [`AsyncGate`] (the network
+    /// reactor's path into the service).
+    Async(AsyncAck),
+}
+
+impl Ack {
+    /// Deliver the per-key answer (insert: accepted; query: possibly
+    /// present; delete: removed).
+    fn fulfill(self, value: bool) {
         match self {
-            Pending::Insert(..) => 0,
-            Pending::Query(..) => 1,
-            Pending::Delete(..) => 2,
+            Ack::Fire => {}
+            Ack::Insert(a) => a.fulfill(value),
+            Ack::Slot(a) => a.fulfill(value),
+            Ack::Async(a) => a.fulfill(value),
         }
     }
 
-    fn key(&self) -> u64 {
-        match self {
-            Pending::Insert(k, _) | Pending::Query(k, _) | Pending::Delete(k, _) => *k,
-        }
+    /// Whether fulfilling this ack observably reports anything.
+    fn wants_report(&self) -> bool {
+        !matches!(self, Ack::Fire)
+    }
+}
+
+/// One buffered operation awaiting a flush, stamped with its submission
+/// time so the flushing worker can record end-to-end service latency.
+#[derive(Debug)]
+struct Pending {
+    kind: u8,
+    key: u64,
+    at: Instant,
+    ack: Ack,
+}
+
+impl Pending {
+    fn insert(key: u64, at: Instant, ack: Ack) -> Self {
+        Pending { kind: KIND_INSERT, key, at, ack }
+    }
+
+    fn query(key: u64, at: Instant, ack: Ack) -> Self {
+        Pending { kind: KIND_QUERY, key, at, ack }
+    }
+
+    fn delete(key: u64, at: Instant, ack: Ack) -> Self {
+        Pending { kind: KIND_DELETE, key, at, ack }
     }
 }
 
@@ -489,11 +620,14 @@ impl ShardedFilterBuilder {
     {
         let shards = self.shards.max(1);
         let stats: Arc<StatsInner> = Arc::default();
+        let linger_ns =
+            Arc::new(AtomicU64::new(self.linger.as_nanos().min(u64::MAX as u128) as u64));
         let mut backends = Vec::with_capacity(shards);
         for i in 0..shards {
             backends.push(Arc::new(RwLock::new(make(i)?)));
         }
-        let (senders, workers) = spawn_workers(&backends, &stats, &self, delete_fn, maintain, 0)?;
+        let (senders, workers) =
+            spawn_workers(&backends, &stats, &self, &linger_ns, delete_fn, maintain, 0)?;
         Ok(ShardedFilter {
             backends,
             state: Arc::new(RwLock::new(RouteState {
@@ -503,6 +637,7 @@ impl ShardedFilterBuilder {
             workers,
             cfg: self.clone(),
             stats,
+            linger_ns,
             started: Instant::now(),
             delete_fn,
             maintain,
@@ -529,6 +664,7 @@ fn spawn_workers<B: ServiceBackend + 'static>(
     backends: &[Arc<RwLock<B>>],
     stats: &Arc<StatsInner>,
     cfg: &ShardedFilterBuilder,
+    linger_ns: &Arc<AtomicU64>,
     delete_fn: Option<DeleteHooks<B>>,
     maintain: Option<MaintainHooks<B>>,
     generation: u64,
@@ -542,7 +678,7 @@ fn spawn_workers<B: ServiceBackend + 'static>(
             rx,
             stats: Arc::clone(stats),
             capacity: cfg.batch_capacity,
-            linger: cfg.linger,
+            linger_ns: Arc::clone(linger_ns),
             delete_fn,
             maintain,
         };
@@ -576,7 +712,10 @@ struct WorkerConfig<B: ServiceBackend> {
     rx: Receiver<Task>,
     stats: Arc<StatsInner>,
     capacity: usize,
-    linger: Duration,
+    /// Linger in nanoseconds, shared with [`ServiceControl`] so an
+    /// external controller (the adaptive network tier) can retune it live;
+    /// read when a deadline is armed.
+    linger_ns: Arc<AtomicU64>,
     delete_fn: Option<DeleteHooks<B>>,
     maintain: Option<MaintainHooks<B>>,
 }
@@ -584,6 +723,10 @@ struct WorkerConfig<B: ServiceBackend> {
 impl<B: ServiceBackend> WorkerConfig<B> {
     fn backend(&self) -> RwLockReadGuard<'_, B> {
         self.backend.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn linger(&self) -> Duration {
+        Duration::from_nanos(self.linger_ns.load(Ordering::Relaxed))
     }
 
     /// Auto-grow loop after an insert flush: while keys failed or the
@@ -678,7 +821,7 @@ impl<B: ServiceBackend> WorkerConfig<B> {
                 self.flush(&mut pending);
                 deadline = None;
             } else if deadline.is_none() {
-                deadline = Some(Instant::now() + self.linger);
+                deadline = Some(Instant::now() + self.linger());
             }
         }
         self.flush(&mut pending);
@@ -697,28 +840,33 @@ impl<B: ServiceBackend> WorkerConfig<B> {
         let mut keys: Vec<u64> = Vec::with_capacity(ops.len());
         let mut iter = ops.into_iter().peekable();
         while let Some(first) = iter.next() {
-            let kind = first.kind();
+            let kind = first.kind;
             keys.clear();
-            keys.push(first.key());
+            keys.push(first.key);
             run.push(first);
-            while iter.peek().map(|p| p.kind()) == Some(kind) {
+            while iter.peek().map(|p| p.kind) == Some(kind) {
                 let p = iter.next().unwrap();
-                keys.push(p.key());
+                keys.push(p.key);
                 run.push(p);
             }
             match kind {
-                0 => self.flush_inserts(&keys, run.drain(..)),
-                1 => self.flush_queries(&keys, run.drain(..)),
+                KIND_INSERT => self.flush_inserts(&keys, run.drain(..)),
+                KIND_QUERY => self.flush_queries(&keys, run.drain(..)),
                 _ => self.flush_deletes(&keys, run.drain(..)),
             }
         }
+    }
+
+    /// Record one end-to-end latency sample (submission → flush done).
+    fn record_latency(&self, p: &Pending) {
+        self.stats.latency.record(p.at.elapsed());
     }
 
     fn flush_inserts(&self, keys: &[u64], run: std::vec::Drain<'_, Pending>) {
         // Fully pipelined runs need only the aggregate failure count —
         // unless an auto-growth policy is armed, in which case the
         // per-key report drives the grow-and-retry loop even for them.
-        let wants_acks = run.as_slice().iter().any(|p| matches!(p, Pending::Insert(_, Some(_))));
+        let wants_acks = run.as_slice().iter().any(|p| p.ack.wants_report());
         let auto_growth = self.maintain.is_some_and(|m| m.auto.is_some());
         if !wants_acks && !auto_growth {
             let t0 = Instant::now();
@@ -726,6 +874,9 @@ impl<B: ServiceBackend> WorkerConfig<B> {
             self.stats.record_flush(keys.len(), t0.elapsed());
             if failed > 0 {
                 self.stats.insert_failures.fetch_add(failed as u64, Ordering::Relaxed);
+            }
+            for p in run {
+                self.record_latency(&p);
             }
             return;
         }
@@ -743,18 +894,16 @@ impl<B: ServiceBackend> WorkerConfig<B> {
                     self.stats.insert_failures.fetch_add(failed as u64, Ordering::Relaxed);
                 }
                 for (p, outcome) in run.zip(outcomes) {
-                    if let Pending::Insert(_, Some(ack)) = p {
-                        ack.fulfill(outcome.inserted());
-                    }
+                    self.record_latency(&p);
+                    p.ack.fulfill(outcome.inserted());
                 }
             }
             Err(_) => {
                 self.stats.record_flush(keys.len(), t0.elapsed());
                 self.stats.insert_failures.fetch_add(keys.len() as u64, Ordering::Relaxed);
                 for p in run {
-                    if let Pending::Insert(_, Some(ack)) = p {
-                        ack.fulfill(false);
-                    }
+                    self.record_latency(&p);
+                    p.ack.fulfill(false);
                 }
             }
         }
@@ -767,9 +916,8 @@ impl<B: ServiceBackend> WorkerConfig<B> {
         let n_hits = hits.iter().filter(|&&h| h).count() as u64;
         self.stats.query_hits.fetch_add(n_hits, Ordering::Relaxed);
         for (p, hit) in run.zip(hits) {
-            if let Pending::Query(_, ack) = p {
-                ack.fulfill(hit);
-            }
+            self.record_latency(&p);
+            p.ack.fulfill(hit);
         }
     }
 
@@ -782,13 +930,16 @@ impl<B: ServiceBackend> WorkerConfig<B> {
         };
         // Fully pipelined runs read no per-key answers; keep them on the
         // cheaper aggregate path.
-        let wants_acks = run.as_slice().iter().any(|p| matches!(p, Pending::Delete(_, Some(_))));
+        let wants_acks = run.as_slice().iter().any(|p| p.ack.wants_report());
         if !wants_acks {
             let t0 = Instant::now();
             if (hooks.aggregate)(&self.backend(), keys).is_err() {
                 self.stats.delete_failures.fetch_add(keys.len() as u64, Ordering::Relaxed);
             }
             self.stats.record_flush(keys.len(), t0.elapsed());
+            for p in run {
+                self.record_latency(&p);
+            }
             return;
         }
         // The backend's per-key delete outcomes answer each blocking
@@ -805,16 +956,14 @@ impl<B: ServiceBackend> WorkerConfig<B> {
             // failure.
             self.stats.delete_failures.fetch_add(keys.len() as u64, Ordering::Relaxed);
             for p in run {
-                if let Pending::Delete(_, Some(ack)) = p {
-                    ack.fulfill(false);
-                }
+                self.record_latency(&p);
+                p.ack.fulfill(false);
             }
             return;
         }
         for (p, outcome) in run.zip(outcomes) {
-            if let Pending::Delete(_, Some(ack)) = p {
-                ack.fulfill(outcome.removed());
-            }
+            self.record_latency(&p);
+            p.ack.fulfill(outcome.removed());
         }
     }
 }
@@ -883,14 +1032,14 @@ impl ServiceHandle {
     /// `Err(ServiceStopped)` when the service shut down first.
     pub fn insert(&self, key: u64) -> Result<(), FilterError> {
         let gate = OpGate::new(1);
-        let ack = InsertAck::new(Arc::clone(&gate));
+        let ack = Ack::Insert(InsertAck::new(Arc::clone(&gate)));
         {
             let rs = self.route_state();
             let shard = rs.router.route(key);
             self.send(
                 &rs,
                 shard,
-                Task::One(Pending::Insert(key, Some(ack))),
+                Task::One(Pending::insert(key, Instant::now(), ack)),
                 Some(&self.stats.inserts),
             )?;
         }
@@ -911,11 +1060,16 @@ impl ServiceHandle {
     /// Query one key; `Err(ServiceStopped)` if the service shut down.
     pub fn query(&self, key: u64) -> Result<bool, FilterError> {
         let gate = QueryGate::new(1);
-        let ack = QueryAck::new(Arc::clone(&gate), 0);
+        let ack = Ack::Slot(QueryAck::new(Arc::clone(&gate), 0));
         {
             let rs = self.route_state();
             let shard = rs.router.route(key);
-            self.send(&rs, shard, Task::One(Pending::Query(key, ack)), Some(&self.stats.queries))?;
+            self.send(
+                &rs,
+                shard,
+                Task::One(Pending::query(key, Instant::now(), ack)),
+                Some(&self.stats.queries),
+            )?;
         }
         match gate.wait() {
             (_, aborted) if aborted > 0 => Err(FilterError::ServiceStopped),
@@ -934,14 +1088,14 @@ impl ServiceHandle {
             return Err(FilterError::Unsupported("service built without deletes"));
         }
         let gate = QueryGate::new(1);
-        let ack = QueryAck::new(Arc::clone(&gate), 0);
+        let ack = Ack::Slot(QueryAck::new(Arc::clone(&gate), 0));
         {
             let rs = self.route_state();
             let shard = rs.router.route(key);
             self.send(
                 &rs,
                 shard,
-                Task::One(Pending::Delete(key, Some(ack))),
+                Task::One(Pending::delete(key, Instant::now(), ack)),
                 Some(&self.stats.deletes),
             )?;
         }
@@ -959,6 +1113,7 @@ impl ServiceHandle {
             return Ok(0);
         }
         let gate = OpGate::new(keys.len());
+        let at = Instant::now();
         let mut send_failed = false;
         {
             let rs = self.route_state();
@@ -969,7 +1124,7 @@ impl ServiceHandle {
                 }
                 let ops: Vec<Pending> = shard_keys
                     .into_iter()
-                    .map(|k| Pending::Insert(k, Some(InsertAck::new(Arc::clone(&gate)))))
+                    .map(|k| Pending::insert(k, at, Ack::Insert(InsertAck::new(Arc::clone(&gate)))))
                     .collect();
                 send_failed |=
                     self.send(&rs, shard, Task::Many(ops), Some(&self.stats.inserts)).is_err();
@@ -988,6 +1143,7 @@ impl ServiceHandle {
             return Ok(Vec::new());
         }
         let gate = QueryGate::new(keys.len());
+        let at = Instant::now();
         let mut send_failed = false;
         {
             let rs = self.route_state();
@@ -999,7 +1155,9 @@ impl ServiceHandle {
                 let ops: Vec<Pending> = shard_keys
                     .into_iter()
                     .zip(pos)
-                    .map(|(k, p)| Pending::Query(k, QueryAck::new(Arc::clone(&gate), p)))
+                    .map(|(k, p)| {
+                        Pending::query(k, at, Ack::Slot(QueryAck::new(Arc::clone(&gate), p)))
+                    })
                     .collect();
                 send_failed |=
                     self.send(&rs, shard, Task::Many(ops), Some(&self.stats.queries)).is_err();
@@ -1024,6 +1182,7 @@ impl ServiceHandle {
             return Ok(0);
         }
         let gate = QueryGate::new(keys.len());
+        let at = Instant::now();
         let mut send_failed = false;
         {
             let rs = self.route_state();
@@ -1035,7 +1194,9 @@ impl ServiceHandle {
                 let ops: Vec<Pending> = shard_keys
                     .into_iter()
                     .zip(pos)
-                    .map(|(k, p)| Pending::Delete(k, Some(QueryAck::new(Arc::clone(&gate), p))))
+                    .map(|(k, p)| {
+                        Pending::delete(k, at, Ack::Slot(QueryAck::new(Arc::clone(&gate), p)))
+                    })
                     .collect();
                 send_failed |=
                     self.send(&rs, shard, Task::Many(ops), Some(&self.stats.deletes)).is_err();
@@ -1054,7 +1215,12 @@ impl ServiceHandle {
     pub fn insert_pipelined(&self, key: u64) -> Result<(), FilterError> {
         let rs = self.route_state();
         let shard = rs.router.route(key);
-        self.send(&rs, shard, Task::One(Pending::Insert(key, None)), Some(&self.stats.inserts))
+        self.send(
+            &rs,
+            shard,
+            Task::One(Pending::insert(key, Instant::now(), Ack::Fire)),
+            Some(&self.stats.inserts),
+        )
     }
 
     /// Fire-and-forget batch insert (pre-routed, no completion gate).
@@ -1062,6 +1228,7 @@ impl ServiceHandle {
         if keys.is_empty() {
             return Ok(());
         }
+        let at = Instant::now();
         let rs = self.route_state();
         let (by_shard, _) = rs.router.partition(keys);
         for (shard, shard_keys) in by_shard.into_iter().enumerate() {
@@ -1069,7 +1236,7 @@ impl ServiceHandle {
                 continue;
             }
             let ops: Vec<Pending> =
-                shard_keys.into_iter().map(|k| Pending::Insert(k, None)).collect();
+                shard_keys.into_iter().map(|k| Pending::insert(k, at, Ack::Fire)).collect();
             self.send(&rs, shard, Task::Many(ops), Some(&self.stats.inserts))?;
         }
         Ok(())
@@ -1084,6 +1251,7 @@ impl ServiceHandle {
         if keys.is_empty() {
             return Ok(());
         }
+        let at = Instant::now();
         let rs = self.route_state();
         let (by_shard, _) = rs.router.partition(keys);
         for (shard, shard_keys) in by_shard.into_iter().enumerate() {
@@ -1091,8 +1259,72 @@ impl ServiceHandle {
                 continue;
             }
             let ops: Vec<Pending> =
-                shard_keys.into_iter().map(|k| Pending::Delete(k, None)).collect();
+                shard_keys.into_iter().map(|k| Pending::delete(k, at, Ack::Fire)).collect();
             self.send(&rs, shard, Task::Many(ops), Some(&self.stats.deletes))?;
+        }
+        Ok(())
+    }
+
+    /// Submit a batch asynchronously: enqueue every key and return
+    /// without parking; `on_done` fires exactly once — on a shard worker
+    /// thread — when every key has flushed, carrying per-key answers in
+    /// submission order.
+    ///
+    /// This is the network reactor's bridge into the service: the reactor
+    /// thread never blocks on a completion gate, and the callback hands
+    /// the finished [`BatchReport`] back to it (e.g. over a channel).
+    /// `op` must be a data operation ([`OpKind::is_data`]); deletes
+    /// additionally require a deletable service. On `Err` nothing was
+    /// enqueued and the callback never fires (except the trivial
+    /// empty-batch case, which fires it synchronously). After a
+    /// successful return the callback *always* fires eventually: if the
+    /// service stops mid-flight the dropped slots surface as
+    /// [`BatchReport::aborted`] rather than a lost response.
+    ///
+    /// Note the enqueue itself still honors backpressure — a full shard
+    /// queue blocks this call until the worker drains it, exactly like
+    /// the parking submission paths.
+    pub fn submit_batch(
+        &self,
+        op: OpKind,
+        keys: &[u64],
+        on_done: impl FnOnce(BatchReport) + Send + 'static,
+    ) -> Result<(), FilterError> {
+        let (kind, counter) = match op {
+            OpKind::Insert => (KIND_INSERT, &self.stats.inserts),
+            OpKind::Query => (KIND_QUERY, &self.stats.queries),
+            OpKind::Delete if self.deletes => (KIND_DELETE, &self.stats.deletes),
+            OpKind::Delete => {
+                return Err(FilterError::Unsupported("service built without deletes"))
+            }
+            _ => return Err(FilterError::Unsupported("submit_batch serves data ops only")),
+        };
+        if keys.is_empty() {
+            on_done(BatchReport { results: Vec::new(), aborted: 0 });
+            return Ok(());
+        }
+        let gate = AsyncGate::new(keys.len(), Box::new(on_done));
+        let at = Instant::now();
+        let rs = self.route_state();
+        let (by_shard, positions) = rs.router.partition(keys);
+        for (shard, (shard_keys, pos)) in by_shard.into_iter().zip(positions).enumerate() {
+            if shard_keys.is_empty() {
+                continue;
+            }
+            let ops: Vec<Pending> = shard_keys
+                .into_iter()
+                .zip(pos)
+                .map(|(k, p)| Pending {
+                    kind,
+                    key: k,
+                    at,
+                    ack: Ack::Async(AsyncAck::new(Arc::clone(&gate), p)),
+                })
+                .collect();
+            // A refused send (service stopped) drops the ops, aborting
+            // their slots — the callback still fires, with `aborted`
+            // accounting for them. Single-path reporting, no double error.
+            let _ = self.send(&rs, shard, Task::Many(ops), Some(counter));
         }
         Ok(())
     }
@@ -1135,6 +1367,57 @@ impl ServiceHandle {
     }
 }
 
+/// A cheap, cloneable observe-and-tune handle onto a service.
+///
+/// Where [`ServiceHandle`] submits traffic, `ServiceControl` watches and
+/// steers: live queue depth and accepted-operation counts (rate
+/// estimation), full [`ServiceStats`] snapshots, and the batch linger —
+/// readable and *writable at runtime*, the knob the adaptive network
+/// tier turns to trade batch amortization against tail latency. Like
+/// handles, it is not generic over the backend type.
+#[derive(Clone)]
+pub struct ServiceControl {
+    state: Arc<RwLock<RouteState>>,
+    stats: Arc<StatsInner>,
+    linger_ns: Arc<AtomicU64>,
+    started: Instant,
+}
+
+impl ServiceControl {
+    /// Current number of shards (scale-outs change it live).
+    pub fn shards(&self) -> usize {
+        self.state.read().unwrap_or_else(|e| e.into_inner()).router.shards()
+    }
+
+    /// Operations currently queued across all shards.
+    pub fn queue_depth(&self) -> u64 {
+        self.stats.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// Total operations accepted so far (inserts + queries + deletes) —
+    /// the monotone counter controllers difference for arrival rates.
+    pub fn ops_accepted(&self) -> u64 {
+        let o = Ordering::Relaxed;
+        self.stats.inserts.load(o) + self.stats.queries.load(o) + self.stats.deletes.load(o)
+    }
+
+    /// The batch linger currently in force.
+    pub fn linger(&self) -> Duration {
+        Duration::from_nanos(self.linger_ns.load(Ordering::Relaxed))
+    }
+
+    /// Retune the batch linger live; each shard worker picks it up the
+    /// next time it arms a flush deadline.
+    pub fn set_linger(&self, linger: Duration) {
+        self.linger_ns.store(linger.as_nanos().min(u64::MAX as u128) as u64, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the service metrics.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats::snapshot(&self.stats, self.shards(), self.started.elapsed())
+    }
+}
+
 /// A sharded, batch-aggregating serving front-end over `N` independent
 /// instances of a bulk filter backend. See the [module docs](self) for the
 /// architecture and the [crate docs](crate) for a quickstart.
@@ -1144,6 +1427,7 @@ pub struct ShardedFilter<B: ServiceBackend + 'static> {
     workers: Vec<JoinHandle<()>>,
     cfg: ShardedFilterBuilder,
     stats: Arc<StatsInner>,
+    linger_ns: Arc<AtomicU64>,
     started: Instant,
     delete_fn: Option<DeleteHooks<B>>,
     maintain: Option<MaintainHooks<B>>,
@@ -1168,6 +1452,19 @@ impl<B: ServiceBackend + 'static> ShardedFilter<B> {
     pub fn stats(&self) -> ServiceStats {
         let shards = self.route_state().router.shards();
         ServiceStats::snapshot(&self.stats, shards, self.started.elapsed())
+    }
+
+    /// An observe-and-tune handle (cheap; clone freely across threads):
+    /// live stats, queue depth, and the batch linger, without naming the
+    /// backend type. The adaptive network tier steers the service through
+    /// this.
+    pub fn control(&self) -> ServiceControl {
+        ServiceControl {
+            state: Arc::clone(&self.state),
+            stats: Arc::clone(&self.stats),
+            linger_ns: Arc::clone(&self.linger_ns),
+            started: self.started,
+        }
     }
 
     /// Number of shards.
@@ -1315,6 +1612,7 @@ impl<B: ServiceBackend + 'static> ShardedFilter<B> {
                 &self.backends,
                 &self.stats,
                 &self.cfg,
+                &self.linger_ns,
                 self.delete_fn,
                 self.maintain,
                 self.worker_generation,
@@ -1329,6 +1627,7 @@ impl<B: ServiceBackend + 'static> ShardedFilter<B> {
             &new_backends,
             &self.stats,
             &self.cfg,
+            &self.linger_ns,
             self.delete_fn,
             self.maintain,
             self.worker_generation,
@@ -1368,6 +1667,109 @@ impl<B: ServiceBackend + 'static> ShardedFilter<B> {
 impl<B: ServiceBackend + 'static> Drop for ShardedFilter<B> {
     fn drop(&mut self) {
         self.stop_workers();
+    }
+}
+
+#[cfg(test)]
+mod async_tests {
+    use super::*;
+    use std::sync::mpsc;
+    use tcf::BulkTcf;
+
+    fn service() -> ShardedFilter<BulkTcf> {
+        ShardedFilterBuilder::new()
+            .shards(2)
+            .batch_capacity(256)
+            .linger(Duration::from_micros(100))
+            .build_deletable(|_| BulkTcf::new(1 << 13))
+            .unwrap()
+    }
+
+    #[test]
+    fn submit_batch_fires_callback_with_per_key_results() {
+        let svc = service();
+        let h = svc.handle();
+        let keys: Vec<u64> = filter_core::hashed_keys(9, 500);
+        let (tx, rx) = mpsc::channel();
+        let tx2 = tx.clone();
+        h.submit_batch(OpKind::Insert, &keys, move |r| tx2.send(r).unwrap()).unwrap();
+        let r = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert_eq!(r.aborted, 0);
+        assert!(r.results.iter().all(|&ok| ok), "all inserts must land");
+
+        // Queries answer in submission order: present then absent.
+        let mut probe = keys[..100].to_vec();
+        probe.extend(filter_core::hashed_keys(10, 100));
+        h.submit_batch(OpKind::Query, &probe, move |r| tx.send(r).unwrap()).unwrap();
+        let r = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert_eq!(r.aborted, 0);
+        assert!(r.results[..100].iter().all(|&hit| hit), "inserted keys must hit");
+        let fp = r.results[100..].iter().filter(|&&hit| hit).count();
+        assert!(fp < 20, "absent keys mostly miss, got {fp} hits");
+
+        // The ledger saw the async traffic and recorded its latency.
+        let stats = svc.stats();
+        assert_eq!(stats.inserts, 500);
+        assert_eq!(stats.queries, 200);
+        assert!(stats.latency.count >= 700, "latency samples: {}", stats.latency.count);
+        assert!(stats.latency.p999 >= stats.latency.p50);
+    }
+
+    #[test]
+    fn submit_batch_refuses_non_data_ops_and_unsupported_deletes() {
+        let svc = ShardedFilterBuilder::new().shards(1).build(|_| BulkTcf::new(1 << 10)).unwrap();
+        let h = svc.handle();
+        let fired = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        for op in [OpKind::Ping, OpKind::Shutdown, OpKind::Delete] {
+            let f = Arc::clone(&fired);
+            let err = h.submit_batch(op, &[1, 2], move |_| {
+                f.store(true, Ordering::Relaxed);
+            });
+            assert!(err.is_err(), "{op:?} must be refused on this service");
+        }
+        assert!(!fired.load(Ordering::Relaxed), "refused submissions must not call back");
+        // Empty batches complete synchronously.
+        let f = Arc::clone(&fired);
+        h.submit_batch(OpKind::Insert, &[], move |r| {
+            assert_eq!(r.results.len(), 0);
+            f.store(true, Ordering::Relaxed);
+        })
+        .unwrap();
+        assert!(fired.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn submit_batch_after_shutdown_reports_aborts_not_silence() {
+        let svc = service();
+        let h = svc.handle();
+        drop(svc.shutdown());
+        let (tx, rx) = mpsc::channel();
+        h.submit_batch(OpKind::Insert, &[1, 2, 3], move |r| tx.send(r).unwrap()).unwrap();
+        let r = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert_eq!(r.aborted, 3, "stopped service must abort every slot");
+        assert!(r.results.iter().all(|&ok| !ok));
+    }
+
+    #[test]
+    fn control_observes_and_retunes_the_live_service() {
+        let svc = service();
+        let ctl = svc.control();
+        assert_eq!(ctl.shards(), 2);
+        assert_eq!(ctl.linger(), Duration::from_micros(100));
+        ctl.set_linger(Duration::from_millis(2));
+        assert_eq!(ctl.linger(), Duration::from_millis(2));
+
+        let h = svc.handle();
+        h.insert_batch(&filter_core::hashed_keys(11, 300)).unwrap();
+        assert_eq!(ctl.ops_accepted(), 300);
+        assert_eq!(ctl.queue_depth(), 0, "blocking batch drains before returning");
+        let stats = ctl.stats();
+        assert_eq!(stats.inserts, 300);
+        assert!(stats.latency.count >= 300);
+        // The control handle outlives a clone and shares the same knob.
+        let ctl2 = ctl.clone();
+        ctl2.set_linger(Duration::from_micros(50));
+        assert_eq!(ctl.linger(), Duration::from_micros(50));
     }
 }
 

@@ -59,6 +59,140 @@ impl BatchHistogram {
     }
 }
 
+/// Number of latency buckets: one underflow bucket below 2^[`LAT_OCT_MIN`]
+/// ns, then 4 log-linear sub-buckets per power of two up to
+/// 2^[`LAT_OCT_MAX`] ns (the last bucket absorbs everything larger).
+pub const LAT_BUCKETS: usize = 1 + 4 * (LAT_OCT_MAX - LAT_OCT_MIN + 1) as usize;
+/// Smallest resolved octave: 2^10 ns ≈ 1 µs.
+const LAT_OCT_MIN: u32 = 10;
+/// Largest resolved octave: 2^36 ns ≈ 69 s.
+const LAT_OCT_MAX: u32 = 36;
+
+/// Concurrent log-linear latency histogram — the service-side sibling of
+/// an HDR histogram, sized so `record` is two relaxed atomic adds and the
+/// quantile error stays under one part in eight (4 sub-buckets per
+/// octave). Shard workers record one sample per flushed operation,
+/// measured from the instant the operation entered a handle, so snapshots
+/// report true end-to-end service latency (queue wait + linger + flush).
+pub(crate) struct LatencyRecorder {
+    buckets: [AtomicU64; LAT_BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for LatencyRecorder {
+    fn default() -> Self {
+        LatencyRecorder {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl std::fmt::Debug for LatencyRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "LatencyRecorder(n={})", self.count.load(Ordering::Relaxed))
+    }
+}
+
+/// Bucket index for a sample of `ns` nanoseconds.
+fn lat_bucket_of(ns: u64) -> usize {
+    if ns < (1 << LAT_OCT_MIN) {
+        return 0;
+    }
+    let oct = (63 - ns.leading_zeros()).min(LAT_OCT_MAX);
+    let sub = if 63 - ns.leading_zeros() > LAT_OCT_MAX {
+        3 // beyond the top octave: clamp into its last sub-bucket
+    } else {
+        ((ns >> (oct - 2)) & 0b11) as usize
+    };
+    1 + 4 * (oct - LAT_OCT_MIN) as usize + sub
+}
+
+/// Midpoint (representative) latency of bucket `i`, in nanoseconds.
+fn lat_bucket_mid(i: usize) -> u64 {
+    if i == 0 {
+        return 1 << (LAT_OCT_MIN - 1);
+    }
+    let oct = LAT_OCT_MIN + ((i - 1) / 4) as u32;
+    let sub = ((i - 1) % 4) as u64;
+    let width = 1u64 << (oct - 2); // each octave splits into 4 sub-buckets
+    (1u64 << oct) + sub * width + width / 2
+}
+
+impl LatencyRecorder {
+    pub fn record(&self, elapsed: Duration) {
+        let ns = elapsed.as_nanos().min(u64::MAX as u128) as u64;
+        self.buckets[lat_bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> LatencySnapshot {
+        let o = Ordering::Relaxed;
+        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(o)).collect();
+        let count: u64 = counts.iter().sum();
+        let max = Duration::from_nanos(self.max_ns.load(o));
+        let quantile = |q: f64| -> Duration {
+            if count == 0 {
+                return Duration::ZERO;
+            }
+            let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+            let mut seen = 0u64;
+            for (i, &c) in counts.iter().enumerate() {
+                seen += c;
+                if seen >= target {
+                    return Duration::from_nanos(lat_bucket_mid(i)).min(max);
+                }
+            }
+            max
+        };
+        LatencySnapshot {
+            count,
+            mean: Duration::from_nanos(self.sum_ns.load(o).checked_div(count).unwrap_or_default()),
+            p50: quantile(0.50),
+            p99: quantile(0.99),
+            p999: quantile(0.999),
+            max,
+        }
+    }
+}
+
+/// Point-in-time per-operation end-to-end latency summary (enqueue →
+/// flush completion), carried inside [`ServiceStats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencySnapshot {
+    /// Operations with a recorded latency sample.
+    pub count: u64,
+    /// Mean end-to-end latency.
+    pub mean: Duration,
+    /// Median.
+    pub p50: Duration,
+    /// 99th percentile.
+    pub p99: Duration,
+    /// 99.9th percentile.
+    pub p999: Duration,
+    /// Worst sample.
+    pub max: Duration,
+}
+
+impl LatencySnapshot {
+    /// Render as `"p50 1.2ms p99 4ms p999 9ms max 12ms (n=...)"`.
+    pub fn render(&self) -> String {
+        if self.count == 0 {
+            return "(no samples)".to_string();
+        }
+        format!(
+            "p50 {:.2?} p99 {:.2?} p999 {:.2?} max {:.2?} (n={})",
+            self.p50, self.p99, self.p999, self.max, self.count
+        )
+    }
+}
+
 /// Shared atomic counters, updated by handles (enqueue side) and shard
 /// workers (flush side).
 #[derive(Debug, Default)]
@@ -82,6 +216,8 @@ pub(crate) struct StatsInner {
     pub regrown_keys: AtomicU64,
     pub scale_outs: AtomicU64,
     pub migration_events: AtomicU64,
+    // -- per-operation end-to-end latency (PR 6) --
+    pub latency: LatencyRecorder,
 }
 
 impl StatsInner {
@@ -150,6 +286,8 @@ pub struct ServiceStats {
     /// Per-shard merge migrations performed during scale-outs (one per
     /// new shard absorbing its parent).
     pub migration_events: u64,
+    /// End-to-end per-operation latency percentiles (enqueue → flush).
+    pub latency: LatencySnapshot,
     /// Time since the service started.
     pub elapsed: Duration,
 }
@@ -181,6 +319,7 @@ impl ServiceStats {
             regrown_keys: inner.regrown_keys.load(o),
             scale_outs: inner.scale_outs.load(o),
             migration_events: inner.migration_events.load(o),
+            latency: inner.latency.snapshot(),
             elapsed,
         }
     }
@@ -222,6 +361,7 @@ impl ServiceStats {
              ops: {} inserts ({} failed), {} queries ({} hits), {} deletes ({} failed)\n\
              batches: {} flushed, mean size {:.1}, hist {}\n\
              flush: mean {:.2?}, max {:.2?}; queue depth {} (max {}), rejected {}\n\
+             latency: {}\n\
              lifecycle: {} grows ({} keys regrown), {} scale-outs ({} migrations)",
             self.shards,
             self.throughput(),
@@ -240,6 +380,7 @@ impl ServiceStats {
             self.queue_depth,
             self.queue_depth_max,
             self.rejected,
+            self.latency.render(),
             self.grow_events,
             self.regrown_keys,
             self.scale_outs,
@@ -287,6 +428,63 @@ mod tests {
         let s = ServiceStats::snapshot(&inner, 1, Duration::from_secs(1));
         assert_eq!(s.queue_depth, 2);
         assert_eq!(s.queue_depth_max, 12);
+    }
+
+    #[test]
+    fn latency_buckets_are_total_and_monotone() {
+        // Every sample lands in a valid bucket, and bucket index never
+        // decreases as the sample grows.
+        let mut last = 0usize;
+        for shift in 0..63u32 {
+            for off in [0u64, 1, 3] {
+                let ns = (1u64 << shift) | (off << shift.saturating_sub(2));
+                let b = lat_bucket_of(ns);
+                assert!(b < LAT_BUCKETS, "bucket {b} out of range for {ns}ns");
+                assert!(b >= last, "bucket regressed at {ns}ns: {b} < {last}");
+                last = b;
+            }
+        }
+        // Representatives sit inside (or at least near) their bucket.
+        for i in 1..LAT_BUCKETS {
+            assert_eq!(lat_bucket_of(lat_bucket_mid(i)), i, "mid of bucket {i} maps back");
+        }
+    }
+
+    #[test]
+    fn latency_percentiles_track_a_known_distribution() {
+        let rec = LatencyRecorder::default();
+        // 1000 samples: 988 at ~100µs, 10 at ~5ms, 2 at ~50ms — nearest
+        // rank puts p50 in the first mode, p99 in the second, p999 in the
+        // third.
+        for _ in 0..988 {
+            rec.record(Duration::from_micros(100));
+        }
+        for _ in 0..10 {
+            rec.record(Duration::from_millis(5));
+        }
+        rec.record(Duration::from_millis(50));
+        rec.record(Duration::from_millis(50));
+        let s = rec.snapshot();
+        assert_eq!(s.count, 1000);
+        let close = |d: Duration, target_us: u64| {
+            let us = d.as_micros() as f64;
+            let t = target_us as f64;
+            us > t * 0.75 && us < t * 1.35
+        };
+        assert!(close(s.p50, 100), "p50 {:?}", s.p50);
+        assert!(close(s.p99, 5000), "p99 {:?}", s.p99);
+        assert!(close(s.p999, 50_000), "p999 {:?}", s.p999);
+        assert_eq!(s.max, Duration::from_millis(50));
+        assert!(s.p50 <= s.p99 && s.p99 <= s.p999 && s.p999 <= s.max);
+        assert!(s.render().contains("n=1000"));
+    }
+
+    #[test]
+    fn latency_snapshot_empty_is_zero() {
+        let s = LatencyRecorder::default().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p999, Duration::ZERO);
+        assert_eq!(s.render(), "(no samples)");
     }
 
     #[test]

@@ -1,0 +1,178 @@
+//! Open-loop arrival schedules for the network serving benchmarks.
+//!
+//! A *closed-loop* load generator waits for each response before sending
+//! the next request, so an overloaded server conveniently slows its own
+//! clients down and the measured tail shrinks — the classic coordinated
+//! omission trap. The serving-tier benchmarks instead draw an **open
+//! loop** schedule up front: request send times are sampled from a
+//! Poisson process (optionally with periodic burst episodes) independent
+//! of the server, and each request's latency is measured from its
+//! *scheduled* send time. A server that falls behind accrues the queueing
+//! delay it actually caused.
+//!
+//! Everything is deterministic per seed (XORWOW-driven), like every other
+//! generator in this crate.
+
+use filter_core::Xorwow;
+use std::time::Duration;
+
+/// Periodic burst episodes layered over the base Poisson rate: for
+/// `burst_len` out of every `period`, the arrival rate is multiplied by
+/// `multiplier`. Models the flash-crowd episodes that make tail-latency
+/// SLOs interesting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstProfile {
+    /// Length of one base-rate + burst cycle.
+    pub period: Duration,
+    /// Leading slice of each period spent bursting (`<= period`).
+    pub burst_len: Duration,
+    /// Rate multiplier during the burst slice (`>= 1.0` for a burst;
+    /// values below 1 model periodic lulls instead).
+    pub multiplier: f64,
+}
+
+impl BurstProfile {
+    /// Whether instant `t` (from schedule start) falls inside a burst.
+    pub fn bursting(&self, t: Duration) -> bool {
+        if self.period.is_zero() {
+            return false;
+        }
+        let into = t.as_nanos() % self.period.as_nanos();
+        into < self.burst_len.as_nanos()
+    }
+}
+
+/// Draw an open-loop Poisson arrival schedule: request send offsets from
+/// the schedule start, strictly increasing, covering `[0, duration)`.
+///
+/// `rate` is the base arrival rate in requests per second; `burst`
+/// optionally layers [`BurstProfile`] episodes on top. Inter-arrival gaps
+/// are exponential with the rate in force at the *previous* arrival — a
+/// standard piecewise approximation that keeps the draw single-pass (the
+/// error is one inter-arrival time at each episode boundary).
+///
+/// ```
+/// use std::time::Duration;
+/// let a = workloads::open_loop_arrivals(10_000.0, Duration::from_secs(1), None, 7);
+/// // ~10k arrivals in one second, deterministic per seed.
+/// assert!((9_000..11_000).contains(&a.len()));
+/// assert_eq!(a, workloads::open_loop_arrivals(10_000.0, Duration::from_secs(1), None, 7));
+/// ```
+pub fn open_loop_arrivals(
+    rate: f64,
+    duration: Duration,
+    burst: Option<BurstProfile>,
+    seed: u64,
+) -> Vec<Duration> {
+    assert!(rate > 0.0 && rate.is_finite(), "arrival rate must be positive, got {rate}");
+    let mut g = Xorwow::new(seed);
+    let mut out = Vec::with_capacity((rate * duration.as_secs_f64() * 1.2) as usize + 16);
+    let mut t = Duration::ZERO;
+    loop {
+        let r = match burst {
+            Some(b) if b.bursting(t) => rate * b.multiplier,
+            _ => rate,
+        };
+        // Exponential inter-arrival via inverse CDF; u in (0, 1].
+        let u = (g.next_u32() as f64 + 1.0) / (u32::MAX as f64 + 1.0);
+        let gap = -u.ln() / r;
+        t += Duration::from_secs_f64(gap);
+        if t >= duration {
+            return out;
+        }
+        out.push(t);
+    }
+}
+
+/// Inverse-CDF Zipf rank sampler over `0..universe` — the key-popularity
+/// model of the serving benchmarks (rank 0 is the hottest key), sharing
+/// the power-law approximation of
+/// [`zipfian_count_dataset`](crate::zipfian_count_dataset).
+#[derive(Debug, Clone, Copy)]
+pub struct ZipfSampler {
+    universe: usize,
+    /// `-1 / (s - 1)` for coefficient `s`.
+    exponent: f64,
+}
+
+impl ZipfSampler {
+    /// A sampler over ranks `0..universe` with Zipf coefficient
+    /// `coefficient` (must exceed 1 for a finite mean).
+    pub fn new(universe: usize, coefficient: f64) -> Self {
+        assert!(universe > 0, "Zipf universe must be non-empty");
+        assert!(coefficient > 1.0, "Zipf coefficient must exceed 1 for a finite mean");
+        ZipfSampler { universe, exponent: -1.0 / (coefficient - 1.0) }
+    }
+
+    /// Draw a 0-based rank; hot ranks are small. (Truncating — not
+    /// ceiling — the power-law draw keeps rank 0 reachable, so the
+    /// hottest key really is rank 0.)
+    pub fn rank(&self, g: &mut Xorwow) -> usize {
+        let u = (g.next_u32() as f64 + 1.0) / (u32::MAX as f64 + 2.0);
+        (u.powf(self.exponent) as u64).clamp(1, self.universe as u64) as usize - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrival_gaps_match_the_rate() {
+        let rate = 50_000.0;
+        let a = open_loop_arrivals(rate, Duration::from_secs(1), None, 3);
+        let expected = rate;
+        // Poisson count concentrates tightly at this n.
+        assert!(
+            (a.len() as f64) > expected * 0.95 && (a.len() as f64) < expected * 1.05,
+            "got {} arrivals for rate {rate}",
+            a.len()
+        );
+        assert!(a.windows(2).all(|w| w[1] > w[0]), "offsets strictly increase");
+        assert!(*a.last().unwrap() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn bursts_concentrate_arrivals() {
+        let burst = BurstProfile {
+            period: Duration::from_millis(100),
+            burst_len: Duration::from_millis(20),
+            multiplier: 10.0,
+        };
+        let a = open_loop_arrivals(5_000.0, Duration::from_secs(1), Some(burst), 4);
+        let in_burst = a.iter().filter(|&&t| burst.bursting(t)).count();
+        let frac = in_burst as f64 / a.len() as f64;
+        // Burst windows are 20% of time but 10x rate → ~71% of arrivals.
+        assert!(frac > 0.55, "burst windows should dominate, got {frac:.2}");
+        // And the total count reflects the elevated average rate (~2.8x).
+        assert!(a.len() > 10_000, "bursting schedule too sparse: {}", a.len());
+    }
+
+    #[test]
+    fn schedules_are_deterministic_per_seed() {
+        let mk = |seed| open_loop_arrivals(10_000.0, Duration::from_millis(200), None, seed);
+        assert_eq!(mk(7), mk(7));
+        assert_ne!(mk(7), mk(8));
+    }
+
+    #[test]
+    fn zipf_ranks_are_skewed_and_bounded() {
+        let z = ZipfSampler::new(10_000, 1.5);
+        let mut g = Xorwow::new(9);
+        let draws: Vec<usize> = (0..50_000).map(|_| z.rank(&mut g)).collect();
+        assert!(draws.iter().all(|&r| r < 10_000));
+        let hot = draws.iter().filter(|&&r| r == 0).count();
+        assert!(
+            hot as f64 > draws.len() as f64 * 0.2,
+            "rank 0 should dominate at s=1.5, got {hot}"
+        );
+        let tail = draws.iter().filter(|&&r| r >= 100).count();
+        assert!(tail > 100, "the tail should still be sampled, got {tail}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_rate_is_refused() {
+        let _ = open_loop_arrivals(0.0, Duration::from_secs(1), None, 1);
+    }
+}

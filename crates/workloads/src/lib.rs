@@ -9,12 +9,17 @@
 //!   dataset and the MetaHipMer metagenomes (see DESIGN.md §2 for why the
 //!   substitution preserves the relevant count distributions);
 //! * graph edge streams (power-law and uniform) for the even-odd
-//!   dynamic-graph store of §1's generalization claim.
+//!   dynamic-graph store of §1's generalization claim;
+//! * open-loop Poisson arrival schedules with burst episodes and a Zipf
+//!   key-popularity sampler, for the network serving tier's
+//!   latency-vs-offered-load benchmarks.
 
+pub mod arrivals;
 pub mod counting;
 pub mod genomics;
 pub mod graph;
 
+pub use arrivals::{open_loop_arrivals, BurstProfile, ZipfSampler};
 pub use counting::{ur_count_dataset, ur_dataset, zipfian_count_dataset, CountDataset};
 pub use filter_core::hashed_keys;
 pub use genomics::{extract_kmers, kmer_dataset, synthetic_reads, GenomeProfile};

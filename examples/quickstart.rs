@@ -96,7 +96,39 @@ fn main() -> Result<(), FilterError> {
     assert_eq!(a.bulk_count(&[1, 2, 3, 4])?, vec![1, 1, 2, 1]);
     println!("Lifecycle surface: grow(2) + merge kept every count exact ✓");
 
-    // ---- 6. Or sweep every filter in the workspace ---------------------
+    // ---- 6. Put it on the wire -----------------------------------------
+    // `filter-net` serves a sharded service over TCP: length-prefixed
+    // binary frames in, per-key outcomes back, adaptive batch linger +
+    // admission control keeping tail latency bounded under overload.
+    // Here: a 2-shard service, a loopback server, and a simulated client
+    // fleet (open-loop Poisson arrivals, Zipf keys) hammering it.
+    let svc =
+        ShardedFilterBuilder::new().shards(2).build(|_| gpu_filters::BulkTcf::new(1 << 16))?;
+    let server = gpu_filters::net::serve(
+        "127.0.0.1:0",
+        svc.handle(),
+        svc.control(),
+        gpu_filters::net::ServerConfig::default(),
+    )
+    .expect("bind loopback");
+    let report = gpu_filters::net::run_fleet(&gpu_filters::net::FleetConfig {
+        addr: server.local_addr(),
+        connections: 16,
+        rate: 4_000.0,
+        duration: std::time::Duration::from_millis(300),
+        ..Default::default()
+    })
+    .expect("fleet");
+    assert!(report.complete(), "every request answered");
+    let net = server.shutdown().expect("clean shutdown");
+    println!(
+        "Network tier: {} requests over {} conns, p99 {:.2?}, ledger balanced ✓",
+        net.requests(),
+        net.conns_accepted,
+        report.p99()
+    );
+
+    // ---- 7. Or sweep every filter in the workspace ---------------------
     // The benchmark tables are generated exactly this way.
     println!("\nregistry sweep at {} items:", spec.capacity);
     for (kind, built) in all_filters(&spec) {
