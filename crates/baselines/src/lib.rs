@@ -11,6 +11,8 @@
 //!   rules out on space grounds (Ablation 7 quantifies the overhead);
 //! * [`cpu`] — host-thread CQF and VQF for the CPU rows of Table 4.
 
+#![forbid(unsafe_code)]
+
 pub mod blocked_bloom;
 pub mod bloom;
 pub mod counting_bloom;

@@ -27,6 +27,8 @@
 //! crate's README; binaries accept `--sizes a,b,c` (log2 slot counts),
 //! `--repeats N`, and `--smoke` (CI-scale: small n, 1 repeat).
 
+#![forbid(unsafe_code)]
+
 pub mod harness;
 pub mod json;
 

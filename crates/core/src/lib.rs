@@ -81,6 +81,8 @@
 //! bin/service_throughput.rs` for the measured point-vs-batched-vs-
 //! sharded comparison and the delete-heavy per-key-vs-pre-query delta.
 
+#![forbid(unsafe_code)]
+
 pub mod registry;
 
 pub use baselines::{

@@ -29,6 +29,8 @@
 //! assert_eq!(t.get(500), Some(1000));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod graph;
 pub mod table;
 

@@ -359,8 +359,11 @@ mod tests {
         }
 
         fn load(&self) -> Result<f64, FilterError> {
+            // items before capacity, matching bulk_insert_report — the
+            // lock-order manifest ranks items(50) < capacity(60).
+            let n = self.items.lock().unwrap().len();
             let cap = *self.capacity.lock().unwrap();
-            Ok(self.items.lock().unwrap().len() as f64 / cap as f64)
+            Ok(n as f64 / cap as f64)
         }
 
         fn grow(&mut self, factor: u32) -> Result<(), FilterError> {

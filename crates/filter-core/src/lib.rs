@@ -23,6 +23,8 @@
 //!   (`bulk_insert_report` / `bulk_delete_report`); the aggregate-count
 //!   forms remain as defaulted wrappers.
 
+#![forbid(unsafe_code)]
+
 pub mod dynfilter;
 pub mod error;
 pub mod features;

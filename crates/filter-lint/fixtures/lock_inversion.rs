@@ -1,0 +1,21 @@
+//! Lint fixture: a manifest-inverted lock acquisition and an undeclared
+//! lock. With the fixture manifest (routing rank 10 before backend rank
+//! 20), `bad_path` acquires backend-then-routing — a deadlock-shaped
+//! inversion — and `rogue` declares a Mutex no manifest class covers.
+//! Scanner input only; never compiled.
+
+struct Rogue {
+    rogue: Mutex<u32>,
+}
+
+fn good_path(state: &RwLock<u32>, backend: &RwLock<u32>) {
+    let rs = state.write();
+    let b = backend.read();
+    drop((rs, b));
+}
+
+fn bad_path(state: &RwLock<u32>, backend: &RwLock<u32>) {
+    let b = backend.read();
+    let rs = state.write();
+    drop((rs, b));
+}

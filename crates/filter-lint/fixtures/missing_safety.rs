@@ -1,0 +1,14 @@
+//! Lint fixture: an `unsafe` block with no `SAFETY:` comment, plus a
+//! documented one. The unsafe-audit pass must flag exactly the first.
+//! This file is NOT compiled — `fixtures/` is excluded from the
+//! workspace scan and from cargo targets; it exists only as scanner
+//! input for `tests/lint_fixtures.rs`.
+
+fn undocumented(p: *mut u8) {
+    unsafe { p.write(0) };
+}
+
+fn documented(p: *mut u8) {
+    // SAFETY: fixture — p is valid by construction.
+    unsafe { p.write(1) };
+}

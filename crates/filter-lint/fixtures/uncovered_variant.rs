@@ -1,0 +1,37 @@
+//! Lint fixture: registry/wire coverage holes. `FilterKind::Orphan` is
+//! missing from `ALL` (tiers iterating ALL would silently skip it), and
+//! `OpKind::Compact` decodes nowhere — no `from_u8` arm — and is never
+//! tested. Scanner input only; never compiled.
+
+pub enum FilterKind {
+    TcfPoint,
+    Orphan,
+}
+
+impl FilterKind {
+    pub const ALL: [FilterKind; 1] = [FilterKind::TcfPoint];
+}
+
+pub enum OpKind {
+    Insert = 0,
+    Compact = 9,
+}
+
+impl OpKind {
+    pub const ALL: [OpKind; 2] = [OpKind::Insert, OpKind::Compact];
+
+    pub fn from_u8(b: u8) -> Option<Self> {
+        match b {
+            0 => Some(OpKind::Insert),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn insert_roundtrips() {
+        let _ = super::OpKind::Insert;
+    }
+}

@@ -1,0 +1,23 @@
+//! Lint fixture: a decode path that allocates by a wire-declared count
+//! without range-checking it first — the remote-OOM shape the
+//! alloc-bound pass exists to catch. `decode_checked` shows the guarded
+//! shape that must stay quiet. Scanner input only; never compiled.
+
+const MAX_KEYS: usize = 1 << 16;
+
+fn decode_unchecked(body: &[u8]) -> Vec<bool> {
+    let declared = u32::from_le_bytes(body[0..4].try_into().unwrap()) as usize;
+    let mut results = Vec::with_capacity(declared);
+    results.resize(declared.min(body.len()), false);
+    results
+}
+
+fn decode_checked(body: &[u8]) -> Option<Vec<bool>> {
+    let declared = u32::from_le_bytes(body[0..4].try_into().unwrap()) as usize;
+    if declared > MAX_KEYS {
+        return None;
+    }
+    let mut results = Vec::with_capacity(declared);
+    results.resize(declared, false);
+    Some(results)
+}

@@ -1,0 +1,177 @@
+//! Pass 4: the bounded-allocation lint.
+//!
+//! The codec allocates result buffers sized by a *wire-declared* count.
+//! A malicious or corrupt frame declaring `u32::MAX` keys must never
+//! reach `Vec::with_capacity` unchecked — that is a remote OOM. The rule:
+//! every `with_capacity(arg)` in the decode path must have a provably
+//! bounded argument —
+//!
+//! * a numeric literal or ALL-CAPS constant, or
+//! * an expression clamped in place (`.min(...)`), or
+//! * identifiers each validated earlier in the same function by a
+//!   comparison against an ALL-CAPS constant (the codec's
+//!   `if declared > MAX_KEYS ... return Err` guard shape), or derived
+//!   from an in-memory buffer's `.len()` (already bounded by framing).
+//!
+//! Anything else is flagged. Scope is the codec (`filter-net/src/codec.rs`)
+//! — client-side harness allocations sized from local config are not
+//! wire-reachable and stay out of scope.
+
+use crate::scan::{find_word, is_ident_char, SourceFile};
+use crate::Finding;
+
+/// Files the pass runs on in the real tree.
+pub fn in_scope(path: &str) -> bool {
+    path == "crates/filter-net/src/codec.rs"
+}
+
+/// Identifiers that never name untrusted quantities on their own.
+const SAFE_TOKENS: [&str; 10] =
+    ["as", "usize", "u8", "u16", "u32", "u64", "len", "min", "max", "saturating_mul"];
+
+fn is_all_caps_const(ident: &str) -> bool {
+    ident.chars().any(|c| c.is_ascii_uppercase())
+        && ident.chars().all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+}
+
+fn is_numeric(ident: &str) -> bool {
+    ident.chars().next().is_some_and(|c| c.is_ascii_digit())
+}
+
+/// Extract the balanced-paren argument of `with_capacity(` at `pos`
+/// (position of the opening paren).
+fn paren_arg(code: &str, open: usize) -> Option<&str> {
+    let bytes = code.as_bytes();
+    let mut depth = 0i32;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&code[open + 1..i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Ident tokens of `arg` that must each be proven bounded.
+fn suspect_idents(arg: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for c in arg.chars().chain(std::iter::once(' ')) {
+        if is_ident_char(c) {
+            cur.push(c);
+            continue;
+        }
+        if !cur.is_empty() {
+            let t = std::mem::take(&mut cur);
+            if !is_numeric(&t) && !is_all_caps_const(&t) && !SAFE_TOKENS.contains(&t.as_str()) {
+                out.push(t);
+            }
+        }
+    }
+    out
+}
+
+/// Whether `code` validates `ident`: compares it against an ALL-CAPS
+/// constant (guard shape `if ident > MAX_X ... return Err`).
+fn validates(code: &str, ident: &str) -> bool {
+    if find_word(code, ident).is_empty() {
+        return false;
+    }
+    let has_cmp = ["<", ">", "<=", ">=", "==", "!="].iter().any(|op| code.contains(op));
+    let has_const = code
+        .split(|c: char| !is_ident_char(c))
+        .any(|tok| !tok.is_empty() && is_all_caps_const(tok));
+    has_cmp && has_const
+}
+
+/// Run the pass over the given files.
+pub fn run(files: &[&SourceFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in files {
+        // Line indices where the current function began, for the
+        // look-back validation window.
+        let mut fn_start = 0usize;
+        for (idx, line) in file.lines.iter().enumerate() {
+            if !find_word(&line.code, "fn").is_empty() {
+                fn_start = idx;
+            }
+            let code = &line.code;
+            let mut from = 0;
+            while let Some(rel) = code[from..].find("with_capacity(") {
+                let open = from + rel + "with_capacity".len();
+                from = open;
+                let Some(arg) = paren_arg(code, open) else { continue };
+                if arg.contains(".min(") || arg.contains(".len(") {
+                    continue;
+                }
+                for ident in suspect_idents(arg) {
+                    let validated =
+                        file.lines[fn_start..idx].iter().any(|l| validates(&l.code, &ident));
+                    if !validated {
+                        findings.push(Finding {
+                            pass: "alloc-bound",
+                            file: file.path.clone(),
+                            line: line.number,
+                            message: format!(
+                                "with_capacity({arg}) sizes an allocation by `{ident}`, which is \
+                                 not validated against a MAX_* bound earlier in this function — \
+                                 an attacker-declared wire length must be range-checked before \
+                                 it reaches the allocator"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::SourceFile;
+
+    fn check(src: &str) -> Vec<Finding> {
+        let f = SourceFile::scan("codec.rs", src);
+        run(&[&f])
+    }
+
+    #[test]
+    fn guarded_wire_length_passes() {
+        let f = check(
+            "fn decode(body: &[u8]) {\n    let declared = read(body) as usize;\n    if declared > MAX_KEYS || declared != holds {\n        return Err(E);\n    }\n    let v = Vec::with_capacity(declared);\n}\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn unguarded_wire_length_fires() {
+        let f = check(
+            "fn decode(body: &[u8]) {\n    let declared = read(body) as usize;\n    let v = Vec::with_capacity(declared);\n}\n",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn guards_do_not_leak_across_functions() {
+        let f = check(
+            "fn a(declared: usize) {\n    if declared > MAX_KEYS { return; }\n}\nfn b(declared: usize) {\n    let v = Vec::with_capacity(declared);\n}\n",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn literals_consts_and_clamps_pass() {
+        let f = check(
+            "fn mk() {\n    let a = Vec::with_capacity(64);\n    let b = Vec::with_capacity(MAX_KEYS);\n    let c = Vec::with_capacity(n.min(MAX_KEYS));\n    let d = Vec::with_capacity(buf.len());\n}\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

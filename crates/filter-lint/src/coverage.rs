@@ -1,0 +1,425 @@
+//! Pass 3: registry and wire coverage.
+//!
+//! Two compiler-unenforced invariants keep the test tiers honest:
+//!
+//! * **Registry**: `FilterKind` is `#[non_exhaustive]`, so a new variant
+//!   compiles even if `FilterKind::ALL` — the array every oracle tier
+//!   iterates — was never extended. This pass cross-checks the enum body
+//!   against `ALL`, then checks each tier file actually drives the
+//!   registry (references `FilterKind::ALL` or names every variant).
+//! * **Wire**: every `OpKind` byte must be in `ALL`, decodable
+//!   (`from_u8` arm), labeled, and exercised by a test; every
+//!   `RespStatus` byte must be decodable and exercised. A new op that
+//!   encodes but never decodes — or decodes but is never tested — is a
+//!   silent protocol hole.
+//!
+//! Everything is config-driven so fixture tests can point the same pass
+//! at deliberately-bad snippets.
+
+use crate::scan::{find_word, SourceFile};
+use crate::Finding;
+use std::path::Path;
+
+/// Wire-enum requirements: which per-variant facts must hold.
+#[derive(Debug, Clone)]
+pub struct WireEnum {
+    /// Enum name, e.g. `OpKind`.
+    pub name: String,
+    /// Must every variant appear in the `ALL` const?
+    pub require_all: bool,
+    /// Functions (by name) whose bodies must mention every variant —
+    /// decode/encode/label arms, e.g. `["from_u8", "label"]`.
+    pub arm_fns: Vec<String>,
+}
+
+/// Pass configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// File declaring the registry enum and its `ALL` const.
+    pub kind_file: String,
+    /// The registry enum name (`FilterKind`).
+    pub kind_enum: String,
+    /// Test tiers that must drive the whole registry.
+    pub tiers: Vec<String>,
+    /// The wire module to check (skipped when `None`).
+    pub wire_file: Option<String>,
+    /// Wire enums and their requirements.
+    pub wire_enums: Vec<WireEnum>,
+    /// Files whose entirety counts as wire test coverage, in addition to
+    /// the `#[cfg(test)]` tail of the wire file itself.
+    pub wire_test_files: Vec<String>,
+}
+
+impl Config {
+    /// The real tree's configuration.
+    pub fn tree() -> Config {
+        Config {
+            kind_file: "crates/filter-core/src/spec.rs".into(),
+            kind_enum: "FilterKind".into(),
+            tiers: vec![
+                "tests/conformance_registry.rs".into(),
+                "tests/differential_registry.rs".into(),
+                "tests/parallel_oracle.rs".into(),
+                "tests/race_oracle.rs".into(),
+            ],
+            wire_file: Some("crates/filter-core/src/wire.rs".into()),
+            wire_enums: vec![
+                WireEnum {
+                    name: "OpKind".into(),
+                    require_all: true,
+                    arm_fns: vec!["from_u8".into(), "label".into()],
+                },
+                WireEnum {
+                    name: "RespStatus".into(),
+                    require_all: false,
+                    arm_fns: vec!["from_u8".into()],
+                },
+            ],
+            wire_test_files: vec![
+                "crates/filter-net/src/codec.rs".into(),
+                "crates/filter-net/tests/prop_codec.rs".into(),
+                "tests/integration_net.rs".into(),
+            ],
+        }
+    }
+}
+
+/// Collect the variant names of `enum {name}` in `file` by walking its
+/// body at brace depth 1. Returns `None` when the enum is absent.
+pub fn enum_variants(file: &SourceFile, name: &str) -> Option<Vec<String>> {
+    let header = format!("enum {name}");
+    let start = file.lines.iter().position(|l| l.code.contains(&header))?;
+    let mut variants = Vec::new();
+    let mut depth = 0i32;
+    for line in &file.lines[start..] {
+        for c in line.code.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(variants);
+                    }
+                }
+                _ => {}
+            }
+        }
+        if depth == 1 {
+            // A variant line: leading identifier starting uppercase,
+            // continuing the enum body (skip the header line itself).
+            let trimmed = line.code.trim();
+            if line.number == file.lines[start].number {
+                continue;
+            }
+            let ident: String =
+                trimmed.chars().take_while(|c| crate::scan::is_ident_char(*c)).collect();
+            if ident.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+                variants.push(ident);
+            }
+        }
+    }
+    Some(variants)
+}
+
+/// Collect `{enum}::{Variant}` references in the `const ALL` initializer
+/// for `enum_name`. Returns `None` when no `ALL` const exists.
+fn all_const_refs(file: &SourceFile, enum_name: &str) -> Option<Vec<String>> {
+    let header = format!("const ALL: [{enum_name};");
+    let start = file.lines.iter().position(|l| l.code.contains(&header))?;
+    let mut refs = Vec::new();
+    for line in &file.lines[start..] {
+        collect_qualified(&line.code, enum_name, &mut refs);
+        // The initializer ends at the literal `];` — the `[Enum; N]` type
+        // on the header line also has a `]` and a `;`, but never adjacent.
+        if line.code.contains("];") {
+            break;
+        }
+    }
+    Some(refs)
+}
+
+/// Append every `{enum}::{Variant}` occurrence in `code` to `out`.
+fn collect_qualified(code: &str, enum_name: &str, out: &mut Vec<String>) {
+    let prefix = format!("{enum_name}::");
+    let mut from = 0;
+    while let Some(rel) = code[from..].find(&prefix) {
+        let pos = from + rel + prefix.len();
+        let ident: String =
+            code[pos..].chars().take_while(|c| crate::scan::is_ident_char(*c)).collect();
+        if !ident.is_empty() {
+            out.push(ident);
+        }
+        from = pos;
+    }
+}
+
+/// The body of `fn {name}` inside `impl {owner}` in `file`, as one
+/// concatenated code string. Walks impl blocks by brace depth.
+fn fn_body_in_impl(file: &SourceFile, owner: &str, name: &str) -> Option<String> {
+    let impl_header = format!("impl {owner}");
+    let fn_header = format!("fn {name}");
+    let start = file.lines.iter().position(|l| l.code.contains(&impl_header))?;
+    let mut depth = 0i32;
+    let mut in_fn = false;
+    let mut fn_depth = 0i32;
+    let mut body = String::new();
+    for line in &file.lines[start..] {
+        if !in_fn && line.code.contains(&fn_header) && depth >= 1 {
+            in_fn = true;
+            fn_depth = depth;
+        }
+        if in_fn {
+            body.push_str(&line.code);
+            body.push('\n');
+        }
+        for c in line.code.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if in_fn && depth == fn_depth {
+                        return Some(body);
+                    }
+                    if depth == 0 {
+                        return None;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+fn read(root: &Path, rel: &str) -> Option<SourceFile> {
+    crate::scan_file(root, rel).ok()
+}
+
+fn missing(rel: &str, what: &str) -> Finding {
+    Finding {
+        pass: "coverage",
+        file: rel.to_string(),
+        line: 0,
+        message: format!("{what}: file missing or unreadable"),
+    }
+}
+
+/// Run the pass under `root` with `config`.
+pub fn run_with(root: &Path, config: &Config) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    // --- Registry: enum body vs ALL const. ---
+    let Some(spec) = read(root, &config.kind_file) else {
+        return vec![missing(&config.kind_file, "registry spec")];
+    };
+    let variants = match enum_variants(&spec, &config.kind_enum) {
+        Some(v) if !v.is_empty() => v,
+        _ => {
+            return vec![Finding {
+                pass: "coverage",
+                file: config.kind_file.clone(),
+                line: 0,
+                message: format!("enum {} not found", config.kind_enum),
+            }]
+        }
+    };
+    match all_const_refs(&spec, &config.kind_enum) {
+        None => findings.push(Finding {
+            pass: "coverage",
+            file: config.kind_file.clone(),
+            line: 0,
+            message: format!("no `const ALL: [{};...]` registry array", config.kind_enum),
+        }),
+        Some(refs) => {
+            for v in &variants {
+                if !refs.contains(v) {
+                    findings.push(Finding {
+                        pass: "coverage",
+                        file: config.kind_file.clone(),
+                        line: 0,
+                        message: format!(
+                            "{}::{v} is not in {}::ALL — the registry tiers will silently skip it",
+                            config.kind_enum, config.kind_enum
+                        ),
+                    });
+                }
+            }
+            for r in &refs {
+                if !variants.contains(r) {
+                    findings.push(Finding {
+                        pass: "coverage",
+                        file: config.kind_file.clone(),
+                        line: 0,
+                        message: format!("{}::ALL names unknown variant {r}", config.kind_enum),
+                    });
+                }
+            }
+        }
+    }
+
+    // --- Registry: every tier drives the whole registry. ---
+    let all_token = format!("{}::ALL", config.kind_enum);
+    for tier in &config.tiers {
+        let Some(file) = read(root, tier) else {
+            findings.push(missing(tier, "registry tier"));
+            continue;
+        };
+        let text: String =
+            file.lines.iter().map(|l| l.code.as_str()).collect::<Vec<_>>().join("\n");
+        if text.contains(&all_token) {
+            continue;
+        }
+        let mut named = Vec::new();
+        collect_qualified(&text, &config.kind_enum, &mut named);
+        for v in &variants {
+            if !named.contains(v) {
+                findings.push(Finding {
+                    pass: "coverage",
+                    file: tier.clone(),
+                    line: 0,
+                    message: format!(
+                        "tier neither iterates {all_token} nor names {}::{v}",
+                        config.kind_enum
+                    ),
+                });
+            }
+        }
+    }
+
+    // --- Wire: per-variant decode/label/test arms. ---
+    let Some(wire_rel) = &config.wire_file else { return findings };
+    let Some(wire) = read(root, wire_rel) else {
+        findings.push(missing(wire_rel, "wire module"));
+        return findings;
+    };
+    // Test region: the wire file's #[cfg(test)] tail plus the configured
+    // test files, scanned so string/comment mentions don't count.
+    let mut test_text = String::new();
+    if let Some(cfg_at) = wire.lines.iter().position(|l| l.raw.contains("#[cfg(test)]")) {
+        for line in &wire.lines[cfg_at..] {
+            test_text.push_str(&line.code);
+            test_text.push('\n');
+        }
+    }
+    for rel in &config.wire_test_files {
+        let Some(file) = read(root, rel) else {
+            findings.push(missing(rel, "wire test region"));
+            continue;
+        };
+        for line in &file.lines {
+            test_text.push_str(&line.code);
+            test_text.push('\n');
+        }
+    }
+
+    for spec in &config.wire_enums {
+        let Some(variants) = enum_variants(&wire, &spec.name).filter(|v| !v.is_empty()) else {
+            findings.push(Finding {
+                pass: "coverage",
+                file: wire_rel.clone(),
+                line: 0,
+                message: format!("enum {} not found", spec.name),
+            });
+            continue;
+        };
+        if spec.require_all {
+            let refs = all_const_refs(&wire, &spec.name).unwrap_or_default();
+            for v in &variants {
+                if !refs.contains(v) {
+                    findings.push(Finding {
+                        pass: "coverage",
+                        file: wire_rel.clone(),
+                        line: 0,
+                        message: format!("{}::{v} missing from {}::ALL", spec.name, spec.name),
+                    });
+                }
+            }
+        }
+        for arm_fn in &spec.arm_fns {
+            let Some(body) = fn_body_in_impl(&wire, &spec.name, arm_fn) else {
+                findings.push(Finding {
+                    pass: "coverage",
+                    file: wire_rel.clone(),
+                    line: 0,
+                    message: format!("impl {} has no fn {arm_fn}", spec.name),
+                });
+                continue;
+            };
+            for v in &variants {
+                if find_word(&body, v).is_empty() {
+                    findings.push(Finding {
+                        pass: "coverage",
+                        file: wire_rel.clone(),
+                        line: 0,
+                        message: format!(
+                            "{}::{v} has no arm in {}::{arm_fn}",
+                            spec.name, spec.name
+                        ),
+                    });
+                }
+            }
+        }
+        let mut tested = Vec::new();
+        collect_qualified(&test_text, &spec.name, &mut tested);
+        for v in &variants {
+            if !tested.contains(v) {
+                findings.push(Finding {
+                    pass: "coverage",
+                    file: wire_rel.clone(),
+                    line: 0,
+                    message: format!(
+                        "{}::{v} never appears in the wire test regions (wire tests, codec, \
+                         prop_codec, integration_net)",
+                        spec.name
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::SourceFile;
+
+    const GOOD_ENUM: &str = "pub enum FilterKind {\n    A,\n    B = 1,\n}\nimpl FilterKind {\n    pub const ALL: [FilterKind; 2] = [FilterKind::A, FilterKind::B];\n}\n";
+
+    #[test]
+    fn variants_parse_with_discriminants_and_attrs() {
+        let f = SourceFile::scan(
+            "t.rs",
+            "#[repr(u8)]\npub enum E {\n    /// doc\n    X = 0,\n    Y(u8),\n}\n",
+        );
+        assert_eq!(enum_variants(&f, "E").unwrap(), vec!["X", "Y"]);
+    }
+
+    #[test]
+    fn all_sync_detects_missing_variant() {
+        let f = SourceFile::scan(
+            "t.rs",
+            "pub enum FilterKind {\n    A,\n    B,\n}\nimpl FilterKind {\n    pub const ALL: [FilterKind; 1] = [FilterKind::A];\n}\n",
+        );
+        let refs = all_const_refs(&f, "FilterKind").unwrap();
+        assert!(refs.contains(&"A".to_string()));
+        assert!(!refs.contains(&"B".to_string()));
+    }
+
+    #[test]
+    fn good_enum_is_in_sync() {
+        let f = SourceFile::scan("t.rs", GOOD_ENUM);
+        let variants = enum_variants(&f, "FilterKind").unwrap();
+        let refs = all_const_refs(&f, "FilterKind").unwrap();
+        assert_eq!(variants, refs);
+    }
+
+    #[test]
+    fn fn_bodies_resolve_per_impl() {
+        let src = "impl A {\n    pub fn go(self) { One; }\n}\nimpl B {\n    pub fn go(self) { Two; }\n}\n";
+        let f = SourceFile::scan("t.rs", src);
+        assert!(fn_body_in_impl(&f, "A", "go").unwrap().contains("One"));
+        assert!(fn_body_in_impl(&f, "B", "go").unwrap().contains("Two"));
+        assert!(fn_body_in_impl(&f, "A", "absent").is_none());
+    }
+}

@@ -1,0 +1,120 @@
+//! # filter-lint
+//!
+//! In-tree static analysis for the workspace's concurrency surface. The
+//! paper's correctness argument (PPoPP '23 §4) is *disciplined exclusive
+//! access* — per-block locks and cooperative-group probes on the GPU,
+//! mirrored here by `unsafe` FFI in the reactor, lock hierarchies in the
+//! serving layer, and phase-owned regions in the bulk kernels. These
+//! passes check that surface mechanically on every PR:
+//!
+//! * [`unsafe_audit`] — every `unsafe` block / fn / impl must carry a
+//!   `// SAFETY:` comment; the full inventory is emitted to
+//!   `experiments/UNSAFE_AUDIT.json`.
+//! * [`lock_order`] — every `Mutex`/`RwLock`/`Condvar` declared in the
+//!   scanned scopes must be in the `lock-order.toml` manifest, and no
+//!   function may acquire locks in manifest-descending rank order.
+//! * [`coverage`] — every `FilterKind` variant must flow through the
+//!   registry constant and every oracle test tier; every wire op/status
+//!   byte must have decode and test arms.
+//! * [`alloc_bound`] — no `with_capacity` whose argument derives from an
+//!   unvalidated wire length in the codec.
+//!
+//! Everything is `std`-only (no `syn`, no crates.io) on the hand-rolled
+//! scanner in [`scan`]. The dynamic complement — the `race-check`
+//! shadow-memory sanitizer — lives in `gpu-sim::shadow`; this crate is
+//! the static half of the same story.
+
+pub mod alloc_bound;
+pub mod coverage;
+pub mod json;
+pub mod lock_order;
+pub mod scan;
+pub mod unsafe_audit;
+
+use std::path::{Path, PathBuf};
+
+/// One lint finding. The tool (and the tier-1 test) fail when any pass
+/// returns a non-empty list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Which pass fired (`unsafe-audit`, `lock-order`, `coverage`,
+    /// `alloc-bound`).
+    pub pass: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line (0 for file-level findings).
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}:{}: {}", self.pass, self.file, self.line, self.message)
+    }
+}
+
+/// Workspace root, resolved from this crate's manifest directory — valid
+/// from the lint binary, its tests, and CI alike.
+pub fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().expect("workspace root")
+}
+
+/// Read + scan one file, reporting it under a root-relative path.
+pub fn scan_file(root: &Path, rel: &str) -> std::io::Result<scan::SourceFile> {
+    let text = std::fs::read_to_string(root.join(rel))?;
+    Ok(scan::SourceFile::scan(rel, &text))
+}
+
+/// Every first-party Rust source in the tree: `crates/*/{src,tests,benches}`,
+/// root `tests/`, root `examples/`, and `crates/bench/src/bin`. Excludes
+/// `vendor/` (third-party shims), `target/`, and `filter-lint/fixtures/`
+/// (deliberately-bad lint fodder).
+pub fn workspace_sources(root: &Path) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.join("crates"), root.join("tests"), root.join("examples")];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else { continue };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if path.is_dir() {
+                if name == "target" || name == "fixtures" {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                let rel =
+                    path.strip_prefix(root).unwrap_or(&path).to_string_lossy().replace('\\', "/");
+                out.push(rel);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Run every pass with the tree's real configuration; returns all
+/// findings plus the unsafe inventory (for the JSON emitter).
+pub fn run_all(root: &Path) -> (Vec<Finding>, Vec<unsafe_audit::UnsafeSite>) {
+    let sources = workspace_sources(root);
+    let scanned: Vec<scan::SourceFile> =
+        sources.iter().filter_map(|rel| scan_file(root, rel).ok()).collect();
+
+    let mut findings = Vec::new();
+    let (audit_findings, inventory) = unsafe_audit::run(&scanned);
+    findings.extend(audit_findings);
+
+    let manifest_text =
+        std::fs::read_to_string(root.join(lock_order::MANIFEST_PATH)).expect("lock-order manifest");
+    let manifest = lock_order::Manifest::parse(&manifest_text).expect("lock-order manifest parse");
+    let lock_scope: Vec<&scan::SourceFile> =
+        scanned.iter().filter(|f| manifest.in_scope(&f.path)).collect();
+    findings.extend(lock_order::run(&lock_scope, &manifest));
+
+    findings.extend(coverage::run_with(root, &coverage::Config::tree()));
+    findings.extend(alloc_bound::run(
+        &scanned.iter().filter(|f| alloc_bound::in_scope(&f.path)).collect::<Vec<_>>(),
+    ));
+    (findings, inventory)
+}

@@ -1,0 +1,360 @@
+//! Pass 2: the lock-order checker.
+//!
+//! The serving tier holds locks across layers — routing `RwLock`, gate
+//! `Mutex`/`Condvar` pairs, per-shard backend `RwLock`s — and live shard
+//! scale-out (PR 5) nests them. A cycle between any two of those layers
+//! is a deadlock under concurrent resize + serve, so the allowed order is
+//! written down once, in `crates/filter-lint/lock-order.toml`, and this
+//! pass enforces two things over the manifest's scope:
+//!
+//! 1. **Order**: within one function, acquisitions must be in
+//!    non-descending manifest rank. Equal ranks are allowed — a textual
+//!    checker cannot distinguish sequential reacquisition from nesting,
+//!    and same-class sequences (e.g. the growth wrapper's repeated
+//!    `self.read()`) are governed by that class's own discipline.
+//! 2. **Declaration**: every `Mutex`/`RwLock`/`Condvar` *declared* in
+//!    scope must be named by some manifest class, so a new lock cannot
+//!    slip into the hierarchy unreviewed.
+//!
+//! The manifest is a small hand-parsed TOML subset (`[scope]` +
+//! `[[class]]` tables with string/int/array values) — no `toml` crate.
+
+use crate::scan::{find_word, receiver_ident, word_at, SourceFile};
+use crate::Finding;
+
+/// Workspace-relative path of the real manifest.
+pub const MANIFEST_PATH: &str = "crates/filter-lint/lock-order.toml";
+
+/// One lock class from the manifest.
+#[derive(Debug, Clone, Default)]
+pub struct Class {
+    pub name: String,
+    /// Acquisition rank: lower ranks must be taken first.
+    pub rank: i64,
+    /// Files whose acquisitions this class matches (exact paths).
+    pub files: Vec<String>,
+    /// Receiver identifiers that name the lock at acquisition sites.
+    pub receivers: Vec<String>,
+    /// Acquisition methods (`lock`, `read`, `write`) — disambiguates
+    /// same-named receivers (gate `state.lock()` vs routing
+    /// `state.read()`).
+    pub methods: Vec<String>,
+    /// Identifiers whose `Mutex`/`RwLock`/`Condvar` declarations this
+    /// class accounts for.
+    pub declares: Vec<String>,
+}
+
+/// The parsed manifest: scope prefixes plus lock classes.
+#[derive(Debug, Clone, Default)]
+pub struct Manifest {
+    /// Path prefixes the pass scans (declaration check covers all of
+    /// them; acquisition check additionally filters by class `files`).
+    pub scope: Vec<String>,
+    pub classes: Vec<Class>,
+}
+
+impl Manifest {
+    /// Parse the TOML subset. Returns `Err` with a line-anchored message
+    /// on anything unrecognized, so a malformed manifest fails loudly.
+    pub fn parse(text: &str) -> Result<Manifest, String> {
+        #[derive(PartialEq)]
+        enum Section {
+            None,
+            Scope,
+            Class,
+        }
+        let mut m = Manifest::default();
+        let mut section = Section::None;
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[scope]" {
+                section = Section::Scope;
+                continue;
+            }
+            if line == "[[class]]" {
+                m.classes.push(Class::default());
+                section = Section::Class;
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .map(|(k, v)| (k.trim(), v.trim()))
+                .ok_or_else(|| format!("line {}: expected `key = value`", idx + 1))?;
+            match section {
+                Section::None => return Err(format!("line {}: key outside a section", idx + 1)),
+                Section::Scope => match key {
+                    "paths" => m.scope = parse_array(value, idx + 1)?,
+                    _ => return Err(format!("line {}: unknown [scope] key `{key}`", idx + 1)),
+                },
+                Section::Class => {
+                    let class = m.classes.last_mut().expect("in a class");
+                    match key {
+                        "name" => class.name = parse_string(value, idx + 1)?,
+                        "rank" => {
+                            class.rank = value
+                                .parse()
+                                .map_err(|_| format!("line {}: bad rank `{value}`", idx + 1))?
+                        }
+                        "files" => class.files = parse_array(value, idx + 1)?,
+                        "receivers" => class.receivers = parse_array(value, idx + 1)?,
+                        "methods" => class.methods = parse_array(value, idx + 1)?,
+                        "declares" => class.declares = parse_array(value, idx + 1)?,
+                        _ => {
+                            return Err(format!("line {}: unknown class key `{key}`", idx + 1));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(m)
+    }
+
+    /// Whether `path` falls under any scope prefix.
+    pub fn in_scope(&self, path: &str) -> bool {
+        self.scope.iter().any(|p| path.starts_with(p.as_str()))
+    }
+
+    /// The class matching an acquisition of `.{method}()` on `receiver`
+    /// in `file`, if any.
+    fn class_for(&self, file: &str, receiver: &str, method: &str) -> Option<&Class> {
+        self.classes.iter().find(|c| {
+            c.files.iter().any(|f| f == file)
+                && c.receivers.iter().any(|r| r == receiver)
+                && c.methods.iter().any(|m| m == method)
+        })
+    }
+
+    /// Whether some class in `file`'s scope declares `ident`.
+    fn declared(&self, file: &str, ident: &str) -> bool {
+        self.classes
+            .iter()
+            .any(|c| c.files.iter().any(|f| f == file) && c.declares.iter().any(|d| d == ident))
+    }
+}
+
+fn parse_string(value: &str, line: usize) -> Result<String, String> {
+    let v = value.trim();
+    if v.len() >= 2 && v.starts_with('"') && v.ends_with('"') {
+        Ok(v[1..v.len() - 1].to_string())
+    } else {
+        Err(format!("line {line}: expected a quoted string, got `{value}`"))
+    }
+}
+
+fn parse_array(value: &str, line: usize) -> Result<Vec<String>, String> {
+    let v = value.trim();
+    if !(v.starts_with('[') && v.ends_with(']')) {
+        return Err(format!("line {line}: expected an array, got `{value}`"));
+    }
+    let inner = &v[1..v.len() - 1];
+    let mut out = Vec::new();
+    for item in inner.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue;
+        }
+        out.push(parse_string(item, line)?);
+    }
+    Ok(out)
+}
+
+const LOCK_METHODS: [&str; 3] = ["lock", "read", "write"];
+const LOCK_TYPES: [&str; 3] = ["Mutex", "RwLock", "Condvar"];
+
+/// Acquisition sites on a line: `.lock()`, `.read()`, `.write()` with
+/// empty argument lists (guards, not I/O calls), with the receiver
+/// identifier extracted by walking back over index/call groups.
+fn acquisitions(code: &str) -> Vec<(String, &'static str)> {
+    let mut hits: Vec<(usize, String, &'static str)> = Vec::new();
+    for method in LOCK_METHODS {
+        let needle = format!(".{method}()");
+        let mut from = 0;
+        while let Some(rel) = code[from..].find(&needle) {
+            let pos = from + rel;
+            // Make sure the match is the whole method name (`.read()` not
+            // `.try_read()` — the dot anchors the left; check the right).
+            if word_at(code, pos + 1, method) {
+                if let Some(recv) = receiver_ident(code, pos) {
+                    hits.push((pos, recv.to_string(), method));
+                }
+            }
+            from = pos + needle.len();
+        }
+    }
+    // Report in source order.
+    hits.sort_by_key(|(pos, _, _)| *pos);
+    hits.into_iter().map(|(_, recv, method)| (recv, method)).collect()
+}
+
+/// The binding identifier for a lock-type mention at `pos`: the nearest
+/// `ident :` (single colon, not `::`) to the left. `None` for return
+/// types and other unbound positions.
+fn decl_ident(code: &str, pos: usize) -> Option<&str> {
+    let bytes = code.as_bytes();
+    let mut i = pos;
+    while i > 0 {
+        i -= 1;
+        if bytes[i] == b':' {
+            let double = (i > 0 && bytes[i - 1] == b':') || bytes.get(i + 1) == Some(&b':');
+            if double {
+                // Skip the whole `::` pair.
+                if i > 0 && bytes[i - 1] == b':' {
+                    i -= 1;
+                }
+                continue;
+            }
+            let end = code[..i].trim_end().len();
+            return crate::scan::ident_ending_at(code, end);
+        }
+    }
+    None
+}
+
+/// Run the pass over in-scope files.
+pub fn run(files: &[&SourceFile], manifest: &Manifest) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in files {
+        // (class name, rank, line) of the acquisitions seen so far in the
+        // current function.
+        let mut seq: Vec<(String, i64, usize)> = Vec::new();
+        for line in &file.lines {
+            let code = &line.code;
+            // A `fn` token starts a new function scope for the order check.
+            if !find_word(code, "fn").is_empty() {
+                seq.clear();
+            }
+            for (recv, method) in acquisitions(code) {
+                let Some(class) = manifest.class_for(&file.path, &recv, method) else {
+                    continue;
+                };
+                if let Some((prev_name, prev_rank, prev_line)) =
+                    seq.iter().rev().find(|(_, r, _)| *r > class.rank)
+                {
+                    findings.push(Finding {
+                        pass: "lock-order",
+                        file: file.path.clone(),
+                        line: line.number,
+                        message: format!(
+                            "acquires `{}` (rank {}) after `{}` (rank {}, line {}): \
+                             manifest order is lowest rank first",
+                            class.name, class.rank, prev_name, prev_rank, prev_line
+                        ),
+                    });
+                }
+                seq.push((class.name.clone(), class.rank, line.number));
+            }
+            // Declaration check: every lock-type mention must bind an
+            // identifier some class declares. `use` lines and unbound
+            // (return-type) positions are skipped.
+            if code.trim_start().starts_with("use ") {
+                continue;
+            }
+            for ty in LOCK_TYPES {
+                for pos in find_word(code, ty) {
+                    let Some(ident) = decl_ident(code, pos) else { continue };
+                    if !manifest.declared(&file.path, ident) {
+                        findings.push(Finding {
+                            pass: "lock-order",
+                            file: file.path.clone(),
+                            line: line.number,
+                            message: format!(
+                                "`{ident}: {ty}` is not declared by any class in {MANIFEST_PATH}: \
+                                 add it to the lock-order manifest with a rank"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::SourceFile;
+
+    fn manifest() -> Manifest {
+        Manifest::parse(
+            r#"
+            [scope]
+            paths = ["x.rs"]
+            [[class]]
+            name = "outer"
+            rank = 10
+            files = ["x.rs"]
+            receivers = ["state"]
+            methods = ["write", "read"]
+            declares = ["state"]
+            [[class]]
+            name = "inner"
+            rank = 20
+            files = ["x.rs"]
+            receivers = ["backend", "child"]
+            methods = ["read", "write"]
+            declares = ["backend"]
+            "#,
+        )
+        .unwrap()
+    }
+
+    fn check(src: &str) -> Vec<Finding> {
+        let f = SourceFile::scan("x.rs", src);
+        run(&[&f], &manifest())
+    }
+
+    #[test]
+    fn ascending_order_passes() {
+        let f = check("fn resize() {\n let rs = state.write();\n let b = backend.read();\n}\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn descending_order_fires() {
+        let f = check("fn resize() {\n let b = backend.read();\n let rs = state.write();\n}\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("rank 10"));
+    }
+
+    #[test]
+    fn function_boundary_resets_the_sequence() {
+        let f = check("fn a() { let b = backend.read(); }\nfn b() { let rs = state.write(); }\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn equal_rank_reacquisition_is_allowed() {
+        let f = check("fn m() {\n let a = backend.read();\n let c = child.write();\n}\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn undeclared_lock_declaration_fires() {
+        let f = check("struct S { secret: Mutex<u32> }\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("secret"));
+    }
+
+    #[test]
+    fn declared_locks_and_use_lines_pass() {
+        let f = check("use std::sync::{Mutex, RwLock};\nstruct S { state: RwLock<u32> }\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn io_calls_with_args_are_not_acquisitions() {
+        let f = check("fn m() { backend.read_exact(&mut buf); state.write_all(b\"x\"); }\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn indexed_receivers_resolve() {
+        let f =
+            check("fn m() {\n let rs = self.state.write();\n let p = self.backend[i].read();\n}\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

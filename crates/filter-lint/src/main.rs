@@ -1,0 +1,35 @@
+//! The `filter-lint` binary: run every pass over the workspace, emit the
+//! unsafe inventory to `experiments/UNSAFE_AUDIT.json`, print findings,
+//! and exit nonzero when any pass fired. CI and the tier-1 fixture test
+//! both drive this same entry point (the test via the library API).
+
+use filter_lint::{json, run_all, workspace_root};
+
+fn main() {
+    let root = workspace_root();
+    let (findings, inventory) = run_all(&root);
+
+    let audit_path = root.join("experiments/UNSAFE_AUDIT.json");
+    if let Some(dir) = audit_path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(&audit_path, json::unsafe_inventory(&inventory)) {
+        Ok(()) => eprintln!(
+            "filter-lint: unsafe inventory ({} sites, {} documented) -> {}",
+            inventory.len(),
+            inventory.iter().filter(|s| s.documented).count(),
+            audit_path.display()
+        ),
+        Err(e) => eprintln!("filter-lint: could not write {}: {e}", audit_path.display()),
+    }
+
+    if findings.is_empty() {
+        eprintln!("filter-lint: clean (unsafe-audit, lock-order, coverage, alloc-bound)");
+        return;
+    }
+    for finding in &findings {
+        println!("{finding}");
+    }
+    eprintln!("filter-lint: {} finding(s)", findings.len());
+    std::process::exit(1);
+}

@@ -1,0 +1,329 @@
+//! The hand-rolled token scanner every pass runs on.
+//!
+//! No `syn`, no `proc-macro2` — the container has no crates.io access —
+//! so source files are modeled line by line: each [`Line`] carries the
+//! *code* text (string/char literals blanked to spaces, comments removed)
+//! alongside the *comment* text of the same line. Passes match on the
+//! code channel (so `"unsafe"` in a string or a doc comment never
+//! counts) and consult the comment channel for things like `// SAFETY:`
+//! annotations. Block comments, nested block comments, raw strings, and
+//! lifetimes-vs-char-literals are handled; exotic corners (e.g. `r#"..."#`
+//! spanning macros that themselves generate quotes) are out of scope for
+//! an in-tree lint and do not occur in this workspace.
+
+/// One scanned source line.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// 1-based line number.
+    pub number: usize,
+    /// Code channel: literals blanked, comments stripped.
+    pub code: String,
+    /// Comment channel: the text of any `//`/`/* */` comment on the line
+    /// (doc comments included), without the comment markers.
+    pub comment: String,
+    /// The raw line, untouched.
+    pub raw: String,
+}
+
+/// A scanned file: path (workspace-relative, for reporting) plus lines.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    pub path: String,
+    pub lines: Vec<Line>,
+}
+
+impl SourceFile {
+    /// Scan `text` (the contents of `path`) into the two channels.
+    pub fn scan(path: &str, text: &str) -> SourceFile {
+        let mut lines = Vec::new();
+        let mut state = State::Code;
+        for (idx, raw) in text.lines().enumerate() {
+            let mut code = String::with_capacity(raw.len());
+            let mut comment = String::new();
+            let bytes: Vec<char> = raw.chars().collect();
+            let mut i = 0usize;
+            while i < bytes.len() {
+                let c = bytes[i];
+                let next = bytes.get(i + 1).copied();
+                match state {
+                    State::Code => match (c, next) {
+                        ('/', Some('/')) => {
+                            comment.push_str(&raw[char_offset(&bytes, i + 2)..]);
+                            i = bytes.len();
+                        }
+                        ('/', Some('*')) => {
+                            state = State::Block(1);
+                            i += 2;
+                        }
+                        ('r', Some('"')) => {
+                            // Raw string r"..." (no hashes).
+                            code.push(' ');
+                            code.push(' ');
+                            i += 2;
+                            state = State::RawStr(0);
+                        }
+                        ('r', Some('#')) => {
+                            // Raw string r#"..."# — count the hashes.
+                            let mut hashes = 0usize;
+                            let mut j = i + 1;
+                            while bytes.get(j) == Some(&'#') {
+                                hashes += 1;
+                                j += 1;
+                            }
+                            if bytes.get(j) == Some(&'"') {
+                                for _ in i..=j {
+                                    code.push(' ');
+                                }
+                                i = j + 1;
+                                state = State::RawStr(hashes);
+                            } else {
+                                // `r#ident` raw identifier, not a string.
+                                code.push(c);
+                                i += 1;
+                            }
+                        }
+                        ('"', _) => {
+                            code.push(' ');
+                            i += 1;
+                            state = State::Str;
+                        }
+                        ('\'', _) => {
+                            // Char literal vs lifetime: a lifetime is `'`
+                            // followed by an identifier NOT closed by a
+                            // quote ('a, 'static); a char literal closes.
+                            if let Some(close) = char_literal_len(&bytes[i..]) {
+                                for _ in 0..close {
+                                    code.push(' ');
+                                }
+                                i += close;
+                            } else {
+                                code.push(c);
+                                i += 1;
+                            }
+                        }
+                        _ => {
+                            code.push(c);
+                            i += 1;
+                        }
+                    },
+                    State::Block(depth) => match (c, next) {
+                        ('*', Some('/')) => {
+                            state = if depth == 1 { State::Code } else { State::Block(depth - 1) };
+                            i += 2;
+                        }
+                        ('/', Some('*')) => {
+                            state = State::Block(depth + 1);
+                            i += 2;
+                        }
+                        _ => {
+                            comment.push(c);
+                            i += 1;
+                        }
+                    },
+                    State::Str => match (c, next) {
+                        ('\\', Some(_)) => {
+                            code.push(' ');
+                            code.push(' ');
+                            i += 2;
+                        }
+                        ('"', _) => {
+                            code.push(' ');
+                            i += 1;
+                            state = State::Code;
+                        }
+                        _ => {
+                            code.push(' ');
+                            i += 1;
+                        }
+                    },
+                    State::RawStr(hashes) => {
+                        if c == '"' && bytes[i + 1..].iter().take(hashes).all(|&h| h == '#') && {
+                            bytes[i + 1..].len() >= hashes
+                        } {
+                            for _ in 0..=hashes {
+                                code.push(' ');
+                            }
+                            i += 1 + hashes;
+                            state = State::Code;
+                        } else {
+                            code.push(' ');
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            // A string still open at end-of-line (multiline string
+            // literal) stays open into the next line.
+            lines.push(Line { number: idx + 1, code, comment, raw: raw.to_string() });
+        }
+        SourceFile { path: path.to_string(), lines }
+    }
+}
+
+/// Byte offset of character index `i` within the original line.
+fn char_offset(chars: &[char], i: usize) -> usize {
+    chars[..i.min(chars.len())].iter().map(|c| c.len_utf8()).sum()
+}
+
+/// If `chars` starts a char literal (`'x'`, `'\n'`, `'\u{1F600}'`),
+/// return its length in chars; `None` for lifetimes.
+fn char_literal_len(chars: &[char]) -> Option<usize> {
+    debug_assert_eq!(chars.first(), Some(&'\''));
+    let mut j = 1usize;
+    if chars.get(j) == Some(&'\\') {
+        j += 2;
+        // Escapes like \u{..} extend to the closing brace.
+        while j < chars.len() && chars[j] != '\'' {
+            j += 1;
+        }
+        return (chars.get(j) == Some(&'\'')).then_some(j + 1);
+    }
+    // 'c' — exactly one char then a closing quote.
+    if chars.get(j).is_some() && chars.get(j + 1) == Some(&'\'') {
+        return Some(j + 2);
+    }
+    None
+}
+
+enum State {
+    Code,
+    Block(usize),
+    Str,
+    RawStr(usize),
+}
+
+/// True when `code[pos..]` starts the identifier/keyword `word` at a token
+/// boundary (not inside a longer identifier).
+pub fn word_at(code: &str, pos: usize, word: &str) -> bool {
+    if !code[pos..].starts_with(word) {
+        return false;
+    }
+    let before_ok =
+        pos == 0 || !code[..pos].chars().next_back().map(is_ident_char).unwrap_or(false);
+    let after_ok =
+        code[pos + word.len()..].chars().next().map(|c| !is_ident_char(c)).unwrap_or(true);
+    before_ok && after_ok
+}
+
+/// All token-boundary occurrences of `word` in `code`.
+pub fn find_word(code: &str, word: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = code[from..].find(word) {
+        let pos = from + rel;
+        if word_at(code, pos, word) {
+            out.push(pos);
+        }
+        from = pos + word.len();
+    }
+    out
+}
+
+/// Identifier charset.
+pub fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// The identifier ending at byte position `end` of `code` (exclusive),
+/// if any — used to walk receiver chains backwards.
+pub fn ident_ending_at(code: &str, end: usize) -> Option<&str> {
+    let bytes = code.as_bytes();
+    let mut start = end;
+    while start > 0 && is_ident_char(bytes[start - 1] as char) {
+        start -= 1;
+    }
+    (start < end).then(|| &code[start..end])
+}
+
+/// Walk left from `pos` (which points just before a `.method()` dot) over
+/// one *receiver expression tail*: skips balanced `)`/`]` groups and
+/// returns the identifier that names the receiver, e.g.
+/// `self.backends[j / k]` → `backends`, `registry()` → `registry`,
+/// `state` → `state`.
+pub fn receiver_ident(code: &str, pos: usize) -> Option<&str> {
+    let bytes = code.as_bytes();
+    let mut i = pos;
+    // Skip whitespace.
+    while i > 0 && (bytes[i - 1] as char).is_whitespace() {
+        i -= 1;
+    }
+    // Skip one balanced bracket/paren group, repeatedly (call or index).
+    loop {
+        if i == 0 {
+            return None;
+        }
+        let c = bytes[i - 1] as char;
+        if c == ')' || c == ']' {
+            let open = if c == ')' { '(' } else { '[' };
+            let mut depth = 0i32;
+            while i > 0 {
+                let ch = bytes[i - 1] as char;
+                if ch == c {
+                    depth += 1;
+                } else if ch == open {
+                    depth -= 1;
+                    if depth == 0 {
+                        i -= 1;
+                        break;
+                    }
+                }
+                i -= 1;
+            }
+            continue;
+        }
+        break;
+    }
+    ident_ending_at(code, i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_channelled() {
+        let f = SourceFile::scan(
+            "x.rs",
+            "let a = \"unsafe\"; // SAFETY: fine\nunsafe { go() } /* unsafe */\n",
+        );
+        assert!(!f.lines[0].code.contains("unsafe"), "string contents blanked");
+        assert!(f.lines[0].comment.contains("SAFETY:"));
+        assert!(f.lines[1].code.contains("unsafe"));
+        assert!(f.lines[1].comment.contains("unsafe"));
+    }
+
+    #[test]
+    fn word_boundaries_exclude_longer_identifiers() {
+        let code = "deny(unsafe_op_in_unsafe_fn) unsafe fn";
+        let hits = find_word(code, "unsafe");
+        assert_eq!(hits.len(), 1);
+        assert!(word_at(code, hits[0], "unsafe"));
+    }
+
+    #[test]
+    fn receiver_walks_over_index_and_call_groups() {
+        let code = "let parent = self.backends[j / k].read();";
+        let dot = code.find(".read").unwrap();
+        assert_eq!(receiver_ident(code, dot), Some("backends"));
+        let code = "registry().lock()";
+        let dot = code.find(".lock").unwrap();
+        assert_eq!(receiver_ident(code, dot), Some("registry"));
+        let code = "self.state.read()";
+        let dot = code.find(".read").unwrap();
+        assert_eq!(receiver_ident(code, dot), Some("state"));
+    }
+
+    #[test]
+    fn char_literals_blank_but_lifetimes_survive() {
+        let f = SourceFile::scan("x.rs", "fn f<'a>(c: char) -> bool { c == 'x' }\n");
+        assert!(f.lines[0].code.contains("<'a>"));
+        assert!(!f.lines[0].code.contains("'x'"));
+    }
+
+    #[test]
+    fn block_comments_nest() {
+        let f = SourceFile::scan("x.rs", "/* a /* b */ still */ code()\n");
+        assert!(f.lines[0].code.contains("code()"));
+        assert!(!f.lines[0].code.contains("still"));
+    }
+}

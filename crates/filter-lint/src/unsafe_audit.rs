@@ -1,0 +1,177 @@
+//! Pass 1: the unsafe audit.
+//!
+//! Every `unsafe` occurrence in first-party code — block, `unsafe fn`,
+//! or `unsafe impl` — must be justified by a `// SAFETY:` comment on the
+//! same line or in the contiguous comment/attribute run directly above
+//! it. The pass also builds a machine-readable inventory of every site
+//! (documented or not) which the lint binary serializes to
+//! `experiments/UNSAFE_AUDIT.json`, so reviewers and CI can diff the
+//! workspace's entire unsafe surface per PR.
+
+use crate::scan::{find_word, SourceFile};
+use crate::Finding;
+
+/// How many lines of contiguous comments/attributes above an `unsafe`
+/// token are searched for the `SAFETY:` marker.
+const LOOKBACK: usize = 8;
+
+/// What kind of unsafe site a token introduces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SiteKind {
+    Block,
+    Fn,
+    Impl,
+}
+
+impl SiteKind {
+    pub fn label(self) -> &'static str {
+        match self {
+            SiteKind::Block => "block",
+            SiteKind::Fn => "fn",
+            SiteKind::Impl => "impl",
+        }
+    }
+}
+
+/// One `unsafe` site in the inventory.
+#[derive(Debug, Clone)]
+pub struct UnsafeSite {
+    pub file: String,
+    pub line: usize,
+    pub kind: SiteKind,
+    /// Whether a `SAFETY:` comment covers the site.
+    pub documented: bool,
+    /// The first line of the covering comment (empty when undocumented).
+    pub safety_excerpt: String,
+}
+
+/// Classify the token at `code[pos..]`: `unsafe fn`, `unsafe impl`, or a
+/// block (`unsafe {`, possibly with the brace on a later line — treated
+/// as a block either way since only fn/impl have keyword followers).
+fn classify(code: &str, pos: usize) -> SiteKind {
+    let rest = code[pos + "unsafe".len()..].trim_start();
+    if rest.starts_with("fn ") || rest.starts_with("fn(") {
+        SiteKind::Fn
+    } else if rest.starts_with("impl ") || rest.starts_with("impl<") {
+        SiteKind::Impl
+    } else {
+        SiteKind::Block
+    }
+}
+
+/// Find the `SAFETY:` comment covering line index `idx`: same line, or
+/// scanning upward through contiguous comment-only / attribute-only /
+/// blank-code lines (up to [`LOOKBACK`]).
+fn safety_comment(file: &SourceFile, idx: usize) -> Option<String> {
+    let has_marker = |i: usize| file.lines[i].comment.contains("SAFETY:");
+    if has_marker(idx) {
+        return Some(file.lines[idx].comment.trim().to_string());
+    }
+    let mut i = idx;
+    for _ in 0..LOOKBACK {
+        if i == 0 {
+            break;
+        }
+        i -= 1;
+        let line = &file.lines[i];
+        let code = line.code.trim();
+        let is_attr = code.starts_with("#[") || code.starts_with("#![");
+        if !(code.is_empty() || is_attr) {
+            // Hit a real code line: the comment run above is broken.
+            return has_marker(i).then(|| line.comment.trim().to_string());
+        }
+        if has_marker(i) {
+            return Some(line.comment.trim().to_string());
+        }
+    }
+    None
+}
+
+/// Run the audit over `files`. Returns (findings for undocumented sites,
+/// the full inventory).
+pub fn run(files: &[SourceFile]) -> (Vec<Finding>, Vec<UnsafeSite>) {
+    let mut findings = Vec::new();
+    let mut inventory = Vec::new();
+    for file in files {
+        for (idx, line) in file.lines.iter().enumerate() {
+            for pos in find_word(&line.code, "unsafe") {
+                let kind = classify(&line.code, pos);
+                let safety = safety_comment(file, idx);
+                let documented = safety.is_some();
+                inventory.push(UnsafeSite {
+                    file: file.path.clone(),
+                    line: line.number,
+                    kind,
+                    documented,
+                    safety_excerpt: safety.unwrap_or_default(),
+                });
+                if !documented {
+                    findings.push(Finding {
+                        pass: "unsafe-audit",
+                        file: file.path.clone(),
+                        line: line.number,
+                        message: format!(
+                            "undocumented unsafe {}: add a `// SAFETY:` comment directly above \
+                             stating why the invariants hold",
+                            kind.label()
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    (findings, inventory)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::SourceFile;
+
+    fn audit(src: &str) -> (Vec<Finding>, Vec<UnsafeSite>) {
+        run(&[SourceFile::scan("t.rs", src)])
+    }
+
+    #[test]
+    fn documented_block_passes_and_is_inventoried() {
+        let (f, inv) = audit("// SAFETY: i is in bounds by the loop guard.\nunsafe { p.add(i) }\n");
+        assert!(f.is_empty());
+        assert_eq!(inv.len(), 1);
+        assert!(inv[0].documented);
+        assert_eq!(inv[0].kind, SiteKind::Block);
+    }
+
+    #[test]
+    fn undocumented_block_fires() {
+        let (f, inv) = audit("unsafe { p.add(i) }\n");
+        assert_eq!(f.len(), 1);
+        assert!(!inv[0].documented);
+    }
+
+    #[test]
+    fn attributes_do_not_break_the_comment_run() {
+        let (f, _) =
+            audit("// SAFETY: all zeros is a valid repr.\n#[inline]\nunsafe impl Sync for X {}\n");
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn code_between_comment_and_site_breaks_coverage() {
+        let (f, _) = audit("// SAFETY: stale.\nlet x = 1;\nunsafe { go() }\n");
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn unsafe_in_strings_and_comments_is_ignored() {
+        let (f, inv) = audit("let s = \"unsafe\"; // unsafe mention\n#![forbid(unsafe_code)]\n");
+        assert!(f.is_empty());
+        assert!(inv.is_empty());
+    }
+
+    #[test]
+    fn kinds_classify() {
+        let (_, inv) = audit("unsafe fn f() {}\nunsafe impl Send for Y {}\nunsafe { x() }\n");
+        let kinds: Vec<SiteKind> = inv.iter().map(|s| s.kind).collect();
+        assert_eq!(kinds, vec![SiteKind::Fn, SiteKind::Impl, SiteKind::Block]);
+    }
+}

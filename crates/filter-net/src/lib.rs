@@ -57,6 +57,8 @@
 //! server.shutdown().unwrap();
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod adaptive;
 pub mod codec;
 pub mod conn;

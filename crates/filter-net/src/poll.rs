@@ -103,12 +103,18 @@ mod sys {
 
     impl Poller {
         pub fn new() -> io::Result<Poller> {
+            // SAFETY: epoll_create1 takes no pointers; EPOLL_CLOEXEC is a
+            // valid flag and the returned fd (or -1) is checked by cvt.
             let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
             Ok(Poller { epfd })
         }
 
         fn ctl(&self, op: i32, fd: RawFd, key: u64, interest: Interest) -> io::Result<()> {
             let mut ev = EpollEvent { events: mask(interest), data: key };
+            // SAFETY: `ev` is a live, properly initialized EpollEvent on
+            // this stack frame for the whole call; epfd was returned by
+            // epoll_create1 and the kernel validates op/fd, with errors
+            // surfaced through cvt.
             cvt(unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) }).map(|_| ())
         }
 
@@ -122,6 +128,9 @@ mod sys {
 
         pub fn remove(&self, fd: RawFd) -> io::Result<()> {
             let mut ev = EpollEvent { events: 0, data: 0 };
+            // SAFETY: as in `ctl` — `ev` is live for the call (pre-2.6.9
+            // kernels dereference it even for EPOLL_CTL_DEL), epfd is our
+            // epoll fd, and cvt surfaces any kernel rejection of fd.
             cvt(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_DEL, fd, &mut ev) }).map(|_| ())
         }
 
@@ -136,6 +145,9 @@ mod sys {
             };
             let mut buf = [EpollEvent { events: 0, data: 0 }; 64];
             let n = loop {
+                // SAFETY: `buf` is a valid writable array of buf.len()
+                // EpollEvents outliving the call; the kernel writes at
+                // most buf.len() entries and cvt checks the return.
                 match cvt(unsafe {
                     epoll_wait(self.epfd, buf.as_mut_ptr(), buf.len() as i32, timeout_ms)
                 }) {
@@ -160,6 +172,9 @@ mod sys {
 
     impl Drop for Poller {
         fn drop(&mut self) {
+            // SAFETY: epfd is the epoll fd this Poller owns exclusively
+            // (never cloned or exposed), so closing it here cannot
+            // double-close or race another user.
             unsafe {
                 close(self.epfd);
             }

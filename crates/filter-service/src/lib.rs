@@ -60,6 +60,8 @@
 //! * Shutting the service down aborts (never strands) outstanding
 //!   waiters, which observe [`filter_core::FilterError::ServiceStopped`].
 
+#![forbid(unsafe_code)]
+
 pub mod router;
 pub mod service;
 pub mod stats;

@@ -127,21 +127,30 @@ impl Device {
 
     /// Launch a point-style kernel: `kernel(i)` once per item `i`, one
     /// cooperative group of `cg_size` lanes per item, all items concurrent.
+    ///
+    /// Point kernels are *not* shadow-checked under `race-check`: they
+    /// contend through atomics and simulated per-block locks by design
+    /// (the paper's device-side point APIs).
     pub fn launch_point<F>(&self, n_items: usize, cg_size: u32, kernel: F) -> KernelStats
     where
         F: Fn(usize) + Sync,
     {
-        self.launch_inner(n_items, cg_size, n_items as u64 * cg_size as u64, kernel)
+        self.launch_inner(n_items, cg_size, n_items as u64 * cg_size as u64, false, kernel)
     }
 
     /// Launch a region-style kernel: `kernel(r)` once per region `r`, one
     /// device thread per region (the bulk-API mapping, which the paper
     /// notes exposes far fewer active threads than point kernels).
+    ///
+    /// Under `race-check`, every [`crate::GpuBuffer`] access inside the
+    /// kernel is logged per region and the launch asserts cross-region
+    /// write-write / read-write disjointness — the bulk APIs' exclusive
+    /// region ownership, checked instead of assumed (see [`crate::shadow`]).
     pub fn launch_regions<F>(&self, n_regions: usize, kernel: F) -> KernelStats
     where
         F: Fn(usize) + Sync,
     {
-        self.launch_inner(n_regions, 1, n_regions as u64, kernel)
+        self.launch_inner(n_regions, 1, n_regions as u64, true, kernel)
     }
 
     /// Apply phase of the bulk-synchronous pattern: one region task per
@@ -164,7 +173,17 @@ impl Device {
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
-        (0..n).into_par_iter().with_min_len(self.min_task_len(n)).map(&f).collect()
+        let launch = crate::shadow::new_launch_id();
+        let out = (0..n)
+            .into_par_iter()
+            .with_min_len(self.min_task_len(n))
+            .map(|i| {
+                let _task = crate::shadow::task_enter(launch, i as u64);
+                f(i)
+            })
+            .collect();
+        crate::shadow::assert_launch_clean(launch, "par_map");
+        out
     }
 
     /// Sort phase: device-bounded stable radix sort of `(key, payload)`
@@ -200,14 +219,33 @@ impl Device {
         }
     }
 
-    fn launch_inner<F>(&self, n: usize, cg_size: u32, active_threads: u64, kernel: F) -> KernelStats
+    fn launch_inner<F>(
+        &self,
+        n: usize,
+        cg_size: u32,
+        active_threads: u64,
+        checked: bool,
+        kernel: F,
+    ) -> KernelStats
     where
         F: Fn(usize) + Sync,
     {
         let before = metrics::snapshot();
         let start = Instant::now();
         bump(Counter::KernelLaunches, 1);
-        (0..n).into_par_iter().with_min_len(self.min_task_len(n)).for_each(&kernel);
+        if checked {
+            // Scope every simulated worker so the shadow logger attributes
+            // buffer traffic to the region (not the host thread), then
+            // assert the launch's cross-region exclusivity invariant.
+            let launch = crate::shadow::new_launch_id();
+            (0..n).into_par_iter().with_min_len(self.min_task_len(n)).for_each(|r| {
+                let _task = crate::shadow::task_enter(launch, r as u64);
+                kernel(r)
+            });
+            crate::shadow::assert_launch_clean(launch, "region");
+        } else {
+            (0..n).into_par_iter().with_min_len(self.min_task_len(n)).for_each(&kernel);
+        }
         let wall = start.elapsed();
         bump(Counter::Items, n as u64);
         let counters = metrics::snapshot().since(&before);
@@ -308,6 +346,57 @@ mod tests {
         });
         assert!(visited.iter().all(|v| v.load(Ordering::Relaxed) == 1));
         assert_eq!(stats.items, 37);
+    }
+
+    /// The sanitizer's live-fire proof: a region launch whose kernels
+    /// write overlapping slots of one buffer must panic under
+    /// `race-check`. (The static analogue lives in `filter-lint`'s
+    /// fixtures; this is the dynamic one.)
+    #[test]
+    #[cfg(feature = "race-check")]
+    #[should_panic(expected = "race-check")]
+    fn overlapping_region_writes_trip_the_sanitizer() {
+        let dev = Device::cori().with_workers(2);
+        let buf = crate::GpuBuffer::new(64, 16);
+        // Every region writes slot 0: a cross-worker write-write race.
+        dev.launch_regions(4, |_r| {
+            buf.write(0, 7);
+        });
+    }
+
+    #[test]
+    #[cfg(feature = "race-check")]
+    fn disjoint_region_writes_pass_the_sanitizer() {
+        let dev = Device::cori().with_workers(2);
+        let buf = crate::GpuBuffer::new(64, 16);
+        let before = crate::shadow::launches_verified();
+        dev.launch_regions(4, |r| {
+            let base = r * 16;
+            for s in 0..16 {
+                buf.write(base + s, s as u64);
+            }
+            // Reading the worker's own slots back is equally legal.
+            for s in 0..16 {
+                assert_eq!(buf.read(base + s), s as u64);
+            }
+        });
+        assert!(crate::shadow::launches_verified() > before, "launch was not verified");
+        assert!(crate::shadow::accesses_recorded() > 0);
+    }
+
+    #[test]
+    #[cfg(feature = "race-check")]
+    #[should_panic(expected = "read-write")]
+    fn cross_worker_read_of_written_slots_trips_the_sanitizer() {
+        let dev = Device::cori().with_workers(2);
+        let buf = crate::GpuBuffer::new(64, 16);
+        dev.launch_regions(2, |r| {
+            if r == 0 {
+                buf.write(5, 1);
+            } else {
+                let _ = buf.read(5);
+            }
+        });
     }
 
     #[test]

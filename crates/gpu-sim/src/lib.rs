@@ -26,12 +26,15 @@
 //! assert!(modeled.throughput > 0.0);
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod cost;
 pub mod exec;
 pub mod locks;
 pub mod memory;
 pub mod metrics;
 pub mod profile;
+pub mod shadow;
 pub mod shared;
 pub mod sort;
 pub mod warp;

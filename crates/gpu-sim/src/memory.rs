@@ -32,6 +32,9 @@ pub struct GpuBuffer {
     elem_bits: u32,
     slots_per_word: usize,
     len: usize,
+    /// Identity in the `race-check` shadow logs (0 when the sanitizer is
+    /// compiled out; see [`crate::shadow`]).
+    shadow_id: u64,
 }
 
 impl GpuBuffer {
@@ -46,7 +49,8 @@ impl GpuBuffer {
         // Round the allocation to whole cache lines, as cudaMalloc would.
         let n_words = n_words.div_ceil(WORDS_PER_LINE) * WORDS_PER_LINE;
         let words = (0..n_words.max(WORDS_PER_LINE)).map(|_| AtomicU64::new(0)).collect();
-        GpuBuffer { words, elem_bits, slots_per_word, len }
+        let shadow_id = crate::shadow::new_buffer_id();
+        GpuBuffer { words, elem_bits, slots_per_word, len, shadow_id }
     }
 
     /// Number of slots.
@@ -133,6 +137,7 @@ impl GpuBuffer {
     /// shared memory / registers by a prior [`Self::load_line_of`].
     #[inline]
     pub fn read_free(&self, slot: usize) -> u64 {
+        crate::shadow::record(self.shadow_id, slot, slot + 1, false);
         let (word, off) = self.locate(slot);
         (self.words[word].load(Ordering::Acquire) >> off) & self.mask()
     }
@@ -150,6 +155,7 @@ impl GpuBuffer {
     /// a whole line at once).
     #[inline]
     pub fn write_free(&self, slot: usize, value: u64) {
+        crate::shadow::record(self.shadow_id, slot, slot + 1, true);
         let (word, off) = self.locate(slot);
         let mask = self.mask() << off;
         let v = (value << off) & mask;
@@ -256,6 +262,7 @@ impl GpuBuffer {
     /// distinct cache line covered.
     pub fn load_span(&self, start: usize, n: usize) -> SpanView<'_> {
         assert!(start + n <= self.len || n == 0);
+        crate::shadow::record(self.shadow_id, start, start + n, false);
         if n == 0 {
             return SpanView {
                 base_slot: start,

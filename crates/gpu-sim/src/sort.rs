@@ -19,6 +19,10 @@ const SMALL_SORT: usize = 1 << 14;
 /// Raw shared output buffer for the scatter phase. Chunks write disjoint
 /// (precomputed) index sets, so the aliasing is safe.
 struct ScatterPtr<T>(*mut T);
+// SAFETY: ScatterPtr is only shared across the scatter phase's workers;
+// each chunk writes exclusively to the index range its prefix-summed
+// histogram cursor assigned it, so concurrent writes never overlap. T is
+// Send so moving values into the buffer from another thread is sound.
 unsafe impl<T: Send> Sync for ScatterPtr<T> {}
 
 /// Charge the device traffic of a Thrust-style radix sort over `n` items

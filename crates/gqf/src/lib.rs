@@ -23,6 +23,8 @@
 //! assert_eq!(f.count(42), 2);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod bits;
 pub mod bulk;
 pub mod core;

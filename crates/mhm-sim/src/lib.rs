@@ -13,6 +13,8 @@
 //! reports the same three memory columns as Table 3, both raw and scaled
 //! to the paper's aggregate node counts.
 
+#![forbid(unsafe_code)]
+
 use filter_core::{Deletable, Filter, FilterMeta};
 use std::collections::HashMap;
 use tcf::{PointTcf, TcfConfig};

@@ -914,6 +914,9 @@ impl BulkTcf {
 
 /// Raw output pointer for the query kernel (disjoint writes per item).
 struct SharedOut(*mut bool);
+// SAFETY: SharedOut is only shared across the query kernel's workers, and
+// each worker writes the distinct slot of its own item index (see
+// `write`), so concurrent use never produces overlapping writes.
 unsafe impl Sync for SharedOut {}
 
 impl SharedOut {
@@ -923,6 +926,9 @@ impl SharedOut {
     /// Each kernel instance writes a distinct `i`, so writes never alias.
     #[inline]
     fn write(&self, i: usize, v: bool) {
+        // SAFETY: the pointer was created from a slice of length >= the
+        // item count, `i` is an in-bounds item index, and per the contract
+        // above no other worker writes slot `i` during the launch.
         unsafe { self.0.add(i).write(v) };
     }
 }

@@ -23,6 +23,8 @@
 //! assert!(!f.contains(12345));
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod backing;
 pub mod block;
 pub mod bulk;

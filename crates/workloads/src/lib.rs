@@ -14,6 +14,8 @@
 //!   key-popularity sampler, for the network serving tier's
 //!   latency-vs-offered-load benchmarks.
 
+#![forbid(unsafe_code)]
+
 pub mod arrivals;
 pub mod counting;
 pub mod genomics;

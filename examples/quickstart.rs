@@ -5,6 +5,18 @@
 //! ```sh
 //! cargo run --release -p gpu-filters --example quickstart
 //! ```
+//!
+//! # Analysis
+//!
+//! Everything this tour drives is mechanically checked on every PR:
+//! `cargo run -p filter-lint` runs the in-tree static analysis (unsafe
+//! audit → `experiments/UNSAFE_AUDIT.json`, lock-order manifest,
+//! registry/wire coverage, bounded codec allocation — see
+//! `crates/filter-lint/README.md`), and
+//! `cargo test --release -p gpu-filters --features race-check --test
+//! race_oracle` replays the whole registry under the gpu-sim
+//! shadow-memory race sanitizer, asserting every bulk launch touches
+//! disjoint slots per simulated worker.
 
 use gpu_filters::prelude::*;
 
