@@ -1,6 +1,7 @@
-//! Capacity-lifecycle figure (PR 5): what growing *costs*.
+//! Capacity-lifecycle figure (PR 5, extended for the ring router): what
+//! growing — and elastically resizing — *costs*.
 //!
-//! Two families of rows land in `experiments/BENCH_growth.json`:
+//! Four families of rows land in `experiments/BENCH_growth.json`:
 //!
 //! * **Per-kind amortized growth cost** — for every growable
 //!   `FilterKind`, the same chunked insert workload runs into (a) a
@@ -10,9 +11,17 @@
 //!   the two medians is the amortized cost of not knowing your capacity
 //!   up front.
 //! * **Service scale-out** — a `filter-service` fleet ingests the same
-//!   stream while `resize_shards` doubles it twice mid-run
-//!   (`scale-out`), next to a statically-sized fleet (`static-fleet`);
-//!   the delta prices live merge-based migration.
+//!   stream while `set_shards` doubles it twice mid-run (`scale-out`),
+//!   next to a statically-sized fleet (`static-fleet`); the delta prices
+//!   live merge-based migration.
+//! * **Service scale-in** — the fleet starts wide (4 shards) and halves
+//!   mid-ingest (`scale-in`): decommissioned shards drain into their
+//!   ring successors, and the row records the `scale_ins` /
+//!   `keys_moved` ledger.
+//! * **Ring movement** — pure routing rows (`resize-n-to-n+1`)
+//!   measuring, on the sampled keyset, the fraction a consistent-hash
+//!   resize re-routes; asserted against the 2/n consistent-hashing
+//!   bound that makes incremental resizes affordable at all.
 //!
 //! ```sh
 //! cargo run --release -p bench --bin fig_growth -- --sizes 16,18
@@ -21,7 +30,7 @@
 
 use bench::{measure_bulk, measure_wall, parse_args, Json, Probe, Trajectory};
 use filter_core::{hashed_keys, FilterKind, FilterSpec, GrowingFilter, GrowthPolicy};
-use filter_service::ShardedFilterBuilder;
+use filter_service::{RingRouter, ShardedFilterBuilder, DEFAULT_VNODES};
 use gpu_filters::build_filter;
 use gpu_sim::Device;
 use std::time::Duration;
@@ -153,7 +162,7 @@ fn main() {
                     if i < 2 {
                         let target = service.shard_count() * 2;
                         service
-                            .resize_shards(target, |_| tcf::BulkTcf::from_spec(&shard_spec))
+                            .set_shards(target, |_| tcf::BulkTcf::from_spec(&shard_spec))
                             .expect("live scale-out");
                     }
                 }
@@ -188,6 +197,88 @@ fn main() {
             },
         );
         traj.push(row.metric("final_shards", 4.0));
+
+        // Service scale-in: the fleet starts wide, ingests half the
+        // stream, then halves — the decommissioned shards drain into
+        // their ring successors under the NeedsGrowth retry loop.
+        let probe =
+            Probe::new("service/scale-in", "service", "scale-in", s, n as u64).spec(&shard_spec);
+        let (row, svc) = measure_wall(
+            &args,
+            &probe,
+            || {
+                service_builder()
+                    .shards(4)
+                    .build_maintainable_deletable(|_| tcf::BulkTcf::from_spec(&shard_spec))
+                    .expect("scale-in service")
+            },
+            |service| {
+                let h = service.handle();
+                let half = keys.len().div_ceil(2);
+                for c in keys[..half].chunks(4096) {
+                    h.insert_batch_pipelined(c).unwrap();
+                }
+                h.barrier().unwrap();
+                service
+                    .set_shards(2, |_| tcf::BulkTcf::from_spec(&shard_spec))
+                    .expect("live scale-in");
+                for c in keys[half..].chunks(4096) {
+                    h.insert_batch_pipelined(c).unwrap();
+                }
+                h.barrier().unwrap();
+                assert!(
+                    h.query_batch(&keys).unwrap().iter().all(|&x| x),
+                    "keys lost across scale-in at 2^{s}"
+                );
+            },
+        );
+        let stats = svc.stats();
+        assert_eq!(stats.scale_ins, 1, "the halving must land");
+        assert_eq!(stats.rejected, 0);
+        traj.push(
+            row.metric("scale_ins", stats.scale_ins as f64)
+                .metric("migration_events", stats.migration_events as f64)
+                .metric("keys_moved", stats.keys_moved as f64)
+                .metric("final_shards", stats.shards as f64),
+        );
+
+        // Ring movement: what fraction of the sampled keyset an n → n+1
+        // consistent-hash resize re-routes, against the 2/n bound (the
+        // multiplicative baseline would move (k−1)/k of the space).
+        for shards in [4usize, 8, 16] {
+            let old = RingRouter::new(shards);
+            let new = RingRouter::new(shards + 1);
+            let probe = Probe::new(
+                "router/ring-movement",
+                "router",
+                format!("resize-{shards}-to-{}", shards + 1),
+                s,
+                n as u64,
+            );
+            let (row, moved) = measure_wall(
+                &args,
+                &probe,
+                || 0usize,
+                |acc| {
+                    *acc = keys.iter().filter(|&&k| old.route(k) != new.route(k)).count();
+                },
+            );
+            let fraction = moved as f64 / n as f64;
+            let bound = 2.0 / shards as f64;
+            assert!(
+                fraction <= bound,
+                "ring {shards}→{} moved {:.4} of keys, above the 2/n bound {:.4}",
+                shards + 1,
+                fraction,
+                bound
+            );
+            traj.push(
+                row.metric("moved_fraction", fraction)
+                    .metric("movement_bound", bound)
+                    .metric("shards", shards as f64)
+                    .metric("vnodes", DEFAULT_VNODES as f64),
+            );
+        }
     }
 
     traj.set_extra("chunks", Json::num(CHUNKS as f64));

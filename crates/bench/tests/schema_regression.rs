@@ -94,6 +94,36 @@ fn growth_trajectory_records_amortized_cost_and_scale_out() {
             "scale-out row: migrations must cover at least the final fleet"
         );
     }
+
+    // ISSUE 8: the ring rows — a live scale-in that lands with its
+    // movement ledger, and routing-movement rows inside the 2/n
+    // consistent-hashing bound.
+    let scale_in: Vec<_> = traj.rows.iter().filter(|m| m.op == "scale-in").collect();
+    assert!(!scale_in.is_empty(), "growth: no service scale-in row");
+    for m in scale_in {
+        assert!(m.get_metric("scale_ins").unwrap_or(0.0) >= 1.0, "scale-in row: no resize");
+        assert!(
+            m.get_metric("migration_events").unwrap_or(0.0)
+                >= m.get_metric("final_shards").unwrap_or(f64::MAX),
+            "scale-in row: survivors must absorb at least the final fleet's worth of sources"
+        );
+        assert!(
+            m.get_metric("keys_moved").unwrap_or(0.0) > 0.0,
+            "scale-in row: movement estimate missing from the ledger"
+        );
+    }
+
+    let movement: Vec<_> = traj.rows.iter().filter(|m| m.label.contains("ring-movement")).collect();
+    assert!(movement.len() >= 3, "growth: expected ring-movement rows at several shard counts");
+    for m in movement {
+        let moved = m.get_metric("moved_fraction").expect("moved_fraction metric");
+        let bound = m.get_metric("movement_bound").expect("movement_bound metric");
+        assert!(
+            moved > 0.0 && moved <= bound,
+            "ring-movement row {}: moved {moved:.4} outside (0, {bound:.4}]",
+            m.op
+        );
+    }
 }
 
 /// The PR 6 acceptance contract: the net trajectory must sweep offered

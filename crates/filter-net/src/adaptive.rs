@@ -75,8 +75,11 @@ impl Default for AdaptiveConfig {
 pub struct Controller {
     cfg: AdaptiveConfig,
     last_tick: Option<(Instant, u64)>,
-    /// Exponentially-smoothed ops/sec across the whole service.
-    rate_ema: f64,
+    /// Exponentially-smoothed ops/sec across the whole service. `None`
+    /// until the first measured interval seeds it — a measured rate of
+    /// zero (idle interval) is a real observation and must smooth like
+    /// any other, not re-arm seeding.
+    rate_ema: Option<f64>,
     shedding: bool,
 }
 
@@ -85,7 +88,7 @@ impl Controller {
         assert!(cfg.shed_off < cfg.shed_on, "shed hysteresis must open below the close threshold");
         assert!(cfg.min_linger <= cfg.max_linger, "linger bounds inverted");
         assert!(cfg.target_batch > 0, "target batch must be positive");
-        Controller { cfg, last_tick: None, rate_ema: 0.0, shedding: false }
+        Controller { cfg, last_tick: None, rate_ema: None, shedding: false }
     }
 
     pub fn config(&self) -> &AdaptiveConfig {
@@ -97,9 +100,10 @@ impl Controller {
         self.shedding
     }
 
-    /// The smoothed service-wide arrival rate estimate, ops/sec.
+    /// The smoothed service-wide arrival rate estimate, ops/sec (0.0
+    /// before the first measured interval).
     pub fn rate(&self) -> f64 {
-        self.rate_ema
+        self.rate_ema.unwrap_or(0.0)
     }
 
     /// Run one control iteration from fresh observations: the monotonic
@@ -130,10 +134,17 @@ impl Controller {
         }
         let inst = ops_accepted.saturating_sub(prev_ops) as f64 / dt;
         // EMA with ~3-tick memory: fast enough to track burst episodes,
-        // slow enough not to chase single-tick noise.
-        self.rate_ema = if self.rate_ema == 0.0 { inst } else { 0.7 * self.rate_ema + 0.3 * inst };
+        // slow enough not to chase single-tick noise. Seeding is tracked
+        // by the Option, not a zero sentinel: after an idle interval the
+        // EMA really is 0.0, and the next burst must smooth into it
+        // instead of snapping straight to the instantaneous rate.
+        let ema = match self.rate_ema {
+            None => inst,
+            Some(prev) => 0.7 * prev + 0.3 * inst,
+        };
+        self.rate_ema = Some(ema);
 
-        let per_shard_rate = self.rate_ema / shards.max(1) as f64;
+        let per_shard_rate = ema / shards.max(1) as f64;
         let linger = if per_shard_rate <= 1.0 {
             // Effectively idle: nothing to batch, take the latency floor.
             self.cfg.min_linger
@@ -216,6 +227,39 @@ mod tests {
         // Only dropping to shed_off reopens.
         c.tick(t0 + step * 3, 300, 800, 4);
         assert!(!c.shedding());
+    }
+
+    #[test]
+    fn burst_after_idle_smooths_instead_of_snapping() {
+        // Regression: the old `rate_ema == 0.0` seed sentinel treated a
+        // measured-zero (idle) interval as "never seeded", so the first
+        // busy tick after an idle spell snapped the EMA to the
+        // instantaneous rate. It must smooth: 0.7·0 + 0.3·inst.
+        let mut c = Controller::new(cfg());
+        let t0 = Instant::now();
+        let step = Duration::from_millis(10);
+        c.tick(t0, 0, 0, 4); // calibration
+        c.tick(t0 + step, 0, 0, 4); // idle interval: measured rate 0
+        assert_eq!(c.rate(), 0.0, "idle interval must seed a real zero");
+        // Burst: 10k ops in 10ms = 1M ops/s instantaneous.
+        c.tick(t0 + step * 2, 10_000, 0, 4);
+        let r = c.rate();
+        assert!(
+            (r - 300_000.0).abs() < 1_000.0,
+            "burst after idle must smooth to 0.3×inst (~300k), got {r}"
+        );
+    }
+
+    #[test]
+    fn first_measured_interval_seeds_the_ema_exactly() {
+        // A genuinely unseeded controller still adopts the first measured
+        // rate wholesale (no smoothing against a phantom zero).
+        let mut c = Controller::new(cfg());
+        let t0 = Instant::now();
+        c.tick(t0, 0, 0, 4); // calibration
+        c.tick(t0 + Duration::from_millis(10), 10_000, 0, 4);
+        let r = c.rate();
+        assert!((r - 1_000_000.0).abs() < 1_000.0, "expected ~1M ops/s seed, got {r}");
     }
 
     #[test]

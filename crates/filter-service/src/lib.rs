@@ -59,6 +59,29 @@
 //!   calls are fenced by [`ServiceHandle::barrier`].
 //! * Shutting the service down aborts (never strands) outstanding
 //!   waiters, which observe [`filter_core::FilterError::ServiceStopped`].
+//!
+//! ## Elastic resizing
+//!
+//! Keys are placed by a consistent-hash [`RingRouter`]: each shard owns
+//! a set of arcs on a 64-bit ring, marked by [`DEFAULT_VNODES`] virtual
+//! nodes whose per-shard counts are balance-corrected against the ring's
+//! exact arc measure (worst shard within a few percent of uniform).
+//! Tune the vnode count with [`ShardedFilterBuilder::ring_vnodes`], or
+//! skew ownership toward bigger shards with
+//! [`ShardedFilterBuilder::shard_weights`]. Because arc ownership — not
+//! a modular range — defines a shard,
+//! [`ShardedFilter::set_shards`] supports **any** live resize sequence,
+//! scale-out and scale-in alike, re-routing only ~`k/n` of the key space
+//! on an `n → n ± k` resize. On a scale-in the decommissioned shards
+//! drain (workers flush and stop under the paused routing state) and
+//! their contents `merge` into the ring successors, growing the
+//! absorbers on [`filter_core::FilterError::NeedsGrowth`]; no
+//! acknowledged outcome is lost, and the
+//! [`ServiceStats`] ledger records `scale_ins`, `migration_events`, and
+//! an estimated `keys_moved`. The pre-ring multiplicative router remains
+//! available as a baseline via
+//! [`ShardedFilterBuilder::splitmix_routing`] (which constrains resizes
+//! to divide-or-multiply counts).
 
 #![forbid(unsafe_code)]
 
@@ -66,7 +89,7 @@ pub mod router;
 pub mod service;
 pub mod stats;
 
-pub use router::{ShardRouter, ROUTER_SEED};
+pub use router::{RingRouter, Router, ServiceRouter, ShardRouter, DEFAULT_VNODES, ROUTER_SEED};
 pub use service::{
     BatchReport, ServiceControl, ServiceHandle, ShardedFilter, ShardedFilterBuilder,
 };

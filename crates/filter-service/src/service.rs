@@ -28,20 +28,23 @@
 //!   return; `barrier()` waits for everything already enqueued. Streaming
 //!   workloads use this to keep every shard busy from one thread.
 //!
-//! **Capacity lifecycle (PR 5).** Shard workers built over a
+//! **Capacity lifecycle.** Shard workers built over a
 //! [`MaintainableFilter`] backend auto-grow it under the spec's
 //! [`GrowthPolicy`], retrying exactly the keys a full backend failed — so
 //! a service over a growable kind never surfaces capacity failures. The
-//! service itself scales out live: [`ShardedFilter::resize_shards`]
-//! multiplies the shard count, re-partitioning via the splitmix router —
-//! whose range-nesting means each new shard's key range sits inside
-//! exactly one old shard's — with merge-based migration of every parent
-//! backend into its children, correct under concurrent blocking and
-//! pipelined handles (intake pauses on the shared routing state while
-//! old shards drain). Growth and migration events land in the
+//! service itself resizes live: [`ShardedFilter::set_shards`] moves the
+//! fleet to *any* shard count — out or in — by consulting the routers:
+//! each new shard merge-absorbs exactly the old backends whose ring arcs
+//! it takes over ([`ServiceRouter::inheritors`]), correct under
+//! concurrent blocking and pipelined handles (intake pauses on the
+//! shared routing state while old shards drain). Under the default
+//! [`RingRouter`] an `n → n ± k` resize re-owns only ~`k/n` of the key
+//! space; the splitmix baseline ([`ShardedFilterBuilder::splitmix_routing`])
+//! keeps the PR 5 behavior, resizing only by whole multiples. Growth,
+//! migration, scale-out/in, and moved-key events land in the
 //! [`ServiceStats`] ledger.
 
-use crate::router::{ShardRouter, ROUTER_SEED};
+use crate::router::{RingRouter, ServiceRouter, ShardRouter, DEFAULT_VNODES, ROUTER_SEED};
 use crate::stats::{ServiceStats, StatsInner};
 use filter_core::{
     DeleteOutcome, FilterError, FilterSpec, GrowthPolicy, InsertOutcome, MaintainableFilter,
@@ -57,6 +60,11 @@ use std::time::{Duration, Instant};
 /// runaway-policy backstop shared with the facade-side
 /// [`filter_core::GrowingFilter`] loop.
 const MAX_GROWS_PER_FLUSH: u32 = filter_core::growth::MAX_GROWS_PER_OP;
+
+/// Deterministic probe keys sampled by [`ShardedFilter::set_shards`] to
+/// measure the fraction of the key space a routing change re-routes (the
+/// basis of the `keys_moved` ledger estimate).
+const MOVE_PROBE_KEYS: u64 = 4096;
 
 /// Completion gate for insert-like operations: counts keys still in
 /// flight, accumulating failures and aborts.
@@ -414,7 +422,7 @@ impl<B> Copy for DeleteHooks<B> {}
 /// [`DeleteHooks`] so maintenance is a monomorphized capability. `auto`
 /// carries the [`GrowthPolicy::Auto`] parameters when shard workers
 /// should grow their backend on load/failure; the grow/merge hooks also
-/// serve [`ShardedFilter::resize_shards`] regardless of policy.
+/// serve [`ShardedFilter::set_shards`] regardless of policy.
 struct MaintainHooks<B> {
     load: fn(&B) -> f64,
     grow: fn(&mut B, u32) -> Result<(), FilterError>,
@@ -452,6 +460,9 @@ pub struct ShardedFilterBuilder {
     linger: Duration,
     queue_tasks: usize,
     seed: u64,
+    vnodes: u32,
+    weights: Option<Vec<f64>>,
+    ring_routing: bool,
     parallelism: Parallelism,
     growth: GrowthPolicy,
 }
@@ -464,6 +475,9 @@ impl Default for ShardedFilterBuilder {
             linger: Duration::from_micros(200),
             queue_tasks: 1024,
             seed: ROUTER_SEED,
+            vnodes: DEFAULT_VNODES,
+            weights: None,
+            ring_routing: true,
             parallelism: Parallelism::Auto,
             growth: GrowthPolicy::Fixed,
         }
@@ -506,10 +520,56 @@ impl ShardedFilterBuilder {
         self
     }
 
-    /// Override the router seed (see [`ShardRouter::with_seed`]).
+    /// Override the router seed (see [`RingRouter::with_seed`] /
+    /// [`ShardRouter::with_seed`]).
     pub fn router_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// Virtual nodes per unit-weight shard on the consistent-hash ring
+    /// (default 128; zero clamps to one). More vnodes tighten balance
+    /// (the residual imbalance after correction is ~one vnode arc) at the
+    /// cost of a larger binary-search table. Ignored under
+    /// [`Self::splitmix_routing`].
+    pub fn ring_vnodes(mut self, vnodes: u32) -> Self {
+        self.vnodes = vnodes.max(1);
+        self
+    }
+
+    /// Per-shard ring weights for heterogeneous capacity: shard `i`
+    /// serves a key-space share proportional to `weights[i]`. Entries
+    /// beyond the live shard count are ignored; missing, non-finite, or
+    /// non-positive entries default to `1.0`. A resize keeps applying the
+    /// same weight vector to however many shards then exist. Ignored
+    /// under [`Self::splitmix_routing`].
+    pub fn shard_weights(mut self, weights: Vec<f64>) -> Self {
+        self.weights = Some(weights);
+        self
+    }
+
+    /// Route with the original multiplicative [`ShardRouter`] instead of
+    /// the consistent-hash ring — the pre-ring baseline, kept for
+    /// comparison. Restricts [`ShardedFilter::set_shards`] to resizes
+    /// where one shard count divides the other (the only family whose
+    /// splitmix ranges nest).
+    pub fn splitmix_routing(mut self) -> Self {
+        self.ring_routing = false;
+        self
+    }
+
+    /// The router this configuration produces for `shards` live shards.
+    fn make_router(&self, shards: usize) -> ServiceRouter {
+        if self.ring_routing {
+            ServiceRouter::Ring(RingRouter::with_config(
+                shards,
+                self.seed,
+                self.vnodes,
+                self.weights.as_deref(),
+            ))
+        } else {
+            ServiceRouter::Splitmix(ShardRouter::with_seed(shards, self.seed))
+        }
     }
 
     /// Service-wide host-parallelism budget for the backends' bulk phases
@@ -585,7 +645,7 @@ impl ShardedFilterBuilder {
     /// Build over a backend with the capacity lifecycle
     /// ([`MaintainableFilter`]): shard workers auto-grow under the
     /// builder's [`Self::growth`] policy, and the service supports live
-    /// scale-out via [`ShardedFilter::resize_shards`].
+    /// elastic resizing via [`ShardedFilter::set_shards`].
     pub fn build_maintainable<B, F>(self, make: F) -> Result<ShardedFilter<B>, FilterError>
     where
         B: ServiceBackend + MaintainableFilter + 'static,
@@ -628,12 +688,10 @@ impl ShardedFilterBuilder {
         }
         let (senders, workers) =
             spawn_workers(&backends, &stats, &self, &linger_ns, delete_fn, maintain, 0)?;
+        let router = self.make_router(shards);
         Ok(ShardedFilter {
             backends,
-            state: Arc::new(RwLock::new(RouteState {
-                senders,
-                router: ShardRouter::with_seed(shards, self.seed),
-            })),
+            ring: Arc::new(RwLock::new(RouteState { senders, router })),
             workers,
             cfg: self.clone(),
             stats,
@@ -693,13 +751,13 @@ fn spawn_workers<B: ServiceBackend + 'static>(
 }
 
 /// The handle-visible routing state: one sender per live shard plus the
-/// router that addresses them. Swapped atomically (behind one `RwLock`)
-/// by [`ShardedFilter::resize_shards`], so every handle — blocking or
-/// pipelined, cloned before or after a scale-out — always routes against
-/// a consistent (senders, router) pair.
+/// router that addresses them. Swapped atomically (behind one `RwLock`,
+/// the `ring` field on every owner) by [`ShardedFilter::set_shards`], so
+/// every handle — blocking or pipelined, cloned before or after a
+/// resize — always routes against a consistent (senders, router) pair.
 struct RouteState {
     senders: Vec<SyncSender<Task>>,
-    router: ShardRouter,
+    router: ServiceRouter,
 }
 
 /// Per-shard worker: drains the queue, buffers, flushes. The backend
@@ -973,12 +1031,12 @@ impl<B: ServiceBackend> WorkerConfig<B> {
 /// Handles are deliberately not generic over the backend, so application
 /// code routing traffic into the service does not need to name the filter
 /// type. Handles reference the service's *shared* routing state, so a
-/// live scale-out ([`ShardedFilter::resize_shards`]) transparently
-/// redirects every handle — cloned before or after the resize — to the
-/// new shard fleet.
+/// live resize ([`ShardedFilter::set_shards`]) transparently redirects
+/// every handle — cloned before or after the resize — to the new shard
+/// fleet.
 #[derive(Clone)]
 pub struct ServiceHandle {
-    state: Arc<RwLock<RouteState>>,
+    ring: Arc<RwLock<RouteState>>,
     stats: Arc<StatsInner>,
     deletes: bool,
 }
@@ -986,11 +1044,11 @@ pub struct ServiceHandle {
 impl ServiceHandle {
     /// Read-lock the routing state: one consistent (senders, router)
     /// view per operation. Held across route + send so a concurrent
-    /// scale-out can never split an operation between fleets; dropped
+    /// resize can never split an operation between fleets; dropped
     /// before any gate wait so draining workers (which never take this
     /// lock) can make progress.
     fn route_state(&self) -> RwLockReadGuard<'_, RouteState> {
-        self.state.read().unwrap_or_else(|e| e.into_inner())
+        self.ring.read().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Enqueue a task; on success, credit its operations to `accepted`
@@ -1360,10 +1418,10 @@ impl ServiceHandle {
     }
 
     /// The router currently in use (e.g. to co-locate auxiliary
-    /// per-shard state). By value: a scale-out replaces the live router,
+    /// per-shard state). By value: a resize replaces the live router,
     /// so cache this only for as long as the shard count is known stable.
-    pub fn router(&self) -> ShardRouter {
-        self.route_state().router
+    pub fn router(&self) -> ServiceRouter {
+        self.route_state().router.clone()
     }
 }
 
@@ -1377,16 +1435,16 @@ impl ServiceHandle {
 /// handles, it is not generic over the backend type.
 #[derive(Clone)]
 pub struct ServiceControl {
-    state: Arc<RwLock<RouteState>>,
+    ring: Arc<RwLock<RouteState>>,
     stats: Arc<StatsInner>,
     linger_ns: Arc<AtomicU64>,
     started: Instant,
 }
 
 impl ServiceControl {
-    /// Current number of shards (scale-outs change it live).
+    /// Current number of shards (live resizes change it).
     pub fn shards(&self) -> usize {
-        self.state.read().unwrap_or_else(|e| e.into_inner()).router.shards()
+        self.ring.read().unwrap_or_else(|e| e.into_inner()).router.shards()
     }
 
     /// Operations currently queued across all shards.
@@ -1423,7 +1481,7 @@ impl ServiceControl {
 /// architecture and the [crate docs](crate) for a quickstart.
 pub struct ShardedFilter<B: ServiceBackend + 'static> {
     backends: Vec<Arc<RwLock<B>>>,
-    state: Arc<RwLock<RouteState>>,
+    ring: Arc<RwLock<RouteState>>,
     workers: Vec<JoinHandle<()>>,
     cfg: ShardedFilterBuilder,
     stats: Arc<StatsInner>,
@@ -1438,14 +1496,14 @@ impl<B: ServiceBackend + 'static> ShardedFilter<B> {
     /// A new submission handle (cheap; clone freely across threads).
     pub fn handle(&self) -> ServiceHandle {
         ServiceHandle {
-            state: Arc::clone(&self.state),
+            ring: Arc::clone(&self.ring),
             stats: Arc::clone(&self.stats),
             deletes: self.delete_fn.is_some(),
         }
     }
 
     fn route_state(&self) -> RwLockReadGuard<'_, RouteState> {
-        self.state.read().unwrap_or_else(|e| e.into_inner())
+        self.ring.read().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Snapshot of the service metrics.
@@ -1460,7 +1518,7 @@ impl<B: ServiceBackend + 'static> ShardedFilter<B> {
     /// this.
     pub fn control(&self) -> ServiceControl {
         ServiceControl {
-            state: Arc::clone(&self.state),
+            ring: Arc::clone(&self.ring),
             stats: Arc::clone(&self.stats),
             linger_ns: Arc::clone(&self.linger_ns),
             started: self.started,
@@ -1472,10 +1530,10 @@ impl<B: ServiceBackend + 'static> ShardedFilter<B> {
         self.route_state().router.shards()
     }
 
-    /// The router currently mapping keys to shards (by value: scale-outs
+    /// The router currently mapping keys to shards (by value: resizes
     /// replace it).
-    pub fn router(&self) -> ShardRouter {
-        self.route_state().router
+    pub fn router(&self) -> ServiceRouter {
+        self.route_state().router.clone()
     }
 
     /// Shared references to the per-shard backends. Lock a backend
@@ -1501,77 +1559,90 @@ impl<B: ServiceBackend + 'static> ShardedFilter<B> {
             .sum()
     }
 
-    /// Live scale-out: multiply the shard fleet to `new_shards` (a
-    /// multiple of the current count), migrating every old shard's
-    /// contents into its successor shards by merging.
+    /// Live elastic resize: move the fleet to `new_shards` — more
+    /// (scale-out) or fewer (scale-in) — migrating contents by merging so
+    /// no acknowledged key loses its membership answer. Under the default
+    /// ring routing *any* resize sequence is valid (4 → 6 → 3 → 8 …);
+    /// under [`ShardedFilterBuilder::splitmix_routing`] one count must
+    /// divide the other (the only family whose splitmix ranges nest).
     ///
     /// `make(shard_index)` builds the new backends (size them with
     /// [`ShardedFilterBuilder::shard_spec`] over the *new* shard count,
     /// or reuse the original per-shard spec — each new shard must be able
-    /// to absorb its parent's live contents, growing under the maintain
-    /// hooks when the first attempt reports
-    /// [`FilterError::NeedsGrowth`]).
+    /// to absorb the live contents it inherits, growing under the
+    /// maintain hooks when a merge reports [`FilterError::NeedsGrowth`]).
     ///
-    /// Correctness under concurrent traffic: the splitmix router
-    /// range-nests when the count multiplies — new shard `j` serves
-    /// exactly a sub-range of old shard `j / (new/old)`'s keys — so
-    /// merging parent `j / k` into child `j` preserves every membership
-    /// answer. Intake pauses (handles block on the shared routing state)
-    /// while the old workers drain and stop, so no enqueued operation is
-    /// lost and blocking callers are answered before migration begins; on
-    /// a migration error the old fleet is restored intact.
+    /// Correctness under concurrent traffic: intake pauses (handles block
+    /// on the shared routing state) while the old workers drain and stop,
+    /// so no enqueued operation is lost and blocking callers are answered
+    /// before migration begins. [`ServiceRouter::inheritors`] then names,
+    /// for every new shard, exactly the old backends whose key-space arcs
+    /// it takes over — on a scale-out mostly its own predecessor, on a
+    /// scale-in additionally the decommissioned shards' arcs, which the
+    /// ring hands to their clockwise successors — and each new backend
+    /// merge-absorbs those sources before the new fleet goes live. On a
+    /// migration error the old fleet is restored intact (merges only
+    /// write into the new backends; survivors that already absorbed a
+    /// source can only over-approximate, never lose a key).
     ///
     /// Cost model — what merge-based migration buys and what it does not:
-    /// filters store fingerprints, not keys, so a parent's contents
-    /// cannot be *partitioned* by router range; each child absorbs the
-    /// parent's **full** contents instead. Directly after a k× scale-out,
-    /// aggregate memory is therefore ~k× the parent fleet's, each child
-    /// starts at its parent's fingerprint population (so the service-wide
-    /// false-positive rate is unchanged from the moment before the
-    /// resize — not reduced as a key-partitioned split would achieve),
-    /// and the sibling-range fingerprints a child inherits are inert but
-    /// undeletable (deletes for those keys route to the owning sibling).
-    /// What the scale-out buys is *forward* capacity and parallelism:
-    /// every new key lands in exactly one child, so per-shard growth
-    /// pressure and worker load drop by k from this point on. A
-    /// deployment that needs the stale fingerprints reclaimed rebuilds
-    /// shards from its source of truth (out of scope here).
+    /// filters store fingerprints, not keys, so a source's contents
+    /// cannot be *partitioned* by router arc; an inheritor absorbs each
+    /// source's **full** contents instead. The service-wide
+    /// false-positive rate is unchanged at the moment of the resize (no
+    /// fingerprint is dropped), and out-of-range fingerprints an
+    /// inheritor picks up are inert but undeletable (deletes for those
+    /// keys route to the owning shard). What the resize buys is the ring
+    /// economics *forward*: every new key lands in exactly one shard, an
+    /// `n → n ± k` resize re-routes only ~`k/n` of the key space
+    /// (ledgered in [`ServiceStats::keys_moved`](crate::ServiceStats) as
+    /// `moved-fraction × estimated live items`), and a scale-in actually
+    /// retires worker threads and their queues. A deployment that needs
+    /// stale fingerprints reclaimed rebuilds shards from its source of
+    /// truth (out of scope here).
     ///
     /// Requires a service built with
     /// [`ShardedFilterBuilder::build_maintainable`] /
     /// [`build_maintainable_deletable`](ShardedFilterBuilder::build_maintainable_deletable)
     /// (the merge hook does the migration).
-    pub fn resize_shards<F>(&mut self, new_shards: usize, mut make: F) -> Result<(), FilterError>
+    pub fn set_shards<F>(&mut self, new_shards: usize, mut make: F) -> Result<(), FilterError>
     where
         F: FnMut(usize) -> Result<B, FilterError>,
     {
         let Some(hooks) = self.maintain else {
-            return FilterError::unsupported("scale-out needs a maintainable backend");
+            return FilterError::unsupported("live resize needs a maintainable backend");
         };
         let old_shards = self.backends.len();
         if new_shards == old_shards {
             return Ok(());
         }
-        if new_shards == 0 || !new_shards.is_multiple_of(old_shards) {
+        if new_shards == 0 {
+            return Err(FilterError::BadConfig(
+                "set_shards: shard count must be positive".to_string(),
+            ));
+        }
+        let counts_nest =
+            new_shards.is_multiple_of(old_shards) || old_shards.is_multiple_of(new_shards);
+        if !self.cfg.ring_routing && !counts_nest {
             return Err(FilterError::BadConfig(format!(
-                "resize_shards: {new_shards} is not a positive multiple of the current \
-                 {old_shards} shards (the splitmix ranges only nest under multiplication)"
+                "set_shards: splitmix routing resizes only when one shard count divides the \
+                 other ({old_shards} → {new_shards}); the default ring routing lifts this"
             )));
         }
-        let k = new_shards / old_shards;
         let grow_factor = hooks.auto.map(|(_, f)| f).unwrap_or(2);
 
-        // Build the new fleet before pausing intake.
+        // Build the new fleet and router before pausing intake.
         let mut new_backends = Vec::with_capacity(new_shards);
         for j in 0..new_shards {
             new_backends.push(Arc::new(RwLock::new(make(j)?)));
         }
+        let new_router = self.cfg.make_router(new_shards);
 
         // Pause intake: handles block acquiring the read side; workers
         // never take this lock, so their queues keep draining. (The Arc
         // is cloned so the guard does not pin `self`.)
-        let state = Arc::clone(&self.state);
-        let mut rs = state.write().unwrap_or_else(|e| e.into_inner());
+        let ring = Arc::clone(&self.ring);
+        let mut rs = ring.write().unwrap_or_else(|e| e.into_inner());
 
         // Stop the old workers. `Task::Stop` flushes everything buffered
         // first, so every already-enqueued operation completes (blocking
@@ -1584,26 +1655,43 @@ impl<B: ServiceBackend + 'static> ShardedFilter<B> {
         }
         self.worker_generation += 1;
 
-        // Merge-migrate: child j absorbs parent j / k. On an
-        // unrecoverable error, restore the old fleet (its backends are
-        // untouched — merges only write into the new ones).
+        // What moves: each new shard's inheritor set (the old backends
+        // whose arcs it takes over), plus the movement estimate for the
+        // ledger — measured routing churn on a deterministic key probe,
+        // scaled by the old fleet's estimated live item count.
+        let inherit = ServiceRouter::inheritors(&rs.router, &new_router);
+        let moved_fraction = rs.router.moved_fraction(&new_router, MOVE_PROBE_KEYS);
+        let est_items: f64 = self
+            .backends
+            .iter()
+            .map(|b| {
+                let b = b.read().unwrap_or_else(|e| e.into_inner());
+                (hooks.load)(&b) * b.capacity_slots() as f64
+            })
+            .sum();
+
+        // Merge-migrate every inheritor set into its (fresh) new backend.
+        // On an unrecoverable error, restore the old fleet (its backends
+        // are untouched — merges only write into the new ones).
         let migrate = || -> Result<(), FilterError> {
             for (j, child) in new_backends.iter().enumerate() {
-                let parent = self.backends[j / k].read().unwrap_or_else(|e| e.into_inner());
-                let mut child_b = child.write().unwrap_or_else(|e| e.into_inner());
-                let mut grows = 0;
-                loop {
-                    match (hooks.merge)(&mut child_b, &parent) {
-                        Ok(()) => break,
-                        Err(FilterError::NeedsGrowth { .. }) if grows < MAX_GROWS_PER_FLUSH => {
-                            (hooks.grow)(&mut child_b, grow_factor)?;
-                            grows += 1;
-                            self.stats.grow_events.fetch_add(1, Ordering::Relaxed);
+                for &src in &inherit[j] {
+                    let parent = self.backends[src].read().unwrap_or_else(|e| e.into_inner());
+                    let mut child_b = child.write().unwrap_or_else(|e| e.into_inner());
+                    let mut grows = 0;
+                    loop {
+                        match (hooks.merge)(&mut child_b, &parent) {
+                            Ok(()) => break,
+                            Err(FilterError::NeedsGrowth { .. }) if grows < MAX_GROWS_PER_FLUSH => {
+                                (hooks.grow)(&mut child_b, grow_factor)?;
+                                grows += 1;
+                                self.stats.grow_events.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(e) => return Err(e),
                         }
-                        Err(e) => return Err(e),
                     }
+                    self.stats.migration_events.fetch_add(1, Ordering::Relaxed);
                 }
-                self.stats.migration_events.fetch_add(1, Ordering::Relaxed);
             }
             Ok(())
         };
@@ -1634,10 +1722,26 @@ impl<B: ServiceBackend + 'static> ShardedFilter<B> {
         )?;
         self.backends = new_backends;
         rs.senders = senders;
-        rs.router = ShardRouter::with_seed(new_shards, self.cfg.seed);
+        rs.router = new_router;
         self.workers = workers;
-        self.stats.scale_outs.fetch_add(1, Ordering::Relaxed);
+        if new_shards > old_shards {
+            self.stats.scale_outs.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.stats.scale_ins.fetch_add(1, Ordering::Relaxed);
+        }
+        self.stats
+            .keys_moved
+            .fetch_add((moved_fraction * est_items).round() as u64, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// Alias of [`Self::set_shards`], kept from when live resizing could
+    /// only multiply the fleet.
+    pub fn resize_shards<F>(&mut self, new_shards: usize, make: F) -> Result<(), FilterError>
+    where
+        F: FnMut(usize) -> Result<B, FilterError>,
+    {
+        self.set_shards(new_shards, make)
     }
 
     /// Stop accepting work, flush every shard, join the workers, and hand
@@ -1650,8 +1754,8 @@ impl<B: ServiceBackend + 'static> ShardedFilter<B> {
     }
 
     fn stop_workers(&mut self) {
-        let state = Arc::clone(&self.state);
-        let mut rs = state.write().unwrap_or_else(|e| e.into_inner());
+        let ring = Arc::clone(&self.ring);
+        let mut rs = ring.write().unwrap_or_else(|e| e.into_inner());
         for tx in rs.senders.drain(..) {
             // A full queue blocks until the worker drains it; a worker that
             // already exited surfaces as a send error, which is fine.

@@ -215,7 +215,9 @@ pub(crate) struct StatsInner {
     pub grow_events: AtomicU64,
     pub regrown_keys: AtomicU64,
     pub scale_outs: AtomicU64,
+    pub scale_ins: AtomicU64,
     pub migration_events: AtomicU64,
+    pub keys_moved: AtomicU64,
     // -- per-operation end-to-end latency (PR 6) --
     pub latency: LatencyRecorder,
 }
@@ -281,11 +283,18 @@ pub struct ServiceStats {
     /// succeeded on retry — capacity failures the lifecycle hid from
     /// callers.
     pub regrown_keys: u64,
-    /// Completed `resize_shards` operations.
+    /// Completed `set_shards` resizes that grew the fleet.
     pub scale_outs: u64,
-    /// Per-shard merge migrations performed during scale-outs (one per
-    /// new shard absorbing its parent).
+    /// Completed `set_shards` resizes that shrank the fleet (decommissioned
+    /// shards drained into their ring successors).
+    pub scale_ins: u64,
+    /// Merge migrations performed during resizes (one per old backend a
+    /// new shard absorbed).
     pub migration_events: u64,
+    /// Estimated keys whose shard assignment changed across all resizes
+    /// (measured moved-fraction of the routing change × estimated live
+    /// items at resize time).
+    pub keys_moved: u64,
     /// End-to-end per-operation latency percentiles (enqueue → flush).
     pub latency: LatencySnapshot,
     /// Time since the service started.
@@ -318,7 +327,9 @@ impl ServiceStats {
             grow_events: inner.grow_events.load(o),
             regrown_keys: inner.regrown_keys.load(o),
             scale_outs: inner.scale_outs.load(o),
+            scale_ins: inner.scale_ins.load(o),
             migration_events: inner.migration_events.load(o),
+            keys_moved: inner.keys_moved.load(o),
             latency: inner.latency.snapshot(),
             elapsed,
         }
@@ -347,11 +358,16 @@ impl ServiceStats {
     }
 
     /// Mean time per backend bulk call.
+    ///
+    /// Computed in `u128` nanoseconds: `Duration / u32` would force the
+    /// divisor through a clamp at `u32::MAX` batches, silently inflating
+    /// the mean on long-lived services.
     pub fn mean_flush(&self) -> Duration {
         if self.batches_flushed == 0 {
             return Duration::ZERO;
         }
-        self.flush_total / self.batches_flushed.min(u32::MAX as u64) as u32
+        let mean_ns = self.flush_total.as_nanos() / u128::from(self.batches_flushed);
+        Duration::from_nanos(mean_ns.min(u128::from(u64::MAX)) as u64)
     }
 
     /// Multi-line human-readable report.
@@ -362,7 +378,8 @@ impl ServiceStats {
              batches: {} flushed, mean size {:.1}, hist {}\n\
              flush: mean {:.2?}, max {:.2?}; queue depth {} (max {}), rejected {}\n\
              latency: {}\n\
-             lifecycle: {} grows ({} keys regrown), {} scale-outs ({} migrations)",
+             lifecycle: {} grows ({} keys regrown), {} scale-outs, {} scale-ins \
+             ({} migrations, ~{} keys moved)",
             self.shards,
             self.throughput(),
             self.elapsed,
@@ -384,7 +401,9 @@ impl ServiceStats {
             self.grow_events,
             self.regrown_keys,
             self.scale_outs,
+            self.scale_ins,
             self.migration_events,
+            self.keys_moved,
         )
     }
 }
@@ -417,6 +436,19 @@ mod tests {
         assert!(s.mean_batch() > 4.0);
         assert_eq!(s.flush_max, Duration::from_micros(20));
         assert!(s.render().contains("4 shards"));
+    }
+
+    #[test]
+    fn mean_flush_is_exact_past_u32_max_batches() {
+        // A `Duration / u32` division has to clamp the divisor at
+        // `u32::MAX`, which doubled the reported mean at 2·u32::MAX
+        // batches. The u128 path stays exact.
+        let inner = StatsInner::default();
+        let batches = 2 * u64::from(u32::MAX);
+        inner.batches_flushed.store(batches, Ordering::Relaxed);
+        inner.flush_ns_total.store(batches * 100, Ordering::Relaxed);
+        let s = ServiceStats::snapshot(&inner, 1, Duration::from_secs(1));
+        assert_eq!(s.mean_flush(), Duration::from_nanos(100));
     }
 
     #[test]

@@ -330,6 +330,119 @@ fn service_scale_out_loses_no_outcomes_under_live_traffic() {
 }
 
 #[test]
+fn service_ring_resize_sequence_loses_no_outcomes() {
+    // The ISSUE 8 acceptance gate: under the consistent-hash ring,
+    // set_shards supports *arbitrary* resize sequences — here
+    // 4 → 6 → 3 → 3 → 8, mixing scale-out, scale-in, and a no-op —
+    // while blocking and pipelined clients keep hammering the service.
+    // Every acknowledged key must survive every migration (including the
+    // scale-in, where decommissioned shards drain into their ring
+    // successors), no call may error, and the ledger must balance with
+    // the scale-ins and movement estimate recorded.
+    use gpu_filters::{FilterSpec, GrowthPolicy};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::Duration;
+
+    const CLIENTS: usize = 3;
+    const KEYS_PER_CLIENT: usize = 3000;
+
+    let shard_spec = FilterSpec::items(4 * KEYS_PER_CLIENT as u64).fp_rate(4e-3);
+    let mut service = ShardedFilterBuilder::new()
+        .shards(4)
+        .batch_capacity(256)
+        .linger(Duration::from_micros(100))
+        .growth(GrowthPolicy::AUTO_DEFAULT)
+        .build_maintainable_deletable(|_| BulkTcf::from_spec(&shard_spec))
+        .expect("maintainable service");
+
+    let keys = Arc::new(hashed_keys(801, CLIENTS * KEYS_PER_CLIENT));
+    let pipelined = Arc::new(hashed_keys(802, KEYS_PER_CLIENT));
+    let handle = service.handle();
+    let stop = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|s| {
+        // Blocking clients: insert in chunks, re-verifying after each.
+        for t in 0..CLIENTS {
+            let h = handle.clone();
+            let keys = Arc::clone(&keys);
+            s.spawn(move || {
+                let mine = &keys[t * KEYS_PER_CLIENT..(t + 1) * KEYS_PER_CLIENT];
+                for chunk in mine.chunks(500) {
+                    assert_eq!(h.insert_batch(chunk).unwrap(), 0, "client {t} lost inserts");
+                    assert!(
+                        h.query_batch(chunk).unwrap().iter().all(|&x| x),
+                        "client {t} lost keys mid-resize"
+                    );
+                }
+            });
+        }
+        // A pipelined client with barriers.
+        {
+            let h = handle.clone();
+            let pipelined = Arc::clone(&pipelined);
+            s.spawn(move || {
+                for chunk in pipelined.chunks(400) {
+                    h.insert_batch_pipelined(chunk).unwrap();
+                }
+                h.barrier().unwrap();
+                assert!(
+                    h.query_batch(&pipelined).unwrap().iter().all(|&x| x),
+                    "pipelined keys lost"
+                );
+            });
+        }
+        // A querying client that churns all through the resizes.
+        {
+            let h = handle.clone();
+            let keys = Arc::clone(&keys);
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let _ = h.query_batch(&keys[..200]).unwrap();
+                }
+            });
+        }
+        // The operator thread: out, in, no-op, out — all while traffic
+        // flows.
+        let stop_op = Arc::clone(&stop);
+        let svc = &mut service;
+        s.spawn(move || {
+            for target in [6usize, 3, 3, 8] {
+                std::thread::sleep(Duration::from_millis(5));
+                svc.set_shards(target, |_| BulkTcf::from_spec(&shard_spec))
+                    .unwrap_or_else(|e| panic!("resize to {target}: {e}"));
+                assert_eq!(svc.shard_count(), target);
+            }
+            stop_op.store(true, Ordering::Relaxed);
+        });
+    });
+
+    // Everything acknowledged must still be present after the sequence.
+    let all: Vec<u64> = keys.iter().chain(pipelined.iter()).copied().collect();
+    assert!(handle.query_batch(&all).unwrap().iter().all(|&x| x), "keys lost after resizes");
+
+    let stats = service.stats();
+    assert_eq!(stats.shards, 8, "final shard count");
+    assert_eq!(stats.scale_outs, 2, "4→6 and 3→8 ledgered as scale-outs");
+    assert_eq!(stats.scale_ins, 1, "6→3 ledgered as a scale-in");
+    assert!(
+        stats.migration_events >= 6 + 3 + 8,
+        "every new shard absorbs at least one source per resize, got {}",
+        stats.migration_events
+    );
+    assert!(stats.keys_moved > 0, "movement estimate recorded");
+    assert_eq!(stats.rejected, 0, "no operation rejected during resizes");
+    assert_eq!(stats.insert_failures, 0, "no capacity failures under the growth policy");
+    assert_eq!(stats.queue_depth, 0, "queues drained");
+    assert_eq!(
+        stats.items_flushed,
+        stats.inserts + stats.deletes + stats.queries,
+        "flushed items must equal accepted operations (zero lost outcomes):\n{}",
+        stats.render()
+    );
+}
+
+#[test]
 fn service_worker_auto_growth_absorbs_overload() {
     // A service whose shards are sized for a fraction of the traffic:
     // under GrowthPolicy::Auto the workers must grow their backends and
