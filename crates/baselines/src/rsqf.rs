@@ -7,6 +7,12 @@
 //! inserts is not provided by the authors" (§6.2): the available insert
 //! path processes the batch serially, topping out around 8 M/s, three
 //! orders of magnitude behind the other filters in Fig. 4.
+//!
+//! The occupied/runend metadata scans live in [`GqfCore`], which this
+//! baseline shares with the GQF/SQF: under the `swar` switch those walks
+//! run word-at-a-time (`count_ones` rank + select-in-word) via the
+//! scalar/SWAR twins in `gqf::bits`, so the RSQF inherits the
+//! branch-light path without any code of its own.
 
 use filter_core::{
     ApiMode, BulkFilter, Features, FilterError, FilterMeta, FilterSpec, InsertOutcome, Operation,

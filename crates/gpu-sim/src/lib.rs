@@ -37,6 +37,7 @@ pub mod profile;
 pub mod shadow;
 pub mod shared;
 pub mod sort;
+pub mod swar;
 pub mod warp;
 
 pub use exec::{Device, KernelStats};

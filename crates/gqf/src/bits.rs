@@ -56,6 +56,19 @@ impl<'a> Tracked<'a> {
         self.get(slot) != 0
     }
 
+    /// Read the whole 64-slot backing word containing `slot` (for 1-bit
+    /// buffers: 64 metadata bits at once — the SWAR twins' data path),
+    /// charging a line load exactly like a slot read on the same line.
+    #[inline]
+    pub fn get_word(&mut self, slot: usize) -> u64 {
+        let line = self.buf.line_of(slot);
+        if line != self.last_read_line {
+            bump(Counter::LinesLoaded, 1);
+            self.last_read_line = line;
+        }
+        self.buf.read_word_free(slot)
+    }
+
     /// Set a 1-bit slot.
     #[inline]
     pub fn set_bit(&mut self, slot: usize, value: bool) {
@@ -117,6 +130,160 @@ pub struct MetaCursor<'a> {
     pub shift: Tracked<'a>,
 }
 
+// ----------------------------------------------------------------------
+// Metadata scan twins. Each 1-bit walk the GQF core performs exists as a
+// scalar per-bit reference and a SWAR word-at-a-time twin built on
+// [`Tracked::get_word`] + `count_ones`/`trailing_zeros` rank-select. The
+// twins return bit-identical results; line charges agree except that a
+// SWAR word read may touch a line a short-circuiting scalar walk would
+// have skipped (behavioral identity is the hard contract, metric parity
+// is approximate at the ±1-line level). `GqfCore` dispatches on
+// `gpu_sim::swar::enabled()`; property tests call both directly.
+// ----------------------------------------------------------------------
+
+/// Largest `p <= q` whose bit is *clear*, or 0 when bits `1..=q` are all
+/// set (bit 0 is never consulted in that case — cluster starts clamp to
+/// the table base). Scalar reference: the GQF's backward shifted-bit walk.
+pub fn prev_clear_scalar(t: &mut Tracked<'_>, q: usize) -> usize {
+    let mut i = q;
+    while i > 0 && t.get_bit(i) {
+        i -= 1;
+    }
+    i
+}
+
+/// SWAR twin of [`prev_clear_scalar`]: walk backward one 64-bit word at a
+/// time, selecting the highest clear bit at or below the probe.
+pub fn prev_clear_swar(t: &mut Tracked<'_>, q: usize) -> usize {
+    let mut base = q & !63;
+    let mut off = (q - base) as u32;
+    loop {
+        let w = t.get_word(base);
+        let below = if off == 63 { u64::MAX } else { (1u64 << (off + 1)) - 1 };
+        let clear = !w & below;
+        if clear != 0 {
+            return base + (63 - clear.leading_zeros()) as usize;
+        }
+        if base == 0 {
+            return 0;
+        }
+        base -= 64;
+        off = 63;
+    }
+}
+
+/// First `i` in `[from, n)` whose bit is *clear*, else `n`. Scalar
+/// reference: the run-end / continuation forward walk.
+pub fn next_clear_scalar(t: &mut Tracked<'_>, from: usize, n: usize) -> usize {
+    let mut i = from;
+    while i < n && t.get_bit(i) {
+        i += 1;
+    }
+    i
+}
+
+/// SWAR twin of [`next_clear_scalar`].
+pub fn next_clear_swar(t: &mut Tracked<'_>, from: usize, n: usize) -> usize {
+    let mut i = from;
+    while i < n {
+        let base = i & !63;
+        let end = (n - base).min(64) as u32;
+        let w = t.get_word(base);
+        let window = mask_range((i - base) as u32, end);
+        let clear = !w & window;
+        if clear != 0 {
+            return base + clear.trailing_zeros() as usize;
+        }
+        i = base + 64;
+    }
+    n
+}
+
+/// First `i` in `[from, n)` whose bit is *set*, else `n`. Scalar
+/// reference: the occupied-quotient forward walk.
+pub fn next_set_scalar(t: &mut Tracked<'_>, from: usize, n: usize) -> usize {
+    let mut i = from;
+    while i < n && !t.get_bit(i) {
+        i += 1;
+    }
+    i
+}
+
+/// SWAR twin of [`next_set_scalar`].
+pub fn next_set_swar(t: &mut Tracked<'_>, from: usize, n: usize) -> usize {
+    let mut i = from;
+    while i < n {
+        let base = i & !63;
+        let end = (n - base).min(64) as u32;
+        let w = t.get_word(base);
+        let set = w & mask_range((i - base) as u32, end);
+        if set != 0 {
+            return base + set.trailing_zeros() as usize;
+        }
+        i = base + 64;
+    }
+    n
+}
+
+/// Number of set bits in `[lo, hi)` — the rank half of the rank-select
+/// metadata walk. Scalar reference: one bit per step.
+pub fn rank_set_scalar(t: &mut Tracked<'_>, lo: usize, hi: usize) -> usize {
+    (lo..hi).filter(|&i| t.get_bit(i)).count()
+}
+
+/// SWAR twin of [`rank_set_scalar`]: one `count_ones` per word.
+pub fn rank_set_swar(t: &mut Tracked<'_>, lo: usize, hi: usize) -> usize {
+    let mut count = 0usize;
+    let mut i = lo;
+    while i < hi {
+        let base = i & !63;
+        let end = (hi - base).min(64) as u32;
+        let w = t.get_word(base);
+        count += (w & mask_range((i - base) as u32, end)).count_ones() as usize;
+        i = base + 64;
+    }
+    count
+}
+
+/// First slot in `[from, n)` with occupied, continuation, and shifted all
+/// clear (the classic quotient-filter emptiness test), else `n`. Scalar
+/// reference replicates the short-circuit of [`Metadata::is_empty_slot`].
+pub fn next_empty_scalar(cur: &mut MetaCursor<'_>, from: usize, n: usize) -> usize {
+    let mut i = from;
+    while i < n {
+        if !cur.occ.get_bit(i) && !cur.cont.get_bit(i) && !cur.shift.get_bit(i) {
+            return i;
+        }
+        i += 1;
+    }
+    n
+}
+
+/// SWAR twin of [`next_empty_scalar`]: OR the three metadata words and
+/// select the first clear bit.
+pub fn next_empty_swar(cur: &mut MetaCursor<'_>, from: usize, n: usize) -> usize {
+    let mut i = from;
+    while i < n {
+        let base = i & !63;
+        let end = (n - base).min(64) as u32;
+        let busy = cur.occ.get_word(base) | cur.cont.get_word(base) | cur.shift.get_word(base);
+        let empty = !busy & mask_range((i - base) as u32, end);
+        if empty != 0 {
+            return base + empty.trailing_zeros() as usize;
+        }
+        i = base + 64;
+    }
+    n
+}
+
+/// Ones at bit positions `[lo, hi)` of a word; `hi <= 64`.
+#[inline]
+fn mask_range(lo: u32, hi: u32) -> u64 {
+    debug_assert!(lo < 64 && hi <= 64 && lo <= hi);
+    let upper = if hi == 64 { u64::MAX } else { (1u64 << hi) - 1 };
+    upper & !((1u64 << lo) - 1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,6 +334,100 @@ mod tests {
         let diff = metrics::snapshot_current_thread().since(&before);
         assert_eq!(diff.get(Counter::LinesLoaded), 1);
         assert_eq!(diff.get(Counter::LinesStored), 1);
+    }
+
+    /// Satellite: every metadata scan twin, bit-identical on random bit
+    /// patterns, all-set, all-clear, and word-boundary-straddling probes.
+    #[test]
+    fn scan_twins_are_bit_identical() {
+        let n = 1000; // deliberately not a multiple of 64
+        let patterns: [&dyn Fn(usize) -> bool; 5] = [
+            &|_| false,
+            &|_| true,
+            &|i| i % 3 == 0,
+            &|i| (i / 64) % 2 == 0, // whole words set / clear
+            &|i| {
+                let mut h = i as u64;
+                h ^= h >> 33;
+                h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+                h & 1 == 0
+            },
+        ];
+        // Probes around word boundaries and the span edges.
+        let probes = [0usize, 1, 62, 63, 64, 65, 127, 128, 500, 511, 512, 513, 960, 998, 999];
+        for (pi, pat) in patterns.iter().enumerate() {
+            let buf = GpuBuffer::new(1024, 1);
+            for i in 0..n {
+                buf.write_free(i, pat(i) as u64);
+            }
+            let mut t = Tracked::new(&buf);
+            for &p in &probes {
+                assert_eq!(
+                    prev_clear_scalar(&mut t, p),
+                    prev_clear_swar(&mut t, p),
+                    "prev_clear pat={pi} p={p}"
+                );
+                assert_eq!(
+                    next_clear_scalar(&mut t, p, n),
+                    next_clear_swar(&mut t, p, n),
+                    "next_clear pat={pi} p={p}"
+                );
+                assert_eq!(
+                    next_set_scalar(&mut t, p, n),
+                    next_set_swar(&mut t, p, n),
+                    "next_set pat={pi} p={p}"
+                );
+                for &q in &probes {
+                    if p <= q {
+                        assert_eq!(
+                            rank_set_scalar(&mut t, p, q),
+                            rank_set_swar(&mut t, p, q),
+                            "rank pat={pi} [{p},{q})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_slot_twins_are_bit_identical() {
+        let m = Metadata::new(256);
+        // Sprinkle metadata bits so empties are sparse and word-straddling.
+        let mut cur = m.cursor();
+        for i in 0..256usize {
+            cur.occ.set_bit(i, i % 5 == 0);
+            cur.cont.set_bit(i, i % 7 == 3);
+            cur.shift.set_bit(i, i % 11 == 1);
+        }
+        for from in [0usize, 1, 63, 64, 65, 200, 255] {
+            assert_eq!(
+                next_empty_scalar(&mut cur, from, 256),
+                next_empty_swar(&mut cur, from, 256),
+                "from={from}"
+            );
+        }
+        // Saturated metadata: both report "none" as n.
+        let full = Metadata::new(128);
+        let mut cur = full.cursor();
+        for i in 0..128usize {
+            cur.occ.set_bit(i, true);
+        }
+        assert_eq!(next_empty_scalar(&mut cur, 0, 128), 128);
+        assert_eq!(next_empty_swar(&mut cur, 0, 128), 128);
+    }
+
+    #[test]
+    fn get_word_charges_lines_like_bit_reads() {
+        let buf = GpuBuffer::new(4096, 1);
+        let before = metrics::snapshot_current_thread();
+        let mut t = Tracked::new(&buf);
+        // 1000 bits in word steps stay inside one 1024-bit line.
+        for base in (0..1000).step_by(64) {
+            let _ = t.get_word(base);
+        }
+        let diff = metrics::snapshot_current_thread().since(&before);
+        assert_eq!(diff.get(Counter::LinesLoaded), 1);
     }
 
     #[test]

@@ -101,21 +101,29 @@ impl GqfCore {
     // Walks (read-only)
     // ------------------------------------------------------------------
 
+    /// Start of the cluster covering `q`: the nearest unshifted slot at or
+    /// left of `q`. Dispatches between the scalar backward bit walk and
+    /// the SWAR word-at-a-time twin (`crate::bits`).
     fn cluster_start(&self, shift: &mut Tracked<'_>, q: usize) -> usize {
-        let mut i = q;
-        while i > 0 && shift.get_bit(i) {
-            i -= 1;
+        if gpu_sim::swar::enabled() {
+            crate::bits::prev_clear_swar(shift, q)
+        } else {
+            crate::bits::prev_clear_scalar(shift, q)
         }
-        i
     }
 
-    /// Last slot of the run starting at `s`.
+    /// Last slot of the run starting at `s`: the slot before the first
+    /// clear continuation bit after `s` (clamped to the table end).
     fn run_end(&self, cont: &mut Tracked<'_>, s: usize) -> usize {
-        let mut e = s;
-        while e + 1 < self.layout.physical_slots() && cont.get_bit(e + 1) {
-            e += 1;
+        let n = self.layout.physical_slots();
+        if s + 1 >= n {
+            return s;
         }
-        e
+        if gpu_sim::swar::enabled() {
+            crate::bits::next_clear_swar(cont, s + 1, n) - 1
+        } else {
+            crate::bits::next_clear_scalar(cont, s + 1, n) - 1
+        }
     }
 
     /// Start slot of quotient `q`'s run (or where it would begin if `q` is
@@ -128,11 +136,21 @@ impl GqfCore {
         let c0 = self.cluster_start(&mut cur.shift, q);
         // Skip one run per occupied quotient in [c0, q); the cluster's
         // first run always belongs to quotient c0 (a cluster start is an
-        // unshifted run start), so the walk is a simple pairing.
+        // unshifted run start), so the walk is a simple pairing. The SWAR
+        // twin ranks the occupied bits word-at-a-time and performs the
+        // same number of run-end jumps (the jumps themselves do not
+        // depend on *which* quotient triggered them).
         let mut s = c0;
-        for b in c0..q {
-            if cur.occ.get_bit(b) {
+        if gpu_sim::swar::enabled() {
+            let d = crate::bits::rank_set_swar(&mut cur.occ, c0, q);
+            for _ in 0..d {
                 s = self.run_end(&mut cur.cont, s) + 1;
+            }
+        } else {
+            for b in c0..q {
+                if cur.occ.get_bit(b) {
+                    s = self.run_end(&mut cur.cont, s) + 1;
+                }
             }
         }
         // Robin Hood: a run never starts left of its canonical slot.
@@ -146,14 +164,17 @@ impl GqfCore {
         cur: &mut crate::bits::MetaCursor<'_>,
         from: usize,
     ) -> Result<usize, FilterError> {
-        let mut i = from;
-        while i < self.layout.physical_slots() {
-            if self.meta.is_empty_slot(cur, i) {
-                return Ok(i);
-            }
-            i += 1;
+        let n = self.layout.physical_slots();
+        let i = if gpu_sim::swar::enabled() {
+            crate::bits::next_empty_swar(cur, from, n)
+        } else {
+            crate::bits::next_empty_scalar(cur, from, n)
+        };
+        if i < n {
+            Ok(i)
+        } else {
+            Err(FilterError::Full)
         }
-        Err(FilterError::Full)
     }
 
     /// Read the raw slot values of the run starting at `start`.
@@ -331,11 +352,12 @@ impl GqfCore {
         let mut s = c0;
         let mut q_cursor = c0;
         while s < self.layout.physical_slots() && !self.meta.is_empty_slot(cur, s) {
-            let mut b = q_cursor;
-            while !cur.occ.get_bit(b) {
-                b += 1;
-                debug_assert!(b <= s, "run at {s} has no occupied quotient");
-            }
+            let b = if gpu_sim::swar::enabled() {
+                crate::bits::next_set_swar(&mut cur.occ, q_cursor, s + 1)
+            } else {
+                crate::bits::next_set_scalar(&mut cur.occ, q_cursor, s + 1)
+            };
+            debug_assert!(b <= s, "run at {s} has no occupied quotient");
             let (vals, end_ex) = self.read_run(&mut cur.cont, rem, s);
             runs.push(Run { quotient: b, entries: decode_run(&vals, self.layout.r_bits) });
             q_cursor = b + 1;

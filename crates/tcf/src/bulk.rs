@@ -186,8 +186,21 @@ impl BulkTcf {
         (((b1 as usize) << levels) | sub, ((b2 as usize) << levels) | sub)
     }
 
-    /// Length of the sorted live prefix of a staged block.
+    /// Length of the sorted live prefix of a staged block. Dispatches
+    /// between the scalar reference twin and the SWAR twin; both return
+    /// the index of the first EMPTY slot of a well-formed block (live
+    /// prefix, empty suffix).
     fn prefix_len(view: &gpu_sim::SpanView<'_>, start: usize, slots: usize) -> usize {
+        if gpu_sim::swar::enabled() {
+            Self::prefix_len_swar(view, start, slots)
+        } else {
+            Self::prefix_len_scalar(view, start, slots)
+        }
+    }
+
+    /// Scalar reference: binary search for the first EMPTY slot. Each
+    /// probe pays a slot→word locate (a runtime division) per `get`.
+    fn prefix_len_scalar(view: &gpu_sim::SpanView<'_>, start: usize, slots: usize) -> usize {
         // Live fingerprints (≥ 2) fill a prefix; empties (0) the suffix.
         let mut lo = 0;
         let mut hi = slots;
@@ -200,6 +213,26 @@ impl BulkTcf {
             }
         }
         lo
+    }
+
+    /// SWAR twin: bisect to the one word-sized window holding the
+    /// live→EMPTY transition, then resolve it with a single zero-lane
+    /// scan — the scalar twin's probe count minus `log2(lanes)`, plus
+    /// one word op. (A straight linear word scan loses to the binary
+    /// search at 128-slot blocks; the bisect keeps the word-granular
+    /// resolution without giving up the logarithmic narrowing.)
+    fn prefix_len_swar(view: &gpu_sim::SpanView<'_>, start: usize, slots: usize) -> usize {
+        let w = view.slots_per_word().max(1);
+        let (mut lo, mut hi) = (0usize, slots);
+        while hi - lo > w {
+            let mid = (lo + hi) / 2;
+            if view.get(start + mid) != EMPTY {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo + view.find_zero(start + lo, hi - lo).unwrap_or(hi - lo)
     }
 
     /// Run one placement pass: items grouped by `target` block are merged
@@ -226,6 +259,14 @@ impl BulkTcf {
             let (lo, hi) = (range.start, range.end);
             let block = order_ref[lo].0 as usize;
             let start = block * b;
+            // The sorted segment layout makes the next segment's block
+            // address known before this one is processed — software
+            // prefetch it (free hint; the staged load still pays).
+            if gpu_sim::swar::enabled() {
+                if let Some(&(next_block, _)) = order_ref.get(range.end) {
+                    self.table.prefetch(next_block as usize * b);
+                }
+            }
 
             // Stage the block (shared-memory copy, one-or-two line loads).
             let view = self.table.load_span(start, b);
@@ -310,28 +351,44 @@ impl BulkTcf {
         self.block_find(block, fp).is_some()
     }
 
-    /// Binary-search one staged block, returning the in-block position of
-    /// a matching fingerprint (used by the value path).
+    /// Search one staged block, returning the in-block position of a
+    /// matching fingerprint (used by the value path). Both twins are
+    /// canonicalized to *first-match* (lower-bound) semantics: the old
+    /// early-equal binary search returned an arbitrary duplicate, so the
+    /// value read for a duplicated fingerprint depended on search order
+    /// and could diverge between builds.
     fn block_find(&self, block: usize, fp: u64) -> Option<usize> {
         let b = self.cfg.block_slots;
         let start = block * b;
         let view = self.table.load_span(start, b);
         let live = Self::prefix_len(&view, start, b);
-        let mut lo = 0usize;
-        let mut hi = live;
-        while lo < hi {
-            let mid = (lo + hi) / 2;
-            let v = view.get(start + mid);
-            if v == fp {
-                return Some(mid);
+        let pos = if gpu_sim::swar::enabled() {
+            // Bisect to one word-sized window, then one word-level
+            // lower-bound scan resolves the exact lane.
+            let w = view.slots_per_word().max(1);
+            let (mut lo, mut hi) = (0usize, live);
+            while hi - lo > w {
+                let mid = (lo + hi) / 2;
+                if view.get(start + mid) < fp {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
             }
-            if v < fp {
-                lo = mid + 1;
-            } else {
-                hi = mid;
+            lo + view.lower_bound_sorted(start + lo, hi - lo, fp)
+        } else {
+            let (mut lo, mut hi) = (0usize, live);
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                if view.get(start + mid) < fp {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
             }
-        }
-        None
+            lo
+        };
+        (pos < live && view.get(start + pos) == fp).then_some(pos)
     }
 
     /// Bulk delete pass over one target list; flags removed items.
@@ -352,6 +409,11 @@ impl BulkTcf {
             let (lo, hi) = (range.start, range.end);
             let block = order_ref[lo].0 as usize;
             let start = block * b;
+            if gpu_sim::swar::enabled() {
+                if let Some(&(next_block, _)) = order_ref.get(range.end) {
+                    self.table.prefetch(next_block as usize * b);
+                }
+            }
             let view = self.table.load_span(start, b);
             let live = Self::prefix_len(&view, start, b);
             let vals = self.values.as_ref().map(|vb| vb.load_span(start, b));
@@ -815,6 +877,11 @@ impl BulkTcf {
             let (lo, hi) = (range.start, range.end);
             let block = order_ref[lo].0 as usize;
             let start = block * b;
+            if gpu_sim::swar::enabled() {
+                if let Some(&(next_block, _)) = order_ref.get(range.end) {
+                    self.table.prefetch(next_block as usize * b);
+                }
+            }
             let view = self.table.load_span(start, b);
             let live = Self::prefix_len(&view, start, b);
 
@@ -825,10 +892,29 @@ impl BulkTcf {
                 .map(|&(_, idx)| (self.fp_of(keys[idx as usize]), idx))
                 .collect();
             fps.sort_unstable();
+            let swar = gpu_sim::swar::enabled();
+            let word = view.slots_per_word().max(1);
             let mut i = 0usize;
             for &(fp, idx) in &fps {
-                while i < live && view.get(start + i) < fp {
-                    i += 1;
+                // Advance the cursor to the first stored slot >= fp: the
+                // scalar twin steps slot by slot; the SWAR twin steps
+                // scalar through short gaps (the common case when the
+                // query group is as dense as the block) and switches to
+                // whole-word skips once the gap exceeds one word.
+                if swar {
+                    let mut stepped = 0;
+                    while i < live && view.get(start + i) < fp {
+                        i += 1;
+                        stepped += 1;
+                        if stepped == word {
+                            i += view.lower_bound_sorted(start + i, live - i, fp);
+                            break;
+                        }
+                    }
+                } else {
+                    while i < live && view.get(start + i) < fp {
+                        i += 1;
+                    }
                 }
                 if i < live && view.get(start + i) == fp {
                     hits_ref[idx as usize].store(true, Ordering::Relaxed);
@@ -1100,6 +1186,91 @@ mod tests {
         f.query_batch(&keys[1000..], &mut out);
         assert!(out.iter().all(|&x| x), "survivors must remain");
         assert_eq!(f.len_items(), 1000);
+    }
+
+    #[test]
+    fn prefix_len_twins_match_on_every_block() {
+        let f = BulkTcf::new(1 << 12).unwrap();
+        f.insert_batch(&hashed_keys(91, 3200));
+        let b = f.cfg.block_slots;
+        for blk in 0..f.n_blocks {
+            let view = f.table.load_span(blk * b, b);
+            assert_eq!(
+                BulkTcf::prefix_len_scalar(&view, blk * b, b),
+                BulkTcf::prefix_len_swar(&view, blk * b, b),
+                "block {blk}"
+            );
+        }
+    }
+
+    /// Satellite: `query_batch_sorted` must agree with `query_batch` on
+    /// batches containing duplicate keys and keys whose fingerprints sit
+    /// at segment boundaries (the first and last live slot of a block).
+    #[test]
+    fn sorted_query_matches_point_query_with_duplicates_and_boundary_keys() {
+        let f = BulkTcf::new(1 << 12).unwrap();
+        let keys = hashed_keys(92, 3000);
+        assert_eq!(f.insert_batch(&keys), 0);
+
+        // Keys resident in the first or last live slot of their primary
+        // block — the merge-scan cursor's edge positions.
+        let b = f.cfg.block_slots;
+        let mut boundary = Vec::new();
+        for &k in &keys {
+            let (p, _) = f.blocks_of(k);
+            let view = f.table.load_span(p * b, b);
+            let live = BulkTcf::prefix_len(&view, p * b, b);
+            if live > 0 {
+                let fp = f.fp_of(k);
+                if view.get(p * b) == fp || view.get(p * b + live - 1) == fp {
+                    boundary.push(k);
+                }
+            }
+            if boundary.len() >= 64 {
+                break;
+            }
+        }
+        assert!(!boundary.is_empty(), "no boundary-resident keys found");
+
+        let absent = hashed_keys(9200, 500);
+        let mut probes = Vec::new();
+        probes.extend_from_slice(&keys[..600]);
+        probes.extend_from_slice(&absent);
+        // Duplicates of present, absent, and boundary keys, interleaved
+        // so sorted grouping has same-key runs inside one segment.
+        probes.extend_from_slice(&keys[..100]);
+        probes.extend_from_slice(&keys[..100]);
+        probes.extend_from_slice(&absent[..50]);
+        for &k in &boundary {
+            probes.extend_from_slice(&[k, k, k]);
+        }
+
+        let mut point = vec![false; probes.len()];
+        let mut sorted = vec![true; probes.len()];
+        f.query_batch(&probes, &mut point);
+        f.query_batch_sorted(&probes, &mut sorted);
+        assert_eq!(point, sorted, "sorted query diverged from point query");
+        // Sanity: every inserted probe hits.
+        assert!(probes.iter().zip(&point).all(|(k, &h)| h || !keys.contains(k)));
+    }
+
+    /// Satellite: duplicate fingerprints must resolve to the *first*
+    /// stored copy — the value path would otherwise return an arbitrary
+    /// duplicate's value depending on binary-search order.
+    #[test]
+    fn block_find_returns_the_first_duplicate() {
+        let f = BulkTcf::new(1 << 10).unwrap();
+        let key = hashed_keys(93, 1)[0];
+        f.insert_batch(&[key; 5]);
+        let fp = f.fp_of(key);
+        let (p, s) = f.blocks_of(key);
+        let b = f.cfg.block_slots;
+        for blk in [p, s] {
+            let view = f.table.load_span(blk * b, b);
+            let live = BulkTcf::prefix_len(&view, blk * b, b);
+            let first = (0..live).find(|&i| view.get(blk * b + i) == fp);
+            assert_eq!(f.block_find(blk, fp), first, "block {blk}");
+        }
     }
 
     #[test]
