@@ -26,9 +26,9 @@ fn trajectory_files() -> Vec<PathBuf> {
 
 /// Every figure the measurement subsystem is contracted to record. A
 /// missing file is as much schema drift as a malformed one.
-const REQUIRED_FIGURES: [&str; 12] = [
-    "fig3", "fig4", "fig5", "fig6", "growth", "net", "service", "table1", "table2", "table3",
-    "table4", "table5",
+const REQUIRED_FIGURES: [&str; 13] = [
+    "fig3", "fig4", "fig5", "fig6", "growth", "net", "service", "skew", "table1", "table2",
+    "table3", "table4", "table5",
 ];
 
 /// The PR 4 acceptance contract: fig4 and service must record a threads
@@ -284,6 +284,74 @@ fn fig3_and_fig4_record_a_swar_sweep() {
             traj.extra.iter().any(|(k, _)| k == "swar_sweep"),
             "{figure}: missing swar_sweep extra"
         );
+    }
+}
+
+/// The PR 10 acceptance contract: the skew trajectory must record a
+/// base arm and fast arms per Zipf coefficient, show ≥ 2× fast-path
+/// query throughput at Zipf 1.5, and hold uniform keys within 5% of the
+/// disabled arm.
+#[test]
+fn skew_trajectory_records_fast_path_acceptance() {
+    let path = experiments_dir().join("BENCH_skew.json");
+    let traj = Trajectory::read(&path).unwrap_or_else(|e| panic!("{e}"));
+
+    for zipf in [0.0, 1.5] {
+        let base: Vec<_> = traj
+            .rows
+            .iter()
+            .filter(|m| m.get_metric("zipf") == Some(zipf) && m.get_metric("coalesce") == Some(0.0))
+            .collect();
+        let fast: Vec<_> = traj
+            .rows
+            .iter()
+            .filter(|m| {
+                m.get_metric("zipf") == Some(zipf) && m.get_metric("coalesce").unwrap_or(0.0) > 0.0
+            })
+            .collect();
+        assert!(!base.is_empty(), "skew: no base arm at zipf {zipf}");
+        assert!(!fast.is_empty(), "skew: no fast arm at zipf {zipf}");
+        for m in &fast {
+            assert!(
+                m.get_metric("cache_entries").unwrap_or(0.0) > 0.0,
+                "skew: fast row '{}' records no cache size",
+                m.label
+            );
+        }
+    }
+    // The skewed fast arms must actually engage the machinery they claim.
+    let hot = traj
+        .rows
+        .iter()
+        .find(|m| {
+            m.get_metric("zipf") == Some(1.5) && m.get_metric("coalesce").unwrap_or(0.0) > 0.0
+        })
+        .expect("a fast row at zipf 1.5");
+    assert!(hot.get_metric("coalesced_keys").unwrap_or(0.0) > 0.0, "skew: nothing coalesced");
+
+    let extra = |key: &str| {
+        traj.extra
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .unwrap_or_else(|| panic!("skew: missing extra '{key}'"))
+    };
+    assert!(extra("speedup_z15").as_f64().unwrap_or(0.0) > 0.0, "skew: no speedup recorded");
+    extra("uniform_ratio");
+    extra("meets_2x_acceptance");
+    extra("uniform_parity_ok");
+
+    // The throughput acceptance binds on full-scale trajectories only —
+    // the CI bench-smoke job rewrites this file at --smoke scale, where
+    // the tiny universe and short trace don't amortize warm-up.
+    if !traj.smoke {
+        assert!(
+            hot.get_metric("cache_hit_rate").unwrap_or(0.0) > 0.5,
+            "skew: hot-key cache barely hit at zipf 1.5"
+        );
+        assert!(extra("speedup_z15").as_f64().unwrap_or(0.0) >= 2.0, "skew: < 2x at zipf 1.5");
+        assert_eq!(extra("meets_2x_acceptance"), &bench::Json::Bool(true));
+        assert_eq!(extra("uniform_parity_ok"), &bench::Json::Bool(true));
     }
 }
 

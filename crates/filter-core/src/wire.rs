@@ -14,6 +14,13 @@ use crate::error::FilterError;
 /// Wire protocol version carried in every request/response frame.
 pub const WIRE_VERSION: u8 = 1;
 
+/// Most keys one request frame may carry (and per-key outcomes one
+/// response may carry). This is a *protocol* bound, not a tuning knob:
+/// the codec sizes its largest legal frame from it, the serving tier
+/// sizes pooled response buffers from it, and the bounded-allocation
+/// lint treats capacities derived from it as proven-bounded.
+pub const MAX_WIRE_KEYS: usize = 1 << 16;
+
 /// The operation a request asks for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]

@@ -1,0 +1,36 @@
+//! Known-bad fixture for the bounded-allocation pass, pool edition: a
+//! buffer pool whose acquisition site sizes fresh buffers from a caller-
+//! supplied hint instead of the wire `MAX_*` constants. Pooled buffers
+//! outlive the request that allocated them, so an unbounded hint pins
+//! that capacity in the free list forever. Never compiled — scanned only.
+
+pub struct LeakyPool {
+    bufs: Vec<Vec<u8>>,
+}
+
+impl LeakyPool {
+    /// BAD: `hint` flows straight from a request header into the
+    /// allocator with no range check; the pool then retains it.
+    pub fn get_unbounded(&mut self, hint: usize) -> Vec<u8> {
+        match self.bufs.pop() {
+            Some(buf) => buf,
+            None => Vec::with_capacity(hint),
+        }
+    }
+
+    /// GOOD: fresh buffers reserve the frame bound, a compile-time
+    /// constant tied to the wire protocol.
+    pub fn get_bounded(&mut self) -> Vec<u8> {
+        match self.bufs.pop() {
+            Some(buf) => buf,
+            None => Vec::with_capacity(POOL_BUF_BYTES),
+        }
+    }
+
+    /// GOOD: a hint clamped in place is proven bounded.
+    pub fn get_clamped(&mut self, hint: usize) -> Vec<u8> {
+        Vec::with_capacity(hint.min(POOL_BUF_BYTES))
+    }
+}
+
+pub const POOL_BUF_BYTES: usize = 4 + 14 + (1 << 16);

@@ -14,15 +14,19 @@
 //!   from an in-memory buffer's `.len()` (already bounded by framing).
 //!
 //! Anything else is flagged. Scope is the codec (`filter-net/src/codec.rs`)
-//! — client-side harness allocations sized from local config are not
-//! wire-reachable and stay out of scope.
+//! and the wire buffer pool (`filter-net/src/pool.rs`) — pooled buffers
+//! are reused for *response frames*, so an acquisition site that sized
+//! one by anything other than the wire `MAX_*` constants would let one
+//! oversized request pin that capacity in the free list for the pool's
+//! lifetime. Client-side harness allocations sized from local config are
+//! not wire-reachable and stay out of scope.
 
 use crate::scan::{find_word, is_ident_char, SourceFile};
 use crate::Finding;
 
 /// Files the pass runs on in the real tree.
 pub fn in_scope(path: &str) -> bool {
-    path == "crates/filter-net/src/codec.rs"
+    path == "crates/filter-net/src/codec.rs" || path == "crates/filter-net/src/pool.rs"
 }
 
 /// Identifiers that never name untrusted quantities on their own.

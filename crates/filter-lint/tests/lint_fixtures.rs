@@ -110,6 +110,21 @@ fn alloc_bound_fires_on_the_unchecked_decode_only() {
 }
 
 #[test]
+fn alloc_bound_fires_on_the_unbounded_pool_acquisition_only() {
+    let file = fixture("unbounded_pool.rs");
+    let findings = alloc_bound::run(&[&file]);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert!(findings[0].message.contains("hint"), "{}", findings[0]);
+    // The flagged site is the unbounded acquisition; the const-sized and
+    // clamped sites below it must stay quiet.
+    let bounded_line =
+        file.lines.iter().find(|l| l.code.contains("fn get_bounded")).map(|l| l.number).unwrap();
+    assert!(findings[0].line < bounded_line, "bounded acquisitions must stay quiet: {findings:?}");
+    // The real pool is in scope for the workspace gate.
+    assert!(alloc_bound::in_scope("crates/filter-net/src/pool.rs"));
+}
+
+#[test]
 fn fixtures_are_excluded_from_the_workspace_scan() {
     let sources = workspace_sources(&workspace_root());
     assert!(!sources.is_empty());

@@ -14,10 +14,13 @@
 //! length prefixes are rejected before any allocation — a malformed peer
 //! cannot make the reactor reserve gigabytes.
 
-use filter_core::wire::{outcome_byte, outcome_from_byte, OpKind, RespStatus, WIRE_VERSION};
+use filter_core::wire::{
+    outcome_byte, outcome_from_byte, OpKind, RespStatus, MAX_WIRE_KEYS, WIRE_VERSION,
+};
 
 /// Most keys one request may carry (and results one response may carry).
-pub const MAX_KEYS: usize = 1 << 16;
+/// Re-exported from the protocol's canonical bound in [`filter_core::wire`].
+pub const MAX_KEYS: usize = MAX_WIRE_KEYS;
 /// Bytes in a request/response body before the keys/results array.
 pub const HEADER_BYTES: usize = 1 + 1 + 8 + 4;
 /// Largest legal frame body (a maximal request; responses are smaller).

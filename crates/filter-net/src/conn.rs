@@ -16,6 +16,12 @@ use std::os::unix::io::{AsRawFd, RawFd};
 /// compacted out of the buffer.
 const READ_CHUNK: usize = 64 * 1024;
 
+/// Write-buffer capacity retained across a full drain. A burst of large
+/// responses can balloon `outbuf`; trimming back to this bound on drain
+/// keeps a slow connection from pinning the burst's high-water mark for
+/// its whole lifetime, while steady-state traffic never reallocates.
+const OUT_RETAIN: usize = 4 * READ_CHUNK;
+
 /// One framed, nonblocking connection.
 pub struct FramedConn {
     stream: TcpStream,
@@ -137,6 +143,9 @@ impl FramedConn {
         }
         self.outbuf.clear();
         self.outpos = 0;
+        if self.outbuf.capacity() > OUT_RETAIN {
+            self.outbuf.shrink_to(OUT_RETAIN);
+        }
         Ok(true)
     }
 
@@ -201,6 +210,23 @@ mod tests {
         server.queue_bytes(&bytes);
         pump(&mut server, &mut client);
         assert_eq!(client.next_response().unwrap().unwrap(), resp);
+    }
+
+    #[test]
+    fn write_buffer_sheds_burst_capacity_after_a_full_drain() {
+        let (mut client, mut server) = pair();
+        // Queue a burst well past the retention bound...
+        let burst = vec![0xa5u8; 3 * OUT_RETAIN];
+        client.queue_bytes(&burst);
+        pump(&mut client, &mut server);
+        // ...and once it fully drains, the high-water capacity is shed.
+        assert!(!client.wants_write(), "burst should drain over loopback");
+        assert!(
+            client.outbuf.capacity() <= OUT_RETAIN,
+            "outbuf capacity {} should shrink to <= {}",
+            client.outbuf.capacity(),
+            OUT_RETAIN
+        );
     }
 
     #[test]

@@ -64,10 +64,12 @@ pub mod codec;
 pub mod conn;
 pub mod fleet;
 pub mod poll;
+pub mod pool;
 pub mod server;
 
 pub use adaptive::{AdaptiveConfig, BatchPolicy, Controller};
 pub use codec::{FrameError, Request, Response};
 pub use conn::FramedConn;
 pub use fleet::{run_fleet, FleetConfig, FleetReport};
+pub use pool::{BufPool, PoolStats};
 pub use server::{serve, NetStats, RunningServer, ServerConfig};

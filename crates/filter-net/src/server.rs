@@ -21,6 +21,7 @@ use crate::adaptive::{BatchPolicy, Controller};
 use crate::codec::{encode_response, Response};
 use crate::conn::FramedConn;
 use crate::poll::{waker, Interest, Poller, Waker};
+use crate::pool::{BufPool, PoolStats, DEFAULT_POOLED_BUFS};
 use filter_core::wire::{OpKind, RespStatus};
 use filter_service::{ServiceControl, ServiceHandle};
 use std::io;
@@ -43,11 +44,19 @@ pub struct ServerConfig {
     pub max_conns: usize,
     /// Batching/admission policy.
     pub policy: BatchPolicy,
+    /// Recycle response-frame buffers through a bounded [`BufPool`]
+    /// (default on); off allocates per response — the baseline arm
+    /// benches sweep against.
+    pub pool_buffers: bool,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        ServerConfig { max_conns: 1024, policy: BatchPolicy::Adaptive(Default::default()) }
+        ServerConfig {
+            max_conns: 1024,
+            policy: BatchPolicy::Adaptive(Default::default()),
+            pool_buffers: true,
+        }
     }
 }
 
@@ -89,11 +98,25 @@ pub struct NetStats {
     pub resp_dropped: u64,
     pub bytes_in: u64,
     pub bytes_out: u64,
+    /// Response-frame buffers currently parked in the reactor's pool.
+    pub pool_bufs: u64,
+    /// Response buffers served from the pool instead of the allocator.
+    pub pool_hits: u64,
+    /// Response buffers the pool had to allocate fresh.
+    pub pool_misses: u64,
+    /// Buffers the pool released instead of parking (list full or
+    /// oversized) — plus every return when pooling is configured off.
+    pub pool_dropped: u64,
 }
 
 impl NetStatsInner {
-    fn snapshot(&self) -> NetStats {
+    fn snapshot(&self, pool: &BufPool) -> NetStats {
+        let p: PoolStats = pool.stats();
         NetStats {
+            pool_bufs: p.pooled,
+            pool_hits: p.hits,
+            pool_misses: p.misses,
+            pool_dropped: p.dropped,
             conns_accepted: self.conns_accepted.load(Ordering::Relaxed),
             conns_refused: self.conns_refused.load(Ordering::Relaxed),
             conns_open: self.conns_open.load(Ordering::Relaxed),
@@ -126,7 +149,7 @@ impl NetStats {
     /// One-line human rendering for binaries and logs.
     pub fn render(&self) -> String {
         format!(
-            "conns {}/{} open {} | req i:{} q:{} d:{} ping:{} | resp ok:{} shed:{} err:{} drop:{} | proto-err {} | bytes in:{} out:{}",
+            "conns {}/{} open {} | req i:{} q:{} d:{} ping:{} | resp ok:{} shed:{} err:{} drop:{} | proto-err {} | bytes in:{} out:{} | pool {} bufs hit:{} miss:{} drop:{}",
             self.conns_accepted,
             self.conns_accepted + self.conns_refused,
             self.conns_open,
@@ -141,6 +164,10 @@ impl NetStats {
             self.protocol_errors,
             self.bytes_in,
             self.bytes_out,
+            self.pool_bufs,
+            self.pool_hits,
+            self.pool_misses,
+            self.pool_dropped,
         )
     }
 }
@@ -164,6 +191,7 @@ type Completion = (usize, u64, RespStatus, Vec<u8>);
 pub struct RunningServer {
     addr: std::net::SocketAddr,
     stats: Arc<NetStatsInner>,
+    pool: Arc<BufPool>,
     stop: Arc<AtomicBool>,
     waker: Arc<Waker>,
     thread: JoinHandle<io::Result<()>>,
@@ -177,7 +205,7 @@ impl RunningServer {
 
     /// Live counters.
     pub fn stats(&self) -> NetStats {
-        self.stats.snapshot()
+        self.stats.snapshot(&self.pool)
     }
 
     /// Force the reactor down now (open connections are dropped) and
@@ -193,8 +221,9 @@ impl RunningServer {
     /// final stats.
     pub fn join(self) -> io::Result<NetStats> {
         let stats = Arc::clone(&self.stats);
+        let pool = Arc::clone(&self.pool);
         match self.thread.join() {
-            Ok(result) => result.map(|()| stats.snapshot()),
+            Ok(result) => result.map(|()| stats.snapshot(&pool)),
             Err(_) => Err(io::Error::other("reactor thread panicked")),
         }
     }
@@ -211,6 +240,7 @@ pub fn serve<A: ToSocketAddrs>(
     listener.set_nonblocking(true)?;
     let local = listener.local_addr()?;
     let stats: Arc<NetStatsInner> = Arc::default();
+    let pool = Arc::new(BufPool::new(if cfg.pool_buffers { DEFAULT_POOLED_BUFS } else { 0 }));
     let stop = Arc::new(AtomicBool::new(false));
     let (wake_tx, wake_rx) = waker()?;
     let waker_arc = Arc::new(wake_tx);
@@ -221,6 +251,7 @@ pub fn serve<A: ToSocketAddrs>(
         control,
         cfg,
         stats: Arc::clone(&stats),
+        pool: Arc::clone(&pool),
         stop: Arc::clone(&stop),
         waker: Arc::clone(&waker_arc),
         wake_rx,
@@ -228,7 +259,7 @@ pub fn serve<A: ToSocketAddrs>(
     let thread = std::thread::Builder::new()
         .name("filter-net-reactor".into())
         .spawn(move || reactor.run())?;
-    Ok(RunningServer { addr: local, stats, stop, waker: waker_arc, thread })
+    Ok(RunningServer { addr: local, stats, pool, stop, waker: waker_arc, thread })
 }
 
 struct Reactor {
@@ -237,6 +268,7 @@ struct Reactor {
     control: ServiceControl,
     cfg: ServerConfig,
     stats: Arc<NetStatsInner>,
+    pool: Arc<BufPool>,
     stop: Arc<AtomicBool>,
     waker: Arc<Waker>,
     wake_rx: crate::poll::WakeReceiver,
@@ -244,7 +276,7 @@ struct Reactor {
 
 impl Reactor {
     fn run(self) -> io::Result<()> {
-        let Reactor { listener, handle, control, cfg, stats, stop, waker, wake_rx } = self;
+        let Reactor { listener, handle, control, cfg, stats, pool, stop, waker, wake_rx } = self;
         use std::os::unix::io::AsRawFd;
 
         let poller = Poller::new()?;
@@ -303,9 +335,11 @@ impl Reactor {
                         };
                         stats.bytes_out.fetch_add(bytes.len() as u64, Ordering::Relaxed);
                         slot.conn.queue_bytes(&bytes);
+                        pool.put(bytes);
                     }
                     _ => {
                         stats.resp_dropped.fetch_add(1, Ordering::Relaxed);
+                        pool.put(bytes);
                     }
                 }
             }
@@ -371,6 +405,7 @@ impl Reactor {
                                             &handle,
                                             controller.as_ref(),
                                             &stats,
+                                            &pool,
                                             &done_tx,
                                             &waker,
                                             slot,
@@ -461,6 +496,7 @@ fn dispatch(
     handle: &ServiceHandle,
     controller: Option<&Controller>,
     stats: &Arc<NetStatsInner>,
+    pool: &Arc<BufPool>,
     done_tx: &mpsc::Sender<Completion>,
     waker: &Arc<Waker>,
     slot: &mut Slot,
@@ -473,10 +509,11 @@ fn dispatch(
 
     let respond_now = |slot: &mut Slot, stats: &NetStatsInner, status: RespStatus| {
         let resp = Response { id: req.id, status, results: Vec::new() };
-        let mut bytes = Vec::new();
+        let mut bytes = pool.get();
         encode_response(&resp, &mut bytes);
         stats.bytes_out.fetch_add(bytes.len() as u64, Ordering::Relaxed);
         slot.conn.queue_bytes(&bytes);
+        pool.put(bytes);
         match status {
             RespStatus::Ok => stats.resp_ok.fetch_add(1, Ordering::Relaxed),
             RespStatus::Shed => stats.resp_shed.fetch_add(1, Ordering::Relaxed),
@@ -509,13 +546,14 @@ fn dispatch(
             let gen = slot.gen;
             let tx = done_tx.clone();
             let wk = Arc::clone(waker);
+            let pl = Arc::clone(pool);
             let submitted = handle.submit_batch(op, &req.keys, move |report| {
                 let (status, results) = if report.aborted > 0 {
                     (RespStatus::Error, Vec::new())
                 } else {
                     (RespStatus::Ok, report.results)
                 };
-                let mut bytes = Vec::new();
+                let mut bytes = pl.get();
                 encode_response(&Response { id, status, results }, &mut bytes);
                 // A closed reactor just drops the send; nothing to do.
                 let _ = tx.send((idx, gen, status, bytes));

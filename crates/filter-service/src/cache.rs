@@ -1,0 +1,215 @@
+//! Per-shard hot-key query cache: a small, fixed-size, set-associative
+//! table of recent query verdicts, consulted by a shard worker before it
+//! probes the backend.
+//!
+//! **Why epoch invalidation, not per-key invalidation.** A cached verdict
+//! is only reusable while the backend state it was computed against is
+//! unchanged. Invalidating per key would require every mutation batch to
+//! look up (and evict) each of its keys in the cache — paying a cache
+//! walk on the *write* path that exists purely to serve the read path —
+//! and it would still be wrong for approximate backends: deleting key `a`
+//! can flip the verdict of a colliding key `b` whose fingerprint shared a
+//! slot, so the set of entries a mutation invalidates is not computable
+//! from the mutated keys alone. The conservative alternative is one
+//! per-shard mutation epoch: every insert/delete flush bumps it (a single
+//! relaxed atomic add), every entry records the epoch it was filled
+//! under, and a lookup only trusts entries stamped with the current
+//! epoch. Stale entries are simply misses — they age out by overwrite —
+//! so correctness never depends on the cache: the worst a stale epoch can
+//! cost is a redundant backend probe, never a wrong answer. Skewed
+//! query-heavy phases (the workloads the cache exists for) mutate rarely,
+//! so the epoch advances rarely and hit rates stay high exactly when it
+//! matters.
+//!
+//! The table sits behind one `Mutex` (lock class `query-cache`, rank 25
+//! in `filter-lint/lock-order.toml`): only the owning shard worker ever
+//! touches it, so the lock is uncontended and exists to keep the crate
+//! `forbid(unsafe_code)`-clean rather than to arbitrate.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// Associativity: verdict lines per set. Four ways keeps a set inside one
+/// cache line of tags while absorbing the short hot-key bursts a Zipf
+/// head produces.
+pub(crate) const CACHE_WAYS: usize = 4;
+
+/// One cached verdict: `key` queried against the backend at mutation
+/// `epoch` answered `verdict`.
+#[derive(Debug, Clone, Copy, Default)]
+struct CacheLine {
+    key: u64,
+    epoch: u64,
+    verdict: bool,
+    valid: bool,
+}
+
+/// The per-shard verdict cache. Constructed by the builder's
+/// `query_cache(entries)` knob; `entries == 0` builds no cache at all.
+#[derive(Debug)]
+pub(crate) struct QueryCache {
+    /// `sets × CACHE_WAYS` lines, set-major.
+    table: Mutex<Vec<CacheLine>>,
+    /// Current mutation epoch; entries from older epochs are ignored.
+    epoch: AtomicU64,
+    /// `sets - 1`, with `sets` a power of two.
+    set_mask: usize,
+}
+
+impl QueryCache {
+    /// Build a cache of roughly `entries` verdict lines (rounded so the
+    /// set count is a power of two); `None` when `entries` is zero.
+    pub(crate) fn new(entries: usize) -> Option<Self> {
+        if entries == 0 {
+            return None;
+        }
+        let sets = (entries.div_ceil(CACHE_WAYS)).next_power_of_two();
+        Some(QueryCache {
+            table: Mutex::new(vec![CacheLine::default(); sets * CACHE_WAYS]),
+            epoch: AtomicU64::new(0),
+            set_mask: sets - 1,
+        })
+    }
+
+    /// Advance the mutation epoch, conservatively invalidating every
+    /// cached verdict in O(1).
+    pub(crate) fn invalidate(&self) {
+        self.epoch.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Vec<CacheLine>> {
+        self.table.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Set index for `key` (multiplicative hash, high bits).
+    fn set_of(&self, key: u64) -> usize {
+        let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ((h >> 32) as usize) & self.set_mask
+    }
+
+    /// Resolve `keys` against the cache under one lock acquisition:
+    /// `verdicts[i]` is written for every hit; misses are appended to
+    /// `miss_pos`/`miss_keys` (cleared first). Returns the hit count.
+    pub(crate) fn lookup_batch(
+        &self,
+        keys: &[u64],
+        verdicts: &mut [bool],
+        miss_pos: &mut Vec<u32>,
+        miss_keys: &mut Vec<u64>,
+    ) -> u64 {
+        miss_pos.clear();
+        miss_keys.clear();
+        let epoch = self.epoch.load(Ordering::Relaxed);
+        let table = self.lock();
+        let mut hits = 0u64;
+        for (i, &key) in keys.iter().enumerate() {
+            let set = self.set_of(key) * CACHE_WAYS;
+            let hit = table[set..set + CACHE_WAYS]
+                .iter()
+                .find(|l| l.valid && l.epoch == epoch && l.key == key);
+            match hit {
+                Some(line) => {
+                    verdicts[i] = line.verdict;
+                    hits += 1;
+                }
+                None => {
+                    miss_pos.push(i as u32);
+                    miss_keys.push(key);
+                }
+            }
+        }
+        hits
+    }
+
+    /// Record freshly probed verdicts under one lock acquisition. A line
+    /// already holding the key is updated in place; otherwise an invalid
+    /// or stale way is taken, falling back to a key-derived way so
+    /// replacement stays deterministic.
+    pub(crate) fn store_batch(&self, keys: &[u64], verdicts: &[bool]) {
+        let epoch = self.epoch.load(Ordering::Relaxed);
+        let mut table = self.lock();
+        for (&key, &verdict) in keys.iter().zip(verdicts) {
+            let set = self.set_of(key) * CACHE_WAYS;
+            let ways = &mut table[set..set + CACHE_WAYS];
+            let way = ways
+                .iter()
+                .position(|l| l.valid && l.epoch == epoch && l.key == key)
+                .or_else(|| ways.iter().position(|l| !l.valid || l.epoch != epoch))
+                .unwrap_or((key as usize >> 1) % CACHE_WAYS);
+            ways[way] = CacheLine { key, epoch, verdict, valid: true };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn resolve(cache: &QueryCache, keys: &[u64]) -> (Vec<Option<bool>>, u64) {
+        let mut verdicts = vec![false; keys.len()];
+        let (mut pos, mut missed) = (Vec::new(), Vec::new());
+        let hits = cache.lookup_batch(keys, &mut verdicts, &mut pos, &mut missed);
+        let mut out: Vec<Option<bool>> = verdicts.into_iter().map(Some).collect();
+        for &p in &pos {
+            out[p as usize] = None;
+        }
+        (out, hits)
+    }
+
+    #[test]
+    fn zero_entries_builds_no_cache() {
+        assert!(QueryCache::new(0).is_none());
+        assert!(QueryCache::new(1).is_some());
+    }
+
+    #[test]
+    fn store_then_lookup_roundtrips() {
+        let cache = QueryCache::new(64).unwrap();
+        cache.store_batch(&[1, 2, 3], &[true, false, true]);
+        let (out, hits) = resolve(&cache, &[3, 2, 1, 99]);
+        assert_eq!(hits, 3);
+        assert_eq!(out, vec![Some(true), Some(false), Some(true), None]);
+    }
+
+    #[test]
+    fn invalidate_turns_every_entry_stale() {
+        let cache = QueryCache::new(64).unwrap();
+        cache.store_batch(&[7, 8], &[true, true]);
+        cache.invalidate();
+        let (out, hits) = resolve(&cache, &[7, 8]);
+        assert_eq!(hits, 0);
+        assert_eq!(out, vec![None, None]);
+        // Stale ways are reusable: a post-epoch store hits again.
+        cache.store_batch(&[7], &[false]);
+        let (out, hits) = resolve(&cache, &[7]);
+        assert_eq!(hits, 1);
+        assert_eq!(out, vec![Some(false)]);
+    }
+
+    #[test]
+    fn updates_in_place_rather_than_duplicating() {
+        let cache = QueryCache::new(16).unwrap();
+        cache.store_batch(&[5], &[true]);
+        cache.store_batch(&[5], &[false]);
+        let (out, hits) = resolve(&cache, &[5]);
+        assert_eq!(hits, 1);
+        assert_eq!(out, vec![Some(false)]);
+    }
+
+    #[test]
+    fn tiny_cache_evicts_but_never_lies() {
+        // A one-set cache under a key sweep: whatever survives must
+        // report the verdict it was stored with.
+        let cache = QueryCache::new(CACHE_WAYS).unwrap();
+        let keys: Vec<u64> = (0..64).collect();
+        let stored: Vec<bool> = keys.iter().map(|k| k % 3 == 0).collect();
+        cache.store_batch(&keys, &stored);
+        let (out, hits) = resolve(&cache, &keys);
+        assert!(hits <= (CACHE_WAYS * (cache.set_mask + 1)) as u64);
+        for (i, v) in out.iter().enumerate() {
+            if let Some(v) = v {
+                assert_eq!(*v, stored[i], "evicted-or-cached verdict must match store");
+            }
+        }
+    }
+}

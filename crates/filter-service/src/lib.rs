@@ -60,6 +60,48 @@
 //! * Shutting the service down aborts (never strands) outstanding
 //!   waiters, which observe [`filter_core::FilterError::ServiceStopped`].
 //!
+//! ## Skew-aware query fast path
+//!
+//! Real query streams are skewed — a few hot keys dominate — and the
+//! worker exploits that twice on the flush path, both times *behind* the
+//! backend's bulk API so per-key outcomes are bit-identical with the
+//! fast path on or off (enforced by `tests/skew_oracle.rs`):
+//!
+//! * **In-batch coalescing** ([`ShardedFilterBuilder::coalesce_queries`],
+//!   on by default): duplicate keys inside one query run are probed
+//!   once and the verdict fanned back to every slot. Queries only —
+//!   duplicate inserts/deletes have multiset semantics on counting
+//!   backends and are never coalesced.
+//! * **Hot-key query cache** ([`ShardedFilterBuilder::query_cache`],
+//!   off by default): a small per-shard set-associative cache of query
+//!   verdicts, invalidated in O(1) by a per-shard epoch that every
+//!   insert/delete run bumps. A stale epoch reads as a miss, so
+//!   correctness never depends on the cache's contents — see the
+//!   rationale in the `cache` module docs.
+//! * **Scratch pooling** ([`ShardedFilterBuilder::pool_scratch`], on by
+//!   default): flush scratch vectors are reused across flushes instead
+//!   of reallocated.
+//!
+//! ```
+//! use filter_service::ShardedFilterBuilder;
+//! let service = ShardedFilterBuilder::new()
+//!     .shards(4)
+//!     .query_cache(1 << 14)       // arm the per-shard verdict cache
+//!     .coalesce_queries(true)     // default; off = pre-coalescing path
+//!     .build(|_| tcf::BulkTcf::new(1 << 14))?;
+//! let h = service.handle();
+//! h.insert_batch(&[1, 2, 3])?;
+//! assert!(h.query_batch(&[3, 3, 3])?.iter().all(|&hit| hit));
+//! let stats = service.stats();
+//! assert!(stats.coalesced_keys >= 2, "{}", stats.render());
+//! # Ok::<(), filter_core::FilterError>(())
+//! ```
+//!
+//! [`ServiceStats`] reports the fast path's behaviour: `coalesced_keys`,
+//! `cache_hits` / `cache_misses` / `cache_invalidations`, and a
+//! `distinct_ratio_hist` histogram of per-flush distinct-to-total key
+//! ratios (low buckets = heavy duplication = coalescing is paying off).
+//!
 //! ## Elastic resizing
 //!
 //! Keys are placed by a consistent-hash [`RingRouter`]: each shard owns
@@ -85,6 +127,7 @@
 
 #![forbid(unsafe_code)]
 
+mod cache;
 pub mod router;
 pub mod service;
 pub mod stats;
@@ -93,4 +136,4 @@ pub use router::{RingRouter, Router, ServiceRouter, ShardRouter, DEFAULT_VNODES,
 pub use service::{
     BatchReport, ServiceControl, ServiceHandle, ShardedFilter, ShardedFilterBuilder,
 };
-pub use stats::{BatchHistogram, LatencySnapshot, ServiceStats};
+pub use stats::{BatchHistogram, LatencySnapshot, RatioHistogram, ServiceStats};

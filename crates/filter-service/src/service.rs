@@ -44,6 +44,7 @@
 //! migration, scale-out/in, and moved-key events land in the
 //! [`ServiceStats`] ledger.
 
+use crate::cache::QueryCache;
 use crate::router::{RingRouter, ServiceRouter, ShardRouter, DEFAULT_VNODES, ROUTER_SEED};
 use crate::stats::{ServiceStats, StatsInner};
 use filter_core::{
@@ -465,6 +466,9 @@ pub struct ShardedFilterBuilder {
     ring_routing: bool,
     parallelism: Parallelism,
     growth: GrowthPolicy,
+    coalesce: bool,
+    cache_entries: usize,
+    pool_scratch: bool,
 }
 
 impl Default for ShardedFilterBuilder {
@@ -480,6 +484,9 @@ impl Default for ShardedFilterBuilder {
             ring_routing: true,
             parallelism: Parallelism::Auto,
             growth: GrowthPolicy::Fixed,
+            coalesce: true,
+            cache_entries: 0,
+            pool_scratch: true,
         }
     }
 }
@@ -592,6 +599,42 @@ impl ShardedFilterBuilder {
     /// the failed keys, so callers never observe capacity failures.
     pub fn growth(mut self, growth: GrowthPolicy) -> Self {
         self.growth = growth;
+        self
+    }
+
+    /// Toggle in-batch duplicate coalescing for query flushes (default
+    /// on). When on, a worker sort-dedups each query run's keys, probes
+    /// every distinct key exactly once, and fans the verdicts back to the
+    /// original slots — on skewed (Zipf-like) key popularity most backend
+    /// probes are duplicates, so this removes the bulk of the flush work.
+    /// Only query runs coalesce: duplicate inserts and deletes carry
+    /// multiset semantics on counting backends (each copy is a distinct
+    /// fingerprint occurrence), so mutation runs always execute key by
+    /// key and per-key outcomes are bit-identical either way.
+    pub fn coalesce_queries(mut self, on: bool) -> Self {
+        self.coalesce = on;
+        self
+    }
+
+    /// Arm a per-shard hot-key query cache of roughly `entries` verdict
+    /// lines (default 0 = no cache). Cached verdicts are invalidated in
+    /// O(1) by a per-shard mutation epoch — any insert/delete flush bumps
+    /// it, and lookups ignore entries from older epochs — so a stale
+    /// entry can cost a redundant backend probe but never a wrong answer
+    /// (see the `cache` module docs for why the conservative epoch beats
+    /// per-key invalidation). Hits, misses, and invalidations land in
+    /// [`ServiceStats`].
+    pub fn query_cache(mut self, entries: usize) -> Self {
+        self.cache_entries = entries;
+        self
+    }
+
+    /// Toggle reuse of the per-flush scratch buffers (run/key/verdict
+    /// vectors) across a worker's flushes (default on). Off releases the
+    /// scratch capacity after every flush — the allocate-per-batch
+    /// baseline, kept sweepable for benches.
+    pub fn pool_scratch(mut self, on: bool) -> Self {
+        self.pool_scratch = on;
         self
     }
 
@@ -739,6 +782,9 @@ fn spawn_workers<B: ServiceBackend + 'static>(
             linger_ns: Arc::clone(linger_ns),
             delete_fn,
             maintain,
+            coalesce: cfg.coalesce,
+            cache: QueryCache::new(cfg.cache_entries),
+            pool_scratch: cfg.pool_scratch,
         };
         let handle = std::thread::Builder::new()
             .name(format!("filter-shard-{i}.g{generation}"))
@@ -776,6 +822,45 @@ struct WorkerConfig<B: ServiceBackend> {
     linger_ns: Arc<AtomicU64>,
     delete_fn: Option<DeleteHooks<B>>,
     maintain: Option<MaintainHooks<B>>,
+    /// Sort-dedup query runs before probing (see
+    /// [`ShardedFilterBuilder::coalesce_queries`]).
+    coalesce: bool,
+    /// Hot-key verdict cache, when armed (fresh per worker generation, so
+    /// a resize never carries verdicts across migrated backends).
+    cache: Option<QueryCache>,
+    /// Keep flush scratch capacity across flushes.
+    pool_scratch: bool,
+}
+
+/// Per-worker scratch reused across flushes so a steady-state worker
+/// allocates nothing per batch: the drained op buffer, the current
+/// same-kind run, its key column, and the query-path working vectors.
+#[derive(Default)]
+struct FlushScratch {
+    ops: Vec<Pending>,
+    run: Vec<Pending>,
+    keys: Vec<u64>,
+    q: QueryScratch,
+}
+
+impl FlushScratch {
+    /// Drop all retained capacity (the allocate-per-flush baseline arm).
+    fn release(&mut self) {
+        *self = FlushScratch::default();
+    }
+}
+
+/// Query-flush working set: `(key, slot)` pairs for the sort-dedup, the
+/// distinct key column with its verdicts, cache-miss positions, and the
+/// fanned-out per-slot verdicts.
+#[derive(Default)]
+struct QueryScratch {
+    pairs: Vec<(u64, u32)>,
+    distinct: Vec<u64>,
+    dverdict: Vec<bool>,
+    miss_pos: Vec<u32>,
+    miss_keys: Vec<u64>,
+    verdicts: Vec<bool>,
 }
 
 impl<B: ServiceBackend> WorkerConfig<B> {
@@ -833,6 +918,7 @@ impl<B: ServiceBackend> WorkerConfig<B> {
     }
     fn run(self) {
         let mut pending: Vec<Pending> = Vec::with_capacity(self.capacity);
+        let mut scratch = FlushScratch::default();
         let mut deadline: Option<Instant> = None;
         loop {
             let task = if pending.is_empty() {
@@ -845,12 +931,12 @@ impl<B: ServiceBackend> WorkerConfig<B> {
                 match self.rx.recv_timeout(dl.saturating_duration_since(Instant::now())) {
                     Ok(t) => t,
                     Err(RecvTimeoutError::Timeout) => {
-                        self.flush(&mut pending);
+                        self.flush(&mut pending, &mut scratch);
                         deadline = None;
                         continue;
                     }
                     Err(RecvTimeoutError::Disconnected) => {
-                        self.flush(&mut pending);
+                        self.flush(&mut pending, &mut scratch);
                         break;
                     }
                 }
@@ -860,13 +946,13 @@ impl<B: ServiceBackend> WorkerConfig<B> {
                 Task::One(p) => pending.push(p),
                 Task::Many(ps) => pending.extend(ps),
                 Task::Barrier(ack) => {
-                    self.flush(&mut pending);
+                    self.flush(&mut pending, &mut scratch);
                     deadline = None;
                     ack.fulfill(true);
                     continue;
                 }
                 Task::Stop => {
-                    self.flush(&mut pending);
+                    self.flush(&mut pending, &mut scratch);
                     return;
                 }
             }
@@ -876,27 +962,27 @@ impl<B: ServiceBackend> WorkerConfig<B> {
             // returning Ok and would otherwise starve the deadline until
             // the buffer fills, unboundedly delaying blocking callers.
             if pending.len() >= self.capacity || deadline.is_some_and(|d| Instant::now() >= d) {
-                self.flush(&mut pending);
+                self.flush(&mut pending, &mut scratch);
                 deadline = None;
             } else if deadline.is_none() {
                 deadline = Some(Instant::now() + self.linger());
             }
         }
-        self.flush(&mut pending);
+        self.flush(&mut pending, &mut scratch);
     }
 
     /// Apply the buffer in arrival order: each maximal run of same-kind
     /// operations becomes one backend bulk call. Same-kind runs dominate
     /// real streams, and honoring arrival order keeps per-key semantics
     /// sequential (a key always lands on one shard).
-    fn flush(&self, pending: &mut Vec<Pending>) {
+    fn flush(&self, pending: &mut Vec<Pending>, scratch: &mut FlushScratch) {
         if pending.is_empty() {
             return;
         }
-        let ops = std::mem::take(pending);
-        let mut run: Vec<Pending> = Vec::with_capacity(ops.len());
-        let mut keys: Vec<u64> = Vec::with_capacity(ops.len());
-        let mut iter = ops.into_iter().peekable();
+        let FlushScratch { ops, run, keys, q } = scratch;
+        ops.clear();
+        ops.append(pending);
+        let mut iter = ops.drain(..).peekable();
         while let Some(first) = iter.next() {
             let kind = first.kind;
             keys.clear();
@@ -907,11 +993,34 @@ impl<B: ServiceBackend> WorkerConfig<B> {
                 keys.push(p.key);
                 run.push(p);
             }
+            // Mutation runs advance the cache epoch *before* any later
+            // query run in this same flush resolves, so a verdict cached
+            // under the pre-mutation backend can never answer a query
+            // sequenced after the mutation.
             match kind {
-                KIND_INSERT => self.flush_inserts(&keys, run.drain(..)),
-                KIND_QUERY => self.flush_queries(&keys, run.drain(..)),
-                _ => self.flush_deletes(&keys, run.drain(..)),
+                KIND_INSERT => {
+                    self.flush_inserts(keys, run.drain(..));
+                    self.invalidate_cache();
+                }
+                KIND_QUERY => self.flush_queries(keys, run.drain(..), q),
+                _ => {
+                    self.flush_deletes(keys, run.drain(..));
+                    self.invalidate_cache();
+                }
             }
+        }
+        drop(iter);
+        if !self.pool_scratch {
+            scratch.release();
+        }
+    }
+
+    /// Bump the hot-key cache's mutation epoch (when one is armed) after
+    /// an insert or delete run touched the backend.
+    fn invalidate_cache(&self) {
+        if let Some(cache) = &self.cache {
+            cache.invalidate();
+            self.stats.cache_invalidations.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -967,16 +1076,117 @@ impl<B: ServiceBackend> WorkerConfig<B> {
         }
     }
 
-    fn flush_queries(&self, keys: &[u64], run: std::vec::Drain<'_, Pending>) {
+    fn flush_queries(&self, keys: &[u64], run: std::vec::Drain<'_, Pending>, q: &mut QueryScratch) {
         let t0 = Instant::now();
-        let hits = self.backend().bulk_query_vec(keys);
+        if !self.coalesce && self.cache.is_none() {
+            // Baseline: one bulk probe over the run exactly as it arrived.
+            let hits = self.backend().bulk_query_vec(keys);
+            self.stats.record_flush(keys.len(), t0.elapsed());
+            let n_hits = hits.iter().filter(|&&h| h).count() as u64;
+            self.stats.query_hits.fetch_add(n_hits, Ordering::Relaxed);
+            for (p, hit) in run.zip(hits) {
+                self.record_latency(&p);
+                p.ack.fulfill(hit);
+            }
+            return;
+        }
+        // Fast path: resolve a verdict per slot through the sort-dedup
+        // coalescer and/or the hot-key cache. Queries are pure, and every
+        // cached verdict carries the current mutation epoch, so the
+        // per-slot answers (and hence the observable fp set) are
+        // bit-identical to the baseline probe.
+        q.verdicts.clear();
+        q.verdicts.resize(keys.len(), false);
+        if self.coalesce {
+            self.coalesced_verdicts(keys, q);
+        } else {
+            self.cached_verdicts(keys, q);
+        }
         self.stats.record_flush(keys.len(), t0.elapsed());
-        let n_hits = hits.iter().filter(|&&h| h).count() as u64;
+        let n_hits = q.verdicts.iter().filter(|&&h| h).count() as u64;
         self.stats.query_hits.fetch_add(n_hits, Ordering::Relaxed);
-        for (p, hit) in run.zip(hits) {
+        for (p, &hit) in run.zip(q.verdicts.iter()) {
             self.record_latency(&p);
             p.ack.fulfill(hit);
         }
+    }
+
+    /// Sort-dedup the run's keys (the CPU-side sibling of the bulk
+    /// pipeline's partition/sort phases), resolve each distinct key once,
+    /// and fan the verdicts back to the original slots.
+    fn coalesced_verdicts(&self, keys: &[u64], q: &mut QueryScratch) {
+        q.pairs.clear();
+        q.pairs.extend(keys.iter().enumerate().map(|(slot, &k)| (k, slot as u32)));
+        q.pairs.sort_unstable();
+        q.distinct.clear();
+        let mut i = 0;
+        while i < q.pairs.len() {
+            let k = q.pairs[i].0;
+            q.distinct.push(k);
+            while i < q.pairs.len() && q.pairs[i].0 == k {
+                i += 1;
+            }
+        }
+        let dups = (keys.len() - q.distinct.len()) as u64;
+        if dups > 0 {
+            self.stats.coalesced_keys.fetch_add(dups, Ordering::Relaxed);
+        }
+        self.stats.record_distinct_ratio(q.distinct.len(), keys.len());
+        self.probe_distinct(q);
+        let (mut i, mut di) = (0, 0);
+        while i < q.pairs.len() {
+            let k = q.pairs[i].0;
+            let v = q.dverdict[di];
+            while i < q.pairs.len() && q.pairs[i].0 == k {
+                q.verdicts[q.pairs[i].1 as usize] = v;
+                i += 1;
+            }
+            di += 1;
+        }
+    }
+
+    /// Resolve `q.distinct` into `q.dverdict`: consult the hot-key cache
+    /// first (when armed), then settle the misses with one backend bulk
+    /// probe and feed the fresh verdicts back into the cache.
+    fn probe_distinct(&self, q: &mut QueryScratch) {
+        let QueryScratch { distinct, dverdict, miss_pos, miss_keys, .. } = q;
+        dverdict.clear();
+        dverdict.resize(distinct.len(), false);
+        let Some(cache) = &self.cache else {
+            let hits = self.backend().bulk_query_vec(distinct);
+            dverdict.copy_from_slice(&hits);
+            return;
+        };
+        let hits = cache.lookup_batch(distinct, dverdict, miss_pos, miss_keys);
+        self.stats.cache_hits.fetch_add(hits, Ordering::Relaxed);
+        self.stats.cache_misses.fetch_add(miss_keys.len() as u64, Ordering::Relaxed);
+        if miss_keys.is_empty() {
+            return;
+        }
+        let probed = self.backend().bulk_query_vec(miss_keys);
+        for (&pos, &hit) in miss_pos.iter().zip(&probed) {
+            dverdict[pos as usize] = hit;
+        }
+        cache.store_batch(miss_keys, &probed);
+    }
+
+    /// Cache-only fast path (coalescing off): resolve the run in arrival
+    /// order, probing cache misses — duplicates included — in one bulk
+    /// call.
+    fn cached_verdicts(&self, keys: &[u64], q: &mut QueryScratch) {
+        let cache = self.cache.as_ref().expect("cached_verdicts requires an armed cache");
+        let QueryScratch { verdicts, miss_pos, miss_keys, .. } = q;
+        let hits = cache.lookup_batch(keys, verdicts, miss_pos, miss_keys);
+        self.stats.cache_hits.fetch_add(hits, Ordering::Relaxed);
+        self.stats.cache_misses.fetch_add(miss_keys.len() as u64, Ordering::Relaxed);
+        if miss_keys.is_empty() {
+            return;
+        }
+        let probed = self.backend().bulk_query_vec(miss_keys);
+        for (&pos, &hit) in miss_pos.iter().zip(&probed) {
+            verdicts[pos as usize] = hit;
+        }
+        cache.store_batch(miss_keys, &probed);
     }
 
     fn flush_deletes(&self, keys: &[u64], run: std::vec::Drain<'_, Pending>) {
@@ -1855,6 +2065,48 @@ mod async_tests {
     }
 
     #[test]
+    fn skew_fast_path_counts_and_epoch_invalidation_tracks_mutations() {
+        let svc = ShardedFilterBuilder::new()
+            .shards(1)
+            .batch_capacity(512)
+            .linger(Duration::from_micros(100))
+            .query_cache(1 << 12)
+            .build_deletable(|_| BulkTcf::new(1 << 13))
+            .unwrap();
+        let h = svc.handle();
+        let keys: Vec<u64> = filter_core::hashed_keys(21, 64);
+        h.insert_batch(&keys).unwrap();
+
+        // A duplicate-heavy probe: every key four times, well inside one
+        // flush (a single Task::Many under the batch capacity).
+        let mut probe = Vec::new();
+        for _ in 0..4 {
+            probe.extend_from_slice(&keys);
+        }
+        let first = h.query_batch(&probe).unwrap();
+        assert!(first.iter().all(|&hit| hit), "inserted keys must hit");
+        // No mutation in between: the repeat probe is served by the cache.
+        let again = h.query_batch(&probe).unwrap();
+        assert_eq!(first, again);
+
+        let s = svc.stats();
+        assert!(s.coalesced_keys >= 3 * 64, "coalescer removed {} dups", s.coalesced_keys);
+        assert!(s.cache_hits >= 64, "repeat probe must hit the cache, got {}", s.cache_hits);
+        assert!(s.cache_invalidations >= 1, "the insert flush must bump the epoch");
+        assert!(s.distinct_ratio_hist.total() >= 1, "coalesced flushes record their ratio");
+        assert_eq!(s.query_hits, 2 * probe.len() as u64, "per-slot hit accounting is unchanged");
+
+        // Empty the filter: the delete flush bumps the epoch, so the
+        // cached "present" verdicts cannot leak through — and an emptied
+        // TCF answers definite misses.
+        let not_present = h.delete_batch(&keys).unwrap();
+        assert_eq!(not_present, 0, "every inserted key must be removed");
+        let after = h.query_batch(&probe).unwrap();
+        assert!(after.iter().all(|&hit| !hit), "stale verdicts must die with the epoch");
+        assert!(svc.stats().cache_invalidations > s.cache_invalidations);
+    }
+
+    #[test]
     fn control_observes_and_retunes_the_live_service() {
         let svc = service();
         let ctl = svc.control();
@@ -1899,5 +2151,17 @@ mod builder_tests {
         assert_eq!(b.shard_spec(&spec).parallelism, Parallelism::Sequential);
         let b = ShardedFilterBuilder::new().shards(4);
         assert_eq!(b.shard_spec(&spec).parallelism, Parallelism::Auto);
+    }
+
+    #[test]
+    fn skew_knobs_default_and_toggle() {
+        let b = ShardedFilterBuilder::new();
+        assert!(b.coalesce, "coalescing defaults on");
+        assert_eq!(b.cache_entries, 0, "cache defaults off");
+        assert!(b.pool_scratch, "scratch pooling defaults on");
+        let b = b.coalesce_queries(false).query_cache(512).pool_scratch(false);
+        assert!(!b.coalesce);
+        assert_eq!(b.cache_entries, 512);
+        assert!(!b.pool_scratch);
     }
 }

@@ -59,6 +59,59 @@ impl BatchHistogram {
     }
 }
 
+/// Number of 10%-wide distinct-key-ratio buckets.
+pub const RATIO_BUCKETS: usize = 10;
+
+/// Histogram of per-flush distinct-key ratios (`distinct / total`) in
+/// ten 10%-wide buckets — the production-visible measure of key skew.
+/// A uniform stream piles into the top bucket (every key distinct); a
+/// Zipf-skewed stream drifts left as duplicates dominate. Recorded by
+/// coalescing query flushes (the only place the distinct count is
+/// computed without adding a sort to the hot path).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RatioHistogram {
+    /// `buckets[i]` counts flushes whose distinct ratio fell in
+    /// `[i*10%, (i+1)*10%)`; the last bucket is closed at 100%.
+    pub buckets: [u64; RATIO_BUCKETS],
+}
+
+impl RatioHistogram {
+    /// Bucket index for a flush of `total` keys, `distinct` of them
+    /// unique.
+    pub fn bucket_of(distinct: usize, total: usize) -> usize {
+        if total == 0 {
+            return RATIO_BUCKETS - 1;
+        }
+        (distinct * RATIO_BUCKETS / total).min(RATIO_BUCKETS - 1)
+    }
+
+    /// Total flushes recorded.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Render as `"0-9%:2 90-100%:40"`, skipping empty buckets.
+    pub fn render(&self) -> String {
+        let mut parts = Vec::new();
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let lo = i * 10;
+            if i == RATIO_BUCKETS - 1 {
+                parts.push(format!("{lo}-100%:{c}"));
+            } else {
+                parts.push(format!("{lo}-{}%:{c}", lo + 9));
+            }
+        }
+        if parts.is_empty() {
+            "(no coalesced flushes)".to_string()
+        } else {
+            parts.join(" ")
+        }
+    }
+}
+
 /// Number of latency buckets: one underflow bucket below 2^[`LAT_OCT_MIN`]
 /// ns, then 4 log-linear sub-buckets per power of two up to
 /// 2^[`LAT_OCT_MAX`] ns (the last bucket absorbs everything larger).
@@ -220,6 +273,12 @@ pub(crate) struct StatsInner {
     pub keys_moved: AtomicU64,
     // -- per-operation end-to-end latency (PR 6) --
     pub latency: LatencyRecorder,
+    // -- skew fast path (PR 10) --
+    pub cache_hits: AtomicU64,
+    pub cache_misses: AtomicU64,
+    pub cache_invalidations: AtomicU64,
+    pub coalesced_keys: AtomicU64,
+    pub ratio_hist: [AtomicU64; RATIO_BUCKETS],
 }
 
 impl StatsInner {
@@ -230,6 +289,11 @@ impl StatsInner {
         self.hist[BatchHistogram::bucket_of(items)].fetch_add(1, Ordering::Relaxed);
         self.flush_ns_total.fetch_add(ns, Ordering::Relaxed);
         self.flush_ns_max.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Record one coalesced query flush's distinct-key ratio.
+    pub fn record_distinct_ratio(&self, distinct: usize, total: usize) {
+        self.ratio_hist[RatioHistogram::bucket_of(distinct, total)].fetch_add(1, Ordering::Relaxed);
     }
 
     pub fn enqueued(&self, n: u64) {
@@ -297,6 +361,20 @@ pub struct ServiceStats {
     pub keys_moved: u64,
     /// End-to-end per-operation latency percentiles (enqueue → flush).
     pub latency: LatencySnapshot,
+    /// Hot-key cache lookups answered from a current-epoch entry.
+    pub cache_hits: u64,
+    /// Hot-key cache lookups that fell through to a backend probe.
+    pub cache_misses: u64,
+    /// Cache epoch bumps — one per insert/delete flush on a shard with an
+    /// armed cache (each conservatively invalidates that shard's whole
+    /// cache).
+    pub cache_invalidations: u64,
+    /// Duplicate keys the in-batch coalescer removed from query flushes
+    /// (backend probes saved before the cache is even consulted).
+    pub coalesced_keys: u64,
+    /// Per-flush distinct-key ratio distribution (coalesced query
+    /// flushes) — how skewed the served key stream actually is.
+    pub distinct_ratio_hist: RatioHistogram,
     /// Time since the service started.
     pub elapsed: Duration,
 }
@@ -306,6 +384,10 @@ impl ServiceStats {
         let o = Ordering::Relaxed;
         let mut hist = BatchHistogram::default();
         for (d, s) in hist.buckets.iter_mut().zip(&inner.hist) {
+            *d = s.load(o);
+        }
+        let mut ratio_hist = RatioHistogram::default();
+        for (d, s) in ratio_hist.buckets.iter_mut().zip(&inner.ratio_hist) {
             *d = s.load(o);
         }
         ServiceStats {
@@ -331,6 +413,11 @@ impl ServiceStats {
             migration_events: inner.migration_events.load(o),
             keys_moved: inner.keys_moved.load(o),
             latency: inner.latency.snapshot(),
+            cache_hits: inner.cache_hits.load(o),
+            cache_misses: inner.cache_misses.load(o),
+            cache_invalidations: inner.cache_invalidations.load(o),
+            coalesced_keys: inner.coalesced_keys.load(o),
+            distinct_ratio_hist: ratio_hist,
             elapsed,
         }
     }
@@ -376,6 +463,8 @@ impl ServiceStats {
             "service: {} shards, {:.0} ops/s over {:.2?}\n\
              ops: {} inserts ({} failed), {} queries ({} hits), {} deletes ({} failed)\n\
              batches: {} flushed, mean size {:.1}, hist {}\n\
+             skew: {} keys coalesced, cache {} hits / {} misses / {} invalidations\n\
+             distinct ratio: {}\n\
              flush: mean {:.2?}, max {:.2?}; queue depth {} (max {}), rejected {}\n\
              latency: {}\n\
              lifecycle: {} grows ({} keys regrown), {} scale-outs, {} scale-ins \
@@ -392,6 +481,11 @@ impl ServiceStats {
             self.batches_flushed,
             self.mean_batch(),
             self.batch_hist.render(),
+            self.coalesced_keys,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_invalidations,
+            self.distinct_ratio_hist.render(),
             self.mean_flush(),
             self.flush_max,
             self.queue_depth,
@@ -517,6 +611,51 @@ mod tests {
         assert_eq!(s.count, 0);
         assert_eq!(s.p999, Duration::ZERO);
         assert_eq!(s.render(), "(no samples)");
+    }
+
+    #[test]
+    fn ratio_bucket_boundaries() {
+        assert_eq!(RatioHistogram::bucket_of(1, 100), 0);
+        assert_eq!(RatioHistogram::bucket_of(9, 100), 0);
+        assert_eq!(RatioHistogram::bucket_of(10, 100), 1);
+        assert_eq!(RatioHistogram::bucket_of(55, 100), 5);
+        assert_eq!(RatioHistogram::bucket_of(99, 100), 9);
+        assert_eq!(RatioHistogram::bucket_of(100, 100), 9);
+        assert_eq!(RatioHistogram::bucket_of(1, 1), 9);
+        assert_eq!(RatioHistogram::bucket_of(0, 0), RATIO_BUCKETS - 1);
+    }
+
+    #[test]
+    fn snapshot_carries_skew_counters_and_ratio_hist() {
+        let inner = StatsInner::default();
+        inner.cache_hits.fetch_add(7, Ordering::Relaxed);
+        inner.cache_misses.fetch_add(3, Ordering::Relaxed);
+        inner.cache_invalidations.fetch_add(2, Ordering::Relaxed);
+        inner.coalesced_keys.fetch_add(40, Ordering::Relaxed);
+        inner.record_distinct_ratio(5, 100);
+        inner.record_distinct_ratio(100, 100);
+        let s = ServiceStats::snapshot(&inner, 1, Duration::from_secs(1));
+        assert_eq!((s.cache_hits, s.cache_misses, s.cache_invalidations), (7, 3, 2));
+        assert_eq!(s.coalesced_keys, 40);
+        assert_eq!(s.distinct_ratio_hist.buckets[0], 1);
+        assert_eq!(s.distinct_ratio_hist.buckets[RATIO_BUCKETS - 1], 1);
+        assert_eq!(s.distinct_ratio_hist.total(), 2);
+        let r = s.render();
+        assert!(r.contains("40 keys coalesced"));
+        assert!(r.contains("cache 7 hits / 3 misses / 2 invalidations"));
+        assert!(r.contains("0-9%:1"));
+        assert!(r.contains("90-100%:1"));
+    }
+
+    #[test]
+    fn ratio_histogram_renders_sparse_buckets() {
+        let mut h = RatioHistogram::default();
+        assert_eq!(h.render(), "(no coalesced flushes)");
+        h.buckets[2] = 4;
+        h.buckets[9] = 1;
+        let r = h.render();
+        assert!(r.contains("20-29%:4"));
+        assert!(r.contains("90-100%:1"));
     }
 
     #[test]

@@ -91,8 +91,11 @@ pub fn open_loop_arrivals(
 #[derive(Debug, Clone, Copy)]
 pub struct ZipfSampler {
     universe: usize,
-    /// `-1 / (s - 1)` for coefficient `s`.
-    exponent: f64,
+    /// `1 / (1 - s)` for coefficient `s`.
+    inv_exponent: f64,
+    /// `1 - (N + 1)^(1 - s)`: the CDF normalizer of the *truncated*
+    /// power law over `[1, N + 1)`.
+    norm: f64,
 }
 
 impl ZipfSampler {
@@ -101,15 +104,26 @@ impl ZipfSampler {
     pub fn new(universe: usize, coefficient: f64) -> Self {
         assert!(universe > 0, "Zipf universe must be non-empty");
         assert!(coefficient > 1.0, "Zipf coefficient must exceed 1 for a finite mean");
-        ZipfSampler { universe, exponent: -1.0 / (coefficient - 1.0) }
+        let one_minus_s = 1.0 - coefficient;
+        ZipfSampler {
+            universe,
+            inv_exponent: 1.0 / one_minus_s,
+            norm: 1.0 - ((universe as f64) + 1.0).powf(one_minus_s),
+        }
     }
 
-    /// Draw a 0-based rank; hot ranks are small. (Truncating — not
-    /// ceiling — the power-law draw keeps rank 0 reachable, so the
-    /// hottest key really is rank 0.)
+    /// Draw a 0-based rank; hot ranks are small. Inverts the CDF of the
+    /// power law *truncated to the universe*: `F(x) = (1 - x^(1-s)) /
+    /// (1 - (N+1)^(1-s))` over `x ∈ [1, N+1)`, so the tail mass the
+    /// truncation removes is spread across every rank proportionally.
+    /// (The untruncated inversion `u^(-1/(s-1))` with a clamp piles that
+    /// whole tail — ~24% of draws at `N = 16, s = 1.5` — onto the
+    /// single last rank.) Truncating — not ceiling — the draw keeps
+    /// rank 0 reachable, so the hottest key really is rank 0.
     pub fn rank(&self, g: &mut Xorwow) -> usize {
         let u = (g.next_u32() as f64 + 1.0) / (u32::MAX as f64 + 2.0);
-        (u.powf(self.exponent) as u64).clamp(1, self.universe as u64) as usize - 1
+        let x = (1.0 - u * self.norm).powf(self.inv_exponent);
+        (x as u64).clamp(1, self.universe as u64) as usize - 1
     }
 }
 
@@ -168,6 +182,44 @@ mod tests {
         );
         let tail = draws.iter().filter(|&&r| r >= 100).count();
         assert!(tail > 100, "the tail should still be sampled, got {tail}");
+    }
+
+    #[test]
+    fn zipf_small_universe_matches_the_analytic_truncated_law() {
+        // Regression for the truncation bias: inverting the *untruncated*
+        // power law and clamping piles the out-of-universe tail mass
+        // (~24% at N = 16, s = 1.5) onto the last rank. The truncated
+        // inverse CDF spreads it; every rank must track the analytic
+        // pmf  p_r = (F(r+2) - F(r+1)) with
+        // F(x) = (1 - x^(1-s)) / (1 - (N+1)^(1-s)).
+        let (n, s) = (16usize, 1.5f64);
+        let draws = 200_000usize;
+        let z = ZipfSampler::new(n, s);
+        let mut g = Xorwow::new(11);
+        let mut counts = vec![0u64; n];
+        for _ in 0..draws {
+            counts[z.rank(&mut g)] += 1;
+        }
+
+        let cdf = |x: f64| (1.0 - x.powf(1.0 - s)) / (1.0 - ((n as f64) + 1.0).powf(1.0 - s));
+        let mut chi2 = 0.0;
+        for (r, &c) in counts.iter().enumerate() {
+            let p = cdf(r as f64 + 2.0) - cdf(r as f64 + 1.0);
+            let expect = p * draws as f64;
+            let d = c as f64 - expect;
+            chi2 += d * d / expect;
+            // Pointwise: within 10% relative everywhere (the analytic
+            // pmf never drops below ~1% of mass at N = 16).
+            assert!((d / expect).abs() < 0.10, "rank {r}: observed {c}, expected {expect:.0}");
+        }
+        // Chi-square with 15 dof: 99.9th percentile ≈ 37.7. The biased
+        // sampler scores in the tens of thousands here.
+        assert!(chi2 < 60.0, "chi-square too large: {chi2:.1}");
+
+        // The signature of the old bug, called out explicitly: the last
+        // rank must carry ~1% of the mass, not ~24%.
+        let last = counts[n - 1] as f64 / draws as f64;
+        assert!(last < 0.03, "last rank hoards truncated tail mass: {last:.3}");
     }
 
     #[test]
